@@ -1,0 +1,112 @@
+// Ablation bench for the design choices DESIGN.md calls out beyond the
+// paper's own figures:
+//   * pixel-group size (the unit of voxel streaming vs. re-read overhead,
+//     bounded above by the 89 KB accumulator scratch);
+//   * VSU ray-sampling stride (ordering-edge density vs. VSU work);
+//   * per-voxel sort granularity: the simplified bitonic unit's width.
+//
+//   ./ablation_design_choices [--scene train] [--model_scale 0.06]
+//                             [--res_scale 0.4]
+#include "bench_common.hpp"
+#include "common/bitonic.hpp"
+#include "common/units.hpp"
+#include "common/cli.hpp"
+#include "metrics/psnr.hpp"
+#include "sim/experiment.hpp"
+#include "sim/vsu_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  CliArgs args(argc, argv);
+  const auto preset = scene::preset_from_name(args.get("scene", "train"));
+  const float model_scale = static_cast<float>(args.get_double("model_scale", 0.06));
+  const float res_scale = static_cast<float>(args.get_double("res_scale", 0.4));
+
+  const auto& info = scene::preset_info(preset);
+  const auto model = scene::make_preset_scene(preset, model_scale);
+  int w = 0, h = 0;
+  scene::scaled_resolution(preset, res_scale, w, h);
+  const auto cam = scene::make_preset_camera(preset, w, h);
+  const auto reference = render::render_tile_centric(model, cam);
+
+  bench::print_header("Ablation - pixel-group size", "");
+  {
+    bench::Table table({"group", "accum SRAM", "fits 89KB", "streamed",
+                        "DRAM", "accel time", "PSNR"});
+    for (const int g : {16, 32, 64, 128}) {
+      core::StreamingConfig scfg;
+      scfg.voxel_size = info.default_voxel_size;
+      scfg.use_vq = false;  // isolate the streaming structure
+      scfg.group_size = g;
+      const auto scene_p = core::StreamingScene::prepare(model, scfg);
+      const auto r = core::render_streaming(scene_p, cam);
+      const auto sim = sim::simulate_streaminggs(r.trace);
+      const double accum_kb = static_cast<double>(g) * g * 20.0 / 1024.0;
+      table.row({std::to_string(g) + "x" + std::to_string(g),
+                 bench::fmt(accum_kb, 1) + " KiB",
+                 accum_kb <= 89.0 ? "yes" : "NO",
+                 std::to_string(r.stats.gaussians_streamed),
+                 format_bytes(static_cast<double>(r.stats.total_dram_bytes())),
+                 bench::fmt(sim.seconds * 1e3, 3) + " ms",
+                 bench::fmt(metrics::psnr_capped(r.image, reference.image), 2)});
+    }
+    table.print();
+    std::printf(
+        "  Larger groups amortize voxel re-streaming; 64x64 is the largest\n"
+        "  whose accumulators fit the paper's 89 KB scratch buffer.\n");
+  }
+
+  bench::print_header("Ablation - VSU ray-sampling stride", "");
+  {
+    bench::Table table({"stride", "rays/group", "VSU cycles/frame",
+                        "topo edges", "error Gaussians", "PSNR"});
+    for (const int s : {1, 2, 4, 8, 16}) {
+      core::StreamingConfig scfg;
+      scfg.voxel_size = info.default_voxel_size;
+      scfg.use_vq = false;
+      scfg.ray_stride = s;
+      const auto scene_p = core::StreamingScene::prepare(model, scfg);
+      const auto r = core::render_streaming(scene_p, cam);
+      const auto vsu = sim::simulate_vsu_frame(r.trace);
+      const int per_axis = (scfg.group_size + s - 1) / s + 1;
+      table.row({std::to_string(s),
+                 std::to_string(per_axis * per_axis),
+                 bench::fmt(vsu.total_cycles / 1000.0, 0) + "k",
+                 std::to_string(r.stats.topo_edges),
+                 bench::fmt(100.0 * r.stats.violation_ratio(), 2) + "%",
+                 bench::fmt(metrics::psnr_capped(r.image, reference.image), 2)});
+    }
+    table.print();
+    std::printf(
+        "  Discovery is stride-independent (the voxel table guarantees\n"
+        "  coverage); sparse rays only thin the ordering DAG, trading a few\n"
+        "  misordered Gaussians for an order of magnitude less VSU work.\n");
+  }
+
+  bench::print_header("Ablation - bitonic sorter width", "");
+  {
+    bench::Table table({"width (cmp/cycle)", "sort cycles @256", "accel time"});
+    core::StreamingConfig sort_cfg;
+    sort_cfg.voxel_size = info.default_voxel_size;
+    sort_cfg.use_vq = false;
+    const auto scene_p = core::StreamingScene::prepare(model, sort_cfg);
+    const auto r = core::render_streaming(scene_p, cam);
+    for (const double width : {2.0, 8.0, 32.0}) {
+      sim::StreamingGsSimOptions opt;
+      opt.hw.sort_elems_per_cycle_per_unit = width;
+      const auto sim_r = simulate_streaminggs(r.trace, opt);
+      table.row({bench::fmt(width, 0),
+                 bench::fmt(bitonic_sort_cycles(
+                                256, static_cast<std::uint32_t>(
+                                         width * opt.hw.sort_unit_count)),
+                            0),
+                 bench::fmt(sim_r.seconds * 1e3, 3) + " ms"});
+    }
+    table.print();
+    std::printf(
+        "  Per-voxel survivor lists are short, so the simplified sorting\n"
+        "  unit is never the bottleneck (the paper's rationale for adopting\n"
+        "  GSCore's unit unchanged).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Google-benchmark microbenchmarks of the library's hot kernels: SH
+// evaluation, exact and coarse projection, alpha blending, DDA traversal,
+// topological voxel ordering, k-means assignment, and the two renderers on
+// a small scene.
+#include <benchmark/benchmark.h>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/streaming_renderer.hpp"
+#include "core/voxel_order.hpp"
+#include "gs/blending.hpp"
+#include "gs/projection.hpp"
+#include "gs/sh.hpp"
+#include "render/tile_renderer.hpp"
+#include "scene/generator.hpp"
+#include "voxel/dda.hpp"
+#include "vq/kmeans.hpp"
+
+namespace {
+
+using namespace sgs;
+
+gs::Camera bench_camera(int w = 256, int h = 256) {
+  return gs::Camera::look_at({0, 0, -5}, {0, 0, 0}, {0, 1, 0}, 0.8f, w, h);
+}
+
+gs::GaussianModel bench_model(std::size_t n) {
+  scene::GeneratorConfig cfg;
+  cfg.gaussian_count = n;
+  cfg.extent_min = {-3, -3, -3};
+  cfg.extent_max = {3, 3, 3};
+  cfg.seed = 99;
+  return scene::generate_scene(cfg);
+}
+
+void BM_ShEval(benchmark::State& state) {
+  Rng rng(1);
+  std::array<Vec3f, 16> coeffs;
+  for (auto& c : coeffs) c = rng.normal_vec3(0.2f);
+  Vec3f dir = rng.unit_sphere();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::eval_sh(coeffs, dir));
+    dir.x += 1e-6f;  // defeat caching
+  }
+}
+BENCHMARK(BM_ShEval);
+
+void BM_ProjectGaussian(benchmark::State& state) {
+  const auto model = bench_model(4096);
+  const auto cam = bench_camera();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::project_gaussian(model.gaussians[i], cam));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK(BM_ProjectGaussian);
+
+void BM_ProjectCoarse(benchmark::State& state) {
+  const auto model = bench_model(4096);
+  const auto cam = bench_camera();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& g = model.gaussians[i];
+    benchmark::DoNotOptimize(gs::project_coarse(g.position, g.max_scale(), cam));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK(BM_ProjectCoarse);
+
+void BM_AlphaBlend(benchmark::State& state) {
+  gs::ProjectedGaussian g;
+  g.mean = {128, 128};
+  g.conic = Sym2f{0.02f, 0.005f, 0.03f};
+  g.opacity = 0.8f;
+  g.color = {0.7f, 0.3f, 0.2f};
+  gs::PixelAccumulator acc;
+  float x = 120.0f;
+  for (auto _ : state) {
+    const float a = gs::gaussian_alpha(g, {x, 126.0f});
+    if (a > 0.0f) gs::blend(acc, g.color, a);
+    benchmark::DoNotOptimize(acc);
+    x = x < 136.0f ? x + 0.25f : 120.0f;
+    if (acc.saturated()) acc = gs::PixelAccumulator{};
+  }
+}
+BENCHMARK(BM_AlphaBlend);
+
+void BM_DdaTraversal(benchmark::State& state) {
+  const auto model = bench_model(20000);
+  const auto grid = voxel::VoxelGrid::build(model, 0.5f);
+  const auto cam = bench_camera();
+  Rng rng(3);
+  for (auto _ : state) {
+    const gs::Ray ray =
+        cam.pixel_ray(rng.uniform(0.0f, 256.0f), rng.uniform(0.0f, 256.0f));
+    benchmark::DoNotOptimize(voxel::intersected_voxels(ray, grid));
+  }
+}
+BENCHMARK(BM_DdaTraversal);
+
+void BM_TopologicalOrder(benchmark::State& state) {
+  // 64 rays over a 64-voxel chain with random subsequences.
+  Rng rng(7);
+  std::vector<std::vector<voxel::DenseVoxelId>> rays;
+  for (int r = 0; r < 64; ++r) {
+    std::vector<voxel::DenseVoxelId> ray;
+    for (int v = 0; v < 64; ++v) {
+      if (rng.uniform() < 0.4f) ray.push_back(v);
+    }
+    rays.push_back(std::move(ray));
+  }
+  auto depth = [](voxel::DenseVoxelId v) { return static_cast<float>(v); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::topological_voxel_order(rays, depth));
+  }
+}
+BENCHMARK(BM_TopologicalOrder);
+
+void BM_KMeansAssign(benchmark::State& state) {
+  Rng rng(11);
+  const std::size_t dim = 45;
+  std::vector<float> centroids(512 * dim);
+  for (auto& v : centroids) v = rng.normal();
+  std::vector<float> query(dim);
+  for (auto& v : query) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vq::nearest_centroid(centroids, dim, query));
+    query[0] += 1e-5f;
+  }
+}
+BENCHMARK(BM_KMeansAssign);
+
+void BM_TileRenderFrame(benchmark::State& state) {
+  const auto model = bench_model(static_cast<std::size_t>(state.range(0)));
+  const auto cam = bench_camera(192, 192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::render_tile_centric(model, cam));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TileRenderFrame)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingRenderFrame(benchmark::State& state) {
+  const auto model = bench_model(static_cast<std::size_t>(state.range(0)));
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto cam = bench_camera(192, 192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::render_streaming(scene, cam));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StreamingRenderFrame)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Fig. 2 reproduction: DRAM traffic proportions across the stages of the
+// tile-centric (original 3DGS) rendering pipeline.
+//
+// Paper values (real-world scenes): projection read 25.9%, sorting r/w
+// 23.9% + 26.6%, rendering read 8.0%, projection write 14.7%, frame write
+// 0.8%; projection+sorting together ~90%, intermediate traffic ~85%.
+//
+//   ./fig02_traffic_breakdown [--model_scale 0.05] [--res_scale 0.5]
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/units.hpp"
+#include "render/tile_renderer.hpp"
+#include "scene/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  using render::Stage;
+  CliArgs args(argc, argv);
+  const float model_scale = static_cast<float>(args.get_double("model_scale", 0.05));
+  const float res_scale = static_cast<float>(args.get_double("res_scale", 0.5));
+
+  bench::print_header(
+      "Fig. 2 - DRAM traffic breakdown of the tile-centric pipeline",
+      "proj-read 25.9% | proj-write 14.7% | sort-read 23.9% | sort-write "
+      "26.6% | render-read 8.0% | render-write 0.8%");
+
+  bench::Table table({"scene", "total", "proj-rd", "proj-wr", "sort-rd",
+                      "sort-wr", "rend-rd", "rend-wr", "intermediate"});
+
+  double agg[render::kStageCount] = {};
+  double agg_total = 0.0, agg_intermediate = 0.0;
+
+  for (const scene::ScenePreset p : scene::kAllPresets) {
+    const auto& info = scene::preset_info(p);
+    const auto model = scene::make_preset_scene(p, model_scale);
+    int w = 0, h = 0;
+    scene::scaled_resolution(p, res_scale, w, h);
+    const auto cam = scene::make_preset_camera(p, w, h);
+    const auto r = render::render_tile_centric(model, cam);
+    const auto& t = r.trace.traffic;
+
+    auto pct = [&](Stage s) { return bench::fmt(100.0 * t.fraction(s), 1) + "%"; };
+    table.row({info.name, format_bytes(static_cast<double>(t.total())),
+               pct(Stage::kProjectionRead), pct(Stage::kProjectionWrite),
+               pct(Stage::kSortingRead), pct(Stage::kSortingWrite),
+               pct(Stage::kRenderingRead), pct(Stage::kRenderingWrite),
+               bench::fmt(100.0 * static_cast<double>(t.intermediate()) /
+                              static_cast<double>(t.total()),
+                          1) +
+                   "%"});
+    for (int s = 0; s < render::kStageCount; ++s) {
+      agg[s] += static_cast<double>(t.bytes[static_cast<std::size_t>(s)]);
+    }
+    agg_total += static_cast<double>(t.total());
+    agg_intermediate += static_cast<double>(t.intermediate());
+  }
+
+  std::vector<std::string> mean_row = {"MEAN", format_bytes(agg_total / 6.0)};
+  for (int s = 0; s < render::kStageCount; ++s) {
+    mean_row.push_back(bench::fmt(100.0 * agg[s] / agg_total, 1) + "%");
+  }
+  mean_row.push_back(bench::fmt(100.0 * agg_intermediate / agg_total, 1) + "%");
+  table.row(mean_row);
+  table.print();
+
+  const double proj_sort_pct =
+      100.0 * (agg[0] + agg[1] + agg[2] + agg[3]) / agg_total;
+  std::printf(
+      "\n  projection+sorting share: %.1f%% (paper: ~90%%)\n"
+      "  intermediate share:       %.1f%% (paper: ~85%%)\n",
+      proj_sort_pct, 100.0 * agg_intermediate / agg_total);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 3 reproduction: FPS of 3DGS on a mobile SoC (Orin NX) across the six
+// evaluation scenes. The paper measures 2-9 FPS on hardware; this harness
+// runs the tile-centric pipeline at a reduced scale through the calibrated
+// GPU roofline model and extrapolates to paper scale (per-Gaussian-linear
+// stages scale with the count ratio, pair/blend-bound stages also with the
+// pixel ratio; see EXPERIMENTS.md).
+//
+//   ./fig03_fps_mobile [--model_scale 0.05] [--res_scale 0.5]
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "render/tile_renderer.hpp"
+#include "scene/presets.hpp"
+#include "sim/gpu_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  CliArgs args(argc, argv);
+  const float model_scale = static_cast<float>(args.get_double("model_scale", 0.05));
+  const float res_scale = static_cast<float>(args.get_double("res_scale", 0.5));
+
+  bench::print_header(
+      "Fig. 3 - 3DGS FPS on the mobile GPU model (Orin NX)",
+      "synthetic ~8.5 FPS down to real-world ~4.9 FPS; all between 2 and 9");
+
+  bench::Table table({"scene", "type", "N (bench)", "FPS (bench)",
+                      "FPS (paper scale)", "paper band"});
+
+  for (const scene::ScenePreset p : scene::kAllPresets) {
+    const auto& info = scene::preset_info(p);
+    const auto model = scene::make_preset_scene(p, model_scale);
+    int w = 0, h = 0;
+    scene::scaled_resolution(p, res_scale, w, h);
+    const auto cam = scene::make_preset_camera(p, w, h);
+    const auto r = render::render_tile_centric(model, cam);
+    const sim::GpuSimResult gpu = sim::simulate_gpu(r.trace);
+
+    // Extrapolation to paper scale: projection is strictly per-Gaussian;
+    // pair-duplication and blending grow with the count ratio and (for the
+    // ~1-3 px splats of trained models) roughly with the linear resolution,
+    // i.e. sqrt of the pixel ratio.
+    const double cn = static_cast<double>(info.paper_gaussian_count) /
+                      static_cast<double>(model.size());
+    const double cp =
+        static_cast<double>(info.paper_width) * info.paper_height /
+        (static_cast<double>(w) * h);
+    const double paper_seconds = gpu.stages.projection_s * cn +
+                                 gpu.stages.sorting_s * cn * std::sqrt(cp) +
+                                 gpu.stages.rendering_s * cn * std::sqrt(cp);
+
+    table.row({info.name, info.synthetic ? "synthetic" : "real-world",
+               std::to_string(model.size()), bench::fmt(gpu.report.fps, 1),
+               bench::fmt(1.0 / paper_seconds, 1), "2 - 9"});
+  }
+  table.print();
+  std::printf(
+      "\n  The reproduced claim: the tile-centric pipeline is far below the\n"
+      "  90 FPS VR requirement on a mobile GPU, and real-world scenes are\n"
+      "  slower than synthetic ones.\n");
+  return 0;
+}

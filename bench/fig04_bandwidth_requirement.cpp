@@ -1,0 +1,65 @@
+// Fig. 4 reproduction: DRAM bandwidth the tile-centric pipeline would need
+// to reach 90 FPS, per scene, stacked by stage, against the Orin NX's
+// 102.4 GB/s limit. The paper shows real-world scenes demanding up to
+// ~250 GB/s — beyond the device — with projection+sorting dominating.
+//
+//   ./fig04_bandwidth_requirement [--model_scale 0.05] [--res_scale 0.5]
+//                                 [--target_fps 90]
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "render/tile_renderer.hpp"
+#include "scene/presets.hpp"
+#include "sim/gpu_model.hpp"
+#include "sim/hw_config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  using render::Stage;
+  CliArgs args(argc, argv);
+  const float model_scale = static_cast<float>(args.get_double("model_scale", 0.05));
+  const float res_scale = static_cast<float>(args.get_double("res_scale", 0.5));
+  const double target_fps = args.get_double("target_fps", 90.0);
+
+  const sim::GpuConfig gpu_cfg;
+  bench::print_header(
+      "Fig. 4 - DRAM bandwidth required for 90 FPS (tile-centric pipeline)",
+      "real-world scenes exceed the 102.4 GB/s Orin NX limit; projection + "
+      "sorting ~90% of traffic");
+
+  bench::Table table({"scene", "GB/s (paper scale)", "projection", "sorting",
+                      "rendering", "exceeds 102.4?"});
+
+  for (const scene::ScenePreset p : scene::kAllPresets) {
+    const auto& info = scene::preset_info(p);
+    const auto model = scene::make_preset_scene(p, model_scale);
+    int w = 0, h = 0;
+    scene::scaled_resolution(p, res_scale, w, h);
+    const auto cam = scene::make_preset_camera(p, w, h);
+    const auto r = render::render_tile_centric(model, cam);
+    const sim::GpuSimResult gpu = sim::simulate_gpu(r.trace);
+
+    // Per-stage traffic extrapolated to paper scale (projection scales with
+    // the Gaussian-count ratio; pair-bound stages also with pixels).
+    const double cn = static_cast<double>(info.paper_gaussian_count) /
+                      static_cast<double>(model.size());
+    const double cp =
+        static_cast<double>(info.paper_width) * info.paper_height /
+        (static_cast<double>(w) * h);
+    const double proj = static_cast<double>(gpu.projection_bytes) * cn;
+    const double sort = static_cast<double>(gpu.sorting_bytes) * cn * std::sqrt(cp);
+    const double rend = static_cast<double>(gpu.rendering_bytes) * cn * std::sqrt(cp);
+    const double total_gbps = (proj + sort + rend) * target_fps / 1e9;
+
+    table.row({info.name, bench::fmt(total_gbps, 1),
+               bench::fmt(proj * target_fps / 1e9, 1),
+               bench::fmt(sort * target_fps / 1e9, 1),
+               bench::fmt(rend * target_fps / 1e9, 1),
+               total_gbps > gpu_cfg.mem_bw_gbps ? "YES" : "no"});
+  }
+  table.print();
+  std::printf("  Orin NX bandwidth limit: %.1f GB/s (red dashed line)\n",
+              gpu_cfg.mem_bw_gbps);
+  return 0;
+}

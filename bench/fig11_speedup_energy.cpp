@@ -1,0 +1,128 @@
+// Fig. 11 reproduction: end-to-end speedup and energy savings of GSCore and
+// the three STREAMINGGS variants over the mobile GPU, per 3DGS algorithm,
+// averaged over the four datasets.
+//
+// Paper averages: speedup GSCore 21.6x | w/o VQ+CGF ~20x | w/o CGF 22.2x |
+// StreamingGS 45.7x; energy savings GSCore ~27x | StreamingGS 62.9x
+// (2.1x / 2.3x over GSCore).
+//
+//   ./fig11_speedup_energy [--model_scale 0.04] [--res_scale 0.4]
+//                          [--scenes lego,palace,train,truck,playroom,drjohnson]
+#include <map>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  CliArgs args(argc, argv);
+  const float model_scale = static_cast<float>(args.get_double("model_scale", 0.04));
+  const float res_scale = static_cast<float>(args.get_double("res_scale", 0.4));
+  const auto scene_names =
+      split_csv(args.get("scenes", "lego,palace,train,truck,playroom,drjohnson"));
+
+  bench::print_header(
+      "Fig. 11 - end-to-end speedup and energy savings over the GPU",
+      "speedup: GSCore 21.6x, w/o VQ+CGF ~20x, w/o CGF 22.2x, StreamingGS "
+      "45.7x | energy: GSCore ~27x, StreamingGS 62.9x");
+
+  const std::array<sim::Variant, 3> variants = {
+      sim::Variant::kNoVqNoCgf, sim::Variant::kNoCgf, sim::Variant::kFull};
+
+  bench::Table table({"algorithm", "scene", "GSCore", "w/o VQ+CGF", "w/o CGF",
+                      "StreamingGS", "E:GSCore", "E:w/o VQ+CGF", "E:w/o CGF",
+                      "E:StreamingGS"});
+
+  struct Avg {
+    double speed[4] = {};   // gscore + 3 variants
+    double energy[4] = {};
+    int n = 0;
+  };
+  std::map<scene::Algorithm, Avg> averages;
+
+  for (const scene::Algorithm algo : scene::kAllAlgorithms) {
+    for (const auto& name : scene_names) {
+      sim::ExperimentConfig cfg;
+      cfg.preset = scene::preset_from_name(name);
+      cfg.algorithm = algo;
+      cfg.model_scale = model_scale;
+      cfg.resolution_scale = res_scale;
+      sim::SceneExperiment exp(cfg);
+
+      const double gpu_s = exp.gpu().report.seconds;
+      const double gpu_e = exp.gpu().report.energy_mj();
+      Avg& avg = averages[algo];
+
+      std::vector<std::string> row = {scene::algorithm_name(algo), name};
+      std::vector<std::string> energy_cells;
+
+      const double gs_speed = gpu_s / exp.gscore().seconds;
+      const double gs_energy = gpu_e / exp.gscore().energy_mj();
+      row.push_back(bench::fmt_ratio(gs_speed));
+      energy_cells.push_back(bench::fmt_ratio(gs_energy));
+      avg.speed[0] += gs_speed;
+      avg.energy[0] += gs_energy;
+
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        const auto out = exp.run_variant(variants[v]);
+        const double sp = gpu_s / out.accel.seconds;
+        const double en = gpu_e / out.accel.energy_mj();
+        row.push_back(bench::fmt_ratio(sp));
+        energy_cells.push_back(bench::fmt_ratio(en));
+        avg.speed[v + 1] += sp;
+        avg.energy[v + 1] += en;
+      }
+      ++avg.n;
+      row.insert(row.end(), energy_cells.begin(), energy_cells.end());
+      table.row(row);
+    }
+  }
+
+  for (const auto& [algo, avg] : averages) {
+    std::vector<std::string> row = {std::string(scene::algorithm_name(algo)) + " AVG",
+                                    ""};
+    for (int i = 0; i < 4; ++i) row.push_back(bench::fmt_ratio(avg.speed[i] / avg.n));
+    for (int i = 0; i < 4; ++i) row.push_back(bench::fmt_ratio(avg.energy[i] / avg.n));
+    table.row(row);
+  }
+  table.print();
+
+  // Grand averages in paper order.
+  double sp[4] = {}, en[4] = {};
+  int n = 0;
+  for (const auto& [algo, avg] : averages) {
+    (void)algo;
+    for (int i = 0; i < 4; ++i) {
+      sp[i] += avg.speed[i];
+      en[i] += avg.energy[i];
+    }
+    n += avg.n;
+  }
+  std::printf(
+      "\n  grand averages (vs GPU):\n"
+      "    speedup: GSCore %.1fx | w/o VQ+CGF %.1fx | w/o CGF %.1fx | "
+      "StreamingGS %.1fx   (paper: 21.6 / ~20 / 22.2 / 45.7)\n"
+      "    energy:  GSCore %.1fx | w/o VQ+CGF %.1fx | w/o CGF %.1fx | "
+      "StreamingGS %.1fx   (paper: ~27 / ~21 / ~27 / 62.9)\n"
+      "    StreamingGS over GSCore: %.1fx speedup, %.1fx energy "
+      "(paper: 2.1x / 2.3x)\n",
+      sp[0] / n, sp[1] / n, sp[2] / n, sp[3] / n, en[0] / n, en[1] / n,
+      en[2] / n, en[3] / n, sp[3] / sp[0], en[3] / en[0]);
+  return 0;
+}

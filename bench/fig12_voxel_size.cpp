@@ -1,0 +1,73 @@
+// Fig. 12 reproduction: sensitivity of energy efficiency and rendering
+// quality to the voxel size (train scene, original 3DGS).
+//
+// Paper: PSNR falls from ~22.3 dB at voxel 2 to ~21.5 dB at voxel 0.5
+// (more cross-boundary Gaussians at small voxels), while very large voxels
+// admit more irrelevant Gaussians per voxel and lower energy efficiency;
+// voxel size 2 balances both.
+//
+//   ./fig12_voxel_size [--scene train] [--model_scale 0.04] [--res_scale 0.4]
+//                      [--sizes 0.5,1,1.5,2,2.5,3]
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "metrics/psnr.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  CliArgs args(argc, argv);
+  const auto preset = scene::preset_from_name(args.get("scene", "train"));
+  const float model_scale = static_cast<float>(args.get_double("model_scale", 0.04));
+  const float res_scale = static_cast<float>(args.get_double("res_scale", 0.4));
+
+  std::vector<double> sizes;
+  {
+    std::istringstream is(args.get("sizes", "0.5,1,1.5,2,2.5,3"));
+    std::string tok;
+    while (std::getline(is, tok, ',')) sizes.push_back(std::atof(tok.c_str()));
+  }
+
+  bench::print_header(
+      "Fig. 12 - voxel-size sensitivity (scene '" +
+          scene::preset_info(preset).name + "', original 3DGS)",
+      "PSNR 21.5 dB @0.5 -> 22.3 dB @2; energy efficiency peaks near 2");
+
+  bench::Table table({"voxel size", "energy savings", "PSNR full [dB]",
+                      "PSNR noVQ [dB]", "cross-boundary", "error Gaussians",
+                      "streamed/frame", "filtered"});
+
+  for (const double vs : sizes) {
+    sim::ExperimentConfig cfg;
+    cfg.preset = preset;
+    cfg.model_scale = model_scale;
+    cfg.resolution_scale = res_scale;
+    cfg.voxel_size = static_cast<float>(vs);
+    sim::SceneExperiment exp(cfg);
+    const auto out = exp.run_variant(sim::Variant::kFull);
+    const double energy_savings =
+        exp.gpu().report.energy_mj() / out.accel.energy_mj();
+    const double cross =
+        exp.streaming_scene(true).grid().cross_boundary_ratio(exp.model());
+    // Ordering-induced quality loss isolated from the VQ floor: the no-VQ
+    // streaming render against the same reference.
+    const auto no_vq =
+        core::render_streaming(exp.streaming_scene(false), exp.camera());
+    const double psnr_novq =
+        metrics::psnr_capped(no_vq.image, exp.reference().image);
+
+    table.row({bench::fmt(vs, 1), bench::fmt_ratio(energy_savings),
+               bench::fmt(out.psnr_vs_reference_db, 2),
+               bench::fmt(psnr_novq, 2), bench::fmt(100.0 * cross, 1) + "%",
+               bench::fmt(100.0 * out.stats.violation_ratio(), 2) + "%",
+               std::to_string(out.stats.gaussians_streamed),
+               bench::fmt(100.0 * out.stats.filtered_fraction(), 1) + "%"});
+  }
+  table.print();
+  std::printf(
+      "\n  Expected shape: small voxels -> more cross-boundary Gaussians ->\n"
+      "  lower PSNR; beyond the knee, PSNR saturates while per-voxel\n"
+      "  redundancy grows and energy efficiency degrades.\n");
+  return 0;
+}

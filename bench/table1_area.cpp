@@ -1,0 +1,35 @@
+// Table I reproduction: accelerator configuration and area (TSMC 32 nm).
+//
+//   ./table1_area [--hfus 4] [--cfus 4] [--ffus 1] [--render_units 64]
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "sim/area_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  CliArgs args(argc, argv);
+  sim::StreamingGsHwConfig hw;
+  hw.hfu_count = args.get_int("hfus", hw.hfu_count);
+  hw.cfu_per_hfu = args.get_int("cfus", hw.cfu_per_hfu);
+  hw.ffu_per_hfu = args.get_int("ffus", hw.ffu_per_hfu);
+  hw.render_unit_count = args.get_int("render_units", hw.render_unit_count);
+
+  bench::print_header("Table I - configuration and area",
+                      "VSU 0.06 | 4 HFU 0.79 | 2 sort 0.04 | 64 render 2.53 | "
+                      "355KB SRAM 1.95 | total 5.37 mm^2");
+
+  const sim::AreaReport rep = area_report(hw);
+  bench::Table table({"Unit", "Configuration", "Area [mm^2]"});
+  for (const auto& row : rep.rows) {
+    table.row({row.unit, row.configuration, bench::fmt(row.area_mm2, 2)});
+  }
+  table.row({"Total", "", bench::fmt(rep.total_mm2, 2)});
+  table.print();
+
+  const sim::AreaConstants c;
+  std::printf("  GSCore (scaled to 32 nm by DeepScaleTool): %.2f mm^2\n",
+              c.gscore_total_mm2);
+  std::printf("  Per-HFU breakdown: %d CFUs + %d FFUs, codebook-fed FIFO\n",
+              hw.cfu_per_hfu, hw.ffu_per_hfu);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Accelerator design-space exploration.
+//
+// Sweeps the STREAMINGGS hardware configuration (HFUs, CFU/FFU split,
+// render-array width, DRAM channels) over one workload and reports
+// area/performance/energy trade-offs — the kind of study behind the
+// paper's Table I configuration and Fig. 13 sensitivity analysis.
+//
+//   ./accelerator_dse [--scene train] [--model_scale 0.08] [--res_scale 0.4]
+//                     [--save_trace t.bin]
+//
+// Sweeps re-simulate one work trace; --save_trace persists it so later
+// sweeps skip the functional render entirely (core/trace_io.hpp):
+//   ./accelerator_dse --save_trace /tmp/train.trace
+//   ./accelerator_dse --trace /tmp/train.trace --gpu_ms 12.1
+#include <cstdio>
+#include <memory>
+
+#include "common/cli.hpp"
+#include "core/trace_io.hpp"
+#include "sim/area_model.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  CliArgs args(argc, argv);
+
+  core::StreamingTrace loaded_trace;
+  std::unique_ptr<sim::SceneExperiment> exp;
+  double gpu_s = args.get_double("gpu_ms", 0.0) * 1e-3;
+  double gpu_e_mj = args.get_double("gpu_mj", 0.0);
+
+  if (args.has("trace")) {
+    loaded_trace = core::read_trace_file(args.get("trace", ""));
+    std::printf("== Accelerator DSE on saved trace (%zu groups) ==\n",
+                loaded_trace.groups.size());
+    if (gpu_s <= 0.0) gpu_s = 1.0;  // report absolute times if no baseline
+  } else {
+    sim::ExperimentConfig cfg;
+    cfg.preset = scene::preset_from_name(args.get("scene", "train"));
+    cfg.model_scale = static_cast<float>(args.get_double("model_scale", 0.08));
+    cfg.resolution_scale = static_cast<float>(args.get_double("res_scale", 0.4));
+    std::printf("== Accelerator design-space exploration: '%s' ==\n",
+                scene::preset_info(cfg.preset).name.c_str());
+    exp = std::make_unique<sim::SceneExperiment>(cfg);
+    gpu_s = exp->gpu().report.seconds;
+    gpu_e_mj = exp->gpu().report.energy_mj();
+    loaded_trace = exp->full_render().trace;
+    if (args.has("save_trace")) {
+      const std::string path = args.get("save_trace", "");
+      if (core::write_trace_file(path, loaded_trace)) {
+        std::printf("saved trace to %s (GPU baseline: %.3f ms, %.3f mJ)\n",
+                    path.c_str(), gpu_s * 1e3, gpu_e_mj);
+      }
+    }
+  }
+  const auto& trace = loaded_trace;
+
+  struct Point {
+    const char* name;
+    int hfus, cfus, ffus, render_units;
+    double dram_channels;  // scales peak bytes/cycle
+  };
+  const Point points[] = {
+      {"tiny (1 HFU)", 1, 4, 1, 32, 4},
+      {"half HFUs", 2, 4, 1, 64, 4},
+      {"paper (Table I)", 4, 4, 1, 64, 4},
+      {"CFU-heavy", 4, 8, 1, 64, 4},
+      {"FFU-heavy", 4, 4, 4, 64, 4},
+      {"double HFUs", 8, 4, 1, 64, 4},
+      {"wide render", 4, 4, 1, 128, 4},
+      {"2 DRAM channels", 4, 4, 1, 64, 2},
+      {"8 DRAM channels", 4, 4, 1, 64, 8},
+  };
+
+  std::printf("%-18s %9s %9s %10s %10s %12s\n", "config", "area", "mm2/x",
+              "speedup", "energy", "bottleneck");
+  for (const Point& p : points) {
+    sim::StreamingGsSimOptions opt;
+    opt.hw.hfu_count = p.hfus;
+    opt.hw.cfu_per_hfu = p.cfus;
+    opt.hw.ffu_per_hfu = p.ffus;
+    opt.hw.render_unit_count = p.render_units;
+    opt.hw.dram.peak_bytes_per_cycle = 25.6 * p.dram_channels / 4.0;
+
+    const sim::SimReport r = simulate_streaminggs(trace, opt);
+    const sim::AreaReport area = area_report(opt.hw);
+    const double speedup = gpu_s / r.seconds;
+    const double energy =
+        gpu_e_mj > 0.0 ? gpu_e_mj / r.energy_mj() : 1.0 / r.energy_mj();
+
+    // Bottleneck: busiest pipeline stage.
+    std::string bottleneck = "?";
+    double busiest = -1.0;
+    for (const auto& [name, busy] : r.stage_busy) {
+      if (busy > busiest) {
+        busiest = busy;
+        bottleneck = name;
+      }
+    }
+
+    std::printf("%-18s %6.2fmm2 %9.3f %9.1fx %9.1fx %12s\n", p.name,
+                area.total_mm2, area.total_mm2 / speedup, speedup, energy,
+                bottleneck.c_str());
+  }
+
+  std::printf(
+      "\nReadings: CFUs scale speedup while FFUs are idle capacity "
+      "(Fig. 13); DRAM channels matter once the coarse stream saturates "
+      "(w/o-VQ ablation); the paper's Table I point balances area against "
+      "the filter-bound pipeline.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "common/bitonic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sgs {
+
+namespace {
+
+std::uint32_t next_pow2(std::uint32_t n) {
+  if (n <= 1) return 1;
+  std::uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BitonicComplexity bitonic_complexity(std::uint32_t n) {
+  BitonicComplexity c;
+  c.padded_n = next_pow2(n);
+  int k = 0;
+  for (std::uint32_t p = c.padded_n; p > 1; p >>= 1) ++k;
+  c.stages = k * (k + 1) / 2;
+  // Every stage has padded_n / 2 comparators.
+  c.comparators = static_cast<std::uint64_t>(c.stages) * (c.padded_n / 2);
+  return c;
+}
+
+void bitonic_sort(std::span<float> keys, std::span<std::uint32_t> payload) {
+  assert(keys.size() == payload.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(keys.size());
+  const std::uint32_t padded = next_pow2(n);
+  if (padded <= 1) return;
+
+  // Physical +inf padding, exactly like the hardware network's tie-off
+  // lanes; ascending order pushes all padding to the tail.
+  std::vector<float> k(padded, std::numeric_limits<float>::infinity());
+  std::vector<std::uint32_t> v(padded, 0);
+  std::copy(keys.begin(), keys.end(), k.begin());
+  std::copy(payload.begin(), payload.end(), v.begin());
+
+  // Classic iterative bitonic schedule (ascending result). Ties break on
+  // the payload (hardware: key bits concatenated with the element index),
+  // making the network equivalent to a stable sort when the payload holds
+  // original positions.
+  auto greater = [&](std::uint32_t i, std::uint32_t j) {
+    return k[i] > k[j] || (k[i] == k[j] && v[i] > v[j]);
+  };
+  for (std::uint32_t size = 2; size <= padded; size <<= 1) {
+    for (std::uint32_t stride = size >> 1; stride > 0; stride >>= 1) {
+      for (std::uint32_t i = 0; i < padded; ++i) {
+        const std::uint32_t j = i ^ stride;
+        if (j <= i) continue;
+        const bool ascending = (i & size) == 0;
+        const bool out_of_order = ascending ? greater(i, j) : greater(j, i);
+        if (out_of_order) {
+          std::swap(k[i], k[j]);
+          std::swap(v[i], v[j]);
+        }
+      }
+    }
+  }
+  std::copy_n(k.begin(), n, keys.begin());
+  std::copy_n(v.begin(), n, payload.begin());
+}
+
+double bitonic_sort_cycles(std::uint32_t n, std::uint32_t width) {
+  if (n <= 1) return 0.0;
+  const BitonicComplexity c = bitonic_complexity(n);
+  const double per_stage =
+      std::ceil(static_cast<double>(c.padded_n / 2) / static_cast<double>(width));
+  return static_cast<double>(c.stages) * per_stage;
+}
+
+}  // namespace sgs

@@ -1,0 +1,38 @@
+// Bitonic sorting network — the hardware sorting unit.
+//
+// The paper adopts GSCore's bitonic sorting unit for the per-voxel depth
+// sort (Sec. IV-A: "we simplify the sorting unit by just adopting the
+// bitonic sorting unit from GSCore, as our voxel-based rendering only
+// requires establishing the rendering order for Gaussians within a voxel").
+// This module provides (a) a functional bitonic network that sorts exactly
+// like the hardware (fixed comparator schedule, padding to a power of two)
+// and (b) closed-form complexity so the cycle model can charge real
+// stage/comparator counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sgs {
+
+struct BitonicComplexity {
+  std::uint32_t padded_n = 0;   // next power of two
+  int stages = 0;               // comparator stages: k(k+1)/2 for n = 2^k
+  std::uint64_t comparators = 0;  // total compare-exchange operations
+};
+
+BitonicComplexity bitonic_complexity(std::uint32_t n);
+
+// Sorts `keys` ascending in place using the bitonic network schedule,
+// applying the same exchanges to `payload` (typically Gaussian indices).
+// keys.size() need not be a power of two; the network pads virtually with
+// +inf keys. payload must match keys in length.
+void bitonic_sort(std::span<float> keys, std::span<std::uint32_t> payload);
+
+// Cycle model of one hardware sorting unit: `width` compare-exchange lanes
+// retire up to `width` comparators per cycle, stages are serialized by the
+// data dependency.
+double bitonic_sort_cycles(std::uint32_t n, std::uint32_t width);
+
+}  // namespace sgs

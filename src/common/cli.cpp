@@ -1,0 +1,77 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace sgs {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it != flags_.end()) used_[name] = true;
+  return it != flags_.end();
+}
+
+std::string CliArgs::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return it->second;
+}
+
+int CliArgs::get_int(const std::string& name, int def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return std::atoi(it->second.c_str());
+}
+
+std::int64_t CliArgs::get_i64(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return std::atoll(it->second.c_str());
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return std::atof(it->second.c_str());
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  used_[name] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on";
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> r;
+  for (const auto& [k, v] : flags_) {
+    (void)v;
+    if (!used_.count(k)) r.push_back(k);
+  }
+  return r;
+}
+
+}  // namespace sgs

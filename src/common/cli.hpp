@@ -1,0 +1,36 @@
+// Tiny command-line flag parser for the example and benchmark executables.
+//
+// Supports `--name value` and `--name=value`; unknown flags are reported so
+// typos do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sgs {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  std::int64_t get_i64(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Flags present on the command line that were never queried.
+  std::vector<std::string> unused() const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sgs

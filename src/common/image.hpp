@@ -1,0 +1,48 @@
+// Float RGB image container used by both renderers and the quality metrics.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/vec.hpp"
+
+namespace sgs {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Vec3f fill = {0.0f, 0.0f, 0.0f})
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t pixel_count() const { return pixels_.size(); }
+  bool empty() const { return pixels_.empty(); }
+
+  Vec3f& at(int x, int y) {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const Vec3f& at(int x, int y) const {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  std::vector<Vec3f>& pixels() { return pixels_; }
+  const std::vector<Vec3f>& pixels() const { return pixels_; }
+
+  // Bytes a rendered frame occupies in DRAM at 8-bit RGB, which is what the
+  // final frame-buffer write-out is charged as in the traffic model.
+  std::size_t rgb8_bytes() const { return pixel_count() * 3; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Vec3f> pixels_;
+};
+
+}  // namespace sgs

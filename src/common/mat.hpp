@@ -1,0 +1,146 @@
+// 2x2 and 3x3 matrix types (row-major) for covariance/projection math.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "common/vec.hpp"
+
+namespace sgs {
+
+// Symmetric positive semi-definite 2x2 matrix in packed form; this is the
+// screen-space covariance / conic representation ("a b; b c").
+struct Sym2f {
+  float a = 0.0f;  // m00
+  float b = 0.0f;  // m01 == m10
+  float c = 0.0f;  // m11
+
+  constexpr float det() const { return a * c - b * b; }
+  constexpr float trace() const { return a + c; }
+
+  // Eigenvalues of a symmetric 2x2 (largest first).
+  struct Eigen2 {
+    float lambda_max;
+    float lambda_min;
+  };
+  Eigen2 eigenvalues() const {
+    const float mid = 0.5f * trace();
+    const float disc = std::sqrt(std::max(0.0f, mid * mid - det()));
+    return {mid + disc, mid - disc};
+  }
+
+  // Inverse (the conic matrix when applied to a covariance). Caller must
+  // ensure det() is non-zero; rendering code rejects degenerate splats first.
+  constexpr Sym2f inverse() const {
+    const float d = det();
+    return {c / d, -b / d, a / d};
+  }
+
+  constexpr Sym2f operator+(Sym2f o) const { return {a + o.a, b + o.b, c + o.c}; }
+
+  // Quadratic form d^T M d.
+  constexpr float quadratic(Vec2f d) const {
+    return a * d.x * d.x + 2.0f * b * d.x * d.y + c * d.y * d.y;
+  }
+};
+
+struct Mat3f {
+  // Row-major storage: m[row][col].
+  std::array<std::array<float, 3>, 3> m{};
+
+  constexpr Mat3f() = default;
+
+  static constexpr Mat3f identity() {
+    Mat3f r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0f;
+    return r;
+  }
+
+  static constexpr Mat3f diagonal(Vec3f d) {
+    Mat3f r;
+    r.m[0][0] = d.x;
+    r.m[1][1] = d.y;
+    r.m[2][2] = d.z;
+    return r;
+  }
+
+  static constexpr Mat3f from_rows(Vec3f r0, Vec3f r1, Vec3f r2) {
+    Mat3f r;
+    r.m[0] = {r0.x, r0.y, r0.z};
+    r.m[1] = {r1.x, r1.y, r1.z};
+    r.m[2] = {r2.x, r2.y, r2.z};
+    return r;
+  }
+
+  constexpr float operator()(int r, int c) const { return m[r][c]; }
+  constexpr float& operator()(int r, int c) { return m[r][c]; }
+
+  constexpr Vec3f row(int r) const { return {m[r][0], m[r][1], m[r][2]}; }
+  constexpr Vec3f col(int c) const { return {m[0][c], m[1][c], m[2][c]}; }
+
+  constexpr Mat3f operator*(const Mat3f& o) const {
+    Mat3f r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        r.m[i][j] = m[i][0] * o.m[0][j] + m[i][1] * o.m[1][j] + m[i][2] * o.m[2][j];
+      }
+    }
+    return r;
+  }
+
+  constexpr Vec3f operator*(Vec3f v) const {
+    return {row(0).dot(v), row(1).dot(v), row(2).dot(v)};
+  }
+
+  constexpr Mat3f operator*(float s) const {
+    Mat3f r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j] * s;
+    return r;
+  }
+
+  constexpr Mat3f operator+(const Mat3f& o) const {
+    Mat3f r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j] + o.m[i][j];
+    return r;
+  }
+
+  constexpr Mat3f transposed() const {
+    Mat3f r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  constexpr float det() const {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  }
+
+  constexpr Mat3f inverse() const {
+    const float d = det();
+    Mat3f r;
+    r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) / d;
+    r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) / d;
+    r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) / d;
+    r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) / d;
+    r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) / d;
+    r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) / d;
+    r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) / d;
+    r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) / d;
+    r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) / d;
+    return r;
+  }
+
+  constexpr bool operator==(const Mat3f&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Mat3f& a) {
+  os << "[" << a.row(0) << "; " << a.row(1) << "; " << a.row(2) << "]";
+  return os;
+}
+
+}  // namespace sgs

@@ -1,0 +1,50 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sgs {
+
+namespace {
+int g_parallelism = 0;  // 0 = uninitialized, resolve lazily
+}
+
+int parallelism() {
+  if (g_parallelism <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    g_parallelism = hc > 0 ? static_cast<int>(hc) : 1;
+  }
+  return g_parallelism;
+}
+
+void set_parallelism(int n) { g_parallelism = std::max(1, n); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const int workers = std::min<std::size_t>(static_cast<std::size_t>(parallelism()), count);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Work-stealing over a shared atomic counter: cheap and load-balanced for
+  // the skewed per-tile costs typical of splatting.
+  std::atomic<std::size_t> next{begin};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    pool.emplace_back([&next, end, &fn] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) break;
+        fn(i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace sgs

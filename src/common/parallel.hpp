@@ -1,0 +1,23 @@
+// Minimal deterministic parallel-for over index ranges.
+//
+// Rendering parallelizes over image tiles; each tile writes a disjoint pixel
+// region and accumulates its own statistics, so a static block partition is
+// race-free and reproducible regardless of thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sgs {
+
+// Number of worker threads used by parallel_for (defaults to hardware
+// concurrency, at least 1). Override via set_parallelism, e.g. in tests.
+int parallelism();
+void set_parallelism(int n);
+
+// Invokes fn(i) for i in [begin, end). Blocks until all iterations complete.
+// fn must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace sgs

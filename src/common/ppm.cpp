@@ -1,0 +1,66 @@
+#include "common/ppm.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace sgs {
+
+namespace {
+std::uint8_t to_byte(float v, bool gamma) {
+  v = clampf(v, 0.0f, 1.0f);
+  if (gamma) v = std::pow(v, 1.0f / 2.2f);
+  return static_cast<std::uint8_t>(std::lround(v * 255.0f));
+}
+
+float from_byte(std::uint8_t b, bool gamma) {
+  float v = static_cast<float>(b) / 255.0f;
+  if (gamma) v = std::pow(v, 2.2f);
+  return v;
+}
+}  // namespace
+
+bool write_ppm(const std::string& path, const Image& img, bool apply_gamma) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(img.width()) * 3);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const Vec3f& p = img.at(x, y);
+      row[3 * x + 0] = to_byte(p.x, apply_gamma);
+      row[3 * x + 1] = to_byte(p.y, apply_gamma);
+      row[3 * x + 2] = to_byte(p.z, apply_gamma);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+Image read_ppm(const std::string& path, bool apply_gamma) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string magic;
+  in >> magic;
+  if (magic != "P6") return {};
+  int w = 0, h = 0, maxval = 0;
+  in >> w >> h >> maxval;
+  if (w <= 0 || h <= 0 || maxval != 255) return {};
+  in.get();  // single whitespace after header
+  Image img(w, h);
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * 3);
+  for (int y = 0; y < h; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row.size()));
+    if (!in) return {};
+    for (int x = 0; x < w; ++x) {
+      img.at(x, y) = {from_byte(row[3 * x + 0], apply_gamma),
+                      from_byte(row[3 * x + 1], apply_gamma),
+                      from_byte(row[3 * x + 2], apply_gamma)};
+    }
+  }
+  return img;
+}
+
+}  // namespace sgs

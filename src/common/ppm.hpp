@@ -1,0 +1,19 @@
+// Minimal binary PPM (P6) reader/writer so rendered frames can be inspected
+// without any external image dependency.
+#pragma once
+
+#include <string>
+
+#include "common/image.hpp"
+
+namespace sgs {
+
+// Writes `img` as binary PPM with sRGB-ish 1/2.2 gamma and 8-bit
+// quantization. Returns false on IO failure.
+bool write_ppm(const std::string& path, const Image& img, bool apply_gamma = true);
+
+// Reads a binary PPM written by write_ppm (inverse gamma applied when
+// `apply_gamma`). Returns an empty image on failure.
+Image read_ppm(const std::string& path, bool apply_gamma = true);
+
+}  // namespace sgs

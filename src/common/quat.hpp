@@ -1,0 +1,73 @@
+// Unit quaternion for Gaussian ellipsoid orientation, matching the (w,x,y,z)
+// convention of the reference 3DGS implementation's PLY export.
+#pragma once
+
+#include <cmath>
+
+#include "common/mat.hpp"
+#include "common/vec.hpp"
+
+namespace sgs {
+
+struct Quatf {
+  float w = 1.0f;
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Quatf() = default;
+  constexpr Quatf(float w_, float x_, float y_, float z_) : w(w_), x(x_), y(y_), z(z_) {}
+
+  static Quatf from_axis_angle(Vec3f axis, float angle_rad) {
+    const Vec3f a = axis.normalized();
+    const float h = 0.5f * angle_rad;
+    const float s = std::sin(h);
+    return {std::cos(h), a.x * s, a.y * s, a.z * s};
+  }
+
+  constexpr float dot(Quatf o) const { return w * o.w + x * o.x + y * o.y + z * o.z; }
+  float norm() const { return std::sqrt(dot(*this)); }
+
+  Quatf normalized() const {
+    const float n = norm();
+    if (n <= 0.0f) return Quatf{};
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  constexpr Quatf conjugate() const { return {w, -x, -y, -z}; }
+
+  constexpr Quatf operator*(Quatf o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  constexpr bool operator==(const Quatf&) const = default;
+
+  // Rotation matrix of the *normalized* quaternion. The un-normalized form is
+  // used on purpose (same as reference 3DGS): it divides by the squared norm
+  // so stored quaternions do not need renormalization after fine-tuning.
+  Mat3f to_rotation_matrix() const {
+    const float n2 = dot(*this);
+    const float s = n2 > 0.0f ? 2.0f / n2 : 0.0f;
+    const float xx = x * x * s, yy = y * y * s, zz = z * z * s;
+    const float xy = x * y * s, xz = x * z * s, yz = y * z * s;
+    const float wx = w * x * s, wy = w * y * s, wz = w * z * s;
+    Mat3f r;
+    r(0, 0) = 1.0f - (yy + zz);
+    r(0, 1) = xy - wz;
+    r(0, 2) = xz + wy;
+    r(1, 0) = xy + wz;
+    r(1, 1) = 1.0f - (xx + zz);
+    r(1, 2) = yz - wx;
+    r(2, 0) = xz - wy;
+    r(2, 1) = yz + wx;
+    r(2, 2) = 1.0f - (xx + yy);
+    return r;
+  }
+
+  Vec3f rotate(Vec3f v) const { return to_rotation_matrix() * v; }
+};
+
+}  // namespace sgs

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (scene generation, k-means init, fine-tuning
+// jitter) draw from this splitmix64/xoshiro-style generator so that every
+// experiment in the repository is bit-reproducible from a seed, independent
+// of the standard library implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/vec.hpp"
+
+namespace sgs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : state_(seed) {
+    // Warm up so nearby seeds diverge immediately.
+    next_u64();
+    next_u64();
+  }
+
+  std::uint64_t next_u64() {
+    // splitmix64 (public domain, Sebastiano Vigna).
+    state_ += 0x9E3779B97f4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Uniform in [0, 1).
+  float uniform() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  float uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  // Standard normal via Box–Muller (one value per call; the pair's second
+  // member is intentionally dropped to keep the stream consumption simple).
+  float normal() {
+    float u1 = uniform();
+    if (u1 < 1e-12f) u1 = 1e-12f;
+    const float u2 = uniform();
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    return r * std::cos(6.28318530718f * u2);
+  }
+
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  Vec3f uniform_vec3(float lo, float hi) {
+    return {uniform(lo, hi), uniform(lo, hi), uniform(lo, hi)};
+  }
+
+  Vec3f normal_vec3(float stddev) {
+    return {normal(0.0f, stddev), normal(0.0f, stddev), normal(0.0f, stddev)};
+  }
+
+  // Uniformly distributed point on the unit sphere.
+  Vec3f unit_sphere() {
+    const float z = uniform(-1.0f, 1.0f);
+    const float phi = uniform(0.0f, 6.28318530718f);
+    const float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+    return {r * std::cos(phi), r * std::sin(phi), z};
+  }
+
+  // Fork an independent stream (for per-cluster / per-thread determinism).
+  Rng fork(std::uint64_t salt) {
+    return Rng(next_u64() ^ (salt * 0x9E3779B97f4A7C15ULL));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sgs

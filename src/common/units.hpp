@@ -1,0 +1,48 @@
+// Unit helpers and formatting for the hardware-model reports.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace sgs {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kGB = 1e9;   // DRAM vendors quote decimal GB/s
+constexpr double kGHz = 1e9;
+constexpr double kPJ = 1e-12;
+constexpr double kMJ_PER_PJ = 1e-12 / 1e6;
+
+// Pretty "12.3 MB" style formatting for byte counts.
+inline std::string format_bytes(double bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (bytes >= kGiB) {
+    os << bytes / kGiB << " GiB";
+  } else if (bytes >= kMiB) {
+    os << bytes / kMiB << " MiB";
+  } else if (bytes >= kKiB) {
+    os << bytes / kKiB << " KiB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+// "45.7x" multiplier formatting used across the figure harnesses.
+inline std::string format_ratio(double r, int precision = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << r << "x";
+  return os.str();
+}
+
+inline std::string format_fixed(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace sgs

@@ -1,0 +1,136 @@
+// Small fixed-size vector types used throughout the library.
+//
+// The library deliberately ships its own ~200-line math layer instead of
+// depending on Eigen/glm: the hot paths (projection, blending, DDA) only need
+// 2/3/4-wide float vectors and 3x3 matrices, and owning the layer keeps the
+// accelerator work-counting exact (every MAC in the model corresponds to a
+// visible arithmetic op here).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace sgs {
+
+struct Vec2f {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  constexpr Vec2f() = default;
+  constexpr Vec2f(float x_, float y_) : x(x_), y(y_) {}
+
+  constexpr Vec2f operator+(Vec2f o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2f operator-(Vec2f o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2f operator*(float s) const { return {x * s, y * s}; }
+  constexpr Vec2f operator/(float s) const { return {x / s, y / s}; }
+  constexpr Vec2f& operator+=(Vec2f o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2f& operator-=(Vec2f o) { x -= o.x; y -= o.y; return *this; }
+  constexpr bool operator==(const Vec2f&) const = default;
+
+  constexpr float dot(Vec2f o) const { return x * o.x + y * o.y; }
+  float norm() const { return std::sqrt(dot(*this)); }
+  constexpr float norm2() const { return dot(*this); }
+};
+
+struct Vec3f {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3f() = default;
+  constexpr Vec3f(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+  static constexpr Vec3f splat(float v) { return {v, v, v}; }
+
+  constexpr Vec3f operator+(Vec3f o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3f operator-(Vec3f o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3f operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3f operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3f operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3f& operator+=(Vec3f o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3f& operator-=(Vec3f o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3f& operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr bool operator==(const Vec3f&) const = default;
+
+  constexpr float dot(Vec3f o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3f cross(Vec3f o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  // Element-wise product (Hadamard).
+  constexpr Vec3f cwise(Vec3f o) const { return {x * o.x, y * o.y, z * o.z}; }
+  float norm() const { return std::sqrt(dot(*this)); }
+  constexpr float norm2() const { return dot(*this); }
+  Vec3f normalized() const {
+    const float n = norm();
+    return n > 0.0f ? (*this) / n : Vec3f{0.0f, 0.0f, 0.0f};
+  }
+  constexpr float max_component() const { return std::max(x, std::max(y, z)); }
+  constexpr float min_component() const { return std::min(x, std::min(y, z)); }
+
+  constexpr float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr float& operator[](int i) {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+};
+
+constexpr Vec3f operator*(float s, Vec3f v) { return v * s; }
+constexpr Vec2f operator*(float s, Vec2f v) { return v * s; }
+
+struct Vec4f {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+  float w = 0.0f;
+
+  constexpr Vec4f() = default;
+  constexpr Vec4f(float x_, float y_, float z_, float w_) : x(x_), y(y_), z(z_), w(w_) {}
+
+  constexpr Vec4f operator+(Vec4f o) const { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+  constexpr Vec4f operator-(Vec4f o) const { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
+  constexpr Vec4f operator*(float s) const { return {x * s, y * s, z * s, w * s}; }
+  constexpr bool operator==(const Vec4f&) const = default;
+
+  constexpr float dot(Vec4f o) const { return x * o.x + y * o.y + z * o.z + w * o.w; }
+  float norm() const { return std::sqrt(dot(*this)); }
+};
+
+// Integer 3-vector for voxel coordinates.
+struct Vec3i {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t z = 0;
+
+  constexpr Vec3i() = default;
+  constexpr Vec3i(std::int32_t x_, std::int32_t y_, std::int32_t z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3i operator+(Vec3i o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3i operator-(Vec3i o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr bool operator==(const Vec3i&) const = default;
+
+  constexpr std::int32_t operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr std::int32_t& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  // L1 distance, used by tests to assert DDA steps move one face at a time.
+  constexpr std::int32_t manhattan(Vec3i o) const {
+    return std::abs(x - o.x) + std::abs(y - o.y) + std::abs(z - o.z);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Vec2f v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+inline std::ostream& operator<<(std::ostream& os, Vec3f v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+inline std::ostream& operator<<(std::ostream& os, Vec3i v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+constexpr float clampf(float v, float lo, float hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+constexpr float lerp(float a, float b, float t) { return a + (b - a) * t; }
+constexpr Vec3f lerp(Vec3f a, Vec3f b, float t) { return a + (b - a) * t; }
+
+}  // namespace sgs

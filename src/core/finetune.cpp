@@ -1,0 +1,89 @@
+#include "core/finetune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/psnr.hpp"
+#include "render/tile_renderer.hpp"
+#include "voxel/grid.hpp"
+
+namespace sgs::core {
+
+FinetuneResult boundary_aware_finetune(const gs::GaussianModel& initial,
+                                       const StreamingConfig& streaming_config,
+                                       const gs::Camera& camera,
+                                       const Image& reference,
+                                       const FinetuneConfig& config) {
+  FinetuneResult result;
+  result.model = initial;
+
+  StreamingConfig cfg = streaming_config;
+  cfg.use_vq = false;  // quantization happens after boundary fine-tuning
+
+  std::vector<Vec3f> original_scales(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    original_scales[i] = initial.gaussians[i].scale;
+  }
+
+  // Positions never move, so the voxel grid is constant across fine-tuning;
+  // build it once for the per-iteration boundary checks.
+  const voxel::VoxelGrid grid =
+      voxel::VoxelGrid::build(initial, cfg.voxel_size);
+
+  // Gaussians measured rendering out of depth order in the latest refresh.
+  // The set is re-measured each refresh (not sticky): a Gaussian that
+  // stopped violating stops shrinking, which is the L_origin / L_CBP
+  // equilibrium of Eq. 1 — further shrinking would only cost appearance
+  // without reducing L_CBP.
+  std::vector<bool> flagged(initial.size(), false);
+
+  const int refresh = std::max(1, config.refresh_every);
+  for (int iter = 0; iter <= config.iterations; ++iter) {
+    const bool refresh_now = (iter % refresh == 0) || iter == config.iterations;
+    if (refresh_now) {
+      // Measure T_i and quality on the current model.
+      StreamingScene scene = StreamingScene::prepare(result.model, cfg);
+      StreamingRenderOptions opts;
+      opts.collect_violators = true;
+      StreamingRenderResult r = render_streaming(scene, camera, opts);
+      std::fill(flagged.begin(), flagged.end(), false);
+      for (std::uint32_t v : r.violators) flagged[v] = true;
+
+      const render::TileRenderResult current_tile =
+          render::render_tile_centric(result.model, camera);
+
+      FinetunePoint pt;
+      pt.iteration = iter;
+      pt.violation_ratio = r.stats.violation_ratio();
+      pt.cross_boundary_ratio = scene.grid().cross_boundary_ratio(result.model);
+      pt.psnr_db = metrics::psnr_capped(r.image, current_tile.image);
+      pt.psnr_vs_initial_db = metrics::psnr_capped(r.image, reference);
+      result.history.push_back(pt);
+      if (iter == config.iterations) break;
+    }
+
+    // One descent step on  beta * L_CBP  plus the anchor term. Positions and
+    // every non-scale parameter stay fixed (paper: "keep each Gaussian
+    // position fixed to retain the scene geometry"). A Gaussian whose
+    // 3-sigma extent already fits its voxel cannot fire T_i again and is
+    // left alone regardless of stale flags.
+    const float shrink = 1.0f - config.lr * config.beta;
+    for (std::size_t i = 0; i < result.model.size(); ++i) {
+      gs::Gaussian& g = result.model.gaussians[i];
+      if (flagged[i] && grid.crosses_boundary(g)) {
+        const Vec3f floor = original_scales[i] * config.min_scale_factor;
+        g.scale = g.scale * shrink;
+        g.scale = {std::max(g.scale.x, floor.x), std::max(g.scale.y, floor.y),
+                   std::max(g.scale.z, floor.z)};
+      } else if (!flagged[i] && config.anchor_weight > 0.0f) {
+        // L_origin proxy: non-violating Gaussians recover toward the
+        // original appearance.
+        g.scale = lerp(g.scale, original_scales[i],
+                       config.lr * config.anchor_weight);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sgs::core

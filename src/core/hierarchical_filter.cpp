@@ -1,0 +1,29 @@
+#include "core/hierarchical_filter.hpp"
+
+namespace sgs::core {
+
+bool coarse_filter(Vec3f position, float max_scale, const gs::Camera& cam,
+                   const GroupRect& rect, gs::CoarseProjection* out) {
+  const auto proj = gs::project_coarse(position, max_scale, cam);
+  if (!proj) return false;  // near-plane cull; the fine phase culls this too
+  if (!gs::disc_intersects_rect(proj->mean, proj->radius, rect.x0, rect.y0,
+                                rect.x1, rect.y1)) {
+    return false;
+  }
+  if (out) *out = *proj;
+  return true;
+}
+
+std::optional<gs::ProjectedGaussian> fine_filter(const gs::Gaussian& g,
+                                                 const gs::Camera& cam,
+                                                 const GroupRect& rect) {
+  auto proj = gs::project_gaussian(g, cam);
+  if (!proj) return std::nullopt;
+  if (!gs::disc_intersects_rect(proj->mean, proj->radius, rect.x0, rect.y0,
+                                rect.x1, rect.y1)) {
+    return std::nullopt;
+  }
+  return proj;
+}
+
+}  // namespace sgs::core

@@ -1,0 +1,42 @@
+// Two-phase hierarchical filtering (paper Sec. III-B, "Redundant Gaussians
+// in Voxels"), the algorithmic core of the HFU.
+//
+// Phase 1 (coarse-grained): loads only {x, y, z, s_max} (16 B) per Gaussian,
+// computes a conservative projected center + radius (55 MACs) and rejects
+// Gaussians that cannot intersect the pixel group. Phase 2 (fine-grained):
+// loads the remaining parameters (raw 220 B, or 12 B of codebook indices
+// under VQ), computes the exact conic/radius/color (427 MACs), and keeps
+// only true intersectors.
+//
+// Invariant (tested): the coarse phase never rejects a Gaussian the fine
+// phase would keep — project_coarse's radius upper-bounds the exact radius.
+#pragma once
+
+#include <optional>
+
+#include "gs/camera.hpp"
+#include "gs/gaussian.hpp"
+#include "gs/projection.hpp"
+
+namespace sgs::core {
+
+// Pixel-space rectangle of a pixel group, [x0, x1) x [y0, y1).
+struct GroupRect {
+  float x0 = 0.0f;
+  float y0 = 0.0f;
+  float x1 = 0.0f;
+  float y1 = 0.0f;
+};
+
+// Coarse-grained filter: true if the Gaussian *may* intersect the group.
+// On pass, `out` (if non-null) receives the coarse projection.
+bool coarse_filter(Vec3f position, float max_scale, const gs::Camera& cam,
+                   const GroupRect& rect, gs::CoarseProjection* out = nullptr);
+
+// Fine-grained filter: exact projection + intersection test. Returns the
+// projected Gaussian when it truly overlaps the group.
+std::optional<gs::ProjectedGaussian> fine_filter(const gs::Gaussian& g,
+                                                 const gs::Camera& cam,
+                                                 const GroupRect& rect);
+
+}  // namespace sgs::core

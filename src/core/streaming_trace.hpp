@@ -1,0 +1,75 @@
+// Work trace of a streaming-rendered frame.
+//
+// The functional renderer (streaming_renderer.cpp) records, per pixel group
+// and per voxel visit, exactly how much work each pipeline stage performed.
+// The accelerator simulator replays this trace through its stage-granular
+// pipeline model; the same trace drives all STREAMINGGS variants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sgs::core {
+
+// One voxel streamed for one pixel group.
+struct VoxelWorkItem {
+  std::uint32_t residents = 0;     // Gaussians streamed through the coarse phase
+  std::uint32_t coarse_pass = 0;   // survivors entering the fine phase
+  std::uint32_t fine_pass = 0;     // survivors entering sort + render
+  std::uint64_t coarse_bytes = 0;  // DRAM bytes, coarse stream
+  std::uint64_t fine_bytes = 0;    // DRAM bytes, fine stream
+  std::uint64_t blend_ops = 0;     // pixel-blend evaluations in this voxel
+};
+
+// One pixel group (tile) of the frame.
+struct GroupWork {
+  std::uint32_t rays = 0;        // pixels in the group
+  std::uint64_t dda_steps = 0;   // VSU ray-marching steps (incl. empty cells)
+  std::uint32_t nodes = 0;       // voxels in the ordering DAG
+  std::uint32_t edges = 0;       // dependency edges
+  std::vector<VoxelWorkItem> voxels;  // in global rendering order
+};
+
+struct StreamingTrace {
+  int group_size = 32;
+  std::uint64_t pixel_count = 0;
+  std::uint64_t frame_write_bytes = 0;
+  // Per-frame VSU voxel-table build: every non-empty voxel is projected
+  // once to bin it into the pixel groups it may affect.
+  std::uint64_t voxel_table_steps = 0;
+  std::vector<GroupWork> groups;
+
+  // --- aggregates ----------------------------------------------------------
+  std::uint64_t total_residents() const {
+    std::uint64_t t = 0;
+    for (const auto& g : groups)
+      for (const auto& v : g.voxels) t += v.residents;
+    return t;
+  }
+  std::uint64_t total_coarse_pass() const {
+    std::uint64_t t = 0;
+    for (const auto& g : groups)
+      for (const auto& v : g.voxels) t += v.coarse_pass;
+    return t;
+  }
+  std::uint64_t total_fine_pass() const {
+    std::uint64_t t = 0;
+    for (const auto& g : groups)
+      for (const auto& v : g.voxels) t += v.fine_pass;
+    return t;
+  }
+  std::uint64_t total_blend_ops() const {
+    std::uint64_t t = 0;
+    for (const auto& g : groups)
+      for (const auto& v : g.voxels) t += v.blend_ops;
+    return t;
+  }
+  std::uint64_t total_dram_bytes() const {
+    std::uint64_t t = frame_write_bytes;
+    for (const auto& g : groups)
+      for (const auto& v : g.voxels) t += v.coarse_bytes + v.fine_bytes;
+    return t;
+  }
+};
+
+}  // namespace sgs::core

@@ -1,0 +1,31 @@
+// Binary serialization of streaming work traces.
+//
+// A functional render on a large scene takes minutes; hardware design-space
+// sweeps re-simulate the same trace hundreds of times. Persisting traces
+// decouples the two: render once, explore offline (the accelerator_dse
+// example and CI sweeps both consume saved traces).
+//
+// Format: little-endian, magic "SGST" + version, fixed-width fields; no
+// host-struct layout leaks into the file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/streaming_trace.hpp"
+
+namespace sgs::core {
+
+inline constexpr std::uint32_t kTraceMagic = 0x54534753;  // "SGST"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+// Returns false on IO failure.
+bool write_trace(std::ostream& out, const StreamingTrace& trace);
+bool write_trace_file(const std::string& path, const StreamingTrace& trace);
+
+// Throws std::runtime_error on malformed input (bad magic/version,
+// truncation, or implausible counts).
+StreamingTrace read_trace(std::istream& in);
+StreamingTrace read_trace_file(const std::string& path);
+
+}  // namespace sgs::core

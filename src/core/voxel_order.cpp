@@ -1,0 +1,117 @@
+#include "core/voxel_order.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sgs::core {
+
+VoxelOrderResult topological_voxel_order(
+    const std::vector<std::vector<voxel::DenseVoxelId>>& per_ray_orders,
+    const std::function<float(voxel::DenseVoxelId)>& depth_key) {
+  VoxelOrderResult result;
+
+  // Local node numbering (the group usually touches a tiny subset of the
+  // grid, so dense per-grid arrays would be wasteful).
+  std::unordered_map<voxel::DenseVoxelId, std::uint32_t> local_of;
+  std::vector<voxel::DenseVoxelId> id_of;
+  auto intern = [&](voxel::DenseVoxelId v) {
+    const auto [it, inserted] = local_of.try_emplace(v, static_cast<std::uint32_t>(id_of.size()));
+    if (inserted) id_of.push_back(v);
+    return it->second;
+  };
+
+  // Dependency edges from consecutive voxels of each ray, deduplicated.
+  std::unordered_set<std::uint64_t> edge_set;
+  std::vector<std::vector<std::uint32_t>> adj;
+  std::vector<std::uint32_t> in_degree;
+  auto ensure_node = [&](std::uint32_t n) {
+    if (n >= adj.size()) {
+      adj.resize(n + 1);
+      in_degree.resize(n + 1, 0);
+    }
+  };
+  for (const auto& ray : per_ray_orders) {
+    for (std::size_t i = 0; i < ray.size(); ++i) {
+      const std::uint32_t cur = intern(ray[i]);
+      ensure_node(cur);
+      if (i == 0) continue;
+      const std::uint32_t prev = intern(ray[i - 1]);
+      ensure_node(prev);
+      if (prev == cur) continue;  // defensive; DDA never revisits a cell
+      const std::uint64_t key = (static_cast<std::uint64_t>(prev) << 32) | cur;
+      if (edge_set.insert(key).second) {
+        adj[prev].push_back(cur);
+        ++in_degree[cur];
+      }
+    }
+  }
+  result.node_count = id_of.size();
+  result.edge_count = edge_set.size();
+  if (id_of.empty()) return result;
+
+  // Kahn's algorithm with a min-heap on camera distance: among all ready
+  // voxels, emit the closest first, which keeps the global order close to
+  // each ray's own front-to-back order.
+  std::vector<float> depth(id_of.size());
+  for (std::size_t i = 0; i < id_of.size(); ++i) depth[i] = depth_key(id_of[i]);
+
+  using HeapEntry = std::pair<float, std::uint32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> ready;
+  std::vector<bool> emitted(id_of.size(), false);
+  for (std::uint32_t n = 0; n < id_of.size(); ++n) {
+    if (in_degree[n] == 0) ready.emplace(depth[n], n);
+  }
+
+  result.order.reserve(id_of.size());
+  std::size_t remaining = id_of.size();
+  while (remaining > 0) {
+    if (ready.empty()) {
+      // Cycle: force-release the closest un-emitted node.
+      std::uint32_t pick = 0;
+      float best = std::numeric_limits<float>::infinity();
+      for (std::uint32_t n = 0; n < id_of.size(); ++n) {
+        if (!emitted[n] && depth[n] < best) {
+          best = depth[n];
+          pick = n;
+        }
+      }
+      ++result.cycle_breaks;
+      in_degree[pick] = 0;
+      ready.emplace(depth[pick], pick);
+    }
+    const auto [d, n] = ready.top();
+    ready.pop();
+    (void)d;
+    if (emitted[n]) continue;
+    emitted[n] = true;
+    --remaining;
+    result.order.push_back(id_of[n]);
+    for (std::uint32_t m : adj[n]) {
+      if (emitted[m]) continue;
+      if (in_degree[m] > 0 && --in_degree[m] == 0) ready.emplace(depth[m], m);
+    }
+  }
+  return result;
+}
+
+bool order_respects_rays(
+    const std::vector<voxel::DenseVoxelId>& order,
+    const std::vector<std::vector<voxel::DenseVoxelId>>& per_ray_orders) {
+  std::unordered_map<voxel::DenseVoxelId, std::size_t> pos;
+  pos.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& ray : per_ray_orders) {
+    for (std::size_t i = 1; i < ray.size(); ++i) {
+      const auto a = pos.find(ray[i - 1]);
+      const auto b = pos.find(ray[i]);
+      if (a == pos.end() || b == pos.end()) return false;
+      if (a->second >= b->second) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sgs::core

@@ -1,0 +1,43 @@
+// Global voxel rendering order for a pixel group (paper Sec. III-B / IV-B).
+//
+// Each pixel ray contributes its own front-to-back voxel order; these orders
+// are merged into a DAG (edge A->B when some ray renders A before B) and
+// topologically sorted with Kahn's algorithm. Per-ray orders from a common
+// camera are almost always compatible, but grazing geometries can produce
+// conflicting pairwise orders (a cycle); cycles are broken deterministically
+// by releasing the node closest to the camera, mirroring what a
+// depth-priority tie-break in the VSU's in-degree table would do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "voxel/grid.hpp"
+
+namespace sgs::core {
+
+struct VoxelOrderResult {
+  // Dense voxel IDs in global rendering order (each appears exactly once).
+  std::vector<voxel::DenseVoxelId> order;
+  std::size_t node_count = 0;
+  std::size_t edge_count = 0;   // deduplicated dependency edges
+  std::size_t cycle_breaks = 0; // nodes force-released due to cycles
+};
+
+// `per_ray_orders` lists, for each ray of the group, the non-empty voxels it
+// pierces front-to-back. `depth_key(v)` returns a camera-distance key used
+// for zero-in-degree tie-breaking and cycle release; any strict ordering
+// works for correctness, camera distance makes breaks depth-plausible.
+VoxelOrderResult topological_voxel_order(
+    const std::vector<std::vector<voxel::DenseVoxelId>>& per_ray_orders,
+    const std::function<float(voxel::DenseVoxelId)>& depth_key);
+
+// True if `order` respects every adjacent pair of every per-ray order that
+// is not part of a broken cycle; with cycle_breaks == 0 this must hold for
+// all pairs (test helper; O(sum of list lengths)).
+bool order_respects_rays(
+    const std::vector<voxel::DenseVoxelId>& order,
+    const std::vector<std::vector<voxel::DenseVoxelId>>& per_ray_orders);
+
+}  // namespace sgs::core

@@ -1,0 +1,17 @@
+#include "gs/blending.hpp"
+
+#include <cmath>
+
+namespace sgs::gs {
+
+float gaussian_alpha(const ProjectedGaussian& g, Vec2f pixel) {
+  const Vec2f d = pixel - g.mean;
+  const float power = 0.5f * g.conic.quadratic(d);
+  if (power < 0.0f) return 0.0f;  // non-PSD conic fallout; treat as empty
+  float alpha = g.opacity * std::exp(-power);
+  if (alpha < kMinBlendAlpha) return 0.0f;
+  if (alpha > kAlphaClamp) alpha = kAlphaClamp;
+  return alpha;
+}
+
+}  // namespace sgs::gs

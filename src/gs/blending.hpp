@@ -1,0 +1,71 @@
+// Front-to-back alpha compositing, the "Rendering" stage of both pipelines.
+//
+// The streaming pipeline relies on the fact that compositing state is just
+// (accumulated color, remaining transmittance): partial per-voxel results
+// accumulate into the same two values, so a tile's pixel state never leaves
+// the on-chip buffer between voxels (paper Fig. 1b, "partial pixel values").
+#pragma once
+
+#include "common/vec.hpp"
+#include "gs/projection.hpp"
+
+namespace sgs::gs {
+
+// Alpha ceiling used by the reference rasterizer to keep 1-alpha bounded
+// away from zero.
+inline constexpr float kAlphaClamp = 0.99f;
+// Contributions below this alpha are skipped entirely.
+inline constexpr float kMinBlendAlpha = 1.0f / 255.0f;
+// Once remaining transmittance falls below this, a pixel is saturated and
+// later Gaussians are ignored (early termination).
+inline constexpr float kTransmittanceCutoff = 1e-4f;
+
+struct PixelAccumulator {
+  Vec3f color{0.0f, 0.0f, 0.0f};
+  float transmittance = 1.0f;
+
+  bool saturated() const { return transmittance < kTransmittanceCutoff; }
+};
+
+// Evaluates the Gaussian falloff at `pixel` and returns the blend alpha, or
+// 0 if the contribution is negligible / the exponent is out of range.
+float gaussian_alpha(const ProjectedGaussian& g, Vec2f pixel);
+
+// Composites one contribution front-to-back: C += T * alpha * c; T *= 1-a.
+inline void blend(PixelAccumulator& acc, Vec3f color, float alpha) {
+  acc.color += acc.transmittance * alpha * color;
+  acc.transmittance *= (1.0f - alpha);
+}
+
+// Final pixel color against a background (3DGS composites onto a solid
+// background with the leftover transmittance).
+inline Vec3f resolve(const PixelAccumulator& acc, Vec3f background) {
+  return acc.color + acc.transmittance * background;
+}
+
+// Pixel rectangle [x0, x1) x [y0, y1) a splat can touch: the 3-sigma disc's
+// bounding box clipped to the given region. Both renderers blend only these
+// pixels (the hardware render queue dispatches only covered sub-tiles), so
+// the two pipelines evaluate identical pixel sets per Gaussian.
+struct PixelSpan {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  bool empty() const { return x0 >= x1 || y0 >= y1; }
+};
+
+inline PixelSpan splat_pixel_span(Vec2f mean, float radius, int rx0, int ry0,
+                                  int rx1, int ry1) {
+  PixelSpan s;
+  s.x0 = rx0 > static_cast<int>(mean.x - radius) ? rx0
+                                                 : static_cast<int>(mean.x - radius);
+  s.y0 = ry0 > static_cast<int>(mean.y - radius) ? ry0
+                                                 : static_cast<int>(mean.y - radius);
+  const int hx = static_cast<int>(mean.x + radius) + 1;
+  const int hy = static_cast<int>(mean.y + radius) + 1;
+  s.x1 = rx1 < hx ? rx1 : hx;
+  s.y1 = ry1 < hy ? ry1 : hy;
+  if (s.x0 < rx0) s.x0 = rx0;
+  if (s.y0 < ry0) s.y0 = ry0;
+  return s;
+}
+
+}  // namespace sgs::gs

@@ -1,0 +1,41 @@
+#include "gs/camera.hpp"
+
+#include <cmath>
+
+namespace sgs::gs {
+
+Camera::Camera(Mat3f world_to_cam_rotation, Vec3f position, float fx, float fy,
+               float cx, float cy, int width, int height)
+    : rot_(world_to_cam_rotation),
+      pos_(position),
+      fx_(fx),
+      fy_(fy),
+      cx_(cx),
+      cy_(cy),
+      width_(width),
+      height_(height) {}
+
+Camera Camera::look_at(Vec3f eye, Vec3f target, Vec3f up_hint, float vfov_rad,
+                       int width, int height) {
+  const Vec3f forward = (target - eye).normalized();
+  Vec3f right = forward.cross(up_hint).normalized();
+  if (right.norm2() < 1e-12f) {
+    // Degenerate up hint (parallel to view direction); pick any orthogonal.
+    right = forward.cross(Vec3f{1.0f, 0.0f, 0.0f});
+    if (right.norm2() < 1e-12f) right = forward.cross(Vec3f{0.0f, 1.0f, 0.0f});
+    right = right.normalized();
+  }
+  const Vec3f down = forward.cross(right);  // +y is down in camera space
+  const Mat3f rot = Mat3f::from_rows(right, down, forward);
+  const float fy = 0.5f * static_cast<float>(height) / std::tan(0.5f * vfov_rad);
+  const float fx = fy;  // square pixels
+  return Camera(rot, eye, fx, fy, 0.5f * static_cast<float>(width),
+                0.5f * static_cast<float>(height), width, height);
+}
+
+Ray Camera::pixel_ray(float px, float py) const {
+  const Vec3f dir_cam{(px - cx_) / fx_, (py - cy_) / fy_, 1.0f};
+  return Ray{pos_, (rot_.transposed() * dir_cam).normalized()};
+}
+
+}  // namespace sgs::gs

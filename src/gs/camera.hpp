@@ -1,0 +1,60 @@
+// Pinhole camera with OpenCV-style intrinsics.
+//
+// Camera space: +x right, +y down, +z forward (depth). Pixel (u, v) maps to
+// the ray direction ((u - cx)/fx, (v - cy)/fy, 1) in camera space.
+#pragma once
+
+#include "common/mat.hpp"
+#include "common/vec.hpp"
+
+namespace sgs::gs {
+
+struct Ray {
+  Vec3f origin;
+  Vec3f direction;  // unit length
+
+  Vec3f at(float t) const { return origin + direction * t; }
+};
+
+class Camera {
+ public:
+  Camera() = default;
+  Camera(Mat3f world_to_cam_rotation, Vec3f position, float fx, float fy,
+         float cx, float cy, int width, int height);
+
+  // Builds a camera at `eye` looking at `target` with the given vertical
+  // field of view (radians). `up_hint` resolves the roll ambiguity.
+  static Camera look_at(Vec3f eye, Vec3f target, Vec3f up_hint, float vfov_rad,
+                        int width, int height);
+
+  const Mat3f& rotation() const { return rot_; }          // world -> camera
+  Vec3f position() const { return pos_; }                 // camera center (world)
+  float fx() const { return fx_; }
+  float fy() const { return fy_; }
+  float cx() const { return cx_; }
+  float cy() const { return cy_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Vec3f world_to_camera(Vec3f p_world) const { return rot_ * (p_world - pos_); }
+  Vec3f camera_to_world(Vec3f p_cam) const { return rot_.transposed() * p_cam + pos_; }
+
+  // Perspective projection of a camera-space point; valid only for z > 0.
+  Vec2f project_cam(Vec3f p_cam) const {
+    return {fx_ * p_cam.x / p_cam.z + cx_, fy_ * p_cam.y / p_cam.z + cy_};
+  }
+
+  // World-space ray through the center of pixel (px, py).
+  Ray pixel_ray(float px, float py) const;
+
+  // Larger of the two focal lengths; used by the conservative coarse filter.
+  float focal_max() const { return fx_ > fy_ ? fx_ : fy_; }
+
+ private:
+  Mat3f rot_ = Mat3f::identity();
+  Vec3f pos_{0, 0, 0};
+  float fx_ = 1.0f, fy_ = 1.0f, cx_ = 0.0f, cy_ = 0.0f;
+  int width_ = 0, height_ = 0;
+};
+
+}  // namespace sgs::gs

@@ -1,0 +1,39 @@
+#include "gs/covariance.hpp"
+
+#include <cmath>
+
+namespace sgs::gs {
+
+Mat3f build_covariance_3d(Vec3f scale, const Quatf& rotation) {
+  const Mat3f r = rotation.to_rotation_matrix();
+  const Mat3f s = Mat3f::diagonal(scale);
+  const Mat3f m = r * s;           // M = R S
+  return m * m.transposed();       // Sigma = M M^T = R S S^T R^T
+}
+
+Sym2f project_covariance(const Mat3f& cov3d, const Mat3f& world_to_cam,
+                         Vec3f p_cam, float fx, float fy) {
+  // Camera-space covariance: V = W Sigma W^T.
+  const Mat3f v = world_to_cam * cov3d * world_to_cam.transposed();
+
+  // Perspective Jacobian at p_cam (rows of the 2x3 matrix J).
+  const float inv_z = 1.0f / p_cam.z;
+  const float inv_z2 = inv_z * inv_z;
+  const Vec3f j0{fx * inv_z, 0.0f, -fx * p_cam.x * inv_z2};
+  const Vec3f j1{0.0f, fy * inv_z, -fy * p_cam.y * inv_z2};
+
+  // Sigma' = J V J^T, expanded to the three unique entries.
+  const Vec3f vj0 = v * j0;
+  const Vec3f vj1 = v * j1;
+  Sym2f out;
+  out.a = j0.dot(vj0) + kScreenSpaceDilation;
+  out.b = j0.dot(vj1);
+  out.c = j1.dot(vj1) + kScreenSpaceDilation;
+  return out;
+}
+
+float splat_radius(const Sym2f& cov2d) {
+  return 3.0f * std::sqrt(std::max(0.0f, cov2d.eigenvalues().lambda_max));
+}
+
+}  // namespace sgs::gs

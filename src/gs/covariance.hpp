@@ -1,0 +1,28 @@
+// 3D covariance construction and EWA projection to screen space.
+#pragma once
+
+#include "common/mat.hpp"
+#include "common/quat.hpp"
+#include "common/vec.hpp"
+
+namespace sgs::gs {
+
+// Sigma = R * diag(s)^2 * R^T  (symmetric PSD by construction).
+Mat3f build_covariance_3d(Vec3f scale, const Quatf& rotation);
+
+// Screen-space dilation added to the projected covariance; the reference
+// rasterizer uses 0.3 px^2 as an antialiasing low-pass filter.
+inline constexpr float kScreenSpaceDilation = 0.3f;
+
+// Projects a 3D covariance to the 2x2 screen-space covariance using the
+// local-affine (EWA) approximation:
+//   Sigma' = J W Sigma W^T J^T + dilation * I,
+// where W is the world->camera rotation and J the perspective Jacobian at
+// camera-space position `p_cam` (z > 0 required).
+Sym2f project_covariance(const Mat3f& cov3d, const Mat3f& world_to_cam,
+                         Vec3f p_cam, float fx, float fy);
+
+// 3-sigma screen-space radius from a projected covariance.
+float splat_radius(const Sym2f& cov2d);
+
+}  // namespace sgs::gs

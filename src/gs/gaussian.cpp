@@ -1,0 +1,39 @@
+#include "gs/gaussian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sgs::gs {
+
+GaussianModel::Bounds GaussianModel::center_bounds() const {
+  Bounds b;
+  if (gaussians.empty()) return b;
+  constexpr float inf = std::numeric_limits<float>::infinity();
+  b.min = {inf, inf, inf};
+  b.max = {-inf, -inf, -inf};
+  for (const Gaussian& g : gaussians) {
+    for (int a = 0; a < 3; ++a) {
+      b.min[a] = std::min(b.min[a], g.position[a]);
+      b.max[a] = std::max(b.max[a], g.position[a]);
+    }
+  }
+  return b;
+}
+
+GaussianModel::Bounds GaussianModel::extent_bounds() const {
+  Bounds b;
+  if (gaussians.empty()) return b;
+  constexpr float inf = std::numeric_limits<float>::infinity();
+  b.min = {inf, inf, inf};
+  b.max = {-inf, -inf, -inf};
+  for (const Gaussian& g : gaussians) {
+    const float r = g.bounding_radius();
+    for (int a = 0; a < 3; ++a) {
+      b.min[a] = std::min(b.min[a], g.position[a] - r);
+      b.max[a] = std::max(b.max[a], g.position[a] + r);
+    }
+  }
+  return b;
+}
+
+}  // namespace sgs::gs

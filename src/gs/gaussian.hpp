@@ -1,0 +1,68 @@
+// 3D Gaussian primitive and scene model.
+//
+// Matches the reference 3DGS parameterization: each Gaussian carries 59
+// trainable parameters (Sec. II-A / III-B of the paper):
+//   position (3) + scale (3) + rotation quaternion (4) + opacity (1)
+//   + spherical-harmonic color, degree 3 => 16 RGB coefficients (48).
+// The paper's hierarchical filtering splits these into a 4-parameter coarse
+// half {x, y, z, max scale} and a 55-parameter fine half (everything else).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/quat.hpp"
+#include "common/vec.hpp"
+
+namespace sgs::gs {
+
+inline constexpr int kShCoeffCount = 16;   // degree-3 real SH basis size
+inline constexpr int kParamsPerGaussian = 59;
+inline constexpr int kCoarseParams = 4;    // x, y, z, max scale
+inline constexpr int kFineParams = kParamsPerGaussian - kCoarseParams;  // 55
+inline constexpr std::size_t kBytesPerParam = sizeof(float);
+// MAC counts per Gaussian for the two filtering phases (paper Sec. IV-C:
+// "the coarse-grained filter largely reduces the computation, from 427 MACs
+// to 55").
+inline constexpr int kCoarseFilterMacs = 55;
+inline constexpr int kFineFilterMacs = 427;
+
+struct Gaussian {
+  Vec3f position;
+  Vec3f scale{0.01f, 0.01f, 0.01f};  // ellipsoid semi-axes (linear, not log)
+  Quatf rotation;
+  float opacity = 0.5f;              // post-sigmoid opacity in (0, 1)
+  std::array<Vec3f, kShCoeffCount> sh{};  // sh[0] is the DC term
+
+  float max_scale() const { return scale.max_component(); }
+
+  // Conservative world-space bounding radius: 3 sigma of the widest axis.
+  float bounding_radius() const { return 3.0f * max_scale(); }
+};
+
+// A scene is a flat Gaussian soup; ordering carries no meaning until a
+// renderer imposes one.
+struct GaussianModel {
+  std::vector<Gaussian> gaussians;
+
+  std::size_t size() const { return gaussians.size(); }
+  bool empty() const { return gaussians.empty(); }
+
+  // Raw parameter bytes the tile-centric pipeline reads per Gaussian during
+  // projection (59 float32 parameters).
+  static constexpr std::size_t bytes_per_gaussian() {
+    return kParamsPerGaussian * kBytesPerParam;
+  }
+
+  struct Bounds {
+    Vec3f min{0, 0, 0};
+    Vec3f max{0, 0, 0};
+  };
+  // Axis-aligned bounds over Gaussian centers (not inflated by extent).
+  Bounds center_bounds() const;
+  // Bounds inflated by each Gaussian's 3-sigma radius.
+  Bounds extent_bounds() const;
+};
+
+}  // namespace sgs::gs

@@ -1,0 +1,96 @@
+#include "gs/projection.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "gs/sh.hpp"
+
+namespace sgs::gs {
+
+std::optional<ProjectedGaussian> project_gaussian(const Gaussian& g,
+                                                  const Camera& cam) {
+  const Vec3f p_cam = cam.world_to_camera(g.position);
+  if (p_cam.z <= kNearClip) return std::nullopt;
+  if (g.opacity < kMinOpacity) return std::nullopt;
+
+  const Mat3f cov3d = build_covariance_3d(g.scale, g.rotation);
+  const Sym2f cov2d =
+      project_covariance(cov3d, cam.rotation(), p_cam, cam.fx(), cam.fy());
+  if (cov2d.det() <= 0.0f) return std::nullopt;  // numerically degenerate
+
+  ProjectedGaussian out;
+  out.mean = cam.project_cam(p_cam);
+  out.depth = p_cam.z;
+  out.conic = cov2d.inverse();
+  out.radius = splat_radius(cov2d);
+  const Vec3f view_dir = g.position - cam.position();
+  out.color = eval_sh(g.sh, view_dir);
+  out.opacity = g.opacity;
+  return out;
+}
+
+std::optional<CoarseProjection> project_coarse(Vec3f position, float max_scale,
+                                               const Camera& cam) {
+  const Vec3f p_cam = cam.world_to_camera(position);
+  if (p_cam.z <= kNearClip) return std::nullopt;
+
+  const float inv_z = 1.0f / p_cam.z;
+  const float xz = p_cam.x * inv_z;
+  const float yz = p_cam.y * inv_z;
+  // Exact sigma_max(J)^2 from the 2x2 symmetric J J^T = [[a, b], [b, c]].
+  const float fx = cam.fx() * inv_z;
+  const float fy = cam.fy() * inv_z;
+  const float a = fx * fx * (1.0f + xz * xz);
+  const float c = fy * fy * (1.0f + yz * yz);
+  const float b = fx * fy * xz * yz;
+  const float mid = 0.5f * (a + c);
+  const float disc = 0.5f * (a - c);
+  const float jj = mid + std::sqrt(disc * disc + b * b);
+  const float lambda_bound = max_scale * max_scale * jj + kScreenSpaceDilation;
+
+  CoarseProjection out;
+  out.mean = cam.project_cam(p_cam);
+  out.depth = p_cam.z;
+  out.radius = 3.0f * std::sqrt(lambda_bound);
+  return out;
+}
+
+std::optional<CoarseProjection> project_sphere_extent(Vec3f center,
+                                                      float world_radius,
+                                                      const Camera& cam) {
+  const Vec3f p_cam = cam.world_to_camera(center);
+  if (p_cam.z <= kNearClip) return std::nullopt;
+
+  // Mean-value bound: |uv(p) - uv(center)| <= sup_q ||J(q)||_2 * r over the
+  // segment from center to p, which stays inside the ball. The supremum is
+  // bounded by the trace of J J^T with worst-case components over the ball
+  // (depth z - r, lateral offsets |x| + r, |y| + r). Spheres straddling the
+  // near plane (z - r <= 0) have unbounded projections and return the
+  // caller-handled sentinel radius.
+  const float z_min = p_cam.z - world_radius;
+  CoarseProjection out;
+  out.mean = cam.project_cam(p_cam);
+  out.depth = p_cam.z;
+  if (z_min <= 1e-4f) {
+    out.radius = std::numeric_limits<float>::infinity();
+    return out;
+  }
+  const float inv_z = 1.0f / z_min;
+  const float xz = (std::abs(p_cam.x) + world_radius) * inv_z;
+  const float yz = (std::abs(p_cam.y) + world_radius) * inv_z;
+  const float fx = cam.fx() * inv_z;
+  const float fy = cam.fy() * inv_z;
+  const float jj_trace = fx * fx * (1.0f + xz * xz) + fy * fy * (1.0f + yz * yz);
+  out.radius = world_radius * std::sqrt(jj_trace) + 1.0f;
+  return out;
+}
+
+bool disc_intersects_rect(Vec2f center, float radius, float x0, float y0,
+                          float x1, float y1) {
+  // Distance from the disc center to the rectangle, axis by axis.
+  const float dx = center.x < x0 ? x0 - center.x : (center.x > x1 ? center.x - x1 : 0.0f);
+  const float dy = center.y < y0 ? y0 - center.y : (center.y > y1 ? center.y - y1 : 0.0f);
+  return dx * dx + dy * dy <= radius * radius;
+}
+
+}  // namespace sgs::gs

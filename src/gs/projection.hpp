@@ -1,0 +1,73 @@
+// Per-Gaussian projection: the "fine" (exact) path used by both pipelines
+// and the 4-parameter "coarse" path used by the hierarchical filter.
+#pragma once
+
+#include <optional>
+
+#include "gs/camera.hpp"
+#include "gs/covariance.hpp"
+#include "gs/gaussian.hpp"
+
+namespace sgs::gs {
+
+// Gaussians closer than this camera-space depth are culled (matches the
+// near-plane rejection of the reference rasterizer).
+inline constexpr float kNearClip = 0.2f;
+
+// Splats whose projected alpha can never reach 1/255 inside their 3-sigma
+// disc are invisible; the fine filter rejects them.
+inline constexpr float kMinOpacity = 1.0f / 255.0f;
+
+struct ProjectedGaussian {
+  Vec2f mean;    // pixel coordinates of the projected center
+  float depth;   // camera-space z, the sort key
+  Sym2f conic;   // inverse of the 2D covariance
+  float radius;  // 3-sigma screen-space radius in pixels
+  Vec3f color;   // view-dependent RGB (SH-decoded)
+  float opacity;
+};
+
+// Exact projection. Returns nullopt if the Gaussian is culled (behind the
+// near plane, degenerate covariance, or opacity below threshold).
+std::optional<ProjectedGaussian> project_gaussian(const Gaussian& g,
+                                                  const Camera& cam);
+
+// Result of the coarse phase: projected center plus a radius that provably
+// upper-bounds the exact `ProjectedGaussian::radius` (see project_coarse).
+struct CoarseProjection {
+  Vec2f mean;
+  float depth;
+  float radius;
+};
+
+// Coarse projection from only the 4 coarse parameters {position, max scale}.
+//
+// Conservativeness argument: the exact screen covariance is
+// J W Sigma W^T J^T + 0.3 I with lambda_max(Sigma) <= s_max^2, so
+// lambda_max(cov2d) <= s_max^2 * sigma_max(J)^2 + 0.3, where
+// sigma_max(J)^2 is the largest eigenvalue of the 2x2 matrix J J^T
+// (computed exactly — J has rank 2, so this costs a handful of MACs).
+// The returned 3*sqrt(...) therefore dominates splat_radius() for every
+// orientation/anisotropy. Returns nullopt only for near-plane culls, which
+// the fine path also culls.
+std::optional<CoarseProjection> project_coarse(Vec3f position, float max_scale,
+                                               const Camera& cam);
+
+// Conservative screen-space extent of a world-space sphere: projected
+// center plus a radius that upper-bounds the projection of every point of
+// the sphere (r * sigma_max(J), plus a 1 px margin for the local-affine
+// approximation). Used by the VSU's voxel->group binning table, where the
+// sphere is a voxel's bounding sphere. Returns nullopt when the sphere is
+// entirely behind the near plane; spheres *straddling* the near plane are
+// the caller's responsibility (the projection is undefined there).
+std::optional<CoarseProjection> project_sphere_extent(Vec3f center,
+                                                      float world_radius,
+                                                      const Camera& cam);
+
+// Conservative test that the disc (center, radius) overlaps the pixel
+// rectangle [x0, x1) x [y0, y1). Used for both tile binning and the
+// hierarchical filter's intersection tests.
+bool disc_intersects_rect(Vec2f center, float radius, float x0, float y0,
+                          float x1, float y1);
+
+}  // namespace sgs::gs

@@ -1,0 +1,64 @@
+#include "gs/sh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgs::gs {
+
+namespace {
+// Normalization constants of the real SH basis (same literals as the
+// reference CUDA rasterizer).
+constexpr float kC0 = 0.28209479177387814f;
+constexpr float kC1 = 0.4886025119029199f;
+constexpr float kC2[5] = {1.0925484305920792f, -1.0925484305920792f,
+                          0.31539156525252005f, -1.0925484305920792f,
+                          0.5462742152960396f};
+constexpr float kC3[7] = {-0.5900435899266435f, 2.890611442640554f,
+                          -0.4570457994644658f, 0.3731763325901154f,
+                          -0.4570457994644658f, 1.445305721320277f,
+                          -0.5900435899266435f};
+}  // namespace
+
+std::array<float, 16> sh_basis(Vec3f dir) {
+  const Vec3f d = dir.normalized();
+  const float x = d.x, y = d.y, z = d.z;
+  const float xx = x * x, yy = y * y, zz = z * z;
+  const float xy = x * y, yz = y * z, xz = x * z;
+  std::array<float, 16> b{};
+  b[0] = kC0;
+  b[1] = -kC1 * y;
+  b[2] = kC1 * z;
+  b[3] = -kC1 * x;
+  b[4] = kC2[0] * xy;
+  b[5] = kC2[1] * yz;
+  b[6] = kC2[2] * (2.0f * zz - xx - yy);
+  b[7] = kC2[3] * xz;
+  b[8] = kC2[4] * (xx - yy);
+  b[9] = kC3[0] * y * (3.0f * xx - yy);
+  b[10] = kC3[1] * xy * z;
+  b[11] = kC3[2] * y * (4.0f * zz - xx - yy);
+  b[12] = kC3[3] * z * (2.0f * zz - 3.0f * xx - 3.0f * yy);
+  b[13] = kC3[4] * x * (4.0f * zz - xx - yy);
+  b[14] = kC3[5] * z * (xx - yy);
+  b[15] = kC3[6] * x * (xx - 3.0f * yy);
+  return b;
+}
+
+Vec3f eval_sh(std::span<const Vec3f> coeffs, Vec3f dir, int degree) {
+  const int n = degree >= 3 ? 16 : (degree == 2 ? 9 : (degree == 1 ? 4 : 1));
+  const auto basis = sh_basis(dir);
+  Vec3f c{0, 0, 0};
+  const int count = std::min<int>(n, static_cast<int>(coeffs.size()));
+  for (int i = 0; i < count; ++i) c += coeffs[static_cast<std::size_t>(i)] * basis[static_cast<std::size_t>(i)];
+  c += Vec3f::splat(0.5f);
+  return {std::max(0.0f, c.x), std::max(0.0f, c.y), std::max(0.0f, c.z)};
+}
+
+Vec3f color_to_dc(Vec3f rgb) { return (rgb - Vec3f::splat(0.5f)) / kC0; }
+
+Vec3f dc_to_color(Vec3f dc) {
+  const Vec3f c = dc * kC0 + Vec3f::splat(0.5f);
+  return {std::max(0.0f, c.x), std::max(0.0f, c.y), std::max(0.0f, c.z)};
+}
+
+}  // namespace sgs::gs

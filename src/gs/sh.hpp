@@ -1,0 +1,28 @@
+// Real spherical harmonics up to degree 3, matching the basis and constants
+// of the reference 3DGS implementation (INRIA). View-dependent color is
+// decoded as  max(0, 0.5 + sum_i sh[i] * B_i(dir)).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/vec.hpp"
+
+namespace sgs::gs {
+
+inline constexpr int kShDegree = 3;
+
+// Evaluates the 16 degree-<=3 basis functions for a unit direction.
+std::array<float, 16> sh_basis(Vec3f dir);
+
+// Decodes RGB from SH coefficients for a view direction (need not be unit;
+// it is normalized internally). `degree` truncates evaluation (0..3); the
+// LightGaussian-style variant uses truncated degrees.
+Vec3f eval_sh(std::span<const Vec3f> coeffs, Vec3f dir, int degree = kShDegree);
+
+// Inverse of the DC decode: the coefficient a constant color corresponds to.
+Vec3f color_to_dc(Vec3f rgb);
+// DC-only decode (what the fine filter computes before view-dependence).
+Vec3f dc_to_color(Vec3f dc);
+
+}  // namespace sgs::gs

@@ -1,0 +1,34 @@
+#include "metrics/psnr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sgs::metrics {
+
+double mse(const Image& a, const Image& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  if (a.pixel_count() == 0) return 0.0;
+  double acc = 0.0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const Vec3f d = pa[i] - pb[i];
+    acc += static_cast<double>(d.x) * d.x + static_cast<double>(d.y) * d.y +
+           static_cast<double>(d.z) * d.z;
+  }
+  return acc / (3.0 * static_cast<double>(pa.size()));
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double m = mse(a, b);
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / m);
+}
+
+double psnr_capped(const Image& a, const Image& b, double cap_db) {
+  const double v = psnr(a, b);
+  return v > cap_db ? cap_db : v;
+}
+
+}  // namespace sgs::metrics

@@ -1,0 +1,18 @@
+// Peak signal-to-noise ratio over float RGB images in [0, 1].
+#pragma once
+
+#include "common/image.hpp"
+
+namespace sgs::metrics {
+
+// Mean squared error across all channels. Images must match in size.
+double mse(const Image& a, const Image& b);
+
+// PSNR in dB with peak 1.0. Identical images return +infinity.
+double psnr(const Image& a, const Image& b);
+
+// PSNR clamped to a finite ceiling, convenient for tabulation where the
+// reference can be bit-identical (the paper tabulates finite dB values).
+double psnr_capped(const Image& a, const Image& b, double cap_db = 99.0);
+
+}  // namespace sgs::metrics

@@ -1,0 +1,57 @@
+#include "metrics/ssim.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace sgs::metrics {
+
+namespace {
+constexpr int kWindow = 8;
+constexpr int kStride = 4;
+constexpr double kC1 = (0.01 * 1.0) * (0.01 * 1.0);
+constexpr double kC2 = (0.03 * 1.0) * (0.03 * 1.0);
+
+double luma(const Vec3f& p) {
+  return 0.299 * p.x + 0.587 * p.y + 0.114 * p.z;
+}
+}  // namespace
+
+double ssim(const Image& a, const Image& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  const int w = a.width();
+  const int h = a.height();
+  if (w < kWindow || h < kWindow) return a.pixels() == b.pixels() ? 1.0 : 0.0;
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (int y0 = 0; y0 + kWindow <= h; y0 += kStride) {
+    for (int x0 = 0; x0 + kWindow <= w; x0 += kStride) {
+      double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+      for (int y = y0; y < y0 + kWindow; ++y) {
+        for (int x = x0; x < x0 + kWindow; ++x) {
+          const double va = luma(a.at(x, y));
+          const double vb = luma(b.at(x, y));
+          sa += va;
+          sb += vb;
+          saa += va * va;
+          sbb += vb * vb;
+          sab += va * vb;
+        }
+      }
+      constexpr double n = kWindow * kWindow;
+      const double mu_a = sa / n;
+      const double mu_b = sb / n;
+      const double var_a = saa / n - mu_a * mu_a;
+      const double var_b = sbb / n - mu_b * mu_b;
+      const double cov = sab / n - mu_a * mu_b;
+      const double num = (2.0 * mu_a * mu_b + kC1) * (2.0 * cov + kC2);
+      const double den = (mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2);
+      total += num / den;
+      ++windows;
+    }
+  }
+  return windows > 0 ? total / static_cast<double>(windows) : 1.0;
+}
+
+}  // namespace sgs::metrics

@@ -1,0 +1,12 @@
+// Structural similarity (SSIM) over the luma channel with an 8x8 box window,
+// the standard secondary quality metric in the 3DGS literature.
+#pragma once
+
+#include "common/image.hpp"
+
+namespace sgs::metrics {
+
+// Mean SSIM in [-1, 1]; 1 means identical. Window slides with stride 4.
+double ssim(const Image& a, const Image& b);
+
+}  // namespace sgs::metrics

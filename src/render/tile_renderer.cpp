@@ -1,0 +1,165 @@
+#include "render/tile_renderer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "gs/blending.hpp"
+#include "gs/projection.hpp"
+
+namespace sgs::render {
+
+namespace {
+
+struct Pair {
+  std::uint32_t tile;
+  float depth;
+  std::uint32_t gaussian;  // index into the projected array
+};
+
+}  // namespace
+
+TileRenderResult render_tile_centric(const gs::GaussianModel& model,
+                                     const gs::Camera& camera,
+                                     const TileRenderConfig& config) {
+  const int width = camera.width();
+  const int height = camera.height();
+  const int ts = config.tile_size;
+  const int tiles_x = (width + ts - 1) / ts;
+  const int tiles_y = (height + ts - 1) / ts;
+  const std::size_t tile_count = static_cast<std::size_t>(tiles_x) * tiles_y;
+  const TileCentricRecordSizes& rs = config.record_sizes;
+
+  TileRenderResult result;
+  result.image = Image(width, height, config.background);
+  TileCentricTrace& trace = result.trace;
+  trace.gaussian_count = model.size();
+  trace.tile_count = tile_count;
+  trace.pixel_count = static_cast<std::uint64_t>(width) * height;
+  trace.tile_size = ts;
+
+  // --- Stage 1: projection (parallel over Gaussians) ------------------------
+  std::vector<std::optional<gs::ProjectedGaussian>> projected(model.size());
+  parallel_for(0, model.size(), [&](std::size_t i) {
+    projected[i] = gs::project_gaussian(model.gaussians[i], camera);
+  });
+
+  // DRAM: every Gaussian's 59 parameters are read during projection.
+  trace.traffic[Stage::kProjectionRead] = model.size() * rs.gaussian_in;
+
+  // --- Pair duplication (serial; deterministic order) -----------------------
+  std::vector<Pair> pairs;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (!projected[i]) continue;
+    ++trace.projected_count;
+    const gs::ProjectedGaussian& p = *projected[i];
+    // Conservative tile range from the 3-sigma disc.
+    const int tx0 = std::max(0, static_cast<int>(std::floor((p.mean.x - p.radius) / static_cast<float>(ts))));
+    const int ty0 = std::max(0, static_cast<int>(std::floor((p.mean.y - p.radius) / static_cast<float>(ts))));
+    const int tx1 = std::min(tiles_x - 1, static_cast<int>(std::floor((p.mean.x + p.radius) / static_cast<float>(ts))));
+    const int ty1 = std::min(tiles_y - 1, static_cast<int>(std::floor((p.mean.y + p.radius) / static_cast<float>(ts))));
+    const std::size_t pairs_before = pairs.size();
+    for (int ty = ty0; ty <= ty1; ++ty) {
+      for (int tx = tx0; tx <= tx1; ++tx) {
+        const float x0 = static_cast<float>(tx * ts);
+        const float y0 = static_cast<float>(ty * ts);
+        if (!gs::disc_intersects_rect(p.mean, p.radius, x0, y0,
+                                      x0 + static_cast<float>(ts),
+                                      y0 + static_cast<float>(ts))) {
+          continue;
+        }
+        pairs.push_back({static_cast<std::uint32_t>(ty * tiles_x + tx), p.depth,
+                         static_cast<std::uint32_t>(i)});
+      }
+    }
+    if (pairs.size() > pairs_before) ++trace.contributing_count;
+  }
+  trace.pair_count = pairs.size();
+
+  // DRAM: projection writes one feature record per surviving Gaussian plus
+  // one sort pair per duplication.
+  trace.traffic[Stage::kProjectionWrite] =
+      trace.projected_count * rs.projected_feature + trace.pair_count * rs.sort_pair;
+
+  // --- Stage 2: global sort by (tile, depth) ---------------------------------
+  std::stable_sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.tile != b.tile) return a.tile < b.tile;
+    return a.depth < b.depth;
+  });
+  // DRAM: the GPU radix sort streams the pair array read+write per pass.
+  trace.traffic[Stage::kSortingRead] =
+      static_cast<std::uint64_t>(rs.sort_passes) * trace.pair_count * rs.sort_pair;
+  trace.traffic[Stage::kSortingWrite] = trace.traffic[Stage::kSortingRead];
+
+  // Per-tile ranges.
+  std::vector<std::uint32_t> tile_begin(tile_count + 1, 0);
+  for (const Pair& p : pairs) ++tile_begin[p.tile + 1];
+  for (std::size_t t = 0; t < tile_count; ++t) tile_begin[t + 1] += tile_begin[t];
+  trace.tile_pair_counts.resize(tile_count);
+  for (std::size_t t = 0; t < tile_count; ++t) {
+    trace.tile_pair_counts[t] = tile_begin[t + 1] - tile_begin[t];
+  }
+
+  // --- Stage 3: per-tile blending (parallel over tiles) ----------------------
+  std::atomic<std::uint64_t> blend_ops{0};
+  std::atomic<std::uint64_t> processed_pairs{0};
+  parallel_for(0, tile_count, [&](std::size_t t) {
+    const int tx = static_cast<int>(t) % tiles_x;
+    const int ty = static_cast<int>(t) / tiles_x;
+    const int px0 = tx * ts;
+    const int py0 = ty * ts;
+    const int px1 = std::min(width, px0 + ts);
+    const int py1 = std::min(height, py0 + ts);
+    const int n_px = (px1 - px0) * (py1 - py0);
+
+    std::vector<gs::PixelAccumulator> acc(static_cast<std::size_t>(n_px));
+    int saturated = 0;
+    std::uint64_t local_blend = 0;
+    std::uint64_t local_processed = 0;
+
+    const int row = px1 - px0;
+    for (std::uint32_t k = tile_begin[t]; k < tile_begin[t + 1]; ++k) {
+      if (saturated == n_px) break;  // tile-level early termination
+      ++local_processed;
+      const gs::ProjectedGaussian& g = *projected[pairs[k].gaussian];
+      const gs::PixelSpan span =
+          gs::splat_pixel_span(g.mean, g.radius, px0, py0, px1, py1);
+      for (int py = span.y0; py < span.y1; ++py) {
+        for (int px = span.x0; px < span.x1; ++px) {
+          const int pi = (py - py0) * row + (px - px0);
+          gs::PixelAccumulator& a = acc[static_cast<std::size_t>(pi)];
+          if (a.saturated()) continue;
+          ++local_blend;
+          const float alpha = gs::gaussian_alpha(
+              g, {static_cast<float>(px) + 0.5f, static_cast<float>(py) + 0.5f});
+          if (alpha <= 0.0f) continue;
+          gs::blend(a, g.color, alpha);
+          if (a.saturated()) ++saturated;
+        }
+      }
+    }
+
+    int pi = 0;
+    for (int py = py0; py < py1; ++py) {
+      for (int px = px0; px < px1; ++px, ++pi) {
+        result.image.at(px, py) =
+            gs::resolve(acc[static_cast<std::size_t>(pi)], config.background);
+      }
+    }
+    blend_ops.fetch_add(local_blend, std::memory_order_relaxed);
+    processed_pairs.fetch_add(local_processed, std::memory_order_relaxed);
+  });
+  trace.blend_ops = blend_ops.load();
+  trace.processed_pairs = processed_pairs.load();
+
+  // DRAM: rendering fetches each traversed pair's feature once per tile and
+  // writes the frame once.
+  trace.traffic[Stage::kRenderingRead] = trace.processed_pairs * rs.render_fetch;
+  trace.traffic[Stage::kRenderingWrite] = trace.pixel_count * rs.frame_pixel;
+  return result;
+}
+
+}  // namespace sgs::render

@@ -1,0 +1,31 @@
+// Reference tile-centric renderer: the original 3DGS pipeline
+// (projection -> global sort -> per-tile alpha blending), paper Sec. II-A.
+//
+// This is both the image-quality reference for the streaming pipeline and
+// the workload model for the GPU / GSCore baselines: alongside the image it
+// produces a TileCentricTrace with exact operation and DRAM byte counts.
+#pragma once
+
+#include "common/image.hpp"
+#include "gs/camera.hpp"
+#include "gs/gaussian.hpp"
+#include "render/trace.hpp"
+
+namespace sgs::render {
+
+struct TileRenderConfig {
+  int tile_size = 16;
+  Vec3f background{0.0f, 0.0f, 0.0f};
+  TileCentricRecordSizes record_sizes;
+};
+
+struct TileRenderResult {
+  Image image;
+  TileCentricTrace trace;
+};
+
+TileRenderResult render_tile_centric(const gs::GaussianModel& model,
+                                     const gs::Camera& camera,
+                                     const TileRenderConfig& config = {});
+
+}  // namespace sgs::render

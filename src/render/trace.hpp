@@ -1,0 +1,32 @@
+// Work trace of a tile-centric frame: the exact operation counts a frame
+// performed, independent of what hardware executes them. The GPU roofline
+// model and the GSCore simulator both consume this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "render/traffic.hpp"
+
+namespace sgs::render {
+
+struct TileCentricTrace {
+  // Model/workload shape.
+  std::uint64_t gaussian_count = 0;    // Gaussians in the model
+  std::uint64_t projected_count = 0;   // survived near-plane/degeneracy culls
+  std::uint64_t contributing_count = 0;  // landed in at least one tile
+  std::uint64_t pair_count = 0;        // duplicated (tile, Gaussian) pairs
+  std::uint64_t processed_pairs = 0;   // pairs traversed before tile saturation
+  std::uint64_t blend_ops = 0;         // per-pixel alpha-blend evaluations
+  std::uint64_t tile_count = 0;
+  std::uint64_t pixel_count = 0;
+  int tile_size = 16;
+
+  // Per-tile duplicated pair counts (drives GSCore's per-tile sort model).
+  std::vector<std::uint32_t> tile_pair_counts;
+
+  // Exact DRAM bytes by stage.
+  TrafficBreakdown traffic;
+};
+
+}  // namespace sgs::render

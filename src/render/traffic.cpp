@@ -1,0 +1,18 @@
+#include "render/traffic.hpp"
+
+namespace sgs::render {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kProjectionRead: return "projection-read";
+    case Stage::kProjectionWrite: return "projection-write";
+    case Stage::kSortingRead: return "sorting-read";
+    case Stage::kSortingWrite: return "sorting-write";
+    case Stage::kRenderingRead: return "rendering-read";
+    case Stage::kRenderingWrite: return "rendering-write";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace sgs::render

@@ -1,0 +1,76 @@
+// DRAM traffic accounting for the tile-centric (original 3DGS) pipeline.
+//
+// Stage taxonomy follows paper Fig. 2: projection reads raw Gaussians and
+// writes processed features + intersection metadata; sorting makes repeated
+// read/write passes over the duplicated (tile, depth, id) pairs; rendering
+// reads back sorted features per tile and writes the frame.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sgs::render {
+
+enum class Stage : int {
+  kProjectionRead = 0,
+  kProjectionWrite,
+  kSortingRead,
+  kSortingWrite,
+  kRenderingRead,
+  kRenderingWrite,
+  kCount
+};
+
+inline constexpr int kStageCount = static_cast<int>(Stage::kCount);
+
+const char* stage_name(Stage s);
+
+struct TrafficBreakdown {
+  std::array<std::uint64_t, kStageCount> bytes{};
+
+  std::uint64_t& operator[](Stage s) { return bytes[static_cast<int>(s)]; }
+  std::uint64_t operator[](Stage s) const { return bytes[static_cast<int>(s)]; }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto b : bytes) t += b;
+    return t;
+  }
+  double fraction(Stage s) const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>((*this)[s]) / static_cast<double>(t);
+  }
+  // "Intermediate" traffic = everything except the initial model read and
+  // the final frame write (the paper reports this at ~85%).
+  std::uint64_t intermediate() const {
+    return total() - (*this)[Stage::kProjectionRead] - (*this)[Stage::kRenderingWrite];
+  }
+
+  TrafficBreakdown& operator+=(const TrafficBreakdown& o) {
+    for (int i = 0; i < kStageCount; ++i) bytes[static_cast<std::size_t>(i)] += o.bytes[static_cast<std::size_t>(i)];
+    return *this;
+  }
+};
+
+// On-DRAM record sizes of the tile-centric pipeline (bytes). Matches the
+// reference CUDA implementation's intermediate buffers.
+struct TileCentricRecordSizes {
+  // Raw model read during projection: 59 float parameters.
+  std::uint64_t gaussian_in = 59 * 4;
+  // Processed feature record written by projection: 2D mean (2f), depth
+  // (1f), conic (3f), RGB (3f), opacity (1f) = 10 floats.
+  std::uint64_t projected_feature = 10 * 4;
+  // Duplicated sort pair: 64-bit key (tile | depth) + 32-bit Gaussian id,
+  // padded to 16 B in the double-buffered sort layout.
+  std::uint64_t sort_pair = 16;
+  // Number of full read+write passes the GPU radix sort makes over the pair
+  // array (CUB radix: 64-bit keys, 8-bit digits).
+  int sort_passes = 8;
+  // Per-pair fetch during rendering: feature record + id.
+  std::uint64_t render_fetch = 10 * 4 + 4;
+  // Final frame write per pixel (RGBA8).
+  std::uint64_t frame_pixel = 4;
+};
+
+}  // namespace sgs::render

@@ -1,0 +1,190 @@
+#include "scene/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gs/sh.hpp"
+
+namespace sgs::scene {
+
+namespace {
+
+struct Cluster {
+  ClusterKind kind;
+  Vec3f center;
+  float radius;
+  Vec3f base_color;
+  Quatf orientation;
+  std::size_t count = 0;
+};
+
+// Builds a rotation quaternion whose +z axis aligns with `normal`.
+Quatf align_z_to(Vec3f normal, Rng& rng) {
+  const Vec3f z{0.0f, 0.0f, 1.0f};
+  const Vec3f n = normal.normalized();
+  const float c = z.dot(n);
+  if (c > 0.9999f) return Quatf{};
+  if (c < -0.9999f) return Quatf::from_axis_angle({1.0f, 0.0f, 0.0f}, 3.14159265f);
+  const Vec3f axis = z.cross(n);
+  const float angle = std::acos(clampf(c, -1.0f, 1.0f));
+  Quatf q = Quatf::from_axis_angle(axis, angle);
+  // Random roll about the normal keeps tangent directions unbiased.
+  return (q * Quatf::from_axis_angle(z, rng.uniform(0.0f, 6.2831853f))).normalized();
+}
+
+// Samples a position + outward normal on a cluster's surface.
+void sample_on_cluster(const Cluster& cl, Rng& rng, Vec3f& pos, Vec3f& normal) {
+  switch (cl.kind) {
+    case ClusterKind::kShell: {
+      const Vec3f dir = rng.unit_sphere();
+      // Slight radial jitter so shells are not infinitely thin.
+      const float r = cl.radius * (1.0f + 0.05f * rng.normal());
+      pos = cl.center + dir * r;
+      normal = dir;
+      return;
+    }
+    case ClusterKind::kBox: {
+      // Pick a face, sample uniformly on it.
+      const int face = static_cast<int>(rng.uniform_index(6));
+      const int axis = face / 2;
+      const float sign = (face % 2 == 0) ? 1.0f : -1.0f;
+      Vec3f local = rng.uniform_vec3(-1.0f, 1.0f);
+      local[axis] = sign;
+      Vec3f n{0.0f, 0.0f, 0.0f};
+      n[axis] = sign;
+      pos = cl.center + cl.orientation.rotate(local * cl.radius);
+      normal = cl.orientation.rotate(n);
+      return;
+    }
+    case ClusterKind::kPlane: {
+      Vec3f local{rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f),
+                  0.02f * rng.normal()};
+      pos = cl.center + cl.orientation.rotate(local * cl.radius);
+      normal = cl.orientation.rotate({0.0f, 0.0f, 1.0f});
+      return;
+    }
+    case ClusterKind::kBlob: {
+      pos = cl.center + rng.normal_vec3(cl.radius * 0.5f);
+      normal = rng.unit_sphere();
+      return;
+    }
+  }
+  pos = cl.center;
+  normal = {0.0f, 0.0f, 1.0f};
+}
+
+}  // namespace
+
+gs::GaussianModel generate_scene(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  gs::GaussianModel model;
+  if (config.gaussian_count == 0) return model;
+  model.gaussians.reserve(config.gaussian_count);
+
+  const Vec3f extent = config.extent_max - config.extent_min;
+  const float diag = extent.norm();
+
+  // --- Cluster layout -----------------------------------------------------
+  std::vector<Cluster> clusters;
+  const int cluster_count = std::max(1, config.cluster_count);
+  clusters.reserve(static_cast<std::size_t>(cluster_count) + 1);
+  for (int i = 0; i < cluster_count; ++i) {
+    Cluster cl;
+    const float pick = rng.uniform();
+    cl.kind = pick < 0.4f   ? ClusterKind::kShell
+              : pick < 0.6f ? ClusterKind::kBox
+              : pick < 0.85f ? ClusterKind::kPlane
+                             : ClusterKind::kBlob;
+    cl.center = {rng.uniform(config.extent_min.x, config.extent_max.x),
+                 rng.uniform(config.extent_min.y, config.extent_max.y),
+                 rng.uniform(config.extent_min.z, config.extent_max.z)};
+    cl.radius = diag * rng.uniform(config.cluster_radius_min_frac,
+                                   config.cluster_radius_max_frac);
+    cl.base_color = {rng.uniform(0.1f, 0.9f), rng.uniform(0.1f, 0.9f),
+                     rng.uniform(0.1f, 0.9f)};
+    cl.orientation = Quatf::from_axis_angle(rng.unit_sphere(),
+                                            rng.uniform(0.0f, 6.2831853f));
+    clusters.push_back(cl);
+  }
+
+  // Optional ground plane cluster (index cluster_count) for real-world-like
+  // captures; it lies at the bottom of the extent, facing up.
+  const bool has_ground = config.ground_fraction > 0.0f;
+  if (has_ground) {
+    Cluster ground;
+    ground.kind = ClusterKind::kPlane;
+    ground.center = {(config.extent_min.x + config.extent_max.x) * 0.5f,
+                     config.extent_min.y,
+                     (config.extent_min.z + config.extent_max.z) * 0.5f};
+    ground.radius = 0.5f * std::max(extent.x, extent.z);
+    ground.base_color = {0.35f, 0.3f, 0.25f};
+    // Plane local +z becomes world +y (up).
+    ground.orientation = Quatf::from_axis_angle({1.0f, 0.0f, 0.0f}, -1.5707963f);
+    clusters.push_back(ground);
+  }
+
+  // Zipf-ish cluster weights: a few clusters dominate, like real captures.
+  std::vector<float> weights(clusters.size());
+  float wsum = 0.0f;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    weights[i] = 1.0f / static_cast<float>(1 + (i % 7));
+    wsum += weights[i];
+  }
+  if (has_ground) {
+    // Rescale so the ground receives exactly ground_fraction of the mass.
+    const float g = config.ground_fraction;
+    const float body = wsum - weights.back();
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      weights[i] *= (1.0f - g) / body;
+    }
+    weights.back() = g;
+    wsum = 1.0f;
+  }
+
+  // --- Gaussian synthesis ---------------------------------------------------
+  for (std::size_t i = 0; i < config.gaussian_count; ++i) {
+    // Weighted cluster pick via inverse CDF on a uniform draw.
+    float u = rng.uniform() * wsum;
+    std::size_t ci = 0;
+    while (ci + 1 < clusters.size() && u > weights[ci]) {
+      u -= weights[ci];
+      ++ci;
+    }
+    Cluster& cl = clusters[ci];
+    ++cl.count;
+
+    gs::Gaussian g;
+    Vec3f normal;
+    sample_on_cluster(cl, rng, g.position, normal);
+    // Clamp into the extent so voxelization bounds are predictable.
+    for (int a = 0; a < 3; ++a) {
+      g.position[a] = clampf(g.position[a], config.extent_min[a], config.extent_max[a]);
+    }
+
+    const float s_max = std::exp(rng.normal(config.log_scale_mean, config.log_scale_std));
+    // Surfel: two tangent axes ~ s_max, normal axis flattened.
+    g.scale = {s_max * rng.uniform(0.6f, 1.0f), s_max * rng.uniform(0.6f, 1.0f),
+               std::max(1e-5f, s_max * config.flatness * rng.uniform(0.5f, 1.5f))};
+    g.rotation = align_z_to(normal, rng);
+
+    g.opacity = rng.uniform() < config.opaque_fraction
+                    ? rng.uniform(0.75f, 0.99f)
+                    : rng.uniform(0.05f, 0.6f);
+
+    Vec3f color = cl.base_color + rng.normal_vec3(0.1f);
+    color = {clampf(color.x, 0.02f, 0.98f), clampf(color.y, 0.02f, 0.98f),
+             clampf(color.z, 0.02f, 0.98f)};
+    g.sh[0] = gs::color_to_dc(color);
+    for (int k = 1; k < gs::kShCoeffCount; ++k) {
+      // Higher orders fall off with band, as in trained models.
+      const float band = k < 4 ? 1.0f : (k < 9 ? 0.5f : 0.25f);
+      g.sh[static_cast<std::size_t>(k)] = rng.normal_vec3(config.sh_ac_std * band);
+    }
+    model.gaussians.push_back(g);
+  }
+  return model;
+}
+
+}  // namespace sgs::scene

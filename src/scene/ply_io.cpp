@@ -1,0 +1,133 @@
+#include "scene/ply_io.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sgs::scene {
+
+namespace {
+
+constexpr int kFloatsPerRecord = 3 + 3 + 3 + 45 + 1 + 3 + 4;  // 62 on disk
+
+float logit(float p) {
+  const float q = clampf(p, 1e-6f, 1.0f - 1e-6f);
+  return std::log(q / (1.0f - q));
+}
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+void append_header(std::ostream& out, std::size_t count) {
+  out << "ply\nformat binary_little_endian 1.0\n";
+  out << "element vertex " << count << "\n";
+  const char* props[] = {"x", "y", "z", "nx", "ny", "nz"};
+  for (const char* p : props) out << "property float " << p << "\n";
+  for (int i = 0; i < 3; ++i) out << "property float f_dc_" << i << "\n";
+  for (int i = 0; i < 45; ++i) out << "property float f_rest_" << i << "\n";
+  out << "property float opacity\n";
+  for (int i = 0; i < 3; ++i) out << "property float scale_" << i << "\n";
+  for (int i = 0; i < 4; ++i) out << "property float rot_" << i << "\n";
+  out << "end_header\n";
+}
+
+}  // namespace
+
+bool write_ply(const std::string& path, const gs::GaussianModel& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  append_header(out, model.size());
+
+  std::vector<float> rec(kFloatsPerRecord);
+  for (const gs::Gaussian& g : model.gaussians) {
+    int k = 0;
+    rec[k++] = g.position.x;
+    rec[k++] = g.position.y;
+    rec[k++] = g.position.z;
+    rec[k++] = 0.0f;  // normals unused
+    rec[k++] = 0.0f;
+    rec[k++] = 0.0f;
+    rec[k++] = g.sh[0].x;
+    rec[k++] = g.sh[0].y;
+    rec[k++] = g.sh[0].z;
+    // f_rest: channel-major over the 15 non-DC coefficients.
+    for (int c = 0; c < 3; ++c) {
+      for (int i = 1; i < gs::kShCoeffCount; ++i) {
+        rec[k++] = g.sh[static_cast<std::size_t>(i)][c];
+      }
+    }
+    rec[k++] = logit(g.opacity);
+    for (int a = 0; a < 3; ++a) rec[k++] = std::log(std::max(g.scale[a], 1e-9f));
+    rec[k++] = g.rotation.w;
+    rec[k++] = g.rotation.x;
+    rec[k++] = g.rotation.y;
+    rec[k++] = g.rotation.z;
+    out.write(reinterpret_cast<const char*>(rec.data()),
+              static_cast<std::streamsize>(rec.size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+gs::GaussianModel read_ply(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open PLY: " + path);
+
+  std::string line;
+  std::size_t count = 0;
+  bool binary_le = false;
+  int property_count = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line == "end_header") break;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "format") {
+      std::string fmt;
+      ls >> fmt;
+      binary_le = (fmt == "binary_little_endian");
+    } else if (tok == "element") {
+      std::string name;
+      ls >> name >> count;
+      if (name != "vertex") throw std::runtime_error("unexpected PLY element: " + name);
+    } else if (tok == "property") {
+      ++property_count;
+    }
+  }
+  if (!binary_le) throw std::runtime_error("PLY must be binary_little_endian");
+  if (property_count != kFloatsPerRecord) {
+    throw std::runtime_error("unexpected PLY property count: " +
+                             std::to_string(property_count));
+  }
+
+  gs::GaussianModel model;
+  model.gaussians.reserve(count);
+  std::vector<float> rec(kFloatsPerRecord);
+  for (std::size_t n = 0; n < count; ++n) {
+    in.read(reinterpret_cast<char*>(rec.data()),
+            static_cast<std::streamsize>(rec.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("truncated PLY payload");
+    gs::Gaussian g;
+    int k = 0;
+    g.position = {rec[k], rec[k + 1], rec[k + 2]};
+    k += 6;  // skip normals
+    g.sh[0] = {rec[k], rec[k + 1], rec[k + 2]};
+    k += 3;
+    for (int c = 0; c < 3; ++c) {
+      for (int i = 1; i < gs::kShCoeffCount; ++i) {
+        g.sh[static_cast<std::size_t>(i)][c] = rec[static_cast<std::size_t>(k++)];
+      }
+    }
+    g.opacity = sigmoid(rec[static_cast<std::size_t>(k++)]);
+    for (int a = 0; a < 3; ++a) g.scale[a] = std::exp(rec[static_cast<std::size_t>(k++)]);
+    g.rotation = Quatf{rec[static_cast<std::size_t>(k)], rec[static_cast<std::size_t>(k + 1)],
+                       rec[static_cast<std::size_t>(k + 2)], rec[static_cast<std::size_t>(k + 3)]}
+                     .normalized();
+    model.gaussians.push_back(g);
+  }
+  return model;
+}
+
+}  // namespace sgs::scene

@@ -1,0 +1,23 @@
+// Binary-PLY serialization compatible with the reference 3DGS checkpoint
+// format, so externally trained models can be loaded once available and our
+// generated scenes can be inspected in standard splat viewers.
+//
+// Property layout (little-endian float32, one element per Gaussian):
+//   x y z nx ny nz f_dc_0..2 f_rest_0..44 opacity scale_0..2 rot_0..3
+// with the reference conventions: log-scales, logit opacities, f_rest stored
+// channel-major (15 R coefficients, then 15 G, then 15 B), rotation (w,x,y,z).
+#pragma once
+
+#include <string>
+
+#include "gs/gaussian.hpp"
+
+namespace sgs::scene {
+
+// Writes the model; returns false on IO failure.
+bool write_ply(const std::string& path, const gs::GaussianModel& model);
+
+// Reads a model. Throws std::runtime_error on malformed input.
+gs::GaussianModel read_ply(const std::string& path);
+
+}  // namespace sgs::scene

@@ -1,0 +1,98 @@
+#include "scene/variants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sgs::scene {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::k3dgs: return "3DGS";
+    case Algorithm::kMiniSplatting: return "Mini-Splatting";
+    case Algorithm::kLightGaussian: return "LightGaussian";
+  }
+  return "?";
+}
+
+float significance(const gs::Gaussian& g) {
+  const float s = g.max_scale();
+  return g.opacity * s * s;
+}
+
+gs::GaussianModel mini_splatting_variant(const gs::GaussianModel& model,
+                                         std::uint64_t seed,
+                                         float keep_fraction) {
+  gs::GaussianModel out;
+  const std::size_t target = static_cast<std::size_t>(
+      std::max(1.0, std::floor(static_cast<double>(model.size()) * keep_fraction)));
+  if (model.empty()) return out;
+
+  // Systematic (low-variance) weighted resampling without replacement:
+  // walk the significance CDF with a jittered comb of `target` teeth and
+  // keep each Gaussian at most once.
+  std::vector<double> cdf(model.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    acc += static_cast<double>(significance(model.gaussians[i])) + 1e-12;
+    cdf[i] = acc;
+  }
+  Rng rng(seed);
+  const double step = acc / static_cast<double>(target);
+  double pointer = rng.uniform() * step;
+  out.gaussians.reserve(target);
+  std::size_t idx = 0;
+  for (std::size_t t = 0; t < target; ++t) {
+    while (idx < cdf.size() && cdf[idx] < pointer) ++idx;
+    if (idx >= cdf.size()) break;
+    gs::Gaussian g = model.gaussians[idx];
+    // Compensate lost coverage: survivors get denser alpha and slightly
+    // larger support, as in budget-constrained reconstructions.
+    g.opacity = std::min(0.99f, g.opacity * 1.25f);
+    g.scale *= 1.15f;
+    out.gaussians.push_back(g);
+    pointer += step;
+  }
+  return out;
+}
+
+gs::GaussianModel light_gaussian_variant(const gs::GaussianModel& model,
+                                         float prune_fraction, int sh_degree) {
+  gs::GaussianModel out;
+  if (model.empty()) return out;
+
+  std::vector<std::size_t> order(model.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return significance(model.gaussians[a]) > significance(model.gaussians[b]);
+  });
+
+  const std::size_t keep = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(static_cast<double>(model.size()) * (1.0 - prune_fraction))));
+  const int keep_coeffs = sh_degree >= 3 ? 16 : (sh_degree == 2 ? 9 : (sh_degree == 1 ? 4 : 1));
+
+  out.gaussians.reserve(keep);
+  for (std::size_t i = 0; i < keep && i < order.size(); ++i) {
+    gs::Gaussian g = model.gaussians[order[i]];
+    for (int k = keep_coeffs; k < gs::kShCoeffCount; ++k) {
+      g.sh[static_cast<std::size_t>(k)] = Vec3f{0.0f, 0.0f, 0.0f};
+    }
+    out.gaussians.push_back(g);
+  }
+  return out;
+}
+
+gs::GaussianModel apply_algorithm(const gs::GaussianModel& model, Algorithm a,
+                                  std::uint64_t seed) {
+  switch (a) {
+    case Algorithm::k3dgs: return model;
+    case Algorithm::kMiniSplatting: return mini_splatting_variant(model, seed);
+    case Algorithm::kLightGaussian: return light_gaussian_variant(model);
+  }
+  return model;
+}
+
+}  // namespace sgs::scene

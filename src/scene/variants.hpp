@@ -1,0 +1,45 @@
+// Model transforms emulating the two compressed-3DGS algorithms the paper
+// evaluates alongside original 3DGS (Tbl. II / Fig. 11).
+//
+// The published pipelines are full training procedures; what the hardware
+// evaluation needs from them is their *workload structure*: Mini-Splatting
+// reconstructs scenes with a constrained Gaussian budget, LightGaussian
+// prunes low-significance Gaussians and distills high-order SH. These
+// transforms apply the same structural changes to an existing model.
+#pragma once
+
+#include <cstdint>
+
+#include "gs/gaussian.hpp"
+
+namespace sgs::scene {
+
+enum class Algorithm { k3dgs, kMiniSplatting, kLightGaussian };
+
+inline constexpr std::array<Algorithm, 3> kAllAlgorithms = {
+    Algorithm::k3dgs, Algorithm::kMiniSplatting, Algorithm::kLightGaussian};
+
+const char* algorithm_name(Algorithm a);
+
+// Per-Gaussian significance score: opacity times projected-area proxy
+// (max-scale squared), the pruning criterion family used by LightGaussian.
+float significance(const gs::Gaussian& g);
+
+// Mini-Splatting-like: importance-weighted resampling down to
+// `keep_fraction` of the input count, with opacity compensation so the
+// thinner model keeps similar coverage.
+gs::GaussianModel mini_splatting_variant(const gs::GaussianModel& model,
+                                         std::uint64_t seed,
+                                         float keep_fraction = 0.35f);
+
+// LightGaussian-like: prune the lowest-significance `prune_fraction` of
+// Gaussians and truncate SH above `sh_degree` (distillation proxy).
+gs::GaussianModel light_gaussian_variant(const gs::GaussianModel& model,
+                                         float prune_fraction = 0.60f,
+                                         int sh_degree = 1);
+
+// Applies the named algorithm's transform (identity for k3dgs).
+gs::GaussianModel apply_algorithm(const gs::GaussianModel& model, Algorithm a,
+                                  std::uint64_t seed = 7);
+
+}  // namespace sgs::scene

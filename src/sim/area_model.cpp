@@ -1,0 +1,36 @@
+#include "sim/area_model.hpp"
+
+#include <sstream>
+
+namespace sgs::sim {
+
+AreaReport area_report(const StreamingGsHwConfig& hw, const AreaConstants& c) {
+  AreaReport rep;
+  auto add = [&rep](const std::string& unit, const std::string& config,
+                    double area) {
+    rep.rows.push_back({unit, config, area});
+    rep.total_mm2 += area;
+  };
+
+  add("Voxel Sorting Unit", std::to_string(hw.vsu_count) + " Unit",
+      c.vsu_mm2 * hw.vsu_count);
+  {
+    std::ostringstream cfgs;
+    cfgs << hw.hfu_count << " Units";
+    add("Hierarchical Filtering Unit", cfgs.str(), c.hfu_mm2 * hw.hfu_count);
+  }
+  add("Sorting Unit", std::to_string(hw.sort_unit_count) + " Units",
+      c.sort_unit_mm2 * hw.sort_unit_count);
+  add("Rendering Unit", std::to_string(hw.render_unit_count) + " Units",
+      c.render_unit_mm2 * hw.render_unit_count);
+  const double sram_kb = hw.input_buffer_kb + hw.codebook_kb + hw.scratch_kb;
+  {
+    std::ostringstream cfgs;
+    cfgs << static_cast<int>(sram_kb) << "KB";
+    add("SRAM (Input Buffer, Codebook, others)", cfgs.str(),
+        c.sram_mm2_per_kb * sram_kb);
+  }
+  return rep;
+}
+
+}  // namespace sgs::sim

@@ -1,0 +1,28 @@
+// Area model reproducing the paper's Table I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/energy_model.hpp"
+#include "sim/hw_config.hpp"
+
+namespace sgs::sim {
+
+struct AreaRow {
+  std::string unit;
+  std::string configuration;
+  double area_mm2 = 0.0;
+};
+
+struct AreaReport {
+  std::vector<AreaRow> rows;
+  double total_mm2 = 0.0;
+};
+
+// Computes the area table for an accelerator configuration; with the
+// default config this reproduces Table I (total 5.37 mm^2).
+AreaReport area_report(const StreamingGsHwConfig& hw,
+                       const AreaConstants& constants = {});
+
+}  // namespace sgs::sim

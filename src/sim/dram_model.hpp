@@ -1,0 +1,84 @@
+// Detailed LPDDR3 timing model: channels, banks, row buffers.
+//
+// The pipeline simulators use a flat effective-bandwidth constant
+// (DramConfig.efficiency); this module computes where those constants come
+// from. It models the paper's Micron 16 Gb LPDDR3 x4-channel part at the
+// request level: sequential voxel streams mostly hit open rows and approach
+// peak bandwidth, while tile-centric scatter pays activate/precharge on
+// most requests. `effective_efficiency` lets tests assert that the flat
+// constants used by the simulators are consistent with the detailed model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sgs::sim {
+
+struct DramDetailConfig {
+  // Micron 16 Gb LPDDR3-1600, 4 x 32-bit channels (paper Sec. V-A).
+  int channels = 4;
+  double bytes_per_cycle_per_channel = 6.4;  // at the 1 GHz accelerator clock
+  // Row buffer (page) size per bank and the number of banks per channel.
+  std::uint32_t row_bytes = 4096;
+  int banks_per_channel = 8;
+  // Timing in accelerator cycles (LPDDR3-1600: tRCD ~ 18 ns, tRP ~ 18 ns,
+  // CAS ~ 15 ns at 1 GHz host clock).
+  double t_rcd = 18.0;  // activate -> column access
+  double t_rp = 18.0;   // precharge
+  double t_cas = 15.0;  // column access latency (pipelined across bursts)
+  // Channel interleaving granularity: consecutive addresses rotate channels
+  // every this many bytes.
+  std::uint32_t interleave_bytes = 256;
+  // Energy (Micron power-calculator range).
+  double activate_pj = 2500.0;        // per row activate+precharge pair
+  double transfer_pj_per_byte = 25.0; // IO + core access
+};
+
+struct DramAccessStats {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  double cycles = 0.0;
+  double energy_pj = 0.0;
+
+  double row_hit_rate() const {
+    const std::uint64_t total = row_hits + row_misses;
+    return total == 0 ? 0.0 : static_cast<double>(row_hits) / static_cast<double>(total);
+  }
+};
+
+class DramModel {
+ public:
+  explicit DramModel(const DramDetailConfig& config = {});
+
+  const DramDetailConfig& config() const { return config_; }
+
+  // Services a contiguous read/write of `bytes` starting at `address`.
+  // Returns the cycles the transfer occupies (activates serialize with the
+  // transfer on the owning bank; channel parallelism divides the payload).
+  double access(std::uint64_t address, std::uint64_t bytes);
+
+  const DramAccessStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  double peak_bytes_per_cycle() const {
+    return config_.bytes_per_cycle_per_channel * config_.channels;
+  }
+
+  // Effective fraction of peak bandwidth achieved by repeatedly streaming
+  // sequential chunks of `chunk_bytes` from random chunk-aligned addresses
+  // (the access pattern of voxel streaming: one burst per voxel visit).
+  static double effective_efficiency(std::uint64_t chunk_bytes,
+                                     const DramDetailConfig& config = {});
+
+ private:
+  DramDetailConfig config_;
+  DramAccessStats stats_;
+  // Open row per (channel, bank); row id ~ address / row_bytes.
+  std::vector<std::int64_t> open_row_;
+
+  int bank_count() const { return config_.channels * config_.banks_per_channel; }
+};
+
+}  // namespace sgs::sim

@@ -1,0 +1,54 @@
+// Energy and area constants for the 32 nm accelerator models.
+//
+// The paper synthesizes at TSMC 32 nm with Synopsys/Cadence, estimates SRAM
+// with CACTI 7.0, and takes DRAM energy from Micron's power calculators.
+// Offline EDA tools are out of scope here, so this header pins the model to
+// published per-operation constants at comparable nodes:
+//   * 16-bit MAC at 28-45 nm: ~0.8-2 pJ  -> 1.2 pJ
+//   * small SRAM (<=64 KB) access:      ~0.06-0.12 pJ/B -> 0.08 pJ/B
+//   * large SRAM (256 KB class) access: ~0.15-0.3 pJ/B  -> 0.20 pJ/B
+//   * LPDDR3 access: ~4-6 pJ/bit        -> 37.5 pJ/B (in DramConfig)
+// Areas reproduce the paper's Table I per-unit values exactly; the area
+// model scales linearly with unit counts for design-space exploration.
+#pragma once
+
+namespace sgs::sim {
+
+struct EnergyConstants {
+  double mac_pj = 1.2;
+  double sram_small_pj_per_byte = 0.08;
+  double sram_large_pj_per_byte = 0.20;
+  // Static (leakage + clock tree) power for the full 5.37 mm^2 accelerator.
+  double accel_static_watts = 0.25;
+};
+
+struct EnergyBreakdown {
+  double dram_pj = 0.0;
+  double sram_pj = 0.0;
+  double compute_pj = 0.0;
+  double static_pj = 0.0;
+
+  double total_pj() const { return dram_pj + sram_pj + compute_pj + static_pj; }
+  double total_mj() const { return total_pj() * 1e-9; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) {
+    dram_pj += o.dram_pj;
+    sram_pj += o.sram_pj;
+    compute_pj += o.compute_pj;
+    static_pj += o.static_pj;
+    return *this;
+  }
+};
+
+// Table I per-unit areas (mm^2 at 32 nm).
+struct AreaConstants {
+  double vsu_mm2 = 0.06;            // 1 unit
+  double hfu_mm2 = 0.79 / 4.0;      // per HFU (paper: 4 units = 0.79)
+  double sort_unit_mm2 = 0.04 / 2.0;
+  double render_unit_mm2 = 2.53 / 64.0;
+  double sram_mm2_per_kb = 1.95 / 355.0;
+  // GSCore total at 32 nm (scaled by DeepScaleTool in the paper).
+  double gscore_total_mm2 = 5.53;
+};
+
+}  // namespace sgs::sim

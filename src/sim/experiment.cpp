@@ -1,0 +1,92 @@
+#include "sim/experiment.hpp"
+
+#include "metrics/psnr.hpp"
+#include "metrics/ssim.hpp"
+
+namespace sgs::sim {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kNoVqNoCgf: return "w/o VQ+CGF";
+    case Variant::kNoCgf: return "w/o CGF";
+    case Variant::kFull: return "StreamingGS";
+  }
+  return "?";
+}
+
+SceneExperiment::SceneExperiment(const ExperimentConfig& config)
+    : config_(config) {
+  const scene::PresetInfo& info = scene::preset_info(config.preset);
+  voxel_size_ =
+      config.voxel_size > 0.0f ? config.voxel_size : info.default_voxel_size;
+
+  gs::GaussianModel base =
+      scene::make_preset_scene(config.preset, config.model_scale);
+  model_ = scene::apply_algorithm(base, config.algorithm, config.variant_seed);
+
+  int width = 0, height = 0;
+  scene::scaled_resolution(config.preset, config.resolution_scale, width, height);
+  camera_ = scene::make_preset_camera(config.preset, width, height);
+
+  reference_ = render::render_tile_centric(model_, camera_);
+  gpu_ = simulate_gpu(reference_.trace);
+  gscore_ = simulate_gscore(reference_.trace);
+}
+
+const core::StreamingScene& SceneExperiment::streaming_scene(bool use_vq) {
+  std::unique_ptr<core::StreamingScene>& slot = use_vq ? scene_vq_ : scene_raw_;
+  if (!slot) {
+    core::StreamingConfig cfg;
+    cfg.voxel_size = voxel_size_;
+    cfg.group_size = config_.group_size;
+    cfg.use_vq = use_vq;
+    slot = std::make_unique<core::StreamingScene>(
+        core::StreamingScene::prepare(model_, cfg));
+  }
+  return *slot;
+}
+
+const core::StreamingRenderResult& SceneExperiment::full_render() {
+  if (!full_render_) {
+    full_render_ = std::make_unique<core::StreamingRenderResult>(
+        render_streaming(streaming_scene(true), camera_));
+  }
+  return *full_render_;
+}
+
+VariantOutcome SceneExperiment::run_variant(Variant v,
+                                            const StreamingGsHwConfig& hw) {
+  const bool use_vq = (v != Variant::kNoVqNoCgf);
+  const bool use_cgf = (v == Variant::kFull);
+
+  if (v == Variant::kFull) {
+    const core::StreamingRenderResult& r = full_render();
+    StreamingGsSimOptions opts;
+    opts.hw = hw;
+    opts.coarse_filter_enabled = true;
+    VariantOutcome out;
+    out.stats = r.stats;
+    out.accel = simulate_streaminggs(r.trace, opts);
+    out.psnr_vs_reference_db = metrics::psnr_capped(r.image, reference_.image);
+    out.ssim_vs_reference = metrics::ssim(r.image, reference_.image);
+    return out;
+  }
+
+  const core::StreamingScene& scene = streaming_scene(use_vq);
+  core::StreamingRenderOptions ropts;
+  ropts.coarse_filter_override = use_cgf;
+  const core::StreamingRenderResult r = render_streaming(scene, camera_, ropts);
+
+  StreamingGsSimOptions opts;
+  opts.hw = hw;
+  opts.coarse_filter_enabled = use_cgf;
+
+  VariantOutcome out;
+  out.stats = r.stats;
+  out.accel = simulate_streaminggs(r.trace, opts);
+  out.psnr_vs_reference_db = metrics::psnr_capped(r.image, reference_.image);
+  out.ssim_vs_reference = metrics::ssim(r.image, reference_.image);
+  return out;
+}
+
+}  // namespace sgs::sim

@@ -1,0 +1,87 @@
+// End-to-end experiment harness shared by the figure/table benches and the
+// examples: builds a preset scene, renders the tile-centric reference (which
+// also yields the GPU/GSCore workload trace), prepares the streaming scene,
+// and runs any STREAMINGGS variant through the functional renderer and the
+// accelerator simulator.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/streaming_renderer.hpp"
+#include "gs/camera.hpp"
+#include "render/tile_renderer.hpp"
+#include "scene/presets.hpp"
+#include "scene/variants.hpp"
+#include "sim/gpu_model.hpp"
+#include "sim/gscore_sim.hpp"
+#include "sim/streaminggs_sim.hpp"
+
+namespace sgs::sim {
+
+struct ExperimentConfig {
+  scene::ScenePreset preset = scene::ScenePreset::kTrain;
+  scene::Algorithm algorithm = scene::Algorithm::k3dgs;
+  // Fraction of the paper-scale Gaussian count / image resolution. Defaults
+  // keep a full figure sweep within CPU minutes; ratios are scale-robust.
+  float model_scale = 0.05f;
+  float resolution_scale = 0.5f;
+  // Voxel size override; <= 0 uses the preset default (0.4 / 2.0).
+  float voxel_size = 0.0f;
+  int group_size = 64;
+  std::uint64_t variant_seed = 7;
+};
+
+// The three ablation variants of Fig. 11 plus the full design.
+enum class Variant { kNoVqNoCgf, kNoCgf, kFull };
+const char* variant_name(Variant v);
+
+struct VariantOutcome {
+  core::StreamingStats stats;
+  SimReport accel;
+  double psnr_vs_reference_db = 0.0;
+  double ssim_vs_reference = 0.0;
+};
+
+// One scene+algorithm workload with its baselines evaluated once; variants
+// can then be run cheaply against the shared reference.
+class SceneExperiment {
+ public:
+  explicit SceneExperiment(const ExperimentConfig& config);
+
+  const ExperimentConfig& config() const { return config_; }
+  const gs::GaussianModel& model() const { return model_; }
+  const gs::Camera& camera() const { return camera_; }
+  float voxel_size() const { return voxel_size_; }
+
+  const render::TileRenderResult& reference() const { return reference_; }
+  const GpuSimResult& gpu() const { return gpu_; }
+  const SimReport& gscore() const { return gscore_; }
+
+  // Runs a streaming variant: functional render + accelerator simulation.
+  // Prepared streaming scenes are cached per VQ setting (variant ablations
+  // only differ in the coarse filter, which is a render-time flag).
+  VariantOutcome run_variant(Variant v, const StreamingGsHwConfig& hw = {});
+
+  // Cached prepared scene for the given VQ setting.
+  const core::StreamingScene& streaming_scene(bool use_vq);
+
+  // Cached functional render of the full variant (VQ + CGF). Hardware
+  // sweeps (Fig. 13) re-simulate this one trace under many configurations.
+  const core::StreamingRenderResult& full_render();
+
+ private:
+  ExperimentConfig config_;
+  float voxel_size_ = 0.0f;
+  gs::GaussianModel model_;
+  gs::Camera camera_;
+  render::TileRenderResult reference_;
+  GpuSimResult gpu_;
+  SimReport gscore_;
+  std::unique_ptr<core::StreamingScene> scene_vq_;
+  std::unique_ptr<core::StreamingScene> scene_raw_;
+  std::unique_ptr<core::StreamingRenderResult> full_render_;
+};
+
+}  // namespace sgs::sim

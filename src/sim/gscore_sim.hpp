@@ -1,0 +1,28 @@
+// Trace-driven model of GSCore (Lee et al., ASPLOS'24), the tile-centric
+// accelerator baseline of the paper's Fig. 11.
+//
+// GSCore accelerates the same three-stage pipeline the GPU runs: projection
+// units cull + project all Gaussians, bitonic sorting units order each
+// tile's duplicated pairs (chunked, so pairs are materialized to DRAM once
+// instead of the GPU radix sort's multiple passes), and a volume-rendering
+// array blends. Being tile-centric, it keeps the intermediate DRAM traffic
+// the streaming design eliminates — which is exactly the gap the paper
+// measures.
+#pragma once
+
+#include "render/trace.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/hw_config.hpp"
+#include "sim/report.hpp"
+
+namespace sgs::sim {
+
+struct GscoreSimOptions {
+  GscoreHwConfig hw{};
+  EnergyConstants energy{};
+};
+
+SimReport simulate_gscore(const render::TileCentricTrace& trace,
+                          const GscoreSimOptions& options = {});
+
+}  // namespace sgs::sim

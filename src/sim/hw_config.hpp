@@ -1,0 +1,129 @@
+// Hardware configurations for the three machines the paper evaluates:
+// the STREAMINGGS accelerator, the GSCore baseline accelerator, and the
+// Nvidia Orin NX mobile GPU.
+//
+// Throughput parameters are expressed as initiation intervals (cycles per
+// element per unit) of deeply pipelined units; see DESIGN.md §6 and the
+// calibration notes in EXPERIMENTS.md. Default values reproduce the paper's
+// Table I configuration: 1 VSU, 4 HFUs (4 CFU + 1 FFU each), 2 sorting
+// units, 64 rendering units at 1 GHz with a 16 KB + 250 KB + 89 KB SRAM
+// hierarchy and a 4-channel LPDDR3 DRAM.
+#pragma once
+
+namespace sgs::sim {
+
+struct DramConfig {
+  // Micron 16 Gb LPDDR3, 4 channels x 32 bit @ 1600 MT/s = 25.6 GB/s peak;
+  // at the 1 GHz accelerator clock that is 25.6 bytes per cycle.
+  double peak_bytes_per_cycle = 25.6;
+  // Achieved fraction of peak. Voxel streams are long sequential bursts.
+  double efficiency = 0.90;
+  // Access energy (Micron power-calculator range for LPDDR3, ~4.7 pJ/bit).
+  double energy_pj_per_byte = 37.5;
+};
+
+struct StreamingGsHwConfig {
+  double clock_ghz = 1.0;
+
+  int vsu_count = 1;
+  int hfu_count = 4;
+  int cfu_per_hfu = 4;
+  int ffu_per_hfu = 1;
+  int sort_unit_count = 2;
+  int render_unit_count = 64;  // 4 x 4 x 4 array
+
+  // CFU: 55 MACs over a ~5-lane dot-product datapath -> 10-cycle
+  // initiation interval per Gaussian per unit.
+  double cfu_cycles_per_gaussian = 10.0;
+  // FFU: 427 MACs over a ~107-lane pipelined datapath (codebook decode +
+  // conic + SH color), 4-cycle initiation interval per surviving Gaussian.
+  // The 4 FFUs together sustain ~427 MACs/cycle — the same class as
+  // GSCore's 8-unit projection array. At the coarse filter's typical pass
+  // rate the FFUs idle behind the CFUs, which is why the paper's 4-CFU /
+  // 1-FFU split is optimal (Fig. 13), while disabling the CGF floods them
+  // and the DRAM fine stream (Fig. 11's w/o-CGF gap).
+  double ffu_cycles_per_gaussian = 4.0;
+  // Bitonic sorting unit throughput (elements per cycle per unit) once the
+  // network is full.
+  double sort_elems_per_cycle_per_unit = 8.0;
+  // Each rendering unit retires one pixel-blend per cycle.
+  double render_ops_per_cycle_per_unit = 1.0;
+
+  // VSU micro-operations.
+  double vsu_cycles_per_dda_step = 1.0;   // ray sample + renaming lookup
+  double vsu_cycles_per_edge = 1.0;       // adjacency-table update
+  double vsu_cycles_per_node = 2.0;       // in-degree init + pop
+
+  // On-chip buffers (Table I: total 355 KB).
+  double input_buffer_kb = 16.0;  // double-buffered voxel stream
+  double codebook_kb = 250.0;
+  double scratch_kb = 89.0;
+
+  DramConfig dram{};
+
+  int total_cfus() const { return hfu_count * cfu_per_hfu; }
+  int total_ffus() const { return hfu_count * ffu_per_hfu; }
+};
+
+struct GscoreHwConfig {
+  double clock_ghz = 1.0;
+
+  // GSCore organization (Lee et al., ASPLOS'24), throughput-comparable to
+  // our HFU backend: culling+projection units, bitonic sort units with
+  // chunked merge, and a volume-rendering array.
+  int projection_unit_count = 8;
+  double projection_cycles_per_gaussian = 4.0;  // full 427-MAC projection
+  int sort_unit_count = 4;
+  double sort_elems_per_cycle_per_unit = 8.0;
+  int render_unit_count = 64;
+  double render_ops_per_cycle_per_unit = 1.0;
+
+  // GSCore's two-step feature fetch: the culling unit reads geometry-only
+  // records for every Gaussian and the 48 SH color coefficients only for
+  // Gaussians that survive frustum/tile culling (fetching all 59 parameters
+  // of multi-million-Gaussian scenes would exceed its frame budget on a
+  // 25.6 GB/s DRAM).
+  // GSCore stores model parameters in reduced (16-bit) precision.
+  double geometry_record_bytes = 11 * 2;  // pos, scale, rot, opacity
+  double sh_record_bytes = 48 * 2;
+  double feature_write_bytes = 10 * 2;    // projected feature record
+  double render_fetch_bytes = 10 * 2 + 4;
+
+  // GSCore materializes projected features and sorted pair lists in DRAM
+  // (the intermediate traffic the paper's streaming design eliminates); its
+  // chunked on-chip bitonic sort needs one materialization pass instead of
+  // the GPU radix sort's four.
+  int sort_passes = 1;
+
+  // Tile-centric accesses are less sequential than voxel streams.
+  DramConfig dram{.peak_bytes_per_cycle = 25.6, .efficiency = 0.75,
+                  .energy_pj_per_byte = 37.5};
+};
+
+struct GpuConfig {
+  // Nvidia Orin NX (Ampere, 1024 CUDA cores): 3.7 TFLOPS fp32, 102.4 GB/s.
+  double peak_tflops = 3.7;
+  double mem_bw_gbps = 102.4;
+
+  // Achieved-fraction-of-peak factors per stage (CUDA 3DGS kernels are far
+  // from peak: divergent per-tile loops, atomic contention, scattered pair
+  // accesses). mem_eff is calibrated from the paper's own data: Fig. 4 puts
+  // the tile-centric pipeline at ~1.2-2.8 GB of traffic per frame on
+  // real-world scenes while Fig. 3 measures 2-9 FPS, implying ~7 GB/s
+  // achieved DRAM throughput on the 102.4 GB/s part.
+  double compute_eff_projection = 0.15;
+  double compute_eff_render = 0.10;
+  double mem_eff = 0.045;
+
+  double flops_per_mac = 2.0;
+  // Blending inner loop: conic quadratic + exp + FMA accumulation.
+  double flops_per_blend_op = 32.0;
+
+  // Energy model: GPU-rail power (what the board's built-in sensors report
+  // for the GPU domain), not the full 10-25 W module.
+  double energy_per_flop_pj = 9.0;   // incl. instruction/register overhead
+  double dram_pj_per_byte = 55.0;    // LPDDR5 + controller
+  double static_watts = 0.8;         // GPU-rail idle/leakage share
+};
+
+}  // namespace sgs::sim

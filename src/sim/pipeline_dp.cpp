@@ -1,0 +1,23 @@
+#include "sim/pipeline_dp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sgs::sim {
+
+void PipelineDp::push(const std::vector<double>& times) {
+  assert(times.size() == completion_.size());
+  push(times.data());
+}
+
+void PipelineDp::push(const double* times) {
+  double prev_stage_done = 0.0;  // C[i][s-1]
+  for (std::size_t s = 0; s < completion_.size(); ++s) {
+    const double start = std::max(completion_[s], prev_stage_done);
+    completion_[s] = start + times[s];
+    busy_[s] += times[s];
+    prev_stage_done = completion_[s];
+  }
+}
+
+}  // namespace sgs::sim

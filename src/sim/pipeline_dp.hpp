@@ -1,0 +1,41 @@
+// Stage-granular pipeline makespan.
+//
+// Items (voxel visits, tiles) flow through S stages in order; each stage is
+// a single resource processing items FIFO. With double buffering between
+// stages, completion follows the classic permutation-flow-shop recurrence
+//   C[i][s] = max(C[i-1][s], C[i][s-1]) + t[i][s],
+// which captures exactly the overlap the paper's double-buffered design
+// achieves (stage s of item i runs while stage s-1 processes item i+1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sgs::sim {
+
+class PipelineDp {
+ public:
+  explicit PipelineDp(std::size_t stage_count)
+      : completion_(stage_count, 0.0), busy_(stage_count, 0.0) {}
+
+  std::size_t stage_count() const { return completion_.size(); }
+
+  // Feeds one item through all stages; `times[s]` is the item's service
+  // time on stage s (0 = passes through instantly).
+  void push(const std::vector<double>& times);
+
+  // Same, from a raw pointer (hot path, avoids allocation).
+  void push(const double* times);
+
+  // Makespan so far: completion time of the last pushed item's last stage.
+  double makespan() const { return completion_.empty() ? 0.0 : completion_.back(); }
+
+  // Total busy time of a stage (its utilization = busy / makespan).
+  double stage_busy(std::size_t s) const { return busy_[s]; }
+
+ private:
+  std::vector<double> completion_;  // completion time per stage, last item
+  std::vector<double> busy_;
+};
+
+}  // namespace sgs::sim

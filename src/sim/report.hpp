@@ -1,0 +1,29 @@
+// Common result record of a simulated frame on any of the three machines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/energy_model.hpp"
+
+namespace sgs::sim {
+
+struct SimReport {
+  std::string machine;
+  double cycles = 0.0;       // accelerators; GPUs report seconds only
+  double seconds = 0.0;
+  double fps = 0.0;
+  std::uint64_t dram_bytes = 0;
+  EnergyBreakdown energy;
+  // Busy time per pipeline stage (diagnostics / bottleneck analysis).
+  std::map<std::string, double> stage_busy;
+
+  double energy_mj() const { return energy.total_mj(); }
+  // Average power in watts over the frame.
+  double watts() const {
+    return seconds > 0.0 ? energy.total_pj() * 1e-12 / seconds : 0.0;
+  }
+};
+
+}  // namespace sgs::sim

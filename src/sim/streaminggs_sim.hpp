@@ -1,0 +1,37 @@
+// Trace-driven simulator of the STREAMINGGS accelerator (paper Sec. IV).
+//
+// Consumes the StreamingTrace a functional render produced and replays it
+// through a six-stage double-buffered pipeline:
+//   VSU -> DRAM load -> CFU (coarse filter) -> FFU (decode + fine filter)
+//       -> bitonic sort -> render array.
+// Items are voxel visits; a group's VSU work gates its first voxel (the
+// rendering order must exist before streaming starts). Energy integrates
+// DRAM bytes, SRAM movement, MACs, and static power over the frame.
+#pragma once
+
+#include "core/streaming_trace.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/hw_config.hpp"
+#include "sim/report.hpp"
+
+namespace sgs::sim {
+
+struct StreamingGsSimOptions {
+  StreamingGsHwConfig hw{};
+  EnergyConstants energy{};
+  // Without the coarse filter (w/o CGF variant) every resident bypasses the
+  // CFUs and is processed by the FFUs directly.
+  bool coarse_filter_enabled = true;
+};
+
+SimReport simulate_streaminggs(const core::StreamingTrace& trace,
+                               const StreamingGsSimOptions& options = {});
+
+// SRAM capacity check: largest voxel chunk + codebook + group accumulators
+// must fit the configured buffers. Returns empty string when OK, else a
+// human-readable violation description.
+std::string check_buffer_capacity(const core::StreamingTrace& trace,
+                                  const StreamingGsHwConfig& hw,
+                                  std::size_t codebook_bytes);
+
+}  // namespace sgs::sim

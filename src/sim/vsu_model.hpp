@@ -1,0 +1,64 @@
+// Detailed model of the Voxel Sorting Unit (paper Fig. 10).
+//
+// The VSU pipelines four hardware structures per pixel group:
+//   1. ray sampling — each sampled ray's DDA steps compute raw voxel IDs;
+//   2. renaming table — maps sparse raw VIDs onto dense VIDr (empty voxels
+//      are filtered out by the offline renaming; the table is a direct
+//      lookup sized by the non-empty voxel count);
+//   3. adjacency table — a small cache of (source VIDr -> destination set)
+//      entries built from consecutive VIDr pairs of each ray;
+//   4. in-degree table — indexed by VIDr, drives Kahn's topological sort:
+//      zero-in-degree entries pop to the voxel queue, each pop decrements
+//      its destinations.
+// This model charges per-operation cycles, tracks table occupancies against
+// configured capacities, and reports overflow (which a real design would
+// handle by splitting the group — counted, not fatal).
+#pragma once
+
+#include <cstdint>
+
+#include "core/streaming_trace.hpp"
+
+namespace sgs::sim {
+
+struct VsuConfig {
+  // Table capacities (entries). The renaming table covers the scene's dense
+  // voxel ID space; adjacency/in-degree tables are per-group working sets.
+  std::uint32_t renaming_entries = 65536;
+  std::uint32_t adjacency_entries = 1024;
+  std::uint32_t indegree_entries = 1024;
+
+  // Per-operation cycle costs.
+  double cycles_per_ray_step = 1.0;       // DDA step + renaming lookup
+  double cycles_per_adjacency_op = 1.0;   // tag match + insert
+  double cycles_per_indegree_init = 1.0;  // table init from adjacency
+  double cycles_per_pop = 2.0;            // heap pop + dependents update
+};
+
+struct VsuGroupReport {
+  double cycles = 0.0;
+  std::uint64_t ray_steps = 0;
+  std::uint64_t renaming_lookups = 0;
+  std::uint64_t adjacency_ops = 0;
+  std::uint64_t indegree_ops = 0;
+  std::uint64_t pops = 0;
+  bool adjacency_overflow = false;
+  bool indegree_overflow = false;
+};
+
+struct VsuFrameReport {
+  double total_cycles = 0.0;
+  double max_group_cycles = 0.0;
+  std::uint64_t groups_with_overflow = 0;
+  std::uint64_t total_pops = 0;
+};
+
+// Cycle/occupancy model for one pixel group's VSU work.
+VsuGroupReport simulate_vsu_group(const core::GroupWork& group,
+                                  const VsuConfig& config = {});
+
+// Aggregates over a frame trace.
+VsuFrameReport simulate_vsu_frame(const core::StreamingTrace& trace,
+                                  const VsuConfig& config = {});
+
+}  // namespace sgs::sim

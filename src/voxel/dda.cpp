@@ -1,0 +1,100 @@
+#include "voxel/dda.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sgs::voxel {
+
+namespace {
+
+// Ray/AABB slab test; returns [t0, t1] clamped to t >= 0, or false.
+bool ray_box(const gs::Ray& ray, Vec3f lo, Vec3f hi, float& t0, float& t1) {
+  t0 = 0.0f;
+  t1 = std::numeric_limits<float>::infinity();
+  for (int a = 0; a < 3; ++a) {
+    const float o = ray.origin[a];
+    const float d = ray.direction[a];
+    if (std::abs(d) < 1e-12f) {
+      if (o < lo[a] || o > hi[a]) return false;
+      continue;
+    }
+    float ta = (lo[a] - o) / d;
+    float tb = (hi[a] - o) / d;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void traverse(const gs::Ray& ray, const VoxelGridConfig& grid, float max_t,
+              const std::function<bool(Vec3i, float)>& visit) {
+  const Vec3f lo = grid.origin;
+  const Vec3f hi = grid.origin + Vec3f{static_cast<float>(grid.dims.x),
+                                       static_cast<float>(grid.dims.y),
+                                       static_cast<float>(grid.dims.z)} *
+                                     grid.voxel_size;
+  float t0, t1;
+  if (!ray_box(ray, lo, hi, t0, t1)) return;
+  t1 = std::min(t1, max_t);
+  if (t0 > t1) return;
+
+  // Enter slightly inside the box to get a well-defined starting cell.
+  const float entry_eps = 1e-5f * grid.voxel_size;
+  const Vec3f p0 = ray.at(t0 + entry_eps);
+  Vec3i c{static_cast<std::int32_t>(std::floor((p0.x - lo.x) / grid.voxel_size)),
+          static_cast<std::int32_t>(std::floor((p0.y - lo.y) / grid.voxel_size)),
+          static_cast<std::int32_t>(std::floor((p0.z - lo.z) / grid.voxel_size))};
+  for (int a = 0; a < 3; ++a) c[a] = std::clamp(c[a], 0, grid.dims[a] - 1);
+
+  Vec3i step{0, 0, 0};
+  Vec3f t_max_axis{std::numeric_limits<float>::infinity(),
+                   std::numeric_limits<float>::infinity(),
+                   std::numeric_limits<float>::infinity()};
+  Vec3f t_delta = t_max_axis;
+  for (int a = 0; a < 3; ++a) {
+    const float d = ray.direction[a];
+    if (std::abs(d) < 1e-12f) continue;
+    step[a] = d > 0.0f ? 1 : -1;
+    const float next_boundary =
+        lo[a] + (static_cast<float>(c[a]) + (d > 0.0f ? 1.0f : 0.0f)) * grid.voxel_size;
+    t_max_axis[a] = (next_boundary - ray.origin[a]) / d;
+    t_delta[a] = grid.voxel_size / std::abs(d);
+  }
+
+  float t_entry = t0;
+  for (;;) {
+    if (!visit(c, t_entry)) return;
+    // Advance across the nearest cell boundary.
+    int axis = 0;
+    if (t_max_axis.y < t_max_axis[axis]) axis = 1;
+    if (t_max_axis.z < t_max_axis[axis]) axis = 2;
+    t_entry = t_max_axis[axis];
+    if (t_entry > t1) return;
+    c[axis] += step[axis];
+    if (c[axis] < 0 || c[axis] >= grid.dims[axis]) return;
+    t_max_axis[axis] += t_delta[axis];
+  }
+}
+
+std::vector<DenseVoxelId> intersected_voxels(const gs::Ray& ray,
+                                             const VoxelGrid& grid,
+                                             float max_t, DdaStats* stats) {
+  std::vector<DenseVoxelId> out;
+  traverse(ray, grid.config(), max_t, [&](Vec3i c, float) {
+    if (stats) ++stats->steps;
+    const DenseVoxelId d = grid.dense_of_raw(grid.raw_id(c));
+    if (d != kInvalidDenseId) {
+      out.push_back(d);
+      if (stats) ++stats->non_empty;
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace sgs::voxel

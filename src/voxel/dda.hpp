@@ -1,0 +1,34 @@
+// 3D digital differential analyzer (Amanatides & Woo) for ray–voxel
+// intersection. The paper's VSU samples along each pixel ray to identify
+// intersected voxels (Sec. IV-B); DDA is the exact, sample-free equivalent
+// and visits voxels strictly front-to-back, which is exactly the per-ray
+// rendering order the voxel-ordering table needs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gs/camera.hpp"
+#include "voxel/grid.hpp"
+
+namespace sgs::voxel {
+
+struct DdaStats {
+  std::size_t steps = 0;        // voxel cells visited (incl. empty)
+  std::size_t non_empty = 0;    // cells that survived renaming
+};
+
+// Walks `ray` through the grid from entry to exit (or until `max_t`),
+// invoking visit(coord, t_entry) per visited cell in front-to-back order.
+// Returns false from `visit` to stop early.
+void traverse(const gs::Ray& ray, const VoxelGridConfig& grid, float max_t,
+              const std::function<bool(Vec3i, float)>& visit);
+
+// Dense (renamed) IDs of non-empty voxels along the ray, front-to-back,
+// deduplicated (a DDA never revisits a cell). Stats are accumulated if given.
+std::vector<DenseVoxelId> intersected_voxels(const gs::Ray& ray,
+                                             const VoxelGrid& grid,
+                                             float max_t = 1e30f,
+                                             DdaStats* stats = nullptr);
+
+}  // namespace sgs::voxel

@@ -1,0 +1,144 @@
+#include "voxel/grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sgs::voxel {
+
+VoxelGrid VoxelGrid::build(const gs::GaussianModel& model, float voxel_size) {
+  assert(voxel_size > 0.0f);
+  VoxelGrid grid;
+  grid.config_.voxel_size = voxel_size;
+
+  const auto bounds = model.center_bounds();
+  // Nudge the origin outward so points exactly on the min face index inside.
+  const float eps = 1e-4f * voxel_size;
+  grid.config_.origin = bounds.min - Vec3f::splat(eps);
+  const Vec3f span = bounds.max - grid.config_.origin;
+  grid.config_.dims = {
+      std::max(1, static_cast<std::int32_t>(std::floor(span.x / voxel_size)) + 1),
+      std::max(1, static_cast<std::int32_t>(std::floor(span.y / voxel_size)) + 1),
+      std::max(1, static_cast<std::int32_t>(std::floor(span.z / voxel_size)) + 1)};
+
+  const std::int64_t raw_count = grid.raw_voxel_count();
+  // First pass: raw occupancy counts.
+  std::vector<std::uint32_t> raw_counts(static_cast<std::size_t>(raw_count), 0);
+  std::vector<RawVoxelId> assignment(model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const Vec3i c = grid.coord_of_point(model.gaussians[i].position);
+    assert(grid.in_bounds(c));
+    const RawVoxelId id = grid.raw_id(c);
+    assignment[i] = id;
+    ++raw_counts[static_cast<std::size_t>(id)];
+  }
+
+  // Renaming table: dense IDs in raw-ID (spatial) order, skipping empties.
+  grid.raw_to_dense_.assign(static_cast<std::size_t>(raw_count), kInvalidDenseId);
+  for (RawVoxelId r = 0; r < raw_count; ++r) {
+    if (raw_counts[static_cast<std::size_t>(r)] > 0) {
+      grid.raw_to_dense_[static_cast<std::size_t>(r)] =
+          static_cast<DenseVoxelId>(grid.dense_to_raw_.size());
+      grid.dense_to_raw_.push_back(r);
+    }
+  }
+
+  // CSR construction in dense order.
+  const std::size_t n_dense = grid.dense_to_raw_.size();
+  grid.offsets_.assign(n_dense + 1, 0);
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const DenseVoxelId d = grid.raw_to_dense_[static_cast<std::size_t>(assignment[i])];
+    ++grid.offsets_[static_cast<std::size_t>(d) + 1];
+  }
+  for (std::size_t v = 0; v < n_dense; ++v) grid.offsets_[v + 1] += grid.offsets_[v];
+
+  grid.gaussian_order_.resize(model.size());
+  grid.gaussian_to_voxel_.resize(model.size());
+  std::vector<std::uint32_t> cursor(grid.offsets_.begin(), grid.offsets_.end() - 1);
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const DenseVoxelId d = grid.raw_to_dense_[static_cast<std::size_t>(assignment[i])];
+    grid.gaussian_order_[cursor[static_cast<std::size_t>(d)]++] =
+        static_cast<std::uint32_t>(i);
+    grid.gaussian_to_voxel_[i] = d;
+  }
+  return grid;
+}
+
+Vec3i VoxelGrid::coord_of_point(Vec3f p) const {
+  const Vec3f rel = (p - config_.origin) / config_.voxel_size;
+  return {static_cast<std::int32_t>(std::floor(rel.x)),
+          static_cast<std::int32_t>(std::floor(rel.y)),
+          static_cast<std::int32_t>(std::floor(rel.z))};
+}
+
+bool VoxelGrid::in_bounds(Vec3i c) const {
+  return c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < config_.dims.x &&
+         c.y < config_.dims.y && c.z < config_.dims.z;
+}
+
+RawVoxelId VoxelGrid::raw_id(Vec3i c) const {
+  return static_cast<RawVoxelId>(c.x) +
+         static_cast<RawVoxelId>(config_.dims.x) *
+             (static_cast<RawVoxelId>(c.y) +
+              static_cast<RawVoxelId>(config_.dims.y) * static_cast<RawVoxelId>(c.z));
+}
+
+Vec3i VoxelGrid::coord_of_raw(RawVoxelId id) const {
+  const std::int64_t dx = config_.dims.x;
+  const std::int64_t dy = config_.dims.y;
+  return {static_cast<std::int32_t>(id % dx),
+          static_cast<std::int32_t>((id / dx) % dy),
+          static_cast<std::int32_t>(id / (dx * dy))};
+}
+
+DenseVoxelId VoxelGrid::dense_of_raw(RawVoxelId id) const {
+  if (id < 0 || id >= raw_voxel_count()) return kInvalidDenseId;
+  return raw_to_dense_[static_cast<std::size_t>(id)];
+}
+
+std::span<const std::uint32_t> VoxelGrid::gaussians_in(DenseVoxelId id) const {
+  assert(id >= 0 && id < voxel_count());
+  const std::size_t b = offsets_[static_cast<std::size_t>(id)];
+  const std::size_t e = offsets_[static_cast<std::size_t>(id) + 1];
+  return {gaussian_order_.data() + b, e - b};
+}
+
+Vec3f VoxelGrid::voxel_min_corner(DenseVoxelId id) const {
+  const Vec3i c = coord_of_raw(raw_of_dense(id));
+  return config_.origin + Vec3f{static_cast<float>(c.x), static_cast<float>(c.y),
+                                static_cast<float>(c.z)} *
+                              config_.voxel_size;
+}
+
+Vec3f VoxelGrid::voxel_center(DenseVoxelId id) const {
+  return voxel_min_corner(id) + Vec3f::splat(0.5f * config_.voxel_size);
+}
+
+float VoxelGrid::voxel_half_diagonal() const {
+  return 0.5f * config_.voxel_size * std::sqrt(3.0f);
+}
+
+bool VoxelGrid::crosses_boundary(const gs::Gaussian& g) const {
+  const Vec3i c = coord_of_point(g.position);
+  const Vec3f lo = config_.origin +
+                   Vec3f{static_cast<float>(c.x), static_cast<float>(c.y),
+                         static_cast<float>(c.z)} *
+                       config_.voxel_size;
+  const Vec3f hi = lo + Vec3f::splat(config_.voxel_size);
+  const float r = g.bounding_radius();
+  for (int a = 0; a < 3; ++a) {
+    if (g.position[a] - r < lo[a] || g.position[a] + r > hi[a]) return true;
+  }
+  return false;
+}
+
+double VoxelGrid::cross_boundary_ratio(const gs::GaussianModel& model) const {
+  if (model.empty()) return 0.0;
+  std::size_t crossing = 0;
+  for (const gs::Gaussian& g : model.gaussians) {
+    if (crosses_boundary(g)) ++crossing;
+  }
+  return static_cast<double>(crossing) / static_cast<double>(model.size());
+}
+
+}  // namespace sgs::voxel

@@ -1,0 +1,87 @@
+// Uniform voxel grid over a Gaussian model.
+//
+// The streaming pipeline's offline step (paper Sec. III-A): the scene is
+// partitioned into voxels, each Gaussian is assigned to the voxel containing
+// its center, and per-voxel Gaussian lists are stored contiguously so a voxel
+// can be streamed from DRAM as one sequential burst. Empty voxels are
+// excluded from the ID space through a renaming table (Sec. IV-B) to keep
+// on-chip tables small.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gs/gaussian.hpp"
+
+namespace sgs::voxel {
+
+using RawVoxelId = std::int64_t;    // linear index in the full grid
+using DenseVoxelId = std::int32_t;  // renamed index over non-empty voxels
+
+inline constexpr DenseVoxelId kInvalidDenseId = -1;
+
+struct VoxelGridConfig {
+  Vec3f origin{0, 0, 0};  // world position of voxel (0,0,0)'s min corner
+  float voxel_size = 1.0f;
+  Vec3i dims{1, 1, 1};
+};
+
+class VoxelGrid {
+ public:
+  // Partitions the model: grid bounds cover all Gaussian centers (inflated
+  // by half a voxel so boundary points index safely).
+  static VoxelGrid build(const gs::GaussianModel& model, float voxel_size);
+
+  const VoxelGridConfig& config() const { return config_; }
+  std::int64_t raw_voxel_count() const {
+    return static_cast<std::int64_t>(config_.dims.x) * config_.dims.y * config_.dims.z;
+  }
+  // Number of non-empty voxels (the renamed ID range, paper's "VIDr").
+  std::int32_t voxel_count() const { return static_cast<std::int32_t>(dense_to_raw_.size()); }
+  std::size_t gaussian_count() const { return gaussian_order_.size(); }
+
+  // --- coordinate mapping --------------------------------------------------
+  Vec3i coord_of_point(Vec3f p) const;
+  bool in_bounds(Vec3i c) const;
+  RawVoxelId raw_id(Vec3i c) const;
+  Vec3i coord_of_raw(RawVoxelId id) const;
+
+  // Renaming table: raw -> dense (kInvalidDenseId for empty voxels).
+  DenseVoxelId dense_of_raw(RawVoxelId id) const;
+  RawVoxelId raw_of_dense(DenseVoxelId id) const { return dense_to_raw_[static_cast<std::size_t>(id)]; }
+
+  // --- per-voxel contents ----------------------------------------------------
+  // Model indices of the Gaussians in a dense voxel, contiguous in the
+  // streaming order (the "DRAM layout" order).
+  std::span<const std::uint32_t> gaussians_in(DenseVoxelId id) const;
+  // All Gaussian model indices in streaming order (concatenated voxels).
+  std::span<const std::uint32_t> streaming_order() const { return gaussian_order_; }
+  // Dense voxel each Gaussian belongs to.
+  DenseVoxelId voxel_of_gaussian(std::uint32_t model_index) const {
+    return gaussian_to_voxel_[model_index];
+  }
+
+  Vec3f voxel_min_corner(DenseVoxelId id) const;
+  Vec3f voxel_center(DenseVoxelId id) const;
+
+  // Camera-independent voxel extent: distance from center to corner.
+  float voxel_half_diagonal() const;
+
+  // True if the Gaussian's 3-sigma bounding box extends beyond its voxel —
+  // the "cross-boundary" condition the fine-tuning loss penalizes.
+  bool crosses_boundary(const gs::Gaussian& g) const;
+
+  // Fraction of Gaussians whose extent crosses their voxel boundary.
+  double cross_boundary_ratio(const gs::GaussianModel& model) const;
+
+ private:
+  VoxelGridConfig config_;
+  std::vector<DenseVoxelId> raw_to_dense_;       // size raw_voxel_count()
+  std::vector<RawVoxelId> dense_to_raw_;         // size voxel_count()
+  std::vector<std::uint32_t> offsets_;           // CSR offsets, size voxel_count()+1
+  std::vector<std::uint32_t> gaussian_order_;    // CSR payload (model indices)
+  std::vector<DenseVoxelId> gaussian_to_voxel_;  // size model.size()
+};
+
+}  // namespace sgs::voxel

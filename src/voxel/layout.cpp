@@ -1,0 +1,21 @@
+#include "voxel/layout.hpp"
+
+namespace sgs::voxel {
+
+DataLayout::DataLayout(const VoxelGrid& grid, bool vector_quantized)
+    : vq_(vector_quantized) {
+  const std::size_t n = static_cast<std::size_t>(grid.voxel_count());
+  spans_.resize(n);
+  const std::size_t fine_rec = fine_record_bytes();
+  for (std::size_t v = 0; v < n; ++v) {
+    VoxelSpan& s = spans_[v];
+    s.coarse_offset = coarse_total_;
+    s.fine_offset = fine_total_;
+    s.count = static_cast<std::uint32_t>(
+        grid.gaussians_in(static_cast<DenseVoxelId>(v)).size());
+    coarse_total_ += static_cast<std::uint64_t>(s.count) * kCoarseRecordBytes;
+    fine_total_ += static_cast<std::uint64_t>(s.count) * fine_rec;
+  }
+}
+
+}  // namespace sgs::voxel

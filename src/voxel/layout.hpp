@@ -1,0 +1,70 @@
+// Customized DRAM data layout (paper Fig. 8).
+//
+// Gaussian features are split into two halves stored in separate streams:
+//   * coarse stream — 4 uncompressed float32 per Gaussian {x, y, z, s_max},
+//     read by the coarse-grained filter;
+//   * fine stream — the remaining 55 parameters, either raw float32 or
+//     vector-quantized to four codebook indices plus a raw opacity.
+// Both streams are laid out voxel-by-voxel in dense-voxel order so streaming
+// one voxel is a single sequential DRAM burst per stream.
+#pragma once
+
+#include <cstdint>
+
+#include "gs/gaussian.hpp"
+#include "voxel/grid.hpp"
+
+namespace sgs::voxel {
+
+// Byte sizes of the on-DRAM records. These drive every traffic number in the
+// evaluation, so they are fixed constants rather than sizeof() of host
+// structs (host padding must not leak into the hardware model).
+inline constexpr std::size_t kCoarseRecordBytes = 4 * sizeof(float);  // 16
+inline constexpr std::size_t kFineRecordRawBytes =
+    static_cast<std::size_t>(gs::kFineParams) * sizeof(float);  // 220
+// VQ fine record: scale/rotation/DC indices (12-bit codebooks, stored as
+// uint16) + SH index (9-bit, stored as uint16) + raw float opacity.
+inline constexpr std::size_t kFineRecordVqBytes = 4 * sizeof(std::uint16_t) + sizeof(float);  // 12
+
+struct VoxelSpan {
+  std::uint64_t coarse_offset = 0;  // bytes into the coarse stream
+  std::uint64_t fine_offset = 0;    // bytes into the fine stream
+  std::uint32_t count = 0;          // Gaussians in this voxel
+};
+
+// Address map of the two streams for a given grid. Purely an accounting
+// structure: the renderers use it to charge exact DRAM byte counts, and the
+// simulator uses it to size bursts.
+class DataLayout {
+ public:
+  DataLayout(const VoxelGrid& grid, bool vector_quantized);
+
+  bool vector_quantized() const { return vq_; }
+  std::size_t fine_record_bytes() const {
+    return vq_ ? kFineRecordVqBytes : kFineRecordRawBytes;
+  }
+
+  const VoxelSpan& span(DenseVoxelId id) const { return spans_[static_cast<std::size_t>(id)]; }
+  std::size_t voxel_count() const { return spans_.size(); }
+
+  std::uint64_t coarse_stream_bytes() const { return coarse_total_; }
+  std::uint64_t fine_stream_bytes() const { return fine_total_; }
+  std::uint64_t total_bytes() const { return coarse_total_ + fine_total_; }
+
+  // Bytes the coarse phase loads for a whole voxel (all residents).
+  std::uint64_t coarse_bytes(DenseVoxelId id) const {
+    return static_cast<std::uint64_t>(span(id).count) * kCoarseRecordBytes;
+  }
+  // Bytes the fine phase loads for `survivors` Gaussians of a voxel.
+  std::uint64_t fine_bytes(std::uint32_t survivors) const {
+    return static_cast<std::uint64_t>(survivors) * fine_record_bytes();
+  }
+
+ private:
+  bool vq_;
+  std::vector<VoxelSpan> spans_;
+  std::uint64_t coarse_total_ = 0;
+  std::uint64_t fine_total_ = 0;
+};
+
+}  // namespace sgs::voxel

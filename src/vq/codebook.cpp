@@ -1,0 +1,27 @@
+#include "vq/codebook.hpp"
+
+namespace sgs::vq {
+
+int Codebook::index_bits() const {
+  const std::uint32_t n = size();
+  if (n <= 1) return 1;
+  int bits = 0;
+  std::uint32_t v = n - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+TrainedCodebook train_codebook(std::span<const float> data, std::size_t dim,
+                               const KMeansConfig& config) {
+  KMeansResult r = kmeans(data, dim, config);
+  TrainedCodebook out;
+  out.codebook = Codebook(dim, std::move(r.centroids));
+  out.assignment = std::move(r.assignment);
+  out.inertia = r.inertia;
+  return out;
+}
+
+}  // namespace sgs::vq

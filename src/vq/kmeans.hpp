@@ -1,0 +1,41 @@
+// Lloyd's k-means with k-means++ seeding over flat float vectors.
+//
+// Used to train the per-parameter-group codebooks of the paper's vector
+// quantization (Sec. III-C). Deterministic for a given seed, independent of
+// thread count (assignment parallelizes over points; centroid updates are
+// serial).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sgs::vq {
+
+struct KMeansConfig {
+  std::uint32_t k = 256;
+  int max_iters = 10;
+  // Training subsample cap: k-means++ and Lloyd run on at most this many
+  // points (the final assignment always covers all points). 0 = no cap.
+  std::size_t max_train_samples = 65536;
+  double tol = 1e-5;  // relative inertia improvement to keep iterating
+  std::uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  std::size_t dim = 0;
+  std::vector<float> centroids;           // k * dim
+  std::vector<std::uint32_t> assignment;  // one per input point
+  double inertia = 0.0;                   // sum of squared distances
+  int iters_run = 0;
+};
+
+// data.size() must be a multiple of dim. Requires at least one point.
+KMeansResult kmeans(std::span<const float> data, std::size_t dim,
+                    const KMeansConfig& config);
+
+// Nearest centroid index for a single vector (brute force).
+std::uint32_t nearest_centroid(std::span<const float> centroids, std::size_t dim,
+                               std::span<const float> v);
+
+}  // namespace sgs::vq

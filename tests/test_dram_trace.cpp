@@ -1,0 +1,187 @@
+// Tests for the detailed DRAM timing model and the trace serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/streaming_renderer.hpp"
+#include "core/trace_io.hpp"
+#include "scene/generator.hpp"
+#include "sim/dram_model.hpp"
+#include "sim/hw_config.hpp"
+#include "sim/streaminggs_sim.hpp"
+
+namespace sgs {
+namespace {
+
+// ------------------------------------------------------------- DRAM model --
+
+TEST(DramModel, SequentialStreamApproachesPeak) {
+  sim::DramModel model;
+  // One long sequential stream: row misses only at row boundaries (each row
+  // is touched exactly once, so there are no hits — just amortized misses).
+  const double cycles = model.access(0, 1 << 20);
+  const double ideal = static_cast<double>(1 << 20) / model.peak_bytes_per_cycle();
+  EXPECT_LT(cycles, ideal * 1.25);
+  EXPECT_GT(cycles, ideal * 0.99);
+  EXPECT_EQ(model.stats().row_misses,
+            (1u << 20) / model.config().row_bytes);
+  // A second pass over the same range hits the rows left open.
+  model.reset_stats();
+  model.access((1 << 20) - 4096, 4096);
+  EXPECT_GT(model.stats().row_hit_rate(), 0.0);
+}
+
+TEST(DramModel, ScatterPaysActivates) {
+  sim::DramModel model;
+  const sim::DramDetailConfig& cfg = model.config();
+  // 64 B requests scattered across distinct rows: every request misses.
+  double scatter_cycles = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    scatter_cycles +=
+        model.access(static_cast<std::uint64_t>(i) * cfg.row_bytes * 7 + 64, 64);
+  }
+  const auto scatter_stats = model.stats();
+  EXPECT_EQ(scatter_stats.row_hits, 0u);
+
+  sim::DramModel seq;
+  const double seq_cycles = seq.access(0, 256 * 64);
+  EXPECT_GT(scatter_cycles, 3.0 * seq_cycles);
+}
+
+TEST(DramModel, RepeatedRowAccessHits) {
+  sim::DramModel model;
+  model.access(0, 64);
+  const auto after_first = model.stats();
+  EXPECT_EQ(after_first.row_misses, 1u);
+  model.access(128, 64);  // same row
+  EXPECT_EQ(model.stats().row_hits, 1u);
+  EXPECT_EQ(model.stats().row_misses, 1u);
+}
+
+TEST(DramModel, EnergyAccumulates) {
+  sim::DramModel model;
+  model.access(0, 4096);
+  const double e1 = model.stats().energy_pj;
+  EXPECT_GT(e1, 0.0);
+  model.access(1 << 20, 4096);
+  EXPECT_GT(model.stats().energy_pj, e1);
+}
+
+TEST(DramModel, ZeroByteAccessFree) {
+  sim::DramModel model;
+  EXPECT_DOUBLE_EQ(model.access(123, 0), 0.0);
+  EXPECT_EQ(model.stats().requests, 0u);
+}
+
+TEST(DramModel, EfficiencyGrowsWithChunkSize) {
+  const double small = sim::DramModel::effective_efficiency(64);
+  const double mid = sim::DramModel::effective_efficiency(1024);
+  const double big = sim::DramModel::effective_efficiency(16384);
+  EXPECT_LT(small, mid);
+  EXPECT_LT(mid, big);
+  EXPECT_LT(big, 1.0);
+}
+
+TEST(DramModel, FlatEfficiencyConstantsAreConsistent) {
+  // The simulators assume 0.90 effective efficiency for voxel streams
+  // (multi-KB sequential bursts): the detailed model must land near that.
+  const double voxel_burst = sim::DramModel::effective_efficiency(8192);
+  const sim::StreamingGsHwConfig ours;
+  EXPECT_NEAR(voxel_burst, ours.dram.efficiency, 0.10);
+
+  // GSCore's flat 0.75 embeds a locality assumption between the detailed
+  // model's bounds: fully random sub-KB requests (pessimistic) and long
+  // sequential streams (optimistic). The constant must lie inside.
+  const double random_small = sim::DramModel::effective_efficiency(256);
+  const double sequential = sim::DramModel::effective_efficiency(1 << 16);
+  const sim::GscoreHwConfig gscore;
+  EXPECT_GT(gscore.dram.efficiency, random_small);
+  EXPECT_LT(gscore.dram.efficiency, sequential);
+  EXPECT_GT(voxel_burst, random_small);
+}
+
+// ---------------------------------------------------------------- trace IO --
+
+core::StreamingTrace make_trace() {
+  const auto model = [] {
+    scene::GeneratorConfig cfg;
+    cfg.gaussian_count = 3000;
+    cfg.extent_min = {-3, -3, -3};
+    cfg.extent_max = {3, 3, 3};
+    cfg.seed = 71;
+    return scene::generate_scene(cfg);
+  }();
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto cam =
+      gs::Camera::look_at({0, 0, -5}, {0, 0, 0}, {0, 1, 0}, 0.8f, 128, 128);
+  return core::render_streaming(scene, cam).trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const core::StreamingTrace trace = make_trace();
+  std::stringstream buf;
+  ASSERT_TRUE(core::write_trace(buf, trace));
+  const core::StreamingTrace back = core::read_trace(buf);
+
+  EXPECT_EQ(back.group_size, trace.group_size);
+  EXPECT_EQ(back.pixel_count, trace.pixel_count);
+  EXPECT_EQ(back.frame_write_bytes, trace.frame_write_bytes);
+  EXPECT_EQ(back.voxel_table_steps, trace.voxel_table_steps);
+  ASSERT_EQ(back.groups.size(), trace.groups.size());
+  for (std::size_t g = 0; g < trace.groups.size(); ++g) {
+    EXPECT_EQ(back.groups[g].rays, trace.groups[g].rays);
+    EXPECT_EQ(back.groups[g].dda_steps, trace.groups[g].dda_steps);
+    EXPECT_EQ(back.groups[g].nodes, trace.groups[g].nodes);
+    EXPECT_EQ(back.groups[g].edges, trace.groups[g].edges);
+    ASSERT_EQ(back.groups[g].voxels.size(), trace.groups[g].voxels.size());
+  }
+  EXPECT_EQ(back.total_dram_bytes(), trace.total_dram_bytes());
+  EXPECT_EQ(back.total_blend_ops(), trace.total_blend_ops());
+}
+
+TEST(TraceIo, SimulationOfLoadedTraceIsIdentical) {
+  const core::StreamingTrace trace = make_trace();
+  std::stringstream buf;
+  ASSERT_TRUE(core::write_trace(buf, trace));
+  const core::StreamingTrace back = core::read_trace(buf);
+  const auto a = sim::simulate_streaminggs(trace);
+  const auto b = sim::simulate_streaminggs(back);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  EXPECT_DOUBLE_EQ(a.energy.total_pj(), b.energy.total_pj());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf.write("junkjunkjunk", 12);
+  EXPECT_THROW(core::read_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncation) {
+  const core::StreamingTrace trace = make_trace();
+  std::stringstream buf;
+  ASSERT_TRUE(core::write_trace(buf, trace));
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(core::read_trace(cut), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const core::StreamingTrace trace = make_trace();
+  const std::string path = "/tmp/sgs_test_trace.bin";
+  ASSERT_TRUE(core::write_trace_file(path, trace));
+  const core::StreamingTrace back = core::read_trace_file(path);
+  EXPECT_EQ(back.total_residents(), trace.total_residents());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(core::read_trace_file("/nonexistent/trace.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sgs

@@ -1,0 +1,370 @@
+// Tests for the 3DGS substrate: SH, covariance, projection (including the
+// coarse-filter conservativeness property), blending, camera model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "gs/blending.hpp"
+#include "gs/camera.hpp"
+#include "gs/covariance.hpp"
+#include "gs/gaussian.hpp"
+#include "gs/projection.hpp"
+#include "gs/sh.hpp"
+
+namespace sgs::gs {
+namespace {
+
+Camera test_camera(int w = 640, int h = 480) {
+  return Camera::look_at({0.0f, 0.0f, -5.0f}, {0.0f, 0.0f, 0.0f},
+                         {0.0f, 1.0f, 0.0f}, 0.8f, w, h);
+}
+
+Gaussian random_gaussian(Rng& rng, float scale_lo = 0.005f,
+                         float scale_hi = 0.3f) {
+  Gaussian g;
+  g.position = rng.uniform_vec3(-2.0f, 2.0f);
+  g.scale = {rng.uniform(scale_lo, scale_hi), rng.uniform(scale_lo, scale_hi),
+             rng.uniform(scale_lo, scale_hi)};
+  g.rotation = Quatf::from_axis_angle(rng.unit_sphere(), rng.uniform(0.0f, 6.28f));
+  g.opacity = rng.uniform(0.05f, 0.99f);
+  g.sh[0] = color_to_dc({rng.uniform(), rng.uniform(), rng.uniform()});
+  for (int k = 1; k < kShCoeffCount; ++k) g.sh[static_cast<std::size_t>(k)] = rng.normal_vec3(0.1f);
+  return g;
+}
+
+// ----------------------------------------------------------------- camera --
+
+TEST(Camera, LookAtPutsTargetOnAxis) {
+  const Camera cam = test_camera();
+  const Vec3f t_cam = cam.world_to_camera({0.0f, 0.0f, 0.0f});
+  EXPECT_NEAR(t_cam.x, 0.0f, 1e-4f);
+  EXPECT_NEAR(t_cam.y, 0.0f, 1e-4f);
+  EXPECT_NEAR(t_cam.z, 5.0f, 1e-4f);
+  const Vec2f px = cam.project_cam(t_cam);
+  EXPECT_NEAR(px.x, cam.cx(), 1e-2f);
+  EXPECT_NEAR(px.y, cam.cy(), 1e-2f);
+}
+
+TEST(Camera, WorldCameraRoundTrip) {
+  const Camera cam = test_camera();
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3f p = rng.uniform_vec3(-10.0f, 10.0f);
+    const Vec3f back = cam.camera_to_world(cam.world_to_camera(p));
+    EXPECT_NEAR(back.x, p.x, 1e-3f);
+    EXPECT_NEAR(back.y, p.y, 1e-3f);
+    EXPECT_NEAR(back.z, p.z, 1e-3f);
+  }
+}
+
+TEST(Camera, PixelRayHitsProjectedPoint) {
+  const Camera cam = test_camera();
+  Rng rng(8);
+  for (int i = 0; i < 30; ++i) {
+    // A point in front of the camera projects to (u, v); the ray through
+    // (u, v) must pass within numerical distance of the point.
+    const Vec3f p_cam{rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f),
+                      rng.uniform(2.0f, 8.0f)};
+    const Vec3f p_world = cam.camera_to_world(p_cam);
+    const Vec2f px = cam.project_cam(p_cam);
+    const Ray ray = cam.pixel_ray(px.x, px.y);
+    const Vec3f to_p = p_world - ray.origin;
+    const float t = to_p.dot(ray.direction);
+    const float dist = (to_p - ray.direction * t).norm();
+    EXPECT_LT(dist, 1e-3f * t);
+  }
+}
+
+TEST(Camera, DegenerateUpHintRecovers) {
+  // up parallel to the view direction must not produce NaNs.
+  const Camera cam = Camera::look_at({0, 5, 0}, {0, 0, 0}, {0, 1, 0}, 0.8f, 64, 64);
+  const Vec3f v = cam.world_to_camera({1.0f, 0.0f, 0.0f});
+  EXPECT_FALSE(std::isnan(v.x) || std::isnan(v.y) || std::isnan(v.z));
+}
+
+// --------------------------------------------------------------------- SH --
+
+TEST(Sh, Degree0IsConstant) {
+  std::array<Vec3f, 16> coeffs{};
+  coeffs[0] = color_to_dc({0.3f, 0.6f, 0.9f});
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Vec3f c = eval_sh(coeffs, rng.unit_sphere(), 0);
+    EXPECT_NEAR(c.x, 0.3f, 1e-4f);
+    EXPECT_NEAR(c.y, 0.6f, 1e-4f);
+    EXPECT_NEAR(c.z, 0.9f, 1e-4f);
+  }
+}
+
+TEST(Sh, DcRoundTrip) {
+  const Vec3f rgb{0.21f, 0.55f, 0.87f};
+  EXPECT_NEAR(dc_to_color(color_to_dc(rgb)).x, rgb.x, 1e-5f);
+  EXPECT_NEAR(dc_to_color(color_to_dc(rgb)).y, rgb.y, 1e-5f);
+  EXPECT_NEAR(dc_to_color(color_to_dc(rgb)).z, rgb.z, 1e-5f);
+}
+
+TEST(Sh, BasisOrthogonalityOnSphere) {
+  // Monte-Carlo check that distinct basis functions integrate to ~0 and
+  // B_i^2 integrates to 1/(4pi) normalization-consistently.
+  Rng rng(33);
+  constexpr int n = 50000;
+  double dot01 = 0.0, dot47 = 0.0, norm2_2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto b = sh_basis(rng.unit_sphere());
+    dot01 += b[0] * b[1];
+    dot47 += b[4] * b[7];
+    norm2_2 += b[2] * b[2];
+  }
+  EXPECT_NEAR(dot01 / n, 0.0, 5e-3);
+  EXPECT_NEAR(dot47 / n, 0.0, 5e-3);
+  // E[B_2^2] over the sphere = 1/(4pi).
+  EXPECT_NEAR(norm2_2 / n, 1.0 / (4.0 * 3.14159265), 5e-3);
+}
+
+TEST(Sh, ClampsNegativeToZero) {
+  std::array<Vec3f, 16> coeffs{};
+  coeffs[0] = color_to_dc({0.0f, 0.0f, 0.0f}) * 4.0f;  // strongly negative
+  const Vec3f c = eval_sh(coeffs, {0, 0, 1});
+  EXPECT_GE(c.x, 0.0f);
+  EXPECT_GE(c.y, 0.0f);
+  EXPECT_GE(c.z, 0.0f);
+}
+
+TEST(Sh, DegreeTruncationDropsViewDependence) {
+  Rng rng(5);
+  std::array<Vec3f, 16> coeffs{};
+  coeffs[0] = color_to_dc({0.5f, 0.5f, 0.5f});
+  for (int k = 1; k < 16; ++k) coeffs[static_cast<std::size_t>(k)] = rng.normal_vec3(0.3f);
+  const Vec3f d1 = rng.unit_sphere();
+  const Vec3f d2 = rng.unit_sphere();
+  const Vec3f c1 = eval_sh(coeffs, d1, 0);
+  const Vec3f c2 = eval_sh(coeffs, d2, 0);
+  EXPECT_NEAR(c1.x, c2.x, 1e-5f);  // degree 0: no view dependence
+  EXPECT_NE(eval_sh(coeffs, d1, 3).x, eval_sh(coeffs, d2, 3).x);
+}
+
+// ------------------------------------------------------------- covariance --
+
+TEST(Covariance, DiagonalForAxisAlignedGaussian) {
+  const Mat3f cov = build_covariance_3d({0.1f, 0.2f, 0.3f}, Quatf{});
+  EXPECT_NEAR(cov(0, 0), 0.01f, 1e-6f);
+  EXPECT_NEAR(cov(1, 1), 0.04f, 1e-6f);
+  EXPECT_NEAR(cov(2, 2), 0.09f, 1e-6f);
+  EXPECT_NEAR(cov(0, 1), 0.0f, 1e-6f);
+}
+
+TEST(Covariance, AlwaysSymmetricPsd) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3f s{rng.uniform(0.01f, 1.0f), rng.uniform(0.01f, 1.0f),
+                  rng.uniform(0.01f, 1.0f)};
+    const Quatf q = Quatf::from_axis_angle(rng.unit_sphere(), rng.uniform(0.0f, 6.28f));
+    const Mat3f cov = build_covariance_3d(s, q);
+    for (int a = 0; a < 3; ++a)
+      for (int b = 0; b < 3; ++b) EXPECT_NEAR(cov(a, b), cov(b, a), 1e-5f);
+    // PSD: random quadratic forms are non-negative.
+    for (int k = 0; k < 10; ++k) {
+      const Vec3f v = rng.uniform_vec3(-1.0f, 1.0f);
+      EXPECT_GE(v.dot(cov * v), -1e-5f);
+    }
+    // Rotation preserves eigenvalues => trace equals sum of squared scales.
+    EXPECT_NEAR(cov(0, 0) + cov(1, 1) + cov(2, 2),
+                s.x * s.x + s.y * s.y + s.z * s.z, 1e-4f);
+  }
+}
+
+TEST(Covariance, ProjectionShrinksWithDepth) {
+  const Mat3f cov = build_covariance_3d({0.1f, 0.1f, 0.1f}, Quatf{});
+  const Mat3f w = Mat3f::identity();
+  const Sym2f near_cov = project_covariance(cov, w, {0, 0, 2.0f}, 500, 500);
+  const Sym2f far_cov = project_covariance(cov, w, {0, 0, 8.0f}, 500, 500);
+  EXPECT_GT(splat_radius(near_cov), splat_radius(far_cov));
+}
+
+TEST(Covariance, IsotropicGaussianProjectsToCircle) {
+  const Mat3f cov = build_covariance_3d({0.2f, 0.2f, 0.2f}, Quatf{});
+  const Sym2f s = project_covariance(cov, Mat3f::identity(), {0, 0, 4.0f}, 400, 400);
+  EXPECT_NEAR(s.a, s.c, 1e-3f);
+  EXPECT_NEAR(s.b, 0.0f, 1e-3f);
+  // Expected radius: 3 * s * f / z (+dilation).
+  const float expect = 3.0f * std::sqrt(0.2f * 0.2f * 400.0f * 400.0f / 16.0f + 0.3f);
+  EXPECT_NEAR(splat_radius(s), expect, 0.1f);
+}
+
+// ------------------------------------------------------------- projection --
+
+TEST(Projection, BehindCameraCulled) {
+  const Camera cam = test_camera();
+  Gaussian g;
+  g.position = {0.0f, 0.0f, -10.0f};  // behind the eye at z=-5 looking at origin
+  EXPECT_FALSE(project_gaussian(g, cam).has_value());
+}
+
+TEST(Projection, TransparentCulled) {
+  const Camera cam = test_camera();
+  Gaussian g;
+  g.position = {0.0f, 0.0f, 0.0f};
+  g.opacity = 0.5f / 255.0f;
+  EXPECT_FALSE(project_gaussian(g, cam).has_value());
+}
+
+TEST(Projection, CenterGaussianProjectsToCenter) {
+  const Camera cam = test_camera();
+  Gaussian g;
+  g.position = {0.0f, 0.0f, 0.0f};
+  g.scale = {0.05f, 0.05f, 0.05f};
+  const auto p = project_gaussian(g, cam);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->mean.x, cam.cx(), 0.5f);
+  EXPECT_NEAR(p->mean.y, cam.cy(), 0.5f);
+  EXPECT_NEAR(p->depth, 5.0f, 1e-3f);
+  EXPECT_GT(p->radius, 0.0f);
+}
+
+TEST(Projection, DepthOrderingMatchesGeometry) {
+  const Camera cam = test_camera();
+  Gaussian near_g, far_g;
+  near_g.position = {0.1f, 0.0f, -1.0f};
+  far_g.position = {0.1f, 0.0f, 2.0f};
+  const auto pn = project_gaussian(near_g, cam);
+  const auto pf = project_gaussian(far_g, cam);
+  ASSERT_TRUE(pn && pf);
+  EXPECT_LT(pn->depth, pf->depth);
+}
+
+// The central invariant of hierarchical filtering: the 4-parameter coarse
+// radius upper-bounds the exact projected radius for any shape/orientation.
+class CoarseConservativeness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoarseConservativeness, CoarseRadiusDominates) {
+  Rng rng(GetParam());
+  const Camera cam = test_camera();
+  int tested = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Gaussian g = random_gaussian(rng);
+    const auto fine = project_gaussian(g, cam);
+    const auto coarse = project_coarse(g.position, g.max_scale(), cam);
+    if (!fine) continue;
+    ASSERT_TRUE(coarse.has_value());  // coarse may only cull near-plane
+    ++tested;
+    EXPECT_GE(coarse->radius, fine->radius - 1e-3f)
+        << "scale=" << g.scale << " pos=" << g.position;
+    EXPECT_NEAR(coarse->mean.x, fine->mean.x, 1e-3f);
+    EXPECT_NEAR(coarse->mean.y, fine->mean.y, 1e-3f);
+    EXPECT_NEAR(coarse->depth, fine->depth, 1e-4f);
+  }
+  EXPECT_GT(tested, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoarseConservativeness,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Projection, DiscRectIntersection) {
+  EXPECT_TRUE(disc_intersects_rect({5, 5}, 1.0f, 0, 0, 10, 10));   // inside
+  EXPECT_TRUE(disc_intersects_rect({-1, 5}, 1.5f, 0, 0, 10, 10));  // overlaps edge
+  EXPECT_FALSE(disc_intersects_rect({-5, 5}, 1.0f, 0, 0, 10, 10)); // outside
+  // Corner distance: disc at (-1,-1) radius sqrt(2)+eps touches (0,0).
+  EXPECT_TRUE(disc_intersects_rect({-1, -1}, 1.5f, 0, 0, 10, 10));
+  EXPECT_FALSE(disc_intersects_rect({-1, -1}, 1.2f, 0, 0, 10, 10));
+}
+
+// --------------------------------------------------------------- blending --
+
+TEST(Blending, TransmittanceMonotoneDecreasing) {
+  PixelAccumulator acc;
+  float prev = acc.transmittance;
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    blend(acc, {rng.uniform(), rng.uniform(), rng.uniform()},
+          rng.uniform(0.01f, 0.9f));
+    EXPECT_LE(acc.transmittance, prev);
+    prev = acc.transmittance;
+  }
+}
+
+TEST(Blending, OpaqueFrontHidesBack) {
+  PixelAccumulator acc;
+  blend(acc, {1, 0, 0}, 0.99f);
+  blend(acc, {0, 1, 0}, 0.99f);
+  const Vec3f c = resolve(acc, {0, 0, 0});
+  EXPECT_GT(c.x, 0.95f);
+  EXPECT_LT(c.y, 0.05f);
+}
+
+TEST(Blending, OrderMatters) {
+  PixelAccumulator ab, ba;
+  blend(ab, {1, 0, 0}, 0.6f);
+  blend(ab, {0, 0, 1}, 0.6f);
+  blend(ba, {0, 0, 1}, 0.6f);
+  blend(ba, {1, 0, 0}, 0.6f);
+  EXPECT_GT(resolve(ab, {0, 0, 0}).x, resolve(ba, {0, 0, 0}).x);
+}
+
+TEST(Blending, ResolveAddsBackgroundByTransmittance) {
+  PixelAccumulator acc;
+  blend(acc, {0, 0, 0}, 0.25f);
+  const Vec3f c = resolve(acc, {1, 1, 1});
+  EXPECT_NEAR(c.x, 0.75f, 1e-5f);
+}
+
+TEST(Blending, AlphaEvaluation) {
+  ProjectedGaussian g;
+  g.mean = {10.0f, 10.0f};
+  g.conic = Sym2f{0.5f, 0.0f, 0.5f};
+  g.opacity = 0.8f;
+  // At the center the exponent is 0 => alpha == opacity.
+  EXPECT_NEAR(gaussian_alpha(g, {10.0f, 10.0f}), 0.8f, 1e-5f);
+  // Alpha decays with distance.
+  const float a1 = gaussian_alpha(g, {11.0f, 10.0f});
+  const float a2 = gaussian_alpha(g, {12.0f, 10.0f});
+  EXPECT_GT(a1, a2);
+  // Far away: below threshold => exactly zero.
+  EXPECT_EQ(gaussian_alpha(g, {100.0f, 100.0f}), 0.0f);
+}
+
+TEST(Blending, AlphaClamped) {
+  ProjectedGaussian g;
+  g.mean = {0, 0};
+  g.conic = Sym2f{0.5f, 0.0f, 0.5f};
+  g.opacity = 5.0f;  // out-of-range opacity must clamp, not explode
+  EXPECT_LE(gaussian_alpha(g, {0, 0}), kAlphaClamp + 1e-6f);
+}
+
+TEST(Blending, PixelSpanClipsToRegion) {
+  const PixelSpan s = splat_pixel_span({5.0f, 5.0f}, 2.0f, 0, 0, 16, 16);
+  EXPECT_LE(s.x0, 3);
+  EXPECT_GE(s.x1, 8);
+  const PixelSpan out = splat_pixel_span({100.0f, 100.0f}, 2.0f, 0, 0, 16, 16);
+  EXPECT_TRUE(out.empty());
+  const PixelSpan all = splat_pixel_span({8.0f, 8.0f}, 100.0f, 0, 0, 16, 16);
+  EXPECT_EQ(all.x0, 0);
+  EXPECT_EQ(all.x1, 16);
+}
+
+TEST(Gaussian, ModelBounds) {
+  GaussianModel m;
+  Gaussian a, b;
+  a.position = {-1, 0, 2};
+  a.scale = {0.1f, 0.1f, 0.1f};
+  b.position = {3, -2, 5};
+  b.scale = {0.2f, 0.2f, 0.2f};
+  m.gaussians = {a, b};
+  const auto cb = m.center_bounds();
+  EXPECT_EQ(cb.min, (Vec3f{-1, -2, 2}));
+  EXPECT_EQ(cb.max, (Vec3f{3, 0, 5}));
+  const auto eb = m.extent_bounds();
+  EXPECT_NEAR(eb.min.x, -1.3f, 1e-5f);
+  EXPECT_NEAR(eb.max.x, 3.6f, 1e-5f);
+}
+
+TEST(Gaussian, ParameterCountMatchesPaper) {
+  // 3 pos + 3 scale + 4 rot + 1 opacity + 48 SH = 59 (paper Sec. II-B).
+  EXPECT_EQ(kParamsPerGaussian, 59);
+  EXPECT_EQ(kCoarseParams + kFineParams, kParamsPerGaussian);
+  EXPECT_EQ(3 + 3 + 4 + 1 + 3 * kShCoeffCount, kParamsPerGaussian);
+}
+
+}  // namespace
+}  // namespace sgs::gs

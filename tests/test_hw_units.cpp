@@ -1,0 +1,201 @@
+// Tests for the detailed hardware unit models: the bitonic sorting network,
+// the VSU table model, and the conservative sphere-extent projection used
+// by the VSU's voxel-binning table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/bitonic.hpp"
+#include "common/rng.hpp"
+#include "gs/projection.hpp"
+#include "sim/vsu_model.hpp"
+
+namespace sgs {
+namespace {
+
+// ----------------------------------------------------------------- bitonic --
+
+TEST(Bitonic, ComplexityFormula) {
+  // n = 2^k: stages = k(k+1)/2, comparators = stages * n/2.
+  const auto c64 = bitonic_complexity(64);
+  EXPECT_EQ(c64.padded_n, 64u);
+  EXPECT_EQ(c64.stages, 21);  // k = 6
+  EXPECT_EQ(c64.comparators, 21u * 32u);
+
+  const auto c1 = bitonic_complexity(1);
+  EXPECT_EQ(c1.padded_n, 1u);
+  EXPECT_EQ(c1.stages, 0);
+
+  // Non-power-of-two pads up.
+  EXPECT_EQ(bitonic_complexity(100).padded_n, 128u);
+  EXPECT_EQ(bitonic_complexity(129).padded_n, 256u);
+}
+
+class BitonicSortProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitonicSortProperty, SortsLikeStableSort) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(513);
+    std::vector<float> keys(n);
+    // Coarse quantization forces duplicate keys, exercising tie-breaks.
+    for (auto& k : keys) k = std::floor(rng.uniform(0.0f, 20.0f));
+    std::vector<std::uint32_t> payload(n);
+    std::iota(payload.begin(), payload.end(), 0u);
+
+    // Reference: stable sort of (key, original index) pairs.
+    std::vector<std::pair<float, std::uint32_t>> ref(n);
+    for (std::size_t i = 0; i < n; ++i) ref[i] = {keys[i], payload[i]};
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    bitonic_sort(keys, payload);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_FLOAT_EQ(keys[i], ref[i].first) << "n=" << n << " i=" << i;
+      EXPECT_EQ(payload[i], ref[i].second) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitonicSortProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Bitonic, EmptyAndSingle) {
+  std::vector<float> empty_k;
+  std::vector<std::uint32_t> empty_v;
+  bitonic_sort(empty_k, empty_v);  // must not crash
+
+  std::vector<float> one_k = {3.0f};
+  std::vector<std::uint32_t> one_v = {7};
+  bitonic_sort(one_k, one_v);
+  EXPECT_FLOAT_EQ(one_k[0], 3.0f);
+  EXPECT_EQ(one_v[0], 7u);
+}
+
+TEST(Bitonic, PayloadIsPermutation) {
+  Rng rng(9);
+  const std::size_t n = 300;
+  std::vector<float> keys(n);
+  for (auto& k : keys) k = rng.normal();
+  std::vector<std::uint32_t> payload(n);
+  std::iota(payload.begin(), payload.end(), 0u);
+  bitonic_sort(keys, payload);
+  std::vector<std::uint32_t> sorted = payload;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Bitonic, CycleModelScalesWithWidth) {
+  const double w8 = bitonic_sort_cycles(256, 8);
+  const double w32 = bitonic_sort_cycles(256, 32);
+  EXPECT_GT(w8, w32);
+  // 256 elements: k=8, 36 stages; width 128 does a stage per cycle.
+  EXPECT_DOUBLE_EQ(bitonic_sort_cycles(256, 128), 36.0);
+  EXPECT_DOUBLE_EQ(bitonic_sort_cycles(1, 8), 0.0);
+}
+
+// --------------------------------------------------------------- VSU model --
+
+core::GroupWork sample_group(std::uint32_t nodes, std::uint32_t edges,
+                             std::uint64_t steps) {
+  core::GroupWork g;
+  g.rays = 4096;
+  g.dda_steps = steps;
+  g.nodes = nodes;
+  g.edges = edges;
+  return g;
+}
+
+TEST(VsuModel, CyclesAccumulatePerOperation) {
+  sim::VsuConfig cfg;
+  const auto r = sim::simulate_vsu_group(sample_group(10, 20, 100), cfg);
+  EXPECT_EQ(r.ray_steps, 100u);
+  EXPECT_EQ(r.renaming_lookups, 100u);
+  EXPECT_EQ(r.adjacency_ops, 30u);
+  EXPECT_EQ(r.pops, 10u);
+  const double expected = 100 * cfg.cycles_per_ray_step +
+                          30 * cfg.cycles_per_adjacency_op +
+                          10 * cfg.cycles_per_indegree_init +
+                          10 * cfg.cycles_per_pop;
+  EXPECT_DOUBLE_EQ(r.cycles, expected);
+  EXPECT_FALSE(r.adjacency_overflow);
+  EXPECT_FALSE(r.indegree_overflow);
+}
+
+TEST(VsuModel, OverflowDetection) {
+  sim::VsuConfig cfg;
+  cfg.adjacency_entries = 8;
+  cfg.indegree_entries = 8;
+  const auto r = sim::simulate_vsu_group(sample_group(9, 12, 50), cfg);
+  EXPECT_TRUE(r.adjacency_overflow);
+  EXPECT_TRUE(r.indegree_overflow);
+}
+
+TEST(VsuModel, FrameAggregation) {
+  core::StreamingTrace trace;
+  trace.voxel_table_steps = 500;
+  trace.groups.push_back(sample_group(5, 8, 40));
+  trace.groups.push_back(sample_group(50, 80, 400));
+  sim::VsuConfig cfg;
+  cfg.adjacency_entries = 16;  // second group overflows
+  const auto fr = sim::simulate_vsu_frame(trace, cfg);
+  EXPECT_EQ(fr.groups_with_overflow, 1u);
+  EXPECT_EQ(fr.total_pops, 55u);
+  const auto g0 = sim::simulate_vsu_group(trace.groups[0], cfg);
+  const auto g1 = sim::simulate_vsu_group(trace.groups[1], cfg);
+  EXPECT_DOUBLE_EQ(fr.total_cycles,
+                   g0.cycles + g1.cycles + 500 * cfg.cycles_per_ray_step);
+  EXPECT_DOUBLE_EQ(fr.max_group_cycles, std::max(g0.cycles, g1.cycles));
+}
+
+TEST(VsuModel, DefaultTablesCoverTypicalGroups) {
+  // Paper-scale groups touch tens of voxels; the default table sizes must
+  // hold them with ample margin.
+  const auto r = sim::simulate_vsu_group(sample_group(200, 600, 5000));
+  EXPECT_FALSE(r.adjacency_overflow);
+  EXPECT_FALSE(r.indegree_overflow);
+}
+
+// ------------------------------------------------------ sphere projection --
+
+class SphereExtentConservative : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SphereExtentConservative, BoundsSampledSurfacePoints) {
+  Rng rng(GetParam());
+  const gs::Camera cam =
+      gs::Camera::look_at({0, 0, -6}, {0, 0, 0}, {0, 1, 0}, 0.8f, 512, 512);
+  int tested = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3f center = rng.uniform_vec3(-3.0f, 3.0f);
+    const float radius = rng.uniform(0.05f, 1.0f);
+    const auto ext = gs::project_sphere_extent(center, radius, cam);
+    const Vec3f c_cam = cam.world_to_camera(center);
+    if (c_cam.z <= gs::kNearClip + radius) continue;  // straddle: undefined
+    ASSERT_TRUE(ext.has_value());
+    ++tested;
+    for (int s = 0; s < 64; ++s) {
+      const Vec3f p = center + rng.unit_sphere() * radius;
+      const Vec3f p_cam = cam.world_to_camera(p);
+      if (p_cam.z <= 1e-3f) continue;
+      const Vec2f uv = cam.project_cam(p_cam);
+      const float d = (uv - ext->mean).norm();
+      EXPECT_LE(d, ext->radius + 1e-2f)
+          << "center=" << center << " r=" << radius;
+    }
+  }
+  EXPECT_GT(tested, 80);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SphereExtentConservative,
+                         ::testing::Values(3, 7, 11, 13));
+
+TEST(SphereExtent, BehindCameraCulled) {
+  const gs::Camera cam =
+      gs::Camera::look_at({0, 0, -6}, {0, 0, 0}, {0, 1, 0}, 0.8f, 512, 512);
+  EXPECT_FALSE(gs::project_sphere_extent({0, 0, -20}, 0.5f, cam).has_value());
+}
+
+}  // namespace
+}  // namespace sgs

@@ -1,0 +1,83 @@
+// Tests for PSNR and SSIM.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "metrics/psnr.hpp"
+#include "metrics/ssim.hpp"
+
+namespace sgs::metrics {
+namespace {
+
+Image noise_image(int w, int h, std::uint64_t seed) {
+  Image img(w, h);
+  Rng rng(seed);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img.at(x, y) = {rng.uniform(), rng.uniform(), rng.uniform()};
+  return img;
+}
+
+TEST(Psnr, IdenticalIsInfinite) {
+  const Image img = noise_image(32, 32, 1);
+  EXPECT_TRUE(std::isinf(psnr(img, img)));
+  EXPECT_DOUBLE_EQ(psnr_capped(img, img, 99.0), 99.0);
+}
+
+TEST(Psnr, KnownMse) {
+  Image a(10, 10, {0.0f, 0.0f, 0.0f});
+  Image b(10, 10, {0.1f, 0.1f, 0.1f});
+  EXPECT_NEAR(mse(a, b), 0.01, 1e-9);
+  EXPECT_NEAR(psnr(a, b), 20.0, 1e-6);  // 10*log10(1/0.01)
+}
+
+TEST(Psnr, SymmetricAndDecreasingInNoise) {
+  const Image ref = noise_image(64, 64, 2);
+  Image small_noise = ref;
+  Image big_noise = ref;
+  Rng rng(3);
+  for (auto& p : small_noise.pixels()) p += rng.normal_vec3(0.01f);
+  for (auto& p : big_noise.pixels()) p += rng.normal_vec3(0.1f);
+  EXPECT_NEAR(psnr(ref, small_noise), psnr(small_noise, ref), 1e-9);
+  EXPECT_GT(psnr(ref, small_noise), psnr(ref, big_noise));
+  EXPECT_NEAR(psnr(ref, big_noise), 20.0, 1.5);  // sigma 0.1 -> ~20 dB
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  const Image img = noise_image(40, 40, 4);
+  EXPECT_NEAR(ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(Ssim, UncorrelatedIsLow) {
+  const Image a = noise_image(64, 64, 5);
+  const Image b = noise_image(64, 64, 6);
+  EXPECT_LT(ssim(a, b), 0.2);
+}
+
+TEST(Ssim, DecreasesWithNoise) {
+  const Image ref = noise_image(64, 64, 7);
+  Image noisy = ref;
+  Rng rng(8);
+  for (auto& p : noisy.pixels()) p += rng.normal_vec3(0.05f);
+  const double s = ssim(ref, noisy);
+  EXPECT_LT(s, 1.0);
+  EXPECT_GT(s, 0.5);
+}
+
+TEST(Ssim, ConstantImagesMatch) {
+  Image a(32, 32, {0.5f, 0.5f, 0.5f});
+  Image b(32, 32, {0.5f, 0.5f, 0.5f});
+  EXPECT_NEAR(ssim(a, b), 1.0, 1e-9);
+}
+
+TEST(Ssim, TinyImageFallback) {
+  Image a(4, 4, {0.1f, 0.1f, 0.1f});
+  Image b = a;
+  EXPECT_DOUBLE_EQ(ssim(a, b), 1.0);
+  b.at(0, 0) = {0.9f, 0.9f, 0.9f};
+  EXPECT_DOUBLE_EQ(ssim(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace sgs::metrics

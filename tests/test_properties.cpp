@@ -1,0 +1,328 @@
+// Cross-cutting property tests: determinism across thread counts, traffic
+// conservation between renderer and simulator, order-completeness of the
+// streaming pipeline, model monotonicity, and reversibility properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/streaming_renderer.hpp"
+#include "core/voxel_order.hpp"
+#include "metrics/psnr.hpp"
+#include "render/tile_renderer.hpp"
+#include "scene/generator.hpp"
+#include "scene/presets.hpp"
+#include "scene/variants.hpp"
+#include "sim/gpu_model.hpp"
+#include "sim/gscore_sim.hpp"
+#include "sim/streaminggs_sim.hpp"
+#include "sim/vsu_model.hpp"
+#include "voxel/dda.hpp"
+
+namespace sgs {
+namespace {
+
+gs::Camera prop_camera(int w = 160, int h = 160) {
+  return gs::Camera::look_at({0, 0, -5}, {0, 0, 0}, {0, 1, 0}, 0.8f, w, h);
+}
+
+gs::GaussianModel prop_model(std::uint64_t seed, std::size_t n = 6000) {
+  scene::GeneratorConfig cfg;
+  cfg.gaussian_count = n;
+  cfg.extent_min = {-3, -3, -3};
+  cfg.extent_max = {3, 3, 3};
+  cfg.seed = seed;
+  return scene::generate_scene(cfg);
+}
+
+// ------------------------------------------------------------- determinism --
+
+TEST(Determinism, TileRendererThreadCountInvariant) {
+  const auto model = prop_model(41);
+  const auto cam = prop_camera();
+  const int saved = parallelism();
+  set_parallelism(1);
+  const auto serial = render::render_tile_centric(model, cam);
+  set_parallelism(8);
+  const auto parallel = render::render_tile_centric(model, cam);
+  set_parallelism(saved);
+  EXPECT_EQ(serial.image.pixels(), parallel.image.pixels());
+  EXPECT_EQ(serial.trace.blend_ops, parallel.trace.blend_ops);
+  EXPECT_EQ(serial.trace.pair_count, parallel.trace.pair_count);
+}
+
+TEST(Determinism, StreamingRendererThreadCountInvariant) {
+  const auto model = prop_model(42);
+  const auto cam = prop_camera();
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const int saved = parallelism();
+  set_parallelism(1);
+  const auto serial = core::render_streaming(scene, cam);
+  set_parallelism(8);
+  const auto parallel = core::render_streaming(scene, cam);
+  set_parallelism(saved);
+  EXPECT_EQ(serial.image.pixels(), parallel.image.pixels());
+  EXPECT_EQ(serial.stats.gaussians_streamed, parallel.stats.gaussians_streamed);
+  EXPECT_EQ(serial.stats.fine_pass, parallel.stats.fine_pass);
+  EXPECT_EQ(serial.stats.depth_order_violations,
+            parallel.stats.depth_order_violations);
+}
+
+TEST(Determinism, SimulatorIsPure) {
+  const auto model = prop_model(43, 3000);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto r = core::render_streaming(scene, prop_camera());
+  const auto a = sim::simulate_streaminggs(r.trace);
+  const auto b = sim::simulate_streaminggs(r.trace);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.energy.total_pj(), b.energy.total_pj());
+}
+
+// ------------------------------------------------- traffic conservation ----
+
+class TrafficConservation : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TrafficConservation, SimChargesExactlyTraceBytes) {
+  const bool use_vq = GetParam();
+  const auto model = prop_model(44, 4000);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.2f;
+  cfg.use_vq = use_vq;
+  cfg.vq.scale_entries = 64;
+  cfg.vq.rotation_entries = 64;
+  cfg.vq.dc_entries = 64;
+  cfg.vq.sh_entries = 32;
+  cfg.vq.kmeans_iters = 2;
+  cfg.vq.max_train_samples = 1024;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto r = core::render_streaming(scene, prop_camera());
+  const auto sim_r = sim::simulate_streaminggs(r.trace);
+  // Invariant 5 (DESIGN.md): the simulator's DRAM bytes equal the
+  // renderer's counted traffic exactly — no hidden traffic either way.
+  EXPECT_EQ(sim_r.dram_bytes, r.stats.total_dram_bytes());
+  EXPECT_EQ(sim_r.dram_bytes, r.trace.total_dram_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(VqOnOff, TrafficConservation, ::testing::Bool());
+
+TEST(TrafficConservation, EnergyScalesWithDramBytes) {
+  const auto model = prop_model(45, 4000);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.2f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto r = core::render_streaming(scene, prop_camera());
+  sim::StreamingGsSimOptions cheap, dear;
+  dear.hw.dram.energy_pj_per_byte = cheap.hw.dram.energy_pj_per_byte * 2.0;
+  const auto rc = sim::simulate_streaminggs(r.trace, cheap);
+  const auto rd = sim::simulate_streaminggs(r.trace, dear);
+  EXPECT_NEAR(rd.energy.dram_pj, 2.0 * rc.energy.dram_pj, 1e-6 * rd.energy.dram_pj);
+}
+
+// --------------------------------------------------- streaming completeness --
+
+TEST(StreamingCompleteness, EveryRayDiscoveredVoxelIsRendered) {
+  // Any voxel a full-resolution per-pixel DDA would find must appear in the
+  // trace's voxel visits for that group (discovery is conservative).
+  const auto model = prop_model(46, 4000);
+  const auto cam = prop_camera(128, 128);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  cfg.group_size = 64;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto r = core::render_streaming(scene, cam);
+
+  // Visited voxel count per group from the trace.
+  ASSERT_EQ(r.trace.groups.size(), 4u);  // 128/64 squared
+  for (int gy = 0; gy < 2; ++gy) {
+    for (int gx = 0; gx < 2; ++gx) {
+      const auto& work = r.trace.groups[static_cast<std::size_t>(gy) * 2 + gx];
+      // Exact per-pixel discovery for this group.
+      std::set<voxel::DenseVoxelId> exact;
+      for (int py = gy * 64; py < gy * 64 + 64; py += 7) {
+        for (int px = gx * 64; px < gx * 64 + 64; px += 7) {
+          const auto ray = cam.pixel_ray(static_cast<float>(px) + 0.5f,
+                                         static_cast<float>(py) + 0.5f);
+          for (auto v : voxel::intersected_voxels(ray, scene.grid())) {
+            exact.insert(v);
+          }
+        }
+      }
+      // The trace must stream at least as many voxels (it may stream more:
+      // saturation can cut the tail, so compare against nodes, the DAG).
+      EXPECT_GE(work.nodes, exact.size());
+    }
+  }
+}
+
+TEST(StreamingCompleteness, OrderContainsNoDuplicates) {
+  const auto model = prop_model(47, 3000);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 0.8f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto r = core::render_streaming(scene, prop_camera());
+  // Per group, voxel work items are unique voxels: residents summed over a
+  // group never exceed the model size times 1 (each voxel visited once).
+  for (const auto& g : r.trace.groups) {
+    std::uint64_t sum = 0;
+    for (const auto& v : g.voxels) sum += v.residents;
+    EXPECT_LE(sum, model.size());
+  }
+}
+
+// ------------------------------------------------------- model monotonicity --
+
+TEST(Monotonicity, GpuTimeGrowsWithModel) {
+  const auto small = prop_model(48, 2000);
+  const auto large = prop_model(48, 20000);
+  const auto cam = prop_camera();
+  const auto rs = render::render_tile_centric(small, cam);
+  const auto rl = render::render_tile_centric(large, cam);
+  EXPECT_GT(sim::simulate_gpu(rl.trace).report.seconds,
+            sim::simulate_gpu(rs.trace).report.seconds);
+  EXPECT_GT(sim::simulate_gscore(rl.trace).seconds,
+            sim::simulate_gscore(rs.trace).seconds);
+}
+
+TEST(Monotonicity, FasterDramNeverSlower) {
+  const auto model = prop_model(49, 4000);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto r = core::render_streaming(scene, prop_camera());
+  double prev = 1e300;
+  for (double bpc : {12.8, 25.6, 51.2}) {
+    sim::StreamingGsSimOptions opt;
+    opt.hw.dram.peak_bytes_per_cycle = bpc;
+    const auto s = sim::simulate_streaminggs(r.trace, opt);
+    EXPECT_LE(s.cycles, prev + 1e-9);
+    prev = s.cycles;
+  }
+}
+
+TEST(Monotonicity, VariantTrafficOrdering) {
+  // raw > vq fine records at equal filtering behavior.
+  const auto model = prop_model(50, 4000);
+  core::StreamingConfig raw_cfg;
+  raw_cfg.voxel_size = 1.0f;
+  raw_cfg.use_vq = false;
+  core::StreamingConfig vq_cfg = raw_cfg;
+  vq_cfg.use_vq = true;
+  vq_cfg.vq.scale_entries = 64;
+  vq_cfg.vq.rotation_entries = 64;
+  vq_cfg.vq.dc_entries = 64;
+  vq_cfg.vq.sh_entries = 32;
+  vq_cfg.vq.kmeans_iters = 2;
+  vq_cfg.vq.max_train_samples = 1024;
+  const auto raw_scene = core::StreamingScene::prepare(model, raw_cfg);
+  const auto vq_scene = core::StreamingScene::prepare(model, vq_cfg);
+  const auto cam = prop_camera();
+  const auto raw_r = core::render_streaming(raw_scene, cam);
+  const auto vq_r = core::render_streaming(vq_scene, cam);
+  EXPECT_GT(raw_r.stats.fine_read_bytes, vq_r.stats.fine_read_bytes);
+  EXPECT_EQ(raw_r.stats.coarse_read_bytes / voxel::kCoarseRecordBytes,
+            raw_r.stats.gaussians_streamed);
+}
+
+// ------------------------------------------------------------ DDA symmetry --
+
+class DdaSymmetry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DdaSymmetry, ReversedRayVisitsReversedCells) {
+  Rng rng(GetParam());
+  voxel::VoxelGridConfig cfg;
+  cfg.origin = {-4, -4, -4};
+  cfg.voxel_size = 1.0f;
+  cfg.dims = {8, 8, 8};
+  for (int trial = 0; trial < 30; ++trial) {
+    // Segment fully inside the grid, then traverse both directions.
+    const Vec3f a = rng.uniform_vec3(-3.5f, 3.5f);
+    const Vec3f b = rng.uniform_vec3(-3.5f, 3.5f);
+    if ((b - a).norm() < 0.5f) continue;
+    const float len = (b - a).norm();
+    std::vector<Vec3i> fwd, bwd;
+    voxel::traverse({a, (b - a).normalized()}, cfg, len, [&](Vec3i c, float) {
+      fwd.push_back(c);
+      return true;
+    });
+    voxel::traverse({b, (a - b).normalized()}, cfg, len, [&](Vec3i c, float) {
+      bwd.push_back(c);
+      return true;
+    });
+    std::reverse(bwd.begin(), bwd.end());
+    // Boundary-grazing can add/drop one end cell; the interiors must match.
+    ASSERT_GE(fwd.size(), 1u);
+    ASSERT_GE(bwd.size(), 1u);
+    std::set<std::tuple<int, int, int>> fs, bs;
+    for (auto c : fwd) fs.insert({c.x, c.y, c.z});
+    for (auto c : bwd) bs.insert({c.x, c.y, c.z});
+    std::vector<std::tuple<int, int, int>> diff;
+    std::set_symmetric_difference(fs.begin(), fs.end(), bs.begin(), bs.end(),
+                                  std::back_inserter(diff));
+    EXPECT_LE(diff.size(), 2u) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DdaSymmetry, ::testing::Values(61, 62, 63));
+
+// -------------------------------------------------------------- VSU frame ---
+
+TEST(VsuFrame, MatchesTraceAggregates) {
+  const auto model = prop_model(51, 3000);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto r = core::render_streaming(scene, prop_camera());
+  const auto fr = sim::simulate_vsu_frame(r.trace);
+  std::uint64_t pops = 0;
+  for (const auto& g : r.trace.groups) pops += g.nodes;
+  EXPECT_EQ(fr.total_pops, pops);
+  EXPECT_GT(fr.total_cycles, 0.0);
+  EXPECT_LE(fr.max_group_cycles, fr.total_cycles);
+}
+
+// ----------------------------------------------------------- variant sweeps --
+
+class AlgorithmSweep : public ::testing::TestWithParam<scene::Algorithm> {};
+
+TEST_P(AlgorithmSweep, VariantsRenderAndFilterSanely) {
+  const auto base = scene::make_preset_scene(scene::ScenePreset::kTrain, 0.01f);
+  const auto model = scene::apply_algorithm(base, GetParam(), 5);
+  ASSERT_FALSE(model.empty());
+  const auto cam = prop_camera(128, 96);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 2.0f;
+  cfg.use_vq = false;
+  const auto scene_p = core::StreamingScene::prepare(model, cfg);
+  const auto r = core::render_streaming(scene_p, cam);
+  EXPECT_LE(r.stats.fine_pass, r.stats.coarse_pass);
+  EXPECT_LE(r.stats.coarse_pass, r.stats.gaussians_streamed);
+  // The streaming render approximates this model's reference render.
+  const auto reference = render::render_tile_centric(model, cam);
+  EXPECT_GT(metrics::psnr_capped(r.image, reference.image), 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, AlgorithmSweep,
+    ::testing::ValuesIn(scene::kAllAlgorithms.begin(),
+                        scene::kAllAlgorithms.end()),
+    [](const ::testing::TestParamInfo<scene::Algorithm>& info) {
+      std::string n = scene::algorithm_name(info.param);
+      n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+      return n;
+    });
+
+}  // namespace
+}  // namespace sgs

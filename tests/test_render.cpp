@@ -1,0 +1,185 @@
+// Tests for the tile-centric reference renderer and its traffic accounting.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gs/sh.hpp"
+#include "metrics/psnr.hpp"
+#include "render/tile_renderer.hpp"
+#include "scene/generator.hpp"
+
+namespace sgs::render {
+namespace {
+
+gs::Camera front_camera(int w = 128, int h = 128) {
+  return gs::Camera::look_at({0, 0, -4}, {0, 0, 0}, {0, 1, 0}, 0.7f, w, h);
+}
+
+gs::Gaussian solid_gaussian(Vec3f pos, Vec3f color, float scale = 0.15f,
+                            float opacity = 0.95f) {
+  gs::Gaussian g;
+  g.position = pos;
+  g.scale = {scale, scale, scale};
+  g.opacity = opacity;
+  g.sh[0] = gs::color_to_dc(color);
+  return g;
+}
+
+TEST(TileRenderer, EmptyModelGivesBackground) {
+  TileRenderConfig cfg;
+  cfg.background = {0.25f, 0.5f, 0.75f};
+  const auto r = render_tile_centric({}, front_camera(), cfg);
+  for (const auto& p : r.image.pixels()) {
+    EXPECT_EQ(p, (Vec3f{0.25f, 0.5f, 0.75f}));
+  }
+  EXPECT_EQ(r.trace.pair_count, 0u);
+  EXPECT_EQ(r.trace.blend_ops, 0u);
+}
+
+TEST(TileRenderer, SingleGaussianColorsCenter) {
+  gs::GaussianModel model;
+  model.gaussians = {solid_gaussian({0, 0, 0}, {1.0f, 0.0f, 0.0f})};
+  const auto r = render_tile_centric(model, front_camera());
+  const Vec3f center = r.image.at(64, 64);
+  EXPECT_GT(center.x, 0.5f);
+  EXPECT_LT(center.y, 0.2f);
+  // Far corner stays background.
+  EXPECT_LT(r.image.at(2, 2).x, 0.05f);
+}
+
+TEST(TileRenderer, FrontGaussianWins) {
+  gs::GaussianModel model;
+  model.gaussians = {solid_gaussian({0, 0, 1.0f}, {0, 1, 0}),   // back, green
+                     solid_gaussian({0, 0, -1.0f}, {1, 0, 0})}; // front, red
+  const auto r = render_tile_centric(model, front_camera());
+  const Vec3f center = r.image.at(64, 64);
+  EXPECT_GT(center.x, center.y * 2.0f);
+  // Order in the model array must not matter (depth sort).
+  std::swap(model.gaussians[0], model.gaussians[1]);
+  const auto r2 = render_tile_centric(model, front_camera());
+  EXPECT_NEAR(r2.image.at(64, 64).x, center.x, 1e-5f);
+}
+
+TEST(TileRenderer, TranslucentBlendsBoth) {
+  gs::GaussianModel model;
+  model.gaussians = {solid_gaussian({0, 0, -1.0f}, {1, 0, 0}, 0.3f, 0.5f),
+                     solid_gaussian({0, 0, 1.0f}, {0, 1, 0}, 0.3f, 0.9f)};
+  const auto r = render_tile_centric(model, front_camera());
+  const Vec3f center = r.image.at(64, 64);
+  EXPECT_GT(center.x, 0.2f);
+  EXPECT_GT(center.y, 0.1f);  // back shows through 50% front
+}
+
+TEST(TileRenderer, BehindCameraInvisible) {
+  gs::GaussianModel model;
+  model.gaussians = {solid_gaussian({0, 0, -10.0f}, {1, 0, 0})};
+  const auto r = render_tile_centric(model, front_camera());
+  EXPECT_EQ(r.trace.projected_count, 0u);
+  for (const auto& p : r.image.pixels()) EXPECT_EQ(p.x, 0.0f);
+}
+
+TEST(TileRenderer, TraceCountsConsistent) {
+  scene::GeneratorConfig cfg;
+  cfg.gaussian_count = 3000;
+  cfg.extent_min = {-1.5f, -1.5f, -1.5f};
+  cfg.extent_max = {1.5f, 1.5f, 1.5f};
+  cfg.seed = 31;
+  const auto model = scene::generate_scene(cfg);
+  const auto r = render_tile_centric(model, front_camera(256, 192));
+
+  EXPECT_EQ(r.trace.gaussian_count, model.size());
+  EXPECT_LE(r.trace.projected_count, r.trace.gaussian_count);
+  EXPECT_LE(r.trace.contributing_count, r.trace.projected_count);
+  EXPECT_LE(r.trace.processed_pairs, r.trace.pair_count);
+  EXPECT_EQ(r.trace.pixel_count, 256u * 192u);
+  EXPECT_EQ(r.trace.tile_count, (256u / 16) * (192u / 16));
+
+  // Per-tile pair counts sum to the global pair count.
+  std::uint64_t sum = 0;
+  for (auto c : r.trace.tile_pair_counts) sum += c;
+  EXPECT_EQ(sum, r.trace.pair_count);
+}
+
+TEST(TileRenderer, TrafficFormulasExact) {
+  scene::GeneratorConfig scfg;
+  scfg.gaussian_count = 1000;
+  scfg.seed = 13;
+  const auto model = scene::generate_scene(scfg);
+  TileRenderConfig cfg;
+  const auto r = render_tile_centric(model, front_camera(), cfg);
+  const auto& rs = cfg.record_sizes;
+  const auto& t = r.trace;
+
+  EXPECT_EQ(t.traffic[Stage::kProjectionRead], model.size() * rs.gaussian_in);
+  EXPECT_EQ(t.traffic[Stage::kProjectionWrite],
+            t.projected_count * rs.projected_feature + t.pair_count * rs.sort_pair);
+  EXPECT_EQ(t.traffic[Stage::kSortingRead],
+            static_cast<std::uint64_t>(rs.sort_passes) * t.pair_count * rs.sort_pair);
+  EXPECT_EQ(t.traffic[Stage::kSortingRead], t.traffic[Stage::kSortingWrite]);
+  EXPECT_EQ(t.traffic[Stage::kRenderingRead], t.processed_pairs * rs.render_fetch);
+  EXPECT_EQ(t.traffic[Stage::kRenderingWrite], t.pixel_count * rs.frame_pixel);
+  EXPECT_EQ(t.traffic.total(),
+            t.traffic[Stage::kProjectionRead] + t.traffic[Stage::kProjectionWrite] +
+                t.traffic[Stage::kSortingRead] + t.traffic[Stage::kSortingWrite] +
+                t.traffic[Stage::kRenderingRead] + t.traffic[Stage::kRenderingWrite]);
+}
+
+TEST(TileRenderer, IntermediateTrafficExcludesModelAndFrame) {
+  TrafficBreakdown t;
+  t[Stage::kProjectionRead] = 100;
+  t[Stage::kProjectionWrite] = 40;
+  t[Stage::kSortingRead] = 30;
+  t[Stage::kSortingWrite] = 30;
+  t[Stage::kRenderingRead] = 20;
+  t[Stage::kRenderingWrite] = 5;
+  EXPECT_EQ(t.total(), 225u);
+  EXPECT_EQ(t.intermediate(), 120u);
+  EXPECT_NEAR(t.fraction(Stage::kProjectionRead), 100.0 / 225.0, 1e-12);
+}
+
+TEST(TileRenderer, StageNames) {
+  EXPECT_STREQ(stage_name(Stage::kProjectionRead), "projection-read");
+  EXPECT_STREQ(stage_name(Stage::kRenderingWrite), "rendering-write");
+}
+
+TEST(TileRenderer, DeterministicAcrossRuns) {
+  scene::GeneratorConfig cfg;
+  cfg.gaussian_count = 2000;
+  cfg.seed = 17;
+  const auto model = scene::generate_scene(cfg);
+  const auto a = render_tile_centric(model, front_camera());
+  const auto b = render_tile_centric(model, front_camera());
+  EXPECT_EQ(a.image.pixels(), b.image.pixels());
+  EXPECT_EQ(a.trace.blend_ops, b.trace.blend_ops);
+}
+
+TEST(TileRenderer, OpaqueWallTriggersEarlyTermination) {
+  // A dense wall of opaque Gaussians in front of many behind: the processed
+  // pair count must be well below the total pair count.
+  gs::GaussianModel model;
+  Rng rng(19);
+  for (int i = 0; i < 400; ++i) {
+    model.gaussians.push_back(solid_gaussian(
+        {rng.uniform(-0.6f, 0.6f), rng.uniform(-0.6f, 0.6f), -1.0f},
+        {0.8f, 0.2f, 0.2f}, 0.25f, 0.99f));
+  }
+  for (int i = 0; i < 400; ++i) {
+    model.gaussians.push_back(solid_gaussian(
+        {rng.uniform(-0.6f, 0.6f), rng.uniform(-0.6f, 0.6f), 1.5f},
+        {0.2f, 0.8f, 0.2f}, 0.25f, 0.99f));
+  }
+  const auto r = render_tile_centric(model, front_camera(64, 64));
+  EXPECT_LT(r.trace.processed_pairs, r.trace.pair_count);
+}
+
+TEST(TileRenderer, NonMultipleTileResolution) {
+  // 100x75 is not a multiple of 16; edge tiles must render correctly.
+  gs::GaussianModel model;
+  model.gaussians = {solid_gaussian({0, 0, 0}, {0, 0, 1}, 0.5f)};
+  const auto r = render_tile_centric(model, front_camera(100, 75));
+  EXPECT_EQ(r.image.width(), 100);
+  EXPECT_EQ(r.image.height(), 75);
+  EXPECT_GT(r.image.at(50, 37).z, 0.3f);
+}
+
+}  // namespace
+}  // namespace sgs::render

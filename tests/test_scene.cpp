@@ -1,0 +1,284 @@
+// Tests for the scene substrate: procedural generation, presets, PLY IO,
+// and the Mini-Splatting / LightGaussian model transforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "scene/generator.hpp"
+#include "scene/ply_io.hpp"
+#include "scene/presets.hpp"
+#include "scene/variants.hpp"
+
+namespace sgs::scene {
+namespace {
+
+// -------------------------------------------------------------- generator --
+
+TEST(Generator, ProducesRequestedCount) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 1234;
+  const auto model = generate_scene(cfg);
+  EXPECT_EQ(model.size(), 1234u);
+}
+
+TEST(Generator, EmptyCount) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 0;
+  EXPECT_TRUE(generate_scene(cfg).empty());
+}
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 500;
+  cfg.seed = 42;
+  const auto a = generate_scene(cfg);
+  const auto b = generate_scene(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.gaussians[i].position, b.gaussians[i].position);
+    EXPECT_EQ(a.gaussians[i].scale, b.gaussians[i].scale);
+    EXPECT_EQ(a.gaussians[i].sh[0], b.gaussians[i].sh[0]);
+  }
+}
+
+TEST(Generator, SeedsProduceDifferentScenes) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 100;
+  cfg.seed = 1;
+  const auto a = generate_scene(cfg);
+  cfg.seed = 2;
+  const auto b = generate_scene(cfg);
+  EXPECT_NE(a.gaussians[0].position, b.gaussians[0].position);
+}
+
+TEST(Generator, PositionsWithinExtent) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 2000;
+  cfg.extent_min = {-2.0f, -1.0f, 0.0f};
+  cfg.extent_max = {2.0f, 3.0f, 5.0f};
+  const auto model = generate_scene(cfg);
+  for (const auto& g : model.gaussians) {
+    EXPECT_GE(g.position.x, cfg.extent_min.x);
+    EXPECT_LE(g.position.x, cfg.extent_max.x);
+    EXPECT_GE(g.position.y, cfg.extent_min.y);
+    EXPECT_LE(g.position.y, cfg.extent_max.y);
+    EXPECT_GE(g.position.z, cfg.extent_min.z);
+    EXPECT_LE(g.position.z, cfg.extent_max.z);
+  }
+}
+
+TEST(Generator, ValidParameterRanges) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 2000;
+  const auto model = generate_scene(cfg);
+  for (const auto& g : model.gaussians) {
+    EXPECT_GT(g.scale.min_component(), 0.0f);
+    EXPECT_GT(g.opacity, 0.0f);
+    EXPECT_LT(g.opacity, 1.0f);
+    EXPECT_NEAR(g.rotation.norm(), 1.0f, 1e-3f);
+  }
+}
+
+TEST(Generator, SurfelsAreFlattened) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 3000;
+  cfg.flatness = 0.1f;
+  const auto model = generate_scene(cfg);
+  // Median anisotropy (min/max scale) must reflect flattening.
+  std::size_t flat = 0;
+  for (const auto& g : model.gaussians) {
+    if (g.scale.min_component() < 0.5f * g.scale.max_component()) ++flat;
+  }
+  EXPECT_GT(flat, model.size() / 2);
+}
+
+TEST(Generator, GroundFractionPopulatesFloor) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 5000;
+  cfg.extent_min = {-10, -2, -10};
+  cfg.extent_max = {10, 5, 10};
+  cfg.ground_fraction = 0.3f;
+  cfg.seed = 5;
+  const auto model = generate_scene(cfg);
+  std::size_t near_floor = 0;
+  for (const auto& g : model.gaussians) {
+    if (g.position.y < -1.5f) ++near_floor;
+  }
+  // At least half the requested ground mass lands near the floor plane.
+  EXPECT_GT(near_floor, model.size() * 15 / 100);
+}
+
+// ---------------------------------------------------------------- presets --
+
+TEST(Presets, AllNamed) {
+  for (ScenePreset p : kAllPresets) {
+    const PresetInfo& info = preset_info(p);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_EQ(preset_from_name(info.name), p);
+    EXPECT_GT(info.paper_gaussian_count, 100'000u);
+    EXPECT_GT(info.paper_width, 0);
+  }
+  EXPECT_THROW(preset_from_name("nope"), std::invalid_argument);
+}
+
+TEST(Presets, VoxelSizesMatchPaper) {
+  // Paper Sec. V-A: voxel size 2 for real-world scenes, 0.4 for synthetic.
+  for (ScenePreset p : kSyntheticPresets) {
+    EXPECT_FLOAT_EQ(preset_info(p).default_voxel_size, 0.4f);
+    EXPECT_TRUE(preset_info(p).synthetic);
+  }
+  for (ScenePreset p : kRealWorldPresets) {
+    EXPECT_FLOAT_EQ(preset_info(p).default_voxel_size, 2.0f);
+    EXPECT_FALSE(preset_info(p).synthetic);
+  }
+}
+
+TEST(Presets, ScaleControlsCount) {
+  const auto s01 = make_preset_scene(ScenePreset::kLego, 0.01f);
+  const auto s02 = make_preset_scene(ScenePreset::kLego, 0.02f);
+  EXPECT_NEAR(static_cast<double>(s02.size()),
+              2.0 * static_cast<double>(s01.size()), s01.size() * 0.02 + 2);
+}
+
+TEST(Presets, CameraSeesScene) {
+  // The default camera must have a healthy share of Gaussians in front.
+  for (ScenePreset p : kAllPresets) {
+    const auto model = make_preset_scene(p, 0.005f);
+    const gs::Camera cam = make_preset_camera(p, 320, 240);
+    std::size_t in_front = 0;
+    for (const auto& g : model.gaussians) {
+      if (cam.world_to_camera(g.position).z > 0.2f) ++in_front;
+    }
+    EXPECT_GT(in_front, model.size() / 3) << preset_info(p).name;
+  }
+}
+
+TEST(Presets, ScaledResolutionMultipleOf16) {
+  int w = 0, h = 0;
+  scaled_resolution(ScenePreset::kTrain, 0.5f, w, h);
+  EXPECT_EQ(w % 16, 0);
+  EXPECT_EQ(h % 16, 0);
+  EXPECT_GT(w, 0);
+  scaled_resolution(ScenePreset::kTrain, 0.01f, w, h);
+  EXPECT_GE(w, 16);
+  EXPECT_GE(h, 16);
+}
+
+TEST(Presets, CameraTrajectoryMoves) {
+  const gs::Camera a = make_preset_camera(ScenePreset::kTruck, 320, 240, 0.0f);
+  const gs::Camera b = make_preset_camera(ScenePreset::kTruck, 320, 240, 0.25f);
+  EXPECT_GT((a.position() - b.position()).norm(), 0.5f);
+}
+
+// ----------------------------------------------------------------- PLY IO --
+
+TEST(PlyIo, RoundTrip) {
+  GeneratorConfig cfg;
+  cfg.gaussian_count = 300;
+  cfg.seed = 9;
+  const auto model = generate_scene(cfg);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sgs_test_model.ply").string();
+  ASSERT_TRUE(write_ply(path, model));
+  const auto back = read_ply(path);
+  ASSERT_EQ(back.size(), model.size());
+  for (std::size_t i = 0; i < model.size(); i += 17) {
+    const auto& a = model.gaussians[i];
+    const auto& b = back.gaussians[i];
+    EXPECT_EQ(a.position, b.position);  // positions are bit-exact floats
+    EXPECT_NEAR(a.opacity, b.opacity, 1e-5f);
+    EXPECT_NEAR(a.scale.x, b.scale.x, 1e-5f * (1.0f + a.scale.x));
+    EXPECT_NEAR(a.scale.y, b.scale.y, 1e-5f * (1.0f + a.scale.y));
+    // Rotation is normalized on read; compare up to sign via |dot| ~ 1.
+    const float dot = std::abs(a.rotation.normalized().dot(b.rotation));
+    EXPECT_NEAR(dot, 1.0f, 1e-4f);
+    for (int k = 0; k < gs::kShCoeffCount; ++k) {
+      EXPECT_NEAR(a.sh[static_cast<std::size_t>(k)].x, b.sh[static_cast<std::size_t>(k)].x, 1e-6f);
+      EXPECT_NEAR(a.sh[static_cast<std::size_t>(k)].z, b.sh[static_cast<std::size_t>(k)].z, 1e-6f);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PlyIo, MissingFileThrows) {
+  EXPECT_THROW(read_ply("/nonexistent/missing.ply"), std::runtime_error);
+}
+
+TEST(PlyIo, EmptyModelRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sgs_test_empty.ply").string();
+  ASSERT_TRUE(write_ply(path, {}));
+  EXPECT_EQ(read_ply(path).size(), 0u);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- variants --
+
+TEST(Variants, Names) {
+  EXPECT_STREQ(algorithm_name(Algorithm::k3dgs), "3DGS");
+  EXPECT_STREQ(algorithm_name(Algorithm::kMiniSplatting), "Mini-Splatting");
+  EXPECT_STREQ(algorithm_name(Algorithm::kLightGaussian), "LightGaussian");
+}
+
+TEST(Variants, MiniSplattingReducesCount) {
+  const auto model = make_preset_scene(ScenePreset::kTrain, 0.005f);
+  const auto mini = mini_splatting_variant(model, 3, 0.35f);
+  EXPECT_NEAR(static_cast<double>(mini.size()),
+              0.35 * static_cast<double>(model.size()),
+              0.02 * static_cast<double>(model.size()));
+}
+
+TEST(Variants, MiniSplattingPrefersSignificant) {
+  const auto model = make_preset_scene(ScenePreset::kTrain, 0.005f);
+  const auto mini = mini_splatting_variant(model, 3, 0.3f);
+  double orig_mean = 0.0, mini_mean = 0.0;
+  for (const auto& g : model.gaussians) orig_mean += significance(g);
+  for (const auto& g : mini.gaussians) mini_mean += significance(g);
+  orig_mean /= static_cast<double>(model.size());
+  mini_mean /= static_cast<double>(mini.size());
+  EXPECT_GT(mini_mean, orig_mean);
+}
+
+TEST(Variants, LightGaussianPrunesLowSignificance) {
+  const auto model = make_preset_scene(ScenePreset::kTrain, 0.005f);
+  const auto lg = light_gaussian_variant(model, 0.6f, 1);
+  EXPECT_NEAR(static_cast<double>(lg.size()),
+              0.4 * static_cast<double>(model.size()),
+              0.02 * static_cast<double>(model.size()) + 1);
+  // SH above degree 1 must be zeroed.
+  for (const auto& g : lg.gaussians) {
+    for (int k = 4; k < gs::kShCoeffCount; ++k) {
+      EXPECT_EQ(g.sh[static_cast<std::size_t>(k)], (Vec3f{0, 0, 0}));
+    }
+  }
+}
+
+TEST(Variants, LightGaussianKeepsTopSignificance) {
+  const auto model = make_preset_scene(ScenePreset::kTruck, 0.003f);
+  const auto lg = light_gaussian_variant(model, 0.5f, 2);
+  // The minimum significance kept must be >= the maximum pruned (stable
+  // sort by significance).
+  float min_kept = 1e30f;
+  for (const auto& g : lg.gaussians) min_kept = std::min(min_kept, significance(g));
+  std::size_t below = 0;
+  for (const auto& g : model.gaussians) {
+    if (significance(g) < min_kept) ++below;
+  }
+  EXPECT_GE(below, model.size() - lg.size() - model.size() / 100);
+}
+
+TEST(Variants, ApplyAlgorithmIdentityFor3dgs) {
+  const auto model = make_preset_scene(ScenePreset::kLego, 0.003f);
+  const auto same = apply_algorithm(model, Algorithm::k3dgs);
+  EXPECT_EQ(same.size(), model.size());
+}
+
+TEST(Variants, EmptyModelSafe) {
+  EXPECT_TRUE(mini_splatting_variant({}, 1).empty());
+  EXPECT_TRUE(light_gaussian_variant({}).empty());
+}
+
+}  // namespace
+}  // namespace sgs::scene

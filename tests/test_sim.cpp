@@ -1,0 +1,326 @@
+// Tests for the hardware models: pipeline DP, DRAM accounting, the three
+// machine simulators, the area model, and buffer-capacity checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/streaming_renderer.hpp"
+#include "render/tile_renderer.hpp"
+#include "scene/generator.hpp"
+#include "sim/area_model.hpp"
+#include "sim/gpu_model.hpp"
+#include "sim/gscore_sim.hpp"
+#include "sim/pipeline_dp.hpp"
+#include "sim/streaminggs_sim.hpp"
+
+namespace sgs::sim {
+namespace {
+
+// -------------------------------------------------------------- pipeline DP --
+
+TEST(PipelineDp, SingleItemIsSerialSum) {
+  PipelineDp p(3);
+  p.push(std::vector<double>{2.0, 3.0, 5.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 10.0);
+}
+
+TEST(PipelineDp, PerfectOverlapBottleneckBound) {
+  // Equal stage times: makespan = fill (S-1)*t + N*t.
+  PipelineDp p(3);
+  for (int i = 0; i < 10; ++i) p.push(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 2.0 + 10.0);
+}
+
+TEST(PipelineDp, BottleneckStageDominates) {
+  PipelineDp p(3);
+  for (int i = 0; i < 100; ++i) p.push(std::vector<double>{1.0, 4.0, 1.0});
+  // Long stage dominates: ~100*4 plus fill/drain.
+  EXPECT_NEAR(p.makespan(), 400.0 + 2.0, 3.0);
+}
+
+TEST(PipelineDp, HandComputedExample) {
+  // Classic 2-stage flow shop: items (3,2), (1,4).
+  //   C[0] = (3, 5); C[1] = (4, 9).
+  PipelineDp p(2);
+  p.push(std::vector<double>{3.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 5.0);
+  p.push(std::vector<double>{1.0, 4.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 9.0);
+}
+
+TEST(PipelineDp, MakespanBounds) {
+  // Invariant 7 of DESIGN.md: busy-sum <= makespan <= serial-sum.
+  PipelineDp p(4);
+  double serial = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> t = {static_cast<double>(i % 3), 1.0,
+                             static_cast<double>((i * 7) % 5), 0.5};
+    for (double v : t) serial += v;
+    p.push(t);
+  }
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_LE(p.stage_busy(s), p.makespan());
+  EXPECT_LE(p.makespan(), serial + 1e-9);
+}
+
+TEST(PipelineDp, ZeroTimesPassThrough) {
+  PipelineDp p(3);
+  p.push(std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 0.0);
+  p.push(std::vector<double>{0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 2.0);
+}
+
+// ------------------------------------------------------------ trace helpers --
+
+core::StreamingTrace tiny_trace() {
+  core::StreamingTrace t;
+  t.group_size = 16;
+  t.pixel_count = 256;
+  t.frame_write_bytes = 1024;
+  core::GroupWork g;
+  g.rays = 256;
+  g.dda_steps = 100;
+  g.nodes = 4;
+  g.edges = 3;
+  for (int i = 0; i < 4; ++i) {
+    core::VoxelWorkItem v;
+    v.residents = 100;
+    v.coarse_pass = 25;
+    v.fine_pass = 20;
+    v.coarse_bytes = 1600;
+    v.fine_bytes = 300;
+    v.blend_ops = 2000;
+    g.voxels.push_back(v);
+  }
+  t.groups.push_back(g);
+  return t;
+}
+
+// ------------------------------------------------------------ streaming sim --
+
+TEST(StreamingSim, EnergyAndCyclesPositive) {
+  const SimReport r = simulate_streaminggs(tiny_trace());
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GT(r.fps, 0.0);
+  EXPECT_EQ(r.dram_bytes, 4u * 1900u + 1024u);
+  EXPECT_GT(r.energy.dram_pj, 0.0);
+  EXPECT_GT(r.energy.compute_pj, 0.0);
+  EXPECT_GT(r.energy.total_pj(), r.energy.dram_pj);
+}
+
+TEST(StreamingSim, MoreCfusNeverSlower) {
+  // Monotonicity matching Fig. 13's rows.
+  const core::StreamingTrace t = tiny_trace();
+  double prev = 1e300;
+  for (int cfus : {1, 2, 3, 4}) {
+    StreamingGsSimOptions opt;
+    opt.hw.cfu_per_hfu = cfus;
+    const SimReport r = simulate_streaminggs(t, opt);
+    EXPECT_LE(r.cycles, prev + 1e-9) << cfus;
+    prev = r.cycles;
+  }
+}
+
+TEST(StreamingSim, MoreFfusNeverSlower) {
+  const core::StreamingTrace t = tiny_trace();
+  double prev = 1e300;
+  for (int ffus : {1, 2, 4}) {
+    StreamingGsSimOptions opt;
+    opt.hw.ffu_per_hfu = ffus;
+    const SimReport r = simulate_streaminggs(t, opt);
+    EXPECT_LE(r.cycles, prev + 1e-9);
+    prev = r.cycles;
+  }
+}
+
+TEST(StreamingSim, DisabledCgfShiftsWorkToFfu) {
+  const core::StreamingTrace t = tiny_trace();
+  StreamingGsSimOptions with;
+  StreamingGsSimOptions without;
+  without.coarse_filter_enabled = false;
+  const SimReport rw = simulate_streaminggs(t, with);
+  const SimReport ro = simulate_streaminggs(t, without);
+  EXPECT_EQ(ro.stage_busy.at("cfu"), 0.0);
+  EXPECT_GT(ro.stage_busy.at("ffu"), rw.stage_busy.at("ffu"));
+  EXPECT_GE(ro.cycles, rw.cycles);
+}
+
+TEST(StreamingSim, CyclesScaleWithWork) {
+  core::StreamingTrace t1 = tiny_trace();
+  core::StreamingTrace t2 = tiny_trace();
+  t2.groups.push_back(t2.groups[0]);  // double the work
+  const SimReport r1 = simulate_streaminggs(t1);
+  const SimReport r2 = simulate_streaminggs(t2);
+  EXPECT_GT(r2.cycles, r1.cycles * 1.5);
+}
+
+TEST(StreamingSim, DramBytesMatchTrace) {
+  const core::StreamingTrace t = tiny_trace();
+  const SimReport r = simulate_streaminggs(t);
+  EXPECT_EQ(r.dram_bytes, t.total_dram_bytes());
+}
+
+TEST(StreamingSim, StageBusyConsistentWithMakespan) {
+  const SimReport r = simulate_streaminggs(tiny_trace());
+  for (const auto& [name, busy] : r.stage_busy) {
+    EXPECT_LE(busy, r.cycles) << name;
+  }
+}
+
+TEST(StreamingSim, BufferCapacityOk) {
+  const core::StreamingTrace t = tiny_trace();
+  StreamingGsHwConfig hw;
+  EXPECT_EQ(check_buffer_capacity(t, hw, 250 * 1024), "");
+}
+
+TEST(StreamingSim, BufferCapacityViolations) {
+  core::StreamingTrace t = tiny_trace();
+  StreamingGsHwConfig hw;
+  EXPECT_NE(check_buffer_capacity(t, hw, 400 * 1024), "");  // codebook too big
+  t.groups[0].rays = 100000;  // accumulators exceed scratch
+  EXPECT_NE(check_buffer_capacity(t, hw, 100 * 1024), "");
+}
+
+// --------------------------------------------------------------- GSCore sim --
+
+render::TileCentricTrace tile_trace() {
+  render::TileCentricTrace t;
+  t.gaussian_count = 10000;
+  t.projected_count = 6000;
+  t.contributing_count = 4000;
+  t.pair_count = 20000;
+  t.processed_pairs = 15000;
+  t.blend_ops = 500000;
+  t.tile_count = 64;
+  t.pixel_count = 64 * 256;
+  t.tile_size = 16;
+  t.tile_pair_counts.assign(64, 20000 / 64);
+  t.traffic[render::Stage::kProjectionRead] = 10000 * 236;
+  t.traffic[render::Stage::kProjectionWrite] = 6000 * 40 + 20000 * 16;
+  t.traffic[render::Stage::kSortingRead] = 8ull * 20000 * 16;
+  t.traffic[render::Stage::kSortingWrite] = 8ull * 20000 * 16;
+  t.traffic[render::Stage::kRenderingRead] = 15000 * 44;
+  t.traffic[render::Stage::kRenderingWrite] = t.pixel_count * 4;
+  return t;
+}
+
+TEST(GscoreSim, ProducesPlausibleReport) {
+  const SimReport r = simulate_gscore(tile_trace());
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GT(r.dram_bytes, 0u);
+  // GSCore's traffic must be below the GPU pipeline's (on-chip sort).
+  EXPECT_LT(r.dram_bytes, tile_trace().traffic.total());
+  EXPECT_GT(r.energy.total_pj(), 0.0);
+}
+
+TEST(GscoreSim, TrafficScalesWithContributing) {
+  render::TileCentricTrace t = tile_trace();
+  const SimReport base = simulate_gscore(t);
+  t.contributing_count *= 2;
+  const SimReport more = simulate_gscore(t);
+  EXPECT_GT(more.dram_bytes, base.dram_bytes);
+}
+
+// ------------------------------------------------------------------ GPU sim --
+
+TEST(GpuModel, StageTimesSumToFrameTime) {
+  const GpuSimResult r = simulate_gpu(tile_trace());
+  EXPECT_NEAR(r.report.seconds, r.stages.total_s(), 1e-12);
+  EXPECT_GT(r.stages.projection_s, 0.0);
+  EXPECT_GT(r.stages.sorting_s, 0.0);
+  EXPECT_GT(r.stages.rendering_s, 0.0);
+  EXPECT_EQ(r.projection_bytes + r.sorting_bytes + r.rendering_bytes,
+            tile_trace().traffic.total());
+}
+
+TEST(GpuModel, MemoryBoundSortingScalesWithPairs) {
+  render::TileCentricTrace t = tile_trace();
+  const GpuSimResult a = simulate_gpu(t);
+  t.traffic[render::Stage::kSortingRead] *= 3;
+  t.traffic[render::Stage::kSortingWrite] *= 3;
+  const GpuSimResult b = simulate_gpu(t);
+  EXPECT_NEAR(b.stages.sorting_s, 3.0 * a.stages.sorting_s, 1e-9);
+}
+
+TEST(GpuModel, RequiredBandwidthAt90Fps) {
+  const render::TileCentricTrace t = tile_trace();
+  const double gbps = required_bandwidth_gbps(t, 90.0);
+  EXPECT_NEAR(gbps, static_cast<double>(t.traffic.total()) * 90.0 / 1e9, 1e-9);
+}
+
+TEST(GpuModel, FasterGpuConfigIsFaster) {
+  GpuConfig slow;
+  GpuConfig fast;
+  fast.mem_bw_gbps = slow.mem_bw_gbps * 4;
+  fast.peak_tflops = slow.peak_tflops * 4;
+  const auto t = tile_trace();
+  EXPECT_LT(simulate_gpu(t, fast).report.seconds,
+            simulate_gpu(t, slow).report.seconds);
+}
+
+// ------------------------------------------------------------------- area --
+
+TEST(AreaModel, ReproducesTableOne) {
+  const AreaReport r = area_report(StreamingGsHwConfig{});
+  // Paper Table I: total 5.37 mm^2 with VSU 0.06, HFUs 0.79, sorting 0.04,
+  // rendering 2.53, SRAM 1.95.
+  EXPECT_NEAR(r.total_mm2, 5.37, 0.01);
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_NEAR(r.rows[0].area_mm2, 0.06, 1e-6);
+  EXPECT_NEAR(r.rows[1].area_mm2, 0.79, 1e-6);
+  EXPECT_NEAR(r.rows[2].area_mm2, 0.04, 1e-6);
+  EXPECT_NEAR(r.rows[3].area_mm2, 2.53, 1e-6);
+  EXPECT_NEAR(r.rows[4].area_mm2, 1.95, 0.01);
+}
+
+TEST(AreaModel, ScalesWithUnitCounts) {
+  StreamingGsHwConfig hw;
+  hw.hfu_count = 8;
+  const AreaReport r = area_report(hw);
+  EXPECT_NEAR(r.rows[1].area_mm2, 1.58, 1e-6);
+  EXPECT_GT(r.total_mm2, 5.37);
+}
+
+TEST(AreaModel, ComparableToGscore) {
+  // The paper notes its 5.37 mm^2 is similar to GSCore's scaled 5.53 mm^2.
+  const AreaConstants c;
+  const AreaReport r = area_report(StreamingGsHwConfig{}, c);
+  EXPECT_NEAR(r.total_mm2, c.gscore_total_mm2, 0.25);
+}
+
+// ----------------------------------------------------- end-to-end coherence --
+
+TEST(SimCoherence, StreamingBeatsTileCentricOnTraffic) {
+  scene::GeneratorConfig cfg;
+  cfg.gaussian_count = 20000;
+  cfg.extent_min = {-4, -4, -4};
+  cfg.extent_max = {4, 4, 4};
+  cfg.seed = 12;
+  const auto model = scene::generate_scene(cfg);
+  const gs::Camera cam =
+      gs::Camera::look_at({0, 0, -9}, {0, 0, 0}, {0, 1, 0}, 0.8f, 256, 192);
+
+  const auto tile = render::render_tile_centric(model, cam);
+
+  core::StreamingConfig scfg;
+  scfg.voxel_size = 1.0f;
+  scfg.use_vq = false;  // even without VQ the streaming traffic must win
+  const auto scene = core::StreamingScene::prepare(model, scfg);
+  const auto streamed = core::render_streaming(scene, cam);
+
+  EXPECT_LT(streamed.stats.total_dram_bytes(), tile.trace.traffic.total());
+
+  const SimReport accel = simulate_streaminggs(streamed.trace);
+  const GpuSimResult gpu = simulate_gpu(tile.trace);
+  const SimReport gscore = simulate_gscore(tile.trace);
+  // Both accelerators must beat the GPU model decisively on this toy scene.
+  // (The full Fig. 11 ordering — streaming ahead of GSCore — holds at
+  // realistic preset workloads and is asserted in test_integration.)
+  EXPECT_GT(gpu.report.seconds / accel.seconds, 5.0);
+  EXPECT_GT(gpu.report.seconds / gscore.seconds, 2.0);
+  EXPECT_GT(gpu.report.energy_mj(), gscore.energy_mj());
+  EXPECT_GT(gpu.report.energy_mj(), accel.energy_mj());
+}
+
+}  // namespace
+}  // namespace sgs::sim
