@@ -6,6 +6,8 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/frame_plan.hpp"
+#include "core/render_sequence.hpp"
 #include "core/streaming_renderer.hpp"
 #include "core/voxel_order.hpp"
 #include "gs/blending.hpp"
@@ -154,6 +156,54 @@ void BM_StreamingRenderFrame(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_StreamingRenderFrame)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+// Multi-group stress: small pixel groups put the load on the per-group
+// pipeline (scratch-arena reuse + pool scheduling) rather than the blending
+// inner loop — the path the staged refactor targets.
+void BM_StreamingRenderFrameFineGroups(benchmark::State& state) {
+  const auto model = bench_model(20000);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 0.5f;
+  cfg.use_vq = false;
+  cfg.group_size = static_cast<int>(state.range(0));
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  const auto cam = bench_camera(256, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::render_streaming(scene, cam));
+  }
+}
+BENCHMARK(BM_StreamingRenderFrameFineGroups)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Per-frame voxel-table build (the FramePlan layer on its own).
+void BM_FramePlanBuild(benchmark::State& state) {
+  const auto model = bench_model(20000);
+  const auto grid = voxel::VoxelGrid::build(model, 0.5f);
+  const auto cam = bench_camera();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FramePlan::build(grid, cam, 32));
+  }
+}
+BENCHMARK(BM_FramePlanBuild);
+
+// Frame-sequence rendering under headset-like creep: nearly every frame
+// reuses the cached plan, so the per-frame cost is the staged pipeline
+// alone (no table rebuild).
+void BM_StreamingSequenceCreep(benchmark::State& state) {
+  const auto model = bench_model(20000);
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  const auto scene = core::StreamingScene::prepare(model, cfg);
+  core::SequenceRenderer sequence(scene);
+  float x = 0.0f;
+  for (auto _ : state) {
+    const auto cam = gs::Camera::look_at({x, 0, -5}, {0, 0, 0}, {0, 1, 0},
+                                         0.8f, 192, 192);
+    benchmark::DoNotOptimize(sequence.render(cam));
+    x += 1e-4f;  // creep well inside the reuse envelope
+  }
+}
+BENCHMARK(BM_StreamingSequenceCreep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -2,18 +2,29 @@
 //
 // A headset renders a trained scene along a camera trajectory and must
 // sustain 90 FPS. This example walks a camera through a real-world-style
-// scene, renders every keyframe with the streaming pipeline, and reports
-// per-frame quality, DRAM traffic, and the simulated frame rate of the
-// mobile GPU, GSCore, and the STREAMINGGS accelerator against the 90 FPS
-// budget.
+// scene with the frame-sequence API (SequenceRenderer): consecutive frames
+// whose camera moved less than the reuse thresholds share one FramePlan, so
+// the per-frame voxel-table rebuild is skipped — the trace then charges the
+// VSU zero table steps and the simulated accelerator gets the reuse win. It
+// reports per-frame quality, DRAM traffic, plan reuse, the simulated frame
+// rate of the mobile GPU, GSCore, and the STREAMINGGS accelerator against
+// the 90 FPS budget, and where the software model actually spent its time
+// per pipeline stage.
 //
 //   ./vr_walkthrough [--scene playroom] [--frames 8] [--model_scale 0.05]
-//                    [--res_scale 0.4] [--save_frames out_dir]
+//                    [--res_scale 0.4] [--arc 1.0] [--save_frames out_dir]
+//
+// --arc is the fraction of the full orbit the walkthrough covers: 1.0 is
+// the legacy whole-orbit keyframe sweep (cameras too far apart to reuse
+// anything), while a headset-like creep such as --arc 0.02 keeps
+// consecutive frames inside the reuse envelope.
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/ppm.hpp"
 #include "common/units.hpp"
+#include "core/render_sequence.hpp"
 #include "core/streaming_renderer.hpp"
 #include "metrics/psnr.hpp"
 #include "render/tile_renderer.hpp"
@@ -29,11 +40,13 @@ int main(int argc, char** argv) {
   const int frames = args.get_int("frames", 8);
   const float model_scale = static_cast<float>(args.get_double("model_scale", 0.05));
   const float res_scale = static_cast<float>(args.get_double("res_scale", 0.4));
+  const float arc = static_cast<float>(args.get_double("arc", 1.0));
   const std::string save_dir = args.get("save_frames", "");
 
   const auto& info = scene::preset_info(preset);
-  std::printf("== VR walkthrough: '%s', %d keyframes, 90 FPS budget ==\n",
-              info.name.c_str(), frames);
+  std::printf("== VR walkthrough: '%s', %d keyframes over %.0f%% of the orbit, "
+              "90 FPS budget ==\n",
+              info.name.c_str(), frames, arc * 100.0);
 
   const auto model = scene::make_preset_scene(preset, model_scale);
   int w = 0, h = 0;
@@ -49,26 +62,44 @@ int main(int argc, char** argv) {
                                scene_prepared.quantized()->codebook_bytes()))
                   .c_str());
 
-  std::printf("%6s %10s %10s | %9s %9s %11s | %s\n", "frame", "PSNR", "traffic",
-              "GPU fps", "GSCore", "StreamingGS", "90 FPS?");
+  // Frame-sequence rendering: the reuse envelope scales with the scene
+  // (a quarter voxel of translation, ~2 degrees of rotation).
+  core::SequenceOptions seq_options;
+  seq_options.render.collect_stage_timing = true;
+  seq_options.reuse_max_translation = 0.25f * scfg.voxel_size;
+  seq_options.reuse_max_rotation_rad = 0.04f;  // ~2.3 deg ~= the plan margin
+  // The fat binning margin (more candidates per group, hence more coarse
+  // traffic) is only worth paying when consecutive frames can actually
+  // reuse the plan; a sparse keyframe sweep gets the renderer's 1 px.
+  const float step_rad = 6.2831853f * arc / static_cast<float>(frames);
+  if (step_rad > seq_options.reuse_max_rotation_rad) {
+    seq_options.plan_margin_px = 1.0f;
+  }
+  core::SequenceRenderer sequence(scene_prepared, seq_options);
+
+  std::printf("%6s %10s %10s %5s | %9s %9s %11s | %s\n", "frame", "PSNR",
+              "traffic", "plan", "GPU fps", "GSCore", "StreamingGS", "90 FPS?");
 
   double worst_fps = 1e30;
+  core::StageTimingsNs stage_total;
   for (int f = 0; f < frames; ++f) {
-    const float t = static_cast<float>(f) / static_cast<float>(frames);
+    const float t = arc * static_cast<float>(f) / static_cast<float>(frames);
     const auto cam = scene::make_preset_camera(preset, w, h, t);
 
     const auto reference = render::render_tile_centric(model, cam);
-    const auto streamed = core::render_streaming(scene_prepared, cam);
+    const auto streamed = sequence.render(cam);
+    stage_total.accumulate(streamed.trace.total_stage_ns());
 
     const auto gpu = sim::simulate_gpu(reference.trace);
     const auto gscore = sim::simulate_gscore(reference.trace);
     const auto accel = sim::simulate_streaminggs(streamed.trace);
     worst_fps = std::min(worst_fps, accel.fps);
 
-    std::printf("%6d %8.2fdB %10s | %9.1f %9.1f %11.1f | %s\n", f,
+    std::printf("%6d %8.2fdB %10s %5s | %9.1f %9.1f %11.1f | %s\n", f,
                 metrics::psnr_capped(streamed.image, reference.image),
                 format_bytes(static_cast<double>(streamed.stats.total_dram_bytes()))
                     .c_str(),
+                streamed.trace.plan_reused ? "reuse" : "build",
                 gpu.report.fps, gscore.fps, accel.fps,
                 accel.fps >= 90.0 ? "yes" : "NO");
 
@@ -77,7 +108,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\nworst-case accelerator frame rate: %.1f FPS (budget 90)\n",
+  std::printf("\nplans built: %zu, reused: %zu of %d frames\n",
+              sequence.stats().plans_built, sequence.stats().plans_reused,
+              frames);
+  const double total_ns = static_cast<double>(stage_total.total());
+  if (total_ns > 0.0) {
+    std::printf("software stage time: plan %.1f%%, vsu %.1f%%, filter %.1f%%, "
+                "sort %.1f%%, blend %.1f%%\n",
+                100.0 * static_cast<double>(stage_total.plan) / total_ns,
+                100.0 * static_cast<double>(stage_total.vsu) / total_ns,
+                100.0 * static_cast<double>(stage_total.filter) / total_ns,
+                100.0 * static_cast<double>(stage_total.sort) / total_ns,
+                100.0 * static_cast<double>(stage_total.blend) / total_ns);
+  }
+  std::printf("worst-case accelerator frame rate: %.1f FPS (budget 90)\n",
               worst_fps);
   std::printf(
       "note: at full paper scale the GPU lands at 2-9 FPS (see "

@@ -2,49 +2,229 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace sgs {
 
 namespace {
-int g_parallelism = 0;  // 0 = uninitialized, resolve lazily
-}
 
-int parallelism() {
-  if (g_parallelism <= 0) {
-    const unsigned hc = std::thread::hardware_concurrency();
-    g_parallelism = hc > 0 ? static_cast<int>(hc) : 1;
+// Marks threads currently inside a pool job so nested parallel loops
+// degrade to serial execution instead of deadlocking on the single pool.
+thread_local bool t_inside_pool_job = false;
+// Worker index of the pool job this thread is currently running. A nested
+// loop reports this index, not 0: the enclosing worker owns its per-worker
+// arena exclusively, so the exclusivity contract survives nesting.
+thread_local int t_pool_worker_index = 0;
+
+// RAII for the two thread-locals above, so an exception from fn cannot
+// leave the thread marked as inside a job (which would silently serialize
+// every later loop). Applied on every path that runs fn — including the
+// serial one, or a nested call there would retake the non-recursive
+// submit_mutex_ and self-deadlock.
+struct PoolJobScope {
+  explicit PoolJobScope(int worker) {
+    t_inside_pool_job = true;
+    t_pool_worker_index = worker;
   }
-  return g_parallelism;
-}
+  ~PoolJobScope() {
+    t_inside_pool_job = false;
+    t_pool_worker_index = 0;
+  }
+};
 
-void set_parallelism(int n) { g_parallelism = std::max(1, n); }
+// Persistent worker pool. Helper threads are parked on a condition variable
+// between jobs; the submitting thread participates as worker 0, so a pool of
+// parallelism N spawns N-1 threads. One job runs at a time (submissions from
+// other user threads serialize behind submit_mutex_).
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ~ThreadPool() { stop_helpers(); }
+
+  int parallelism() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    if (target_parallelism_ <= 0) {
+      const unsigned hc = std::thread::hardware_concurrency();
+      target_parallelism_ = hc > 0 ? static_cast<int>(hc) : 1;
+    }
+    return target_parallelism_;
+  }
+
+  void set_parallelism(int n) {
+    std::lock_guard<std::mutex> submit(submit_mutex_);  // no job in flight
+    stop_helpers();
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    target_parallelism_ = std::max(1, n);
+  }
+
+  void run(std::size_t begin, std::size_t end,
+           const std::function<void(int, std::size_t)>& fn) {
+    if (begin >= end) return;
+    const std::size_t count = end - begin;
+    const int width = std::min<std::size_t>(
+        static_cast<std::size_t>(parallelism()), count);
+    if (t_inside_pool_job) {
+      // Nested call: serial, under the worker index this thread already
+      // owns, so per-worker arenas stay exclusive through nesting.
+      const int worker = t_pool_worker_index;
+      for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+      return;
+    }
+    if (width <= 1) {
+      // Serial path, but still behind submit_mutex_: a concurrent submitter
+      // from another thread is running as worker 0 right now, and this
+      // call's fn(0, i) must not overlap it (the per-worker exclusivity
+      // contract).
+      std::lock_guard<std::mutex> submit(submit_mutex_);
+      PoolJobScope scope(0);
+      for (std::size_t i = begin; i < end; ++i) fn(0, i);
+      return;
+    }
+
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    // The helper count follows parallelism(), not this job's width: a small
+    // job must not tear the pool down for the next big one. Surplus helpers
+    // wake, find the counter exhausted, and go back to sleep.
+    ensure_helpers(parallelism() - 1);
+
+    // Contiguous chunks amortize the shared counter; ~4 chunks per worker
+    // keeps dynamic load balancing for skewed per-iteration costs.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, count / (static_cast<std::size_t>(width) * 4));
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      job_fn_ = &fn;
+      job_next_.store(begin, std::memory_order_relaxed);
+      job_end_ = end;
+      job_chunk_ = chunk;
+      active_helpers_ = static_cast<int>(helpers_.size());
+      ++job_epoch_;
+    }
+    cv_work_.notify_all();
+
+    // If fn throws on the submitting thread we must NOT unwind past the
+    // helpers: they are still calling *job_fn_ against the caller's stack.
+    // Stop handing out work, wait for them to go idle, then rethrow. (A
+    // throw on a helper thread escapes helper_loop and std::terminates —
+    // the same behavior the old spawn-per-call implementation had.)
+    std::exception_ptr error;
+    try {
+      drain(0);
+    } catch (...) {
+      error = std::current_exception();
+      job_next_.store(end, std::memory_order_relaxed);
+    }
+    {
+      std::unique_lock<std::mutex> lk(job_mutex_);
+      cv_done_.wait(lk, [this] { return active_helpers_ == 0; });
+      job_fn_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void ensure_helpers(int n) {
+    if (static_cast<int>(helpers_.size()) == n) return;
+    stop_helpers();
+    shutdown_ = false;
+    // New helpers must start at the *current* epoch: job_epoch_ persists
+    // across pool rebuilds, and a helper born with epoch 0 would see a
+    // stale mismatch and drain a job that was never published to it.
+    std::uint64_t birth_epoch;
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      birth_epoch = job_epoch_;
+    }
+    helpers_.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      helpers_.emplace_back(
+          [this, t, birth_epoch] { helper_loop(t + 1, birth_epoch); });
+    }
+  }
+
+  void stop_helpers() {
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& th : helpers_) th.join();
+    helpers_.clear();
+    shutdown_ = false;
+  }
+
+  void helper_loop(int worker_index, std::uint64_t seen_epoch) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(job_mutex_);
+        cv_work_.wait(lk, [this, seen_epoch] {
+          return shutdown_ || job_epoch_ != seen_epoch;
+        });
+        if (shutdown_) return;
+        seen_epoch = job_epoch_;
+      }
+      drain(worker_index);
+      {
+        std::lock_guard<std::mutex> lk(job_mutex_);
+        if (--active_helpers_ == 0) cv_done_.notify_all();
+      }
+    }
+  }
+
+  void drain(int worker_index) {
+    PoolJobScope scope(worker_index);
+    const std::function<void(int, std::size_t)>& fn = *job_fn_;
+    const std::size_t end = job_end_;
+    const std::size_t chunk = job_chunk_;
+    for (;;) {
+      const std::size_t i0 = job_next_.fetch_add(chunk, std::memory_order_relaxed);
+      if (i0 >= end) break;
+      const std::size_t i1 = std::min(end, i0 + chunk);
+      for (std::size_t i = i0; i < i1; ++i) fn(worker_index, i);
+    }
+  }
+
+  std::mutex config_mutex_;
+  int target_parallelism_ = 0;  // 0 = uninitialized, resolve lazily
+
+  std::mutex submit_mutex_;  // serializes whole jobs
+  std::vector<std::thread> helpers_;
+
+  std::mutex job_mutex_;
+  std::condition_variable cv_work_, cv_done_;
+  const std::function<void(int, std::size_t)>* job_fn_ = nullptr;
+  std::atomic<std::size_t> job_next_{0};
+  std::size_t job_end_ = 0;
+  std::size_t job_chunk_ = 1;
+  std::uint64_t job_epoch_ = 0;
+  int active_helpers_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+int parallelism() { return ThreadPool::instance().parallelism(); }
+
+void set_parallelism(int n) { ThreadPool::instance().set_parallelism(n); }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
-  const std::size_t count = end - begin;
-  const int workers = std::min<std::size_t>(static_cast<std::size_t>(parallelism()), count);
-  if (workers <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  // Work-stealing over a shared atomic counter: cheap and load-balanced for
-  // the skewed per-tile costs typical of splatting.
-  std::atomic<std::size_t> next{begin};
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int t = 0; t < workers; ++t) {
-    pool.emplace_back([&next, end, &fn] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end) break;
-        fn(i);
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
+  ThreadPool::instance().run(begin, end,
+                             [&fn](int, std::size_t i) { fn(i); });
+}
+
+void parallel_for_workers(
+    std::size_t begin, std::size_t end,
+    const std::function<void(int worker, std::size_t i)>& fn) {
+  ThreadPool::instance().run(begin, end, fn);
 }
 
 }  // namespace sgs

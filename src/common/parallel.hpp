@@ -1,8 +1,16 @@
-// Minimal deterministic parallel-for over index ranges.
+// Deterministic parallel-for over index ranges on a persistent thread pool.
 //
-// Rendering parallelizes over image tiles; each tile writes a disjoint pixel
-// region and accumulates its own statistics, so a static block partition is
-// race-free and reproducible regardless of thread count.
+// Rendering parallelizes over pixel groups; each group writes a disjoint
+// pixel region and accumulates its own statistics into a per-group slot, so
+// any dynamic schedule is race-free and the merged result is reproducible
+// regardless of thread count or timing.
+//
+// The pool is created lazily on first use and persists for the process
+// lifetime: repeated frames (the streaming case) pay no thread spawn/join
+// cost per call. Iterations are claimed in contiguous chunks from a shared
+// atomic counter (dynamic scheduling), which load-balances the skewed
+// per-group costs typical of splatting while keeping the per-iteration
+// overhead to one amortized atomic fetch-add.
 #pragma once
 
 #include <cstddef>
@@ -10,14 +18,32 @@
 
 namespace sgs {
 
-// Number of worker threads used by parallel_for (defaults to hardware
+// Number of workers used by the parallel loops (defaults to hardware
 // concurrency, at least 1). Override via set_parallelism, e.g. in tests.
+// Setting it tears down and rebuilds the persistent pool, so it must NOT be
+// called from inside a parallel_for body (it would self-deadlock waiting
+// for the job it is part of) nor concurrently with a running loop on
+// another thread: callers size per-worker state from parallelism() before
+// submitting, and a concurrent resize would let worker indices outrun it.
+// It is a configuration knob for startup and tests, not a runtime control.
 int parallelism();
 void set_parallelism(int n);
 
 // Invokes fn(i) for i in [begin, end). Blocks until all iterations complete.
-// fn must be safe to call concurrently for distinct i.
+// fn must be safe to call concurrently for distinct i. With parallelism() == 1
+// (or a nested call from inside a worker) iterations run serially in order on
+// the calling thread.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
+
+// Worker-indexed variant: fn(worker, i) with worker in [0, parallelism()).
+// A given worker index is used by at most one thread at a time — including
+// through nested calls, which run serially under the enclosing worker's
+// index — so callers can keep one scratch arena per worker and reuse it
+// across iterations without locking (the FrameScheduler's GroupContext
+// pattern).
+void parallel_for_workers(
+    std::size_t begin, std::size_t end,
+    const std::function<void(int worker, std::size_t i)>& fn);
 
 }  // namespace sgs

@@ -1,0 +1,101 @@
+#include "core/frame_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/parallel.hpp"
+
+namespace sgs::core {
+
+FrameScheduler::FrameScheduler()
+    : contexts_(static_cast<std::size_t>(parallelism())) {}
+
+StreamingRenderResult FrameScheduler::render_frame(
+    const StreamingScene& scene, const gs::Camera& camera,
+    const FramePlan& plan, const StreamingRenderOptions& options) {
+  StreamingConfig cfg = scene.config();
+  if (options.coarse_filter_override) {
+    cfg.use_coarse_filter = *options.coarse_filter_override;
+  }
+
+  const int width = camera.width();
+  const int height = camera.height();
+  const std::size_t group_count = plan.group_count();
+
+  StreamingRenderResult result;
+  result.image = Image(width, height, cfg.background);
+  result.trace.group_size = plan.group_size();
+  result.trace.pixel_count = static_cast<std::uint64_t>(width) * height;
+  result.trace.groups.resize(group_count);
+  result.trace.voxel_table_steps = plan.voxel_table_steps();
+
+  GroupPipelineOptions pipe_options;
+  pipe_options.use_coarse_filter = cfg.use_coarse_filter;
+  pipe_options.ray_stride = cfg.ray_stride;
+  pipe_options.collect_stage_timing = options.collect_stage_timing;
+
+  // Per-group result slots: any dynamic schedule is race-free (disjoint
+  // slots + disjoint pixel regions), and the sequential merge below makes
+  // every counter deterministic.
+  std::vector<StreamingStats> group_stats(group_count);
+  std::vector<std::vector<std::uint32_t>> group_violators(group_count);
+  std::vector<std::vector<std::uint32_t>> group_contributors(group_count);
+
+  // The pool may be resized between frames (set_parallelism in tests);
+  // follow it so worker indices always have an arena.
+  const auto workers = static_cast<std::size_t>(parallelism());
+  if (contexts_.size() < workers) contexts_.resize(workers);
+
+  parallel_for_workers(0, group_count, [&](int worker, std::size_t gi) {
+    GroupContext& ctx = contexts_[static_cast<std::size_t>(worker)];
+    GroupPipeline::render_group(scene, camera, plan, gi, pipe_options, ctx,
+                                result.trace.groups[gi], group_stats[gi],
+                                result.image);
+    group_violators[gi] = ctx.violators;
+    group_contributors[gi] = ctx.contributors;
+  });
+
+  // Deterministic merge in group-index order.
+  StreamingStats total;
+  std::unordered_set<std::uint32_t> violator_set;
+  std::unordered_set<std::uint32_t> contributor_set;
+  for (std::size_t gi = 0; gi < group_count; ++gi) {
+    const StreamingStats& local = group_stats[gi];
+    total.coarse_read_bytes += local.coarse_read_bytes;
+    total.fine_read_bytes += local.fine_read_bytes;
+    total.frame_write_bytes += local.frame_write_bytes;
+    total.gaussians_streamed += local.gaussians_streamed;
+    total.coarse_pass += local.coarse_pass;
+    total.fine_pass += local.fine_pass;
+    total.blend_ops += local.blend_ops;
+    total.blended_contributions += local.blended_contributions;
+    total.depth_order_violations += local.depth_order_violations;
+    total.dda_steps += local.dda_steps;
+    total.voxel_visits += local.voxel_visits;
+    total.topo_nodes += local.topo_nodes;
+    total.topo_edges += local.topo_edges;
+    total.cycle_breaks += local.cycle_breaks;
+    total.max_voxel_residents =
+        std::max(total.max_voxel_residents, local.max_voxel_residents);
+    for (std::uint32_t v : group_violators[gi]) violator_set.insert(v);
+    for (std::uint32_t c : group_contributors[gi]) contributor_set.insert(c);
+  }
+
+  // Groups tile the image exactly once: the per-group RGBA8 write-backs must
+  // sum to the full frame.
+  assert(total.frame_write_bytes ==
+         static_cast<std::uint64_t>(width) * height * 4);
+
+  total.gaussians_blended_unique = contributor_set.size();
+  total.gaussians_violating_unique = violator_set.size();
+  result.stats = total;
+  result.trace.frame_write_bytes = total.frame_write_bytes;
+  if (options.collect_violators) {
+    result.violators.assign(violator_set.begin(), violator_set.end());
+    std::sort(result.violators.begin(), result.violators.end());
+  }
+  return result;
+}
+
+}  // namespace sgs::core

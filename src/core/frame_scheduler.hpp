@@ -1,0 +1,37 @@
+// Frame scheduler: runs every pixel group of a FramePlan through the staged
+// GroupPipeline on the persistent worker pool.
+//
+// Ownership model: the scheduler keeps one GroupContext scratch arena per
+// pool worker, so consecutive groups (and consecutive frames, when the
+// scheduler is kept alive by a SequenceRenderer) reuse the same buffers and
+// the hot loop never reallocates. Group results land in per-group slots and
+// are merged in group-index order after the parallel section, which makes
+// every counter — including the unique-Gaussian sets — deterministic under
+// any dynamic schedule.
+#pragma once
+
+#include <vector>
+
+#include "core/frame_plan.hpp"
+#include "core/group_pipeline.hpp"
+#include "core/streaming_renderer.hpp"
+
+namespace sgs::core {
+
+class FrameScheduler {
+ public:
+  FrameScheduler();
+
+  // Renders one frame: every group of `plan` through the staged pipeline.
+  // `camera` must match the plan's image geometry (the plan may have been
+  // built for a nearby camera when reused by sequence rendering).
+  StreamingRenderResult render_frame(const StreamingScene& scene,
+                                     const gs::Camera& camera,
+                                     const FramePlan& plan,
+                                     const StreamingRenderOptions& options);
+
+ private:
+  std::vector<GroupContext> contexts_;  // one per pool worker
+};
+
+}  // namespace sgs::core

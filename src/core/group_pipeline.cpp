@@ -1,0 +1,279 @@
+#include "core/group_pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/bitonic.hpp"
+#include "core/frame_plan.hpp"
+#include "voxel/dda.hpp"
+#include "voxel/layout.hpp"
+
+namespace sgs::core {
+
+// ------------------------------------------------------------ GroupContext --
+
+void GroupContext::begin_group(int n_px) {
+  // Clear every slot, not just the ones the next group will claim: the
+  // topological sort sees the whole per_ray vector, and a stale non-empty
+  // slot from a larger previous group would inject phantom ordering rays.
+  // clear() keeps each slot's capacity, so the arena still never reallocates.
+  for (auto& slot : per_ray) slot.clear();
+  per_ray_used = 0;
+  acc.assign(static_cast<std::size_t>(n_px), gs::PixelAccumulator{});
+  max_depth.assign(static_cast<std::size_t>(n_px), 0.0f);
+  saturated = 0;
+  violators.clear();
+  contributors.clear();
+}
+
+std::vector<voxel::DenseVoxelId>& GroupContext::next_ray_slot() {
+  if (per_ray_used == per_ray.size()) per_ray.emplace_back();
+  auto& slot = per_ray[per_ray_used++];
+  slot.clear();
+  return slot;
+}
+
+// ---------------------------------------------------------------- VsuStage --
+
+VsuStageResult VsuStage::run(GroupContext& ctx, const voxel::VoxelGrid& grid,
+                             const gs::Camera& camera, int px0, int py0,
+                             int px1, int py1, int ray_stride,
+                             const std::vector<voxel::DenseVoxelId>& candidates) {
+  VsuStageResult out;
+
+  // Rays are marched on a stride grid that always includes the group's
+  // last row/column, so the sampled frustum spans the full group.
+  const int stride = std::max(1, ray_stride);
+  auto& xs = ctx.ray_xs;
+  auto& ys = ctx.ray_ys;
+  xs.clear();
+  ys.clear();
+  for (int px = px0; px < px1; px += stride) xs.push_back(px);
+  if (xs.empty() || xs.back() != px1 - 1) xs.push_back(px1 - 1);
+  for (int py = py0; py < py1; py += stride) ys.push_back(py);
+  if (ys.empty() || ys.back() != py1 - 1) ys.push_back(py1 - 1);
+
+  voxel::DdaStats dda_stats;
+  for (int py : ys) {
+    for (int px : xs) {
+      const gs::Ray ray = camera.pixel_ray(static_cast<float>(px) + 0.5f,
+                                           static_cast<float>(py) + 0.5f);
+      voxel::intersected_voxels_into(ray, grid, 1e30f, &dda_stats,
+                                     ctx.next_ray_slot());
+    }
+  }
+  out.dda_steps = dda_stats.steps;
+
+  // Voxel-table candidates join as singleton "rays": they contribute no
+  // ordering constraints (the depth-keyed heap places them) but guarantee
+  // complete coverage for pixels the sampled rays missed.
+  for (const voxel::DenseVoxelId v : candidates) {
+    ctx.next_ray_slot().push_back(v);
+  }
+
+  // Global voxel order via topological sort. Trailing per_ray slots beyond
+  // per_ray_used are empty (cleared on reuse) and contribute nothing.
+  const Vec3f cam_pos = camera.position();
+  out.order = topological_voxel_order(ctx.per_ray, [&](voxel::DenseVoxelId v) {
+    return (grid.voxel_center(v) - cam_pos).norm();
+  });
+  return out;
+}
+
+// ------------------------------------------------------------- FilterStage --
+
+FilterStageCounts FilterStage::run(GroupContext& ctx,
+                                   const StreamingScene& scene,
+                                   std::span<const std::uint32_t> residents,
+                                   const gs::Camera& camera,
+                                   const GroupRect& rect,
+                                   bool use_coarse_filter) {
+  FilterStageCounts counts;
+  const gs::GaussianModel& model = scene.render_model();
+  ctx.survivors.clear();
+  for (const std::uint32_t mi : residents) {
+    bool coarse_ok = true;
+    if (use_coarse_filter) {
+      coarse_ok = coarse_filter(model.gaussians[mi].position,
+                                scene.coarse_max_scale(mi), camera, rect);
+    }
+    if (!coarse_ok) continue;
+    ++counts.coarse_pass;
+    if (auto proj = fine_filter(model.gaussians[mi], camera, rect)) {
+      ++counts.fine_pass;
+      ctx.survivors.push_back({*proj, mi});
+    }
+  }
+  return counts;
+}
+
+// --------------------------------------------------------------- SortStage --
+
+void SortStage::run(GroupContext& ctx) {
+  auto& survivors = ctx.survivors;
+  if (survivors.size() <= 1) return;
+  // The actual bitonic network the hardware sorting unit implements (fixed
+  // comparator schedule, +inf padding), applied to depth keys with the
+  // survivor index as payload.
+  ctx.sort_keys.resize(survivors.size());
+  ctx.sort_payload.resize(survivors.size());
+  for (std::size_t k = 0; k < survivors.size(); ++k) {
+    ctx.sort_keys[k] = survivors[k].proj.depth;
+    ctx.sort_payload[k] = static_cast<std::uint32_t>(k);
+  }
+  bitonic_sort(ctx.sort_keys, ctx.sort_payload);
+  ctx.sorted_survivors.clear();
+  ctx.sorted_survivors.reserve(survivors.size());
+  for (std::uint32_t idx : ctx.sort_payload) {
+    ctx.sorted_survivors.push_back(survivors[idx]);
+  }
+  survivors.swap(ctx.sorted_survivors);
+}
+
+// -------------------------------------------------------------- BlendStage --
+
+void BlendStage::run(GroupContext& ctx, int px0, int py0, int px1, int py1,
+                     VoxelWorkItem& item, StreamingStats& stats) {
+  const int n_px = (px1 - px0) * (py1 - py0);
+  const int row = px1 - px0;
+  for (const Survivor& s : ctx.survivors) {
+    if (ctx.saturated == n_px) break;
+    const gs::PixelSpan span =
+        gs::splat_pixel_span(s.proj.mean, s.proj.radius, px0, py0, px1, py1);
+    bool contributed = false;
+    bool violated = false;
+    for (int py = span.y0; py < span.y1; ++py) {
+      for (int px = span.x0; px < span.x1; ++px) {
+        const int pi = (py - py0) * row + (px - px0);
+        gs::PixelAccumulator& a = ctx.acc[static_cast<std::size_t>(pi)];
+        if (a.saturated()) continue;
+        ++item.blend_ops;
+        const float alpha = gs::gaussian_alpha(
+            s.proj,
+            {static_cast<float>(px) + 0.5f, static_cast<float>(py) + 0.5f});
+        if (alpha <= 0.0f) continue;
+        contributed = true;
+        ++stats.blended_contributions;
+        // Depth-order bookkeeping: the measured T_i of Eq. 2.
+        float& md = ctx.max_depth[static_cast<std::size_t>(pi)];
+        if (s.proj.depth < md - 1e-6f) {
+          ++stats.depth_order_violations;
+          violated = true;
+        } else {
+          md = s.proj.depth;
+        }
+        gs::blend(a, s.proj.color, alpha);
+        if (a.saturated()) ++ctx.saturated;
+      }
+    }
+    if (contributed) ctx.contributors.push_back(s.model_index);
+    if (violated) ctx.violators.push_back(s.model_index);
+  }
+}
+
+void BlendStage::resolve(const GroupContext& ctx, int px0, int py0, int px1,
+                         int py1, Vec3f background, Image& image,
+                         StreamingStats& stats) {
+  int pi = 0;
+  for (int py = py0; py < py1; ++py) {
+    for (int px = px0; px < px1; ++px, ++pi) {
+      image.at(px, py) =
+          gs::resolve(ctx.acc[static_cast<std::size_t>(pi)], background);
+    }
+  }
+  stats.frame_write_bytes += static_cast<std::uint64_t>(pi) * 4;  // RGBA8
+}
+
+// ------------------------------------------------------------ GroupPipeline --
+
+void GroupPipeline::render_group(const StreamingScene& scene,
+                                 const gs::Camera& camera,
+                                 const FramePlan& plan,
+                                 std::size_t group_index,
+                                 const GroupPipelineOptions& options,
+                                 GroupContext& ctx, GroupWork& work,
+                                 StreamingStats& stats, Image& image) {
+  const voxel::VoxelGrid& grid = scene.grid();
+  const voxel::DataLayout& layout = scene.layout();
+  const int gsz = plan.group_size();
+  const int gx = static_cast<int>(group_index) % plan.groups_x();
+  const int gy = static_cast<int>(group_index) / plan.groups_x();
+  const int px0 = gx * gsz;
+  const int py0 = gy * gsz;
+  const int px1 = std::min(camera.width(), px0 + gsz);
+  const int py1 = std::min(camera.height(), py0 + gsz);
+  const int n_px = (px1 - px0) * (py1 - py0);
+  const GroupRect rect{static_cast<float>(px0), static_cast<float>(py0),
+                       static_cast<float>(px1), static_cast<float>(py1)};
+
+  const bool timed = options.collect_stage_timing;
+  work.rays = static_cast<std::uint32_t>(n_px);
+  ctx.begin_group(n_px);
+
+  // --- VSU: ray marching + topological voxel ordering ----------------------
+  std::uint64_t t0 = timed ? stage_clock_ns() : 0;
+  const VsuStageResult vsu =
+      VsuStage::run(ctx, grid, camera, px0, py0, px1, py1, options.ray_stride,
+                    plan.candidates(group_index));
+  if (timed) work.timing_ns.vsu += stage_clock_ns() - t0;
+
+  stats.dda_steps += vsu.dda_steps;
+  work.dda_steps = vsu.dda_steps;
+  stats.topo_nodes += vsu.order.node_count;
+  stats.topo_edges += vsu.order.edge_count;
+  stats.cycle_breaks += vsu.order.cycle_breaks;
+  work.nodes = static_cast<std::uint32_t>(vsu.order.node_count);
+  work.edges = static_cast<std::uint32_t>(vsu.order.edge_count);
+  work.voxels.reserve(vsu.order.order.size());
+
+  // --- stream voxels through filter -> sort -> blend -----------------------
+  for (voxel::DenseVoxelId v : vsu.order.order) {
+    if (ctx.saturated == n_px) break;  // group fully opaque: stop streaming
+
+    const auto residents = grid.gaussians_in(v);
+    VoxelWorkItem item;
+    item.residents = static_cast<std::uint32_t>(residents.size());
+    item.coarse_bytes =
+        static_cast<std::uint64_t>(residents.size()) * voxel::kCoarseRecordBytes;
+    stats.max_voxel_residents =
+        std::max(stats.max_voxel_residents, item.residents);
+
+    t0 = timed ? stage_clock_ns() : 0;
+    const FilterStageCounts counts = FilterStage::run(
+        ctx, scene, residents, camera, rect, options.use_coarse_filter);
+    if (timed) {
+      const std::uint64_t t1 = stage_clock_ns();
+      work.timing_ns.filter += t1 - t0;
+      t0 = t1;
+    }
+    item.coarse_pass = counts.coarse_pass;
+    item.fine_pass = counts.fine_pass;
+    item.fine_bytes = layout.fine_bytes(item.coarse_pass);
+
+    SortStage::run(ctx);
+    if (timed) {
+      const std::uint64_t t1 = stage_clock_ns();
+      work.timing_ns.sort += t1 - t0;
+      t0 = t1;
+    }
+
+    BlendStage::run(ctx, px0, py0, px1, py1, item, stats);
+    if (timed) work.timing_ns.blend += stage_clock_ns() - t0;
+
+    stats.gaussians_streamed += item.residents;
+    stats.coarse_pass += item.coarse_pass;
+    stats.fine_pass += item.fine_pass;
+    stats.blend_ops += item.blend_ops;
+    stats.coarse_read_bytes += item.coarse_bytes;
+    stats.fine_read_bytes += item.fine_bytes;
+    ++stats.voxel_visits;
+    work.voxels.push_back(item);
+  }
+
+  // --- final pixel write-back (the only rendering-stage DRAM write) --------
+  t0 = timed ? stage_clock_ns() : 0;
+  BlendStage::resolve(ctx, px0, py0, px1, py1, scene.config().background,
+                      image, stats);
+  if (timed) work.timing_ns.blend += stage_clock_ns() - t0;
+}
+
+}  // namespace sgs::core

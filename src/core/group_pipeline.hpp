@@ -1,0 +1,149 @@
+// The staged per-group rendering pipeline (paper Sec. III/IV):
+//
+//   VsuStage    — sampled-ray marching + topological voxel ordering
+//   FilterStage — coarse/fine hierarchical filtering (HFU)
+//   SortStage   — per-voxel bitonic depth sort
+//   BlendStage  — on-chip alpha blending + final pixel resolve
+//
+// Stages communicate through a per-worker GroupContext scratch arena that is
+// reused across groups and frames, so the hot loop performs no per-voxel
+// heap allocation. Each stage is a free-standing component with its own
+// entry point, individually testable and individually timeable; the
+// GroupPipeline composes them into the exact computation the former
+// monolithic renderer performed (bit-identical images and counters).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hierarchical_filter.hpp"
+#include "core/streaming_renderer.hpp"
+#include "core/streaming_trace.hpp"
+#include "core/voxel_order.hpp"
+#include "gs/blending.hpp"
+#include "gs/projection.hpp"
+#include "voxel/grid.hpp"
+
+namespace sgs::core {
+
+// A Gaussian that survived hierarchical filtering for the current voxel.
+struct Survivor {
+  gs::ProjectedGaussian proj;
+  std::uint32_t model_index = 0;
+};
+
+// Per-worker scratch arena. One instance is owned per pool worker by the
+// FrameScheduler; capacity grows to the high-water mark of the groups a
+// worker processes and is never released mid-frame.
+struct GroupContext {
+  // VSU: sampled ray coordinates and per-ray voxel orders. `per_ray` slots
+  // beyond `per_ray_used` are stale-but-empty vectors kept for their
+  // capacity; topological ordering ignores empty rays.
+  std::vector<int> ray_xs, ray_ys;
+  std::vector<std::vector<voxel::DenseVoxelId>> per_ray;
+  std::size_t per_ray_used = 0;
+
+  // Filter + sort.
+  std::vector<Survivor> survivors;
+  std::vector<Survivor> sorted_survivors;
+  std::vector<float> sort_keys;
+  std::vector<std::uint32_t> sort_payload;
+
+  // Blend: per-pixel compositing state for the current group.
+  std::vector<gs::PixelAccumulator> acc;
+  std::vector<float> max_depth;
+  int saturated = 0;
+
+  // Model indices recorded while blending the current group.
+  std::vector<std::uint32_t> violators;
+  std::vector<std::uint32_t> contributors;
+
+  // Resets per-group state (keeps every vector's capacity).
+  void begin_group(int n_px);
+  // Returns a cleared per-ray slot, reusing its previous capacity.
+  std::vector<voxel::DenseVoxelId>& next_ray_slot();
+};
+
+// --------------------------------------------------------------- VsuStage --
+struct VsuStageResult {
+  VoxelOrderResult order;
+  std::uint64_t dda_steps = 0;
+};
+
+class VsuStage {
+ public:
+  // Marches the group's sampled rays (stride grid that always includes the
+  // last row/column) through the grid, appends the plan's candidate voxels
+  // as ordering-free singleton rays, and topologically sorts the union.
+  static VsuStageResult run(GroupContext& ctx, const voxel::VoxelGrid& grid,
+                            const gs::Camera& camera, int px0, int py0,
+                            int px1, int py1, int ray_stride,
+                            const std::vector<voxel::DenseVoxelId>& candidates);
+};
+
+// ------------------------------------------------------------ FilterStage --
+struct FilterStageCounts {
+  std::uint32_t coarse_pass = 0;  // survivors entering the fine phase
+  std::uint32_t fine_pass = 0;    // survivors entering sort + blend
+};
+
+class FilterStage {
+ public:
+  // Streams one voxel's residents through the coarse and fine filters into
+  // ctx.survivors (cleared first), in resident order.
+  static FilterStageCounts run(GroupContext& ctx, const StreamingScene& scene,
+                               std::span<const std::uint32_t> residents,
+                               const gs::Camera& camera, const GroupRect& rect,
+                               bool use_coarse_filter);
+};
+
+// -------------------------------------------------------------- SortStage --
+class SortStage {
+ public:
+  // Depth-sorts ctx.survivors in place using the bitonic network the
+  // hardware sorting unit implements (fixed comparator schedule, +inf
+  // padding). No-op for fewer than two survivors.
+  static void run(GroupContext& ctx);
+};
+
+// ------------------------------------------------------------- BlendStage --
+class BlendStage {
+ public:
+  // Blends the (sorted) survivors of one voxel into the group accumulators,
+  // updating item.blend_ops, the blend/violation counters of `stats`, and
+  // ctx.violators / ctx.contributors.
+  static void run(GroupContext& ctx, int px0, int py0, int px1, int py1,
+                  VoxelWorkItem& item, StreamingStats& stats);
+
+  // Final pixel write-back (the only rendering-stage DRAM write); adds the
+  // group's frame bytes to stats.frame_write_bytes.
+  static void resolve(const GroupContext& ctx, int px0, int py0, int px1,
+                      int py1, Vec3f background, Image& image,
+                      StreamingStats& stats);
+};
+
+// ----------------------------------------------------------- GroupPipeline --
+struct GroupPipelineOptions {
+  bool use_coarse_filter = true;
+  int ray_stride = 8;
+  bool collect_stage_timing = false;
+};
+
+class FramePlan;
+
+class GroupPipeline {
+ public:
+  // Renders one pixel group end to end. Appends per-voxel work items and
+  // stage timings to `work`, accumulates counters into `stats` (the caller
+  // owns one slot per group for deterministic merging), records
+  // contributors/violators in ctx, and writes the group's pixels to `image`.
+  static void render_group(const StreamingScene& scene,
+                           const gs::Camera& camera, const FramePlan& plan,
+                           std::size_t group_index,
+                           const GroupPipelineOptions& options,
+                           GroupContext& ctx, GroupWork& work,
+                           StreamingStats& stats, Image& image);
+};
+
+}  // namespace sgs::core

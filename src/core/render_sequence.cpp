@@ -1,0 +1,53 @@
+#include "core/render_sequence.hpp"
+
+#include <utility>
+
+namespace sgs::core {
+
+SequenceRenderer::SequenceRenderer(const StreamingScene& scene,
+                                   SequenceOptions options)
+    : scene_(&scene), options_(std::move(options)) {}
+
+StreamingRenderResult SequenceRenderer::render(const gs::Camera& camera) {
+  const bool reuse =
+      plan_.has_value() &&
+      plan_->reusable_for(camera, options_.reuse_max_translation,
+                          options_.reuse_max_rotation_rad);
+  std::uint64_t plan_ns = 0;
+  if (!reuse) {
+    plan_ = FramePlan::build_timed(scene_->grid(), camera,
+                                   scene_->config().group_size,
+                                   options_.plan_margin_px,
+                                   options_.render.collect_stage_timing,
+                                   plan_ns);
+    ++stats_.plans_built;
+  } else {
+    ++stats_.plans_reused;
+  }
+
+  StreamingRenderResult result =
+      scheduler_.render_frame(*scene_, camera, *plan_, options_.render);
+  result.trace.plan_reused = reuse;
+  result.trace.plan_build_ns = plan_ns;
+  if (reuse) {
+    // The voxel table was not rebuilt this frame: the VSU is charged zero
+    // table steps, which is exactly the reuse win the sim sees.
+    result.trace.voxel_table_steps = 0;
+  }
+  return result;
+}
+
+SequenceResult render_sequence(const StreamingScene& scene,
+                               const std::vector<gs::Camera>& cameras,
+                               const SequenceOptions& options) {
+  SequenceRenderer renderer(scene, options);
+  SequenceResult out;
+  out.frames.reserve(cameras.size());
+  for (const gs::Camera& cam : cameras) {
+    out.frames.push_back(renderer.render(cam));
+  }
+  out.stats = renderer.stats();
+  return out;
+}
+
+}  // namespace sgs::core

@@ -1,0 +1,77 @@
+// Frame-sequence rendering: the first genuinely *streaming* (multi-frame)
+// scenario of the pipeline.
+//
+// A SequenceRenderer keeps the FrameScheduler (and its per-worker scratch
+// arenas) and the last FramePlan alive across frames. While the camera moves
+// less than the configured thresholds, the cached plan — built with a
+// generous binning margin — is reused verbatim: the per-frame voxel-table
+// rebuild (one conservative projection per non-empty voxel plus the group
+// binning) is skipped entirely and the frame's trace charges zero
+// voxel_table_steps, which is exactly the reuse win frame-to-frame streaming
+// systems report. When the camera leaves the reuse envelope a fresh plan is
+// built and the cycle restarts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/frame_plan.hpp"
+#include "core/frame_scheduler.hpp"
+#include "core/streaming_renderer.hpp"
+
+namespace sgs::core {
+
+struct SequenceOptions {
+  // Per-frame render options (violator collection, coarse override, stage
+  // timing).
+  StreamingRenderOptions render;
+  // A cached plan is reused while the camera stays within these bounds of
+  // the camera the plan was built for. Reuse is approximate: the plan's
+  // binning margin absorbs the projection drift for geometry at moderate
+  // depth, so thresholds should be chosen against plan_margin_px (roughly
+  // margin >= focal * rotation + focal * translation / min scene depth).
+  float reuse_max_translation = 0.1f;
+  float reuse_max_rotation_rad = 0.02f;
+  // Binning margin used for plans built by the sequence (the single-frame
+  // renderer uses 1 px; sequences pad more so the plan survives motion).
+  float plan_margin_px = 24.0f;
+};
+
+struct SequenceStats {
+  std::size_t plans_built = 0;
+  std::size_t plans_reused = 0;
+};
+
+class SequenceRenderer {
+ public:
+  explicit SequenceRenderer(const StreamingScene& scene,
+                            SequenceOptions options = {});
+
+  // Renders the next frame of the sequence. The camera may have any pose but
+  // must keep the image geometry (size + intrinsics) of the first frame for
+  // plan reuse to engage.
+  StreamingRenderResult render(const gs::Camera& camera);
+
+  const SequenceStats& stats() const { return stats_; }
+
+ private:
+  const StreamingScene* scene_;
+  SequenceOptions options_;
+  FrameScheduler scheduler_;
+  std::optional<FramePlan> plan_;
+  SequenceStats stats_;
+};
+
+struct SequenceResult {
+  std::vector<StreamingRenderResult> frames;
+  SequenceStats stats;
+};
+
+// Convenience wrapper: renders a whole camera trajectory through one
+// SequenceRenderer.
+SequenceResult render_sequence(const StreamingScene& scene,
+                               const std::vector<gs::Camera>& cameras,
+                               const SequenceOptions& options = {});
+
+}  // namespace sgs::core

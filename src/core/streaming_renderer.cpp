@@ -1,16 +1,7 @@
 #include "core/streaming_renderer.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <mutex>
-#include <unordered_set>
-
-#include "common/bitonic.hpp"
-#include "common/parallel.hpp"
-#include "core/hierarchical_filter.hpp"
-#include "core/voxel_order.hpp"
-#include "gs/blending.hpp"
-#include "voxel/dda.hpp"
+#include "core/frame_plan.hpp"
+#include "core/frame_scheduler.hpp"
 
 namespace sgs::core {
 
@@ -40,321 +31,22 @@ StreamingScene StreamingScene::prepare(const gs::GaussianModel& model,
   return scene;
 }
 
-namespace {
-
-struct Survivor {
-  gs::ProjectedGaussian proj;
-  std::uint32_t model_index;
-};
-
-}  // namespace
-
 StreamingRenderResult render_streaming(const StreamingScene& scene,
                                        const gs::Camera& camera,
                                        const StreamingRenderOptions& options) {
-  const bool collect_violators = options.collect_violators;
-  StreamingConfig cfg = scene.config();
-  if (options.coarse_filter_override) {
-    cfg.use_coarse_filter = *options.coarse_filter_override;
-  }
-  const voxel::VoxelGrid& grid = scene.grid();
-  const voxel::DataLayout& layout = scene.layout();
-  const gs::GaussianModel& model = scene.render_model();
+  // Single-frame entry point: build the plan with the renderer's 1 px
+  // binning margin (bit-exact with the pre-pipeline monolith) and run the
+  // staged pipeline once. Sequence rendering (render_sequence.hpp) keeps the
+  // plan and scheduler alive across frames instead.
+  std::uint64_t plan_ns = 0;
+  const FramePlan plan = FramePlan::build_timed(
+      scene.grid(), camera, scene.config().group_size, /*margin_px=*/1.0f,
+      options.collect_stage_timing, plan_ns);
 
-  const int width = camera.width();
-  const int height = camera.height();
-  const int gsz = cfg.group_size;
-  const int groups_x = (width + gsz - 1) / gsz;
-  const int groups_y = (height + gsz - 1) / gsz;
-  const std::size_t group_count = static_cast<std::size_t>(groups_x) * groups_y;
-
-  StreamingRenderResult result;
-  result.image = Image(width, height, cfg.background);
-  result.trace.group_size = gsz;
-  result.trace.pixel_count = static_cast<std::uint64_t>(width) * height;
-  result.trace.groups.resize(group_count);
-
-  const Vec3f cam_pos = camera.position();
-  // Depth key for voxel ordering: distance from camera to voxel center.
-  auto depth_key = [&](voxel::DenseVoxelId v) {
-    return (grid.voxel_center(v) - cam_pos).norm();
-  };
-
-  // --- VSU voxel table: per-frame voxel -> group binning -------------------
-  // Each non-empty voxel's bounding sphere is projected once with the same
-  // conservative bound the coarse filter uses; the voxel is a rendering
-  // candidate for every group its screen bbox touches. Sampled rays below
-  // only provide *ordering* edges — discovery is complete regardless of the
-  // ray stride, so no pixel can see a Gaussian whose voxel was never
-  // streamed.
-  std::vector<std::vector<voxel::DenseVoxelId>> group_candidates(group_count);
-  {
-    std::mutex bin_mutex;
-    const std::int32_t n_vox = grid.voxel_count();
-    parallel_for(0, static_cast<std::size_t>(n_vox), [&](std::size_t vi) {
-      const auto v = static_cast<voxel::DenseVoxelId>(vi);
-      // Project the 8 voxel corners: for a convex box fully in front of the
-      // near plane, the hull of the projected corners bounds the box's
-      // projection exactly. The (rare) near-plane straddle falls back to
-      // binning everywhere; boxes fully behind are skipped.
-      const Vec3f lo = grid.voxel_min_corner(v);
-      const float vs = grid.config().voxel_size;
-      // Corners barely in front of the camera plane still project to finite
-      // (very large, hence conservative) coordinates; only corners behind
-      // this epsilon force the unbounded fallback. Gaussians nearer than the
-      // real near clip are culled by the filters anyway.
-      constexpr float kBinEps = 0.01f;
-      int behind_near = 0;   // corners behind the true near plane
-      int behind_eps = 0;    // corners with unusable projections
-      float px0 = 1e30f, py0 = 1e30f, px1 = -1e30f, py1 = -1e30f;
-      for (int corner = 0; corner < 8; ++corner) {
-        const Vec3f p{lo.x + ((corner & 1) ? vs : 0.0f),
-                      lo.y + ((corner & 2) ? vs : 0.0f),
-                      lo.z + ((corner & 4) ? vs : 0.0f)};
-        const Vec3f p_cam = camera.world_to_camera(p);
-        if (p_cam.z <= gs::kNearClip) ++behind_near;
-        if (p_cam.z <= kBinEps) {
-          ++behind_eps;
-          continue;
-        }
-        const Vec2f uv = camera.project_cam(p_cam);
-        px0 = std::min(px0, uv.x);
-        py0 = std::min(py0, uv.y);
-        px1 = std::max(px1, uv.x);
-        py1 = std::max(py1, uv.y);
-      }
-      if (behind_near == 8) return;  // fully behind the near plane
-      int gx0, gx1, gy0, gy1;
-      if (behind_eps > 0) {
-        // Crosses the camera plane itself: projection unbounded.
-        gx0 = 0; gy0 = 0; gx1 = groups_x - 1; gy1 = groups_y - 1;
-      } else {
-        // 1 px margin absorbs rounding at group borders.
-        gx0 = std::max(0, static_cast<int>((px0 - 1.0f) / static_cast<float>(gsz)));
-        gy0 = std::max(0, static_cast<int>((py0 - 1.0f) / static_cast<float>(gsz)));
-        gx1 = std::min(groups_x - 1,
-                       static_cast<int>((px1 + 1.0f) / static_cast<float>(gsz)));
-        gy1 = std::min(groups_y - 1,
-                       static_cast<int>((py1 + 1.0f) / static_cast<float>(gsz)));
-        if (gx0 > gx1 || gy0 > gy1) return;  // fully off-screen
-      }
-      std::lock_guard<std::mutex> lk(bin_mutex);
-      for (int gy = gy0; gy <= gy1; ++gy) {
-        for (int gx = gx0; gx <= gx1; ++gx) {
-          group_candidates[static_cast<std::size_t>(gy) * groups_x + gx].push_back(v);
-        }
-      }
-    });
-    // Parallel binning inserts in nondeterministic order; sort for
-    // reproducibility (the table build order is fixed in hardware anyway).
-    parallel_for(0, group_count, [&](std::size_t g) {
-      std::sort(group_candidates[g].begin(), group_candidates[g].end());
-    });
-  }
-  result.trace.voxel_table_steps = static_cast<std::uint64_t>(grid.voxel_count());
-
-  std::mutex merge_mutex;
-  StreamingStats total;
-  std::unordered_set<std::uint32_t> violator_set;
-  std::unordered_set<std::uint32_t> contributor_set;
-
-  parallel_for(0, group_count, [&](std::size_t gi) {
-    const int gx = static_cast<int>(gi) % groups_x;
-    const int gy = static_cast<int>(gi) / groups_x;
-    const int px0 = gx * gsz;
-    const int py0 = gy * gsz;
-    const int px1 = std::min(width, px0 + gsz);
-    const int py1 = std::min(height, py0 + gsz);
-    const int n_px = (px1 - px0) * (py1 - py0);
-    const GroupRect rect{static_cast<float>(px0), static_cast<float>(py0),
-                         static_cast<float>(px1), static_cast<float>(py1)};
-
-    StreamingStats local;
-    GroupWork& work = result.trace.groups[gi];
-    work.rays = static_cast<std::uint32_t>(n_px);
-    std::vector<std::uint32_t> local_violators;
-    std::vector<std::uint32_t> local_contributors;
-
-    // --- VSU: sampled-ray voxel orders --------------------------------------
-    // Rays are marched on a stride grid that always includes the group's
-    // last row/column, so the sampled frustum spans the full group.
-    const int stride = std::max(1, cfg.ray_stride);
-    std::vector<int> xs, ys;
-    for (int px = px0; px < px1; px += stride) xs.push_back(px);
-    if (xs.empty() || xs.back() != px1 - 1) xs.push_back(px1 - 1);
-    for (int py = py0; py < py1; py += stride) ys.push_back(py);
-    if (ys.empty() || ys.back() != py1 - 1) ys.push_back(py1 - 1);
-
-    std::vector<std::vector<voxel::DenseVoxelId>> per_ray;
-    per_ray.reserve(xs.size() * ys.size());
-    voxel::DdaStats dda_stats;
-    for (int py : ys) {
-      for (int px : xs) {
-        const gs::Ray ray = camera.pixel_ray(static_cast<float>(px) + 0.5f,
-                                             static_cast<float>(py) + 0.5f);
-        per_ray.push_back(
-            voxel::intersected_voxels(ray, grid, 1e30f, &dda_stats));
-      }
-    }
-    local.dda_steps = dda_stats.steps;
-    work.dda_steps = dda_stats.steps;
-
-    // Voxel-table candidates join as singleton "rays": they contribute no
-    // ordering constraints (the depth-keyed heap places them) but guarantee
-    // complete coverage for pixels the sampled rays missed.
-    for (const voxel::DenseVoxelId v : group_candidates[gi]) {
-      per_ray.push_back({v});
-    }
-
-    // --- VSU: global voxel order via topological sort -----------------------
-    const VoxelOrderResult order = topological_voxel_order(per_ray, depth_key);
-    local.topo_nodes = order.node_count;
-    local.topo_edges = order.edge_count;
-    local.cycle_breaks = order.cycle_breaks;
-    work.nodes = static_cast<std::uint32_t>(order.node_count);
-    work.edges = static_cast<std::uint32_t>(order.edge_count);
-    work.voxels.reserve(order.order.size());
-
-    // --- per-pixel compositing state ---------------------------------------
-    std::vector<gs::PixelAccumulator> acc(static_cast<std::size_t>(n_px));
-    std::vector<float> max_depth(static_cast<std::size_t>(n_px), 0.0f);
-    int saturated = 0;
-
-    std::vector<Survivor> survivors;
-    std::vector<Survivor> sorted_survivors;
-    std::vector<float> sort_keys;
-    std::vector<std::uint32_t> sort_payload;
-    for (voxel::DenseVoxelId v : order.order) {
-      if (saturated == n_px) break;  // group fully opaque: stop streaming
-
-      const auto residents = grid.gaussians_in(v);
-      VoxelWorkItem item;
-      item.residents = static_cast<std::uint32_t>(residents.size());
-      item.coarse_bytes =
-          static_cast<std::uint64_t>(residents.size()) * voxel::kCoarseRecordBytes;
-      local.max_voxel_residents =
-          std::max(local.max_voxel_residents, item.residents);
-
-      // --- HFU: hierarchical filtering ------------------------------------
-      survivors.clear();
-      for (const std::uint32_t mi : residents) {
-        bool coarse_ok = true;
-        if (cfg.use_coarse_filter) {
-          coarse_ok = coarse_filter(model.gaussians[mi].position,
-                                    scene.coarse_max_scale(mi), camera, rect);
-        }
-        if (!coarse_ok) continue;
-        ++item.coarse_pass;
-        if (auto proj = fine_filter(model.gaussians[mi], camera, rect)) {
-          ++item.fine_pass;
-          survivors.push_back({*proj, mi});
-        }
-      }
-      item.fine_bytes = layout.fine_bytes(item.coarse_pass);
-
-      // --- per-voxel depth sort: the actual bitonic network the sorting
-      // unit implements (fixed comparator schedule, +inf padding).
-      if (survivors.size() > 1) {
-        sort_keys.resize(survivors.size());
-        sort_payload.resize(survivors.size());
-        for (std::size_t k = 0; k < survivors.size(); ++k) {
-          sort_keys[k] = survivors[k].proj.depth;
-          sort_payload[k] = static_cast<std::uint32_t>(k);
-        }
-        bitonic_sort(sort_keys, sort_payload);
-        sorted_survivors.clear();
-        sorted_survivors.reserve(survivors.size());
-        for (std::uint32_t idx : sort_payload) {
-          sorted_survivors.push_back(survivors[idx]);
-        }
-        survivors.swap(sorted_survivors);
-      }
-
-      // --- rendering: partial pixel values stay on-chip --------------------
-      const int row = px1 - px0;
-      for (const Survivor& s : survivors) {
-        if (saturated == n_px) break;
-        const gs::PixelSpan span = gs::splat_pixel_span(
-            s.proj.mean, s.proj.radius, px0, py0, px1, py1);
-        bool contributed = false;
-        bool violated = false;
-        for (int py = span.y0; py < span.y1; ++py) {
-          for (int px = span.x0; px < span.x1; ++px) {
-            const int pi = (py - py0) * row + (px - px0);
-            gs::PixelAccumulator& a = acc[static_cast<std::size_t>(pi)];
-            if (a.saturated()) continue;
-            ++item.blend_ops;
-            const float alpha = gs::gaussian_alpha(
-                s.proj,
-                {static_cast<float>(px) + 0.5f, static_cast<float>(py) + 0.5f});
-            if (alpha <= 0.0f) continue;
-            contributed = true;
-            ++local.blended_contributions;
-            // Depth-order bookkeeping: the measured T_i of Eq. 2.
-            float& md = max_depth[static_cast<std::size_t>(pi)];
-            if (s.proj.depth < md - 1e-6f) {
-              ++local.depth_order_violations;
-              violated = true;
-            } else {
-              md = s.proj.depth;
-            }
-            gs::blend(a, s.proj.color, alpha);
-            if (a.saturated()) ++saturated;
-          }
-        }
-        if (contributed) local_contributors.push_back(s.model_index);
-        if (violated) local_violators.push_back(s.model_index);
-      }
-
-      local.gaussians_streamed += item.residents;
-      local.coarse_pass += item.coarse_pass;
-      local.fine_pass += item.fine_pass;
-      local.blend_ops += item.blend_ops;
-      local.coarse_read_bytes += item.coarse_bytes;
-      local.fine_read_bytes += item.fine_bytes;
-      ++local.voxel_visits;
-      work.voxels.push_back(item);
-    }
-
-    // Final pixel write-back (the only rendering-stage DRAM write).
-    int pi = 0;
-    for (int py = py0; py < py1; ++py) {
-      for (int px = px0; px < px1; ++px, ++pi) {
-        result.image.at(px, py) =
-            gs::resolve(acc[static_cast<std::size_t>(pi)], cfg.background);
-      }
-    }
-    local.frame_write_bytes = static_cast<std::uint64_t>(n_px) * 4;  // RGBA8
-
-    std::lock_guard<std::mutex> lk(merge_mutex);
-    total.coarse_read_bytes += local.coarse_read_bytes;
-    total.fine_read_bytes += local.fine_read_bytes;
-    total.frame_write_bytes += local.frame_write_bytes;
-    total.gaussians_streamed += local.gaussians_streamed;
-    total.coarse_pass += local.coarse_pass;
-    total.fine_pass += local.fine_pass;
-    total.blend_ops += local.blend_ops;
-    total.blended_contributions += local.blended_contributions;
-    total.depth_order_violations += local.depth_order_violations;
-    total.dda_steps += local.dda_steps;
-    total.voxel_visits += local.voxel_visits;
-    total.topo_nodes += local.topo_nodes;
-    total.topo_edges += local.topo_edges;
-    total.cycle_breaks += local.cycle_breaks;
-    total.max_voxel_residents =
-        std::max(total.max_voxel_residents, local.max_voxel_residents);
-    for (std::uint32_t v : local_violators) violator_set.insert(v);
-    for (std::uint32_t c : local_contributors) contributor_set.insert(c);
-  });
-
-  total.gaussians_blended_unique = contributor_set.size();
-  total.gaussians_violating_unique = violator_set.size();
-  result.stats = total;
-  result.trace.frame_write_bytes = total.frame_write_bytes;
-  if (collect_violators) {
-    result.violators.assign(violator_set.begin(), violator_set.end());
-    std::sort(result.violators.begin(), result.violators.end());
-  }
+  FrameScheduler scheduler;
+  StreamingRenderResult result =
+      scheduler.render_frame(scene, camera, plan, options);
+  result.trace.plan_build_ns = plan_ns;
   return result;
 }
 

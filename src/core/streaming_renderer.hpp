@@ -149,6 +149,10 @@ struct StreamingRenderOptions {
   // Overrides the scene config's coarse-filter flag when set (lets ablation
   // variants share one prepared scene; preparation only depends on VQ).
   std::optional<bool> coarse_filter_override;
+  // Records wall-clock per-stage timings into the trace (StageTimingsNs).
+  // Off by default: the clock reads sit in the per-voxel hot loop. Timing is
+  // metadata only — image bytes and stats are identical either way.
+  bool collect_stage_timing = false;
 };
 
 StreamingRenderResult render_streaming(

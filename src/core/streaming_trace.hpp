@@ -6,10 +6,41 @@
 // pipeline model; the same trace drives all STREAMINGGS variants.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 namespace sgs::core {
+
+// Monotonic timestamp shared by every producer of stage timings: one clock,
+// one cast, so plan/vsu/filter/sort/blend breakdowns stay comparable.
+inline std::uint64_t stage_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Wall-clock nanoseconds the software model spent in each pipeline stage.
+// Filled only when stage timing is enabled (StreamingRenderOptions /
+// SequenceOptions); all-zero otherwise. Timing is diagnostic metadata: it
+// never participates in image or stats determinism.
+struct StageTimingsNs {
+  std::uint64_t plan = 0;    // frame-plan build (voxel table), frame-level
+  std::uint64_t vsu = 0;     // ray marching + topological ordering
+  std::uint64_t filter = 0;  // coarse + fine hierarchical filtering
+  std::uint64_t sort = 0;    // per-voxel bitonic depth sort
+  std::uint64_t blend = 0;   // alpha blending + pixel resolve
+
+  std::uint64_t total() const { return plan + vsu + filter + sort + blend; }
+  void accumulate(const StageTimingsNs& o) {
+    plan += o.plan;
+    vsu += o.vsu;
+    filter += o.filter;
+    sort += o.sort;
+    blend += o.blend;
+  }
+};
 
 // One voxel streamed for one pixel group.
 struct VoxelWorkItem {
@@ -27,6 +58,7 @@ struct GroupWork {
   std::uint64_t dda_steps = 0;   // VSU ray-marching steps (incl. empty cells)
   std::uint32_t nodes = 0;       // voxels in the ordering DAG
   std::uint32_t edges = 0;       // dependency edges
+  StageTimingsNs timing_ns;      // per-stage software time (opt-in)
   std::vector<VoxelWorkItem> voxels;  // in global rendering order
 };
 
@@ -35,8 +67,13 @@ struct StreamingTrace {
   std::uint64_t pixel_count = 0;
   std::uint64_t frame_write_bytes = 0;
   // Per-frame VSU voxel-table build: every non-empty voxel is projected
-  // once to bin it into the pixel groups it may affect.
+  // once to bin it into the pixel groups it may affect. Zero for frames
+  // that reused a cached FramePlan (sequence rendering).
   std::uint64_t voxel_table_steps = 0;
+  // True when this frame reused the previous frame's FramePlan.
+  bool plan_reused = false;
+  // Frame-plan build time (opt-in, see StageTimingsNs).
+  std::uint64_t plan_build_ns = 0;
   std::vector<GroupWork> groups;
 
   // --- aggregates ----------------------------------------------------------
@@ -68,6 +105,13 @@ struct StreamingTrace {
     std::uint64_t t = frame_write_bytes;
     for (const auto& g : groups)
       for (const auto& v : g.voxels) t += v.coarse_bytes + v.fine_bytes;
+    return t;
+  }
+  // Per-stage software time summed over all groups plus the plan build.
+  StageTimingsNs total_stage_ns() const {
+    StageTimingsNs t;
+    t.plan = plan_build_ns;
+    for (const auto& g : groups) t.accumulate(g.timing_ns);
     return t;
   }
 };

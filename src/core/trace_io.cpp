@@ -30,12 +30,18 @@ bool write_trace(std::ostream& out, const StreamingTrace& trace) {
   put<std::uint64_t>(out, trace.pixel_count);
   put<std::uint64_t>(out, trace.frame_write_bytes);
   put<std::uint64_t>(out, trace.voxel_table_steps);
+  put<std::uint8_t>(out, trace.plan_reused ? 1 : 0);
+  put<std::uint64_t>(out, trace.plan_build_ns);
   put<std::uint64_t>(out, trace.groups.size());
   for (const GroupWork& g : trace.groups) {
     put<std::uint32_t>(out, g.rays);
     put<std::uint64_t>(out, g.dda_steps);
     put<std::uint32_t>(out, g.nodes);
     put<std::uint32_t>(out, g.edges);
+    put<std::uint64_t>(out, g.timing_ns.vsu);
+    put<std::uint64_t>(out, g.timing_ns.filter);
+    put<std::uint64_t>(out, g.timing_ns.sort);
+    put<std::uint64_t>(out, g.timing_ns.blend);
     put<std::uint64_t>(out, g.voxels.size());
     for (const VoxelWorkItem& v : g.voxels) {
       put<std::uint32_t>(out, v.residents);
@@ -67,6 +73,8 @@ StreamingTrace read_trace(std::istream& in) {
   trace.pixel_count = get<std::uint64_t>(in);
   trace.frame_write_bytes = get<std::uint64_t>(in);
   trace.voxel_table_steps = get<std::uint64_t>(in);
+  trace.plan_reused = get<std::uint8_t>(in) != 0;
+  trace.plan_build_ns = get<std::uint64_t>(in);
   const std::uint64_t n_groups = get<std::uint64_t>(in);
   // Sanity cap: one group per pixel is the theoretical maximum.
   if (n_groups > trace.pixel_count + 1) {
@@ -78,6 +86,10 @@ StreamingTrace read_trace(std::istream& in) {
     g.dda_steps = get<std::uint64_t>(in);
     g.nodes = get<std::uint32_t>(in);
     g.edges = get<std::uint32_t>(in);
+    g.timing_ns.vsu = get<std::uint64_t>(in);
+    g.timing_ns.filter = get<std::uint64_t>(in);
+    g.timing_ns.sort = get<std::uint64_t>(in);
+    g.timing_ns.blend = get<std::uint64_t>(in);
     const std::uint64_t n_voxels = get<std::uint64_t>(in);
     if (n_voxels > (std::uint64_t{1} << 32)) {
       throw std::runtime_error("implausible voxel count in trace");

@@ -17,7 +17,8 @@
 namespace sgs::core {
 
 inline constexpr std::uint32_t kTraceMagic = 0x54534753;  // "SGST"
-inline constexpr std::uint32_t kTraceVersion = 1;
+// v2: plan reuse flag + per-stage software timings (staged frame pipeline).
+inline constexpr std::uint32_t kTraceVersion = 2;
 
 // Returns false on IO failure.
 bool write_trace(std::ostream& out, const StreamingTrace& trace);

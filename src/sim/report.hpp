@@ -18,6 +18,11 @@ struct SimReport {
   EnergyBreakdown energy;
   // Busy time per pipeline stage (diagnostics / bottleneck analysis).
   std::map<std::string, double> stage_busy;
+  // Measured software-model stage times (nanoseconds) carried over from the
+  // trace when the renderer collected them; empty otherwise. Lets the
+  // trace-driven cycle model be sanity-checked against where the functional
+  // model actually spent its time.
+  std::map<std::string, double> sw_stage_ns;
 
   double energy_mj() const { return energy.total_mj(); }
   // Average power in watts over the frame.

@@ -129,6 +129,16 @@ SimReport simulate_streaminggs(const core::StreamingTrace& trace,
   report.stage_busy["ffu"] = pipe.stage_busy(kFfu);
   report.stage_busy["sort"] = pipe.stage_busy(kSort);
   report.stage_busy["render"] = pipe.stage_busy(kRender);
+
+  // Software-model stage times, when the renderer collected them.
+  const core::StageTimingsNs sw = trace.total_stage_ns();
+  if (sw.total() > 0) {
+    report.sw_stage_ns["plan"] = static_cast<double>(sw.plan);
+    report.sw_stage_ns["vsu"] = static_cast<double>(sw.vsu);
+    report.sw_stage_ns["filter"] = static_cast<double>(sw.filter);
+    report.sw_stage_ns["sort"] = static_cast<double>(sw.sort);
+    report.sw_stage_ns["blend"] = static_cast<double>(sw.blend);
+  }
   return report;
 }
 

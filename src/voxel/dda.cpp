@@ -85,6 +85,13 @@ std::vector<DenseVoxelId> intersected_voxels(const gs::Ray& ray,
                                              const VoxelGrid& grid,
                                              float max_t, DdaStats* stats) {
   std::vector<DenseVoxelId> out;
+  intersected_voxels_into(ray, grid, max_t, stats, out);
+  return out;
+}
+
+void intersected_voxels_into(const gs::Ray& ray, const VoxelGrid& grid,
+                             float max_t, DdaStats* stats,
+                             std::vector<DenseVoxelId>& out) {
   traverse(ray, grid.config(), max_t, [&](Vec3i c, float) {
     if (stats) ++stats->steps;
     const DenseVoxelId d = grid.dense_of_raw(grid.raw_id(c));
@@ -94,7 +101,6 @@ std::vector<DenseVoxelId> intersected_voxels(const gs::Ray& ray,
     }
     return true;
   });
-  return out;
 }
 
 }  // namespace sgs::voxel

@@ -31,4 +31,11 @@ std::vector<DenseVoxelId> intersected_voxels(const gs::Ray& ray,
                                              float max_t = 1e30f,
                                              DdaStats* stats = nullptr);
 
+// Allocation-free variant: appends into `out` (not cleared), reusing its
+// capacity. The streaming renderer's per-worker scratch arenas march
+// thousands of rays per frame through this path.
+void intersected_voxels_into(const gs::Ray& ray, const VoxelGrid& grid,
+                             float max_t, DdaStats* stats,
+                             std::vector<DenseVoxelId>& out);
+
 }  // namespace sgs::voxel

@@ -84,6 +84,45 @@ TEST(VoxelOrder, TieBreakByDepth) {
   EXPECT_EQ(r.order.front(), 1);
 }
 
+TEST(VoxelOrder, CycleBreakingIsDeterministic) {
+  // A cycle-heavy input (two 3-cycles sharing node 2) must resolve to the
+  // same order and the same break count on every run: the VSU's tie-break
+  // is a fixed hardware policy, not an artifact of iteration order.
+  const std::vector<std::vector<DenseVoxelId>> rays = {
+      {1, 2}, {2, 3}, {3, 1}, {2, 4}, {4, 5}, {5, 2}};
+  const auto first = topological_voxel_order(rays, unit_depth);
+  EXPECT_GT(first.cycle_breaks, 0u);
+  EXPECT_EQ(first.order.size(), 5u);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto again = topological_voxel_order(rays, unit_depth);
+    EXPECT_EQ(again.order, first.order);
+    EXPECT_EQ(again.cycle_breaks, first.cycle_breaks);
+    EXPECT_EQ(again.edge_count, first.edge_count);
+  }
+}
+
+TEST(VoxelOrder, ConflictingRaysCannotBothBeRespected) {
+  // Two rays that disagree on the order of {1, 2}: whatever the sorter
+  // emits, order_respects_rays must flag the violated ray — for the
+  // result's own order and for both hand-written candidate orders.
+  const std::vector<std::vector<DenseVoxelId>> rays = {{1, 2}, {2, 1}};
+  const auto r = topological_voxel_order(rays, unit_depth);
+  EXPECT_EQ(r.cycle_breaks, 1u);
+  EXPECT_FALSE(order_respects_rays(r.order, rays));
+  EXPECT_FALSE(order_respects_rays({1, 2}, rays));
+  EXPECT_FALSE(order_respects_rays({2, 1}, rays));
+  // Each ray alone is satisfiable.
+  EXPECT_TRUE(order_respects_rays({1, 2}, {rays[0]}));
+  EXPECT_TRUE(order_respects_rays({2, 1}, {rays[1]}));
+}
+
+TEST(VoxelOrder, RespectHelperRejectsMissingNodes) {
+  // An order that omits a voxel some ray pierces cannot respect that ray.
+  const std::vector<std::vector<DenseVoxelId>> rays = {{1, 2, 3}};
+  EXPECT_FALSE(order_respects_rays({1, 3}, rays));
+  EXPECT_TRUE(order_respects_rays({1, 2, 3}, rays));
+}
+
 class VoxelOrderRandom : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(VoxelOrderRandom, RandomRaySubsequencesRespected) {

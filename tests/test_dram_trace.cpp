@@ -117,7 +117,9 @@ core::StreamingTrace make_trace() {
   const auto scene = core::StreamingScene::prepare(model, cfg);
   const auto cam =
       gs::Camera::look_at({0, 0, -5}, {0, 0, 0}, {0, 1, 0}, 0.8f, 128, 128);
-  return core::render_streaming(scene, cam).trace;
+  core::StreamingRenderOptions opts;
+  opts.collect_stage_timing = true;  // exercise the v2 timing fields
+  return core::render_streaming(scene, cam, opts).trace;
 }
 
 TEST(TraceIo, RoundTripPreservesEverything) {
@@ -130,16 +132,22 @@ TEST(TraceIo, RoundTripPreservesEverything) {
   EXPECT_EQ(back.pixel_count, trace.pixel_count);
   EXPECT_EQ(back.frame_write_bytes, trace.frame_write_bytes);
   EXPECT_EQ(back.voxel_table_steps, trace.voxel_table_steps);
+  EXPECT_EQ(back.plan_reused, trace.plan_reused);
+  EXPECT_EQ(back.plan_build_ns, trace.plan_build_ns);
   ASSERT_EQ(back.groups.size(), trace.groups.size());
   for (std::size_t g = 0; g < trace.groups.size(); ++g) {
     EXPECT_EQ(back.groups[g].rays, trace.groups[g].rays);
     EXPECT_EQ(back.groups[g].dda_steps, trace.groups[g].dda_steps);
     EXPECT_EQ(back.groups[g].nodes, trace.groups[g].nodes);
     EXPECT_EQ(back.groups[g].edges, trace.groups[g].edges);
+    EXPECT_EQ(back.groups[g].timing_ns.vsu, trace.groups[g].timing_ns.vsu);
+    EXPECT_EQ(back.groups[g].timing_ns.blend, trace.groups[g].timing_ns.blend);
     ASSERT_EQ(back.groups[g].voxels.size(), trace.groups[g].voxels.size());
   }
   EXPECT_EQ(back.total_dram_bytes(), trace.total_dram_bytes());
   EXPECT_EQ(back.total_blend_ops(), trace.total_blend_ops());
+  EXPECT_EQ(back.total_stage_ns().total(), trace.total_stage_ns().total());
+  EXPECT_GT(trace.total_stage_ns().total(), 0u);
 }
 
 TEST(TraceIo, SimulationOfLoadedTraceIsIdentical) {
@@ -152,6 +160,29 @@ TEST(TraceIo, SimulationOfLoadedTraceIsIdentical) {
   EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.dram_bytes, b.dram_bytes);
   EXPECT_DOUBLE_EQ(a.energy.total_pj(), b.energy.total_pj());
+}
+
+TEST(TraceIo, SimReportCarriesSoftwareStageTimes) {
+  // The sim must surface the renderer's measured stage times verbatim so
+  // the modeled cycle breakdown can be sanity-checked against them.
+  const core::StreamingTrace trace = make_trace();
+  const core::StageTimingsNs sw = trace.total_stage_ns();
+  ASSERT_GT(sw.total(), 0u);  // make_trace renders with timing enabled
+  const auto report = sim::simulate_streaminggs(trace);
+  ASSERT_EQ(report.sw_stage_ns.size(), 5u);
+  EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("plan"), static_cast<double>(sw.plan));
+  EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("vsu"), static_cast<double>(sw.vsu));
+  EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("filter"),
+                   static_cast<double>(sw.filter));
+  EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("sort"), static_cast<double>(sw.sort));
+  EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("blend"),
+                   static_cast<double>(sw.blend));
+
+  // An untimed trace yields an empty map, not zero-filled keys.
+  core::StreamingTrace untimed = trace;
+  untimed.plan_build_ns = 0;
+  for (auto& g : untimed.groups) g.timing_ns = core::StageTimingsNs{};
+  EXPECT_TRUE(sim::simulate_streaminggs(untimed).sw_stage_ns.empty());
 }
 
 TEST(TraceIo, RejectsBadMagic) {
