@@ -1,0 +1,155 @@
+// Out-of-core streaming benchmark (and CI smoke test).
+//
+// Renders the same walkthrough trajectory twice:
+//   resident     — the whole prepared scene in memory (the pre-stream path)
+//   out-of-core  — the scene serialized to a .sgsc asset store, rendered
+//                  through a ResidencyCache (byte budget << scene size) fed
+//                  by the prefetching StreamingLoader
+// and reports cache hit rate, fetch traffic, eviction count, stall frames
+// (frames with at least one demand miss), and wall-clock frame time. The
+// two renders must produce bit-identical images — the benchmark exits
+// non-zero otherwise, which is what makes it a meaningful smoke test.
+//
+// Emits BENCH_streaming.json (flat key/value) for trend tracking.
+//
+//   ./bench_streaming [--scene train] [--frames 8] [--model_scale 0.02]
+//                     [--res_scale 0.25] [--arc 0.03] [--budget_kb 0]
+//                     [--out BENCH_streaming.json]
+//
+// --budget_kb 0 picks a budget of ~35% of the store's payload bytes, small
+// enough to force eviction traffic on every preset.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/units.hpp"
+#include "core/render_sequence.hpp"
+#include "core/streaming_renderer.hpp"
+#include "scene/presets.hpp"
+#include "stream/asset_store.hpp"
+#include "stream/residency_cache.hpp"
+#include "stream/streaming_loader.hpp"
+
+namespace {
+
+std::vector<sgs::gs::Camera> make_trajectory(sgs::scene::ScenePreset preset,
+                                             int w, int h, int frames,
+                                             float arc) {
+  std::vector<sgs::gs::Camera> cams;
+  cams.reserve(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    const float t = arc * static_cast<float>(f) / static_cast<float>(frames);
+    cams.push_back(sgs::scene::make_preset_camera(preset, w, h, t));
+  }
+  return cams;
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  CliArgs args(argc, argv);
+  const auto preset = scene::preset_from_name(args.get("scene", "train"));
+  const int frames = args.get_int("frames", 8);
+  const float model_scale = static_cast<float>(args.get_double("model_scale", 0.02));
+  const float res_scale = static_cast<float>(args.get_double("res_scale", 0.25));
+  const float arc = static_cast<float>(args.get_double("arc", 0.03));
+  const std::uint64_t budget_kb =
+      static_cast<std::uint64_t>(args.get_int("budget_kb", 0));
+  const std::string out_path = args.get("out", "BENCH_streaming.json");
+  const std::string store_path = "/tmp/bench_streaming.sgsc";
+
+  bench::print_header("out-of-core streaming: resident vs cache-backed",
+                      "bit-identical images, fetch traffic under a byte budget");
+
+  const auto model = scene::make_preset_scene(preset, model_scale);
+  int w = 0, h = 0;
+  scene::scaled_resolution(preset, res_scale, w, h);
+  core::StreamingConfig scfg;
+  scfg.voxel_size = scene::preset_info(preset).default_voxel_size;
+  const auto scene_resident = core::StreamingScene::prepare(model, scfg);
+  const auto cameras = make_trajectory(preset, w, h, frames, arc);
+
+  core::SequenceOptions seq;
+  seq.reuse_max_translation = 0.25f * scfg.voxel_size;
+  seq.reuse_max_rotation_rad = 0.04f;
+
+  // --- resident pass ---------------------------------------------------------
+  const double t0 = now_ms();
+  const auto resident = core::render_sequence(scene_resident, cameras, seq);
+  const double resident_ms = (now_ms() - t0) / frames;
+
+  // --- out-of-core pass ------------------------------------------------------
+  if (!stream::AssetStore::write(store_path, scene_resident)) {
+    std::fprintf(stderr, "FAILED to write %s\n", store_path.c_str());
+    return 1;
+  }
+  stream::AssetStore store(store_path);
+  stream::ResidencyCacheConfig ccfg;
+  // Default budget: 35% of the *decoded* working set (the budget's unit),
+  // not of the on-disk payloads — under VQ those differ by ~10x.
+  ccfg.budget_bytes = budget_kb > 0 ? budget_kb * 1024
+                                    : store.decoded_bytes_total() * 35 / 100;
+  stream::ResidencyCache cache(store, ccfg);
+  stream::StreamingLoader loader(cache);
+  const auto scene_ooc = store.make_scene();
+
+  const double t1 = now_ms();
+  const auto ooc = core::render_sequence(scene_ooc, cameras, seq, &loader);
+  loader.wait_idle();
+  const double ooc_ms = (now_ms() - t1) / frames;
+
+  // --- compare + report ------------------------------------------------------
+  bool identical = resident.frames.size() == ooc.frames.size();
+  int stall_frames = 0;
+  core::StreamCacheStats total;
+  for (std::size_t f = 0; f < ooc.frames.size() && identical; ++f) {
+    identical = resident.frames[f].image.pixels() == ooc.frames[f].image.pixels();
+    total.accumulate(ooc.frames[f].trace.cache);
+    if (ooc.frames[f].trace.cache.misses > 0) ++stall_frames;
+  }
+
+  bench::Table table({"mode", "frame ms", "hit rate", "fetched", "evictions",
+                      "stall frames"});
+  table.row({"resident", bench::fmt(resident_ms), "-", "-", "-", "-"});
+  table.row({"out-of-core", bench::fmt(ooc_ms),
+             bench::fmt(100.0 * total.hit_rate(), 1) + "%",
+             format_bytes(static_cast<double>(total.bytes_fetched)),
+             std::to_string(total.evictions), std::to_string(stall_frames)});
+  table.print();
+  std::printf("  store: %s payloads across %d voxel groups, budget %s\n",
+              format_bytes(static_cast<double>(store.payload_bytes_total())).c_str(),
+              store.group_count(),
+              format_bytes(static_cast<double>(ccfg.budget_bytes)).c_str());
+  std::printf("  images bit-identical: %s\n", identical ? "yes" : "NO");
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"frames\": " << frames << ",\n"
+       << "  \"resident_frame_ms\": " << resident_ms << ",\n"
+       << "  \"ooc_frame_ms\": " << ooc_ms << ",\n"
+       << "  \"hit_rate\": " << total.hit_rate() << ",\n"
+       << "  \"hits\": " << total.hits << ",\n"
+       << "  \"misses\": " << total.misses << ",\n"
+       << "  \"prefetches\": " << total.prefetches << ",\n"
+       << "  \"evictions\": " << total.evictions << ",\n"
+       << "  \"bytes_fetched\": " << total.bytes_fetched << ",\n"
+       << "  \"store_payload_bytes\": " << store.payload_bytes_total() << ",\n"
+       << "  \"budget_bytes\": " << ccfg.budget_bytes << ",\n"
+       << "  \"stall_frames\": " << stall_frames << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  std::remove(store_path.c_str());
+  return identical ? 0 : 1;
+}

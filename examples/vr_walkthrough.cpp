@@ -13,13 +13,21 @@
 //
 //   ./vr_walkthrough [--scene playroom] [--frames 8] [--model_scale 0.05]
 //                    [--res_scale 0.4] [--arc 1.0] [--save_frames out_dir]
+//                    [--out_of_core true] [--cache_mb 8]
 //
 // --arc is the fraction of the full orbit the walkthrough covers: 1.0 is
 // the legacy whole-orbit keyframe sweep (cameras too far apart to reuse
 // anything), while a headset-like creep such as --arc 0.02 keeps
 // consecutive frames inside the reuse envelope.
+//
+// --out_of_core serializes the prepared scene to a .sgsc asset store and
+// renders from a residency cache (budget --cache_mb, 0 = 35% of the store)
+// fed by the prefetching loader instead of from memory: the frames are
+// bit-identical, and the report gains per-frame cache hit rate, fetch
+// traffic, and stall markers (frames that took a demand miss).
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/ppm.hpp"
@@ -32,6 +40,9 @@
 #include "sim/gpu_model.hpp"
 #include "sim/gscore_sim.hpp"
 #include "sim/streaminggs_sim.hpp"
+#include "stream/asset_store.hpp"
+#include "stream/residency_cache.hpp"
+#include "stream/streaming_loader.hpp"
 
 int main(int argc, char** argv) {
   using namespace sgs;
@@ -42,6 +53,8 @@ int main(int argc, char** argv) {
   const float res_scale = static_cast<float>(args.get_double("res_scale", 0.4));
   const float arc = static_cast<float>(args.get_double("arc", 1.0));
   const std::string save_dir = args.get("save_frames", "");
+  const bool out_of_core = args.get_bool("out_of_core", false);
+  const int cache_mb = args.get_int("cache_mb", 0);
 
   const auto& info = scene::preset_info(preset);
   std::printf("== VR walkthrough: '%s', %d keyframes over %.0f%% of the orbit, "
@@ -75,13 +88,48 @@ int main(int argc, char** argv) {
   if (step_rad > seq_options.reuse_max_rotation_rad) {
     seq_options.plan_margin_px = 1.0f;
   }
-  core::SequenceRenderer sequence(scene_prepared, seq_options);
 
-  std::printf("%6s %10s %10s %5s | %9s %9s %11s | %s\n", "frame", "PSNR",
-              "traffic", "plan", "GPU fps", "GSCore", "StreamingGS", "90 FPS?");
+  // Out-of-core mode: scene -> .sgsc store -> residency cache + prefetch
+  // loader; the sequence renderer pulls voxel groups through the cache and
+  // renders bit-identical frames to the resident path.
+  std::unique_ptr<stream::AssetStore> store;
+  std::unique_ptr<stream::ResidencyCache> cache;
+  std::unique_ptr<stream::StreamingLoader> loader;
+  core::StreamingScene scene_ooc;
+  const core::StreamingScene* active_scene = &scene_prepared;
+  if (out_of_core) {
+    const std::string store_path = "/tmp/vr_walkthrough.sgsc";
+    if (!stream::AssetStore::write(store_path, scene_prepared)) {
+      std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
+      return 1;
+    }
+    store = std::make_unique<stream::AssetStore>(store_path);
+    stream::ResidencyCacheConfig ccfg;
+    // Budgets are decoded bytes; default to 35% of the decoded scene (the
+    // on-disk payload total would be ~10x smaller under VQ).
+    ccfg.budget_bytes = cache_mb > 0
+                            ? static_cast<std::uint64_t>(cache_mb) << 20
+                            : store->decoded_bytes_total() * 35 / 100;
+    cache = std::make_unique<stream::ResidencyCache>(*store, ccfg);
+    loader = std::make_unique<stream::StreamingLoader>(*cache);
+    scene_ooc = store->make_scene();
+    active_scene = &scene_ooc;
+    std::printf("out-of-core: store %s in %d voxel groups, cache budget %s\n",
+                format_bytes(static_cast<double>(store->payload_bytes_total()))
+                    .c_str(),
+                store->group_count(),
+                format_bytes(static_cast<double>(ccfg.budget_bytes)).c_str());
+  }
+  core::SequenceRenderer sequence(*active_scene, seq_options, loader.get());
+
+  std::printf("%6s %10s %10s %5s | %9s %9s %11s | %s%s\n", "frame", "PSNR",
+              "traffic", "plan", "GPU fps", "GSCore", "StreamingGS", "90 FPS?",
+              out_of_core ? " | cache" : "");
 
   double worst_fps = 1e30;
   core::StageTimingsNs stage_total;
+  core::StreamCacheStats cache_total;
+  int stall_frames = 0;
   for (int f = 0; f < frames; ++f) {
     const float t = arc * static_cast<float>(f) / static_cast<float>(frames);
     const auto cam = scene::make_preset_camera(preset, w, h, t);
@@ -95,13 +143,21 @@ int main(int argc, char** argv) {
     const auto accel = sim::simulate_streaminggs(streamed.trace);
     worst_fps = std::min(worst_fps, accel.fps);
 
-    std::printf("%6d %8.2fdB %10s %5s | %9.1f %9.1f %11.1f | %s\n", f,
+    char cache_col[64] = "";
+    if (out_of_core) {
+      const core::StreamCacheStats& cs = streamed.trace.cache;
+      cache_total.accumulate(cs);
+      if (cs.misses > 0) ++stall_frames;
+      std::snprintf(cache_col, sizeof(cache_col), " | %4.0f%%%s",
+                    100.0 * cs.hit_rate(), cs.misses > 0 ? " stall" : "");
+    }
+    std::printf("%6d %8.2fdB %10s %5s | %9.1f %9.1f %11.1f | %s%s\n", f,
                 metrics::psnr_capped(streamed.image, reference.image),
                 format_bytes(static_cast<double>(streamed.stats.total_dram_bytes()))
                     .c_str(),
                 streamed.trace.plan_reused ? "reuse" : "build",
                 gpu.report.fps, gscore.fps, accel.fps,
-                accel.fps >= 90.0 ? "yes" : "NO");
+                accel.fps >= 90.0 ? "yes" : "NO", cache_col);
 
     if (!save_dir.empty()) {
       write_ppm(save_dir + "/walk_" + std::to_string(f) + ".ppm", streamed.image);
@@ -111,6 +167,20 @@ int main(int argc, char** argv) {
   std::printf("\nplans built: %zu, reused: %zu of %d frames\n",
               sequence.stats().plans_built, sequence.stats().plans_reused,
               frames);
+  if (out_of_core) {
+    loader->wait_idle();
+    std::printf("cache: %.1f%% hit rate (%llu hits, %llu misses), "
+                "%llu prefetches, %llu evictions, fetched %s, "
+                "%d/%d stall frames\n",
+                100.0 * cache_total.hit_rate(),
+                static_cast<unsigned long long>(cache_total.hits),
+                static_cast<unsigned long long>(cache_total.misses),
+                static_cast<unsigned long long>(cache_total.prefetches),
+                static_cast<unsigned long long>(cache_total.evictions),
+                format_bytes(static_cast<double>(cache_total.bytes_fetched))
+                    .c_str(),
+                stall_frames, frames);
+  }
   const double total_ns = static_cast<double>(stage_total.total());
   if (total_ns > 0.0) {
     std::printf("software stage time: plan %.1f%%, vsu %.1f%%, filter %.1f%%, "

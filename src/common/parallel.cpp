@@ -4,8 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace sgs {
@@ -209,6 +211,74 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+// Background FIFO lane (see parallel.hpp). One dedicated thread, separate
+// from the parallel_for helpers: a long-running fetch must never occupy a
+// render worker, and a render job must never delay a fetch.
+class AsyncLane {
+ public:
+  static AsyncLane& instance() {
+    static AsyncLane lane;
+    return lane;
+  }
+
+  ~AsyncLane() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  void submit(std::function<void()> fn) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!worker_.joinable()) {
+      worker_ = std::thread([this] { loop(); });
+    }
+    queue_.push_back(std::move(fn));
+    ++pending_;
+    cv_work_.notify_one();
+  }
+
+  void wait_idle() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_idle_.wait(lk, [this] { return pending_ == 0; });
+  }
+
+  std::uint64_t completed() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return completed_;
+  }
+
+ private:
+  void loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_work_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();  // a throw escapes the thread and std::terminates, by policy
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++completed_;
+        if (--pending_ == 0) cv_idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_, cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::thread worker_;
+  std::size_t pending_ = 0;
+  std::uint64_t completed_ = 0;
+  bool shutdown_ = false;
+};
+
 }  // namespace
 
 int parallelism() { return ThreadPool::instance().parallelism(); }
@@ -226,5 +296,13 @@ void parallel_for_workers(
     const std::function<void(int worker, std::size_t i)>& fn) {
   ThreadPool::instance().run(begin, end, fn);
 }
+
+void async_submit(std::function<void()> fn) {
+  AsyncLane::instance().submit(std::move(fn));
+}
+
+void async_wait_idle() { AsyncLane::instance().wait_idle(); }
+
+std::uint64_t async_tasks_completed() { return AsyncLane::instance().completed(); }
 
 }  // namespace sgs

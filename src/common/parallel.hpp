@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace sgs {
@@ -45,5 +46,25 @@ void parallel_for(std::size_t begin, std::size_t end,
 void parallel_for_workers(
     std::size_t begin, std::size_t end,
     const std::function<void(int worker, std::size_t i)>& fn);
+
+// ---------------------------------------------------------------------------
+// Async lane of the persistent pool: a dedicated background worker that
+// drains a FIFO of fire-and-forget tasks without ever blocking (or being
+// blocked by) parallel_for jobs. The streaming loader uses it to prefetch
+// voxel groups while a frame renders on the main workers.
+//
+// Tasks run strictly in submission order on one thread, so a producer that
+// submits dependent tasks needs no further synchronization between them.
+// The lane is created lazily on first submit and joined at process exit. A
+// task that throws std::terminates (same policy as a throwing pool helper).
+
+// Enqueues fn for execution on the async lane and returns immediately.
+void async_submit(std::function<void()> fn);
+
+// Blocks until every task submitted before this call has finished.
+void async_wait_idle();
+
+// Tasks executed by the async lane since process start (diagnostics/tests).
+std::uint64_t async_tasks_completed();
 
 }  // namespace sgs

@@ -123,6 +123,17 @@ FramePlan FramePlan::build(const voxel::VoxelGrid& grid,
   return plan;
 }
 
+std::vector<voxel::DenseVoxelId> FramePlan::collect_unique_candidates() const {
+  std::vector<voxel::DenseVoxelId> all;
+  std::size_t total = 0;
+  for (const auto& c : candidates_) total += c.size();
+  all.reserve(total);
+  for (const auto& c : candidates_) all.insert(all.end(), c.begin(), c.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
 bool FramePlan::reusable_for(const gs::Camera& cam, float max_translation,
                              float max_rotation_rad) const {
   if (cam.width() != camera_.width() || cam.height() != camera_.height()) {

@@ -54,6 +54,15 @@ class FramePlan {
     return candidates_[group];
   }
 
+  // Sorted union of every group's candidates: the plan's predicted voxel
+  // working set. Out-of-core sources pin these against eviction for the
+  // duration of a frame and seed prefetch ranking with them. (Rays of a
+  // *reused* plan can still discover voxels outside this set; those fetch
+  // on demand.) Computed on call — O(total candidates log) — so the
+  // single-frame resident path, which never needs it, pays nothing; the
+  // sequence renderer caches the result per plan build.
+  std::vector<voxel::DenseVoxelId> collect_unique_candidates() const;
+
   // Table-build cost charged to the VSU (one conservative projection per
   // non-empty voxel). Zero table steps are charged for frames that reuse a
   // cached plan.

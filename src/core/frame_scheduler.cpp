@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "common/parallel.hpp"
@@ -13,7 +15,19 @@ FrameScheduler::FrameScheduler()
 
 StreamingRenderResult FrameScheduler::render_frame(
     const StreamingScene& scene, const gs::Camera& camera,
-    const FramePlan& plan, const StreamingRenderOptions& options) {
+    const FramePlan& plan, const StreamingRenderOptions& options,
+    stream::GroupSource* source) {
+  // A plan binned for different image geometry would tile this frame
+  // wrongly (and silently): reject it here, at the last common gate of the
+  // single-frame and sequence paths.
+  const gs::Camera& pc = plan.camera();
+  if (pc.width() != camera.width() || pc.height() != camera.height() ||
+      pc.fx() != camera.fx() || pc.fy() != camera.fy() ||
+      pc.cx() != camera.cx() || pc.cy() != camera.cy()) {
+    throw std::invalid_argument(
+        "render_frame: camera image geometry does not match the plan's");
+  }
+
   StreamingConfig cfg = scene.config();
   if (options.coarse_filter_override) {
     cfg.use_coarse_filter = *options.coarse_filter_override;
@@ -47,10 +61,21 @@ StreamingRenderResult FrameScheduler::render_frame(
   const auto workers = static_cast<std::size_t>(parallelism());
   if (contexts_.size() < workers) contexts_.resize(workers);
 
+  // Default source: the fully-resident scene. A scene assembled from store
+  // metadata (from_parts) has no parameters to read — rendering it without
+  // a cache-backed source would dereference an empty model.
+  if (source == nullptr && !scene.params_resident()) {
+    throw std::invalid_argument(
+        "render_frame: model-free scene requires a cache-backed GroupSource");
+  }
+  std::optional<stream::ResidentGroupSource> resident;
+  if (source == nullptr) resident.emplace(scene);
+  stream::GroupSource& src = source ? *source : *resident;
+
   parallel_for_workers(0, group_count, [&](int worker, std::size_t gi) {
     GroupContext& ctx = contexts_[static_cast<std::size_t>(worker)];
-    GroupPipeline::render_group(scene, camera, plan, gi, pipe_options, ctx,
-                                result.trace.groups[gi], group_stats[gi],
+    GroupPipeline::render_group(scene, camera, plan, gi, pipe_options, src,
+                                ctx, result.trace.groups[gi], group_stats[gi],
                                 result.image);
     group_violators[gi] = ctx.violators;
     group_contributors[gi] = ctx.contributors;

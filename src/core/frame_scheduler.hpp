@@ -23,12 +23,18 @@ class FrameScheduler {
   FrameScheduler();
 
   // Renders one frame: every group of `plan` through the staged pipeline.
-  // `camera` must match the plan's image geometry (the plan may have been
-  // built for a nearby camera when reused by sequence rendering).
+  // `camera` must match the plan's image geometry — same size and
+  // intrinsics; the pose may differ when sequence rendering reuses a plan.
+  // A geometry mismatch throws std::invalid_argument (a stale plan would
+  // otherwise mis-tile the frame silently). `source` supplies voxel-group
+  // data: nullptr renders fully resident from `scene`; a cache-backed
+  // source (src/stream/) renders out of core — the caller brackets the
+  // frame with begin_frame/end_frame in that case.
   StreamingRenderResult render_frame(const StreamingScene& scene,
                                      const gs::Camera& camera,
                                      const FramePlan& plan,
-                                     const StreamingRenderOptions& options);
+                                     const StreamingRenderOptions& options,
+                                     stream::GroupSource* source = nullptr);
 
  private:
   std::vector<GroupContext> contexts_;  // one per pool worker

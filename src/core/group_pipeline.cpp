@@ -82,28 +82,41 @@ VsuStageResult VsuStage::run(GroupContext& ctx, const voxel::VoxelGrid& grid,
 // ------------------------------------------------------------- FilterStage --
 
 FilterStageCounts FilterStage::run(GroupContext& ctx,
+                                   const stream::GroupView& group,
+                                   const gs::Camera& camera,
+                                   const GroupRect& rect,
+                                   bool use_coarse_filter) {
+  FilterStageCounts counts;
+  ctx.survivors.clear();
+  const std::size_t n = group.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const gs::Gaussian& g = group.gaussian(k);
+    bool coarse_ok = true;
+    if (use_coarse_filter) {
+      coarse_ok = coarse_filter(g.position, group.max_scale(k), camera, rect);
+    }
+    if (!coarse_ok) continue;
+    ++counts.coarse_pass;
+    if (auto proj = fine_filter(g, camera, rect)) {
+      ++counts.fine_pass;
+      ctx.survivors.push_back({*proj, group.model_indices[k]});
+    }
+  }
+  return counts;
+}
+
+FilterStageCounts FilterStage::run(GroupContext& ctx,
                                    const StreamingScene& scene,
                                    std::span<const std::uint32_t> residents,
                                    const gs::Camera& camera,
                                    const GroupRect& rect,
                                    bool use_coarse_filter) {
-  FilterStageCounts counts;
-  const gs::GaussianModel& model = scene.render_model();
-  ctx.survivors.clear();
-  for (const std::uint32_t mi : residents) {
-    bool coarse_ok = true;
-    if (use_coarse_filter) {
-      coarse_ok = coarse_filter(model.gaussians[mi].position,
-                                scene.coarse_max_scale(mi), camera, rect);
-    }
-    if (!coarse_ok) continue;
-    ++counts.coarse_pass;
-    if (auto proj = fine_filter(model.gaussians[mi], camera, rect)) {
-      ++counts.fine_pass;
-      ctx.survivors.push_back({*proj, mi});
-    }
-  }
-  return counts;
+  stream::GroupView view;
+  view.model_indices = residents;
+  view.gaussians = scene.render_model().gaussians.data();
+  view.coarse_max_scale = scene.coarse_max_scales().data();
+  view.by_model_index = true;
+  return run(ctx, view, camera, rect, use_coarse_filter);
 }
 
 // --------------------------------------------------------------- SortStage --
@@ -190,8 +203,9 @@ void GroupPipeline::render_group(const StreamingScene& scene,
                                  const FramePlan& plan,
                                  std::size_t group_index,
                                  const GroupPipelineOptions& options,
-                                 GroupContext& ctx, GroupWork& work,
-                                 StreamingStats& stats, Image& image) {
+                                 stream::GroupSource& source, GroupContext& ctx,
+                                 GroupWork& work, StreamingStats& stats,
+                                 Image& image) {
   const voxel::VoxelGrid& grid = scene.grid();
   const voxel::DataLayout& layout = scene.layout();
   const int gsz = plan.group_size();
@@ -229,17 +243,20 @@ void GroupPipeline::render_group(const StreamingScene& scene,
   for (voxel::DenseVoxelId v : vsu.order.order) {
     if (ctx.saturated == n_px) break;  // group fully opaque: stop streaming
 
-    const auto residents = grid.gaussians_in(v);
+    // The source supplies this voxel group's decoded residents: a pointer
+    // view for resident scenes, a (possibly stalling) cache fetch for
+    // out-of-core stores. Held acquired through filter+sort+blend.
+    const stream::GroupView group = source.acquire(v);
     VoxelWorkItem item;
-    item.residents = static_cast<std::uint32_t>(residents.size());
+    item.residents = static_cast<std::uint32_t>(group.size());
     item.coarse_bytes =
-        static_cast<std::uint64_t>(residents.size()) * voxel::kCoarseRecordBytes;
+        static_cast<std::uint64_t>(group.size()) * voxel::kCoarseRecordBytes;
     stats.max_voxel_residents =
         std::max(stats.max_voxel_residents, item.residents);
 
     t0 = timed ? stage_clock_ns() : 0;
     const FilterStageCounts counts = FilterStage::run(
-        ctx, scene, residents, camera, rect, options.use_coarse_filter);
+        ctx, group, camera, rect, options.use_coarse_filter);
     if (timed) {
       const std::uint64_t t1 = stage_clock_ns();
       work.timing_ns.filter += t1 - t0;
@@ -258,6 +275,7 @@ void GroupPipeline::render_group(const StreamingScene& scene,
 
     BlendStage::run(ctx, px0, py0, px1, py1, item, stats);
     if (timed) work.timing_ns.blend += stage_clock_ns() - t0;
+    source.release(v);
 
     stats.gaussians_streamed += item.residents;
     stats.coarse_pass += item.coarse_pass;

@@ -23,6 +23,7 @@
 #include "core/voxel_order.hpp"
 #include "gs/blending.hpp"
 #include "gs/projection.hpp"
+#include "stream/group_source.hpp"
 #include "voxel/grid.hpp"
 
 namespace sgs::core {
@@ -90,8 +91,17 @@ struct FilterStageCounts {
 
 class FilterStage {
  public:
-  // Streams one voxel's residents through the coarse and fine filters into
-  // ctx.survivors (cleared first), in resident order.
+  // Streams one voxel group's residents through the coarse and fine filters
+  // into ctx.survivors (cleared first), in resident order. The group view
+  // may come from a resident scene or a cache-backed store — the math (and
+  // hence the survivor set) is identical.
+  static FilterStageCounts run(GroupContext& ctx,
+                               const stream::GroupView& group,
+                               const gs::Camera& camera, const GroupRect& rect,
+                               bool use_coarse_filter);
+
+  // Convenience for the fully-resident path (wraps the scene in a one-voxel
+  // resident view; `residents` must be scene.grid().gaussians_in(v)).
   static FilterStageCounts run(GroupContext& ctx, const StreamingScene& scene,
                                std::span<const std::uint32_t> residents,
                                const gs::Camera& camera, const GroupRect& rect,
@@ -138,12 +148,15 @@ class GroupPipeline {
   // stage timings to `work`, accumulates counters into `stats` (the caller
   // owns one slot per group for deterministic merging), records
   // contributors/violators in ctx, and writes the group's pixels to `image`.
+  // `source` supplies each streamed voxel group's Gaussians (resident scene
+  // or cache-backed store); the rendered bytes are identical either way.
   static void render_group(const StreamingScene& scene,
                            const gs::Camera& camera, const FramePlan& plan,
                            std::size_t group_index,
                            const GroupPipelineOptions& options,
-                           GroupContext& ctx, GroupWork& work,
-                           StreamingStats& stats, Image& image);
+                           stream::GroupSource& source, GroupContext& ctx,
+                           GroupWork& work, StreamingStats& stats,
+                           Image& image);
 };
 
 }  // namespace sgs::core

@@ -2,13 +2,29 @@
 
 #include <utility>
 
+#include "stream/group_source.hpp"
+
 namespace sgs::core {
 
 SequenceRenderer::SequenceRenderer(const StreamingScene& scene,
-                                   SequenceOptions options)
-    : scene_(&scene), options_(std::move(options)) {}
+                                   SequenceOptions options,
+                                   stream::GroupSource* source)
+    : scene_(&scene), options_(std::move(options)), source_(source) {}
 
 StreamingRenderResult SequenceRenderer::render(const gs::Camera& camera) {
+  // Image-geometry changes invalidate the cached plan outright: a plan
+  // binned for other dimensions or intrinsics must never be reused (the
+  // scheduler would reject it), and it cannot become valid again later.
+  if (plan_.has_value()) {
+    const gs::Camera& pc = plan_->camera();
+    if (pc.width() != camera.width() || pc.height() != camera.height() ||
+        pc.fx() != camera.fx() || pc.fy() != camera.fy() ||
+        pc.cx() != camera.cx() || pc.cy() != camera.cy()) {
+      plan_.reset();
+      ++stats_.plans_invalidated_geometry;
+    }
+  }
+
   const bool reuse =
       plan_.has_value() &&
       plan_->reusable_for(camera, options_.reuse_max_translation,
@@ -21,12 +37,33 @@ StreamingRenderResult SequenceRenderer::render(const gs::Camera& camera) {
                                    options_.render.collect_stage_timing,
                                    plan_ns);
     ++stats_.plans_built;
+    if (source_ != nullptr) {
+      plan_working_set_ = plan_->collect_unique_candidates();
+    }
   } else {
     ++stats_.plans_reused;
   }
 
+  // Out-of-core bracket: hand the source the camera, the expected
+  // inter-frame motion (the reuse envelope), and the plan's candidate set —
+  // it pins the working set and prefetches ahead while the frame renders.
+  StreamCacheStats before;
+  if (source_ != nullptr) {
+    // Snapshot BEFORE begin_frame: synchronous prefetch happens inside it,
+    // and that traffic belongs to this frame's delta (the simulator prices
+    // trace.cache.bytes_fetched — dropping prefetches would make a better
+    // prefetcher look like less fetch traffic).
+    before = source_->stats();
+    stream::FrameIntent intent;
+    intent.camera = &camera;
+    intent.motion_translation = options_.reuse_max_translation;
+    intent.motion_rotation_rad = options_.reuse_max_rotation_rad;
+    source_->begin_frame(intent, plan_working_set_);
+  }
+
   StreamingRenderResult result =
-      scheduler_.render_frame(*scene_, camera, *plan_, options_.render);
+      scheduler_.render_frame(*scene_, camera, *plan_, options_.render,
+                              source_);
   result.trace.plan_reused = reuse;
   result.trace.plan_build_ns = plan_ns;
   if (reuse) {
@@ -34,13 +71,19 @@ StreamingRenderResult SequenceRenderer::render(const gs::Camera& camera) {
     // table steps, which is exactly the reuse win the sim sees.
     result.trace.voxel_table_steps = 0;
   }
+
+  if (source_ != nullptr) {
+    source_->end_frame();
+    result.trace.cache = source_->stats().delta_since(before);
+  }
   return result;
 }
 
 SequenceResult render_sequence(const StreamingScene& scene,
                                const std::vector<gs::Camera>& cameras,
-                               const SequenceOptions& options) {
-  SequenceRenderer renderer(scene, options);
+                               const SequenceOptions& options,
+                               stream::GroupSource* source) {
+  SequenceRenderer renderer(scene, options, source);
   SequenceResult out;
   out.frames.reserve(cameras.size());
   for (const gs::Camera& cam : cameras) {

@@ -20,6 +20,10 @@
 #include "core/frame_scheduler.hpp"
 #include "core/streaming_renderer.hpp"
 
+namespace sgs::stream {
+class GroupSource;
+}
+
 namespace sgs::core {
 
 struct SequenceOptions {
@@ -41,16 +45,28 @@ struct SequenceOptions {
 struct SequenceStats {
   std::size_t plans_built = 0;
   std::size_t plans_reused = 0;
+  // Cached plans discarded because a frame changed image size/intrinsics
+  // (always replanned, never reused across geometries).
+  std::size_t plans_invalidated_geometry = 0;
 };
 
 class SequenceRenderer {
  public:
+  // `source` selects where voxel groups come from: nullptr renders fully
+  // resident from `scene`; a cache-backed source (stream::ResidencyCache or
+  // stream::StreamingLoader) renders out of core against `scene`'s grid +
+  // layout metadata (e.g. an AssetStore::make_scene() scene). The renderer
+  // brackets every frame with the source's begin_frame/end_frame — passing
+  // the camera, the reuse envelope as the motion hint, and the plan's
+  // candidate working set — and publishes the source's per-frame counter
+  // deltas in each result's trace.cache.
   explicit SequenceRenderer(const StreamingScene& scene,
-                            SequenceOptions options = {});
+                            SequenceOptions options = {},
+                            stream::GroupSource* source = nullptr);
 
-  // Renders the next frame of the sequence. The camera may have any pose but
-  // must keep the image geometry (size + intrinsics) of the first frame for
-  // plan reuse to engage.
+  // Renders the next frame of the sequence. The camera may have any pose.
+  // A change of image geometry (size or intrinsics) is valid but forces a
+  // replan — a cached plan is never silently reused across geometries.
   StreamingRenderResult render(const gs::Camera& camera);
 
   const SequenceStats& stats() const { return stats_; }
@@ -58,8 +74,12 @@ class SequenceRenderer {
  private:
   const StreamingScene* scene_;
   SequenceOptions options_;
+  stream::GroupSource* source_;
   FrameScheduler scheduler_;
   std::optional<FramePlan> plan_;
+  // The cached plan's candidate union, refreshed on rebuild; only
+  // maintained when a source consumes it (out-of-core rendering).
+  std::vector<voxel::DenseVoxelId> plan_working_set_;
   SequenceStats stats_;
 };
 
@@ -69,9 +89,10 @@ struct SequenceResult {
 };
 
 // Convenience wrapper: renders a whole camera trajectory through one
-// SequenceRenderer.
+// SequenceRenderer (optionally out of core through `source`).
 SequenceResult render_sequence(const StreamingScene& scene,
                                const std::vector<gs::Camera>& cameras,
-                               const SequenceOptions& options = {});
+                               const SequenceOptions& options = {},
+                               stream::GroupSource* source = nullptr);
 
 }  // namespace sgs::core

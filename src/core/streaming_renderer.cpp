@@ -1,5 +1,7 @@
 #include "core/streaming_renderer.hpp"
 
+#include <utility>
+
 #include "core/frame_plan.hpp"
 #include "core/frame_scheduler.hpp"
 
@@ -28,6 +30,15 @@ StreamingScene StreamingScene::prepare(const gs::GaussianModel& model,
     scene.coarse_max_scale_[i] =
         scene.render_model_.gaussians[i].max_scale();
   }
+  return scene;
+}
+
+StreamingScene StreamingScene::from_parts(const StreamingConfig& config,
+                                          voxel::VoxelGrid grid) {
+  StreamingScene scene;
+  scene.config_ = config;
+  scene.grid_ = std::move(grid);
+  scene.layout_ = voxel::DataLayout(scene.grid_, config.use_vq);
   return scene;
 }
 

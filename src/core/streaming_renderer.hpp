@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/image.hpp"
@@ -66,6 +67,21 @@ class StreamingScene {
   float coarse_max_scale(std::uint32_t i) const {
     return coarse_max_scale_[i];
   }
+  // The whole coarse-stream scale array (model order); empty for scenes
+  // assembled from_parts.
+  std::span<const float> coarse_max_scales() const { return coarse_max_scale_; }
+
+  // True when the Gaussian parameters are resident in this scene
+  // (render_model() is populated). Scenes assembled from_parts carry only
+  // grid + layout + config and must be rendered through a cache-backed
+  // GroupSource (src/stream/).
+  bool params_resident() const { return !render_model_.empty(); }
+
+  // Assembles a model-free scene around an out-of-core store's metadata:
+  // grid, DRAM layout, and rendering config only. render_model(),
+  // original_model(), quantized(), and coarse_max_scales() stay empty.
+  static StreamingScene from_parts(const StreamingConfig& config,
+                                   voxel::VoxelGrid grid);
 
  private:
   StreamingConfig config_;

@@ -42,6 +42,43 @@ struct StageTimingsNs {
   }
 };
 
+// Residency-cache activity attributed to one frame (out-of-core rendering,
+// src/stream/). All-zero for fully-resident frames. `bytes_fetched` is
+// on-disk .sgsc payload traffic — the stream the DRAM model charges for
+// fetches — not the decoded in-memory footprint.
+struct StreamCacheStats {
+  std::uint64_t hits = 0;          // acquires served from resident groups
+  std::uint64_t misses = 0;        // acquires that had to fetch (stalls)
+  std::uint64_t prefetches = 0;    // groups fetched ahead of demand
+  std::uint64_t evictions = 0;     // groups dropped by the byte budget
+  std::uint64_t bytes_fetched = 0; // store payload bytes read (miss + prefetch)
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double hit_rate() const {
+    return accesses() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(accesses());
+  }
+  void accumulate(const StreamCacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    prefetches += o.prefetches;
+    evictions += o.evictions;
+    bytes_fetched += o.bytes_fetched;
+  }
+  // Per-frame delta between two cumulative snapshots of a source's counters
+  // (all fields are monotone).
+  StreamCacheStats delta_since(const StreamCacheStats& earlier) const {
+    StreamCacheStats d;
+    d.hits = hits - earlier.hits;
+    d.misses = misses - earlier.misses;
+    d.prefetches = prefetches - earlier.prefetches;
+    d.evictions = evictions - earlier.evictions;
+    d.bytes_fetched = bytes_fetched - earlier.bytes_fetched;
+    return d;
+  }
+};
+
 // One voxel streamed for one pixel group.
 struct VoxelWorkItem {
   std::uint32_t residents = 0;     // Gaussians streamed through the coarse phase
@@ -74,6 +111,8 @@ struct StreamingTrace {
   bool plan_reused = false;
   // Frame-plan build time (opt-in, see StageTimingsNs).
   std::uint64_t plan_build_ns = 0;
+  // Residency-cache deltas for this frame (all-zero when fully resident).
+  StreamCacheStats cache;
   std::vector<GroupWork> groups;
 
   // --- aggregates ----------------------------------------------------------

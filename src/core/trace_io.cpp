@@ -32,6 +32,11 @@ bool write_trace(std::ostream& out, const StreamingTrace& trace) {
   put<std::uint64_t>(out, trace.voxel_table_steps);
   put<std::uint8_t>(out, trace.plan_reused ? 1 : 0);
   put<std::uint64_t>(out, trace.plan_build_ns);
+  put<std::uint64_t>(out, trace.cache.hits);
+  put<std::uint64_t>(out, trace.cache.misses);
+  put<std::uint64_t>(out, trace.cache.prefetches);
+  put<std::uint64_t>(out, trace.cache.evictions);
+  put<std::uint64_t>(out, trace.cache.bytes_fetched);
   put<std::uint64_t>(out, trace.groups.size());
   for (const GroupWork& g : trace.groups) {
     put<std::uint32_t>(out, g.rays);
@@ -75,6 +80,11 @@ StreamingTrace read_trace(std::istream& in) {
   trace.voxel_table_steps = get<std::uint64_t>(in);
   trace.plan_reused = get<std::uint8_t>(in) != 0;
   trace.plan_build_ns = get<std::uint64_t>(in);
+  trace.cache.hits = get<std::uint64_t>(in);
+  trace.cache.misses = get<std::uint64_t>(in);
+  trace.cache.prefetches = get<std::uint64_t>(in);
+  trace.cache.evictions = get<std::uint64_t>(in);
+  trace.cache.bytes_fetched = get<std::uint64_t>(in);
   const std::uint64_t n_groups = get<std::uint64_t>(in);
   // Sanity cap: one group per pixel is the theoretical maximum.
   if (n_groups > trace.pixel_count + 1) {

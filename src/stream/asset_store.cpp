@@ -1,0 +1,326 @@
+#include "stream/asset_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "vq/quantized_model.hpp"
+
+namespace sgs::stream {
+
+namespace {
+
+// On-disk record sizes. Fixed constants, not sizeof() of host structs: the
+// fetch traffic the DRAM model charges must not depend on host padding.
+constexpr std::size_t kDirEntryBytes = 8 + 8 + 8 + 4 + 6 * 4;  // 52
+constexpr std::size_t kRawRecordBytes = 59 * sizeof(float);    // 236
+constexpr std::size_t kVqRecordBytes =
+    4 * sizeof(float) + 4 * sizeof(std::uint16_t);  // 24
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void put_vec3(std::ostream& out, Vec3f v) {
+  put<float>(out, v.x);
+  put<float>(out, v.y);
+  put<float>(out, v.z);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("truncated .sgsc stream");
+  return v;
+}
+
+Vec3f get_vec3(std::istream& in) {
+  Vec3f v;
+  v.x = get<float>(in);
+  v.y = get<float>(in);
+  v.z = get<float>(in);
+  return v;
+}
+
+// Reads a little-endian scalar out of a fetched payload buffer.
+template <typename T>
+T peel(const char*& p) {
+  T v{};
+  std::copy(p, p + sizeof(T), reinterpret_cast<char*>(&v));
+  p += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+bool AssetStore::write(const std::string& path,
+                       const core::StreamingScene& scene) {
+  if (!scene.params_resident()) return false;
+  const core::StreamingConfig& cfg = scene.config();
+  const voxel::VoxelGrid& grid = scene.grid();
+  const bool vq = cfg.use_vq;
+  if (vq && scene.quantized() == nullptr) return false;
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+
+  put<std::uint32_t>(out, kSgscMagic);
+  put<std::uint32_t>(out, kSgscVersion);
+  put<std::uint32_t>(out, vq ? 1u : 0u);
+  // Rendering config.
+  put<float>(out, cfg.voxel_size);
+  put<std::int32_t>(out, cfg.group_size);
+  put<std::int32_t>(out, cfg.ray_stride);
+  put<std::uint8_t>(out, cfg.use_coarse_filter ? 1 : 0);
+  put_vec3(out, cfg.background);
+  // Grid config (authoritative: the grid was built from the original
+  // positions, which are exact under VQ too).
+  const voxel::VoxelGridConfig& gc = grid.config();
+  put_vec3(out, gc.origin);
+  put<float>(out, gc.voxel_size);
+  put<std::int32_t>(out, gc.dims.x);
+  put<std::int32_t>(out, gc.dims.y);
+  put<std::int32_t>(out, gc.dims.z);
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(grid.gaussian_count()));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(grid.voxel_count()));
+
+  if (vq) {
+    const vq::QuantizedModel& qm = *scene.quantized();
+    if (!qm.scale_codebook().save(out) || !qm.rotation_codebook().save(out) ||
+        !qm.dc_codebook().save(out) || !qm.sh_codebook().save(out)) {
+      return false;
+    }
+  }
+
+  // Directory: payload offsets are computed up front (record sizes are
+  // fixed), so the file is written in one forward pass.
+  const std::size_t rec_bytes = vq ? kVqRecordBytes : kRawRecordBytes;
+  const auto n_groups = static_cast<std::size_t>(grid.voxel_count());
+  std::uint64_t cursor = static_cast<std::uint64_t>(out.tellp()) +
+                         n_groups * kDirEntryBytes +
+                         grid.gaussian_count() * sizeof(std::uint32_t);
+  for (std::size_t v = 0; v < n_groups; ++v) {
+    const auto dv = static_cast<voxel::DenseVoxelId>(v);
+    const std::uint64_t count = grid.gaussians_in(dv).size();
+    const std::uint64_t bytes = count * rec_bytes;
+    put<std::int64_t>(out, grid.raw_of_dense(dv));
+    put<std::uint64_t>(out, cursor);
+    put<std::uint64_t>(out, bytes);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(count));
+    const Vec3f lo = grid.voxel_min_corner(dv);
+    put_vec3(out, lo);
+    put_vec3(out, lo + Vec3f::splat(gc.voxel_size));
+    cursor += bytes;
+  }
+
+  // Index table: the resident spatial index (model indices per group).
+  for (std::size_t v = 0; v < n_groups; ++v) {
+    const auto residents =
+        grid.gaussians_in(static_cast<voxel::DenseVoxelId>(v));
+    out.write(reinterpret_cast<const char*>(residents.data()),
+              static_cast<std::streamsize>(residents.size() *
+                                           sizeof(std::uint32_t)));
+  }
+
+  // Payloads.
+  const gs::GaussianModel& model = scene.render_model();
+  for (std::size_t v = 0; v < n_groups; ++v) {
+    for (const std::uint32_t mi :
+         grid.gaussians_in(static_cast<voxel::DenseVoxelId>(v))) {
+      if (vq) {
+        const vq::QuantizedModel& qm = *scene.quantized();
+        put_vec3(out, qm.position(mi));
+        put<float>(out, qm.opacity(mi));
+        const vq::QuantizedIndices& qi = qm.indices(mi);
+        put<std::uint16_t>(out, qi.scale);
+        put<std::uint16_t>(out, qi.rotation);
+        put<std::uint16_t>(out, qi.dc);
+        put<std::uint16_t>(out, qi.sh);
+      } else {
+        const gs::Gaussian& g = model.gaussians[mi];
+        put_vec3(out, g.position);
+        put_vec3(out, g.scale);
+        put<float>(out, g.rotation.w);
+        put<float>(out, g.rotation.x);
+        put<float>(out, g.rotation.y);
+        put<float>(out, g.rotation.z);
+        put<float>(out, g.opacity);
+        for (const Vec3f& c : g.sh) put_vec3(out, c);
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+AssetStore::AssetStore(const std::string& path)
+    : file_(path, std::ios::binary) {
+  if (!file_) throw std::runtime_error("cannot open .sgsc store: " + path);
+  file_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(file_.tellg());
+  file_.seekg(0);
+  if (get<std::uint32_t>(file_) != kSgscMagic) {
+    throw std::runtime_error("bad .sgsc magic");
+  }
+  if (get<std::uint32_t>(file_) != kSgscVersion) {
+    throw std::runtime_error("unsupported .sgsc version");
+  }
+  vq_ = (get<std::uint32_t>(file_) & 1u) != 0;
+  config_.voxel_size = get<float>(file_);
+  config_.group_size = get<std::int32_t>(file_);
+  config_.ray_stride = get<std::int32_t>(file_);
+  config_.use_coarse_filter = get<std::uint8_t>(file_) != 0;
+  config_.background = get_vec3(file_);
+  config_.use_vq = vq_;
+
+  voxel::VoxelGridConfig gc;
+  gc.origin = get_vec3(file_);
+  gc.voxel_size = get<float>(file_);
+  gc.dims.x = get<std::int32_t>(file_);
+  gc.dims.y = get<std::int32_t>(file_);
+  gc.dims.z = get<std::int32_t>(file_);
+  if (gc.voxel_size <= 0.0f || gc.dims.x <= 0 || gc.dims.y <= 0 ||
+      gc.dims.z <= 0) {
+    throw std::runtime_error(".sgsc grid config implausible");
+  }
+  gaussian_count_ = static_cast<std::size_t>(get<std::uint64_t>(file_));
+  const std::uint32_t n_groups = get<std::uint32_t>(file_);
+  if (gaussian_count_ > (std::uint64_t{1} << 32) ||
+      n_groups > (1u << 28)) {
+    throw std::runtime_error(".sgsc counts implausible");
+  }
+
+  if (vq_) {
+    scale_cb_ = vq::Codebook::load(file_);
+    rotation_cb_ = vq::Codebook::load(file_);
+    dc_cb_ = vq::Codebook::load(file_);
+    sh_cb_ = vq::Codebook::load(file_);
+    if (scale_cb_.dim() != 3 || rotation_cb_.dim() != 4 || dc_cb_.dim() != 3 ||
+        sh_cb_.dim() != 45) {
+      throw std::runtime_error(".sgsc codebooks have wrong dims");
+    }
+  }
+
+  directory_.resize(n_groups);
+  std::uint64_t total_count = 0;
+  const std::uint64_t rec_bytes = vq_ ? kVqRecordBytes : kRawRecordBytes;
+  for (AssetDirEntry& e : directory_) {
+    e.raw_id = get<std::int64_t>(file_);
+    e.offset = get<std::uint64_t>(file_);
+    e.bytes = get<std::uint64_t>(file_);
+    e.count = get<std::uint32_t>(file_);
+    e.aabb_min = get_vec3(file_);
+    e.aabb_max = get_vec3(file_);
+    // The payload must hold exactly count fixed-size records and lie
+    // inside the file — otherwise read_group would decode past its buffer.
+    if (e.bytes != e.count * rec_bytes || e.offset > file_size ||
+        e.bytes > file_size - e.offset) {
+      throw std::runtime_error(".sgsc directory entry inconsistent");
+    }
+    total_count += e.count;
+    payload_total_ += e.bytes;
+  }
+  if (total_count != gaussian_count_) {
+    throw std::runtime_error(".sgsc directory does not cover the model");
+  }
+
+  index_table_.resize(gaussian_count_);
+  file_.read(reinterpret_cast<char*>(index_table_.data()),
+             static_cast<std::streamsize>(index_table_.size() *
+                                          sizeof(std::uint32_t)));
+  if (!file_) throw std::runtime_error("truncated .sgsc index table");
+  index_offsets_.resize(n_groups + 1, 0);
+  for (std::uint32_t v = 0; v < n_groups; ++v) {
+    index_offsets_[v + 1] = index_offsets_[v] + directory_[v].count;
+  }
+
+  // Reassemble the resident spatial index.
+  std::vector<voxel::RawVoxelId> raw_ids(n_groups);
+  std::vector<std::vector<std::uint32_t>> residents(n_groups);
+  for (std::uint32_t v = 0; v < n_groups; ++v) {
+    raw_ids[v] = directory_[v].raw_id;
+    const auto span = group_indices(static_cast<voxel::DenseVoxelId>(v));
+    residents[v].assign(span.begin(), span.end());
+  }
+  grid_ = voxel::VoxelGrid::assemble(gc, raw_ids, residents, gaussian_count_);
+}
+
+std::span<const std::uint32_t> AssetStore::group_indices(
+    voxel::DenseVoxelId v) const {
+  const auto b = static_cast<std::size_t>(index_offsets_[static_cast<std::size_t>(v)]);
+  const auto e = static_cast<std::size_t>(index_offsets_[static_cast<std::size_t>(v) + 1]);
+  return {index_table_.data() + b, e - b};
+}
+
+DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v) const {
+  const AssetDirEntry& e = entry(v);
+  std::vector<char> buf(static_cast<std::size_t>(e.bytes));
+  {
+    std::lock_guard<std::mutex> lk(file_mutex_);
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(e.offset));
+    file_.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!file_) throw std::runtime_error("truncated .sgsc payload");
+  }
+
+  DecodedGroup group;
+  group.model_indices = group_indices(v);
+  group.payload_bytes = e.bytes;
+  group.gaussians.resize(e.count);
+  group.coarse_max_scale.resize(e.count);
+  const char* p = buf.data();
+  for (std::uint32_t k = 0; k < e.count; ++k) {
+    gs::Gaussian& g = group.gaussians[k];
+    if (vq_) {
+      g.position.x = peel<float>(p);
+      g.position.y = peel<float>(p);
+      g.position.z = peel<float>(p);
+      g.opacity = peel<float>(p);
+      const auto si = peel<std::uint16_t>(p);
+      const auto ri = peel<std::uint16_t>(p);
+      const auto di = peel<std::uint16_t>(p);
+      const auto hi = peel<std::uint16_t>(p);
+      if (si >= scale_cb_.size() || ri >= rotation_cb_.size() ||
+          di >= dc_cb_.size() || hi >= sh_cb_.size()) {
+        throw std::runtime_error(".sgsc payload index out of codebook range");
+      }
+      // Same lookups as QuantizedModel::decode — a cached group is
+      // bit-identical to the prepared scene's render model.
+      const auto s = scale_cb_.entry(si);
+      g.scale = {s[0], s[1], s[2]};
+      const auto r = rotation_cb_.entry(ri);
+      g.rotation = Quatf{r[0], r[1], r[2], r[3]};
+      const auto d = dc_cb_.entry(di);
+      g.sh[0] = {d[0], d[1], d[2]};
+      const auto rest = sh_cb_.entry(hi);
+      for (int c = 1; c < gs::kShCoeffCount; ++c) {
+        const std::size_t base = static_cast<std::size_t>(c - 1) * 3;
+        g.sh[static_cast<std::size_t>(c)] = {rest[base], rest[base + 1],
+                                             rest[base + 2]};
+      }
+      group.coarse_max_scale[k] = std::max(s[0], std::max(s[1], s[2]));
+    } else {
+      g.position.x = peel<float>(p);
+      g.position.y = peel<float>(p);
+      g.position.z = peel<float>(p);
+      g.scale.x = peel<float>(p);
+      g.scale.y = peel<float>(p);
+      g.scale.z = peel<float>(p);
+      g.rotation.w = peel<float>(p);
+      g.rotation.x = peel<float>(p);
+      g.rotation.y = peel<float>(p);
+      g.rotation.z = peel<float>(p);
+      g.opacity = peel<float>(p);
+      for (int c = 0; c < gs::kShCoeffCount; ++c) {
+        g.sh[static_cast<std::size_t>(c)].x = peel<float>(p);
+        g.sh[static_cast<std::size_t>(c)].y = peel<float>(p);
+        g.sh[static_cast<std::size_t>(c)].z = peel<float>(p);
+      }
+      group.coarse_max_scale[k] = g.max_scale();
+    }
+  }
+  return group;
+}
+
+}  // namespace sgs::stream

@@ -1,0 +1,129 @@
+// AssetStore: the chunked on-disk scene format (.sgsc) for out-of-core
+// streaming. The unit of storage — and of fetch traffic — is the voxel
+// group: all Gaussians resident in one dense voxel, stored as one
+// contiguous payload so a fetch is a single sequential read, exactly the
+// burst the DRAM model prices.
+//
+// File layout (little-endian, magic "SGSC", see src/stream/README.md):
+//
+//   header      rendering config + voxel-grid config + counts + flags
+//   codebooks   the four VQ codebooks (Codebook::save), VQ scenes only
+//   directory   per group: raw voxel id, payload offset/bytes, AABB, count
+//   index table u32 model index per Gaussian, groups concatenated in dense
+//               order — the spatial index stays resident (4 B/Gaussian)
+//               while parameters stream (24 B VQ / 236 B raw per Gaussian)
+//   payloads    per group, parameter records only:
+//                 raw  59 x f32  {pos3, scale3, rot4 wxyz, opacity, sh48}
+//                 VQ   {pos3 f32, opacity f32, 4 x u16 codebook indices}
+//
+// Decoding a fetched group reproduces the prepared scene's render model
+// bit-for-bit: raw payloads are the exact floats, VQ payloads replay
+// QuantizedModel::decode against codebooks that round-tripped exactly. That
+// is the property the out-of-core == resident golden test pins down.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/streaming_renderer.hpp"
+#include "gs/gaussian.hpp"
+#include "voxel/grid.hpp"
+#include "vq/codebook.hpp"
+
+namespace sgs::stream {
+
+inline constexpr std::uint32_t kSgscMagic = 0x43534753;  // "SGSC"
+inline constexpr std::uint32_t kSgscVersion = 1;
+
+struct AssetDirEntry {
+  voxel::RawVoxelId raw_id = 0;
+  std::uint64_t offset = 0;  // absolute file offset of the payload
+  std::uint64_t bytes = 0;   // payload size on disk (the fetch traffic unit)
+  std::uint32_t count = 0;   // Gaussians in the group
+  Vec3f aabb_min{0, 0, 0};   // world-space voxel bounds (prefetch ranking)
+  Vec3f aabb_max{0, 0, 0};
+};
+
+// One voxel group fetched from the store and decoded to full Gaussians
+// (resident order — index k here is resident k of the group).
+struct DecodedGroup {
+  std::span<const std::uint32_t> model_indices;  // store's resident index table
+  std::vector<gs::Gaussian> gaussians;
+  std::vector<float> coarse_max_scale;
+  std::uint64_t payload_bytes = 0;  // file bytes this fetch read
+
+  // In-memory footprint charged against a residency budget.
+  std::size_t resident_bytes() const {
+    return gaussians.size() * (sizeof(gs::Gaussian) + sizeof(float));
+  }
+};
+
+class AssetStore {
+ public:
+  // Serializes a prepared scene (which must have resident parameters) into
+  // the .sgsc format. Returns false on IO failure.
+  static bool write(const std::string& path,
+                    const core::StreamingScene& scene);
+
+  // Opens a store: loads header, codebooks, directory, and index table;
+  // reassembles the voxel grid. Payloads stay on disk. Throws
+  // std::runtime_error on malformed input.
+  explicit AssetStore(const std::string& path);
+
+  bool vector_quantized() const { return vq_; }
+  std::size_t gaussian_count() const { return gaussian_count_; }
+  std::int32_t group_count() const {
+    return static_cast<std::int32_t>(directory_.size());
+  }
+  const AssetDirEntry& entry(voxel::DenseVoxelId v) const {
+    return directory_[static_cast<std::size_t>(v)];
+  }
+  std::span<const AssetDirEntry> directory() const { return directory_; }
+  // Sum of payload bytes on disk: the scene's streamable parameter
+  // footprint (what fetch traffic is charged against).
+  std::uint64_t payload_bytes_total() const { return payload_total_; }
+  // Total *decoded* in-memory footprint of all groups — the unit a
+  // ResidencyCache budget is expressed in. Distinct from payload bytes:
+  // a VQ payload is 24 B/Gaussian on disk but decodes to a full Gaussian.
+  std::uint64_t decoded_bytes_total() const {
+    return static_cast<std::uint64_t>(gaussian_count_) *
+           (sizeof(gs::Gaussian) + sizeof(float));
+  }
+
+  const core::StreamingConfig& config() const { return config_; }
+  const voxel::VoxelGrid& grid() const { return grid_; }
+
+  // Model indices of group v's residents (streaming order), backed by the
+  // resident index table — valid for the store's lifetime.
+  std::span<const std::uint32_t> group_indices(voxel::DenseVoxelId v) const;
+
+  // A model-free StreamingScene (grid + layout + config) around this
+  // store's metadata; render it through a cache-backed GroupSource.
+  core::StreamingScene make_scene() const {
+    return core::StreamingScene::from_parts(config_, grid_);
+  }
+
+  // Reads one group's payload from disk and decodes it. Thread-safe: the
+  // file handle is shared under a mutex, decode runs outside the lock.
+  DecodedGroup read_group(voxel::DenseVoxelId v) const;
+
+ private:
+  core::StreamingConfig config_;
+  voxel::VoxelGrid grid_;
+  bool vq_ = false;
+  std::size_t gaussian_count_ = 0;
+  std::uint64_t payload_total_ = 0;
+  std::vector<AssetDirEntry> directory_;
+  std::vector<std::uint32_t> index_table_;  // per-group lists, concatenated
+  std::vector<std::uint64_t> index_offsets_;
+  vq::Codebook scale_cb_, rotation_cb_, dc_cb_, sh_cb_;
+
+  mutable std::mutex file_mutex_;
+  mutable std::ifstream file_;
+};
+
+}  // namespace sgs::stream

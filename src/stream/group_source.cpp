@@ -1,0 +1,29 @@
+#include "stream/group_source.hpp"
+
+#include <cassert>
+
+namespace sgs::stream {
+
+void GroupSource::begin_frame(const FrameIntent&,
+                              std::span<const voxel::DenseVoxelId>) {}
+
+void GroupSource::end_frame() {}
+
+core::StreamCacheStats GroupSource::stats() const { return {}; }
+
+ResidentGroupSource::ResidentGroupSource(const core::StreamingScene& scene)
+    : scene_(&scene) {
+  assert(scene.params_resident() &&
+         "resident source needs a scene with a resident render model");
+}
+
+GroupView ResidentGroupSource::acquire(voxel::DenseVoxelId v) {
+  GroupView view;
+  view.model_indices = scene_->grid().gaussians_in(v);
+  view.gaussians = scene_->render_model().gaussians.data();
+  view.coarse_max_scale = scene_->coarse_max_scales().data();
+  view.by_model_index = true;
+  return view;
+}
+
+}  // namespace sgs::stream

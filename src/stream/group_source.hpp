@@ -1,0 +1,102 @@
+// GroupSource: where the renderer gets a voxel group's Gaussians from.
+//
+// The staged pipeline (core/group_pipeline.hpp) consumes voxel groups — the
+// residents of one dense voxel, decoded to full Gaussians — but does not
+// care whether they live in a fully-resident GaussianModel or are paged in
+// from an on-disk asset store (stream/asset_store.hpp) through a residency
+// cache. This interface is that seam:
+//
+//   ResidentGroupSource — wraps a prepared StreamingScene; acquire() is a
+//     pointer view into render_model(), no copies, no bookkeeping. This is
+//     the implicit source every pre-existing call site uses.
+//   ResidencyCache / StreamingLoader (their own headers) — cache-backed
+//     sources that fetch and decode groups on demand under a byte budget.
+//
+// Contract: acquire() may be called concurrently from any pool worker; the
+// returned view stays valid until the matching release() (cache sources pin
+// the group in between). begin_frame()/end_frame() bracket one rendered
+// frame: the source learns the camera, the caller's expected inter-frame
+// motion envelope, and the FramePlan's candidate voxels — everything a
+// prefetcher needs to fetch ahead and everything a cache needs to pin the
+// in-flight working set.
+#pragma once
+
+#include <span>
+
+#include "core/streaming_renderer.hpp"
+#include "core/streaming_trace.hpp"
+#include "gs/camera.hpp"
+#include "gs/gaussian.hpp"
+#include "voxel/grid.hpp"
+
+namespace sgs::stream {
+
+// Read-only view of one voxel group's decoded residents.
+//
+// `model_indices[k]` is resident k's index in the original model (stats and
+// violator collection use it). Parameter lookup depends on the backing
+// storage: a resident scene keeps Gaussians in model order (`by_model_index`
+// true — index with the model id, exactly the access the monolithic renderer
+// performed), while a cache entry stores them densely in resident order
+// (`by_model_index` false). gaussian()/max_scale() hide the difference.
+struct GroupView {
+  std::span<const std::uint32_t> model_indices;
+  const gs::Gaussian* gaussians = nullptr;
+  const float* coarse_max_scale = nullptr;
+  bool by_model_index = true;
+
+  std::size_t size() const { return model_indices.size(); }
+  const gs::Gaussian& gaussian(std::size_t k) const {
+    return gaussians[by_model_index ? model_indices[k] : k];
+  }
+  float max_scale(std::size_t k) const {
+    return coarse_max_scale[by_model_index ? model_indices[k] : k];
+  }
+};
+
+// What the frame driver knows when a frame starts; prefetchers rank
+// non-resident groups against the camera inflated by the motion envelope.
+struct FrameIntent {
+  const gs::Camera* camera = nullptr;
+  // Expected camera drift before the *next* plan rebuild (the sequence
+  // renderer's reuse envelope). Zero means single-frame rendering.
+  float motion_translation = 0.0f;
+  float motion_rotation_rad = 0.0f;
+};
+
+class GroupSource {
+ public:
+  virtual ~GroupSource() = default;
+
+  // Brackets one frame. `plan_voxels` are the FramePlan's candidate voxels
+  // (sorted, unique): a cache pins them against eviction for the duration
+  // of the frame, a prefetcher seeds its ranking with them. Default: no-op.
+  virtual void begin_frame(const FrameIntent& intent,
+                           std::span<const voxel::DenseVoxelId> plan_voxels);
+  virtual void end_frame();
+
+  // Group data for dense voxel `v`; valid until release(v) from the same
+  // caller. Thread-safe.
+  virtual GroupView acquire(voxel::DenseVoxelId v) = 0;
+  virtual void release(voxel::DenseVoxelId v) = 0;
+
+  // Cumulative cache/fetch counters since construction (all-zero for
+  // resident sources). The frame driver diffs snapshots around a frame to
+  // fill StreamingTrace::cache.
+  virtual core::StreamCacheStats stats() const;
+};
+
+// The fully-resident path: views into a prepared StreamingScene. acquire
+// and release are trivially reentrant and frame brackets are no-ops.
+class ResidentGroupSource final : public GroupSource {
+ public:
+  explicit ResidentGroupSource(const core::StreamingScene& scene);
+
+  GroupView acquire(voxel::DenseVoxelId v) override;
+  void release(voxel::DenseVoxelId) override {}
+
+ private:
+  const core::StreamingScene* scene_;
+};
+
+}  // namespace sgs::stream

@@ -1,0 +1,147 @@
+#include "stream/residency_cache.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sgs::stream {
+
+ResidencyCache::ResidencyCache(const AssetStore& store,
+                               ResidencyCacheConfig config)
+    : store_(&store),
+      config_(config),
+      entries_(static_cast<std::size_t>(store.group_count())) {}
+
+void ResidencyCache::begin_frame(
+    const FrameIntent&, std::span<const voxel::DenseVoxelId> plan_voxels) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  // Pin the plan's working set: whether or not a candidate is resident yet,
+  // it must not be evicted while the frame is in flight (views into it may
+  // outlive their release()).
+  frame_pins_.assign(plan_voxels.begin(), plan_voxels.end());
+  for (const voxel::DenseVoxelId v : frame_pins_) {
+    entries_[static_cast<std::size_t>(v)].plan_pinned = true;
+  }
+}
+
+void ResidencyCache::end_frame() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const voxel::DenseVoxelId v : frame_pins_) {
+    entries_[static_cast<std::size_t>(v)].plan_pinned = false;
+  }
+  frame_pins_.clear();
+  // Pins may have carried residency above budget; drain the overshoot now.
+  evict_over_budget_locked();
+}
+
+GroupView ResidencyCache::acquire(voxel::DenseVoxelId v) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  Entry& e = entries_[static_cast<std::size_t>(v)];
+  bool fetched = false;
+  for (;;) {
+    if (e.resident) {
+      if (!fetched) ++stats_.hits;
+      break;
+    }
+    if (e.loading) {
+      // Another worker (or the prefetcher) is fetching this group; its
+      // arrival serves this acquire without paying a fetch: a hit.
+      cv_.wait(lk, [&e] { return !e.loading; });
+      continue;
+    }
+    // Demand miss: this render worker stalls on the fetch.
+    ++stats_.misses;
+    fetch_locked(lk, v, /*is_prefetch=*/false);
+    fetched = true;
+  }
+  ++e.pins;
+  touch_locked(e, v);
+  // Eviction runs only now, with the new entry pinned: with every other
+  // group pinned the pass could otherwise evict the group this very call
+  // just fetched (fetch_locked defers eviction for exactly that reason).
+  if (fetched) evict_over_budget_locked();
+  GroupView view;
+  view.model_indices = e.group.model_indices;
+  view.gaussians = e.group.gaussians.data();
+  view.coarse_max_scale = e.group.coarse_max_scale.data();
+  view.by_model_index = false;
+  return view;
+}
+
+void ResidencyCache::release(voxel::DenseVoxelId v) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  Entry& e = entries_[static_cast<std::size_t>(v)];
+  assert(e.resident && e.pins > 0);
+  --e.pins;
+}
+
+bool ResidencyCache::prefetch(voxel::DenseVoxelId v) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  Entry& e = entries_[static_cast<std::size_t>(v)];
+  if (e.resident || e.loading) return false;
+  fetch_locked(lk, v, /*is_prefetch=*/true);
+  evict_over_budget_locked();
+  return true;
+}
+
+bool ResidencyCache::resident(voxel::DenseVoxelId v) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return entries_[static_cast<std::size_t>(v)].resident;
+}
+
+std::uint64_t ResidencyCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return resident_bytes_;
+}
+
+core::StreamCacheStats ResidencyCache::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return stats_;
+}
+
+void ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
+                                  voxel::DenseVoxelId v, bool is_prefetch) {
+  Entry& e = entries_[static_cast<std::size_t>(v)];
+  e.loading = true;
+  lk.unlock();
+  // Disk read + decode outside the lock: other groups stay acquirable and
+  // other fetches only serialize on the store's own file mutex.
+  DecodedGroup fetched = store_->read_group(v);
+  lk.lock();
+  e.group = std::move(fetched);
+  e.loading = false;
+  e.resident = true;
+  lru_.push_front(v);
+  e.lru_it = lru_.begin();
+  resident_bytes_ += e.group.resident_bytes();
+  stats_.bytes_fetched += e.group.payload_bytes;
+  if (is_prefetch) ++stats_.prefetches;
+  // Deliberately no eviction pass here: a demand-missing acquire must pin
+  // the new entry first, or — with every other resident group pinned — the
+  // pass could evict the group it just fetched out from under the caller.
+  // Callers run evict_over_budget_locked() once the entry is protected.
+  cv_.notify_all();
+}
+
+void ResidencyCache::touch_locked(Entry& e, voxel::DenseVoxelId v) {
+  if (e.lru_it != lru_.begin()) {
+    lru_.erase(e.lru_it);
+    lru_.push_front(v);
+    e.lru_it = lru_.begin();
+  }
+}
+
+void ResidencyCache::evict_over_budget_locked() {
+  auto it = lru_.end();
+  while (resident_bytes_ > config_.budget_bytes && it != lru_.begin()) {
+    --it;
+    Entry& e = entries_[static_cast<std::size_t>(*it)];
+    if (e.pins > 0 || e.plan_pinned) continue;  // protected; try the next-older
+    resident_bytes_ -= e.group.resident_bytes();
+    e.group = DecodedGroup{};  // frees the decoded buffers
+    e.resident = false;
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace sgs::stream

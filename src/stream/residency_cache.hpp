@@ -1,0 +1,95 @@
+// ResidencyCache: decoded voxel groups held under a byte budget.
+//
+// The cache is the GroupSource an out-of-core render uses: acquire() pins a
+// group and returns its decoded view, fetching from the AssetStore on a
+// miss (a demand stall — the render worker blocks on the disk read). A
+// loader thread can warm the cache ahead of demand through prefetch().
+//
+// Eviction is strict LRU over unpinned groups: a group is protected while
+// (a) any acquire is outstanding on it, or (b) it belongs to the in-flight
+// FramePlan (begin_frame pins the plan's candidate set, end_frame releases
+// it) — so views handed to render workers stay valid for the whole frame
+// even past their release(). Pinned groups may push residency above the
+// budget; the overshoot drains at end_frame.
+//
+// The budget counts decoded in-memory bytes (DecodedGroup::resident_bytes),
+// while bytes_fetched counts on-disk payload bytes — the two sides of the
+// memory/traffic trade the simulator prices.
+//
+// Determinism: for a fixed request trace from one thread, hits, misses,
+// evictions, and the resident set are fully reproducible (pure LRU, no
+// clocks). Concurrent traces keep counters exact but their interleaving is
+// scheduling-dependent; the *rendered image* never depends on cache state.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/asset_store.hpp"
+#include "stream/group_source.hpp"
+
+namespace sgs::stream {
+
+struct ResidencyCacheConfig {
+  // Decoded-bytes budget. Groups beyond it are evicted LRU-first; pinned
+  // groups are never evicted even when over budget.
+  std::uint64_t budget_bytes = 64ull << 20;
+};
+
+class ResidencyCache final : public GroupSource {
+ public:
+  ResidencyCache(const AssetStore& store, ResidencyCacheConfig config = {});
+
+  // GroupSource --------------------------------------------------------------
+  void begin_frame(const FrameIntent& intent,
+                   std::span<const voxel::DenseVoxelId> plan_voxels) override;
+  void end_frame() override;
+  GroupView acquire(voxel::DenseVoxelId v) override;
+  void release(voxel::DenseVoxelId v) override;
+  core::StreamCacheStats stats() const override;
+
+  // Loader-facing ------------------------------------------------------------
+  // Fetches `v` if absent (counted as a prefetch, not a miss). Returns true
+  // when this call brought the group in, false when it was already resident
+  // or in flight.
+  bool prefetch(voxel::DenseVoxelId v);
+  bool resident(voxel::DenseVoxelId v) const;
+
+  std::uint64_t resident_bytes() const;
+  const ResidencyCacheConfig& config() const { return config_; }
+  const AssetStore& store() const { return *store_; }
+
+ private:
+  struct Entry {
+    DecodedGroup group;
+    int pins = 0;              // outstanding acquires
+    bool plan_pinned = false;  // member of the in-flight plan's working set
+    bool loading = false;      // fetch in flight; waiters sleep on cv_
+    std::list<voxel::DenseVoxelId>::iterator lru_it;  // valid when resident
+    bool resident = false;
+  };
+
+  // Fetches v into its entry. Caller holds lk; the disk read and decode run
+  // unlocked with entry.loading set. Returns with the entry resident.
+  void fetch_locked(std::unique_lock<std::mutex>& lk, voxel::DenseVoxelId v,
+                    bool is_prefetch);
+  void touch_locked(Entry& e, voxel::DenseVoxelId v);
+  void evict_over_budget_locked();
+
+  const AssetStore* store_;
+  ResidencyCacheConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // signals fetch completion
+  std::vector<Entry> entries_;  // indexed by dense voxel id
+  std::list<voxel::DenseVoxelId> lru_;  // front = most recent
+  std::uint64_t resident_bytes_ = 0;
+  std::vector<voxel::DenseVoxelId> frame_pins_;
+  core::StreamCacheStats stats_;
+};
+
+}  // namespace sgs::stream

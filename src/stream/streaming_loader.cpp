@@ -1,0 +1,105 @@
+#include "stream/streaming_loader.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.hpp"
+#include "gs/projection.hpp"
+
+namespace sgs::stream {
+
+StreamingLoader::StreamingLoader(ResidencyCache& cache, PrefetchConfig config)
+    : cache_(&cache), config_(config) {}
+
+StreamingLoader::~StreamingLoader() { wait_idle(); }
+
+void StreamingLoader::begin_frame(
+    const FrameIntent& intent,
+    std::span<const voxel::DenseVoxelId> plan_voxels) {
+  cache_->begin_frame(intent, plan_voxels);
+  if (intent.camera == nullptr) return;
+  std::vector<voxel::DenseVoxelId> batch = rank_prefetch(intent);
+  if (batch.empty()) return;
+  if (config_.synchronous) {
+    for (const voxel::DenseVoxelId v : batch) cache_->prefetch(v);
+  } else {
+    // One FIFO task per frame: fetches overlap this frame's rendering and
+    // are naturally superseded by the next frame's batch.
+    ResidencyCache* cache = cache_;
+    async_submit([cache, batch = std::move(batch)] {
+      for (const voxel::DenseVoxelId v : batch) cache->prefetch(v);
+    });
+  }
+}
+
+void StreamingLoader::end_frame() { cache_->end_frame(); }
+
+GroupView StreamingLoader::acquire(voxel::DenseVoxelId v) {
+  return cache_->acquire(v);
+}
+
+void StreamingLoader::release(voxel::DenseVoxelId v) { cache_->release(v); }
+
+core::StreamCacheStats StreamingLoader::stats() const {
+  return cache_->stats();
+}
+
+void StreamingLoader::wait_idle() const { async_wait_idle(); }
+
+std::vector<voxel::DenseVoxelId> StreamingLoader::rank_prefetch(
+    const FrameIntent& intent) const {
+  const AssetStore& store = cache_->store();
+  const gs::Camera& cam = *intent.camera;
+  const float lookahead = std::max(1.0f, config_.lookahead_frames);
+  const float rot_env = intent.motion_rotation_rad * lookahead;
+  const float trans_env = intent.motion_translation * lookahead;
+
+  struct Ranked {
+    float depth;
+    voxel::DenseVoxelId id;
+  };
+  std::vector<Ranked> ranked;
+  const auto dir = store.directory();
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    const auto v = static_cast<voxel::DenseVoxelId>(i);
+    if (dir[i].count == 0 || cache_->resident(v)) continue;
+    const AssetDirEntry& e = dir[i];
+    const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
+    const float radius = (e.aabb_max - e.aabb_min).norm() * 0.5f;
+    const Vec3f c_cam = cam.world_to_camera(center);
+    // Behind the camera even after the envelope's worst-case approach.
+    if (c_cam.z + radius + trans_env <= gs::kNearClip) continue;
+    const float near_z = std::max(c_cam.z - radius - trans_env, gs::kNearClip);
+    // Conservative screen bound: projected AABB radius plus the envelope's
+    // depth-independent rotation drift and depth-scaled translation drift
+    // (the same decomposition FramePlan::reusable_for uses).
+    const float pad_px = cam.focal_max() * (radius + trans_env) / near_z +
+                         cam.focal_max() * rot_env;
+    if (c_cam.z > gs::kNearClip) {
+      const Vec2f uv = cam.project_cam(c_cam);
+      if (uv.x < -pad_px || uv.y < -pad_px ||
+          uv.x > static_cast<float>(cam.width()) + pad_px ||
+          uv.y > static_cast<float>(cam.height()) + pad_px) {
+        continue;
+      }
+    }
+    // else: straddles the camera plane — unbounded projection, always rank.
+    ranked.push_back({(center - cam.position()).norm(), v});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    return a.depth != b.depth ? a.depth < b.depth : a.id < b.id;
+  });
+
+  std::vector<voxel::DenseVoxelId> batch;
+  std::uint64_t bytes = 0;
+  for (const Ranked& r : ranked) {
+    if (batch.size() >= config_.max_groups_per_frame) break;
+    const std::uint64_t b = store.entry(r.id).bytes;
+    if (bytes + b > config_.max_bytes_per_frame && !batch.empty()) break;
+    batch.push_back(r.id);
+    bytes += b;
+  }
+  return batch;
+}
+
+}  // namespace sgs::stream

@@ -1,0 +1,69 @@
+// StreamingLoader: prefetch-driven GroupSource for out-of-core rendering.
+//
+// Decorates a ResidencyCache: acquire/release/pinning pass straight
+// through, and begin_frame() additionally ranks the store's non-resident
+// voxel groups by predicted visibility for the frame's camera — inflated by
+// the caller's motion envelope, so groups about to enter the frustum are
+// fetched *before* the frame that needs them — and fetches the best-ranked
+// ones on the pool's async lane while the frame renders on the main
+// workers. A demand miss still stalls the render worker that hits it; the
+// loader's job is making those stalls rare.
+//
+// Ranking (rank_prefetch): a group is a candidate when its directory AABB,
+// padded by the envelope's worst-case projection drift, touches the image
+// rect; candidates are ordered near-to-far (near groups are streamed by
+// more pixel groups and occlude far ones). Per frame, fetches are capped by
+// a group-count and a byte budget — the fetch-bandwidth knob.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/residency_cache.hpp"
+
+namespace sgs::stream {
+
+struct PrefetchConfig {
+  // Per-frame fetch-ahead caps (bandwidth budget per frame).
+  std::size_t max_groups_per_frame = 64;
+  std::uint64_t max_bytes_per_frame = 16ull << 20;
+  // The motion envelope is assumed to persist for this many frames: the
+  // visibility pad grows with it, so the prefetcher looks further ahead
+  // along the camera's drift than a single frame's reuse bound.
+  float lookahead_frames = 4.0f;
+  // Fetch inline inside begin_frame instead of on the async lane. Slower
+  // (the fetch no longer overlaps rendering) but fully deterministic —
+  // what the golden tests and reproducible benchmarks use.
+  bool synchronous = false;
+};
+
+class StreamingLoader final : public GroupSource {
+ public:
+  explicit StreamingLoader(ResidencyCache& cache, PrefetchConfig config = {});
+  // Drains in-flight async fetches (they capture `this`).
+  ~StreamingLoader() override;
+
+  void begin_frame(const FrameIntent& intent,
+                   std::span<const voxel::DenseVoxelId> plan_voxels) override;
+  void end_frame() override;
+  GroupView acquire(voxel::DenseVoxelId v) override;
+  void release(voxel::DenseVoxelId v) override;
+  core::StreamCacheStats stats() const override;
+
+  // Non-resident groups worth fetching for this intent, best first, capped
+  // by the config's group/byte budgets. Exposed for tests.
+  std::vector<voxel::DenseVoxelId> rank_prefetch(
+      const FrameIntent& intent) const;
+
+  // Blocks until all submitted prefetch batches have landed.
+  void wait_idle() const;
+
+  ResidencyCache& cache() { return *cache_; }
+  const PrefetchConfig& config() const { return config_; }
+
+ private:
+  ResidencyCache* cache_;
+  PrefetchConfig config_;
+};
+
+}  // namespace sgs::stream

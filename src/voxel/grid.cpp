@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace sgs::voxel {
 
@@ -60,6 +61,52 @@ VoxelGrid VoxelGrid::build(const gs::GaussianModel& model, float voxel_size) {
     grid.gaussian_order_[cursor[static_cast<std::size_t>(d)]++] =
         static_cast<std::uint32_t>(i);
     grid.gaussian_to_voxel_[i] = d;
+  }
+  return grid;
+}
+
+VoxelGrid VoxelGrid::assemble(
+    const VoxelGridConfig& config, std::span<const RawVoxelId> raw_ids,
+    std::span<const std::vector<std::uint32_t>> residents,
+    std::size_t gaussian_count) {
+  if (raw_ids.size() != residents.size()) {
+    throw std::runtime_error("grid assemble: directory size mismatch");
+  }
+  VoxelGrid grid;
+  grid.config_ = config;
+  const std::int64_t raw_count = grid.raw_voxel_count();
+
+  grid.raw_to_dense_.assign(static_cast<std::size_t>(raw_count), kInvalidDenseId);
+  grid.dense_to_raw_.reserve(raw_ids.size());
+  RawVoxelId prev = -1;
+  for (const RawVoxelId r : raw_ids) {
+    // build() emits dense IDs in ascending raw order; require the same so
+    // the renaming table round-trips exactly.
+    if (r < 0 || r >= raw_count || r <= prev) {
+      throw std::runtime_error("grid assemble: bad raw voxel id order");
+    }
+    prev = r;
+    grid.raw_to_dense_[static_cast<std::size_t>(r)] =
+        static_cast<DenseVoxelId>(grid.dense_to_raw_.size());
+    grid.dense_to_raw_.push_back(r);
+  }
+
+  grid.offsets_.assign(raw_ids.size() + 1, 0);
+  grid.gaussian_order_.reserve(gaussian_count);
+  grid.gaussian_to_voxel_.assign(gaussian_count, kInvalidDenseId);
+  for (std::size_t v = 0; v < residents.size(); ++v) {
+    for (const std::uint32_t mi : residents[v]) {
+      if (mi >= gaussian_count ||
+          grid.gaussian_to_voxel_[mi] != kInvalidDenseId) {
+        throw std::runtime_error("grid assemble: bad model index");
+      }
+      grid.gaussian_order_.push_back(mi);
+      grid.gaussian_to_voxel_[mi] = static_cast<DenseVoxelId>(v);
+    }
+    grid.offsets_[v + 1] = static_cast<std::uint32_t>(grid.gaussian_order_.size());
+  }
+  if (grid.gaussian_order_.size() != gaussian_count) {
+    throw std::runtime_error("grid assemble: residents do not cover the model");
   }
   return grid;
 }

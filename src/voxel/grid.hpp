@@ -33,6 +33,18 @@ class VoxelGrid {
   // by half a voxel so boundary points index safely).
   static VoxelGrid build(const gs::GaussianModel& model, float voxel_size);
 
+  // Reassembles a grid from serialized parts (the .sgsc asset store):
+  // `config` plus, per non-empty voxel in dense order, its raw ID and the
+  // model indices of its residents. Produces internal state identical to the
+  // build() that originally created the parts, so out-of-core rendering
+  // traverses exactly the same grid. Throws std::runtime_error on
+  // out-of-range raw IDs, non-ascending dense order, or duplicate model
+  // indices (`gaussian_count` is the total model size).
+  static VoxelGrid assemble(
+      const VoxelGridConfig& config, std::span<const RawVoxelId> raw_ids,
+      std::span<const std::vector<std::uint32_t>> residents,
+      std::size_t gaussian_count);
+
   const VoxelGridConfig& config() const { return config_; }
   std::int64_t raw_voxel_count() const {
     return static_cast<std::int64_t>(config_.dims.x) * config_.dims.y * config_.dims.z;

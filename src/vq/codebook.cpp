@@ -1,5 +1,9 @@
 #include "vq/codebook.hpp"
 
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
 namespace sgs::vq {
 
 int Codebook::index_bits() const {
@@ -12,6 +16,33 @@ int Codebook::index_bits() const {
     v >>= 1;
   }
   return bits;
+}
+
+bool Codebook::save(std::ostream& out) const {
+  const auto dim = static_cast<std::uint32_t>(dim_);
+  const std::uint32_t count = size();
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(entries_.data()),
+            static_cast<std::streamsize>(entries_.size() * sizeof(float)));
+  return static_cast<bool>(out);
+}
+
+Codebook Codebook::load(std::istream& in) {
+  std::uint32_t dim = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error("truncated codebook header");
+  // Largest legitimate book in this codebase is 45-dim x 8192 entries; a
+  // generous cap still rejects garbage lengths before allocating.
+  if (dim == 0 || dim > 1024 || count > (1u << 24)) {
+    throw std::runtime_error("implausible codebook dimensions");
+  }
+  std::vector<float> entries(static_cast<std::size_t>(dim) * count);
+  in.read(reinterpret_cast<char*>(entries.data()),
+          static_cast<std::streamsize>(entries.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("truncated codebook entries");
+  return Codebook(dim, std::move(entries));
 }
 
 TrainedCodebook train_codebook(std::span<const float> data, std::size_t dim,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -38,6 +39,14 @@ class Codebook {
 
   // Bits needed for an index into this codebook.
   int index_bits() const;
+
+  // Binary serialization (little-endian: u32 dim, u32 entry count, raw
+  // float32 entries). The loaded codebook is bit-identical to the saved one,
+  // so decode() results round-trip exactly — the property the .sgsc scene
+  // format relies on. save returns false on IO failure; load throws
+  // std::runtime_error on truncation or implausible sizes.
+  bool save(std::ostream& out) const;
+  static Codebook load(std::istream& in);
 
  private:
   std::size_t dim_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
+#include <stdexcept>
 
 namespace sgs::vq {
 
@@ -156,6 +158,108 @@ gs::GaussianModel QuantizedModel::decode_all() const {
   m.gaussians.reserve(size());
   for (std::uint32_t i = 0; i < size(); ++i) m.gaussians.push_back(decode(i));
   return m;
+}
+
+namespace {
+
+constexpr std::uint32_t kVqMagic = 0x51564753;  // "SGVQ"
+constexpr std::uint32_t kVqVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("truncated quantized model stream");
+  return v;
+}
+
+}  // namespace
+
+bool QuantizedModel::save(std::ostream& out) const {
+  put<std::uint32_t>(out, kVqMagic);
+  put<std::uint32_t>(out, kVqVersion);
+  scale_cb_.save(out);
+  rotation_cb_.save(out);
+  dc_cb_.save(out);
+  sh_cb_.save(out);
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(size()));
+  for (std::size_t i = 0; i < size(); ++i) {
+    put<float>(out, positions_[i].x);
+    put<float>(out, positions_[i].y);
+    put<float>(out, positions_[i].z);
+    put<float>(out, opacities_[i]);
+    put<std::uint16_t>(out, indices_[i].scale);
+    put<std::uint16_t>(out, indices_[i].rotation);
+    put<std::uint16_t>(out, indices_[i].dc);
+    put<std::uint16_t>(out, indices_[i].sh);
+  }
+  return static_cast<bool>(out);
+}
+
+QuantizedModel QuantizedModel::load(std::istream& in) {
+  if (get<std::uint32_t>(in) != kVqMagic) {
+    throw std::runtime_error("bad quantized model magic");
+  }
+  if (get<std::uint32_t>(in) != kVqVersion) {
+    throw std::runtime_error("unsupported quantized model version");
+  }
+  QuantizedModel qm;
+  qm.scale_cb_ = Codebook::load(in);
+  qm.rotation_cb_ = Codebook::load(in);
+  qm.dc_cb_ = Codebook::load(in);
+  qm.sh_cb_ = Codebook::load(in);
+  if (qm.scale_cb_.dim() != 3 || qm.rotation_cb_.dim() != 4 ||
+      qm.dc_cb_.dim() != 3 || qm.sh_cb_.dim() != 45) {
+    throw std::runtime_error("quantized model codebooks have wrong dims");
+  }
+  const std::uint64_t n = get<std::uint64_t>(in);
+  if (n > (std::uint64_t{1} << 32)) {
+    throw std::runtime_error("implausible quantized model size");
+  }
+  qm.positions_.resize(n);
+  qm.opacities_.resize(n);
+  qm.indices_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qm.positions_[i].x = get<float>(in);
+    qm.positions_[i].y = get<float>(in);
+    qm.positions_[i].z = get<float>(in);
+    qm.opacities_[i] = get<float>(in);
+    qm.indices_[i].scale = get<std::uint16_t>(in);
+    qm.indices_[i].rotation = get<std::uint16_t>(in);
+    qm.indices_[i].dc = get<std::uint16_t>(in);
+    qm.indices_[i].sh = get<std::uint16_t>(in);
+    if (qm.indices_[i].scale >= qm.scale_cb_.size() ||
+        qm.indices_[i].rotation >= qm.rotation_cb_.size() ||
+        qm.indices_[i].dc >= qm.dc_cb_.size() ||
+        qm.indices_[i].sh >= qm.sh_cb_.size()) {
+      throw std::runtime_error("quantized index out of codebook range");
+    }
+  }
+  // Derived, not stored: same computation as build(), so a loaded model's
+  // coarse stream is bit-identical to the trained one's.
+  qm.coarse_max_scale_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = qm.scale_cb_.entry(qm.indices_[i].scale);
+    qm.coarse_max_scale_[i] = std::max(s[0], std::max(s[1], s[2]));
+  }
+  return qm;
+}
+
+bool QuantizedModel::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return save(out);
+}
+
+QuantizedModel QuantizedModel::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open quantized model: " + path);
+  return load(in);
 }
 
 std::size_t QuantizedModel::codebook_bytes() const {

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 
 #include "gs/gaussian.hpp"
 #include "vq/codebook.hpp"
@@ -70,6 +72,18 @@ class QuantizedModel {
   std::size_t codebook_bytes() const;
   // Index payload bits per Gaussian (12+12+12+9 = 45 at default config).
   int index_bits_per_gaussian() const;
+
+  // Binary round-trip of the whole quantized scene (magic "SGVQ": the four
+  // codebooks followed by per-Gaussian position/opacity/index records).
+  // Loading reproduces decode() bit-for-bit — training is expensive, so a
+  // trained codec can be shipped next to the scene instead of rebuilt.
+  // coarse_max_scale is recomputed from the loaded scale codebook (not
+  // stored), keeping the file free of derivable data. save returns false on
+  // IO failure; load throws std::runtime_error on malformed input.
+  bool save(std::ostream& out) const;
+  static QuantizedModel load(std::istream& in);
+  bool save_file(const std::string& path) const;
+  static QuantizedModel load_file(const std::string& path);
 
  private:
   std::vector<Vec3f> positions_;

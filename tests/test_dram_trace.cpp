@@ -82,6 +82,43 @@ TEST(DramModel, EfficiencyGrowsWithChunkSize) {
   EXPECT_LT(big, 1.0);
 }
 
+TEST(DramModel, EfficiencyMonotoneAndBoundedAcrossLadder) {
+  // Monotone non-decreasing in chunk size over a dense power-of-two ladder,
+  // and always within (0, 1]: larger sequential bursts amortize more of the
+  // activate/CAS overhead but can never beat peak bandwidth.
+  double prev = 0.0;
+  for (std::uint64_t chunk = 64; chunk <= (1u << 20); chunk <<= 1) {
+    const double eff = sim::DramModel::effective_efficiency(chunk);
+    EXPECT_GT(eff, 0.0) << "chunk " << chunk;
+    EXPECT_LE(eff, 1.0) << "chunk " << chunk;
+    EXPECT_GE(eff, prev) << "chunk " << chunk;
+    prev = eff;
+  }
+  EXPECT_GT(prev, 0.85);  // megabyte bursts approach peak
+}
+
+TEST(DramModel, EfficiencyConsistentWithRepeatedAccessStats) {
+  // effective_efficiency must agree with what DramAccessStats reports for
+  // the same access pattern driven by hand: random chunk-aligned bursts.
+  for (const std::uint64_t chunk : {256ull, 4096ull, 65536ull}) {
+    sim::DramModel model;
+    std::uint64_t x = 0x5EED5EED;
+    for (int i = 0; i < 500; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t addr = ((x >> 16) % (256ull << 20)) / chunk * chunk;
+      model.access(addr, chunk);
+    }
+    const sim::DramAccessStats& s = model.stats();
+    EXPECT_EQ(s.requests, 500u);
+    EXPECT_EQ(s.bytes, 500u * chunk);
+    const double measured =
+        static_cast<double>(s.bytes) / model.peak_bytes_per_cycle() / s.cycles;
+    const double predicted = sim::DramModel::effective_efficiency(chunk);
+    EXPECT_NEAR(measured, predicted, 0.05) << "chunk " << chunk;
+    EXPECT_LE(measured, 1.0);
+  }
+}
+
 TEST(DramModel, FlatEfficiencyConstantsAreConsistent) {
   // The simulators assume 0.90 effective efficiency for voxel streams
   // (multi-KB sequential bursts): the detailed model must land near that.
@@ -123,7 +160,13 @@ core::StreamingTrace make_trace() {
 }
 
 TEST(TraceIo, RoundTripPreservesEverything) {
-  const core::StreamingTrace trace = make_trace();
+  core::StreamingTrace trace = make_trace();
+  // Exercise the v3 residency-cache fields.
+  trace.cache.hits = 100;
+  trace.cache.misses = 7;
+  trace.cache.prefetches = 12;
+  trace.cache.evictions = 3;
+  trace.cache.bytes_fetched = 123456;
   std::stringstream buf;
   ASSERT_TRUE(core::write_trace(buf, trace));
   const core::StreamingTrace back = core::read_trace(buf);
@@ -134,6 +177,11 @@ TEST(TraceIo, RoundTripPreservesEverything) {
   EXPECT_EQ(back.voxel_table_steps, trace.voxel_table_steps);
   EXPECT_EQ(back.plan_reused, trace.plan_reused);
   EXPECT_EQ(back.plan_build_ns, trace.plan_build_ns);
+  EXPECT_EQ(back.cache.hits, trace.cache.hits);
+  EXPECT_EQ(back.cache.misses, trace.cache.misses);
+  EXPECT_EQ(back.cache.prefetches, trace.cache.prefetches);
+  EXPECT_EQ(back.cache.evictions, trace.cache.evictions);
+  EXPECT_EQ(back.cache.bytes_fetched, trace.cache.bytes_fetched);
   ASSERT_EQ(back.groups.size(), trace.groups.size());
   for (std::size_t g = 0; g < trace.groups.size(); ++g) {
     EXPECT_EQ(back.groups[g].rays, trace.groups[g].rays);
@@ -160,6 +208,30 @@ TEST(TraceIo, SimulationOfLoadedTraceIsIdentical) {
   EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.dram_bytes, b.dram_bytes);
   EXPECT_DOUBLE_EQ(a.energy.total_pj(), b.energy.total_pj());
+}
+
+TEST(StreamingGsSim, ChargesFetchTrafficFromCacheStats) {
+  // Out-of-core frames carry residency-cache counters; the sim must charge
+  // the fetched bytes as DRAM traffic (cycles + energy) at the detailed
+  // model's efficiency, and leave resident frames bit-identical.
+  const core::StreamingTrace trace = make_trace();
+  const auto base = sim::simulate_streaminggs(trace);
+  EXPECT_EQ(base.stage_busy.count("fetch"), 0u);
+
+  core::StreamingTrace ooc = trace;
+  ooc.cache.misses = 8;
+  ooc.cache.prefetches = 8;
+  ooc.cache.bytes_fetched = 1u << 20;
+  const auto fetched = sim::simulate_streaminggs(ooc);
+  EXPECT_EQ(fetched.dram_bytes, base.dram_bytes + (1u << 20));
+  EXPECT_GT(fetched.cycles, base.cycles);
+  EXPECT_GT(fetched.stage_busy.at("fetch"), 0.0);
+  EXPECT_GT(fetched.energy.dram_pj, base.energy.dram_pj);
+
+  // The fetch charge is bounded below by peak-bandwidth time.
+  const sim::StreamingGsHwConfig hw;
+  EXPECT_GE(fetched.cycles - base.cycles,
+            static_cast<double>(1u << 20) / hw.dram.peak_bytes_per_cycle);
 }
 
 TEST(TraceIo, SimReportCarriesSoftwareStageTimes) {

@@ -674,5 +674,85 @@ TEST(RenderSequence, SmallMotionReusesLargeMotionRebuilds) {
   }
 }
 
+TEST(RenderSequence, GeometryChangeForcesReplanNeverStaleReuse) {
+  const auto model = test_model(53, 4000);
+  StreamingConfig scfg;
+  scfg.voxel_size = 1.0f;
+  scfg.use_vq = false;
+  const StreamingScene scene = StreamingScene::prepare(model, scfg);
+
+  // Identical pose; the image geometry changes mid-sequence (resolution,
+  // then intrinsics via a different fov). Thresholds are infinite so only
+  // the geometry check can force the rebuilds; margin 1 px matches the
+  // single-frame renderer so every frame compares bit-exact to scratch.
+  SequenceOptions opts;
+  opts.reuse_max_translation = 1e9f;
+  opts.reuse_max_rotation_rad = 1e9f;
+  opts.plan_margin_px = 1.0f;
+  const std::vector<gs::Camera> cams = {
+      test_camera(128, 128), test_camera(128, 128),
+      test_camera(192, 96),  // resized
+      gs::Camera::look_at({0, 0, -5}, {0, 0, 0}, {0, 1, 0}, 0.5f, 192, 96),
+  };
+  const auto seq = render_sequence(scene, cams, opts);
+  ASSERT_EQ(seq.frames.size(), 4u);
+  EXPECT_EQ(seq.stats.plans_built, 3u);
+  EXPECT_EQ(seq.stats.plans_reused, 1u);
+  EXPECT_EQ(seq.stats.plans_invalidated_geometry, 2u);
+  // Every frame is correctly sized and matches a from-scratch render.
+  for (std::size_t f = 0; f < cams.size(); ++f) {
+    EXPECT_EQ(seq.frames[f].image.width(), cams[f].width());
+    EXPECT_EQ(seq.frames[f].image.height(), cams[f].height());
+    const auto scratch = render_streaming(scene, cams[f]);
+    EXPECT_EQ(seq.frames[f].image.pixels(), scratch.image.pixels()) << f;
+  }
+}
+
+TEST(FrameScheduler, RejectsPlanWithMismatchedImageGeometry) {
+  const auto model = test_model(54, 3000);
+  StreamingConfig scfg;
+  scfg.voxel_size = 1.0f;
+  scfg.use_vq = false;
+  const StreamingScene scene = StreamingScene::prepare(model, scfg);
+
+  const gs::Camera cam = test_camera(128, 128);
+  const FramePlan plan =
+      FramePlan::build(scene.grid(), cam, scene.config().group_size);
+  FrameScheduler scheduler;
+
+  // Same geometry, different pose: fine (the sequence-reuse case).
+  const gs::Camera moved =
+      gs::Camera::look_at({0.1f, 0, -5}, {0, 0, 0}, {0, 1, 0}, 0.8f, 128, 128);
+  EXPECT_NO_THROW(scheduler.render_frame(scene, moved, plan, {}));
+
+  // Different size or intrinsics: the stale plan must be rejected loudly.
+  EXPECT_THROW(
+      scheduler.render_frame(scene, test_camera(64, 64), plan, {}),
+      std::invalid_argument);
+  const gs::Camera refocused =
+      gs::Camera::look_at({0, 0, -5}, {0, 0, 0}, {0, 1, 0}, 0.5f, 128, 128);
+  EXPECT_THROW(scheduler.render_frame(scene, refocused, plan, {}),
+               std::invalid_argument);
+}
+
+TEST(FramePlan, UniqueCandidatesIsSortedUnionOfGroups) {
+  const auto model = test_model(55, 4000);
+  StreamingConfig scfg;
+  scfg.voxel_size = 1.0f;
+  scfg.use_vq = false;
+  const StreamingScene scene = StreamingScene::prepare(model, scfg);
+  const FramePlan plan =
+      FramePlan::build(scene.grid(), test_camera(), 64, 8.0f);
+
+  std::unordered_set<voxel::DenseVoxelId> expect;
+  for (std::size_t g = 0; g < plan.group_count(); ++g) {
+    for (const voxel::DenseVoxelId v : plan.candidates(g)) expect.insert(v);
+  }
+  const auto uniq = plan.collect_unique_candidates();
+  EXPECT_EQ(uniq.size(), expect.size());
+  EXPECT_TRUE(std::is_sorted(uniq.begin(), uniq.end()));
+  for (const voxel::DenseVoxelId v : uniq) EXPECT_TRUE(expect.count(v) > 0);
+}
+
 }  // namespace
 }  // namespace sgs::core

@@ -1,0 +1,496 @@
+// Tests for the out-of-core streaming subsystem (src/stream/): the .sgsc
+// asset store round-trip, residency-cache LRU/pinning/determinism, the
+// prefetching loader, the async pool lane, and — the acceptance bar — a
+// golden proof that cache-backed rendering is bit-identical to fully
+// resident rendering while actually exercising misses and evictions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/render_sequence.hpp"
+#include "core/streaming_renderer.hpp"
+#include "scene/generator.hpp"
+#include "stream/asset_store.hpp"
+#include "stream/residency_cache.hpp"
+#include "stream/streaming_loader.hpp"
+
+namespace sgs::stream {
+namespace {
+
+gs::GaussianModel test_model(std::uint64_t seed, std::size_t count) {
+  scene::GeneratorConfig cfg;
+  cfg.gaussian_count = count;
+  cfg.extent_min = {-3, -3, -3};
+  cfg.extent_max = {3, 3, 3};
+  cfg.seed = seed;
+  return scene::generate_scene(cfg);
+}
+
+core::StreamingScene test_scene(std::uint64_t seed, std::size_t count,
+                                bool vq) {
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = vq;
+  if (vq) {
+    // Small books keep training fast; the format does not care.
+    cfg.vq.scale_entries = 64;
+    cfg.vq.rotation_entries = 64;
+    cfg.vq.dc_entries = 64;
+    cfg.vq.sh_entries = 32;
+    cfg.vq.kmeans_iters = 4;
+    cfg.vq.refine_iters = 1;
+  }
+  return core::StreamingScene::prepare(test_model(seed, count), cfg);
+}
+
+gs::Camera test_camera(int size = 128) {
+  return gs::Camera::look_at({0, 0, -6}, {0, 0, 0}, {0, 1, 0}, 0.9f, size,
+                             size);
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& p) : path(p) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+bool gaussians_equal(const gs::Gaussian& a, const gs::Gaussian& b) {
+  return a.position == b.position && a.scale == b.scale &&
+         a.rotation == b.rotation && a.opacity == b.opacity && a.sh == b.sh;
+}
+
+// ------------------------------------------------------------- AssetStore --
+
+void expect_store_matches_scene(const AssetStore& store,
+                                const core::StreamingScene& scene) {
+  const voxel::VoxelGrid& g0 = scene.grid();
+  const voxel::VoxelGrid& g1 = store.grid();
+  ASSERT_EQ(g1.voxel_count(), g0.voxel_count());
+  ASSERT_EQ(g1.gaussian_count(), g0.gaussian_count());
+  EXPECT_EQ(g1.config().origin, g0.config().origin);
+  EXPECT_EQ(g1.config().dims, g0.config().dims);
+  EXPECT_EQ(g1.config().voxel_size, g0.config().voxel_size);
+
+  for (voxel::DenseVoxelId v = 0; v < g0.voxel_count(); ++v) {
+    // Spatial index round-trips exactly.
+    ASSERT_EQ(g1.raw_of_dense(v), g0.raw_of_dense(v));
+    const auto r0 = g0.gaussians_in(v);
+    const auto r1 = g1.gaussians_in(v);
+    ASSERT_EQ(r1.size(), r0.size());
+    for (std::size_t k = 0; k < r0.size(); ++k) EXPECT_EQ(r1[k], r0[k]);
+
+    // Decoded payloads reproduce the render model bit-for-bit.
+    const DecodedGroup group = store.read_group(v);
+    ASSERT_EQ(group.gaussians.size(), r0.size());
+    for (std::size_t k = 0; k < r0.size(); ++k) {
+      EXPECT_EQ(group.model_indices[k], r0[k]);
+      const gs::Gaussian& expect = scene.render_model().gaussians[r0[k]];
+      EXPECT_TRUE(gaussians_equal(group.gaussians[k], expect));
+      EXPECT_EQ(group.coarse_max_scale[k], scene.coarse_max_scale(r0[k]));
+    }
+  }
+}
+
+TEST(AssetStore, RawRoundTripIsBitExact) {
+  const auto scene = test_scene(7, 3000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_raw.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+
+  AssetStore store(file.path);
+  EXPECT_FALSE(store.vector_quantized());
+  EXPECT_EQ(store.payload_bytes_total(),
+            scene.grid().gaussian_count() * 236u);
+  expect_store_matches_scene(store, scene);
+
+  const auto scene_ooc = store.make_scene();
+  EXPECT_FALSE(scene_ooc.params_resident());
+  EXPECT_EQ(scene_ooc.config().group_size, scene.config().group_size);
+  EXPECT_EQ(scene_ooc.layout().total_bytes(), scene.layout().total_bytes());
+}
+
+TEST(AssetStore, VqRoundTripIsBitExact) {
+  const auto scene = test_scene(8, 2000, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_vq.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+
+  AssetStore store(file.path);
+  EXPECT_TRUE(store.vector_quantized());
+  EXPECT_EQ(store.payload_bytes_total(), scene.grid().gaussian_count() * 24u);
+  expect_store_matches_scene(store, scene);
+}
+
+TEST(AssetStore, RejectsGarbageAndTruncation) {
+  TempFile file("/tmp/sgs_test_bad.sgsc");
+  {
+    std::ofstream out(file.path, std::ios::binary);
+    out.write("not a store at all", 18);
+  }
+  EXPECT_THROW(AssetStore store(file.path), std::runtime_error);
+
+  const auto scene = test_scene(9, 500, /*vq=*/false);
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  std::ifstream in(file.path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  // Cut the file mid-payload: the metadata still parses, but the directory
+  // now references payloads beyond EOF — open fails fast instead of letting
+  // a later read_group decode garbage.
+  {
+    std::ofstream out(file.path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(AssetStore store(file.path), std::runtime_error);
+
+  // Cut inside the metadata: open fails while parsing the header.
+  {
+    std::ofstream out(file.path, std::ios::binary);
+    out.write(bytes.data(), 40);
+  }
+  EXPECT_THROW(AssetStore store(file.path), std::runtime_error);
+}
+
+TEST(AssetStore, WriteRequiresResidentParams) {
+  const auto scene = test_scene(10, 400, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_parts.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  // A scene assembled from store metadata has no parameters to serialize.
+  EXPECT_FALSE(AssetStore::write("/tmp/sgs_test_parts2.sgsc",
+                                 store.make_scene()));
+}
+
+// --------------------------------------------------------- ResidencyCache --
+
+// One Gaussian per voxel in a row of voxels: every group decodes to the
+// same resident size, so eviction arithmetic is exact.
+core::StreamingScene uniform_groups_scene(int n_groups) {
+  gs::GaussianModel m;
+  for (int i = 0; i < n_groups; ++i) {
+    gs::Gaussian g;
+    g.position = {static_cast<float>(i) + 0.5f, 0.5f, 0.5f};
+    m.gaussians.push_back(g);
+  }
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  return core::StreamingScene::prepare(m, cfg);
+}
+
+TEST(ResidencyCache, HitsMissesAndLruEviction) {
+  const auto scene = uniform_groups_scene(8);
+  TempFile file("/tmp/sgs_test_cache.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  ASSERT_EQ(store.group_count(), 8);
+
+  // Budget: exactly two decoded groups (all groups are the same size).
+  const std::uint64_t unit = store.read_group(0).resident_bytes();
+  ResidencyCacheConfig cfg;
+  cfg.budget_bytes = 2 * unit;
+  ResidencyCache cache(store, cfg);
+
+  auto touch = [&cache](voxel::DenseVoxelId v) {
+    cache.acquire(v);
+    cache.release(v);
+  };
+
+  touch(0);  // miss
+  touch(0);  // hit
+  touch(1);  // miss
+  touch(2);  // miss; evicts 0 (the least recently used)
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_LE(cache.resident_bytes(), cfg.budget_bytes);
+  EXPECT_FALSE(cache.resident(0));
+  EXPECT_TRUE(cache.resident(1));
+  EXPECT_TRUE(cache.resident(2));
+
+  // LRU order respects touches: re-warming 1 makes 2 the next victim.
+  touch(1);  // hit: still resident
+  touch(3);  // miss; evicts 2
+  EXPECT_TRUE(cache.resident(1));
+  EXPECT_FALSE(cache.resident(2));
+  EXPECT_TRUE(cache.resident(3));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().bytes_fetched, 4 * store.entry(0).bytes);
+}
+
+TEST(ResidencyCache, DeterministicUnderFixedRequestTrace) {
+  const auto scene = test_scene(12, 2500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_det.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  const int n = store.group_count();
+  ASSERT_GE(n, 3);
+
+  // A fixed pseudo-random request trace, replayed on two fresh caches with
+  // the same budget: every counter and the final resident set must agree.
+  std::vector<voxel::DenseVoxelId> trace;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 400; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    trace.push_back(static_cast<voxel::DenseVoxelId>((x >> 33) % n));
+  }
+
+  ResidencyCacheConfig cfg;
+  cfg.budget_bytes = store.payload_bytes_total() / 3;
+  auto run = [&](ResidencyCache& cache) {
+    for (const voxel::DenseVoxelId v : trace) {
+      cache.acquire(v);
+      cache.release(v);
+    }
+    return cache.stats();
+  };
+
+  ResidencyCache a(store, cfg), b(store, cfg);
+  const auto sa = run(a);
+  const auto sb = run(b);
+  EXPECT_EQ(sa.hits, sb.hits);
+  EXPECT_EQ(sa.misses, sb.misses);
+  EXPECT_EQ(sa.evictions, sb.evictions);
+  EXPECT_EQ(sa.bytes_fetched, sb.bytes_fetched);
+  EXPECT_EQ(sa.hits + sa.misses, trace.size());
+  EXPECT_GT(sa.evictions, 0u);
+  for (voxel::DenseVoxelId v = 0; v < n; ++v) {
+    EXPECT_EQ(a.resident(v), b.resident(v));
+  }
+}
+
+TEST(ResidencyCache, PlanPinsBlockEvictionUntilEndFrame) {
+  const auto scene = test_scene(13, 2000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_pin.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  ASSERT_GE(store.group_count(), 3);
+
+  ResidencyCacheConfig cfg;
+  cfg.budget_bytes = 1;  // nothing fits: everything unpinned is evicted
+  ResidencyCache cache(store, cfg);
+
+  const std::vector<voxel::DenseVoxelId> pinned = {0, 1};
+  cache.begin_frame(FrameIntent{}, pinned);
+  cache.acquire(0);
+  cache.release(0);
+  cache.acquire(1);
+  cache.release(1);
+  // Both released and far over budget, yet plan-pinned: still resident.
+  EXPECT_TRUE(cache.resident(0));
+  EXPECT_TRUE(cache.resident(1));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.end_frame();  // pins drop; the overshoot drains
+  EXPECT_FALSE(cache.resident(0));
+  EXPECT_FALSE(cache.resident(1));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(ResidencyCache, PrefetchCountsSeparatelyFromMisses) {
+  const auto scene = test_scene(14, 1500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_pf.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  ResidencyCache cache(store, {});
+
+  EXPECT_TRUE(cache.prefetch(0));
+  EXPECT_FALSE(cache.prefetch(0));  // already resident
+  cache.acquire(0);
+  cache.release(0);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.prefetches, 1u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.bytes_fetched, store.entry(0).bytes);
+}
+
+// -------------------------------------------------------- StreamingLoader --
+
+TEST(StreamingLoader, RanksVisibleGroupsNearToFarUnderCaps) {
+  const auto scene = test_scene(15, 3000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_rank.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  ResidencyCache cache(store, {});
+
+  PrefetchConfig pcfg;
+  pcfg.max_groups_per_frame = 8;
+  StreamingLoader loader(cache, pcfg);
+
+  const gs::Camera cam = test_camera();
+  FrameIntent intent;
+  intent.camera = &cam;
+  const auto batch = loader.rank_prefetch(intent);
+  ASSERT_FALSE(batch.empty());
+  EXPECT_LE(batch.size(), pcfg.max_groups_per_frame);
+
+  // Near-to-far ordering.
+  float prev = -1.0f;
+  for (const voxel::DenseVoxelId v : batch) {
+    const auto& e = store.entry(v);
+    const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
+    const float d = (center - cam.position()).norm();
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+
+  // Resident groups drop out of the ranking.
+  for (const voxel::DenseVoxelId v : batch) cache.prefetch(v);
+  const auto batch2 = loader.rank_prefetch(intent);
+  for (const voxel::DenseVoxelId v : batch2) {
+    EXPECT_FALSE(cache.resident(v));
+  }
+}
+
+TEST(StreamingLoader, AsyncBeginFrameWarmsTheCache) {
+  const auto scene = test_scene(16, 2000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_warm.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  ResidencyCache cache(store, {});
+  StreamingLoader loader(cache);
+
+  const gs::Camera cam = test_camera();
+  FrameIntent intent;
+  intent.camera = &cam;
+  loader.begin_frame(intent, {});
+  loader.wait_idle();
+  loader.end_frame();
+  const auto s = loader.stats();
+  EXPECT_GT(s.prefetches, 0u);
+  EXPECT_GT(s.bytes_fetched, 0u);
+  EXPECT_EQ(s.misses, 0u);
+}
+
+// -------------------------------------------------------------- async lane --
+
+TEST(AsyncLane, RunsTasksFifoAndWaitsIdle) {
+  std::vector<int> order;
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 16; ++i) {
+    async_submit([i, &order, &sum] {
+      order.push_back(i);  // single lane worker: no race on the vector
+      sum += i;
+    });
+  }
+  async_wait_idle();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(sum.load(), 120);
+}
+
+// ------------------------------------------------- golden: OOC == resident --
+
+std::vector<gs::Camera> orbit_trajectory(int frames, int size) {
+  std::vector<gs::Camera> cams;
+  for (int f = 0; f < frames; ++f) {
+    const float t =
+        0.6f * static_cast<float>(f) / static_cast<float>(frames);
+    const float a = 6.2831853f * t;
+    cams.push_back(gs::Camera::look_at(
+        {6.0f * std::sin(a), 1.0f, -6.0f * std::cos(a)}, {0, 0, 0}, {0, 1, 0},
+        0.9f, size, size));
+  }
+  return cams;
+}
+
+void golden_out_of_core(bool vq) {
+  const auto scene = test_scene(vq ? 18 : 17, 2500, vq);
+  TempFile file(vq ? "/tmp/sgs_test_golden_vq.sgsc"
+                   : "/tmp/sgs_test_golden_raw.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+
+  // Budget well below the scene so the walkthrough must evict and refetch.
+  ResidencyCacheConfig ccfg;
+  ccfg.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  ResidencyCache cache(store, ccfg);
+  PrefetchConfig pcfg;
+  pcfg.synchronous = true;  // deterministic stats for the assertions below
+  StreamingLoader loader(cache, pcfg);
+  const auto scene_ooc = store.make_scene();
+
+  const auto cameras = orbit_trajectory(vq ? 3 : 6, 128);
+  core::SequenceOptions seq;
+  const auto resident = core::render_sequence(scene, cameras, seq);
+  const auto ooc = core::render_sequence(scene_ooc, cameras, seq, &loader);
+
+  ASSERT_EQ(ooc.frames.size(), resident.frames.size());
+  core::StreamCacheStats total;
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    const auto& a = resident.frames[f];
+    const auto& b = ooc.frames[f];
+    // The acceptance bar: bit-identical image bytes...
+    EXPECT_EQ(a.image.pixels(), b.image.pixels()) << "frame " << f;
+    // ...and identical streaming stats (same voxels, same survivors).
+    EXPECT_EQ(a.stats.gaussians_streamed, b.stats.gaussians_streamed);
+    EXPECT_EQ(a.stats.coarse_pass, b.stats.coarse_pass);
+    EXPECT_EQ(a.stats.fine_pass, b.stats.fine_pass);
+    EXPECT_EQ(a.stats.blend_ops, b.stats.blend_ops);
+    EXPECT_EQ(a.stats.total_dram_bytes(), b.stats.total_dram_bytes());
+    // Resident frames report no cache activity; OOC frames do.
+    EXPECT_EQ(a.trace.cache.accesses(), 0u);
+    EXPECT_GT(b.trace.cache.accesses(), 0u);
+    total.accumulate(b.trace.cache);
+  }
+  // The walkthrough really was out of core: hits, misses, evictions, and
+  // fetch traffic all non-zero under the 35% budget.
+  EXPECT_GT(total.hit_rate(), 0.0);
+  EXPECT_GT(total.hits, 0u);
+  EXPECT_GT(total.misses + total.prefetches, 0u);
+  EXPECT_GT(total.evictions, 0u);
+  EXPECT_GT(total.bytes_fetched, 0u);
+}
+
+TEST(OutOfCoreGolden, RawWalkthroughBitIdenticalWithEvictions) {
+  golden_out_of_core(/*vq=*/false);
+}
+
+TEST(OutOfCoreGolden, VqWalkthroughBitIdenticalWithEvictions) {
+  golden_out_of_core(/*vq=*/true);
+}
+
+// Out-of-core through the bare cache (no loader): every first touch is a
+// demand miss, and the result is still bit-identical.
+TEST(OutOfCoreGolden, ModelFreeSceneWithoutSourceIsRejected) {
+  const auto scene = test_scene(20, 400, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_nosource.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  const auto scene_ooc = store.make_scene();
+  // Rendering store metadata without a cache-backed source must fail loudly
+  // (there are no resident parameters to read), on both entry points.
+  EXPECT_THROW(core::render_streaming(scene_ooc, test_camera()),
+               std::invalid_argument);
+  core::SequenceRenderer seq(scene_ooc, {});
+  EXPECT_THROW(seq.render(test_camera()), std::invalid_argument);
+}
+
+TEST(OutOfCoreGolden, BareCacheWithoutLoaderAlsoMatches) {
+  const auto scene = test_scene(19, 1500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_bare.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  ResidencyCache cache(store, {});
+  const auto scene_ooc = store.make_scene();
+
+  const gs::Camera cam = test_camera();
+  core::SequenceOptions seq;
+  core::SequenceRenderer res_renderer(scene, seq);
+  core::SequenceRenderer ooc_renderer(scene_ooc, seq, &cache);
+  const auto a = res_renderer.render(cam);
+  const auto b = ooc_renderer.render(cam);
+  EXPECT_EQ(a.image.pixels(), b.image.pixels());
+  EXPECT_GT(b.trace.cache.misses, 0u);
+  EXPECT_EQ(b.trace.cache.prefetches, 0u);
+}
+
+}  // namespace
+}  // namespace sgs::stream

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 
 #include "common/rng.hpp"
 #include "gs/sh.hpp"
@@ -287,6 +289,77 @@ TEST(QuantizedModel, RefinementDoesNotIncreaseDcError) {
   };
   // Quantization-aware refinement is a descent step on the same objective.
   EXPECT_LE(dc_err(3), dc_err(0) * 1.02);
+}
+
+// ------------------------------------------------------ binary round trips --
+
+TEST(Codebook, BinaryRoundTripIsBitExact) {
+  const auto data = clustered_data(2000, 4, 16, 9);
+  KMeansConfig kc;
+  kc.k = 16;
+  kc.seed = 5;
+  const TrainedCodebook tc = train_codebook(data, 4, kc);
+
+  std::stringstream buf;
+  ASSERT_TRUE(tc.codebook.save(buf));
+  const Codebook back = Codebook::load(buf);
+  ASSERT_EQ(back.dim(), tc.codebook.dim());
+  ASSERT_EQ(back.size(), tc.codebook.size());
+  for (std::uint32_t c = 0; c < back.size(); ++c) {
+    const auto a = tc.codebook.entry(c);
+    const auto b = back.entry(c);
+    for (std::size_t d = 0; d < back.dim(); ++d) EXPECT_EQ(a[d], b[d]);
+  }
+}
+
+TEST(Codebook, LoadRejectsTruncationAndGarbageDims) {
+  std::stringstream empty;
+  EXPECT_THROW(Codebook::load(empty), std::runtime_error);
+
+  std::stringstream bad;
+  const std::uint32_t dim = 0, count = 4;
+  bad.write(reinterpret_cast<const char*>(&dim), 4);
+  bad.write(reinterpret_cast<const char*>(&count), 4);
+  EXPECT_THROW(Codebook::load(bad), std::runtime_error);
+}
+
+TEST(QuantizedModel, BinaryRoundTripDecodesBitExact) {
+  const auto model = test_model(800);
+  const QuantizedModel qm = QuantizedModel::build(model, small_vq());
+
+  std::stringstream buf;
+  ASSERT_TRUE(qm.save(buf));
+  const QuantizedModel back = QuantizedModel::load(buf);
+  ASSERT_EQ(back.size(), qm.size());
+  EXPECT_EQ(back.codebook_bytes(), qm.codebook_bytes());
+  EXPECT_EQ(back.index_bits_per_gaussian(), qm.index_bits_per_gaussian());
+  for (std::uint32_t i = 0; i < qm.size(); ++i) {
+    const gs::Gaussian a = qm.decode(i);
+    const gs::Gaussian b = back.decode(i);
+    EXPECT_EQ(a.position, b.position);
+    EXPECT_EQ(a.scale, b.scale);
+    EXPECT_EQ(a.rotation, b.rotation);
+    EXPECT_EQ(a.opacity, b.opacity);
+    EXPECT_EQ(a.sh, b.sh);
+    // Derived coarse stream matches too (recomputed, not stored).
+    EXPECT_EQ(back.coarse_max_scale(i), qm.coarse_max_scale(i));
+  }
+}
+
+TEST(QuantizedModel, FileRoundTripAndBadInputs) {
+  const auto model = test_model(300);
+  const QuantizedModel qm = QuantizedModel::build(model, small_vq());
+  const std::string path = "/tmp/sgs_test_codec.sgvq";
+  ASSERT_TRUE(qm.save_file(path));
+  const QuantizedModel back = QuantizedModel::load_file(path);
+  EXPECT_EQ(back.size(), qm.size());
+  std::remove(path.c_str());
+
+  EXPECT_THROW(QuantizedModel::load_file("/nonexistent/codec.sgvq"),
+               std::runtime_error);
+  std::stringstream junk;
+  junk.write("JUNKJUNKJUNK", 12);
+  EXPECT_THROW(QuantizedModel::load(junk), std::runtime_error);
 }
 
 }  // namespace
