@@ -1,0 +1,192 @@
+// Multi-session serving benchmark (and CI smoke test).
+//
+// Renders N phase-shifted walkthrough sessions twice:
+//   isolated — each session alone with its own ResidencyCache and loader
+//              (the PR 2 single-viewer out-of-core path), every session
+//              paying its own fetches cold;
+//   shared   — all sessions concurrently on one serve::SceneServer: one
+//              cache with the same byte budget, refcounted plan pins, and
+//              one merged prefetch queue.
+// Every session's images must be bit-identical between the two runs — the
+// benchmark exits non-zero otherwise — and the shared run's global hit
+// rate must be at least the mean of the isolated per-session hit rates
+// (cross-session reuse is the whole point of sharing; a regression here
+// means the merge or the pinning broke).
+//
+// Emits BENCH_serve.json (flat key/value) for trend tracking.
+//
+//   ./bench_serve [--scene train] [--sessions 4] [--frames 6]
+//                 [--model_scale 0.02] [--res_scale 0.25] [--arc 0.03]
+//                 [--spread 0.005] [--budget_kb 0] [--out BENCH_serve.json]
+//
+// --budget_kb 0 picks ~50% of the decoded scene — small enough to evict,
+// large enough that the union of the sessions' working sets still shares.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/units.hpp"
+#include "core/render_sequence.hpp"
+#include "scene/presets.hpp"
+#include "serve/scene_server.hpp"
+#include "stream/asset_store.hpp"
+#include "stream/residency_cache.hpp"
+#include "stream/streaming_loader.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(bench_serve — shared-cache serving vs isolated per-session streaming
+
+  --scene <name>      scene preset (default train)
+  --sessions <n>      viewer sessions (default 4)
+  --frames <n>        frames per session (default 6)
+  --model_scale <f>   fraction of the preset model (default 0.02)
+  --res_scale <f>     fraction of the preset resolution (default 0.25)
+  --arc <f>           orbit fraction each session walks (default 0.03)
+  --spread <f>        orbit phase offset between sessions (default 0.005)
+  --budget_kb <n>     cache budget in KiB (0 = 50% of the decoded scene)
+  --out <path>        JSON output (default BENCH_serve.json)
+  --help              this text
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgs;
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const auto preset = scene::preset_from_name(args.get("scene", "train"));
+  const int sessions = args.get_int("sessions", 4);
+  const int frames = args.get_int("frames", 6);
+  const float model_scale = static_cast<float>(args.get_double("model_scale", 0.02));
+  const float res_scale = static_cast<float>(args.get_double("res_scale", 0.25));
+  const float arc = static_cast<float>(args.get_double("arc", 0.03));
+  const float spread = static_cast<float>(args.get_double("spread", 0.005));
+  const std::uint64_t budget_kb =
+      static_cast<std::uint64_t>(args.get_int("budget_kb", 0));
+  const std::string out_path = args.get("out", "BENCH_serve.json");
+  const std::string store_path = "/tmp/bench_serve.sgsc";
+
+  bench::print_header("multi-session serving: shared cache vs isolated",
+                      "bit-identical sessions, cross-session fetch reuse");
+
+  const auto model = scene::make_preset_scene(preset, model_scale);
+  int w = 0, h = 0;
+  scene::scaled_resolution(preset, res_scale, w, h);
+  core::StreamingConfig scfg;
+  scfg.voxel_size = scene::preset_info(preset).default_voxel_size;
+  const auto prepared = core::StreamingScene::prepare(model, scfg);
+  if (!stream::AssetStore::write(store_path, prepared)) {
+    std::fprintf(stderr, "FAILED to write %s\n", store_path.c_str());
+    return 1;
+  }
+  stream::AssetStore store(store_path);
+  const std::uint64_t budget = budget_kb > 0
+                                   ? budget_kb * 1024
+                                   : store.decoded_bytes_total() / 2;
+
+  std::vector<std::vector<gs::Camera>> paths(
+      static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    for (int f = 0; f < frames; ++f) {
+      const float t = spread * static_cast<float>(s) +
+                      arc * static_cast<float>(f) / static_cast<float>(frames);
+      paths[static_cast<std::size_t>(s)].push_back(
+          scene::make_preset_camera(preset, w, h, t));
+    }
+  }
+
+  core::SequenceOptions seq;
+  seq.reuse_max_translation = 0.25f * scfg.voxel_size;
+  seq.reuse_max_rotation_rad = 0.04f;
+  stream::PrefetchConfig pcfg;
+  pcfg.synchronous = true;  // reproducible hit/miss split in both runs
+
+  // --- isolated passes: each session cold, its own cache -------------------
+  const auto scene_ooc = store.make_scene();
+  std::vector<core::SequenceResult> isolated;
+  double iso_hit_sum = 0.0;
+  std::uint64_t iso_bytes = 0;
+  for (int s = 0; s < sessions; ++s) {
+    stream::ResidencyCacheConfig ccfg;
+    ccfg.budget_bytes = budget;
+    stream::ResidencyCache cache(store, ccfg);
+    stream::StreamingLoader loader(cache, pcfg);
+    isolated.push_back(core::render_sequence(
+        scene_ooc, paths[static_cast<std::size_t>(s)], seq, &loader));
+    const auto total = cache.stats();
+    iso_hit_sum += total.hit_rate();
+    iso_bytes += total.bytes_fetched;
+  }
+  const double iso_hit_mean = iso_hit_sum / sessions;
+
+  // --- shared pass: one SceneServer, same budget ---------------------------
+  serve::SceneServerConfig cfg;
+  cfg.cache.budget_bytes = budget;
+  cfg.prefetch = pcfg;
+  cfg.sequence = seq;
+  serve::SceneServer server(store, cfg);
+  const auto shared = server.run(paths);
+  const serve::ServerReport& rep = shared.report;
+
+  // --- compare + report ----------------------------------------------------
+  bool identical = true;
+  for (int s = 0; s < sessions && identical; ++s) {
+    const auto& alone = isolated[static_cast<std::size_t>(s)].frames;
+    const auto& served = shared.sessions[static_cast<std::size_t>(s)];
+    identical = alone.size() == served.size();
+    for (std::size_t f = 0; f < served.size() && identical; ++f) {
+      identical = alone[f].image.pixels() == served[f].image.pixels();
+    }
+  }
+  const bool reuse_won = rep.global_hit_rate >= iso_hit_mean;
+
+  bench::Table table({"mode", "hit rate", "fetched", "evictions", "stalls"});
+  char iso_rate[32];
+  std::snprintf(iso_rate, sizeof(iso_rate), "%.1f%% (mean)",
+                100.0 * iso_hit_mean);
+  table.row({"isolated x" + std::to_string(sessions), iso_rate,
+             format_bytes(static_cast<double>(iso_bytes)), "-", "-"});
+  table.row({"shared", bench::fmt(100.0 * rep.global_hit_rate, 1) + "%",
+             format_bytes(static_cast<double>(rep.shared_cache.bytes_fetched)),
+             std::to_string(rep.shared_cache.evictions),
+             std::to_string(rep.stall_frames)});
+  table.print();
+  std::printf("  budget %s for %d sessions; %llu prefetch requests merged\n",
+              format_bytes(static_cast<double>(budget)).c_str(), sessions,
+              static_cast<unsigned long long>(rep.merged_prefetch_requests));
+  std::printf("  sessions bit-identical to isolated runs: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("  shared hit rate >= isolated mean: %s\n",
+              reuse_won ? "yes" : "NO");
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"sessions\": " << sessions << ",\n"
+       << "  \"frames_per_session\": " << frames << ",\n"
+       << "  \"budget_bytes\": " << budget << ",\n"
+       << "  \"shared_hit_rate\": " << rep.global_hit_rate << ",\n"
+       << "  \"isolated_hit_rate_mean\": " << iso_hit_mean << ",\n"
+       << "  \"shared_bytes_fetched\": " << rep.shared_cache.bytes_fetched
+       << ",\n"
+       << "  \"isolated_bytes_fetched_total\": " << iso_bytes << ",\n"
+       << "  \"shared_evictions\": " << rep.shared_cache.evictions << ",\n"
+       << "  \"merged_prefetch_requests\": " << rep.merged_prefetch_requests
+       << ",\n"
+       << "  \"p50_ms\": " << rep.p50_ms << ",\n"
+       << "  \"p95_ms\": " << rep.p95_ms << ",\n"
+       << "  \"stall_frames\": " << rep.stall_frames << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"reuse_won\": " << (reuse_won ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  std::remove(store_path.c_str());
+  return identical && reuse_won ? 0 : 1;
+}

@@ -24,9 +24,30 @@
 #include "voxel/layout.hpp"
 #include "vq/quantized_model.hpp"
 
+namespace {
+
+// Keep in sync with every args.get* below (the --help contract).
+constexpr const char* kUsage =
+    R"(codec_tuner — VQ codebook design-space sweep + binary codec round-trip
+
+  --scene <name>       scene preset (default truck)
+  --model_scale <f>    fraction of the full preset model (default 0.03)
+  --res_scale <f>      fraction of the preset resolution (default 0.3)
+  --save_codec <path>  where the paper-config codec is saved and reloaded
+                       for the bit-exact round-trip (default
+                       /tmp/codec_tuner.sgvq)
+  --help               this text
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace sgs;
   CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
   const auto preset = scene::preset_from_name(args.get("scene", "truck"));
   const float model_scale = static_cast<float>(args.get_double("model_scale", 0.03));
   const float res_scale = static_cast<float>(args.get_double("res_scale", 0.3));

@@ -44,9 +44,37 @@
 #include "stream/residency_cache.hpp"
 #include "stream/streaming_loader.hpp"
 
+namespace {
+
+// Keep in sync with every args.get* below — the satellite check for this is
+// that `--help` names exactly the flags main() accepts.
+constexpr const char* kUsage =
+    R"(vr_walkthrough — frame-sequence rendering against the 90 FPS VR budget
+
+  --scene <name>        scene preset (default train)
+  --frames <n>          keyframes along the walkthrough (default 8)
+  --model_scale <f>     fraction of the full preset model (default 0.05)
+  --res_scale <f>       fraction of the preset resolution (default 0.4)
+  --arc <f>             fraction of the orbit covered; small values (0.02)
+                        keep consecutive frames inside the plan-reuse
+                        envelope (default 1.0)
+  --save_frames <dir>   write each frame as PPM into an existing directory
+  --out_of_core <bool>  serialize to a .sgsc store and render through the
+                        residency cache + prefetch loader (default false)
+  --cache_mb <n>        out-of-core cache budget in MiB; 0 = 35% of the
+                        decoded scene (default 0)
+  --help                this text
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace sgs;
   CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
   const auto preset = scene::preset_from_name(args.get("scene", "train"));
   const int frames = args.get_int("frames", 8);
   const float model_scale = static_cast<float>(args.get_double("model_scale", 0.05));

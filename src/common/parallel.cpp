@@ -38,10 +38,39 @@ struct PoolJobScope {
   }
 };
 
+// FIFO-fair mutex: waiters are granted the lock strictly in arrival order
+// (ticket lock on a condition variable). std::mutex makes no fairness
+// promise — under contention one thread can barge repeatedly, which for
+// the pool's submit lock would mean one viewer session rendering frame
+// after frame while the others starve. With tickets, N session threads
+// submitting render jobs are served round-robin in arrival order.
+class FairMutex {
+ public:
+  void lock() {
+    std::unique_lock<std::mutex> lk(m_);
+    const std::uint64_t ticket = next_++;
+    cv_.wait(lk, [this, ticket] { return ticket == serving_; });
+  }
+  void unlock() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++serving_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::uint64_t next_ = 0;
+  std::uint64_t serving_ = 0;
+};
+
 // Persistent worker pool. Helper threads are parked on a condition variable
 // between jobs; the submitting thread participates as worker 0, so a pool of
-// parallelism N spawns N-1 threads. One job runs at a time (submissions from
-// other user threads serialize behind submit_mutex_).
+// parallelism N spawns N-1 threads. One job runs at a time; submissions from
+// other user threads serialize behind submit_mutex_, which is FIFO-fair so
+// concurrent sessions share the pool round-robin instead of starving.
 class ThreadPool {
  public:
   static ThreadPool& instance() {
@@ -61,7 +90,7 @@ class ThreadPool {
   }
 
   void set_parallelism(int n) {
-    std::lock_guard<std::mutex> submit(submit_mutex_);  // no job in flight
+    std::lock_guard<FairMutex> submit(submit_mutex_);  // no job in flight
     stop_helpers();
     std::lock_guard<std::mutex> lk(config_mutex_);
     target_parallelism_ = std::max(1, n);
@@ -85,13 +114,13 @@ class ThreadPool {
       // from another thread is running as worker 0 right now, and this
       // call's fn(0, i) must not overlap it (the per-worker exclusivity
       // contract).
-      std::lock_guard<std::mutex> submit(submit_mutex_);
+      std::lock_guard<FairMutex> submit(submit_mutex_);
       PoolJobScope scope(0);
       for (std::size_t i = begin; i < end; ++i) fn(0, i);
       return;
     }
 
-    std::lock_guard<std::mutex> submit(submit_mutex_);
+    std::lock_guard<FairMutex> submit(submit_mutex_);
     // The helper count follows parallelism(), not this job's width: a small
     // job must not tear the pool down for the next big one. Surplus helpers
     // wake, find the counter exhausted, and go back to sleep.
@@ -197,7 +226,7 @@ class ThreadPool {
   std::mutex config_mutex_;
   int target_parallelism_ = 0;  // 0 = uninitialized, resolve lazily
 
-  std::mutex submit_mutex_;  // serializes whole jobs
+  FairMutex submit_mutex_;  // serializes whole jobs, FIFO across sessions
   std::vector<std::thread> helpers_;
 
   std::mutex job_mutex_;

@@ -11,6 +11,12 @@
 // atomic counter (dynamic scheduling), which load-balances the skewed
 // per-group costs typical of splatting while keeping the per-iteration
 // overhead to one amortized atomic fetch-add.
+//
+// One job runs at a time; concurrent submitters (e.g. the per-session
+// threads of a serve::SceneServer) are serialized FIFO-fairly — jobs are
+// granted the pool strictly in arrival order, so no session can starve the
+// others by resubmitting quickly. See also the async FIFO lane below,
+// which runs *beside* jobs rather than between them.
 #pragma once
 
 #include <cstddef>

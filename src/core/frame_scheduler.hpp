@@ -8,6 +8,17 @@
 // are merged in group-index order after the parallel section, which makes
 // every counter — including the unique-Gaussian sets — deterministic under
 // any dynamic schedule.
+//
+// Thread-safety: one FrameScheduler renders one frame at a time — its
+// per-worker arenas are reused across calls, so render_frame must not be
+// invoked concurrently on the same instance. Distinct instances (e.g. one
+// per viewer session in a serve::SceneServer) may render concurrently:
+// their pool jobs serialize FIFO-fairly on the shared worker pool, and a
+// cache-backed `source` must itself be thread-safe (ResidencyCache is).
+// Within a frame, the pipeline calls source->acquire()/release() from any
+// worker concurrently; every acquired view is released before the frame
+// returns, and plan-level pinning is the *caller's* job (the sequence
+// renderer brackets the frame with the source's begin_frame/end_frame).
 #pragma once
 
 #include <vector>

@@ -12,6 +12,7 @@ SequenceRenderer::SequenceRenderer(const StreamingScene& scene,
     : scene_(&scene), options_(std::move(options)), source_(source) {}
 
 StreamingRenderResult SequenceRenderer::render(const gs::Camera& camera) {
+  const std::uint64_t frame_t0 = stage_clock_ns();
   // Image-geometry changes invalidate the cached plan outright: a plan
   // binned for other dimensions or intrinsics must never be reused (the
   // scheduler would reject it), and it cannot become valid again later.
@@ -76,6 +77,7 @@ StreamingRenderResult SequenceRenderer::render(const gs::Camera& camera) {
     source_->end_frame();
     result.trace.cache = source_->stats().delta_since(before);
   }
+  result.frame_wall_ns = stage_clock_ns() - frame_t0;
   return result;
 }
 

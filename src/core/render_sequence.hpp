@@ -10,6 +10,19 @@
 // voxel_table_steps, which is exactly the reuse win frame-to-frame streaming
 // systems report. When the camera leaves the reuse envelope a fresh plan is
 // built and the cycle restarts.
+//
+// Thread-safety and the out-of-core bracket: a SequenceRenderer is a
+// single viewer — render() must be called sequentially on one instance
+// (its cached plan and scheduler arenas are not guarded). Distinct
+// instances render concurrently; that is how serve::SceneServer hosts N
+// sessions, each with its own SequenceRenderer over one shared,
+// thread-safe cache. When a `source` is supplied, every frame is
+// bracketed: begin_frame(intent, plan_voxels) before rendering — the
+// source pins the plan's candidate working set against eviction and may
+// prefetch ahead — and end_frame() after, which drops exactly those pins.
+// The source's counter deltas over that window land in the result's
+// trace.cache, and frame_wall_ns carries the frame's wall-clock latency
+// for server-side p50/p95 aggregation.
 #pragma once
 
 #include <cstdint>

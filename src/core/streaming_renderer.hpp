@@ -158,6 +158,12 @@ struct StreamingRenderResult {
   // Model indices of Gaussians that contributed out of depth order at least
   // once (only filled when collect_violators is set; feeds fine-tuning).
   std::vector<std::uint32_t> violators;
+  // Wall-clock time of the whole frame (plan + render + source brackets),
+  // filled by SequenceRenderer::render — the per-session latency sample a
+  // scene server aggregates into p50/p95. Zero for single-frame
+  // render_streaming calls. Diagnostic metadata: never deterministic, never
+  // part of image or stats comparisons.
+  std::uint64_t frame_wall_ns = 0;
 };
 
 struct StreamingRenderOptions {

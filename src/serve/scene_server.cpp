@@ -1,0 +1,144 @@
+#include "serve/scene_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace sgs::serve {
+
+namespace {
+
+// Nearest-rank percentile of an unsorted sample (copied, not mutated).
+double percentile_ms(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::min(samples.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- SessionSource --
+
+SessionSource::SessionSource(stream::ResidencyCache& cache,
+                             stream::SharedPrefetchQueue& queue)
+    : cache_(&cache), queue_(&queue) {}
+
+void SessionSource::begin_frame(
+    const stream::FrameIntent& intent,
+    std::span<const voxel::DenseVoxelId> plan_voxels) {
+  pinned_.assign(plan_voxels.begin(), plan_voxels.end());
+  cache_->pin_plan(pinned_);
+  queue_->enqueue(intent, &session_stats_);
+}
+
+void SessionSource::end_frame() {
+  cache_->unpin_plan(pinned_);
+  pinned_.clear();
+}
+
+stream::GroupView SessionSource::acquire(voxel::DenseVoxelId v) {
+  const stream::AcquireOutcome outcome = cache_->acquire_outcome(v);
+  session_stats_.record_acquire(outcome);
+  return outcome.view;
+}
+
+void SessionSource::release(voxel::DenseVoxelId v) { cache_->release(v); }
+
+core::StreamCacheStats SessionSource::stats() const {
+  return session_stats_.snapshot();
+}
+
+// ------------------------------------------------------------- SceneServer --
+
+struct SceneServer::Session {
+  Session(const core::StreamingScene& scene, const core::SequenceOptions& opt,
+          stream::ResidencyCache& cache, stream::SharedPrefetchQueue& queue)
+      : source(cache, queue), renderer(scene, opt, &source) {}
+
+  SessionSource source;
+  core::SequenceRenderer renderer;
+  std::vector<double> frame_ms;
+  std::size_t stall_frames = 0;
+};
+
+SceneServer::SceneServer(const stream::AssetStore& store,
+                         SceneServerConfig config)
+    : config_(std::move(config)),
+      scene_(store.make_scene()),
+      cache_(store, config_.cache),
+      queue_(cache_, config_.prefetch) {}
+
+SceneServer::~SceneServer() { wait_idle(); }
+
+int SceneServer::open_session() {
+  sessions_.push_back(std::make_unique<Session>(scene_, config_.sequence,
+                                                cache_, queue_));
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
+core::StreamingRenderResult SceneServer::render_frame(
+    int session, const gs::Camera& camera) {
+  Session& s = *sessions_.at(static_cast<std::size_t>(session));
+  core::StreamingRenderResult result = s.renderer.render(camera);
+  s.frame_ms.push_back(static_cast<double>(result.frame_wall_ns) * 1e-6);
+  if (result.trace.cache.misses > 0) ++s.stall_frames;
+  return result;
+}
+
+ServerRunResult SceneServer::run(
+    const std::vector<std::vector<gs::Camera>>& paths) {
+  while (sessions_.size() < paths.size()) open_session();
+
+  ServerRunResult out;
+  out.sessions.resize(paths.size());
+  // One thread per session: frames interleave on the pool (FIFO-fair
+  // submission), fetches interleave in the shared cache and queue.
+  std::vector<std::thread> viewers;
+  viewers.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    viewers.emplace_back([this, &paths, &out, i] {
+      std::vector<core::StreamingRenderResult>& frames = out.sessions[i];
+      frames.reserve(paths[i].size());
+      for (const gs::Camera& cam : paths[i]) {
+        frames.push_back(render_frame(static_cast<int>(i), cam));
+      }
+    });
+  }
+  for (std::thread& t : viewers) t.join();
+  wait_idle();
+  out.report = report();
+  return out;
+}
+
+ServerReport SceneServer::report() const {
+  ServerReport rep;
+  std::vector<double> all_ms;
+  for (const auto& sp : sessions_) {
+    const Session& s = *sp;
+    SessionReport sr;
+    sr.frames = s.frame_ms.size();
+    sr.p50_ms = percentile_ms(s.frame_ms, 0.50);
+    sr.p95_ms = percentile_ms(s.frame_ms, 0.95);
+    sr.cache = s.source.stats();
+    sr.stall_frames = s.stall_frames;
+    sr.plans_built = s.renderer.stats().plans_built;
+    sr.plans_reused = s.renderer.stats().plans_reused;
+    rep.stall_frames += sr.stall_frames;
+    all_ms.insert(all_ms.end(), s.frame_ms.begin(), s.frame_ms.end());
+    rep.sessions.push_back(std::move(sr));
+  }
+  rep.shared_cache = cache_.stats();
+  rep.global_hit_rate = rep.shared_cache.hit_rate();
+  rep.merged_prefetch_requests = queue_.merged_requests();
+  rep.p50_ms = percentile_ms(all_ms, 0.50);
+  rep.p95_ms = percentile_ms(std::move(all_ms), 0.95);
+  return rep;
+}
+
+void SceneServer::wait_idle() const { queue_.wait_idle(); }
+
+}  // namespace sgs::serve

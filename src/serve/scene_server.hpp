@@ -1,0 +1,164 @@
+// SceneServer: one scene, one shared residency cache, N concurrent viewer
+// sessions.
+//
+// The paper's streaming design assumes a single viewer; a server room does
+// not. A SceneServer owns one AssetStore-backed scene and one shared,
+// thread-safe ResidencyCache, and hosts any number of sessions — each a
+// SequenceRenderer driving its own camera path through its own
+// SessionSource front-end. Sessions share the decoded voxel groups: a
+// group fetched for one viewer serves every viewer, eviction respects the
+// union of all in-flight working sets (refcounted plan pins), and all
+// sessions' prefetch rankings merge into one deduplicated fetch queue.
+//
+// The load-bearing invariant: a session's rendered frames are bit-identical
+// to rendering the same camera path alone. Sharing the cache changes who
+// pays which fetch and when — never a pixel (tests/test_serve.cpp pins
+// this down for raw and VQ stores).
+//
+// Threading model:
+//   - run() drives one std::thread per session; frames from different
+//     sessions interleave on the persistent pool, which serves render jobs
+//     FIFO-fairly across sessions (common/parallel.hpp).
+//   - render_frame() is safe to call concurrently for *distinct* sessions.
+//     One session is sequential: its frames form one camera path.
+//   - open_session() must not race render_frame()/run() (add sessions
+//     between runs, not during).
+//   - Per-session cache counters (SessionReport::cache) attribute every
+//     hit, demand miss, and prefetched byte to the session that caused it;
+//     the shared cache's global counters (ServerReport::shared_cache) are
+//     their sum plus evictions, which are a property of the shared budget.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/render_sequence.hpp"
+#include "core/streaming_renderer.hpp"
+#include "stream/asset_store.hpp"
+#include "stream/residency_cache.hpp"
+#include "stream/streaming_loader.hpp"
+
+namespace sgs::serve {
+
+// Per-session front-end over the server's shared cache and fetch queue:
+// the GroupSource a session's SequenceRenderer renders through.
+//
+// Frame bracket contract: begin_frame() pins the session's plan working
+// set (refcounted in the shared cache — other sessions' pins on the same
+// groups are independent) and enqueues the session's prefetch ranking into
+// the shared queue; end_frame() drops exactly the pins this session took.
+// acquire()/release() pass through to the shared cache with per-session
+// attribution. acquire() may be called concurrently from any pool worker;
+// stats() returns this session's counters only (thread-safe).
+class SessionSource final : public stream::GroupSource {
+ public:
+  SessionSource(stream::ResidencyCache& cache,
+                stream::SharedPrefetchQueue& queue);
+
+  void begin_frame(const stream::FrameIntent& intent,
+                   std::span<const voxel::DenseVoxelId> plan_voxels) override;
+  void end_frame() override;
+  stream::GroupView acquire(voxel::DenseVoxelId v) override;
+  void release(voxel::DenseVoxelId v) override;
+  core::StreamCacheStats stats() const override;
+
+ private:
+  stream::ResidencyCache* cache_;
+  stream::SharedPrefetchQueue* queue_;
+  stream::SessionCacheStats session_stats_;
+  std::vector<voxel::DenseVoxelId> pinned_;  // this session's frame pins
+};
+
+struct SceneServerConfig {
+  // Shared cache budget — one budget for the union of all sessions'
+  // working sets, the whole point of sharing.
+  stream::ResidencyCacheConfig cache;
+  // Per-frame prefetch caps applied to each session's enqueue.
+  stream::PrefetchConfig prefetch;
+  // Sequence options every session renders with (plan reuse envelope,
+  // binning margin, render options).
+  core::SequenceOptions sequence;
+};
+
+// Aggregated per-session outcome (latency in wall-clock milliseconds).
+struct SessionReport {
+  std::size_t frames = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  core::StreamCacheStats cache;  // session-attributed; evictions always 0
+  std::size_t stall_frames = 0;  // frames with >= 1 demand miss
+  std::size_t plans_built = 0;
+  std::size_t plans_reused = 0;
+};
+
+struct ServerReport {
+  std::vector<SessionReport> sessions;
+  // The shared cache's global counters (includes evictions and every
+  // session's traffic).
+  core::StreamCacheStats shared_cache;
+  double global_hit_rate = 0.0;
+  // Prefetch requests served by another session's in-flight fetch — the
+  // cross-session merge win of the shared queue.
+  std::uint64_t merged_prefetch_requests = 0;
+  // Latency across all sessions' frames.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  std::size_t stall_frames = 0;
+};
+
+struct ServerRunResult {
+  // result.sessions[s][f] is session s's frame f — bit-identical to the
+  // same path rendered alone.
+  std::vector<std::vector<core::StreamingRenderResult>> sessions;
+  ServerReport report;
+};
+
+class SceneServer {
+ public:
+  // The store must outlive the server. The server's scene is the store's
+  // model-free metadata scene; all parameters stream through the shared
+  // cache under config.cache.budget_bytes.
+  explicit SceneServer(const stream::AssetStore& store,
+                       SceneServerConfig config = {});
+  ~SceneServer();
+
+  // Opens a new viewer session and returns its id (dense, starting at 0).
+  // Not thread-safe against concurrent render_frame()/run().
+  int open_session();
+  std::size_t session_count() const { return sessions_.size(); }
+
+  // Renders the next frame of `session`'s camera path. Thread-safe across
+  // distinct sessions; calls for one session must be sequential.
+  core::StreamingRenderResult render_frame(int session,
+                                           const gs::Camera& camera);
+
+  // Drives one thread per camera path (opening sessions as needed so that
+  // path i maps to session i) until every path is rendered, then drains
+  // the fetch queue and returns all frames plus the report.
+  ServerRunResult run(const std::vector<std::vector<gs::Camera>>& paths);
+
+  // Snapshot of per-session and global counters so far. Call only while no
+  // frame is in flight (between frames or after run()).
+  ServerReport report() const;
+
+  // Blocks until all queued prefetch batches have landed.
+  void wait_idle() const;
+
+  stream::ResidencyCache& cache() { return cache_; }
+  const core::StreamingScene& scene() const { return scene_; }
+  const SceneServerConfig& config() const { return config_; }
+
+ private:
+  struct Session;
+
+  SceneServerConfig config_;
+  core::StreamingScene scene_;
+  stream::ResidencyCache cache_;
+  // Declared before queue_ so the queue (whose async batches credit
+  // session sinks) drains before any session is destroyed.
+  std::vector<std::unique_ptr<Session>> sessions_;
+  stream::SharedPrefetchQueue queue_;
+};
+
+}  // namespace sgs::serve

@@ -13,33 +13,48 @@ ResidencyCache::ResidencyCache(const AssetStore& store,
 
 void ResidencyCache::begin_frame(
     const FrameIntent&, std::span<const voxel::DenseVoxelId> plan_voxels) {
-  std::lock_guard<std::mutex> lk(mutex_);
   // Pin the plan's working set: whether or not a candidate is resident yet,
   // it must not be evicted while the frame is in flight (views into it may
   // outlive their release()).
   frame_pins_.assign(plan_voxels.begin(), plan_voxels.end());
-  for (const voxel::DenseVoxelId v : frame_pins_) {
-    entries_[static_cast<std::size_t>(v)].plan_pinned = true;
-  }
+  pin_plan(frame_pins_);
 }
 
 void ResidencyCache::end_frame() {
-  std::lock_guard<std::mutex> lk(mutex_);
-  for (const voxel::DenseVoxelId v : frame_pins_) {
-    entries_[static_cast<std::size_t>(v)].plan_pinned = false;
-  }
+  unpin_plan(frame_pins_);
   frame_pins_.clear();
+}
+
+void ResidencyCache::pin_plan(std::span<const voxel::DenseVoxelId> voxels) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const voxel::DenseVoxelId v : voxels) {
+    ++entries_[static_cast<std::size_t>(v)].plan_pins;
+  }
+}
+
+void ResidencyCache::unpin_plan(std::span<const voxel::DenseVoxelId> voxels) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const voxel::DenseVoxelId v : voxels) {
+    Entry& e = entries_[static_cast<std::size_t>(v)];
+    assert(e.plan_pins > 0);
+    --e.plan_pins;
+  }
   // Pins may have carried residency above budget; drain the overshoot now.
+  // (Unconditional: a session that pinned nothing still gets the drain.)
   evict_over_budget_locked();
 }
 
 GroupView ResidencyCache::acquire(voxel::DenseVoxelId v) {
+  return acquire_outcome(v).view;
+}
+
+AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v) {
   std::unique_lock<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
-  bool fetched = false;
+  AcquireOutcome out;
   for (;;) {
     if (e.resident) {
-      if (!fetched) ++stats_.hits;
+      if (!out.missed) ++stats_.hits;
       break;
     }
     if (e.loading) {
@@ -51,20 +66,20 @@ GroupView ResidencyCache::acquire(voxel::DenseVoxelId v) {
     // Demand miss: this render worker stalls on the fetch.
     ++stats_.misses;
     fetch_locked(lk, v, /*is_prefetch=*/false);
-    fetched = true;
+    out.missed = true;
+    out.bytes_fetched = e.group.payload_bytes;
   }
   ++e.pins;
   touch_locked(e, v);
   // Eviction runs only now, with the new entry pinned: with every other
   // group pinned the pass could otherwise evict the group this very call
   // just fetched (fetch_locked defers eviction for exactly that reason).
-  if (fetched) evict_over_budget_locked();
-  GroupView view;
-  view.model_indices = e.group.model_indices;
-  view.gaussians = e.group.gaussians.data();
-  view.coarse_max_scale = e.group.coarse_max_scale.data();
-  view.by_model_index = false;
-  return view;
+  if (out.missed) evict_over_budget_locked();
+  out.view.model_indices = e.group.model_indices;
+  out.view.gaussians = e.group.gaussians.data();
+  out.view.coarse_max_scale = e.group.coarse_max_scale.data();
+  out.view.by_model_index = false;
+  return out;
 }
 
 void ResidencyCache::release(voxel::DenseVoxelId v) {
@@ -74,11 +89,13 @@ void ResidencyCache::release(voxel::DenseVoxelId v) {
   --e.pins;
 }
 
-bool ResidencyCache::prefetch(voxel::DenseVoxelId v) {
+bool ResidencyCache::prefetch(voxel::DenseVoxelId v,
+                              std::uint64_t* fetched_bytes) {
   std::unique_lock<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
   if (e.resident || e.loading) return false;
   fetch_locked(lk, v, /*is_prefetch=*/true);
+  if (fetched_bytes != nullptr) *fetched_bytes = e.group.payload_bytes;
   evict_over_budget_locked();
   return true;
 }
@@ -86,6 +103,15 @@ bool ResidencyCache::prefetch(voxel::DenseVoxelId v) {
 bool ResidencyCache::resident(voxel::DenseVoxelId v) const {
   std::lock_guard<std::mutex> lk(mutex_);
   return entries_[static_cast<std::size_t>(v)].resident;
+}
+
+std::vector<std::uint8_t> ResidencyCache::resident_snapshot() const {
+  std::vector<std::uint8_t> flags(entries_.size(), 0);
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    flags[i] = entries_[i].resident ? 1 : 0;
+  }
+  return flags;
 }
 
 std::uint64_t ResidencyCache::resident_bytes() const {
@@ -135,7 +161,7 @@ void ResidencyCache::evict_over_budget_locked() {
   while (resident_bytes_ > config_.budget_bytes && it != lru_.begin()) {
     --it;
     Entry& e = entries_[static_cast<std::size_t>(*it)];
-    if (e.pins > 0 || e.plan_pinned) continue;  // protected; try the next-older
+    if (e.pins > 0 || e.plan_pins > 0) continue;  // protected; try next-older
     resident_bytes_ -= e.group.resident_bytes();
     e.group = DecodedGroup{};  // frees the decoded buffers
     e.resident = false;

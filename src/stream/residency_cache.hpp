@@ -1,20 +1,40 @@
-// ResidencyCache: decoded voxel groups held under a byte budget.
+// ResidencyCache: decoded voxel groups held under a byte budget, shareable
+// by any number of concurrent viewer sessions.
 //
 // The cache is the GroupSource an out-of-core render uses: acquire() pins a
 // group and returns its decoded view, fetching from the AssetStore on a
 // miss (a demand stall — the render worker blocks on the disk read). A
 // loader thread can warm the cache ahead of demand through prefetch().
 //
-// Eviction is strict LRU over unpinned groups: a group is protected while
-// (a) any acquire is outstanding on it, or (b) it belongs to the in-flight
-// FramePlan (begin_frame pins the plan's candidate set, end_frame releases
-// it) — so views handed to render workers stay valid for the whole frame
-// even past their release(). Pinned groups may push residency above the
-// budget; the overshoot drains at end_frame.
+// Eviction is strict LRU over unprotected groups: a group is protected
+// while (a) any acquire is outstanding on it (`pins`), or (b) at least one
+// in-flight FramePlan claims it (`plan_pins`, a refcount — several sessions
+// may pin the same group, and eviction respects the *union* of their
+// working sets). Plan pins are taken with pin_plan() and dropped with
+// unpin_plan(); the single-session GroupSource bracket (begin_frame /
+// end_frame) is implemented on top of that pair. Pinned groups may push
+// residency above the budget; the overshoot drains at the next unpin.
 //
 // The budget counts decoded in-memory bytes (DecodedGroup::resident_bytes),
 // while bytes_fetched counts on-disk payload bytes — the two sides of the
 // memory/traffic trade the simulator prices.
+//
+// Thread-safety: one mutex guards all cache state; every public method is
+// safe to call concurrently from any thread EXCEPT the GroupSource bracket
+// begin_frame/end_frame, which keeps its working set in one member slot
+// and therefore admits exactly one driving session (the PR 2 single-viewer
+// path). Multi-session callers must take their pins through pin_plan /
+// unpin_plan with per-session working sets (serve::SessionSource does).
+// Fetches (disk read + decode) run *outside* the lock with the entry
+// marked `loading`, so concurrent acquires of other groups proceed, and
+// concurrent acquires of the *same* group sleep on a condition variable
+// instead of fetching twice (no double-decode, ever). pin/unpin/acquire/
+// release never block on disk unless they themselves miss.
+//
+// Attribution: the cumulative counters in stats() are global across all
+// callers. Multi-session front-ends (serve::SessionSource) use
+// acquire_outcome() / the prefetch byte out-param to additionally attribute
+// each hit, miss, and fetched byte to the session that caused it.
 //
 // Determinism: for a fixed request trace from one thread, hits, misses,
 // evictions, and the resident set are fully reproducible (pure LRU, no
@@ -40,11 +60,28 @@ struct ResidencyCacheConfig {
   std::uint64_t budget_bytes = 64ull << 20;
 };
 
+// What one acquire actually did — the per-session attribution record.
+struct AcquireOutcome {
+  GroupView view;
+  // True when this call paid the demand fetch itself (a stall for the
+  // calling worker). An acquire that waited on someone else's in-flight
+  // fetch counts as a hit: the group arrived without this caller paying.
+  bool missed = false;
+  // On-disk payload bytes this call fetched (non-zero only when `missed`).
+  std::uint64_t bytes_fetched = 0;
+};
+
 class ResidencyCache final : public GroupSource {
  public:
   ResidencyCache(const AssetStore& store, ResidencyCacheConfig config = {});
 
-  // GroupSource --------------------------------------------------------------
+  // GroupSource (single-session bracket) ---------------------------------
+  // begin_frame/end_frame keep the one-viewer usage of PR 2 working: they
+  // pin_plan/unpin_plan the plan's candidate set for *this* source. The
+  // bracket stores that set in one member, so only ONE session may drive
+  // it (frames may not overlap or interleave); a shared cache hosting
+  // several sessions is driven through pin_plan / unpin_plan directly with
+  // per-session working sets (one call pair per session, see serve/).
   void begin_frame(const FrameIntent& intent,
                    std::span<const voxel::DenseVoxelId> plan_voxels) override;
   void end_frame() override;
@@ -52,12 +89,34 @@ class ResidencyCache final : public GroupSource {
   void release(voxel::DenseVoxelId v) override;
   core::StreamCacheStats stats() const override;
 
-  // Loader-facing ------------------------------------------------------------
+  // Shared-session API ---------------------------------------------------
+  // Adds one plan pin to every group in `voxels` (refcounted: k sessions
+  // pinning a group protect it until all k unpin). Pinning does not fetch.
+  void pin_plan(std::span<const voxel::DenseVoxelId> voxels);
+  // Drops one plan pin from every group in `voxels` and drains any budget
+  // overshoot that the pins were holding back. Every pin_plan must be
+  // matched by exactly one unpin_plan with the same voxel set.
+  void unpin_plan(std::span<const voxel::DenseVoxelId> voxels);
+
+  // acquire() with attribution: same pinning and blocking behavior, but the
+  // caller learns whether *it* paid a demand fetch and how many payload
+  // bytes that fetch read. The matching release(v) is unchanged.
+  AcquireOutcome acquire_outcome(voxel::DenseVoxelId v);
+
+  // Loader-facing --------------------------------------------------------
   // Fetches `v` if absent (counted as a prefetch, not a miss). Returns true
   // when this call brought the group in, false when it was already resident
-  // or in flight.
-  bool prefetch(voxel::DenseVoxelId v);
+  // or in flight. When it fetched and `fetched_bytes` is non-null, the
+  // payload bytes read are stored there (per-session attribution).
+  bool prefetch(voxel::DenseVoxelId v, std::uint64_t* fetched_bytes = nullptr);
   bool resident(voxel::DenseVoxelId v) const;
+  // Residency of every group under ONE lock acquisition (indexed by dense
+  // voxel id, 1 = resident). Prefetch ranking scans the whole directory
+  // per session per frame; probing resident() per group would hammer the
+  // mutex all render workers contend on. The snapshot is advisory — a
+  // group may be fetched or evicted the instant the lock drops — which is
+  // all ranking needs (prefetch of a now-resident group is a cheap no-op).
+  std::vector<std::uint8_t> resident_snapshot() const;
 
   std::uint64_t resident_bytes() const;
   const ResidencyCacheConfig& config() const { return config_; }
@@ -66,9 +125,10 @@ class ResidencyCache final : public GroupSource {
  private:
   struct Entry {
     DecodedGroup group;
-    int pins = 0;              // outstanding acquires
-    bool plan_pinned = false;  // member of the in-flight plan's working set
-    bool loading = false;      // fetch in flight; waiters sleep on cv_
+    int pins = 0;       // outstanding acquires
+    int plan_pins = 0;  // in-flight FramePlans claiming this group (union
+                        // of all sessions' working sets)
+    bool loading = false;  // fetch in flight; waiters sleep on cv_
     std::list<voxel::DenseVoxelId>::iterator lru_it;  // valid when resident
     bool resident = false;
   };
@@ -88,6 +148,7 @@ class ResidencyCache final : public GroupSource {
   std::vector<Entry> entries_;  // indexed by dense voxel id
   std::list<voxel::DenseVoxelId> lru_;  // front = most recent
   std::uint64_t resident_bytes_ = 0;
+  // Working set of the legacy single-session bracket (begin/end_frame).
   std::vector<voxel::DenseVoxelId> frame_pins_;
   core::StreamCacheStats stats_;
 };

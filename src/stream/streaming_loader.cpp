@@ -8,6 +8,70 @@
 
 namespace sgs::stream {
 
+std::vector<voxel::DenseVoxelId> rank_prefetch_groups(
+    const ResidencyCache& cache, const FrameIntent& intent,
+    const PrefetchConfig& config) {
+  if (intent.camera == nullptr) return {};
+  const AssetStore& store = cache.store();
+  const gs::Camera& cam = *intent.camera;
+  const float lookahead = std::max(1.0f, config.lookahead_frames);
+  const float rot_env = intent.motion_rotation_rad * lookahead;
+  const float trans_env = intent.motion_translation * lookahead;
+
+  struct Ranked {
+    float depth;
+    voxel::DenseVoxelId id;
+  };
+  std::vector<Ranked> ranked;
+  const auto dir = store.directory();
+  // One lock for the whole directory scan, not one per group: with many
+  // sessions ranking every frame, per-group resident() probes would
+  // multiply lock traffic on the mutex the render workers contend on.
+  const std::vector<std::uint8_t> resident = cache.resident_snapshot();
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    const auto v = static_cast<voxel::DenseVoxelId>(i);
+    if (dir[i].count == 0 || resident[i] != 0) continue;
+    const AssetDirEntry& e = dir[i];
+    const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
+    const float radius = (e.aabb_max - e.aabb_min).norm() * 0.5f;
+    const Vec3f c_cam = cam.world_to_camera(center);
+    // Behind the camera even after the envelope's worst-case approach.
+    if (c_cam.z + radius + trans_env <= gs::kNearClip) continue;
+    const float near_z = std::max(c_cam.z - radius - trans_env, gs::kNearClip);
+    // Conservative screen bound: projected AABB radius plus the envelope's
+    // depth-independent rotation drift and depth-scaled translation drift
+    // (the same decomposition FramePlan::reusable_for uses).
+    const float pad_px = cam.focal_max() * (radius + trans_env) / near_z +
+                         cam.focal_max() * rot_env;
+    if (c_cam.z > gs::kNearClip) {
+      const Vec2f uv = cam.project_cam(c_cam);
+      if (uv.x < -pad_px || uv.y < -pad_px ||
+          uv.x > static_cast<float>(cam.width()) + pad_px ||
+          uv.y > static_cast<float>(cam.height()) + pad_px) {
+        continue;
+      }
+    }
+    // else: straddles the camera plane — unbounded projection, always rank.
+    ranked.push_back({(center - cam.position()).norm(), v});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    return a.depth != b.depth ? a.depth < b.depth : a.id < b.id;
+  });
+
+  std::vector<voxel::DenseVoxelId> batch;
+  std::uint64_t bytes = 0;
+  for (const Ranked& r : ranked) {
+    if (batch.size() >= config.max_groups_per_frame) break;
+    const std::uint64_t b = store.entry(r.id).bytes;
+    if (bytes + b > config.max_bytes_per_frame && !batch.empty()) break;
+    batch.push_back(r.id);
+    bytes += b;
+  }
+  return batch;
+}
+
+// ------------------------------------------------------- StreamingLoader --
+
 StreamingLoader::StreamingLoader(ResidencyCache& cache, PrefetchConfig config)
     : cache_(&cache), config_(config) {}
 
@@ -48,58 +112,67 @@ void StreamingLoader::wait_idle() const { async_wait_idle(); }
 
 std::vector<voxel::DenseVoxelId> StreamingLoader::rank_prefetch(
     const FrameIntent& intent) const {
-  const AssetStore& store = cache_->store();
-  const gs::Camera& cam = *intent.camera;
-  const float lookahead = std::max(1.0f, config_.lookahead_frames);
-  const float rot_env = intent.motion_rotation_rad * lookahead;
-  const float trans_env = intent.motion_translation * lookahead;
+  return rank_prefetch_groups(*cache_, intent, config_);
+}
 
-  struct Ranked {
-    float depth;
-    voxel::DenseVoxelId id;
-  };
-  std::vector<Ranked> ranked;
-  const auto dir = store.directory();
-  for (std::size_t i = 0; i < dir.size(); ++i) {
-    const auto v = static_cast<voxel::DenseVoxelId>(i);
-    if (dir[i].count == 0 || cache_->resident(v)) continue;
-    const AssetDirEntry& e = dir[i];
-    const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
-    const float radius = (e.aabb_max - e.aabb_min).norm() * 0.5f;
-    const Vec3f c_cam = cam.world_to_camera(center);
-    // Behind the camera even after the envelope's worst-case approach.
-    if (c_cam.z + radius + trans_env <= gs::kNearClip) continue;
-    const float near_z = std::max(c_cam.z - radius - trans_env, gs::kNearClip);
-    // Conservative screen bound: projected AABB radius plus the envelope's
-    // depth-independent rotation drift and depth-scaled translation drift
-    // (the same decomposition FramePlan::reusable_for uses).
-    const float pad_px = cam.focal_max() * (radius + trans_env) / near_z +
-                         cam.focal_max() * rot_env;
-    if (c_cam.z > gs::kNearClip) {
-      const Vec2f uv = cam.project_cam(c_cam);
-      if (uv.x < -pad_px || uv.y < -pad_px ||
-          uv.x > static_cast<float>(cam.width()) + pad_px ||
-          uv.y > static_cast<float>(cam.height()) + pad_px) {
-        continue;
+// --------------------------------------------------- SharedPrefetchQueue --
+
+SharedPrefetchQueue::SharedPrefetchQueue(ResidencyCache& cache,
+                                         PrefetchConfig config)
+    : cache_(&cache), config_(config) {}
+
+SharedPrefetchQueue::~SharedPrefetchQueue() { wait_idle(); }
+
+std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
+                                         SessionCacheStats* sink) {
+  const std::vector<voxel::DenseVoxelId> ranked =
+      rank_prefetch_groups(*cache_, intent, config_);
+  if (ranked.empty()) return 0;
+
+  // Merge against every session's pending requests: a group already queued
+  // is on its way — fetching it again would only duplicate the read.
+  std::vector<voxel::DenseVoxelId> fresh;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    fresh.reserve(ranked.size());
+    for (const voxel::DenseVoxelId v : ranked) {
+      if (queued_.insert(v).second) {
+        fresh.push_back(v);
+      } else {
+        ++merged_;
       }
     }
-    // else: straddles the camera plane — unbounded projection, always rank.
-    ranked.push_back({(center - cam.position()).norm(), v});
   }
-  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
-    return a.depth != b.depth ? a.depth < b.depth : a.id < b.id;
-  });
+  if (fresh.empty()) return 0;
 
-  std::vector<voxel::DenseVoxelId> batch;
-  std::uint64_t bytes = 0;
-  for (const Ranked& r : ranked) {
-    if (batch.size() >= config_.max_groups_per_frame) break;
-    const std::uint64_t b = store.entry(r.id).bytes;
-    if (bytes + b > config_.max_bytes_per_frame && !batch.empty()) break;
-    batch.push_back(r.id);
-    bytes += b;
+  auto drain = [this, sink](const std::vector<voxel::DenseVoxelId>& batch) {
+    for (const voxel::DenseVoxelId v : batch) {
+      std::uint64_t bytes = 0;
+      const bool fetched = cache_->prefetch(v, &bytes);
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        queued_.erase(v);
+      }
+      if (fetched && sink != nullptr) sink->record_prefetch(bytes);
+    }
+  };
+  if (config_.synchronous) {
+    drain(fresh);
+  } else {
+    const std::size_t n = fresh.size();
+    async_submit([drain = std::move(drain), batch = std::move(fresh)] {
+      drain(batch);
+    });
+    return n;
   }
-  return batch;
+  return fresh.size();
+}
+
+void SharedPrefetchQueue::wait_idle() const { async_wait_idle(); }
+
+std::uint64_t SharedPrefetchQueue::merged_requests() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return merged_;
 }
 
 }  // namespace sgs::stream

@@ -1,22 +1,36 @@
-// StreamingLoader: prefetch-driven GroupSource for out-of-core rendering.
+// StreamingLoader: prefetch-driven GroupSource for out-of-core rendering —
+// plus the shared, session-aware fetch queue a multi-viewer server uses.
 //
-// Decorates a ResidencyCache: acquire/release/pinning pass straight
-// through, and begin_frame() additionally ranks the store's non-resident
-// voxel groups by predicted visibility for the frame's camera — inflated by
-// the caller's motion envelope, so groups about to enter the frustum are
-// fetched *before* the frame that needs them — and fetches the best-ranked
-// ones on the pool's async lane while the frame renders on the main
-// workers. A demand miss still stalls the render worker that hits it; the
-// loader's job is making those stalls rare.
+// StreamingLoader decorates a ResidencyCache: acquire/release/pinning pass
+// straight through, and begin_frame() additionally ranks the store's
+// non-resident voxel groups by predicted visibility for the frame's camera
+// — inflated by the caller's motion envelope, so groups about to enter the
+// frustum are fetched *before* the frame that needs them — and fetches the
+// best-ranked ones on the pool's async lane while the frame renders on the
+// main workers. A demand miss still stalls the render worker that hits it;
+// the loader's job is making those stalls rare.
 //
-// Ranking (rank_prefetch): a group is a candidate when its directory AABB,
-// padded by the envelope's worst-case projection drift, touches the image
-// rect; candidates are ordered near-to-far (near groups are streamed by
-// more pixel groups and occlude far ones). Per frame, fetches are capped by
-// a group-count and a byte budget — the fetch-bandwidth knob.
+// Ranking (rank_prefetch_groups): a group is a candidate when its directory
+// AABB, padded by the envelope's worst-case projection drift, touches the
+// image rect; candidates are ordered near-to-far (near groups are streamed
+// by more pixel groups and occlude far ones). Per frame, fetches are capped
+// by a group-count and a byte budget — the fetch-bandwidth knob.
+//
+// SharedPrefetchQueue is the N-session variant: every session enqueues its
+// own ranking into ONE fetch queue over ONE shared cache. Requests for a
+// group already queued by any other session are merged (fetched once,
+// counted in merged_requests()), and batches drain in enqueue order on the
+// async FIFO lane — first-come, first-served across sessions.
+//
+// Thread-safety: StreamingLoader assumes one driving session (its frame
+// bracket is the single-session GroupSource contract), but its fetches run
+// concurrently with render workers. SharedPrefetchQueue::enqueue is safe
+// from any number of session threads concurrently.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "stream/residency_cache.hpp"
@@ -31,10 +45,48 @@ struct PrefetchConfig {
   // visibility pad grows with it, so the prefetcher looks further ahead
   // along the camera's drift than a single frame's reuse bound.
   float lookahead_frames = 4.0f;
-  // Fetch inline inside begin_frame instead of on the async lane. Slower
-  // (the fetch no longer overlaps rendering) but fully deterministic —
-  // what the golden tests and reproducible benchmarks use.
+  // Fetch inline inside begin_frame/enqueue instead of on the async lane.
+  // Slower (the fetch no longer overlaps rendering) but fully deterministic
+  // — what the golden tests and reproducible benchmarks use.
   bool synchronous = false;
+};
+
+// Non-resident groups worth fetching for `intent` against `cache`'s store,
+// best first (near-to-far), capped by the config's group/byte budgets. The
+// shared ranking core of StreamingLoader and SharedPrefetchQueue.
+std::vector<voxel::DenseVoxelId> rank_prefetch_groups(
+    const ResidencyCache& cache, const FrameIntent& intent,
+    const PrefetchConfig& config);
+
+// Thread-safe per-session cache-counter sink. A session's own front-end
+// (serve::SessionSource) and the shared fetch queue both credit it: render
+// workers record hits/misses concurrently while the async lane records the
+// prefetches this session's intents initiated.
+class SessionCacheStats {
+ public:
+  void record_acquire(const AcquireOutcome& outcome) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (outcome.missed) {
+      ++stats_.misses;
+      stats_.bytes_fetched += outcome.bytes_fetched;
+    } else {
+      ++stats_.hits;
+    }
+  }
+  void record_prefetch(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++stats_.prefetches;
+    stats_.bytes_fetched += bytes;
+  }
+  core::StreamCacheStats snapshot() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  core::StreamCacheStats stats_;  // evictions stay 0: they are a property
+                                  // of the shared cache, not of a session
 };
 
 class StreamingLoader final : public GroupSource {
@@ -50,8 +102,7 @@ class StreamingLoader final : public GroupSource {
   void release(voxel::DenseVoxelId v) override;
   core::StreamCacheStats stats() const override;
 
-  // Non-resident groups worth fetching for this intent, best first, capped
-  // by the config's group/byte budgets. Exposed for tests.
+  // Ranking for this loader's cache and config. Exposed for tests.
   std::vector<voxel::DenseVoxelId> rank_prefetch(
       const FrameIntent& intent) const;
 
@@ -64,6 +115,49 @@ class StreamingLoader final : public GroupSource {
  private:
   ResidencyCache* cache_;
   PrefetchConfig config_;
+};
+
+// One fetch queue shared by N viewer sessions over one ResidencyCache.
+//
+// Each session calls enqueue() at the top of its frame with its own camera
+// intent (and optionally its SessionCacheStats sink for attribution). The
+// queue ranks the session's candidates, drops every group that is already
+// queued by *any* session (the cross-session merge — the request is served
+// by the fetch already on its way), and submits the remainder as one batch
+// on the async FIFO lane. Batches drain strictly in enqueue order, so no
+// session's fetches can starve another's: service is first-come,
+// first-served at batch granularity.
+class SharedPrefetchQueue {
+ public:
+  explicit SharedPrefetchQueue(ResidencyCache& cache,
+                               PrefetchConfig config = {});
+  // Drains in-flight batches (their tasks capture `this`).
+  ~SharedPrefetchQueue();
+
+  // Ranks + enqueues one session's prefetch work. Returns the number of
+  // groups newly queued (after merging with other sessions' pending
+  // requests). `sink`, when non-null, is credited for every group this
+  // call's batch actually fetches — including fetches that land after the
+  // session's frame ended (the counters are cumulative and monotone).
+  std::size_t enqueue(const FrameIntent& intent,
+                      SessionCacheStats* sink = nullptr);
+
+  // Blocks until every batch enqueued before this call has landed.
+  void wait_idle() const;
+
+  // Requests dropped because the same group was already queued by some
+  // session: the fetch-traffic the merge saved, in group requests.
+  std::uint64_t merged_requests() const;
+
+  ResidencyCache& cache() { return *cache_; }
+  const PrefetchConfig& config() const { return config_; }
+
+ private:
+  ResidencyCache* cache_;
+  PrefetchConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_set<voxel::DenseVoxelId> queued_;  // pending across sessions
+  std::uint64_t merged_ = 0;
 };
 
 }  // namespace sgs::stream

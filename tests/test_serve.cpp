@@ -1,0 +1,333 @@
+// Tests for the multi-session scene server (src/serve/) and the shared
+// residency-cache machinery under it (refcounted plan pins, per-session
+// attribution, the merged prefetch queue) — the acceptance bar being that
+// N sessions over ONE shared cache render images bit-identical to each
+// session alone, for raw and VQ stores, while the shared cache actually
+// takes concurrent traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/render_sequence.hpp"
+#include "core/streaming_renderer.hpp"
+#include "scene/generator.hpp"
+#include "serve/scene_server.hpp"
+#include "stream/asset_store.hpp"
+#include "stream/residency_cache.hpp"
+#include "stream/streaming_loader.hpp"
+
+namespace sgs::serve {
+namespace {
+
+gs::GaussianModel test_model(std::uint64_t seed, std::size_t count) {
+  scene::GeneratorConfig cfg;
+  cfg.gaussian_count = count;
+  cfg.extent_min = {-3, -3, -3};
+  cfg.extent_max = {3, 3, 3};
+  cfg.seed = seed;
+  return scene::generate_scene(cfg);
+}
+
+core::StreamingScene test_scene(std::uint64_t seed, std::size_t count,
+                                bool vq) {
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = vq;
+  if (vq) {
+    cfg.vq.scale_entries = 64;
+    cfg.vq.rotation_entries = 64;
+    cfg.vq.dc_entries = 64;
+    cfg.vq.sh_entries = 32;
+    cfg.vq.kmeans_iters = 4;
+    cfg.vq.refine_iters = 1;
+  }
+  return core::StreamingScene::prepare(test_model(seed, count), cfg);
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& p) : path(p) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+// Session s's camera path: a phase-shifted slice of one orbit, so the
+// sessions' working sets overlap heavily — the serving sweet spot.
+std::vector<gs::Camera> session_path(int session, int frames, int size) {
+  std::vector<gs::Camera> cams;
+  for (int f = 0; f < frames; ++f) {
+    const float t = 0.02f * static_cast<float>(session) +
+                    0.5f * static_cast<float>(f) / static_cast<float>(frames);
+    const float a = 6.2831853f * t;
+    cams.push_back(gs::Camera::look_at(
+        {6.0f * std::sin(a), 1.0f, -6.0f * std::cos(a)}, {0, 0, 0}, {0, 1, 0},
+        0.9f, size, size));
+  }
+  return cams;
+}
+
+// ------------------------------------------ golden: served == rendered alone
+
+void golden_multi_session(bool vq) {
+  const auto scene = test_scene(vq ? 31 : 30, 2500, vq);
+  TempFile file(vq ? "/tmp/sgs_test_serve_vq.sgsc"
+                   : "/tmp/sgs_test_serve_raw.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  stream::AssetStore store(file.path);
+
+  const int n_sessions = 8;
+  const int frames = vq ? 2 : 3;
+  std::vector<std::vector<gs::Camera>> paths;
+  for (int s = 0; s < n_sessions; ++s) {
+    paths.push_back(session_path(s, frames, 128));
+  }
+
+  SceneServerConfig cfg;
+  // Budget well below the scene: the shared run must evict while plans
+  // from several sessions are in flight.
+  cfg.cache.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  const auto result = SceneServer(store, cfg).run(paths);
+
+  ASSERT_EQ(result.sessions.size(), paths.size());
+  for (int s = 0; s < n_sessions; ++s) {
+    // The reference: this session's path rendered alone, fully resident.
+    const auto alone =
+        core::render_sequence(scene, paths[static_cast<std::size_t>(s)], {});
+    const auto& served = result.sessions[static_cast<std::size_t>(s)];
+    ASSERT_EQ(served.size(), alone.frames.size());
+    for (std::size_t f = 0; f < served.size(); ++f) {
+      // The acceptance bar: bit-identical image bytes...
+      EXPECT_EQ(served[f].image.pixels(), alone.frames[f].image.pixels())
+          << "session " << s << " frame " << f;
+      // ...and identical streaming work (same voxels, same survivors).
+      EXPECT_EQ(served[f].stats.fine_pass, alone.frames[f].stats.fine_pass);
+      EXPECT_EQ(served[f].stats.blend_ops, alone.frames[f].stats.blend_ops);
+      EXPECT_GT(served[f].frame_wall_ns, 0u);
+    }
+  }
+
+  // The run really was shared and out of core.
+  const ServerReport& rep = result.report;
+  ASSERT_EQ(rep.sessions.size(), static_cast<std::size_t>(n_sessions));
+  EXPECT_GT(rep.shared_cache.accesses(), 0u);
+  EXPECT_GT(rep.shared_cache.evictions, 0u);
+  EXPECT_GT(rep.shared_cache.bytes_fetched, 0u);
+  EXPECT_GE(rep.global_hit_rate, 0.0);
+  EXPECT_LE(rep.global_hit_rate, 1.0);
+  EXPECT_LE(rep.p50_ms, rep.p95_ms);
+
+  // Per-session attribution is exact: every hit, miss, prefetch, and
+  // fetched byte lands in exactly one session's counters, so the sums
+  // reproduce the shared cache's global view (evictions are global-only).
+  core::StreamCacheStats sum;
+  for (const SessionReport& sr : rep.sessions) {
+    EXPECT_EQ(sr.frames, static_cast<std::size_t>(frames));
+    EXPECT_EQ(sr.cache.evictions, 0u);
+    EXPECT_LE(sr.p50_ms, sr.p95_ms);
+    EXPECT_GE(sr.plans_built, 1u);
+    sum.accumulate(sr.cache);
+  }
+  EXPECT_EQ(sum.hits, rep.shared_cache.hits);
+  EXPECT_EQ(sum.misses, rep.shared_cache.misses);
+  EXPECT_EQ(sum.prefetches, rep.shared_cache.prefetches);
+  EXPECT_EQ(sum.bytes_fetched, rep.shared_cache.bytes_fetched);
+}
+
+TEST(ServeGolden, EightSessionsBitIdenticalRaw) {
+  golden_multi_session(/*vq=*/false);
+}
+
+TEST(ServeGolden, EightSessionsBitIdenticalVq) {
+  golden_multi_session(/*vq=*/true);
+}
+
+// ------------------------------------------------- refcounted plan pinning
+
+TEST(SharedCache, PlanPinsRefcountAcrossSessions) {
+  const auto scene = test_scene(32, 1500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_refpin.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  stream::AssetStore store(file.path);
+  ASSERT_GE(store.group_count(), 2);
+
+  stream::ResidencyCacheConfig cfg;
+  cfg.budget_bytes = 1;  // nothing unpinned survives
+  stream::ResidencyCache cache(store, cfg);
+
+  const std::vector<voxel::DenseVoxelId> shared_set = {0, 1};
+  cache.pin_plan(shared_set);  // session A's plan
+  cache.pin_plan(shared_set);  // session B pins the same groups
+  cache.acquire(0);
+  cache.release(0);
+  cache.acquire(1);
+  cache.release(1);
+
+  // A's frame ends: B still holds the groups — eviction must respect the
+  // union of in-flight working sets, so nothing may be dropped yet.
+  cache.unpin_plan(shared_set);
+  EXPECT_TRUE(cache.resident(0));
+  EXPECT_TRUE(cache.resident(1));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // B's frame ends: the last pins drop and the overshoot drains.
+  cache.unpin_plan(shared_set);
+  EXPECT_FALSE(cache.resident(0));
+  EXPECT_FALSE(cache.resident(1));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+// --------------------------------------------------- concurrent cache stress
+
+// N threads hammer one cache with interleaved acquire/release, prefetch,
+// and pin/unpin cycles. Asserts the counters stay exact under contention
+// and that no group is ever decoded twice while it stays resident.
+TEST(SharedCache, ConcurrentStressCountersConsistentNoDoubleDecode) {
+  const auto scene = test_scene(33, 3000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_stress.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  stream::AssetStore store(file.path);
+  const int n_groups = store.group_count();
+  ASSERT_GE(n_groups, 8);
+
+  // Phase 1: budget above the whole scene — nothing is ever evicted, so
+  // each distinct group must be fetched exactly once no matter how many
+  // threads race for it (the no-double-decode guarantee: concurrent
+  // acquires of a loading group wait instead of fetching again).
+  {
+    stream::ResidencyCacheConfig cfg;
+    cfg.budget_bytes = store.decoded_bytes_total() + 1;
+    stream::ResidencyCache cache(store, cfg);
+
+    const int n_threads = 8;
+    const int ops = 400;
+    std::atomic<std::uint64_t> acquires{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&, t] {
+        std::uint64_t x = 9000 + static_cast<std::uint64_t>(t);
+        for (int i = 0; i < ops; ++i) {
+          x = x * 6364136223846793005ull + 1442695040888963407ull;
+          const auto v = static_cast<voxel::DenseVoxelId>(
+              (x >> 33) % static_cast<std::uint64_t>(n_groups));
+          if (i % 5 == 4) {
+            cache.prefetch(v);
+          } else {
+            cache.acquire(v);
+            cache.release(v);
+            acquires.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits + s.misses, acquires.load());
+    EXPECT_EQ(s.evictions, 0u);
+    // All fetches (demand + prefetch) covered distinct groups exactly once.
+    std::uint64_t resident_count = 0;
+    std::uint64_t resident_total = 0;
+    for (voxel::DenseVoxelId v = 0; v < n_groups; ++v) {
+      if (cache.resident(v)) {
+        ++resident_count;
+        resident_total += store.read_group(v).resident_bytes();
+      }
+    }
+    EXPECT_EQ(s.misses + s.prefetches, resident_count);
+    EXPECT_EQ(cache.resident_bytes(), resident_total);
+  }
+
+  // Phase 2: a starving budget plus concurrent pin/unpin cycles — the
+  // counters must stay exact, pins must never be evicted out from under a
+  // frame, and after the last unpin the residency drains to the budget.
+  {
+    stream::ResidencyCacheConfig cfg;
+    cfg.budget_bytes = store.decoded_bytes_total() / 5;
+    stream::ResidencyCache cache(store, cfg);
+
+    const int n_threads = 8;
+    const int rounds = 60;
+    std::atomic<std::uint64_t> acquires{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&, t] {
+        std::uint64_t x = 77 + static_cast<std::uint64_t>(t);
+        for (int r = 0; r < rounds; ++r) {
+          // A tiny "frame": pin a working set, stream it, unpin.
+          std::vector<voxel::DenseVoxelId> plan;
+          for (int k = 0; k < 6; ++k) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            plan.push_back(static_cast<voxel::DenseVoxelId>(
+                (x >> 33) % static_cast<std::uint64_t>(n_groups)));
+          }
+          cache.pin_plan(plan);
+          for (const voxel::DenseVoxelId v : plan) {
+            const stream::GroupView view = cache.acquire(v);
+            EXPECT_EQ(view.size(), store.group_indices(v).size());
+            cache.release(v);
+            acquires.fetch_add(1, std::memory_order_relaxed);
+          }
+          cache.unpin_plan(plan);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits + s.misses, acquires.load());
+    EXPECT_GT(s.evictions, 0u);
+    // All pins dropped: the drain has brought residency under budget.
+    cache.unpin_plan({});
+    EXPECT_LE(cache.resident_bytes(), cfg.budget_bytes);
+  }
+}
+
+// ------------------------------------------------------ merged fetch queue
+
+TEST(SharedQueue, MergesDuplicateRequestsAcrossSessions) {
+  const auto scene = test_scene(34, 2000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_merge.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  stream::AssetStore store(file.path);
+  stream::ResidencyCache cache(store, {});
+
+  stream::PrefetchConfig pcfg;
+  pcfg.max_groups_per_frame = 8;
+  stream::SharedPrefetchQueue queue(cache, pcfg);
+
+  const gs::Camera cam = gs::Camera::look_at({0, 0, -6}, {0, 0, 0}, {0, 1, 0},
+                                             0.9f, 128, 128);
+  stream::FrameIntent intent;
+  intent.camera = &cam;
+
+  // Stall the async lane so both sessions' requests are pending at once.
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  async_submit([open] { open.wait(); });
+
+  stream::SessionCacheStats sink_a, sink_b;
+  const std::size_t queued_a = queue.enqueue(intent, &sink_a);
+  ASSERT_GT(queued_a, 0u);
+  // Session B wants the same groups for the same view: every request is
+  // already queued by A — merged, nothing new.
+  const std::size_t queued_b = queue.enqueue(intent, &sink_b);
+  EXPECT_EQ(queued_b, 0u);
+  EXPECT_GE(queue.merged_requests(), queued_a);
+
+  gate.set_value();
+  queue.wait_idle();
+
+  // Each group was fetched exactly once, attributed to the initiator.
+  const auto s = cache.stats();
+  EXPECT_EQ(s.prefetches, queued_a);
+  EXPECT_EQ(sink_a.snapshot().prefetches, queued_a);
+  EXPECT_EQ(sink_b.snapshot().prefetches, 0u);
+}
+
+}  // namespace
+}  // namespace sgs::serve

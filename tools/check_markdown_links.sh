@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link in README.md, docs/, and
+# src/*/README.md must resolve to an existing file or directory, so the
+# architecture and format docs cannot rot silently. Runs as the
+# `markdown_links` ctest and as a CI step; no dependencies beyond grep/sed.
+#
+# Checked link forms: [text](target), ![alt](target). External schemes
+# (http/https/mailto) and pure in-page anchors (#...) are skipped; a
+# `target#anchor` is checked for the file part only. Targets resolve
+# relative to the file containing the link (GitHub semantics).
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+for f in README.md docs/*.md src/*/README.md; do
+  [ -e "$f" ] || continue
+  dir=$(dirname "$f")
+  # One link target per line: grab every "](...)" group's inside.
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $f -> ($target)"
+      status=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "markdown links OK"
+else
+  echo "markdown link check FAILED"
+fi
+exit "$status"
