@@ -1,23 +1,31 @@
 // Out-of-core streaming benchmark (and CI smoke test).
 //
-// Renders the same walkthrough trajectory twice:
+// Three passes over the same walkthrough trajectory:
 //   resident     — the whole prepared scene in memory (the pre-stream path)
-//   out-of-core  — the scene serialized to a .sgsc asset store, rendered
-//                  through a ResidencyCache (byte budget << scene size) fed
-//                  by the prefetching StreamingLoader
-// and reports cache hit rate, fetch traffic, eviction count, stall frames
-// (frames with at least one demand miss), and wall-clock frame time. The
-// two renders must produce bit-identical images — the benchmark exits
-// non-zero otherwise, which is what makes it a meaningful smoke test.
+//   out-of-core  — the scene serialized to a tiered .sgsc asset store (v2,
+//                  three payload tiers), rendered through a ResidencyCache
+//                  (byte budget << scene size) fed by the prefetching
+//                  StreamingLoader with LOD forced to L0. The images must
+//                  be bit-identical to the resident pass — the benchmark
+//                  exits non-zero otherwise, which is what makes it a
+//                  meaningful smoke test.
+//   LOD frontier — a raw (uncompressed) tiered store rendered twice, L0-
+//                  forced and at the default adaptive LodPolicy, reporting
+//                  the bandwidth-vs-PSNR frontier: fetched bytes saved and
+//                  the per-frame PSNR floor against the resident render.
+//                  Exits non-zero unless the default policy saves >= 30%
+//                  of fetched bytes at >= 30 dB min PSNR.
 //
-// Emits BENCH_streaming.json (flat key/value) for trend tracking.
+// Emits BENCH_streaming.json (flat key/value) for trend tracking; see
+// docs/BENCHMARKS.md for the schema and how CI consumes it.
 //
 //   ./bench_streaming [--scene train] [--frames 8] [--model_scale 0.02]
 //                     [--res_scale 0.25] [--arc 0.03] [--budget_kb 0]
 //                     [--out BENCH_streaming.json]
 //
-// --budget_kb 0 picks a budget of ~35% of the store's payload bytes, small
+// --budget_kb 0 picks a budget of ~35% of the store's decoded bytes, small
 // enough to force eviction traffic on every preset.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -28,8 +36,10 @@
 #include "common/units.hpp"
 #include "core/render_sequence.hpp"
 #include "core/streaming_renderer.hpp"
+#include "metrics/psnr.hpp"
 #include "scene/presets.hpp"
 #include "stream/asset_store.hpp"
+#include "stream/lod_policy.hpp"
 #include "stream/residency_cache.hpp"
 #include "stream/streaming_loader.hpp"
 
@@ -68,8 +78,8 @@ int main(int argc, char** argv) {
   const std::string out_path = args.get("out", "BENCH_streaming.json");
   const std::string store_path = "/tmp/bench_streaming.sgsc";
 
-  bench::print_header("out-of-core streaming: resident vs cache-backed",
-                      "bit-identical images, fetch traffic under a byte budget");
+  bench::print_header("out-of-core streaming: resident vs cache-backed vs LOD",
+                      "bit-identical at L0, bandwidth-vs-PSNR frontier below");
 
   const auto model = scene::make_preset_scene(preset, model_scale);
   int w = 0, h = 0;
@@ -88,8 +98,10 @@ int main(int argc, char** argv) {
   const auto resident = core::render_sequence(scene_resident, cameras, seq);
   const double resident_ms = (now_ms() - t0) / frames;
 
-  // --- out-of-core pass ------------------------------------------------------
-  if (!stream::AssetStore::write(store_path, scene_resident)) {
+  // --- out-of-core pass (tiered store, LOD forced to L0) ---------------------
+  stream::AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  if (!stream::AssetStore::write(store_path, scene_resident, wopts)) {
     std::fprintf(stderr, "FAILED to write %s\n", store_path.c_str());
     return 1;
   }
@@ -100,7 +112,9 @@ int main(int argc, char** argv) {
   ccfg.budget_bytes = budget_kb > 0 ? budget_kb * 1024
                                     : store.decoded_bytes_total() * 35 / 100;
   stream::ResidencyCache cache(store, ccfg);
-  stream::StreamingLoader loader(cache);
+  stream::PrefetchConfig pcfg;
+  pcfg.lod.force_tier0 = true;  // the golden invariant this bench enforces
+  stream::StreamingLoader loader(cache, pcfg);
   const auto scene_ooc = store.make_scene();
 
   const double t1 = now_ms();
@@ -121,16 +135,92 @@ int main(int argc, char** argv) {
   bench::Table table({"mode", "frame ms", "hit rate", "fetched", "evictions",
                       "stall frames"});
   table.row({"resident", bench::fmt(resident_ms), "-", "-", "-", "-"});
-  table.row({"out-of-core", bench::fmt(ooc_ms),
+  table.row({"out-of-core L0", bench::fmt(ooc_ms),
              bench::fmt(100.0 * total.hit_rate(), 1) + "%",
              format_bytes(static_cast<double>(total.bytes_fetched)),
              std::to_string(total.evictions), std::to_string(stall_frames)});
   table.print();
-  std::printf("  store: %s payloads across %d voxel groups, budget %s\n",
+  std::printf("  store: %s L0 payloads (+%s L1, +%s L2) across %d voxel "
+              "groups, budget %s\n",
               format_bytes(static_cast<double>(store.payload_bytes_total())).c_str(),
+              format_bytes(static_cast<double>(store.payload_bytes_tier(1))).c_str(),
+              format_bytes(static_cast<double>(store.payload_bytes_tier(2))).c_str(),
               store.group_count(),
               format_bytes(static_cast<double>(ccfg.budget_bytes)).c_str());
   std::printf("  images bit-identical: %s\n", identical ? "yes" : "NO");
+
+  // --- LOD frontier (raw store: SH-band tiers carry the savings) -------------
+  core::StreamingConfig rcfg = scfg;
+  rcfg.use_vq = false;
+  const auto scene_raw = core::StreamingScene::prepare(model, rcfg);
+  if (!stream::AssetStore::write(store_path, scene_raw, wopts)) {
+    std::fprintf(stderr, "FAILED to rewrite %s\n", store_path.c_str());
+    return 1;
+  }
+  stream::AssetStore raw_store(store_path);
+  const auto resident_raw = core::render_sequence(scene_raw, cameras, seq);
+
+  auto run_raw = [&](const stream::LodPolicy& lod) {
+    stream::ResidencyCacheConfig rc;
+    rc.budget_bytes = raw_store.decoded_bytes_total() * 35 / 100;
+    stream::ResidencyCache rcache(raw_store, rc);
+    stream::PrefetchConfig rp;
+    rp.synchronous = true;  // reproducible fetch counters
+    rp.lod = lod;
+    stream::StreamingLoader rloader(rcache, rp);
+    const auto sc = raw_store.make_scene();
+    const auto out = core::render_sequence(sc, cameras, seq, &rloader);
+    core::StreamCacheStats t;
+    for (const auto& f : out.frames) t.accumulate(f.trace.cache);
+    return std::make_pair(std::move(out), t);
+  };
+
+  stream::LodPolicy l0_policy;
+  l0_policy.force_tier0 = true;
+  const auto [raw_l0, raw_l0_stats] = run_raw(l0_policy);
+  const auto [raw_lod, raw_lod_stats] = run_raw(stream::LodPolicy{});
+
+  bool raw_identical = true;
+  double psnr_min = 1e30, psnr_sum = 0.0;
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    raw_identical = raw_identical && resident_raw.frames[f].image.pixels() ==
+                                         raw_l0.frames[f].image.pixels();
+    const double db = metrics::psnr_capped(resident_raw.frames[f].image,
+                                           raw_lod.frames[f].image);
+    psnr_min = std::min(psnr_min, db);
+    psnr_sum += db;
+  }
+  const double psnr_mean = psnr_sum / static_cast<double>(cameras.size());
+  const double savings =
+      raw_l0_stats.bytes_fetched > 0
+          ? 1.0 - static_cast<double>(raw_lod_stats.bytes_fetched) /
+                      static_cast<double>(raw_l0_stats.bytes_fetched)
+          : 0.0;
+
+  bench::Table lod_table({"raw store pass", "fetched", "tier fetches L0/L1/L2",
+                          "upgrades", "PSNR min/mean"});
+  auto tier_fetches = [](const core::StreamCacheStats& s, int t) {
+    return std::to_string(s.tier_misses[t] + s.tier_prefetches[t]);
+  };
+  lod_table.row({"forced L0",
+                 format_bytes(static_cast<double>(raw_l0_stats.bytes_fetched)),
+                 tier_fetches(raw_l0_stats, 0) + "/" +
+                     tier_fetches(raw_l0_stats, 1) + "/" +
+                     tier_fetches(raw_l0_stats, 2),
+                 std::to_string(raw_l0_stats.upgrades), "exact"});
+  lod_table.row({"default LodPolicy",
+                 format_bytes(static_cast<double>(raw_lod_stats.bytes_fetched)),
+                 tier_fetches(raw_lod_stats, 0) + "/" +
+                     tier_fetches(raw_lod_stats, 1) + "/" +
+                     tier_fetches(raw_lod_stats, 2),
+                 std::to_string(raw_lod_stats.upgrades),
+                 bench::fmt(psnr_min, 1) + "/" + bench::fmt(psnr_mean, 1) +
+                     " dB"});
+  lod_table.print();
+  std::printf("  LOD frontier: %.1f%% fewer fetched bytes at %.1f dB min "
+              "PSNR (gates: >= 30%% and >= 30 dB)\n",
+              100.0 * savings, psnr_min);
+  std::printf("  raw L0 pass bit-identical: %s\n", raw_identical ? "yes" : "NO");
 
   std::ofstream json(out_path);
   json << "{\n"
@@ -146,10 +236,24 @@ int main(int argc, char** argv) {
        << "  \"store_payload_bytes\": " << store.payload_bytes_total() << ",\n"
        << "  \"budget_bytes\": " << ccfg.budget_bytes << ",\n"
        << "  \"stall_frames\": " << stall_frames << ",\n"
-       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"lod_l0_bytes_fetched\": " << raw_l0_stats.bytes_fetched << ",\n"
+       << "  \"lod_bytes_fetched\": " << raw_lod_stats.bytes_fetched << ",\n"
+       << "  \"lod_fetch_savings\": " << savings << ",\n"
+       << "  \"lod_psnr_min_db\": " << psnr_min << ",\n"
+       << "  \"lod_psnr_mean_db\": " << psnr_mean << ",\n"
+       << "  \"lod_upgrades\": " << raw_lod_stats.upgrades << ",\n"
+       << "  \"lod_bit_identical\": " << (raw_identical ? "true" : "false")
+       << "\n"
        << "}\n";
   std::printf("  wrote %s\n", out_path.c_str());
 
   std::remove(store_path.c_str());
-  return identical ? 0 : 1;
+  const bool lod_ok = savings >= 0.30 && psnr_min >= 30.0;
+  if (!lod_ok) {
+    std::fprintf(stderr,
+                 "LOD frontier gate FAILED: savings %.3f psnr_min %.2f\n",
+                 savings, psnr_min);
+  }
+  return (identical && raw_identical && lod_ok) ? 0 : 1;
 }

@@ -9,8 +9,14 @@
 // traffic, and stall frames, and globally the shared-cache hit rate and
 // how many prefetch requests the cross-session merge deduplicated.
 //
-// Every session's frames are bit-identical to rendering its path alone —
-// sharing changes who pays which fetch, never a pixel.
+// Each session carries its own LOD quality policy (--quality) over the
+// same shared cache: a premium viewer can insist on exact L0 frames while
+// a bandwidth-constrained one streams pruned tiers of the same groups.
+// With --quality off a session's frames are bit-identical to rendering its
+// path alone — sharing changes who pays which fetch, never a pixel;
+// adaptive sessions trade that guarantee for the store's PSNR-bounded
+// tiers (and may be served better-than-requested tiers a neighbor paid
+// for).
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -21,6 +27,7 @@
 #include "scene/presets.hpp"
 #include "serve/scene_server.hpp"
 #include "stream/asset_store.hpp"
+#include "stream/lod_policy.hpp"
 
 namespace {
 
@@ -35,8 +42,25 @@ constexpr const char* kUsage = R"(multi_viewer — N viewer sessions over one sh
   --spread <f>        orbit phase offset between sessions (default 0.01)
   --cache_mb <n>      shared cache budget in MiB (0 = 35% of the decoded scene)
   --store <path>      where to write the .sgsc store (default /tmp/multi_viewer.sgsc)
+  --quality <list>    comma-separated per-session LOD policies, cycled
+                      across sessions: off | quality | balanced | aggressive
+                      (default balanced; "off" = bit-exact L0)
   --help              this text
 )";
+
+// "off,balanced,aggressive" -> one policy per session, cycling the list.
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -56,6 +80,12 @@ int main(int argc, char** argv) {
   const float spread = static_cast<float>(args.get_double("spread", 0.01));
   const int cache_mb = args.get_int("cache_mb", 0);
   const std::string store_path = args.get("store", "/tmp/multi_viewer.sgsc");
+  const std::vector<std::string> quality_names =
+      split_csv(args.get("quality", "balanced"));
+  if (quality_names.empty()) {
+    std::fprintf(stderr, "--quality needs at least one policy name\n");
+    return 1;
+  }
 
   const auto& info = scene::preset_info(preset);
   std::printf("== multi-viewer serve: '%s', %d sessions x %d frames ==\n",
@@ -67,7 +97,9 @@ int main(int argc, char** argv) {
   core::StreamingConfig scfg;
   scfg.voxel_size = info.default_voxel_size;
   const auto prepared = core::StreamingScene::prepare(model, scfg);
-  if (!stream::AssetStore::write(store_path, prepared)) {
+  stream::AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;  // adaptive sessions need the pruned tiers on disk
+  if (!stream::AssetStore::write(store_path, prepared, wopts)) {
     std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
     return 1;
   }
@@ -80,7 +112,15 @@ int main(int argc, char** argv) {
   cfg.sequence.reuse_max_translation = 0.25f * scfg.voxel_size;
   cfg.sequence.reuse_max_rotation_rad = 0.04f;
   serve::SceneServer server(store, cfg);
-  std::printf("store: %s payloads in %d voxel groups; shared budget %s\n\n",
+  // Per-session quality: cycle the --quality list across sessions.
+  std::vector<std::string> session_quality;
+  for (int s = 0; s < sessions; ++s) {
+    const std::string& name =
+        quality_names[static_cast<std::size_t>(s) % quality_names.size()];
+    server.open_session(stream::lod_policy_from_name(name));
+    session_quality.push_back(name);
+  }
+  std::printf("store: %s L0 payloads in %d voxel groups; shared budget %s\n\n",
               format_bytes(static_cast<double>(store.payload_bytes_total()))
                   .c_str(),
               store.group_count(),
@@ -101,15 +141,22 @@ int main(int argc, char** argv) {
   const auto result = server.run(paths);
   const serve::ServerReport& rep = result.report;
 
-  std::printf("%8s %8s %8s %9s %10s %7s %12s\n", "session", "p50 ms",
-              "p95 ms", "hit rate", "fetched", "stalls", "plans b/r");
+  std::printf("%8s %-10s %8s %8s %9s %10s %7s %12s %14s %9s\n", "session",
+              "quality", "p50 ms", "p95 ms", "hit rate", "fetched", "stalls",
+              "plans b/r", "tiers 0/1/2", "degraded");
   for (std::size_t s = 0; s < rep.sessions.size(); ++s) {
     const serve::SessionReport& sr = rep.sessions[s];
-    std::printf("%8zu %8.1f %8.1f %8.1f%% %10s %7zu %7zu/%zu\n", s, sr.p50_ms,
-                sr.p95_ms, 100.0 * sr.cache.hit_rate(),
+    std::printf("%8zu %-10s %8.1f %8.1f %8.1f%% %10s %7zu %7zu/%zu "
+                "%5llu/%llu/%llu %9zu\n",
+                s, session_quality[s].c_str(), sr.p50_ms, sr.p95_ms,
+                100.0 * sr.cache.hit_rate(),
                 format_bytes(static_cast<double>(sr.cache.bytes_fetched))
                     .c_str(),
-                sr.stall_frames, sr.plans_built, sr.plans_reused);
+                sr.stall_frames, sr.plans_built, sr.plans_reused,
+                static_cast<unsigned long long>(sr.tier_requests[0]),
+                static_cast<unsigned long long>(sr.tier_requests[1]),
+                static_cast<unsigned long long>(sr.tier_requests[2]),
+                sr.degraded_frames);
   }
   std::printf(
       "\nglobal: %.1f%% hit rate, %s fetched, %llu evictions, "

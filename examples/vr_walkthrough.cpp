@@ -13,7 +13,7 @@
 //
 //   ./vr_walkthrough [--scene playroom] [--frames 8] [--model_scale 0.05]
 //                    [--res_scale 0.4] [--arc 1.0] [--save_frames out_dir]
-//                    [--out_of_core true] [--cache_mb 8]
+//                    [--out_of_core true] [--cache_mb 8] [--lod balanced]
 //
 // --arc is the fraction of the full orbit the walkthrough covers: 1.0 is
 // the legacy whole-orbit keyframe sweep (cameras too far apart to reuse
@@ -25,6 +25,13 @@
 // fed by the prefetching loader instead of from memory: the frames are
 // bit-identical, and the report gains per-frame cache hit rate, fetch
 // traffic, and stall markers (frames that took a demand miss).
+//
+// --lod selects the adaptive-LOD streaming policy for the out-of-core
+// path (off | quality | balanced | aggressive). Anything but "off" writes
+// the store with three payload tiers and streams distant voxel groups at
+// pruned fidelity: the PSNR column then shows the quality cost while the
+// cache column's traffic shrinks. "off" forces L0 everywhere and keeps
+// the bit-identical guarantee.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -41,6 +48,7 @@
 #include "sim/gscore_sim.hpp"
 #include "sim/streaminggs_sim.hpp"
 #include "stream/asset_store.hpp"
+#include "stream/lod_policy.hpp"
 #include "stream/residency_cache.hpp"
 #include "stream/streaming_loader.hpp"
 
@@ -63,6 +71,9 @@ constexpr const char* kUsage =
                         residency cache + prefetch loader (default false)
   --cache_mb <n>        out-of-core cache budget in MiB; 0 = 35% of the
                         decoded scene (default 0)
+  --lod <policy>        LOD streaming policy for --out_of_core:
+                        off | quality | balanced | aggressive (default off;
+                        "off" keeps frames bit-identical to resident)
   --help                this text
 )";
 
@@ -83,6 +94,8 @@ int main(int argc, char** argv) {
   const std::string save_dir = args.get("save_frames", "");
   const bool out_of_core = args.get_bool("out_of_core", false);
   const int cache_mb = args.get_int("cache_mb", 0);
+  const std::string lod_name = args.get("lod", "off");
+  const stream::LodPolicy lod_policy = stream::lod_policy_from_name(lod_name);
 
   const auto& info = scene::preset_info(preset);
   std::printf("== VR walkthrough: '%s', %d keyframes over %.0f%% of the orbit, "
@@ -127,7 +140,11 @@ int main(int argc, char** argv) {
   const core::StreamingScene* active_scene = &scene_prepared;
   if (out_of_core) {
     const std::string store_path = "/tmp/vr_walkthrough.sgsc";
-    if (!stream::AssetStore::write(store_path, scene_prepared)) {
+    stream::AssetStoreWriteOptions wopts;
+    // An adaptive policy needs the pruned payload tiers on disk; "off"
+    // keeps the plain single-tier (v1) store of the bit-exact path.
+    wopts.tier_count = lod_policy.force_tier0 ? 1 : 3;
+    if (!stream::AssetStore::write(store_path, scene_prepared, wopts)) {
       std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
       return 1;
     }
@@ -139,14 +156,18 @@ int main(int argc, char** argv) {
                             ? static_cast<std::uint64_t>(cache_mb) << 20
                             : store->decoded_bytes_total() * 35 / 100;
     cache = std::make_unique<stream::ResidencyCache>(*store, ccfg);
-    loader = std::make_unique<stream::StreamingLoader>(*cache);
+    stream::PrefetchConfig pcfg;
+    pcfg.lod = lod_policy;
+    loader = std::make_unique<stream::StreamingLoader>(*cache, pcfg);
     scene_ooc = store->make_scene();
     active_scene = &scene_ooc;
-    std::printf("out-of-core: store %s in %d voxel groups, cache budget %s\n",
+    std::printf("out-of-core: store %s in %d voxel groups, cache budget %s, "
+                "lod %s\n",
                 format_bytes(static_cast<double>(store->payload_bytes_total()))
                     .c_str(),
                 store->group_count(),
-                format_bytes(static_cast<double>(ccfg.budget_bytes)).c_str());
+                format_bytes(static_cast<double>(ccfg.budget_bytes)).c_str(),
+                lod_name.c_str());
   }
   core::SequenceRenderer sequence(*active_scene, seq_options, loader.get());
 
@@ -158,6 +179,8 @@ int main(int argc, char** argv) {
   core::StageTimingsNs stage_total;
   core::StreamCacheStats cache_total;
   int stall_frames = 0;
+  std::array<std::uint64_t, core::kLodTierCount> tier_requests{};
+  int degraded_frames = 0;
   for (int f = 0; f < frames; ++f) {
     const float t = arc * static_cast<float>(f) / static_cast<float>(frames);
     const auto cam = scene::make_preset_camera(preset, w, h, t);
@@ -176,6 +199,12 @@ int main(int argc, char** argv) {
       const core::StreamCacheStats& cs = streamed.trace.cache;
       cache_total.accumulate(cs);
       if (cs.misses > 0) ++stall_frames;
+      const stream::TierSelection& sel = loader->frame_selection();
+      for (int t = 0; t < core::kLodTierCount; ++t) {
+        tier_requests[static_cast<std::size_t>(t)] +=
+            sel.histogram[static_cast<std::size_t>(t)];
+      }
+      if (sel.demoted > 0) ++degraded_frames;
       std::snprintf(cache_col, sizeof(cache_col), " | %4.0f%%%s",
                     100.0 * cs.hit_rate(), cs.misses > 0 ? " stall" : "");
     }
@@ -208,6 +237,14 @@ int main(int argc, char** argv) {
                 format_bytes(static_cast<double>(cache_total.bytes_fetched))
                     .c_str(),
                 stall_frames, frames);
+    std::printf("lod (%s): tier requests L0/L1/L2 = %llu/%llu/%llu, "
+                "%llu upgrades, %d budget-degraded frames\n",
+                lod_name.c_str(),
+                static_cast<unsigned long long>(tier_requests[0]),
+                static_cast<unsigned long long>(tier_requests[1]),
+                static_cast<unsigned long long>(tier_requests[2]),
+                static_cast<unsigned long long>(cache_total.upgrades),
+                degraded_frames);
   }
   const double total_ns = static_cast<double>(stage_total.total());
   if (total_ns > 0.0) {

@@ -6,11 +6,18 @@
 // pipeline model; the same trace drives all STREAMINGGS variants.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <vector>
 
 namespace sgs::core {
+
+// Number of level-of-detail payload tiers a voxel group may carry in a
+// .sgsc v2 store: L0 = full fidelity, L1/L2 = importance-pruned subsets.
+// Shared by the stream layer (tier directories, cache tagging), the trace
+// (per-tier counters), and the simulator (per-tier fetch charging).
+inline constexpr int kLodTierCount = 3;
 
 // Monotonic timestamp shared by every producer of stage timings: one clock,
 // one cast, so plan/vsu/filter/sort/blend breakdowns stay comparable.
@@ -53,6 +60,19 @@ struct StreamCacheStats {
   std::uint64_t evictions = 0;     // groups dropped by the byte budget
   std::uint64_t bytes_fetched = 0; // store payload bytes read (miss + prefetch)
 
+  // Tier breakdown (trace v4, all-zero for single-tier stores at L0 except
+  // the tier-0 slots). Hits are tagged with the tier actually SERVED
+  // (resident tier); misses and upgrades with the tier REQUESTED (which the
+  // fetch pays for); prefetches and fetched bytes with the tier FETCHED.
+  // `upgrades` counts the subset of misses that refetched an
+  // already-resident group at a higher-fidelity tier; hence
+  // hits + misses == accesses() still holds, and upgrades <= misses.
+  std::array<std::uint64_t, kLodTierCount> tier_hits{};
+  std::array<std::uint64_t, kLodTierCount> tier_misses{};
+  std::array<std::uint64_t, kLodTierCount> tier_prefetches{};
+  std::array<std::uint64_t, kLodTierCount> tier_bytes_fetched{};
+  std::uint64_t upgrades = 0;
+
   std::uint64_t accesses() const { return hits + misses; }
   double hit_rate() const {
     return accesses() == 0
@@ -65,6 +85,13 @@ struct StreamCacheStats {
     prefetches += o.prefetches;
     evictions += o.evictions;
     bytes_fetched += o.bytes_fetched;
+    for (int t = 0; t < kLodTierCount; ++t) {
+      tier_hits[t] += o.tier_hits[t];
+      tier_misses[t] += o.tier_misses[t];
+      tier_prefetches[t] += o.tier_prefetches[t];
+      tier_bytes_fetched[t] += o.tier_bytes_fetched[t];
+    }
+    upgrades += o.upgrades;
   }
   // Per-frame delta between two cumulative snapshots of a source's counters
   // (all fields are monotone).
@@ -75,6 +102,14 @@ struct StreamCacheStats {
     d.prefetches = prefetches - earlier.prefetches;
     d.evictions = evictions - earlier.evictions;
     d.bytes_fetched = bytes_fetched - earlier.bytes_fetched;
+    for (int t = 0; t < kLodTierCount; ++t) {
+      d.tier_hits[t] = tier_hits[t] - earlier.tier_hits[t];
+      d.tier_misses[t] = tier_misses[t] - earlier.tier_misses[t];
+      d.tier_prefetches[t] = tier_prefetches[t] - earlier.tier_prefetches[t];
+      d.tier_bytes_fetched[t] =
+          tier_bytes_fetched[t] - earlier.tier_bytes_fetched[t];
+    }
+    d.upgrades = upgrades - earlier.upgrades;
     return d;
   }
 };

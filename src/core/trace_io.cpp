@@ -37,6 +37,19 @@ bool write_trace(std::ostream& out, const StreamingTrace& trace) {
   put<std::uint64_t>(out, trace.cache.prefetches);
   put<std::uint64_t>(out, trace.cache.evictions);
   put<std::uint64_t>(out, trace.cache.bytes_fetched);
+  for (int t = 0; t < kLodTierCount; ++t) {
+    put<std::uint64_t>(out, trace.cache.tier_hits[t]);
+  }
+  for (int t = 0; t < kLodTierCount; ++t) {
+    put<std::uint64_t>(out, trace.cache.tier_misses[t]);
+  }
+  for (int t = 0; t < kLodTierCount; ++t) {
+    put<std::uint64_t>(out, trace.cache.tier_prefetches[t]);
+  }
+  for (int t = 0; t < kLodTierCount; ++t) {
+    put<std::uint64_t>(out, trace.cache.tier_bytes_fetched[t]);
+  }
+  put<std::uint64_t>(out, trace.cache.upgrades);
   put<std::uint64_t>(out, trace.groups.size());
   for (const GroupWork& g : trace.groups) {
     put<std::uint32_t>(out, g.rays);
@@ -85,6 +98,19 @@ StreamingTrace read_trace(std::istream& in) {
   trace.cache.prefetches = get<std::uint64_t>(in);
   trace.cache.evictions = get<std::uint64_t>(in);
   trace.cache.bytes_fetched = get<std::uint64_t>(in);
+  for (int t = 0; t < kLodTierCount; ++t) {
+    trace.cache.tier_hits[t] = get<std::uint64_t>(in);
+  }
+  for (int t = 0; t < kLodTierCount; ++t) {
+    trace.cache.tier_misses[t] = get<std::uint64_t>(in);
+  }
+  for (int t = 0; t < kLodTierCount; ++t) {
+    trace.cache.tier_prefetches[t] = get<std::uint64_t>(in);
+  }
+  for (int t = 0; t < kLodTierCount; ++t) {
+    trace.cache.tier_bytes_fetched[t] = get<std::uint64_t>(in);
+  }
+  trace.cache.upgrades = get<std::uint64_t>(in);
   const std::uint64_t n_groups = get<std::uint64_t>(in);
   // Sanity cap: one group per pixel is the theoretical maximum.
   if (n_groups > trace.pixel_count + 1) {

@@ -24,15 +24,24 @@ double percentile_ms(std::vector<double> samples, double q) {
 // ----------------------------------------------------------- SessionSource --
 
 SessionSource::SessionSource(stream::ResidencyCache& cache,
-                             stream::SharedPrefetchQueue& queue)
-    : cache_(&cache), queue_(&queue) {}
+                             stream::SharedPrefetchQueue& queue,
+                             stream::LodPolicy lod)
+    : cache_(&cache), queue_(&queue), lod_(lod) {}
 
 void SessionSource::begin_frame(
     const stream::FrameIntent& intent,
     std::span<const voxel::DenseVoxelId> plan_voxels) {
   pinned_.assign(plan_voxels.begin(), plan_voxels.end());
   cache_->pin_plan(pinned_);
-  queue_->enqueue(intent, &session_stats_);
+  // This session's quality knob: tiers for the plan under its own policy.
+  selection_ =
+      stream::select_frame_tiers(cache_->store(), intent, pinned_, lod_);
+  for (int t = 0; t < core::kLodTierCount; ++t) {
+    tier_requests_[static_cast<std::size_t>(t)] +=
+        selection_.histogram[static_cast<std::size_t>(t)];
+  }
+  if (selection_.demoted > 0) ++degraded_frames_;
+  queue_->enqueue(intent, &session_stats_, &lod_);
 }
 
 void SessionSource::end_frame() {
@@ -41,7 +50,8 @@ void SessionSource::end_frame() {
 }
 
 stream::GroupView SessionSource::acquire(voxel::DenseVoxelId v) {
-  const stream::AcquireOutcome outcome = cache_->acquire_outcome(v);
+  const stream::AcquireOutcome outcome =
+      cache_->acquire_outcome(v, selection_.tier_of(v));
   session_stats_.record_acquire(outcome);
   return outcome.view;
 }
@@ -56,8 +66,9 @@ core::StreamCacheStats SessionSource::stats() const {
 
 struct SceneServer::Session {
   Session(const core::StreamingScene& scene, const core::SequenceOptions& opt,
-          stream::ResidencyCache& cache, stream::SharedPrefetchQueue& queue)
-      : source(cache, queue), renderer(scene, opt, &source) {}
+          stream::ResidencyCache& cache, stream::SharedPrefetchQueue& queue,
+          const stream::LodPolicy& lod)
+      : source(cache, queue, lod), renderer(scene, opt, &source) {}
 
   SessionSource source;
   core::SequenceRenderer renderer;
@@ -74,9 +85,11 @@ SceneServer::SceneServer(const stream::AssetStore& store,
 
 SceneServer::~SceneServer() { wait_idle(); }
 
-int SceneServer::open_session() {
+int SceneServer::open_session() { return open_session(config_.lod); }
+
+int SceneServer::open_session(const stream::LodPolicy& lod) {
   sessions_.push_back(std::make_unique<Session>(scene_, config_.sequence,
-                                                cache_, queue_));
+                                                cache_, queue_, lod));
   return static_cast<int>(sessions_.size()) - 1;
 }
 
@@ -127,6 +140,8 @@ ServerReport SceneServer::report() const {
     sr.stall_frames = s.stall_frames;
     sr.plans_built = s.renderer.stats().plans_built;
     sr.plans_reused = s.renderer.stats().plans_reused;
+    sr.tier_requests = s.source.tier_requests();
+    sr.degraded_frames = s.source.degraded_frames();
     rep.stall_frames += sr.stall_frames;
     all_ms.insert(all_ms.end(), s.frame_ms.begin(), s.frame_ms.end());
     rep.sessions.push_back(std::move(sr));

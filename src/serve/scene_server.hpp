@@ -11,9 +11,15 @@
 // sessions' prefetch rankings merge into one deduplicated fetch queue.
 //
 // The load-bearing invariant: a session's rendered frames are bit-identical
-// to rendering the same camera path alone. Sharing the cache changes who
-// pays which fetch and when — never a pixel (tests/test_serve.cpp pins
-// this down for raw and VQ stores).
+// to rendering the same camera path alone *under the same LodPolicy, with
+// adaptive tiers requested deterministically* (tier selection is a pure
+// function of the session's camera and policy — never of shared cache
+// state). Sharing the cache changes who pays which fetch and when — never
+// a pixel — on single-tier stores or with lod.force_tier0; with adaptive
+// tiers on a multi-tier store, a frame may be served a better-than-
+// requested tier that happens to be resident, so the guarantee relaxes to
+// the PSNR bound of the store's tiers (tests/test_serve.cpp pins the
+// bit-exact cases down for raw and VQ stores).
 //
 // Threading model:
 //   - run() drives one std::thread per session; frames from different
@@ -44,17 +50,21 @@ namespace sgs::serve {
 // Per-session front-end over the server's shared cache and fetch queue:
 // the GroupSource a session's SequenceRenderer renders through.
 //
-// Frame bracket contract: begin_frame() pins the session's plan working
+// Frame bracket contract: begin_frame() selects this session's payload
+// tiers for the plan under its own LodPolicy (each session carries its own
+// quality knob over the one shared cache), pins the session's plan working
 // set (refcounted in the shared cache — other sessions' pins on the same
-// groups are independent) and enqueues the session's prefetch ranking into
-// the shared queue; end_frame() drops exactly the pins this session took.
-// acquire()/release() pass through to the shared cache with per-session
-// attribution. acquire() may be called concurrently from any pool worker;
-// stats() returns this session's counters only (thread-safe).
+// groups are independent), and enqueues the session's prefetch ranking
+// into the shared queue; end_frame() drops exactly the pins this session
+// took. acquire()/release() pass through to the shared cache with
+// per-session attribution, requesting the frame's selected tier per group.
+// acquire() may be called concurrently from any pool worker; stats()
+// returns this session's counters only (thread-safe).
 class SessionSource final : public stream::GroupSource {
  public:
   SessionSource(stream::ResidencyCache& cache,
-                stream::SharedPrefetchQueue& queue);
+                stream::SharedPrefetchQueue& queue,
+                stream::LodPolicy lod = {});
 
   void begin_frame(const stream::FrameIntent& intent,
                    std::span<const voxel::DenseVoxelId> plan_voxels) override;
@@ -63,11 +73,25 @@ class SessionSource final : public stream::GroupSource {
   void release(voxel::DenseVoxelId v) override;
   core::StreamCacheStats stats() const override;
 
+  // Frames whose tier selection was demoted below the footprint-ideal tier
+  // by the policy's byte budget — the "quality gave way to bandwidth"
+  // signal a server operator watches.
+  std::size_t degraded_frames() const { return degraded_frames_; }
+  // Plan-group tier requests accumulated over all frames.
+  const std::array<std::uint64_t, core::kLodTierCount>& tier_requests() const {
+    return tier_requests_;
+  }
+  const stream::LodPolicy& lod() const { return lod_; }
+
  private:
   stream::ResidencyCache* cache_;
   stream::SharedPrefetchQueue* queue_;
+  stream::LodPolicy lod_;
+  stream::TierSelection selection_;  // current frame's tier per group
   stream::SessionCacheStats session_stats_;
   std::vector<voxel::DenseVoxelId> pinned_;  // this session's frame pins
+  std::array<std::uint64_t, core::kLodTierCount> tier_requests_{};
+  std::size_t degraded_frames_ = 0;
 };
 
 struct SceneServerConfig {
@@ -79,6 +103,10 @@ struct SceneServerConfig {
   // Sequence options every session renders with (plan reuse envelope,
   // binning margin, render options).
   core::SequenceOptions sequence;
+  // Quality policy sessions open with unless open_session() is given their
+  // own — each session streams the shared scene at its own fidelity. On a
+  // single-tier (v1) store every policy degenerates to L0.
+  stream::LodPolicy lod;
 };
 
 // Aggregated per-session outcome (latency in wall-clock milliseconds).
@@ -90,6 +118,10 @@ struct SessionReport {
   std::size_t stall_frames = 0;  // frames with >= 1 demand miss
   std::size_t plans_built = 0;
   std::size_t plans_reused = 0;
+  // LOD: plan-group tier requests over all frames, and frames whose
+  // selection was demoted below the footprint tier by the byte budget.
+  std::array<std::uint64_t, core::kLodTierCount> tier_requests{};
+  std::size_t degraded_frames = 0;
 };
 
 struct ServerReport {
@@ -124,8 +156,11 @@ class SceneServer {
   ~SceneServer();
 
   // Opens a new viewer session and returns its id (dense, starting at 0).
-  // Not thread-safe against concurrent render_frame()/run().
+  // Not thread-safe against concurrent render_frame()/run(). The default
+  // overload uses config().lod; the other gives the session its own
+  // quality policy over the same shared cache.
   int open_session();
+  int open_session(const stream::LodPolicy& lod);
   std::size_t session_count() const { return sessions_.size(); }
 
   // Renders the next frame of `session`'s camera path. Thread-safe across

@@ -111,21 +111,42 @@ SimReport simulate_streaminggs(const core::StreamingTrace& trace,
   const double write_cycles = static_cast<double>(trace.frame_write_bytes) / dram_bpc;
 
   // Out-of-core fetch traffic (residency-cache misses + prefetches paging
-  // voxel groups in from the asset store). Charged at the efficiency the
-  // detailed DRAM model predicts for the observed average chunk size —
-  // group payloads are single sequential bursts — and folded into the
+  // voxel groups in from the asset store). Charged *per LOD tier* at the
+  // efficiency the detailed DRAM model predicts for that tier's average
+  // chunk size — group payloads are single sequential bursts, and a pruned
+  // L2 payload is a much smaller burst than its L0, so it earns a worse
+  // efficiency per byte even as it moves fewer bytes. Folded into the
   // makespan like the write-back. Zero (and absent from stage_busy) for
   // fully-resident frames, which keeps their reports bit-identical.
   double fetch_cycles = 0.0;
   if (trace.cache.bytes_fetched > 0) {
-    const std::uint64_t fetches = trace.cache.misses + trace.cache.prefetches;
-    const std::uint64_t chunk =
-        std::max<std::uint64_t>(64, fetches > 0
-                                        ? trace.cache.bytes_fetched / fetches
-                                        : trace.cache.bytes_fetched);
-    const double eff = DramModel::effective_efficiency(chunk);
-    fetch_cycles = static_cast<double>(trace.cache.bytes_fetched) /
-                   (hw.dram.peak_bytes_per_cycle * eff);
+    std::uint64_t tier_bytes_sum = 0;
+    for (int t = 0; t < core::kLodTierCount; ++t) {
+      tier_bytes_sum += trace.cache.tier_bytes_fetched[t];
+    }
+    auto charge = [&](std::uint64_t bytes, std::uint64_t fetches) {
+      if (bytes == 0) return;
+      const std::uint64_t chunk =
+          std::max<std::uint64_t>(64, fetches > 0 ? bytes / fetches : bytes);
+      const double eff = DramModel::effective_efficiency(chunk);
+      fetch_cycles +=
+          static_cast<double>(bytes) / (hw.dram.peak_bytes_per_cycle * eff);
+    };
+    if (tier_bytes_sum > 0) {
+      for (int t = 0; t < core::kLodTierCount; ++t) {
+        charge(trace.cache.tier_bytes_fetched[t],
+               trace.cache.tier_misses[t] + trace.cache.tier_prefetches[t]);
+      }
+      // Traffic a producer did not tier-attribute (hand-built traces)
+      // still costs cycles at the all-up average chunk.
+      if (tier_bytes_sum < trace.cache.bytes_fetched) {
+        charge(trace.cache.bytes_fetched - tier_bytes_sum,
+               trace.cache.misses + trace.cache.prefetches);
+      }
+    } else {
+      charge(trace.cache.bytes_fetched,
+             trace.cache.misses + trace.cache.prefetches);
+    }
     dram_bytes += trace.cache.bytes_fetched;
   }
 

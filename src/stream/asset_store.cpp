@@ -1,6 +1,7 @@
 #include "stream/asset_store.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -12,10 +13,26 @@ namespace {
 
 // On-disk record sizes. Fixed constants, not sizeof() of host structs: the
 // fetch traffic the DRAM model charges must not depend on host padding.
-constexpr std::size_t kDirEntryBytes = 8 + 8 + 8 + 4 + 6 * 4;  // 52
-constexpr std::size_t kRawRecordBytes = 59 * sizeof(float);    // 236
-constexpr std::size_t kVqRecordBytes =
-    4 * sizeof(float) + 4 * sizeof(std::uint16_t);  // 24
+constexpr std::size_t kDirEntryBytesV1 = 8 + 8 + 8 + 4 + 6 * 4;  // 52
+constexpr std::size_t kTierExtentBytes = 8 + 8 + 4;              // 20
+
+std::size_t dir_entry_bytes_v2(int tiers) {
+  return 8 + 6 * 4 + static_cast<std::size_t>(tiers) * kTierExtentBytes;
+}
+
+// Bytes of one parameter record carrying `sh_coeffs` SH coefficients.
+// Raw: pos3 + scale3 + rot4 + opacity + 3*sh floats (236 B at full SH).
+// VQ: pos3 + opacity floats + scale/rotation/DC indices, plus the SH index
+// only when the tier stores any AC coefficients (24 B full, 22 B DC-only).
+std::size_t record_bytes(bool vq, int sh_coeffs) {
+  if (vq) {
+    return 4 * sizeof(float) +
+           (sh_coeffs > 1 ? 4 : 3) * sizeof(std::uint16_t);
+  }
+  return (11 + 3 * static_cast<std::size_t>(sh_coeffs)) * sizeof(float);
+}
+
+bool valid_sh_coeffs(int n) { return n == 1 || n == 4 || n == 9 || n == 16; }
 
 template <typename T>
 void put(std::ostream& out, T v) {
@@ -53,11 +70,83 @@ T peel(const char*& p) {
   return v;
 }
 
+// Local ranks (positions within the group's resident list) a tier keeps:
+// the top ceil(keep*count) residents by opacity * max_scale — the same
+// contribution proxy the coarse filter trusts — re-sorted into the original
+// resident order so tier payloads stream in the exact relative order the
+// full payload would, keeping rendering order deterministic per tier.
+std::vector<std::uint32_t> select_tier_ranks(
+    std::span<const float> importance, float keep) {
+  const auto count = static_cast<std::uint32_t>(importance.size());
+  if (count == 0) return {};
+  const auto want = static_cast<std::uint32_t>(std::clamp<double>(
+      std::ceil(static_cast<double>(keep) * count), 1.0, count));
+  std::vector<std::uint32_t> ranks(count);
+  for (std::uint32_t k = 0; k < count; ++k) ranks[k] = k;
+  // Ties broken by rank so selection is deterministic.
+  std::stable_sort(ranks.begin(), ranks.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return importance[a] != importance[b]
+                                ? importance[a] > importance[b]
+                                : a < b;
+                   });
+  ranks.resize(want);
+  std::sort(ranks.begin(), ranks.end());
+  return ranks;
+}
+
+// Writes one tier record: `sh_coeffs` SH coefficients survive (the decoder
+// zero-fills the rest) and `opacity_comp` is the pruned tier's opacity-
+// compensation factor (1 for tier 0): survivors absorb the opacity mass of
+// their pruned neighbors so the group's transmittance stays close to the
+// full payload's.
+void write_record(std::ostream& out, const core::StreamingScene& scene,
+                  bool vq, std::uint32_t mi, int sh_coeffs = gs::kShCoeffCount,
+                  float opacity_comp = 1.0f) {
+  if (vq) {
+    const vq::QuantizedModel& qm = *scene.quantized();
+    put_vec3(out, qm.position(mi));
+    put<float>(out, std::min(1.0f, qm.opacity(mi) * opacity_comp));
+    const vq::QuantizedIndices& qi = qm.indices(mi);
+    put<std::uint16_t>(out, qi.scale);
+    put<std::uint16_t>(out, qi.rotation);
+    put<std::uint16_t>(out, qi.dc);
+    if (sh_coeffs > 1) put<std::uint16_t>(out, qi.sh);
+  } else {
+    const gs::Gaussian& g = scene.render_model().gaussians[mi];
+    put_vec3(out, g.position);
+    put_vec3(out, g.scale);
+    put<float>(out, g.rotation.w);
+    put<float>(out, g.rotation.x);
+    put<float>(out, g.rotation.y);
+    put<float>(out, g.rotation.z);
+    put<float>(out, std::min(1.0f, g.opacity * opacity_comp));
+    for (int c = 0; c < sh_coeffs; ++c) {
+      put_vec3(out, g.sh[static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
 }  // namespace
 
 bool AssetStore::write(const std::string& path,
-                       const core::StreamingScene& scene) {
+                       const core::StreamingScene& scene,
+                       const AssetStoreWriteOptions& options) {
   if (!scene.params_resident()) return false;
+  const int tiers = options.tier_count;
+  if (tiers < 1 || tiers > kLodTierCount) return false;
+  // Tier 0 is the exact scene; lower tiers may only degrade.
+  if (options.tiers[0].keep < 1.0f ||
+      options.tiers[0].sh_coeffs != gs::kShCoeffCount) {
+    return false;
+  }
+  for (int t = 1; t < tiers; ++t) {
+    const TierSpec& spec = options.tiers[static_cast<std::size_t>(t)];
+    if (!(spec.keep > 0.0f && spec.keep <= 1.0f) ||
+        !valid_sh_coeffs(spec.sh_coeffs)) {
+      return false;
+    }
+  }
   const core::StreamingConfig& cfg = scene.config();
   const voxel::VoxelGrid& grid = scene.grid();
   const bool vq = cfg.use_vq;
@@ -67,7 +156,7 @@ bool AssetStore::write(const std::string& path,
   if (!out) return false;
 
   put<std::uint32_t>(out, kSgscMagic);
-  put<std::uint32_t>(out, kSgscVersion);
+  put<std::uint32_t>(out, tiers == 1 ? kSgscVersionV1 : kSgscVersion);
   put<std::uint32_t>(out, vq ? 1u : 0u);
   // Rendering config.
   put<float>(out, cfg.voxel_size);
@@ -85,6 +174,14 @@ bool AssetStore::write(const std::string& path,
   put<std::int32_t>(out, gc.dims.z);
   put<std::uint64_t>(out, static_cast<std::uint64_t>(grid.gaussian_count()));
   put<std::uint32_t>(out, static_cast<std::uint32_t>(grid.voxel_count()));
+  if (tiers > 1) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(tiers));
+    for (int t = 0; t < tiers; ++t) {
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(
+                                 options.tiers[static_cast<std::size_t>(t)]
+                                     .sh_coeffs));
+    }
+  }
 
   if (vq) {
     const vq::QuantizedModel& qm = *scene.quantized();
@@ -94,25 +191,109 @@ bool AssetStore::write(const std::string& path,
     }
   }
 
-  // Directory: payload offsets are computed up front (record sizes are
-  // fixed), so the file is written in one forward pass.
-  const std::size_t rec_bytes = vq ? kVqRecordBytes : kRawRecordBytes;
+  // Tier selection: per group, the local ranks each tier keeps (tier 0 is
+  // implicitly everything). Computed up front so directory offsets are
+  // known before any payload is written.
   const auto n_groups = static_cast<std::size_t>(grid.voxel_count());
-  std::uint64_t cursor = static_cast<std::uint64_t>(out.tellp()) +
-                         n_groups * kDirEntryBytes +
-                         grid.gaussian_count() * sizeof(std::uint32_t);
+  const gs::GaussianModel& model = scene.render_model();
+  // selected[t - 1][v] holds tier t's local ranks for group v.
+  std::vector<std::vector<std::vector<std::uint32_t>>> selected(
+      static_cast<std::size_t>(tiers > 1 ? tiers - 1 : 0));
+  if (tiers > 1) {
+    std::vector<float> importance;
+    for (std::size_t v = 0; v < n_groups; ++v) {
+      const auto residents =
+          grid.gaussians_in(static_cast<voxel::DenseVoxelId>(v));
+      importance.resize(residents.size());
+      for (std::size_t k = 0; k < residents.size(); ++k) {
+        const gs::Gaussian& g = model.gaussians[residents[k]];
+        importance[k] = g.opacity * g.max_scale();
+      }
+      std::uint32_t prev = static_cast<std::uint32_t>(residents.size());
+      for (int t = 1; t < tiers; ++t) {
+        auto ranks = select_tier_ranks(
+            importance, options.tiers[static_cast<std::size_t>(t)].keep);
+        // Monotone non-increasing across tiers even under odd keep
+        // fractions: a lower tier never carries more than the one above.
+        if (ranks.size() > prev) ranks.resize(prev);
+        prev = static_cast<std::uint32_t>(ranks.size());
+        selected[static_cast<std::size_t>(t - 1)].push_back(std::move(ranks));
+      }
+    }
+  }
+
+  // Directory: payload offsets are computed up front (record sizes are
+  // fixed per tier), so the file is written in one forward pass. Payloads
+  // are laid out tier-major (all L0 groups, then all L1, then all L2) so
+  // the L0 region reads exactly like a v1 payload section.
+  auto tier_count_of = [&](std::size_t v, int t) -> std::uint64_t {
+    if (t == 0) {
+      return grid.gaussians_in(static_cast<voxel::DenseVoxelId>(v)).size();
+    }
+    return selected[static_cast<std::size_t>(t - 1)][v].size();
+  };
+  std::uint64_t tier_table_entries = 0;
+  for (int t = 1; t < tiers; ++t) {
+    for (std::size_t v = 0; v < n_groups; ++v) {
+      tier_table_entries += tier_count_of(v, t);
+    }
+  }
+  const std::size_t dir_bytes =
+      tiers == 1 ? kDirEntryBytesV1 : dir_entry_bytes_v2(tiers);
+  std::uint64_t cursor =
+      static_cast<std::uint64_t>(out.tellp()) + n_groups * dir_bytes +
+      (grid.gaussian_count() + tier_table_entries) * sizeof(std::uint32_t);
+  // A tier whose spec degrades nothing relative to the tier above — both
+  // keep everything and their records are byte-identical (e.g. any VQ tier
+  // with sh_coeffs > 1: the SH index always decodes the full codebook
+  // entry) — is written as an ALIAS: its directory extents point at the
+  // tier above's payload and no bytes are duplicated on disk.
+  std::array<bool, kLodTierCount> alias{};
+  for (int t = 1; t < tiers; ++t) {
+    const TierSpec& above = options.tiers[static_cast<std::size_t>(t - 1)];
+    const TierSpec& spec = options.tiers[static_cast<std::size_t>(t)];
+    alias[static_cast<std::size_t>(t)] =
+        above.keep >= 1.0f && spec.keep >= 1.0f &&
+        record_bytes(vq, above.sh_coeffs) == record_bytes(vq, spec.sh_coeffs);
+  }
+
+  // Compute every tier extent first, then emit entries in one pass.
+  std::vector<std::array<TierExtent, kLodTierCount>> extents(n_groups);
+  for (int t = 0; t < tiers; ++t) {
+    const std::size_t rec_bytes = record_bytes(
+        vq, options.tiers[static_cast<std::size_t>(t)].sh_coeffs);
+    for (std::size_t v = 0; v < n_groups; ++v) {
+      TierExtent& e = extents[v][static_cast<std::size_t>(t)];
+      if (alias[static_cast<std::size_t>(t)]) {
+        e = extents[v][static_cast<std::size_t>(t - 1)];
+        continue;
+      }
+      e.count = static_cast<std::uint32_t>(tier_count_of(v, t));
+      e.bytes = static_cast<std::uint64_t>(e.count) * rec_bytes;
+      e.offset = cursor;
+      cursor += e.bytes;
+    }
+  }
   for (std::size_t v = 0; v < n_groups; ++v) {
     const auto dv = static_cast<voxel::DenseVoxelId>(v);
-    const std::uint64_t count = grid.gaussians_in(dv).size();
-    const std::uint64_t bytes = count * rec_bytes;
-    put<std::int64_t>(out, grid.raw_of_dense(dv));
-    put<std::uint64_t>(out, cursor);
-    put<std::uint64_t>(out, bytes);
-    put<std::uint32_t>(out, static_cast<std::uint32_t>(count));
     const Vec3f lo = grid.voxel_min_corner(dv);
-    put_vec3(out, lo);
-    put_vec3(out, lo + Vec3f::splat(gc.voxel_size));
-    cursor += bytes;
+    if (tiers == 1) {
+      put<std::int64_t>(out, grid.raw_of_dense(dv));
+      put<std::uint64_t>(out, extents[v][0].offset);
+      put<std::uint64_t>(out, extents[v][0].bytes);
+      put<std::uint32_t>(out, extents[v][0].count);
+      put_vec3(out, lo);
+      put_vec3(out, lo + Vec3f::splat(gc.voxel_size));
+    } else {
+      put<std::int64_t>(out, grid.raw_of_dense(dv));
+      put_vec3(out, lo);
+      put_vec3(out, lo + Vec3f::splat(gc.voxel_size));
+      for (int t = 0; t < tiers; ++t) {
+        put<std::uint64_t>(out, extents[v][static_cast<std::size_t>(t)].offset);
+        put<std::uint64_t>(out, extents[v][static_cast<std::size_t>(t)].bytes);
+        put<std::uint32_t>(out, extents[v][static_cast<std::size_t>(t)].count);
+      }
+    }
   }
 
   // Index table: the resident spatial index (model indices per group).
@@ -123,31 +304,47 @@ bool AssetStore::write(const std::string& path,
               static_cast<std::streamsize>(residents.size() *
                                            sizeof(std::uint32_t)));
   }
+  // Tier tables: the pruned groups' model indices, same framing.
+  for (int t = 1; t < tiers; ++t) {
+    for (std::size_t v = 0; v < n_groups; ++v) {
+      const auto residents =
+          grid.gaussians_in(static_cast<voxel::DenseVoxelId>(v));
+      for (const std::uint32_t rank : selected[static_cast<std::size_t>(t - 1)][v]) {
+        put<std::uint32_t>(out, residents[rank]);
+      }
+    }
+  }
 
-  // Payloads.
-  const gs::GaussianModel& model = scene.render_model();
-  for (std::size_t v = 0; v < n_groups; ++v) {
-    for (const std::uint32_t mi :
-         grid.gaussians_in(static_cast<voxel::DenseVoxelId>(v))) {
-      if (vq) {
-        const vq::QuantizedModel& qm = *scene.quantized();
-        put_vec3(out, qm.position(mi));
-        put<float>(out, qm.opacity(mi));
-        const vq::QuantizedIndices& qi = qm.indices(mi);
-        put<std::uint16_t>(out, qi.scale);
-        put<std::uint16_t>(out, qi.rotation);
-        put<std::uint16_t>(out, qi.dc);
-        put<std::uint16_t>(out, qi.sh);
+  // Payloads, tier-major. Pruned tiers compensate: the kept records'
+  // opacities are scaled so the group keeps (approximately) the opacity
+  // mass the pruned Gaussians carried, clamped to [1, 2]x per record and
+  // to 1.0 absolute — without it a pruned group goes visibly translucent.
+  for (int t = 0; t < tiers; ++t) {
+    if (alias[static_cast<std::size_t>(t)]) continue;  // shares the payload above
+    for (std::size_t v = 0; v < n_groups; ++v) {
+      const auto residents =
+          grid.gaussians_in(static_cast<voxel::DenseVoxelId>(v));
+      if (t == 0) {
+        for (const std::uint32_t mi : residents) write_record(out, scene, vq, mi);
       } else {
-        const gs::Gaussian& g = model.gaussians[mi];
-        put_vec3(out, g.position);
-        put_vec3(out, g.scale);
-        put<float>(out, g.rotation.w);
-        put<float>(out, g.rotation.x);
-        put<float>(out, g.rotation.y);
-        put<float>(out, g.rotation.z);
-        put<float>(out, g.opacity);
-        for (const Vec3f& c : g.sh) put_vec3(out, c);
+        const auto& sel = selected[static_cast<std::size_t>(t - 1)][v];
+        const int sh =
+            options.tiers[static_cast<std::size_t>(t)].sh_coeffs;
+        float full_mass = 0.0f;
+        float kept_mass = 0.0f;
+        for (const std::uint32_t mi : residents) {
+          full_mass += model.gaussians[mi].opacity;
+        }
+        for (const std::uint32_t rank : sel) {
+          kept_mass += model.gaussians[residents[rank]].opacity;
+        }
+        const float comp =
+            kept_mass > 0.0f
+                ? std::clamp(full_mass / kept_mass, 1.0f, 2.0f)
+                : 1.0f;
+        for (const std::uint32_t rank : sel) {
+          write_record(out, scene, vq, residents[rank], sh, comp);
+        }
       }
     }
   }
@@ -163,7 +360,8 @@ AssetStore::AssetStore(const std::string& path)
   if (get<std::uint32_t>(file_) != kSgscMagic) {
     throw std::runtime_error("bad .sgsc magic");
   }
-  if (get<std::uint32_t>(file_) != kSgscVersion) {
+  const std::uint32_t version = get<std::uint32_t>(file_);
+  if (version != kSgscVersionV1 && version != kSgscVersion) {
     throw std::runtime_error("unsupported .sgsc version");
   }
   vq_ = (get<std::uint32_t>(file_) & 1u) != 0;
@@ -190,6 +388,26 @@ AssetStore::AssetStore(const std::string& path)
       n_groups > (1u << 28)) {
     throw std::runtime_error(".sgsc counts implausible");
   }
+  if (version >= kSgscVersion) {
+    tier_count_ = get<std::uint8_t>(file_);
+    if (tier_count_ < 2 || tier_count_ > kLodTierCount) {
+      // A v2 file with one tier is written as v1; anything else is corrupt.
+      throw std::runtime_error(".sgsc tier count implausible");
+    }
+    for (int t = 0; t < tier_count_; ++t) {
+      tier_sh_[static_cast<std::size_t>(t)] = get<std::uint8_t>(file_);
+    }
+    if (tier_sh_[0] != gs::kShCoeffCount) {
+      throw std::runtime_error(".sgsc tier 0 must carry full SH");
+    }
+    for (int t = 1; t < tier_count_; ++t) {
+      if (!valid_sh_coeffs(tier_sh_[static_cast<std::size_t>(t)])) {
+        throw std::runtime_error(".sgsc tier SH count invalid");
+      }
+    }
+  } else {
+    tier_count_ = 1;
+  }
 
   if (vq_) {
     scale_cb_ = vq::Codebook::load(file_);
@@ -204,35 +422,82 @@ AssetStore::AssetStore(const std::string& path)
 
   directory_.resize(n_groups);
   std::uint64_t total_count = 0;
-  const std::uint64_t rec_bytes = vq_ ? kVqRecordBytes : kRawRecordBytes;
   for (AssetDirEntry& e : directory_) {
     e.raw_id = get<std::int64_t>(file_);
-    e.offset = get<std::uint64_t>(file_);
-    e.bytes = get<std::uint64_t>(file_);
-    e.count = get<std::uint32_t>(file_);
-    e.aabb_min = get_vec3(file_);
-    e.aabb_max = get_vec3(file_);
-    // The payload must hold exactly count fixed-size records and lie
-    // inside the file — otherwise read_group would decode past its buffer.
-    if (e.bytes != e.count * rec_bytes || e.offset > file_size ||
-        e.bytes > file_size - e.offset) {
-      throw std::runtime_error(".sgsc directory entry inconsistent");
+    if (tier_count_ == 1) {
+      e.tiers[0].offset = get<std::uint64_t>(file_);
+      e.tiers[0].bytes = get<std::uint64_t>(file_);
+      e.tiers[0].count = get<std::uint32_t>(file_);
+      e.aabb_min = get_vec3(file_);
+      e.aabb_max = get_vec3(file_);
+    } else {
+      e.aabb_min = get_vec3(file_);
+      e.aabb_max = get_vec3(file_);
+      for (int t = 0; t < tier_count_; ++t) {
+        TierExtent& x = e.tiers[static_cast<std::size_t>(t)];
+        x.offset = get<std::uint64_t>(file_);
+        x.bytes = get<std::uint64_t>(file_);
+        x.count = get<std::uint32_t>(file_);
+      }
+    }
+    e.offset = e.tiers[0].offset;
+    e.bytes = e.tiers[0].bytes;
+    e.count = e.tiers[0].count;
+    std::uint32_t prev_count = e.count;
+    for (int t = 0; t < tier_count_; ++t) {
+      const TierExtent& x = e.tiers[static_cast<std::size_t>(t)];
+      const std::uint64_t rec_bytes =
+          record_bytes(vq_, tier_sh_[static_cast<std::size_t>(t)]);
+      // Each tier payload must hold exactly count fixed-size records, lie
+      // inside the file — otherwise read_group would decode past its buffer
+      // — and never carry more residents than the tier above it.
+      if (x.bytes != x.count * rec_bytes || x.offset > file_size ||
+          x.bytes > file_size - x.offset || x.count > prev_count) {
+        throw std::runtime_error(".sgsc directory entry inconsistent");
+      }
+      prev_count = x.count;
+      payload_total_[static_cast<std::size_t>(t)] += x.bytes;
     }
     total_count += e.count;
-    payload_total_ += e.bytes;
   }
   if (total_count != gaussian_count_) {
     throw std::runtime_error(".sgsc directory does not cover the model");
   }
 
-  index_table_.resize(gaussian_count_);
-  file_.read(reinterpret_cast<char*>(index_table_.data()),
-             static_cast<std::streamsize>(index_table_.size() *
-                                          sizeof(std::uint32_t)));
-  if (!file_) throw std::runtime_error("truncated .sgsc index table");
-  index_offsets_.resize(n_groups + 1, 0);
-  for (std::uint32_t v = 0; v < n_groups; ++v) {
-    index_offsets_[v + 1] = index_offsets_[v] + directory_[v].count;
+  // Index tables: tier 0 is the full resident spatial index; tiers >= 1 are
+  // the pruned subsets, each validated to be a subsequence of tier 0.
+  for (int t = 0; t < tier_count_; ++t) {
+    auto& table = index_table_[static_cast<std::size_t>(t)];
+    auto& offsets = index_offsets_[static_cast<std::size_t>(t)];
+    std::uint64_t entries = 0;
+    for (std::uint32_t v = 0; v < n_groups; ++v) {
+      entries += directory_[v].tiers[static_cast<std::size_t>(t)].count;
+    }
+    table.resize(entries);
+    file_.read(reinterpret_cast<char*>(table.data()),
+               static_cast<std::streamsize>(table.size() *
+                                            sizeof(std::uint32_t)));
+    if (!file_) throw std::runtime_error("truncated .sgsc index table");
+    offsets.resize(n_groups + 1, 0);
+    for (std::uint32_t v = 0; v < n_groups; ++v) {
+      offsets[v + 1] =
+          offsets[v] + directory_[v].tiers[static_cast<std::size_t>(t)].count;
+    }
+  }
+  for (int t = 1; t < tier_count_; ++t) {
+    for (std::uint32_t v = 0; v < n_groups; ++v) {
+      const auto full = group_indices(static_cast<voxel::DenseVoxelId>(v), 0);
+      const auto sub = group_indices(static_cast<voxel::DenseVoxelId>(v), t);
+      std::size_t i = 0;
+      for (const std::uint32_t mi : sub) {
+        while (i < full.size() && full[i] != mi) ++i;
+        if (i == full.size()) {
+          throw std::runtime_error(
+              ".sgsc tier table is not a subsequence of the group index");
+        }
+        ++i;
+      }
+    }
   }
 
   // Reassemble the resident spatial index.
@@ -247,14 +512,17 @@ AssetStore::AssetStore(const std::string& path)
 }
 
 std::span<const std::uint32_t> AssetStore::group_indices(
-    voxel::DenseVoxelId v) const {
-  const auto b = static_cast<std::size_t>(index_offsets_[static_cast<std::size_t>(v)]);
-  const auto e = static_cast<std::size_t>(index_offsets_[static_cast<std::size_t>(v) + 1]);
-  return {index_table_.data() + b, e - b};
+    voxel::DenseVoxelId v, int tier) const {
+  const auto& offsets = index_offsets_[static_cast<std::size_t>(tier)];
+  const auto& table = index_table_[static_cast<std::size_t>(tier)];
+  const auto b = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+  const auto e =
+      static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1]);
+  return {table.data() + b, e - b};
 }
 
-DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v) const {
-  const AssetDirEntry& e = entry(v);
+DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v, int tier) const {
+  const TierExtent& e = tier_extent(v, tier);
   std::vector<char> buf(static_cast<std::size_t>(e.bytes));
   {
     std::lock_guard<std::mutex> lk(file_mutex_);
@@ -265,10 +533,12 @@ DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v) const {
   }
 
   DecodedGroup group;
-  group.model_indices = group_indices(v);
+  group.model_indices = group_indices(v, tier);
   group.payload_bytes = e.bytes;
+  group.tier = tier;
   group.gaussians.resize(e.count);
   group.coarse_max_scale.resize(e.count);
+  const int sh_n = tier_sh_[static_cast<std::size_t>(tier)];
   const char* p = buf.data();
   for (std::uint32_t k = 0; k < e.count; ++k) {
     gs::Gaussian& g = group.gaussians[k];
@@ -280,24 +550,35 @@ DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v) const {
       const auto si = peel<std::uint16_t>(p);
       const auto ri = peel<std::uint16_t>(p);
       const auto di = peel<std::uint16_t>(p);
-      const auto hi = peel<std::uint16_t>(p);
       if (si >= scale_cb_.size() || ri >= rotation_cb_.size() ||
-          di >= dc_cb_.size() || hi >= sh_cb_.size()) {
+          di >= dc_cb_.size()) {
         throw std::runtime_error(".sgsc payload index out of codebook range");
       }
       // Same lookups as QuantizedModel::decode — a cached group is
-      // bit-identical to the prepared scene's render model.
+      // bit-identical to the prepared scene's render model. Tiers with
+      // truncated SH omit the SH index; the AC tail decodes to zero.
       const auto s = scale_cb_.entry(si);
       g.scale = {s[0], s[1], s[2]};
       const auto r = rotation_cb_.entry(ri);
       g.rotation = Quatf{r[0], r[1], r[2], r[3]};
       const auto d = dc_cb_.entry(di);
       g.sh[0] = {d[0], d[1], d[2]};
-      const auto rest = sh_cb_.entry(hi);
-      for (int c = 1; c < gs::kShCoeffCount; ++c) {
-        const std::size_t base = static_cast<std::size_t>(c - 1) * 3;
-        g.sh[static_cast<std::size_t>(c)] = {rest[base], rest[base + 1],
-                                             rest[base + 2]};
+      if (sh_n > 1) {
+        const auto hi = peel<std::uint16_t>(p);
+        if (hi >= sh_cb_.size()) {
+          throw std::runtime_error(
+              ".sgsc payload index out of codebook range");
+        }
+        const auto rest = sh_cb_.entry(hi);
+        for (int c = 1; c < gs::kShCoeffCount; ++c) {
+          const std::size_t base = static_cast<std::size_t>(c - 1) * 3;
+          g.sh[static_cast<std::size_t>(c)] = {rest[base], rest[base + 1],
+                                               rest[base + 2]};
+        }
+      } else {
+        for (int c = 1; c < gs::kShCoeffCount; ++c) {
+          g.sh[static_cast<std::size_t>(c)] = {0.0f, 0.0f, 0.0f};
+        }
       }
       group.coarse_max_scale[k] = std::max(s[0], std::max(s[1], s[2]));
     } else {
@@ -312,10 +593,13 @@ DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v) const {
       g.rotation.y = peel<float>(p);
       g.rotation.z = peel<float>(p);
       g.opacity = peel<float>(p);
-      for (int c = 0; c < gs::kShCoeffCount; ++c) {
+      for (int c = 0; c < sh_n; ++c) {
         g.sh[static_cast<std::size_t>(c)].x = peel<float>(p);
         g.sh[static_cast<std::size_t>(c)].y = peel<float>(p);
         g.sh[static_cast<std::size_t>(c)].z = peel<float>(p);
+      }
+      for (int c = sh_n; c < gs::kShCoeffCount; ++c) {
+        g.sh[static_cast<std::size_t>(c)] = {0.0f, 0.0f, 0.0f};
       }
       group.coarse_max_scale[k] = g.max_scale();
     }

@@ -1,0 +1,122 @@
+#include "stream/lod_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gs/projection.hpp"
+
+namespace sgs::stream {
+
+namespace {
+
+// Projected pixel extent of the group's voxel edge at its nearest depth,
+// inflated by the caller's motion envelope exactly like the prefetch
+// ranking: the tier must stay right while the camera drifts within the
+// plan-reuse window.
+float group_footprint_px(const AssetStore& store, const FrameIntent& intent,
+                         voxel::DenseVoxelId v) {
+  const AssetDirEntry& e = store.entry(v);
+  const gs::Camera& cam = *intent.camera;
+  const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
+  const float radius = (e.aabb_max - e.aabb_min).norm() * 0.5f;
+  const float edge = e.aabb_max.x - e.aabb_min.x;  // voxels are cubes
+  const Vec3f c_cam = cam.world_to_camera(center);
+  const float trans_env = intent.motion_translation;
+  const float near_z = std::max(c_cam.z - radius - trans_env, gs::kNearClip);
+  return cam.focal_max() * edge / near_z;
+}
+
+}  // namespace
+
+int select_group_tier(const AssetStore& store, const FrameIntent& intent,
+                      voxel::DenseVoxelId v, const LodPolicy& policy) {
+  if (policy.force_tier0 || intent.camera == nullptr) return 0;
+  const int store_max = store.tier_count() - 1;
+  const int max_tier = std::clamp(policy.max_tier, 0, store_max);
+  if (max_tier == 0) return 0;
+  const float fp = group_footprint_px(store, intent, v);
+  int tier = 0;
+  if (fp < policy.footprint_full_px) tier = 1;
+  if (fp < policy.footprint_half_px) tier = 2;
+  return std::min(tier, max_tier);
+}
+
+TierSelection select_frame_tiers(
+    const AssetStore& store, const FrameIntent& intent,
+    std::span<const voxel::DenseVoxelId> plan_voxels,
+    const LodPolicy& policy) {
+  TierSelection sel;
+  sel.tier_by_group.assign(static_cast<std::size_t>(store.group_count()), 0);
+  if (plan_voxels.empty()) return sel;
+
+  struct Candidate {
+    float depth;
+    voxel::DenseVoxelId id;
+    int tier;
+  };
+  std::vector<Candidate> order;
+  order.reserve(plan_voxels.size());
+  for (const voxel::DenseVoxelId v : plan_voxels) {
+    const AssetDirEntry& e = store.entry(v);
+    const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
+    const float depth = intent.camera != nullptr
+                            ? (center - intent.camera->position()).norm()
+                            : 0.0f;
+    order.push_back({depth, v, select_group_tier(store, intent, v, policy)});
+  }
+
+  // Budget demotion walks near-to-far: near groups keep their footprint
+  // tier (they dominate the image), far groups absorb the cut. The
+  // estimate charges every group's tier payload as if it had to be fetched
+  // — deliberately blind to residency, so selection stays a pure function
+  // of the camera (see header).
+  const int store_max = store.tier_count() - 1;
+  const int max_tier = std::clamp(policy.max_tier, 0, store_max);
+  if (policy.frame_fetch_budget_bytes > 0 && !policy.force_tier0 &&
+      max_tier > 0) {
+    std::sort(order.begin(), order.end(), [](const Candidate& a,
+                                             const Candidate& b) {
+      return a.depth != b.depth ? a.depth < b.depth : a.id < b.id;
+    });
+    std::uint64_t est = 0;
+    bool over = false;
+    for (Candidate& c : order) {
+      if (!over) {
+        est += store.tier_extent(c.id, c.tier).bytes;
+        if (est > policy.frame_fetch_budget_bytes) over = true;
+      } else if (c.tier < max_tier) {
+        c.tier = max_tier;
+        ++sel.demoted;
+      }
+    }
+  }
+
+  for (const Candidate& c : order) {
+    sel.tier_by_group[static_cast<std::size_t>(c.id)] =
+        static_cast<std::uint8_t>(c.tier);
+    ++sel.histogram[static_cast<std::size_t>(c.tier)];
+  }
+  return sel;
+}
+
+LodPolicy lod_policy_from_name(const std::string& name) {
+  LodPolicy p;
+  if (name == "off" || name == "l0") {
+    p.force_tier0 = true;
+  } else if (name == "quality") {
+    p.footprint_full_px = 48.0f;
+    p.footprint_half_px = 16.0f;
+  } else if (name == "balanced") {
+    // The LodPolicy{} defaults.
+  } else if (name == "aggressive") {
+    p.footprint_full_px = 192.0f;
+    p.footprint_half_px = 96.0f;
+  } else {
+    throw std::invalid_argument("unknown LOD policy: " + name +
+                                " (try off|quality|balanced|aggressive)");
+  }
+  return p;
+}
+
+}  // namespace sgs::stream

@@ -1,0 +1,87 @@
+// LodPolicy: which payload tier each voxel group should stream at.
+//
+// A .sgsc v2 store carries up to kLodTierCount payload tiers per group
+// (L0 full fidelity, L1/L2 importance-pruned — see asset_store.hpp). The
+// policy maps a group's projected screen-space footprint to a requested
+// tier: a group whose voxel spans many pixels needs every Gaussian, a
+// group shrinking toward a dot does not. Selection is a *pure function* of
+// (camera, policy, store) — it never reads cache residency — so a session's
+// tier requests are deterministic and independent of who else shares the
+// cache (the serve layer's "served == alone" reasoning depends on this).
+//
+// Budget-aware demotion: when frame_fetch_budget_bytes is set, plan groups
+// are walked near-to-far and, once the worst-case fetch estimate of the
+// tiers chosen so far exceeds the budget, every remaining (farther) group
+// demotes to max_tier. The estimate deliberately charges every group as if
+// it had to be fetched — residency would make selection depend on shared
+// cache state. Frames that demoted at least one group below its footprint
+// tier are "degraded" (ServerReport counts them per session).
+//
+// force_tier0 is the golden-test switch: every request is L0, which makes
+// out-of-core rendering bit-identical to resident rendering even on a
+// multi-tier store.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/asset_store.hpp"
+#include "stream/group_source.hpp"
+
+namespace sgs::stream {
+
+struct LodPolicy {
+  // Footprint thresholds, in projected pixels of the voxel edge at the
+  // group's nearest depth: >= full goes L0, >= half goes L1, below goes L2.
+  float footprint_full_px = 96.0f;
+  float footprint_half_px = 40.0f;
+  // Lowest-fidelity tier the policy may request (further clamped by the
+  // store's tier_count).
+  int max_tier = kLodTierCount - 1;
+  // Worst-case per-frame fetch-byte target for demotion; 0 disables.
+  std::uint64_t frame_fetch_budget_bytes = 0;
+  // Request L0 everywhere (bit-exact out-of-core rendering).
+  bool force_tier0 = false;
+};
+
+// Per-frame outcome of tier selection over a FramePlan's candidate set.
+struct TierSelection {
+  // Dense voxel id -> requested tier. Groups outside the plan request L0
+  // (they are only touched by prefetch, which ranks them itself).
+  std::vector<std::uint8_t> tier_by_group;
+  // Plan groups per requested tier.
+  std::array<std::uint32_t, kLodTierCount> histogram{};
+  // Plan groups pushed below their footprint tier by the byte budget.
+  std::uint32_t demoted = 0;
+
+  // The tier an acquire of `v` should request under this selection; a
+  // default-constructed (never-selected) instance requests L0 everywhere.
+  int tier_of(voxel::DenseVoxelId v) const {
+    return tier_by_group.empty()
+               ? 0
+               : tier_by_group[static_cast<std::size_t>(v)];
+  }
+};
+
+// The footprint tier for one group under `policy` (no budget demotion).
+// Returns 0 when the intent has no camera.
+int select_group_tier(const AssetStore& store, const FrameIntent& intent,
+                      voxel::DenseVoxelId v, const LodPolicy& policy);
+
+// Tier selection for a frame's plan candidates, including budget demotion.
+TierSelection select_frame_tiers(const AssetStore& store,
+                                 const FrameIntent& intent,
+                                 std::span<const voxel::DenseVoxelId> plan_voxels,
+                                 const LodPolicy& policy);
+
+// Named presets for CLI flags (--lod / --quality):
+//   "off" | "l0"  force_tier0 (bit-exact)
+//   "quality"     conservative thresholds, little pruning
+//   "balanced"    the LodPolicy{} defaults
+//   "aggressive"  eager pruning, maximum fetch savings
+// Throws std::invalid_argument on unknown names.
+LodPolicy lod_policy_from_name(const std::string& name);
+
+}  // namespace sgs::stream

@@ -17,23 +17,49 @@ void ResidencyCache::begin_frame(
   // it must not be evicted while the frame is in flight (views into it may
   // outlive their release()).
   frame_pins_.assign(plan_voxels.begin(), plan_voxels.end());
-  pin_plan(frame_pins_);
+  std::lock_guard<std::mutex> lk(mutex_);
+  assert(!bracket_active_ &&
+         "ResidencyCache::begin_frame frames must not overlap");
+  bracket_active_ = true;
+  pin_plan_locked(frame_pins_);
 }
 
 void ResidencyCache::end_frame() {
-  unpin_plan(frame_pins_);
+  std::lock_guard<std::mutex> lk(mutex_);
+  assert(bracket_active_ && "end_frame without begin_frame");
+  unpin_plan_locked(frame_pins_);
   frame_pins_.clear();
+  bracket_active_ = false;
 }
 
 void ResidencyCache::pin_plan(std::span<const voxel::DenseVoxelId> voxels) {
   std::lock_guard<std::mutex> lk(mutex_);
+  // The single-session bracket and multi-session pin_plan must not drive
+  // one cache at the same time: the bracket owns the frame_pins_ slot and
+  // assumes it is the only pinner whose unpin drains the budget overshoot.
+  assert(!bracket_active_ &&
+         "pin_plan while a begin_frame/end_frame bracket is active — use one "
+         "pinning path per cache");
+  pin_plan_locked(voxels);
+}
+
+void ResidencyCache::unpin_plan(std::span<const voxel::DenseVoxelId> voxels) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  assert(!bracket_active_ &&
+         "unpin_plan while a begin_frame/end_frame bracket is active — use "
+         "one pinning path per cache");
+  unpin_plan_locked(voxels);
+}
+
+void ResidencyCache::pin_plan_locked(
+    std::span<const voxel::DenseVoxelId> voxels) {
   for (const voxel::DenseVoxelId v : voxels) {
     ++entries_[static_cast<std::size_t>(v)].plan_pins;
   }
 }
 
-void ResidencyCache::unpin_plan(std::span<const voxel::DenseVoxelId> voxels) {
-  std::lock_guard<std::mutex> lk(mutex_);
+void ResidencyCache::unpin_plan_locked(
+    std::span<const voxel::DenseVoxelId> voxels) {
   for (const voxel::DenseVoxelId v : voxels) {
     Entry& e = entries_[static_cast<std::size_t>(v)];
     assert(e.plan_pins > 0);
@@ -48,24 +74,36 @@ GroupView ResidencyCache::acquire(voxel::DenseVoxelId v) {
   return acquire_outcome(v).view;
 }
 
-AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v) {
+AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
+                                               int tier) {
   std::unique_lock<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
   AcquireOutcome out;
+  out.requested_tier = tier;
   for (;;) {
-    if (e.resident) {
-      if (!out.missed) ++stats_.hits;
-      break;
-    }
     if (e.loading) {
       // Another worker (or the prefetcher) is fetching this group; its
-      // arrival serves this acquire without paying a fetch: a hit.
+      // arrival serves this acquire without paying a fetch: a hit, as long
+      // as the arriving tier satisfies the request (re-checked below).
       cv_.wait(lk, [&e] { return !e.loading; });
       continue;
     }
-    // Demand miss: this render worker stalls on the fetch.
+    if (e.resident && e.tier <= tier) {
+      if (!out.missed) {
+        ++stats_.hits;
+        ++stats_.tier_hits[static_cast<std::size_t>(e.tier)];
+      }
+      break;
+    }
+    // Demand miss (absent) or upgrade (resident at a worse tier): this
+    // render worker stalls on the fetch either way.
     ++stats_.misses;
-    fetch_locked(lk, v, /*is_prefetch=*/false);
+    ++stats_.tier_misses[static_cast<std::size_t>(tier)];
+    if (e.resident) {
+      ++stats_.upgrades;
+      out.upgraded = true;
+    }
+    fetch_locked(lk, v, tier, /*is_prefetch=*/false);
     out.missed = true;
     out.bytes_fetched = e.group.payload_bytes;
   }
@@ -75,6 +113,7 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v) {
   // group pinned the pass could otherwise evict the group this very call
   // just fetched (fetch_locked defers eviction for exactly that reason).
   if (out.missed) evict_over_budget_locked();
+  out.served_tier = e.tier;
   out.view.model_indices = e.group.model_indices;
   out.view.gaussians = e.group.gaussians.data();
   out.view.coarse_max_scale = e.group.coarse_max_scale.data();
@@ -87,14 +126,20 @@ void ResidencyCache::release(voxel::DenseVoxelId v) {
   Entry& e = entries_[static_cast<std::size_t>(v)];
   assert(e.resident && e.pins > 0);
   --e.pins;
+  // An upgrade may be parked on this group waiting for views to drain.
+  if (e.pins == 0 && e.loading) cv_.notify_all();
 }
 
-bool ResidencyCache::prefetch(voxel::DenseVoxelId v,
+bool ResidencyCache::prefetch(voxel::DenseVoxelId v, int tier,
                               std::uint64_t* fetched_bytes) {
   std::unique_lock<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
-  if (e.resident || e.loading) return false;
-  fetch_locked(lk, v, /*is_prefetch=*/true);
+  if (e.loading) return false;
+  if (e.resident && e.tier <= tier) return false;
+  // Upgrading a group someone is reading would block the async lane on the
+  // readers; leave it to the next demand acquire instead.
+  if (e.resident && e.pins > 0) return false;
+  fetch_locked(lk, v, tier, /*is_prefetch=*/true);
   if (fetched_bytes != nullptr) *fetched_bytes = e.group.payload_bytes;
   evict_over_budget_locked();
   return true;
@@ -105,6 +150,12 @@ bool ResidencyCache::resident(voxel::DenseVoxelId v) const {
   return entries_[static_cast<std::size_t>(v)].resident;
 }
 
+int ResidencyCache::resident_tier(voxel::DenseVoxelId v) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const Entry& e = entries_[static_cast<std::size_t>(v)];
+  return e.resident ? e.tier : -1;
+}
+
 std::vector<std::uint8_t> ResidencyCache::resident_snapshot() const {
   std::vector<std::uint8_t> flags(entries_.size(), 0);
   std::lock_guard<std::mutex> lk(mutex_);
@@ -112,6 +163,17 @@ std::vector<std::uint8_t> ResidencyCache::resident_snapshot() const {
     flags[i] = entries_[i].resident ? 1 : 0;
   }
   return flags;
+}
+
+std::vector<std::uint8_t> ResidencyCache::tier_snapshot() const {
+  std::vector<std::uint8_t> tiers(entries_.size(), kTierAbsent);
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].resident) {
+      tiers[i] = static_cast<std::uint8_t>(entries_[i].tier);
+    }
+  }
+  return tiers;
 }
 
 std::uint64_t ResidencyCache::resident_bytes() const {
@@ -125,22 +187,42 @@ core::StreamCacheStats ResidencyCache::stats() const {
 }
 
 void ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
-                                  voxel::DenseVoxelId v, bool is_prefetch) {
+                                  voxel::DenseVoxelId v, int tier,
+                                  bool is_prefetch) {
   Entry& e = entries_[static_cast<std::size_t>(v)];
   e.loading = true;
+  const bool upgrade = e.resident;
+  if (upgrade) {
+    // Replacing the payload invalidates its buffers; wait for outstanding
+    // views to drain first. New acquires queue behind `loading`, and the
+    // pipeline holds at most one group per worker while waiting on none,
+    // so the drain cannot deadlock. Eviction skips loading entries.
+    cv_.wait(lk, [&e] { return e.pins == 0; });
+  }
   lk.unlock();
   // Disk read + decode outside the lock: other groups stay acquirable and
   // other fetches only serialize on the store's own file mutex.
-  DecodedGroup fetched = store_->read_group(v);
+  DecodedGroup fetched = store_->read_group(v, tier);
   lk.lock();
+  if (upgrade) {
+    resident_bytes_ -= e.group.resident_bytes();
+  }
   e.group = std::move(fetched);
+  e.tier = tier;
   e.loading = false;
-  e.resident = true;
-  lru_.push_front(v);
-  e.lru_it = lru_.begin();
+  if (!e.resident) {
+    e.resident = true;
+    lru_.push_front(v);
+    e.lru_it = lru_.begin();
+  }
   resident_bytes_ += e.group.resident_bytes();
   stats_.bytes_fetched += e.group.payload_bytes;
-  if (is_prefetch) ++stats_.prefetches;
+  stats_.tier_bytes_fetched[static_cast<std::size_t>(tier)] +=
+      e.group.payload_bytes;
+  if (is_prefetch) {
+    ++stats_.prefetches;
+    ++stats_.tier_prefetches[static_cast<std::size_t>(tier)];
+  }
   // Deliberately no eviction pass here: a demand-missing acquire must pin
   // the new entry first, or — with every other resident group pinned — the
   // pass could evict the group it just fetched out from under the caller.
@@ -161,7 +243,9 @@ void ResidencyCache::evict_over_budget_locked() {
   while (resident_bytes_ > config_.budget_bytes && it != lru_.begin()) {
     --it;
     Entry& e = entries_[static_cast<std::size_t>(*it)];
-    if (e.pins > 0 || e.plan_pins > 0) continue;  // protected; try next-older
+    if (e.pins > 0 || e.plan_pins > 0 || e.loading) {
+      continue;  // protected (or mid-upgrade); try next-older
+    }
     resident_bytes_ -= e.group.resident_bytes();
     e.group = DecodedGroup{};  // frees the decoded buffers
     e.resident = false;

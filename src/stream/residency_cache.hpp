@@ -6,6 +6,12 @@
 // miss (a demand stall — the render worker blocks on the disk read). A
 // loader thread can warm the cache ahead of demand through prefetch().
 //
+// Entries are tier-tagged (LOD): each group is resident at exactly one
+// payload tier at a time. A request for tier t is satisfied by any
+// resident tier <= t; a request better than the resident tier refetches
+// just that group (an upgrade). The per-tier hit/miss/prefetch/byte
+// counters and the upgrade count surface in stats() (trace v4).
+//
 // Eviction is strict LRU over unprotected groups: a group is protected
 // while (a) any acquire is outstanding on it (`pins`), or (b) at least one
 // in-flight FramePlan claims it (`plan_pins`, a refcount — several sessions
@@ -69,6 +75,13 @@ struct AcquireOutcome {
   bool missed = false;
   // On-disk payload bytes this call fetched (non-zero only when `missed`).
   std::uint64_t bytes_fetched = 0;
+  // LOD attribution: the tier the caller asked for, the tier the returned
+  // view actually carries (served <= requested — a resident better tier
+  // satisfies a worse request), and whether this call refetched an
+  // already-resident group at higher fidelity.
+  int requested_tier = 0;
+  int served_tier = 0;
+  bool upgraded = false;
 };
 
 class ResidencyCache final : public GroupSource {
@@ -92,6 +105,10 @@ class ResidencyCache final : public GroupSource {
   // Shared-session API ---------------------------------------------------
   // Adds one plan pin to every group in `voxels` (refcounted: k sessions
   // pinning a group protect it until all k unpin). Pinning does not fetch.
+  // Must not be mixed with the single-session begin_frame/end_frame
+  // bracket on the same cache (debug-asserted): a bracket caller owns the
+  // one frame_pins_ slot, so a concurrent pin_plan caller indicates two
+  // drivers disagreeing about the cache's mode.
   void pin_plan(std::span<const voxel::DenseVoxelId> voxels);
   // Drops one plan pin from every group in `voxels` and drains any budget
   // overshoot that the pins were holding back. Every pin_plan must be
@@ -101,15 +118,29 @@ class ResidencyCache final : public GroupSource {
   // acquire() with attribution: same pinning and blocking behavior, but the
   // caller learns whether *it* paid a demand fetch and how many payload
   // bytes that fetch read. The matching release(v) is unchanged.
-  AcquireOutcome acquire_outcome(voxel::DenseVoxelId v);
+  //
+  // Tier semantics (`tier` is the lowest fidelity the caller accepts, 0 =
+  // full): a resident group whose tier is <= `tier` is a hit and is served
+  // as-is — an L1 in the cache satisfies an L1-or-worse request. A group
+  // resident at a *worse* tier is refetched at `tier` (an upgrade: counted
+  // as a miss plus `upgrades`; the refetch reads only this group). The
+  // upgrade waits for outstanding views of the stale payload to drain
+  // before replacing it; callers never see buffers swap under a live view.
+  AcquireOutcome acquire_outcome(voxel::DenseVoxelId v, int tier = 0);
 
   // Loader-facing --------------------------------------------------------
-  // Fetches `v` if absent (counted as a prefetch, not a miss). Returns true
-  // when this call brought the group in, false when it was already resident
-  // or in flight. When it fetched and `fetched_bytes` is non-null, the
-  // payload bytes read are stored there (per-session attribution).
-  bool prefetch(voxel::DenseVoxelId v, std::uint64_t* fetched_bytes = nullptr);
+  // Fetches `v` at `tier` if absent, or re-fetches it at `tier` when
+  // resident at a worse tier and currently unviewed (counted as a
+  // prefetch, not a miss). Returns true when this call fetched; false when
+  // the group was already resident at `tier` or better, in flight, or
+  // pinned by readers (an upgrade must not block the async lane — demand
+  // acquire will pay it instead). When it fetched and `fetched_bytes` is
+  // non-null, the payload bytes read are stored there (attribution).
+  bool prefetch(voxel::DenseVoxelId v, int tier = 0,
+                std::uint64_t* fetched_bytes = nullptr);
   bool resident(voxel::DenseVoxelId v) const;
+  // Resident tier of `v`, or -1 when absent.
+  int resident_tier(voxel::DenseVoxelId v) const;
   // Residency of every group under ONE lock acquisition (indexed by dense
   // voxel id, 1 = resident). Prefetch ranking scans the whole directory
   // per session per frame; probing resident() per group would hammer the
@@ -117,6 +148,10 @@ class ResidencyCache final : public GroupSource {
   // group may be fetched or evicted the instant the lock drops — which is
   // all ranking needs (prefetch of a now-resident group is a cheap no-op).
   std::vector<std::uint8_t> resident_snapshot() const;
+  // Same single-lock scan, but per group the resident *tier* (0..2) or
+  // kTierAbsent when not resident — what tier-aware prefetch ranking needs.
+  static constexpr std::uint8_t kTierAbsent = 0xFF;
+  std::vector<std::uint8_t> tier_snapshot() const;
 
   std::uint64_t resident_bytes() const;
   const ResidencyCacheConfig& config() const { return config_; }
@@ -125,6 +160,8 @@ class ResidencyCache final : public GroupSource {
  private:
   struct Entry {
     DecodedGroup group;
+    int tier = 0;       // fidelity of the resident payload (valid when
+                        // resident; lower = better)
     int pins = 0;       // outstanding acquires
     int plan_pins = 0;  // in-flight FramePlans claiming this group (union
                         // of all sessions' working sets)
@@ -133,23 +170,30 @@ class ResidencyCache final : public GroupSource {
     bool resident = false;
   };
 
-  // Fetches v into its entry. Caller holds lk; the disk read and decode run
-  // unlocked with entry.loading set. Returns with the entry resident.
+  // Fetches v at `tier` into its entry. Caller holds lk; the disk read and
+  // decode run unlocked with entry.loading set. When the entry is already
+  // resident (an upgrade), waits for pins to drain first, then replaces the
+  // payload in place. Returns with the entry resident at `tier`.
   void fetch_locked(std::unique_lock<std::mutex>& lk, voxel::DenseVoxelId v,
-                    bool is_prefetch);
+                    int tier, bool is_prefetch);
   void touch_locked(Entry& e, voxel::DenseVoxelId v);
   void evict_over_budget_locked();
+  void pin_plan_locked(std::span<const voxel::DenseVoxelId> voxels);
+  void unpin_plan_locked(std::span<const voxel::DenseVoxelId> voxels);
 
   const AssetStore* store_;
   ResidencyCacheConfig config_;
 
   mutable std::mutex mutex_;
-  std::condition_variable cv_;  // signals fetch completion
+  std::condition_variable cv_;  // signals fetch completion and pin drains
   std::vector<Entry> entries_;  // indexed by dense voxel id
   std::list<voxel::DenseVoxelId> lru_;  // front = most recent
   std::uint64_t resident_bytes_ = 0;
   // Working set of the legacy single-session bracket (begin/end_frame).
   std::vector<voxel::DenseVoxelId> frame_pins_;
+  // Debug guard: the single-session bracket and multi-session pin_plan are
+  // mutually exclusive usages of one cache (see begin_frame).
+  bool bracket_active_ = false;
   core::StreamCacheStats stats_;
 };
 

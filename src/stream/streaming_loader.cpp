@@ -8,7 +8,7 @@
 
 namespace sgs::stream {
 
-std::vector<voxel::DenseVoxelId> rank_prefetch_groups(
+std::vector<PrefetchRequest> rank_prefetch_groups(
     const ResidencyCache& cache, const FrameIntent& intent,
     const PrefetchConfig& config) {
   if (intent.camera == nullptr) return {};
@@ -21,16 +21,22 @@ std::vector<voxel::DenseVoxelId> rank_prefetch_groups(
   struct Ranked {
     float depth;
     voxel::DenseVoxelId id;
+    std::uint8_t tier;
   };
   std::vector<Ranked> ranked;
   const auto dir = store.directory();
   // One lock for the whole directory scan, not one per group: with many
   // sessions ranking every frame, per-group resident() probes would
   // multiply lock traffic on the mutex the render workers contend on.
-  const std::vector<std::uint8_t> resident = cache.resident_snapshot();
+  const std::vector<std::uint8_t> resident_tiers = cache.tier_snapshot();
   for (std::size_t i = 0; i < dir.size(); ++i) {
     const auto v = static_cast<voxel::DenseVoxelId>(i);
-    if (dir[i].count == 0 || resident[i] != 0) continue;
+    if (dir[i].count == 0) continue;
+    const int want = select_group_tier(store, intent, v, config.lod);
+    // Resident at the wanted tier or better: nothing to fetch. A group
+    // resident only at a worse tier stays a candidate — its prefetch is
+    // the asynchronous upgrade path.
+    if (resident_tiers[i] <= static_cast<std::uint8_t>(want)) continue;
     const AssetDirEntry& e = dir[i];
     const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
     const float radius = (e.aabb_max - e.aabb_min).norm() * 0.5f;
@@ -52,19 +58,22 @@ std::vector<voxel::DenseVoxelId> rank_prefetch_groups(
       }
     }
     // else: straddles the camera plane — unbounded projection, always rank.
-    ranked.push_back({(center - cam.position()).norm(), v});
+    ranked.push_back({(center - cam.position()).norm(), v,
+                      static_cast<std::uint8_t>(want)});
   }
   std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
     return a.depth != b.depth ? a.depth < b.depth : a.id < b.id;
   });
 
-  std::vector<voxel::DenseVoxelId> batch;
+  std::vector<PrefetchRequest> batch;
   std::uint64_t bytes = 0;
   for (const Ranked& r : ranked) {
     if (batch.size() >= config.max_groups_per_frame) break;
-    const std::uint64_t b = store.entry(r.id).bytes;
+    // Each candidate costs its own tier's payload, not the full group:
+    // the same byte budget prefetches further ahead on pruned tiers.
+    const std::uint64_t b = store.tier_extent(r.id, r.tier).bytes;
     if (bytes + b > config.max_bytes_per_frame && !batch.empty()) break;
-    batch.push_back(r.id);
+    batch.push_back({r.id, r.tier});
     bytes += b;
   }
   return batch;
@@ -81,17 +90,22 @@ void StreamingLoader::begin_frame(
     const FrameIntent& intent,
     std::span<const voxel::DenseVoxelId> plan_voxels) {
   cache_->begin_frame(intent, plan_voxels);
+  // Tier selection for this frame's plan: acquire() consults it per group.
+  // Recomputed every frame — a camera-less intent must reset the map to
+  // all-L0, not leave the previous frame's pruned tiers in force.
+  selection_ =
+      select_frame_tiers(cache_->store(), intent, plan_voxels, config_.lod);
   if (intent.camera == nullptr) return;
-  std::vector<voxel::DenseVoxelId> batch = rank_prefetch(intent);
+  std::vector<PrefetchRequest> batch = rank_prefetch(intent);
   if (batch.empty()) return;
   if (config_.synchronous) {
-    for (const voxel::DenseVoxelId v : batch) cache_->prefetch(v);
+    for (const PrefetchRequest& r : batch) cache_->prefetch(r.id, r.tier);
   } else {
     // One FIFO task per frame: fetches overlap this frame's rendering and
     // are naturally superseded by the next frame's batch.
     ResidencyCache* cache = cache_;
     async_submit([cache, batch = std::move(batch)] {
-      for (const voxel::DenseVoxelId v : batch) cache->prefetch(v);
+      for (const PrefetchRequest& r : batch) cache->prefetch(r.id, r.tier);
     });
   }
 }
@@ -99,7 +113,7 @@ void StreamingLoader::begin_frame(
 void StreamingLoader::end_frame() { cache_->end_frame(); }
 
 GroupView StreamingLoader::acquire(voxel::DenseVoxelId v) {
-  return cache_->acquire(v);
+  return cache_->acquire_outcome(v, selection_.tier_of(v)).view;
 }
 
 void StreamingLoader::release(voxel::DenseVoxelId v) { cache_->release(v); }
@@ -110,7 +124,7 @@ core::StreamCacheStats StreamingLoader::stats() const {
 
 void StreamingLoader::wait_idle() const { async_wait_idle(); }
 
-std::vector<voxel::DenseVoxelId> StreamingLoader::rank_prefetch(
+std::vector<PrefetchRequest> StreamingLoader::rank_prefetch(
     const FrameIntent& intent) const {
   return rank_prefetch_groups(*cache_, intent, config_);
 }
@@ -124,20 +138,29 @@ SharedPrefetchQueue::SharedPrefetchQueue(ResidencyCache& cache,
 SharedPrefetchQueue::~SharedPrefetchQueue() { wait_idle(); }
 
 std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
-                                         SessionCacheStats* sink) {
-  const std::vector<voxel::DenseVoxelId> ranked =
-      rank_prefetch_groups(*cache_, intent, config_);
+                                         SessionCacheStats* sink,
+                                         const LodPolicy* lod) {
+  PrefetchConfig cfg = config_;
+  if (lod != nullptr) cfg.lod = *lod;
+  const std::vector<PrefetchRequest> ranked =
+      rank_prefetch_groups(*cache_, intent, cfg);
   if (ranked.empty()) return 0;
 
   // Merge against every session's pending requests: a group already queued
-  // is on its way — fetching it again would only duplicate the read.
-  std::vector<voxel::DenseVoxelId> fresh;
+  // at the same or a better tier is on its way — fetching it again would
+  // only duplicate the read. A strictly better tier replaces the pending
+  // mark and fetches (the cache turns it into an in-place upgrade).
+  std::vector<PrefetchRequest> fresh;
   {
     std::lock_guard<std::mutex> lk(mutex_);
     fresh.reserve(ranked.size());
-    for (const voxel::DenseVoxelId v : ranked) {
-      if (queued_.insert(v).second) {
-        fresh.push_back(v);
+    for (const PrefetchRequest& r : ranked) {
+      const auto [it, inserted] = queued_.try_emplace(r.id, r.tier);
+      if (inserted) {
+        fresh.push_back(r);
+      } else if (r.tier < it->second) {
+        it->second = r.tier;
+        fresh.push_back(r);
       } else {
         ++merged_;
       }
@@ -145,15 +168,19 @@ std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
   }
   if (fresh.empty()) return 0;
 
-  auto drain = [this, sink](const std::vector<voxel::DenseVoxelId>& batch) {
-    for (const voxel::DenseVoxelId v : batch) {
+  auto drain = [this, sink](const std::vector<PrefetchRequest>& batch) {
+    for (const PrefetchRequest& r : batch) {
       std::uint64_t bytes = 0;
-      const bool fetched = cache_->prefetch(v, &bytes);
+      const bool fetched = cache_->prefetch(r.id, r.tier, &bytes);
       {
         std::lock_guard<std::mutex> lk(mutex_);
-        queued_.erase(v);
+        // Drop our pending mark — unless a later enqueue upgraded it to a
+        // better tier whose fetch is still on its way (erasing that mark
+        // would let a third session re-queue a group already in flight).
+        const auto it = queued_.find(r.id);
+        if (it != queued_.end() && it->second == r.tier) queued_.erase(it);
       }
-      if (fetched && sink != nullptr) sink->record_prefetch(bytes);
+      if (fetched && sink != nullptr) sink->record_prefetch(bytes, r.tier);
     }
   };
   if (config_.synchronous) {

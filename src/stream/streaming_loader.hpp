@@ -2,25 +2,30 @@
 // plus the shared, session-aware fetch queue a multi-viewer server uses.
 //
 // StreamingLoader decorates a ResidencyCache: acquire/release/pinning pass
-// straight through, and begin_frame() additionally ranks the store's
-// non-resident voxel groups by predicted visibility for the frame's camera
-// — inflated by the caller's motion envelope, so groups about to enter the
-// frustum are fetched *before* the frame that needs them — and fetches the
-// best-ranked ones on the pool's async lane while the frame renders on the
-// main workers. A demand miss still stalls the render worker that hits it;
-// the loader's job is making those stalls rare.
+// straight through, and begin_frame() additionally (a) selects a payload
+// tier per plan group through its LodPolicy — acquire() then requests that
+// tier, so distant groups stream importance-pruned subsets — and (b) ranks
+// the store's fetch-worthy voxel groups by predicted visibility for the
+// frame's camera — inflated by the caller's motion envelope, so groups
+// about to enter the frustum are fetched *before* the frame that needs
+// them — and fetches the best-ranked ones on the pool's async lane while
+// the frame renders on the main workers. A demand miss still stalls the
+// render worker that hits it; the loader's job is making those stalls rare.
 //
 // Ranking (rank_prefetch_groups): a group is a candidate when its directory
 // AABB, padded by the envelope's worst-case projection drift, touches the
-// image rect; candidates are ordered near-to-far (near groups are streamed
-// by more pixel groups and occlude far ones). Per frame, fetches are capped
-// by a group-count and a byte budget — the fetch-bandwidth knob.
+// image rect and it is not already resident at (or better than) the tier
+// the policy wants for it; candidates are ordered near-to-far (near groups
+// are streamed by more pixel groups and occlude far ones). Per frame,
+// fetches are capped by a group-count and a byte budget — the
+// fetch-bandwidth knob — with each candidate charged at its tier's bytes.
 //
 // SharedPrefetchQueue is the N-session variant: every session enqueues its
 // own ranking into ONE fetch queue over ONE shared cache. Requests for a
-// group already queued by any other session are merged (fetched once,
-// counted in merged_requests()), and batches drain in enqueue order on the
-// async FIFO lane — first-come, first-served across sessions.
+// group already queued by any other session at the same or a better tier
+// are merged (fetched once, counted in merged_requests()), and batches
+// drain in enqueue order on the async FIFO lane — first-come, first-served
+// across sessions.
 //
 // Thread-safety: StreamingLoader assumes one driving session (its frame
 // bracket is the single-session GroupSource contract), but its fetches run
@@ -30,9 +35,10 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
+#include "stream/lod_policy.hpp"
 #include "stream/residency_cache.hpp"
 
 namespace sgs::stream {
@@ -49,12 +55,24 @@ struct PrefetchConfig {
   // Slower (the fetch no longer overlaps rendering) but fully deterministic
   // — what the golden tests and reproducible benchmarks use.
   bool synchronous = false;
+  // Tier selection for plan groups and prefetch candidates. The defaults
+  // adapt on multi-tier stores and degenerate to L0 on v1 stores;
+  // lod.force_tier0 restores bit-exact out-of-core rendering everywhere.
+  LodPolicy lod;
 };
 
-// Non-resident groups worth fetching for `intent` against `cache`'s store,
-// best first (near-to-far), capped by the config's group/byte budgets. The
-// shared ranking core of StreamingLoader and SharedPrefetchQueue.
-std::vector<voxel::DenseVoxelId> rank_prefetch_groups(
+// One group worth fetching, at the tier the policy wants it.
+struct PrefetchRequest {
+  voxel::DenseVoxelId id = 0;
+  std::uint8_t tier = 0;
+};
+
+// Fetch-worthy groups for `intent` against `cache`'s store, best first
+// (near-to-far), capped by the config's group/byte budgets. A group
+// qualifies when it is absent or resident only at a worse tier than
+// config.lod wants. The shared ranking core of StreamingLoader and
+// SharedPrefetchQueue.
+std::vector<PrefetchRequest> rank_prefetch_groups(
     const ResidencyCache& cache, const FrameIntent& intent,
     const PrefetchConfig& config);
 
@@ -68,15 +86,22 @@ class SessionCacheStats {
     std::lock_guard<std::mutex> lk(mutex_);
     if (outcome.missed) {
       ++stats_.misses;
+      ++stats_.tier_misses[static_cast<std::size_t>(outcome.requested_tier)];
+      if (outcome.upgraded) ++stats_.upgrades;
       stats_.bytes_fetched += outcome.bytes_fetched;
+      stats_.tier_bytes_fetched[static_cast<std::size_t>(
+          outcome.requested_tier)] += outcome.bytes_fetched;
     } else {
       ++stats_.hits;
+      ++stats_.tier_hits[static_cast<std::size_t>(outcome.served_tier)];
     }
   }
-  void record_prefetch(std::uint64_t bytes) {
+  void record_prefetch(std::uint64_t bytes, int tier = 0) {
     std::lock_guard<std::mutex> lk(mutex_);
     ++stats_.prefetches;
+    ++stats_.tier_prefetches[static_cast<std::size_t>(tier)];
     stats_.bytes_fetched += bytes;
+    stats_.tier_bytes_fetched[static_cast<std::size_t>(tier)] += bytes;
   }
   core::StreamCacheStats snapshot() const {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -103,11 +128,14 @@ class StreamingLoader final : public GroupSource {
   core::StreamCacheStats stats() const override;
 
   // Ranking for this loader's cache and config. Exposed for tests.
-  std::vector<voxel::DenseVoxelId> rank_prefetch(
-      const FrameIntent& intent) const;
+  std::vector<PrefetchRequest> rank_prefetch(const FrameIntent& intent) const;
 
   // Blocks until all submitted prefetch batches have landed.
   void wait_idle() const;
+
+  // The last begin_frame's tier selection (histogram + demotions), for
+  // reporting degraded frames. Valid between begin_frame and the next.
+  const TierSelection& frame_selection() const { return selection_; }
 
   ResidencyCache& cache() { return *cache_; }
   const PrefetchConfig& config() const { return config_; }
@@ -115,18 +143,20 @@ class StreamingLoader final : public GroupSource {
  private:
   ResidencyCache* cache_;
   PrefetchConfig config_;
+  TierSelection selection_;  // tier_by_group consulted by acquire()
 };
 
 // One fetch queue shared by N viewer sessions over one ResidencyCache.
 //
 // Each session calls enqueue() at the top of its frame with its own camera
-// intent (and optionally its SessionCacheStats sink for attribution). The
-// queue ranks the session's candidates, drops every group that is already
-// queued by *any* session (the cross-session merge — the request is served
-// by the fetch already on its way), and submits the remainder as one batch
-// on the async FIFO lane. Batches drain strictly in enqueue order, so no
-// session's fetches can starve another's: service is first-come,
-// first-served at batch granularity.
+// intent (and optionally its SessionCacheStats sink for attribution, plus
+// its own LodPolicy). The queue ranks the session's candidates, drops every
+// group that is already queued by *any* session at the same or a better
+// tier (the cross-session merge — the request is served by the fetch
+// already on its way), and submits the remainder as one batch on the async
+// FIFO lane. Batches drain strictly in enqueue order, so no session's
+// fetches can starve another's: service is first-come, first-served at
+// batch granularity.
 class SharedPrefetchQueue {
  public:
   explicit SharedPrefetchQueue(ResidencyCache& cache,
@@ -139,14 +169,18 @@ class SharedPrefetchQueue {
   // requests). `sink`, when non-null, is credited for every group this
   // call's batch actually fetches — including fetches that land after the
   // session's frame ended (the counters are cumulative and monotone).
+  // `lod`, when non-null, overrides the queue config's policy — the
+  // per-session quality knob of the serve layer.
   std::size_t enqueue(const FrameIntent& intent,
-                      SessionCacheStats* sink = nullptr);
+                      SessionCacheStats* sink = nullptr,
+                      const LodPolicy* lod = nullptr);
 
   // Blocks until every batch enqueued before this call has landed.
   void wait_idle() const;
 
-  // Requests dropped because the same group was already queued by some
-  // session: the fetch-traffic the merge saved, in group requests.
+  // Requests dropped because the same group was already queued at the same
+  // or a better tier by some session: the fetch-traffic the merge saved,
+  // in group requests.
   std::uint64_t merged_requests() const;
 
   ResidencyCache& cache() { return *cache_; }
@@ -156,7 +190,8 @@ class SharedPrefetchQueue {
   ResidencyCache* cache_;
   PrefetchConfig config_;
   mutable std::mutex mutex_;
-  std::unordered_set<voxel::DenseVoxelId> queued_;  // pending across sessions
+  // Pending requests across sessions: group -> best tier queued.
+  std::unordered_map<voxel::DenseVoxelId, std::uint8_t> queued_;
   std::uint64_t merged_ = 0;
 };
 

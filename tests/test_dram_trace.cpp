@@ -161,12 +161,21 @@ core::StreamingTrace make_trace() {
 
 TEST(TraceIo, RoundTripPreservesEverything) {
   core::StreamingTrace trace = make_trace();
-  // Exercise the v3 residency-cache fields.
+  // Exercise the v3 residency-cache fields...
   trace.cache.hits = 100;
   trace.cache.misses = 7;
   trace.cache.prefetches = 12;
   trace.cache.evictions = 3;
   trace.cache.bytes_fetched = 123456;
+  // ...and the v4 per-tier LOD counters.
+  for (int t = 0; t < core::kLodTierCount; ++t) {
+    trace.cache.tier_hits[t] = 40u + static_cast<std::uint64_t>(t);
+    trace.cache.tier_misses[t] = 2u * static_cast<std::uint64_t>(t) + 1u;
+    trace.cache.tier_prefetches[t] = 4u - static_cast<std::uint64_t>(t);
+    trace.cache.tier_bytes_fetched[t] =
+        10000u * (static_cast<std::uint64_t>(t) + 1u);
+  }
+  trace.cache.upgrades = 5;
   std::stringstream buf;
   ASSERT_TRUE(core::write_trace(buf, trace));
   const core::StreamingTrace back = core::read_trace(buf);
@@ -182,6 +191,11 @@ TEST(TraceIo, RoundTripPreservesEverything) {
   EXPECT_EQ(back.cache.prefetches, trace.cache.prefetches);
   EXPECT_EQ(back.cache.evictions, trace.cache.evictions);
   EXPECT_EQ(back.cache.bytes_fetched, trace.cache.bytes_fetched);
+  EXPECT_EQ(back.cache.tier_hits, trace.cache.tier_hits);
+  EXPECT_EQ(back.cache.tier_misses, trace.cache.tier_misses);
+  EXPECT_EQ(back.cache.tier_prefetches, trace.cache.tier_prefetches);
+  EXPECT_EQ(back.cache.tier_bytes_fetched, trace.cache.tier_bytes_fetched);
+  EXPECT_EQ(back.cache.upgrades, trace.cache.upgrades);
   ASSERT_EQ(back.groups.size(), trace.groups.size());
   for (std::size_t g = 0; g < trace.groups.size(); ++g) {
     EXPECT_EQ(back.groups[g].rays, trace.groups[g].rays);
@@ -232,6 +246,54 @@ TEST(StreamingGsSim, ChargesFetchTrafficFromCacheStats) {
   const sim::StreamingGsHwConfig hw;
   EXPECT_GE(fetched.cycles - base.cycles,
             static_cast<double>(1u << 20) / hw.dram.peak_bytes_per_cycle);
+}
+
+TEST(StreamingGsSim, ChargesFetchTrafficPerLodTier) {
+  // The same total fetched bytes must cost MORE cycles when they arrive as
+  // many small pruned-tier bursts than as few full-tier bursts: the DRAM
+  // model's efficiency drops with chunk size, and the simulator prices
+  // each tier at its own average chunk.
+  const core::StreamingTrace trace = make_trace();
+
+  core::StreamingTrace coarse = trace;  // 16 large L0 fetches
+  coarse.cache.misses = 16;
+  coarse.cache.bytes_fetched = 1u << 22;
+  coarse.cache.tier_misses[0] = 16;
+  coarse.cache.tier_bytes_fetched[0] = 1u << 22;
+
+  core::StreamingTrace fine = trace;  // same bytes as 4096 tiny L2 fetches
+  fine.cache.misses = 4096;
+  fine.cache.bytes_fetched = 1u << 22;
+  fine.cache.tier_misses[2] = 4096;
+  fine.cache.tier_bytes_fetched[2] = 1u << 22;
+
+  const auto a = sim::simulate_streaminggs(coarse);
+  const auto b = sim::simulate_streaminggs(fine);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);  // traffic is traffic...
+  EXPECT_GT(b.stage_busy.at("fetch"),     // ...but small bursts pay more
+            a.stage_busy.at("fetch"));
+  EXPECT_GT(b.cycles, a.cycles);
+
+  // A mixed-tier trace charges each tier separately: its fetch time lands
+  // strictly between the all-coarse and all-fine extremes.
+  core::StreamingTrace mixed = trace;
+  mixed.cache.misses = 8 + 2048;
+  mixed.cache.bytes_fetched = 1u << 22;
+  mixed.cache.tier_misses[0] = 8;
+  mixed.cache.tier_bytes_fetched[0] = 1u << 21;
+  mixed.cache.tier_misses[2] = 2048;
+  mixed.cache.tier_bytes_fetched[2] = 1u << 21;
+  const auto m = sim::simulate_streaminggs(mixed);
+  EXPECT_GT(m.stage_busy.at("fetch"), a.stage_busy.at("fetch"));
+  EXPECT_LT(m.stage_busy.at("fetch"), b.stage_busy.at("fetch"));
+
+  // Traces whose producers did not tier-attribute (all tier arrays zero)
+  // still charge the legacy all-up average chunk.
+  core::StreamingTrace legacy = trace;
+  legacy.cache.misses = 16;
+  legacy.cache.bytes_fetched = 1u << 22;
+  const auto l = sim::simulate_streaminggs(legacy);
+  EXPECT_DOUBLE_EQ(l.stage_busy.at("fetch"), a.stage_busy.at("fetch"));
 }
 
 TEST(TraceIo, SimReportCarriesSoftwareStageTimes) {

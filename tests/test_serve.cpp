@@ -287,6 +287,76 @@ TEST(SharedCache, ConcurrentStressCountersConsistentNoDoubleDecode) {
   }
 }
 
+// ---------------------------------------------------------- per-session LOD
+
+// Two sessions, one shared tiered store: one session insists on exact L0
+// frames, the other streams adaptively under a tight per-frame byte budget.
+// The exact session must stay bit-identical to rendering alone even while
+// the adaptive one fetches (and the exact one upgrades) pruned tiers in
+// the same cache; the reports must carry each session's quality story.
+TEST(ServeLod, PerSessionQualityOverOneSharedCache) {
+  const auto scene = test_scene(35, 2500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_serve_lod.sgsc");
+  stream::AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene, wopts));
+  stream::AssetStore store(file.path);
+  ASSERT_EQ(store.tier_count(), 3);
+
+  const int frames = 3;
+  std::vector<std::vector<gs::Camera>> paths;
+  paths.push_back(session_path(0, frames, 128));
+  paths.push_back(session_path(1, frames, 128));
+
+  SceneServerConfig cfg;
+  cfg.cache.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  SceneServer server(store, cfg);
+  stream::LodPolicy exact;
+  exact.force_tier0 = true;
+  ASSERT_EQ(server.open_session(exact), 0);
+  stream::LodPolicy adaptive;  // sized to the 128 px test camera
+  adaptive.footprint_full_px = 40.0f;
+  adaptive.footprint_half_px = 20.0f;
+  adaptive.frame_fetch_budget_bytes = 1;  // force budget demotion
+  ASSERT_EQ(server.open_session(adaptive), 1);
+
+  const auto result = server.run(paths);
+
+  // The L0 session's frames are exact regardless of its neighbor's tiers.
+  const auto alone = core::render_sequence(scene, paths[0], {});
+  ASSERT_EQ(result.sessions[0].size(), alone.frames.size());
+  for (std::size_t f = 0; f < alone.frames.size(); ++f) {
+    EXPECT_EQ(result.sessions[0][f].image.pixels(),
+              alone.frames[f].image.pixels())
+        << "frame " << f;
+  }
+
+  const SessionReport& r0 = result.report.sessions[0];
+  const SessionReport& r1 = result.report.sessions[1];
+  // Session 0 requested nothing below L0 and was never degraded.
+  EXPECT_GT(r0.tier_requests[0], 0u);
+  EXPECT_EQ(r0.tier_requests[1] + r0.tier_requests[2], 0u);
+  EXPECT_EQ(r0.degraded_frames, 0u);
+  // Session 1 streamed pruned tiers, and its 1-byte budget demoted every
+  // frame's tail below the footprint-ideal tier.
+  EXPECT_GT(r1.tier_requests[1] + r1.tier_requests[2], 0u);
+  EXPECT_EQ(r1.degraded_frames, static_cast<std::size_t>(frames));
+
+  // Shared counters stay coherent under tiering: the tier breakdowns
+  // partition the totals and upgrades are a subset of misses.
+  const core::StreamCacheStats& g = result.report.shared_cache;
+  std::uint64_t tier_hits = 0, tier_misses = 0, tier_bytes = 0;
+  for (int t = 0; t < core::kLodTierCount; ++t) {
+    tier_hits += g.tier_hits[t];
+    tier_misses += g.tier_misses[t];
+    tier_bytes += g.tier_bytes_fetched[t];
+  }
+  EXPECT_EQ(tier_hits, g.hits);
+  EXPECT_EQ(tier_misses, g.misses);
+  EXPECT_EQ(tier_bytes, g.bytes_fetched);
+  EXPECT_LE(g.upgrades, g.misses);
+}
+
 // ------------------------------------------------------ merged fetch queue
 
 TEST(SharedQueue, MergesDuplicateRequestsAcrossSessions) {

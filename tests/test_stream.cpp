@@ -1,8 +1,11 @@
 // Tests for the out-of-core streaming subsystem (src/stream/): the .sgsc
-// asset store round-trip, residency-cache LRU/pinning/determinism, the
-// prefetching loader, the async pool lane, and — the acceptance bar — a
-// golden proof that cache-backed rendering is bit-identical to fully
-// resident rendering while actually exercising misses and evictions.
+// asset store round-trip (v1 and tiered v2, including a frozen v1 fixture),
+// residency-cache LRU/pinning/tier/determinism semantics, LOD tier
+// selection, the prefetching loader, the async pool lane, and — the
+// acceptance bar — golden proofs that cache-backed rendering is
+// bit-identical to fully resident rendering (with LOD forced to L0) while
+// actually exercising misses and evictions, and that adaptive tiers hold a
+// PSNR bound while fetching fewer bytes.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,13 +13,16 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "core/render_sequence.hpp"
 #include "core/streaming_renderer.hpp"
+#include "metrics/psnr.hpp"
 #include "scene/generator.hpp"
 #include "stream/asset_store.hpp"
+#include "stream/lod_policy.hpp"
 #include "stream/residency_cache.hpp"
 #include "stream/streaming_loader.hpp"
 
@@ -154,6 +160,249 @@ TEST(AssetStore, RejectsGarbageAndTruncation) {
     out.write(bytes.data(), 40);
   }
   EXPECT_THROW(AssetStore store(file.path), std::runtime_error);
+}
+
+// ------------------------------------------------------- tiered stores --
+
+// Importance the writer prunes by, recomputed independently of the store.
+std::vector<float> group_importance(const core::StreamingScene& scene,
+                                    std::span<const std::uint32_t> residents) {
+  std::vector<float> imp;
+  imp.reserve(residents.size());
+  for (const std::uint32_t mi : residents) {
+    const gs::Gaussian& g = scene.render_model().gaussians[mi];
+    imp.push_back(g.opacity * g.max_scale());
+  }
+  return imp;
+}
+
+// The opacity-compensation factor the writer applies to a pruned tier.
+float opacity_comp(const core::StreamingScene& scene,
+                   std::span<const std::uint32_t> full,
+                   std::span<const std::uint32_t> kept) {
+  float full_mass = 0.0f, kept_mass = 0.0f;
+  for (const std::uint32_t mi : full) {
+    full_mass += scene.render_model().gaussians[mi].opacity;
+  }
+  for (const std::uint32_t mi : kept) {
+    kept_mass += scene.render_model().gaussians[mi].opacity;
+  }
+  return kept_mass > 0.0f ? std::clamp(full_mass / kept_mass, 1.0f, 2.0f)
+                          : 1.0f;
+}
+
+TEST(AssetStore, TieredStoreRoundTripsAllTiers) {
+  const auto scene = test_scene(21, 3000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_tiered.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;  // default tier specs: L1 = SH4, L2 = DC + prune
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+
+  AssetStore store(file.path);
+  EXPECT_EQ(store.tier_count(), 3);
+  EXPECT_EQ(store.tier_sh_coeffs(0), gs::kShCoeffCount);
+  EXPECT_EQ(store.tier_sh_coeffs(1), 4);
+  EXPECT_EQ(store.tier_sh_coeffs(2), 1);
+  // Tier 0 is the full-fidelity scene of v1.
+  EXPECT_EQ(store.payload_bytes_total(),
+            scene.grid().gaussian_count() * 236u);
+  expect_store_matches_scene(store, scene);
+  // Degraded tiers shrink on disk, in order (92 B and 56 B records).
+  EXPECT_LT(store.payload_bytes_tier(1), store.payload_bytes_tier(0));
+  EXPECT_LT(store.payload_bytes_tier(2), store.payload_bytes_tier(1));
+
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    const auto full = store.group_indices(v, 0);
+    const std::vector<float> imp = group_importance(scene, full);
+    std::uint32_t prev = store.tier_extent(v, 0).count;
+    ASSERT_EQ(prev, full.size());
+    for (int t = 1; t < 3; ++t) {
+      const TierExtent& x = store.tier_extent(v, t);
+      const int sh_n = store.tier_sh_coeffs(t);
+      // Monotone non-increasing, never empty for a non-empty group.
+      EXPECT_LE(x.count, prev);
+      if (prev > 0) {
+        EXPECT_GE(x.count, 1u);
+      }
+      prev = x.count;
+      EXPECT_EQ(x.bytes,
+                x.count * (11u + 3u * static_cast<std::uint32_t>(sh_n)) * 4u);
+
+      // The tier keeps exactly the top-count importances of the group.
+      const auto sub = store.group_indices(v, t);
+      ASSERT_EQ(sub.size(), x.count);
+      std::vector<float> all_sorted = imp;
+      std::sort(all_sorted.begin(), all_sorted.end(), std::greater<float>());
+      std::vector<float> sub_imp = group_importance(scene, sub);
+      std::sort(sub_imp.begin(), sub_imp.end(), std::greater<float>());
+      for (std::size_t k = 0; k < sub_imp.size(); ++k) {
+        EXPECT_EQ(sub_imp[k], all_sorted[k]);
+      }
+
+      // Decoded tier records: exact geometry, SH truncated to the tier's
+      // band (zero tail), opacity scaled by the group's compensation.
+      const float comp = opacity_comp(scene, full, sub);
+      const DecodedGroup group = store.read_group(v, t);
+      EXPECT_EQ(group.tier, t);
+      EXPECT_EQ(group.payload_bytes, x.bytes);
+      ASSERT_EQ(group.gaussians.size(), sub.size());
+      for (std::size_t k = 0; k < sub.size(); ++k) {
+        EXPECT_EQ(group.model_indices[k], sub[k]);
+        const gs::Gaussian& expect =
+            scene.render_model().gaussians[sub[k]];
+        const gs::Gaussian& got = group.gaussians[k];
+        EXPECT_EQ(got.position, expect.position);
+        EXPECT_EQ(got.scale, expect.scale);
+        EXPECT_EQ(got.rotation, expect.rotation);
+        EXPECT_EQ(got.opacity, std::min(1.0f, expect.opacity * comp));
+        for (int c = 0; c < gs::kShCoeffCount; ++c) {
+          const Vec3f want =
+              c < sh_n ? expect.sh[static_cast<std::size_t>(c)]
+                       : Vec3f{0.0f, 0.0f, 0.0f};
+          EXPECT_EQ(got.sh[static_cast<std::size_t>(c)], want);
+        }
+      }
+    }
+  }
+}
+
+TEST(AssetStore, TieredVqStoreRoundTrips) {
+  const auto scene = test_scene(22, 2000, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_tiered_vq.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 2;
+  // VQ records cannot truncate mid-codebook: DC-only (drops the 2-byte SH
+  // index) plus pruning is the VQ degradation axis.
+  wopts.tiers[1] = TierSpec{0.6f, 1};
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+
+  AssetStore store(file.path);
+  EXPECT_EQ(store.tier_count(), 2);
+  EXPECT_TRUE(store.vector_quantized());
+  EXPECT_EQ(store.payload_bytes_total(), scene.grid().gaussian_count() * 24u);
+  expect_store_matches_scene(store, scene);
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    const auto full = store.group_indices(v, 0);
+    const auto sub = store.group_indices(v, 1);
+    EXPECT_EQ(store.tier_extent(v, 1).bytes, sub.size() * 22u);
+    const float comp = opacity_comp(scene, full, sub);
+    const DecodedGroup group = store.read_group(v, 1);
+    ASSERT_EQ(group.gaussians.size(), sub.size());
+    for (std::size_t k = 0; k < sub.size(); ++k) {
+      const gs::Gaussian& expect = scene.render_model().gaussians[sub[k]];
+      const gs::Gaussian& got = group.gaussians[k];
+      EXPECT_EQ(got.position, expect.position);
+      EXPECT_EQ(got.scale, expect.scale);
+      EXPECT_EQ(got.rotation, expect.rotation);
+      EXPECT_EQ(got.opacity, std::min(1.0f, expect.opacity * comp));
+      EXPECT_EQ(got.sh[0], expect.sh[0]);  // DC survives via its codebook
+      for (int c = 1; c < gs::kShCoeffCount; ++c) {
+        EXPECT_EQ(got.sh[static_cast<std::size_t>(c)],
+                  (Vec3f{0.0f, 0.0f, 0.0f}));
+      }
+    }
+  }
+}
+
+// A tier that degrades nothing must not duplicate payload bytes: VQ
+// records keep their full 24 B (the SH index decodes the whole codebook
+// entry) for any sh_coeffs > 1, so the default L1 spec aliases L0.
+TEST(AssetStore, NoOpVqTierAliasesThePayloadAbove) {
+  const auto scene = test_scene(29, 1500, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_vq_alias.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;  // defaults: L1 {keep 1, sh 4} is a VQ no-op
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+
+  AssetStore store(file.path);
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    // L1 shares L0's payload bytes exactly...
+    EXPECT_EQ(store.tier_extent(v, 1).offset, store.tier_extent(v, 0).offset);
+    EXPECT_EQ(store.tier_extent(v, 1).bytes, store.tier_extent(v, 0).bytes);
+    // ...while the genuinely degraded L2 has its own.
+    if (store.tier_extent(v, 2).count > 0) {
+      EXPECT_NE(store.tier_extent(v, 2).offset,
+                store.tier_extent(v, 0).offset);
+    }
+  }
+  // Aliased or not, both tiers decode bit-identically to the scene.
+  const DecodedGroup g1 = store.read_group(0, 1);
+  const auto full = store.group_indices(0, 0);
+  ASSERT_EQ(g1.gaussians.size(), full.size());
+  for (std::size_t k = 0; k < full.size(); ++k) {
+    EXPECT_TRUE(gaussians_equal(g1.gaussians[k],
+                                scene.render_model().gaussians[full[k]]));
+  }
+}
+
+TEST(AssetStore, RejectsBadTierOptions) {
+  const auto scene = test_scene(23, 300, /*vq=*/false);
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 0;
+  EXPECT_FALSE(AssetStore::write("/tmp/sgs_test_bad_tiers.sgsc", scene, wopts));
+  wopts.tier_count = kLodTierCount + 1;
+  EXPECT_FALSE(AssetStore::write("/tmp/sgs_test_bad_tiers.sgsc", scene, wopts));
+}
+
+// ---------------------------------------------------------- v1 fixture --
+
+// The frozen-fixture scene: literal parameters only (no transcendental
+// math), so the v1 writer's bytes are platform-independent and the
+// checked-in file stays byte-exact forever.
+gs::GaussianModel fixture_model() {
+  gs::GaussianModel m;
+  auto add = [&m](float x, float y, float z, float s, float o) {
+    gs::Gaussian g;
+    g.position = {x, y, z};
+    g.scale = {s, s * 0.5f, s * 0.25f};
+    g.rotation = {1.0f, 0.0f, 0.0f, 0.0f};
+    g.opacity = o;
+    for (int c = 0; c < gs::kShCoeffCount; ++c) {
+      g.sh[static_cast<std::size_t>(c)] = {0.5f, 0.25f, 0.125f};
+    }
+    m.gaussians.push_back(g);
+  };
+  add(0.25f, 0.25f, 0.25f, 0.5f, 0.875f);
+  add(0.75f, 0.5f, 0.25f, 0.25f, 0.5f);
+  add(1.5f, 0.5f, 0.5f, 0.125f, 0.75f);
+  add(1.25f, 1.75f, 0.5f, 0.375f, 0.25f);
+  add(2.5f, 2.5f, 2.25f, 0.0625f, 1.0f);
+  return m;
+}
+
+core::StreamingScene fixture_scene() {
+  core::StreamingConfig cfg;
+  cfg.voxel_size = 1.0f;
+  cfg.use_vq = false;
+  return core::StreamingScene::prepare(fixture_model(), cfg);
+}
+
+std::vector<char> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// Backward compatibility, pinned by a checked-in binary: the v2 reader
+// must load a frozen v1 file bit-identically to what today's v1 writer
+// round-trips — if either the writer or the reader drifts, this fails.
+TEST(AssetStore, FrozenV1FixtureLoadsBitIdentically) {
+  const std::string fixture =
+      std::string(SGS_SOURCE_DIR) + "/tests/data/sgsc_v1_fixture.sgsc";
+  const auto scene = fixture_scene();
+
+  // Today's writer with tier_count == 1 must still emit exactly the
+  // frozen v1 bytes...
+  TempFile rewrite("/tmp/sgs_test_fixture_rewrite.sgsc");
+  ASSERT_TRUE(AssetStore::write(rewrite.path, scene));
+  EXPECT_EQ(read_all(rewrite.path), read_all(fixture));
+
+  // ...and today's (v2-capable) reader must load the frozen file as a
+  // single-tier store that decodes bit-identically to the scene.
+  AssetStore store(fixture);
+  EXPECT_EQ(store.tier_count(), 1);
+  EXPECT_FALSE(store.vector_quantized());
+  expect_store_matches_scene(store, scene);
 }
 
 TEST(AssetStore, WriteRequiresResidentParams) {
@@ -311,6 +560,222 @@ TEST(ResidencyCache, PrefetchCountsSeparatelyFromMisses) {
   EXPECT_EQ(s.bytes_fetched, store.entry(0).bytes);
 }
 
+TEST(ResidencyCache, TierUpgradeRefetchesOnlyThatGroup) {
+  const auto scene = test_scene(24, 3000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_tier_cache.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+  AssetStore store(file.path);
+
+  // A group where the tiers actually differ in size.
+  voxel::DenseVoxelId v = -1;
+  for (voxel::DenseVoxelId i = 0; i < store.group_count(); ++i) {
+    if (store.tier_extent(i, 2).count < store.tier_extent(i, 0).count) {
+      v = i;
+      break;
+    }
+  }
+  ASSERT_GE(v, 0) << "scene has no group with a pruned tier";
+
+  ResidencyCache cache(store, {});
+  // First touch at L2: a plain miss that fetches the pruned payload.
+  const AcquireOutcome o2 = cache.acquire_outcome(v, 2);
+  EXPECT_TRUE(o2.missed);
+  EXPECT_FALSE(o2.upgraded);
+  EXPECT_EQ(o2.served_tier, 2);
+  EXPECT_EQ(o2.bytes_fetched, store.tier_extent(v, 2).bytes);
+  EXPECT_EQ(o2.view.size(), store.tier_extent(v, 2).count);
+  cache.release(v);
+  EXPECT_EQ(cache.resident_tier(v), 2);
+
+  // A resident L2 satisfies an L2-or-worse request without fetching...
+  const AcquireOutcome o2b = cache.acquire_outcome(v, 2);
+  EXPECT_FALSE(o2b.missed);
+  EXPECT_EQ(o2b.served_tier, 2);
+  cache.release(v);
+
+  // ...but an L0 request refetches only this group (an upgrade).
+  const AcquireOutcome o0 = cache.acquire_outcome(v, 0);
+  EXPECT_TRUE(o0.missed);
+  EXPECT_TRUE(o0.upgraded);
+  EXPECT_EQ(o0.served_tier, 0);
+  EXPECT_EQ(o0.bytes_fetched, store.tier_extent(v, 0).bytes);
+  EXPECT_EQ(o0.view.size(), store.tier_extent(v, 0).count);
+  cache.release(v);
+  EXPECT_EQ(cache.resident_tier(v), 0);
+
+  // Once upgraded, a worse request is a hit served at the better tier.
+  const AcquireOutcome o1 = cache.acquire_outcome(v, 1);
+  EXPECT_FALSE(o1.missed);
+  EXPECT_EQ(o1.served_tier, 0);
+  cache.release(v);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.upgrades, 1u);
+  EXPECT_EQ(s.tier_misses[2], 1u);
+  EXPECT_EQ(s.tier_misses[0], 1u);
+  EXPECT_EQ(s.tier_hits[2], 1u);
+  EXPECT_EQ(s.tier_hits[0], 1u);
+  EXPECT_EQ(s.tier_bytes_fetched[0] + s.tier_bytes_fetched[2],
+            s.bytes_fetched);
+  // hits + misses still partitions the accesses under tiering.
+  EXPECT_EQ(s.accesses(), 4u);
+}
+
+TEST(ResidencyCache, PrefetchUpgradesUnpinnedGroupsOnly) {
+  const auto scene = test_scene(25, 2500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_tier_pf.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+  AssetStore store(file.path);
+  ResidencyCache cache(store, {});
+
+  // Prefetch at L2, then an L0 prefetch upgrades in place.
+  EXPECT_TRUE(cache.prefetch(0, 2));
+  EXPECT_EQ(cache.resident_tier(0), 2);
+  EXPECT_FALSE(cache.prefetch(0, 2));  // already satisfied
+  EXPECT_TRUE(cache.prefetch(0, 0));   // upgrade
+  EXPECT_EQ(cache.resident_tier(0), 0);
+  EXPECT_FALSE(cache.prefetch(0, 1));  // resident tier is better: no-op
+
+  // A pinned group refuses the prefetch upgrade (it must not block the
+  // async lane on the readers); demand acquire pays it after release.
+  cache.acquire_outcome(1, 2);
+  EXPECT_FALSE(cache.prefetch(1, 0));
+  EXPECT_EQ(cache.resident_tier(1), 2);
+  cache.release(1);
+  EXPECT_TRUE(cache.prefetch(1, 0));
+  EXPECT_EQ(cache.resident_tier(1), 0);
+
+  const auto s = cache.stats();
+  // Three prefetches (group 0 twice, group 1 once); group 1's first touch
+  // was a demand miss, not a prefetch.
+  EXPECT_EQ(s.prefetches, 3u);
+  EXPECT_EQ(s.tier_prefetches[2], 1u);
+  EXPECT_EQ(s.tier_prefetches[0], 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.upgrades, 0u);  // upgrades counts demand refetches only
+}
+
+// -------------------------------------------------------------- LodPolicy --
+
+TEST(LodPolicy, FootprintTiersAreMonotoneInDepth) {
+  const auto scene = test_scene(26, 3000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_lod_sel.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+  AssetStore store(file.path);
+
+  const gs::Camera cam = test_camera();
+  FrameIntent intent;
+  intent.camera = &cam;
+  LodPolicy policy;
+  policy.footprint_full_px = 40.0f;
+  policy.footprint_half_px = 20.0f;
+
+  // Tier must not improve with distance.
+  struct DT {
+    float depth;
+    int tier;
+  };
+  std::vector<DT> picks;
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    const auto& e = store.entry(v);
+    const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
+    picks.push_back({(center - cam.position()).norm(),
+                     select_group_tier(store, intent, v, policy)});
+  }
+  std::sort(picks.begin(), picks.end(),
+            [](const DT& a, const DT& b) { return a.depth < b.depth; });
+  // Footprint uses the nearest depth of the AABB, not the center distance,
+  // so allow equal-depth jitter but require global near-low/far-high shape.
+  EXPECT_LT(picks.front().tier, 2);
+  EXPECT_GT(picks.back().tier, 0);
+
+  // force_tier0 and single-tier clamping.
+  LodPolicy forced = policy;
+  forced.force_tier0 = true;
+  LodPolicy shallow = policy;
+  shallow.max_tier = 1;
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    EXPECT_EQ(select_group_tier(store, intent, v, forced), 0);
+    EXPECT_LE(select_group_tier(store, intent, v, shallow), 1);
+  }
+}
+
+TEST(LodPolicy, BudgetDemotesFarGroupsDeterministically) {
+  const auto scene = test_scene(27, 3000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_lod_budget.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+  AssetStore store(file.path);
+
+  const gs::Camera cam = test_camera();
+  FrameIntent intent;
+  intent.camera = &cam;
+  std::vector<voxel::DenseVoxelId> plan(
+      static_cast<std::size_t>(store.group_count()));
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    plan[i] = static_cast<voxel::DenseVoxelId>(i);
+  }
+
+  LodPolicy generous;
+  generous.footprint_full_px = 1.0f;  // everything wants L0...
+  generous.footprint_half_px = 0.5f;
+  LodPolicy tight = generous;
+  tight.frame_fetch_budget_bytes = store.payload_bytes_total() / 10;
+
+  const TierSelection base = select_frame_tiers(store, intent, plan, generous);
+  EXPECT_EQ(base.demoted, 0u);
+  EXPECT_EQ(base.histogram[0],
+            static_cast<std::uint32_t>(store.group_count()));
+
+  // ...but the byte budget demotes the far tail to max_tier.
+  const TierSelection cut = select_frame_tiers(store, intent, plan, tight);
+  EXPECT_GT(cut.demoted, 0u);
+  EXPECT_GT(cut.histogram[2], 0u);
+  EXPECT_LT(cut.histogram[0], base.histogram[0]);
+  std::uint32_t covered = 0;
+  for (const auto h : cut.histogram) covered += h;
+  EXPECT_EQ(covered, static_cast<std::uint32_t>(plan.size()));
+
+  // Near groups keep their tier; demotion eats from the far end: the
+  // nearest plan group must still be L0 under the tight budget.
+  voxel::DenseVoxelId nearest = plan[0];
+  float best = 1e30f;
+  for (const voxel::DenseVoxelId v : plan) {
+    const auto& e = store.entry(v);
+    const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
+    const float d = (center - cam.position()).norm();
+    if (d < best) {
+      best = d;
+      nearest = v;
+    }
+  }
+  EXPECT_EQ(cut.tier_by_group[static_cast<std::size_t>(nearest)], 0);
+
+  // Pure function of (camera, policy, store): two calls agree exactly.
+  const TierSelection again = select_frame_tiers(store, intent, plan, tight);
+  EXPECT_EQ(again.tier_by_group, cut.tier_by_group);
+  EXPECT_EQ(again.demoted, cut.demoted);
+}
+
+TEST(LodPolicy, NamedPoliciesParse) {
+  EXPECT_TRUE(lod_policy_from_name("off").force_tier0);
+  EXPECT_TRUE(lod_policy_from_name("l0").force_tier0);
+  EXPECT_LT(lod_policy_from_name("quality").footprint_full_px,
+            lod_policy_from_name("balanced").footprint_full_px);
+  EXPECT_GT(lod_policy_from_name("aggressive").footprint_full_px,
+            lod_policy_from_name("balanced").footprint_full_px);
+  EXPECT_THROW(lod_policy_from_name("warp9"), std::invalid_argument);
+}
+
 // -------------------------------------------------------- StreamingLoader --
 
 TEST(StreamingLoader, RanksVisibleGroupsNearToFarUnderCaps) {
@@ -331,10 +796,11 @@ TEST(StreamingLoader, RanksVisibleGroupsNearToFarUnderCaps) {
   ASSERT_FALSE(batch.empty());
   EXPECT_LE(batch.size(), pcfg.max_groups_per_frame);
 
-  // Near-to-far ordering.
+  // Near-to-far ordering; single-tier store means every request is L0.
   float prev = -1.0f;
-  for (const voxel::DenseVoxelId v : batch) {
-    const auto& e = store.entry(v);
+  for (const PrefetchRequest& r : batch) {
+    EXPECT_EQ(r.tier, 0);
+    const auto& e = store.entry(r.id);
     const Vec3f center = (e.aabb_min + e.aabb_max) * 0.5f;
     const float d = (center - cam.position()).norm();
     EXPECT_GE(d, prev);
@@ -342,10 +808,10 @@ TEST(StreamingLoader, RanksVisibleGroupsNearToFarUnderCaps) {
   }
 
   // Resident groups drop out of the ranking.
-  for (const voxel::DenseVoxelId v : batch) cache.prefetch(v);
+  for (const PrefetchRequest& r : batch) cache.prefetch(r.id);
   const auto batch2 = loader.rank_prefetch(intent);
-  for (const voxel::DenseVoxelId v : batch2) {
-    EXPECT_FALSE(cache.resident(v));
+  for (const PrefetchRequest& r : batch2) {
+    EXPECT_FALSE(cache.resident(r.id));
   }
 }
 
@@ -401,11 +867,13 @@ std::vector<gs::Camera> orbit_trajectory(int frames, int size) {
   return cams;
 }
 
-void golden_out_of_core(bool vq) {
+void golden_out_of_core(bool vq, int store_tiers = 1) {
   const auto scene = test_scene(vq ? 18 : 17, 2500, vq);
   TempFile file(vq ? "/tmp/sgs_test_golden_vq.sgsc"
                    : "/tmp/sgs_test_golden_raw.sgsc");
-  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = store_tiers;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
   AssetStore store(file.path);
 
   // Budget well below the scene so the walkthrough must evict and refetch.
@@ -414,6 +882,9 @@ void golden_out_of_core(bool vq) {
   ResidencyCache cache(store, ccfg);
   PrefetchConfig pcfg;
   pcfg.synchronous = true;  // deterministic stats for the assertions below
+  // On a multi-tier store, forcing L0 everywhere must restore the exact
+  // resident pixels — the tentpole's bit-exactness invariant.
+  pcfg.lod.force_tier0 = true;
   StreamingLoader loader(cache, pcfg);
   const auto scene_ooc = store.make_scene();
 
@@ -455,6 +926,69 @@ TEST(OutOfCoreGolden, RawWalkthroughBitIdenticalWithEvictions) {
 
 TEST(OutOfCoreGolden, VqWalkthroughBitIdenticalWithEvictions) {
   golden_out_of_core(/*vq=*/true);
+}
+
+TEST(OutOfCoreGolden, TieredStoreForcedL0RawStaysBitIdentical) {
+  golden_out_of_core(/*vq=*/false, /*store_tiers=*/3);
+}
+
+TEST(OutOfCoreGolden, TieredStoreForcedL0VqStaysBitIdentical) {
+  golden_out_of_core(/*vq=*/true, /*store_tiers=*/3);
+}
+
+// The other side of the LOD trade: at an adaptive policy the walkthrough
+// fetches measurably fewer payload bytes than forced L0 while every frame
+// holds a PSNR floor against the resident render.
+TEST(OutOfCoreGolden, AdaptiveLodSavesFetchBytesWithinPsnrBound) {
+  const auto scene = test_scene(28, 2500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_lod_golden.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+  AssetStore store(file.path);
+  const auto cameras = orbit_trajectory(6, 128);
+  core::SequenceOptions seq;
+  const auto resident = core::render_sequence(scene, cameras, seq);
+
+  auto run_ooc = [&](const LodPolicy& lod) {
+    ResidencyCacheConfig ccfg;
+    ccfg.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+    ResidencyCache cache(store, ccfg);
+    PrefetchConfig pcfg;
+    pcfg.synchronous = true;
+    pcfg.lod = lod;
+    StreamingLoader loader(cache, pcfg);
+    const auto scene_ooc = store.make_scene();
+    const auto frames =
+        core::render_sequence(scene_ooc, cameras, seq, &loader);
+    core::StreamCacheStats total;
+    for (const auto& f : frames.frames) total.accumulate(f.trace.cache);
+    return std::make_pair(std::move(frames), total);
+  };
+
+  LodPolicy forced;
+  forced.force_tier0 = true;
+  const auto [l0_frames, l0_stats] = run_ooc(forced);
+
+  LodPolicy adaptive;  // thresholds sized to this 128 px test camera
+  adaptive.footprint_full_px = 40.0f;
+  adaptive.footprint_half_px = 20.0f;
+  const auto [lod_frames, lod_stats] = run_ooc(adaptive);
+
+  // The adaptive pass really used pruned tiers...
+  EXPECT_GT(lod_stats.tier_misses[1] + lod_stats.tier_misses[2] +
+                lod_stats.tier_prefetches[1] + lod_stats.tier_prefetches[2],
+            0u);
+  // ...moved fewer bytes for the same trajectory...
+  EXPECT_LT(lod_stats.bytes_fetched, l0_stats.bytes_fetched);
+  // ...and held the quality floor on every frame.
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    EXPECT_EQ(l0_frames.frames[f].image.pixels(),
+              resident.frames[f].image.pixels());
+    const double db = metrics::psnr(resident.frames[f].image,
+                                    lod_frames.frames[f].image);
+    EXPECT_GE(db, 30.0) << "frame " << f;
+  }
 }
 
 // Out-of-core through the bare cache (no loader): every first touch is a

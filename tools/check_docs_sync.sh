@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Docs-sync check: the five documented public contracts must not drift from
+# their headers, and docs/ must not ship TODO markers. Runs as the
+# `docs_sync` ctest and as a CI step; no dependencies beyond grep.
+#
+# For each contract below, every listed identifier must appear BOTH in the
+# named header (renaming it without a docs pass fails here first) AND
+# somewhere in the normative docs set (docs/*.md, src/stream/README.md,
+# README.md) — so the docs keep naming the real API surface.
+set -u
+cd "$(dirname "$0")/.."
+
+DOCS="README.md docs/*.md src/stream/README.md"
+status=0
+
+fail() {
+  echo "DOCS-SYNC: $1"
+  status=1
+}
+
+check_contract() {
+  local name="$1" header="$2"
+  shift 2
+  [ -f "$header" ] || { fail "$name: header $header is missing"; return; }
+  for ident in "$@"; do
+    if ! grep -q "\b$ident\b" "$header"; then
+      fail "$name: '$ident' no longer appears in $header (renamed without a docs pass?)"
+    fi
+    # shellcheck disable=SC2086
+    if ! grep -q "\b$ident\b" $DOCS 2>/dev/null; then
+      fail "$name: '$ident' is undocumented (not found in $DOCS)"
+    fi
+  done
+}
+
+# 1. Residency pinning: the refcounted multi-session pin path plus the
+#    single-session bracket and per-session attribution.
+check_contract "pin contract" src/stream/residency_cache.hpp \
+  pin_plan unpin_plan begin_frame end_frame acquire_outcome prefetch
+
+# 2. The GroupSource seam the pipeline streams voxel groups through.
+check_contract "GroupSource contract" src/stream/group_source.hpp \
+  GroupSource GroupView acquire release FrameIntent
+
+# 3. The async FIFO lane prefetch batches drain on.
+check_contract "async lane contract" src/common/parallel.hpp \
+  async_submit async_wait_idle
+
+# 4. The serving layer's session lifecycle and reporting.
+check_contract "serve contract" src/serve/scene_server.hpp \
+  SceneServer SessionSource open_session render_frame ServerReport
+
+# 5. The LOD tier surface: store tiers, tier selection, cache tagging.
+check_contract "LOD contract" src/stream/lod_policy.hpp \
+  LodPolicy TierSelection select_frame_tiers force_tier0
+
+# TODO markers must not ship in the normative docs.
+if grep -rn '\bTODO\b' docs/; then
+  fail "TODO marker found in docs/"
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "docs sync OK"
+else
+  echo "docs sync FAILED"
+fi
+exit "$status"

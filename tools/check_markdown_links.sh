@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
 # Markdown link check: every relative link in README.md, docs/, and
-# src/*/README.md must resolve to an existing file or directory, so the
-# architecture and format docs cannot rot silently. Runs as the
-# `markdown_links` ctest and as a CI step; no dependencies beyond grep/sed.
+# src/*/README.md must resolve to an existing file or directory, and every
+# anchor (in-page `#...` or cross-doc `file.md#...`) must match a real
+# heading in its target — so the architecture and format docs cannot rot
+# silently. Runs as the `markdown_links` ctest and as a CI step; no
+# dependencies beyond grep/sed/awk.
 #
 # Checked link forms: [text](target), ![alt](target). External schemes
-# (http/https/mailto) and pure in-page anchors (#...) are skipped; a
-# `target#anchor` is checked for the file part only. Targets resolve
-# relative to the file containing the link (GitHub semantics).
+# (http/https/mailto) are skipped. Targets resolve relative to the file
+# containing the link (GitHub semantics); anchors are matched against
+# GitHub-style heading slugs (lowercased, punctuation stripped, spaces to
+# hyphens, duplicate headings suffixed -1, -2, ...).
 set -u
 cd "$(dirname "$0")/.."
+
+# GitHub-style slugs of every heading in a markdown file, one per line.
+slugs_of() {
+  grep -E '^#{1,6} ' "$1" |
+    sed -E 's/^#+[[:space:]]+//' |
+    tr '[:upper:]' '[:lower:]' |
+    sed -E 's/[^a-z0-9 _-]//g; s/ /-/g' |
+    awk '{ if (seen[$0]++) print $0 "-" seen[$0]-1; else print $0 }'
+}
 
 status=0
 for f in README.md docs/*.md src/*/README.md; do
@@ -19,13 +31,29 @@ for f in README.md docs/*.md src/*/README.md; do
   while IFS= read -r target; do
     [ -n "$target" ] || continue
     case "$target" in
-      http://*|https://*|mailto:*|'#'*) continue ;;
+      http://*|https://*|mailto:*) continue ;;
     esac
     path="${target%%#*}"
-    [ -n "$path" ] || continue
-    if [ ! -e "$dir/$path" ]; then
+    anchor=""
+    case "$target" in
+      *'#'*) anchor="${target#*#}" ;;
+    esac
+    if [ -n "$path" ] && [ ! -e "$dir/$path" ]; then
       echo "BROKEN: $f -> ($target)"
       status=1
+      continue
+    fi
+    if [ -n "$anchor" ]; then
+      anchor_file="$f"
+      [ -n "$path" ] && anchor_file="$dir/$path"
+      case "$anchor_file" in
+        *.md)
+          if ! slugs_of "$anchor_file" | grep -qx "$anchor"; then
+            echo "BROKEN ANCHOR: $f -> ($target)"
+            status=1
+          fi
+          ;;
+      esac
     fi
   done < <(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//')
 done
