@@ -82,8 +82,13 @@ int main(int argc, char** argv) {
   core::StreamingConfig scfg;
   scfg.voxel_size = scene::preset_info(preset).default_voxel_size;
   const auto prepared = core::StreamingScene::prepare(model, scfg);
-  if (!stream::AssetStore::write(store_path, prepared)) {
-    std::fprintf(stderr, "FAILED to write %s\n", store_path.c_str());
+  try {
+    if (!stream::AssetStore::write(store_path, prepared)) {
+      std::fprintf(stderr, "FAILED to write %s\n", store_path.c_str());
+      return 1;
+    }
+  } catch (const stream::StreamException& e) {
+    std::fprintf(stderr, "FAILED to write store: %s\n", e.what());
     return 1;
   }
   stream::AssetStore store(store_path);

@@ -101,8 +101,13 @@ int main(int argc, char** argv) {
   // --- out-of-core pass (tiered store, LOD forced to L0) ---------------------
   stream::AssetStoreWriteOptions wopts;
   wopts.tier_count = 3;
-  if (!stream::AssetStore::write(store_path, scene_resident, wopts)) {
-    std::fprintf(stderr, "FAILED to write %s\n", store_path.c_str());
+  try {
+    if (!stream::AssetStore::write(store_path, scene_resident, wopts)) {
+      std::fprintf(stderr, "FAILED to write %s\n", store_path.c_str());
+      return 1;
+    }
+  } catch (const stream::StreamException& e) {
+    std::fprintf(stderr, "FAILED to write store: %s\n", e.what());
     return 1;
   }
   stream::AssetStore store(store_path);
@@ -153,8 +158,13 @@ int main(int argc, char** argv) {
   core::StreamingConfig rcfg = scfg;
   rcfg.use_vq = false;
   const auto scene_raw = core::StreamingScene::prepare(model, rcfg);
-  if (!stream::AssetStore::write(store_path, scene_raw, wopts)) {
-    std::fprintf(stderr, "FAILED to rewrite %s\n", store_path.c_str());
+  try {
+    if (!stream::AssetStore::write(store_path, scene_raw, wopts)) {
+      std::fprintf(stderr, "FAILED to rewrite %s\n", store_path.c_str());
+      return 1;
+    }
+  } catch (const stream::StreamException& e) {
+    std::fprintf(stderr, "FAILED to rewrite store: %s\n", e.what());
     return 1;
   }
   stream::AssetStore raw_store(store_path);

@@ -99,8 +99,15 @@ int main(int argc, char** argv) {
   const auto prepared = core::StreamingScene::prepare(model, scfg);
   stream::AssetStoreWriteOptions wopts;
   wopts.tier_count = 3;  // adaptive sessions need the pruned tiers on disk
-  if (!stream::AssetStore::write(store_path, prepared, wopts)) {
-    std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
+  try {
+    if (!stream::AssetStore::write(store_path, prepared, wopts)) {
+      std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
+      return 1;
+    }
+  } catch (const stream::StreamException& e) {
+    // IO failure (e.g. a full disk) is a typed throw since the writer
+    // started verifying its stream; exit as gracefully as the bool path.
+    std::fprintf(stderr, "cannot write store: %s\n", e.what());
     return 1;
   }
   stream::AssetStore store(store_path);
@@ -167,6 +174,23 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(rep.merged_prefetch_requests));
   std::printf("fleet latency: p50 %.1f ms, p95 %.1f ms, %zu stall frames\n",
               rep.p50_ms, rep.p95_ms, rep.stall_frames);
+  // Fault isolation: any errors below were absorbed per group, per session
+  // — every session above still completed all its frames.
+  if (rep.shared_cache.fetch_errors > 0 ||
+      rep.shared_cache.degraded_groups > 0 || rep.async_lane_errors > 0) {
+    std::printf("faults: %llu fetch errors, %llu degraded serves, "
+                "%llu failed groups, %llu async-lane errors",
+                static_cast<unsigned long long>(rep.shared_cache.fetch_errors),
+                static_cast<unsigned long long>(
+                    rep.shared_cache.degraded_groups),
+                static_cast<unsigned long long>(rep.shared_cache.failed_groups),
+                static_cast<unsigned long long>(rep.async_lane_errors));
+    std::printf(" | per-session error frames:");
+    for (std::size_t s = 0; s < rep.sessions.size(); ++s) {
+      std::printf(" %zu", rep.sessions[s].error_frames);
+    }
+    std::printf("\n");
+  }
 
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s (try --help)\n",

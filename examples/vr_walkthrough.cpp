@@ -37,6 +37,7 @@
 #include <memory>
 
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "common/ppm.hpp"
 #include "common/units.hpp"
 #include "core/render_sequence.hpp"
@@ -144,8 +145,15 @@ int main(int argc, char** argv) {
     // An adaptive policy needs the pruned payload tiers on disk; "off"
     // keeps the plain single-tier (v1) store of the bit-exact path.
     wopts.tier_count = lod_policy.force_tier0 ? 1 : 3;
-    if (!stream::AssetStore::write(store_path, scene_prepared, wopts)) {
-      std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
+    try {
+      if (!stream::AssetStore::write(store_path, scene_prepared, wopts)) {
+        std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
+        return 1;
+      }
+    } catch (const stream::StreamException& e) {
+      // IO failure (e.g. a full disk) is a typed throw since the writer
+      // started verifying its stream; exit as gracefully as the bool path.
+      std::fprintf(stderr, "cannot write store: %s\n", e.what());
       return 1;
     }
     store = std::make_unique<stream::AssetStore>(store_path);
@@ -245,6 +253,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tier_requests[2]),
                 static_cast<unsigned long long>(cache_total.upgrades),
                 degraded_frames);
+    // Fault isolation: non-zero here means the store misbehaved and the
+    // walkthrough survived it — frames rendered without the bad groups.
+    if (cache_total.fetch_errors > 0 || cache_total.degraded_groups > 0 ||
+        sgs::async_task_errors() > 0) {
+      std::printf("faults: %llu fetch errors, %llu degraded serves, "
+                  "%llu groups failed for good, %llu async-lane errors\n",
+                  static_cast<unsigned long long>(cache_total.fetch_errors),
+                  static_cast<unsigned long long>(cache_total.degraded_groups),
+                  static_cast<unsigned long long>(cache_total.failed_groups),
+                  static_cast<unsigned long long>(sgs::async_task_errors()));
+    }
   }
   const double total_ns = static_cast<double>(stage_total.total());
   if (total_ns > 0.0) {

@@ -279,7 +279,23 @@ class AsyncLane {
     return completed_;
   }
 
+  std::uint64_t error_count() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return errors_total_;
+  }
+
+  std::vector<std::string> take_errors() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::vector<std::string> out;
+    out.swap(errors_);
+    return out;
+  }
+
  private:
+  // Keep at most this many messages between drains: an error storm (every
+  // prefetch of a dead disk failing) must not grow memory without bound.
+  static constexpr std::size_t kMaxBufferedErrors = 64;
+
   void loop() {
     for (;;) {
       std::function<void()> task;
@@ -290,10 +306,29 @@ class AsyncLane {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();  // a throw escapes the thread and std::terminates, by policy
+      // A throwing task is a recoverable event, not a process death: the
+      // exception is captured into the error channel and the lane moves on
+      // to the next task (idle waiters still get their notify).
+      std::string error;
+      bool failed = false;
+      try {
+        task();
+      } catch (const std::exception& e) {
+        failed = true;
+        error = e.what();
+      } catch (...) {
+        failed = true;
+        error = "non-std exception in async task";
+      }
       {
         std::lock_guard<std::mutex> lk(mutex_);
         ++completed_;
+        if (failed) {
+          ++errors_total_;
+          if (errors_.size() < kMaxBufferedErrors) {
+            errors_.push_back(std::move(error));
+          }
+        }
         if (--pending_ == 0) cv_idle_.notify_all();
       }
     }
@@ -305,6 +340,8 @@ class AsyncLane {
   std::thread worker_;
   std::size_t pending_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t errors_total_ = 0;
+  std::vector<std::string> errors_;
   bool shutdown_ = false;
 };
 
@@ -333,5 +370,11 @@ void async_submit(std::function<void()> fn) {
 void async_wait_idle() { AsyncLane::instance().wait_idle(); }
 
 std::uint64_t async_tasks_completed() { return AsyncLane::instance().completed(); }
+
+std::uint64_t async_task_errors() { return AsyncLane::instance().error_count(); }
+
+std::vector<std::string> async_take_errors() {
+  return AsyncLane::instance().take_errors();
+}
 
 }  // namespace sgs

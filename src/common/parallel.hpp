@@ -22,6 +22,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace sgs {
 
@@ -61,8 +63,13 @@ void parallel_for_workers(
 //
 // Tasks run strictly in submission order on one thread, so a producer that
 // submits dependent tasks needs no further synchronization between them.
-// The lane is created lazily on first submit and joined at process exit. A
-// task that throws std::terminates (same policy as a throwing pool helper).
+// The lane is created lazily on first submit and joined at process exit.
+//
+// Failure domain: an exception escaping a task does NOT std::terminate the
+// process (a background prefetch failure must never kill the render loop).
+// The lane catches it, records the task as completed, and captures the
+// message into a bounded error channel that callers drain explicitly —
+// typically at the async_wait_idle() that brackets a frame or a run.
 
 // Enqueues fn for execution on the async lane and returns immediately.
 void async_submit(std::function<void()> fn);
@@ -72,5 +79,13 @@ void async_wait_idle();
 
 // Tasks executed by the async lane since process start (diagnostics/tests).
 std::uint64_t async_tasks_completed();
+
+// Tasks whose exception the lane captured since process start (monotone).
+std::uint64_t async_task_errors();
+
+// Drains the captured error messages (oldest first) and clears the channel.
+// The channel keeps at most the first 64 messages between drains; the
+// counter above stays exact regardless.
+std::vector<std::string> async_take_errors();
 
 }  // namespace sgs

@@ -73,6 +73,22 @@ struct StreamCacheStats {
   std::array<std::uint64_t, kLodTierCount> tier_bytes_fetched{};
   std::uint64_t upgrades = 0;
 
+  // Failure domain (trace v5, all-zero on error-free runs). A fetch that
+  // errors never terminates a session: the acquire is served *degraded* —
+  // the group's stale lower-fidelity tier when one is resident, an empty
+  // view otherwise (the frame renders without that group) — and the group
+  // enters a retry-with-backoff state so one corrupt group cannot trigger
+  // a refetch storm.
+  std::uint64_t fetch_errors = 0;    // fetch attempts that failed (typed
+                                     // StreamError from the store)
+  std::uint64_t degraded_groups = 0; // acquires served degraded (stale tier
+                                     // or empty view) because of an error
+                                     // state; a subset of misses
+  std::uint64_t failed_groups = 0;   // groups whose retry budget ran out
+                                     // (negative-cached until process end);
+                                     // for a session scope: distinct failed
+                                     // groups this session touched
+
   std::uint64_t accesses() const { return hits + misses; }
   double hit_rate() const {
     return accesses() == 0
@@ -92,6 +108,9 @@ struct StreamCacheStats {
       tier_bytes_fetched[t] += o.tier_bytes_fetched[t];
     }
     upgrades += o.upgrades;
+    fetch_errors += o.fetch_errors;
+    degraded_groups += o.degraded_groups;
+    failed_groups += o.failed_groups;
   }
   // Per-frame delta between two cumulative snapshots of a source's counters
   // (all fields are monotone).
@@ -110,6 +129,9 @@ struct StreamCacheStats {
           tier_bytes_fetched[t] - earlier.tier_bytes_fetched[t];
     }
     d.upgrades = upgrades - earlier.upgrades;
+    d.fetch_errors = fetch_errors - earlier.fetch_errors;
+    d.degraded_groups = degraded_groups - earlier.degraded_groups;
+    d.failed_groups = failed_groups - earlier.failed_groups;
     return d;
   }
 };

@@ -50,6 +50,9 @@ bool write_trace(std::ostream& out, const StreamingTrace& trace) {
     put<std::uint64_t>(out, trace.cache.tier_bytes_fetched[t]);
   }
   put<std::uint64_t>(out, trace.cache.upgrades);
+  put<std::uint64_t>(out, trace.cache.fetch_errors);
+  put<std::uint64_t>(out, trace.cache.degraded_groups);
+  put<std::uint64_t>(out, trace.cache.failed_groups);
   put<std::uint64_t>(out, trace.groups.size());
   for (const GroupWork& g : trace.groups) {
     put<std::uint32_t>(out, g.rays);
@@ -111,6 +114,9 @@ StreamingTrace read_trace(std::istream& in) {
     trace.cache.tier_bytes_fetched[t] = get<std::uint64_t>(in);
   }
   trace.cache.upgrades = get<std::uint64_t>(in);
+  trace.cache.fetch_errors = get<std::uint64_t>(in);
+  trace.cache.degraded_groups = get<std::uint64_t>(in);
+  trace.cache.failed_groups = get<std::uint64_t>(in);
   const std::uint64_t n_groups = get<std::uint64_t>(in);
   // Sanity cap: one group per pixel is the theoretical maximum.
   if (n_groups > trace.pixel_count + 1) {

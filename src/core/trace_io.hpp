@@ -20,7 +20,9 @@ inline constexpr std::uint32_t kTraceMagic = 0x54534753;  // "SGST"
 // v2: plan reuse flag + per-stage software timings (staged frame pipeline).
 // v3: per-frame residency-cache counters (out-of-core streaming).
 // v4: per-tier cache counters + upgrade count (adaptive LOD streaming).
-inline constexpr std::uint32_t kTraceVersion = 4;
+// v5: failure-domain counters — fetch_errors / degraded_groups /
+//     failed_groups (fault-isolated streaming).
+inline constexpr std::uint32_t kTraceVersion = 5;
 
 // Returns false on IO failure.
 bool write_trace(std::ostream& out, const StreamingTrace& trace);

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/parallel.hpp"
+
 namespace sgs::serve {
 
 namespace {
@@ -74,6 +76,7 @@ struct SceneServer::Session {
   core::SequenceRenderer renderer;
   std::vector<double> frame_ms;
   std::size_t stall_frames = 0;
+  std::size_t error_frames = 0;
 };
 
 SceneServer::SceneServer(const stream::AssetStore& store,
@@ -81,7 +84,8 @@ SceneServer::SceneServer(const stream::AssetStore& store,
     : config_(std::move(config)),
       scene_(store.make_scene()),
       cache_(store, config_.cache),
-      queue_(cache_, config_.prefetch) {}
+      queue_(cache_, config_.prefetch),
+      async_errors_at_open_(async_task_errors()) {}
 
 SceneServer::~SceneServer() { wait_idle(); }
 
@@ -99,6 +103,10 @@ core::StreamingRenderResult SceneServer::render_frame(
   core::StreamingRenderResult result = s.renderer.render(camera);
   s.frame_ms.push_back(static_cast<double>(result.frame_wall_ns) * 1e-6);
   if (result.trace.cache.misses > 0) ++s.stall_frames;
+  if (result.trace.cache.fetch_errors > 0 ||
+      result.trace.cache.degraded_groups > 0) {
+    ++s.error_frames;
+  }
   return result;
 }
 
@@ -142,6 +150,7 @@ ServerReport SceneServer::report() const {
     sr.plans_reused = s.renderer.stats().plans_reused;
     sr.tier_requests = s.source.tier_requests();
     sr.degraded_frames = s.source.degraded_frames();
+    sr.error_frames = s.error_frames;
     rep.stall_frames += sr.stall_frames;
     all_ms.insert(all_ms.end(), s.frame_ms.begin(), s.frame_ms.end());
     rep.sessions.push_back(std::move(sr));
@@ -149,6 +158,12 @@ ServerReport SceneServer::report() const {
   rep.shared_cache = cache_.stats();
   rep.global_hit_rate = rep.shared_cache.hit_rate();
   rep.merged_prefetch_requests = queue_.merged_requests();
+  // Scoped to this server's lifetime, but the lane (and its counter) is
+  // process-global: two servers alive at once both see an error either
+  // captured during their overlap — a diagnostics signal, not an exact
+  // per-server attribution (fetch errors, which ARE attributed exactly,
+  // never reach the lane).
+  rep.async_lane_errors = async_task_errors() - async_errors_at_open_;
   rep.p50_ms = percentile_ms(all_ms, 0.50);
   rep.p95_ms = percentile_ms(std::move(all_ms), 0.95);
   return rep;

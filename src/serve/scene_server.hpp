@@ -114,7 +114,13 @@ struct SessionReport {
   std::size_t frames = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
-  core::StreamCacheStats cache;  // session-attributed; evictions always 0
+  core::StreamCacheStats cache;  // session-attributed; evictions always 0.
+                                 // Failure attribution rides here too:
+                                 // cache.fetch_errors / degraded_groups /
+                                 // failed_groups (distinct bad groups this
+                                 // session touched) — a poisoned group
+                                 // shows up ONLY in the sessions that
+                                 // actually streamed it.
   std::size_t stall_frames = 0;  // frames with >= 1 demand miss
   std::size_t plans_built = 0;
   std::size_t plans_reused = 0;
@@ -122,6 +128,10 @@ struct SessionReport {
   // selection was demoted below the footprint tier by the byte budget.
   std::array<std::uint64_t, core::kLodTierCount> tier_requests{};
   std::size_t degraded_frames = 0;
+  // Frames that saw at least one fetch error or degraded (error-state)
+  // serve. The session still completed every one of them — fault isolation
+  // means a bad group costs pixels of one group, never the session.
+  std::size_t error_frames = 0;
 };
 
 struct ServerReport {
@@ -137,6 +147,13 @@ struct ServerReport {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   std::size_t stall_frames = 0;
+  // Exceptions the async prefetch lane captured instead of terminating on
+  // since this server was constructed (the lane's counter is process-wide;
+  // the report scopes it to this server's lifetime — see
+  // common/parallel.hpp). Non-zero means a background task itself threw —
+  // distinct from fetch errors, which the cache absorbs before they ever
+  // reach the lane.
+  std::uint64_t async_lane_errors = 0;
 };
 
 struct ServerRunResult {
@@ -194,6 +211,9 @@ class SceneServer {
   // session sinks) drains before any session is destroyed.
   std::vector<std::unique_ptr<Session>> sessions_;
   stream::SharedPrefetchQueue queue_;
+  // Lane-error baseline at construction: report() attributes only errors
+  // captured during this server's lifetime, not earlier async work's.
+  std::uint64_t async_errors_at_open_ = 0;
 };
 
 }  // namespace sgs::serve

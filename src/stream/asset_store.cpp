@@ -153,7 +153,10 @@ bool AssetStore::write(const std::string& path,
   if (vq && scene.quantized() == nullptr) return false;
 
   std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+  if (!out) {
+    throw StreamException({StreamErrorKind::kIoWrite, -1, -1,
+                           "cannot open .sgsc store for writing: " + path});
+  }
 
   put<std::uint32_t>(out, kSgscMagic);
   put<std::uint32_t>(out, tiers == 1 ? kSgscVersionV1 : kSgscVersion);
@@ -187,7 +190,8 @@ bool AssetStore::write(const std::string& path,
     const vq::QuantizedModel& qm = *scene.quantized();
     if (!qm.scale_codebook().save(out) || !qm.rotation_codebook().save(out) ||
         !qm.dc_codebook().save(out) || !qm.sh_codebook().save(out)) {
-      return false;
+      throw StreamException({StreamErrorKind::kIoWrite, -1, -1,
+                             "failed writing .sgsc codebooks: " + path});
     }
   }
 
@@ -348,167 +352,229 @@ bool AssetStore::write(const std::string& path,
       }
     }
   }
-  return static_cast<bool>(out);
+  // Verify the stream made it to disk. ofstream never throws on a failed
+  // write by default — a full disk would silently emit a truncated store
+  // that only fails at read time (or worse, at render time on a customer's
+  // box). flush() forces buffered bytes out so badbit reflects the actual
+  // syscalls; close() catches the final flush of the tail.
+  out.flush();
+  if (!out) {
+    throw StreamException({StreamErrorKind::kIoWrite, -1, -1,
+                           "short write to .sgsc store (disk full?): " + path});
+  }
+  out.close();
+  if (out.fail()) {
+    throw StreamException({StreamErrorKind::kIoWrite, -1, -1,
+                           "failed to close .sgsc store: " + path});
+  }
+  return true;
 }
 
-AssetStore::AssetStore(const std::string& path)
-    : file_(path, std::ios::binary) {
-  if (!file_) throw std::runtime_error("cannot open .sgsc store: " + path);
-  file_.seekg(0, std::ios::end);
-  const auto file_size = static_cast<std::uint64_t>(file_.tellg());
-  file_.seekg(0);
-  if (get<std::uint32_t>(file_) != kSgscMagic) {
-    throw std::runtime_error("bad .sgsc magic");
-  }
-  const std::uint32_t version = get<std::uint32_t>(file_);
-  if (version != kSgscVersionV1 && version != kSgscVersion) {
-    throw std::runtime_error("unsupported .sgsc version");
-  }
-  vq_ = (get<std::uint32_t>(file_) & 1u) != 0;
-  config_.voxel_size = get<float>(file_);
-  config_.group_size = get<std::int32_t>(file_);
-  config_.ray_stride = get<std::int32_t>(file_);
-  config_.use_coarse_filter = get<std::uint8_t>(file_) != 0;
-  config_.background = get_vec3(file_);
-  config_.use_vq = vq_;
+AssetStore::AssetStore(const std::string& path) {
+  StreamError error;
+  if (!load(path, &error)) throw StreamException(std::move(error));
+}
 
-  voxel::VoxelGridConfig gc;
-  gc.origin = get_vec3(file_);
-  gc.voxel_size = get<float>(file_);
-  gc.dims.x = get<std::int32_t>(file_);
-  gc.dims.y = get<std::int32_t>(file_);
-  gc.dims.z = get<std::int32_t>(file_);
-  if (gc.voxel_size <= 0.0f || gc.dims.x <= 0 || gc.dims.y <= 0 ||
-      gc.dims.z <= 0) {
-    throw std::runtime_error(".sgsc grid config implausible");
-  }
-  gaussian_count_ = static_cast<std::size_t>(get<std::uint64_t>(file_));
-  const std::uint32_t n_groups = get<std::uint32_t>(file_);
-  if (gaussian_count_ > (std::uint64_t{1} << 32) ||
-      n_groups > (1u << 28)) {
-    throw std::runtime_error(".sgsc counts implausible");
-  }
-  if (version >= kSgscVersion) {
-    tier_count_ = get<std::uint8_t>(file_);
-    if (tier_count_ < 2 || tier_count_ > kLodTierCount) {
-      // A v2 file with one tier is written as v1; anything else is corrupt.
-      throw std::runtime_error(".sgsc tier count implausible");
+std::unique_ptr<AssetStore> AssetStore::open(const std::string& path,
+                                             StreamError* error) {
+  std::unique_ptr<AssetStore> store(new AssetStore());
+  if (!store->load(path, error)) return nullptr;
+  return store;
+}
+
+bool AssetStore::load(const std::string& path, StreamError* error) {
+  auto fail = [&](StreamErrorKind kind, std::string detail) {
+    if (error != nullptr) *error = {kind, -1, -1, std::move(detail)};
+    return false;
+  };
+  // The format layer currently being parsed: an unexpected throw (truncation
+  // inside get<>, a codebook load) is attributed to this kind.
+  StreamErrorKind section = StreamErrorKind::kCorruptHeader;
+  try {
+    file_.open(path, std::ios::binary);
+    if (!file_) {
+      return fail(StreamErrorKind::kIoOpen,
+                  "cannot open .sgsc store: " + path);
     }
+    file_.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(file_.tellg());
+    file_.seekg(0);
+    if (get<std::uint32_t>(file_) != kSgscMagic) {
+      return fail(StreamErrorKind::kCorruptHeader, "bad .sgsc magic");
+    }
+    const std::uint32_t version = get<std::uint32_t>(file_);
+    if (version != kSgscVersionV1 && version != kSgscVersion) {
+      return fail(StreamErrorKind::kCorruptHeader,
+                  "unsupported .sgsc version");
+    }
+    vq_ = (get<std::uint32_t>(file_) & 1u) != 0;
+    config_.voxel_size = get<float>(file_);
+    config_.group_size = get<std::int32_t>(file_);
+    config_.ray_stride = get<std::int32_t>(file_);
+    config_.use_coarse_filter = get<std::uint8_t>(file_) != 0;
+    config_.background = get_vec3(file_);
+    config_.use_vq = vq_;
+
+    voxel::VoxelGridConfig gc;
+    gc.origin = get_vec3(file_);
+    gc.voxel_size = get<float>(file_);
+    gc.dims.x = get<std::int32_t>(file_);
+    gc.dims.y = get<std::int32_t>(file_);
+    gc.dims.z = get<std::int32_t>(file_);
+    if (gc.voxel_size <= 0.0f || gc.dims.x <= 0 || gc.dims.y <= 0 ||
+        gc.dims.z <= 0) {
+      return fail(StreamErrorKind::kCorruptHeader,
+                  ".sgsc grid config implausible");
+    }
+    gaussian_count_ = static_cast<std::size_t>(get<std::uint64_t>(file_));
+    const std::uint32_t n_groups = get<std::uint32_t>(file_);
+    if (gaussian_count_ > (std::uint64_t{1} << 32) ||
+        n_groups > (1u << 28)) {
+      return fail(StreamErrorKind::kCorruptHeader, ".sgsc counts implausible");
+    }
+    if (version >= kSgscVersion) {
+      tier_count_ = get<std::uint8_t>(file_);
+      if (tier_count_ < 2 || tier_count_ > kLodTierCount) {
+        // A v2 file with one tier is written as v1; anything else is corrupt.
+        return fail(StreamErrorKind::kCorruptHeader,
+                    ".sgsc tier count implausible");
+      }
+      for (int t = 0; t < tier_count_; ++t) {
+        tier_sh_[static_cast<std::size_t>(t)] = get<std::uint8_t>(file_);
+      }
+      if (tier_sh_[0] != gs::kShCoeffCount) {
+        return fail(StreamErrorKind::kCorruptHeader,
+                    ".sgsc tier 0 must carry full SH");
+      }
+      for (int t = 1; t < tier_count_; ++t) {
+        if (!valid_sh_coeffs(tier_sh_[static_cast<std::size_t>(t)])) {
+          return fail(StreamErrorKind::kCorruptHeader,
+                      ".sgsc tier SH count invalid");
+        }
+      }
+    } else {
+      tier_count_ = 1;
+    }
+
+    if (vq_) {
+      scale_cb_ = vq::Codebook::load(file_);
+      rotation_cb_ = vq::Codebook::load(file_);
+      dc_cb_ = vq::Codebook::load(file_);
+      sh_cb_ = vq::Codebook::load(file_);
+      if (scale_cb_.dim() != 3 || rotation_cb_.dim() != 4 ||
+          dc_cb_.dim() != 3 || sh_cb_.dim() != 45) {
+        return fail(StreamErrorKind::kCorruptHeader,
+                    ".sgsc codebooks have wrong dims");
+      }
+    }
+
+    section = StreamErrorKind::kCorruptDirectory;
+    directory_.resize(n_groups);
+    std::uint64_t total_count = 0;
+    for (AssetDirEntry& e : directory_) {
+      e.raw_id = get<std::int64_t>(file_);
+      if (tier_count_ == 1) {
+        e.tiers[0].offset = get<std::uint64_t>(file_);
+        e.tiers[0].bytes = get<std::uint64_t>(file_);
+        e.tiers[0].count = get<std::uint32_t>(file_);
+        e.aabb_min = get_vec3(file_);
+        e.aabb_max = get_vec3(file_);
+      } else {
+        e.aabb_min = get_vec3(file_);
+        e.aabb_max = get_vec3(file_);
+        for (int t = 0; t < tier_count_; ++t) {
+          TierExtent& x = e.tiers[static_cast<std::size_t>(t)];
+          x.offset = get<std::uint64_t>(file_);
+          x.bytes = get<std::uint64_t>(file_);
+          x.count = get<std::uint32_t>(file_);
+        }
+      }
+      e.offset = e.tiers[0].offset;
+      e.bytes = e.tiers[0].bytes;
+      e.count = e.tiers[0].count;
+      std::uint32_t prev_count = e.count;
+      for (int t = 0; t < tier_count_; ++t) {
+        const TierExtent& x = e.tiers[static_cast<std::size_t>(t)];
+        const std::uint64_t rec_bytes =
+            record_bytes(vq_, tier_sh_[static_cast<std::size_t>(t)]);
+        // Each tier payload must hold exactly count fixed-size records, lie
+        // inside the file — otherwise read_group would decode past its buffer
+        // — and never carry more residents than the tier above it.
+        if (x.bytes != x.count * rec_bytes || x.offset > file_size ||
+            x.bytes > file_size - x.offset || x.count > prev_count) {
+          return fail(StreamErrorKind::kCorruptDirectory,
+                      ".sgsc directory entry inconsistent");
+        }
+        prev_count = x.count;
+        payload_total_[static_cast<std::size_t>(t)] += x.bytes;
+      }
+      total_count += e.count;
+    }
+    if (total_count != gaussian_count_) {
+      return fail(StreamErrorKind::kCorruptDirectory,
+                  ".sgsc directory does not cover the model");
+    }
+
+    // Index tables: tier 0 is the full resident spatial index; tiers >= 1
+    // are the pruned subsets, each validated to be a subsequence of tier 0.
+    section = StreamErrorKind::kCorruptIndex;
     for (int t = 0; t < tier_count_; ++t) {
-      tier_sh_[static_cast<std::size_t>(t)] = get<std::uint8_t>(file_);
-    }
-    if (tier_sh_[0] != gs::kShCoeffCount) {
-      throw std::runtime_error(".sgsc tier 0 must carry full SH");
+      auto& table = index_table_[static_cast<std::size_t>(t)];
+      auto& offsets = index_offsets_[static_cast<std::size_t>(t)];
+      std::uint64_t entries = 0;
+      for (std::uint32_t v = 0; v < n_groups; ++v) {
+        entries += directory_[v].tiers[static_cast<std::size_t>(t)].count;
+      }
+      table.resize(entries);
+      file_.read(reinterpret_cast<char*>(table.data()),
+                 static_cast<std::streamsize>(table.size() *
+                                              sizeof(std::uint32_t)));
+      if (!file_) {
+        return fail(StreamErrorKind::kCorruptIndex,
+                    "truncated .sgsc index table");
+      }
+      offsets.resize(n_groups + 1, 0);
+      for (std::uint32_t v = 0; v < n_groups; ++v) {
+        offsets[v + 1] =
+            offsets[v] +
+            directory_[v].tiers[static_cast<std::size_t>(t)].count;
+      }
     }
     for (int t = 1; t < tier_count_; ++t) {
-      if (!valid_sh_coeffs(tier_sh_[static_cast<std::size_t>(t)])) {
-        throw std::runtime_error(".sgsc tier SH count invalid");
-      }
-    }
-  } else {
-    tier_count_ = 1;
-  }
-
-  if (vq_) {
-    scale_cb_ = vq::Codebook::load(file_);
-    rotation_cb_ = vq::Codebook::load(file_);
-    dc_cb_ = vq::Codebook::load(file_);
-    sh_cb_ = vq::Codebook::load(file_);
-    if (scale_cb_.dim() != 3 || rotation_cb_.dim() != 4 || dc_cb_.dim() != 3 ||
-        sh_cb_.dim() != 45) {
-      throw std::runtime_error(".sgsc codebooks have wrong dims");
-    }
-  }
-
-  directory_.resize(n_groups);
-  std::uint64_t total_count = 0;
-  for (AssetDirEntry& e : directory_) {
-    e.raw_id = get<std::int64_t>(file_);
-    if (tier_count_ == 1) {
-      e.tiers[0].offset = get<std::uint64_t>(file_);
-      e.tiers[0].bytes = get<std::uint64_t>(file_);
-      e.tiers[0].count = get<std::uint32_t>(file_);
-      e.aabb_min = get_vec3(file_);
-      e.aabb_max = get_vec3(file_);
-    } else {
-      e.aabb_min = get_vec3(file_);
-      e.aabb_max = get_vec3(file_);
-      for (int t = 0; t < tier_count_; ++t) {
-        TierExtent& x = e.tiers[static_cast<std::size_t>(t)];
-        x.offset = get<std::uint64_t>(file_);
-        x.bytes = get<std::uint64_t>(file_);
-        x.count = get<std::uint32_t>(file_);
-      }
-    }
-    e.offset = e.tiers[0].offset;
-    e.bytes = e.tiers[0].bytes;
-    e.count = e.tiers[0].count;
-    std::uint32_t prev_count = e.count;
-    for (int t = 0; t < tier_count_; ++t) {
-      const TierExtent& x = e.tiers[static_cast<std::size_t>(t)];
-      const std::uint64_t rec_bytes =
-          record_bytes(vq_, tier_sh_[static_cast<std::size_t>(t)]);
-      // Each tier payload must hold exactly count fixed-size records, lie
-      // inside the file — otherwise read_group would decode past its buffer
-      // — and never carry more residents than the tier above it.
-      if (x.bytes != x.count * rec_bytes || x.offset > file_size ||
-          x.bytes > file_size - x.offset || x.count > prev_count) {
-        throw std::runtime_error(".sgsc directory entry inconsistent");
-      }
-      prev_count = x.count;
-      payload_total_[static_cast<std::size_t>(t)] += x.bytes;
-    }
-    total_count += e.count;
-  }
-  if (total_count != gaussian_count_) {
-    throw std::runtime_error(".sgsc directory does not cover the model");
-  }
-
-  // Index tables: tier 0 is the full resident spatial index; tiers >= 1 are
-  // the pruned subsets, each validated to be a subsequence of tier 0.
-  for (int t = 0; t < tier_count_; ++t) {
-    auto& table = index_table_[static_cast<std::size_t>(t)];
-    auto& offsets = index_offsets_[static_cast<std::size_t>(t)];
-    std::uint64_t entries = 0;
-    for (std::uint32_t v = 0; v < n_groups; ++v) {
-      entries += directory_[v].tiers[static_cast<std::size_t>(t)].count;
-    }
-    table.resize(entries);
-    file_.read(reinterpret_cast<char*>(table.data()),
-               static_cast<std::streamsize>(table.size() *
-                                            sizeof(std::uint32_t)));
-    if (!file_) throw std::runtime_error("truncated .sgsc index table");
-    offsets.resize(n_groups + 1, 0);
-    for (std::uint32_t v = 0; v < n_groups; ++v) {
-      offsets[v + 1] =
-          offsets[v] + directory_[v].tiers[static_cast<std::size_t>(t)].count;
-    }
-  }
-  for (int t = 1; t < tier_count_; ++t) {
-    for (std::uint32_t v = 0; v < n_groups; ++v) {
-      const auto full = group_indices(static_cast<voxel::DenseVoxelId>(v), 0);
-      const auto sub = group_indices(static_cast<voxel::DenseVoxelId>(v), t);
-      std::size_t i = 0;
-      for (const std::uint32_t mi : sub) {
-        while (i < full.size() && full[i] != mi) ++i;
-        if (i == full.size()) {
-          throw std::runtime_error(
-              ".sgsc tier table is not a subsequence of the group index");
+      for (std::uint32_t v = 0; v < n_groups; ++v) {
+        const auto full =
+            group_indices(static_cast<voxel::DenseVoxelId>(v), 0);
+        const auto sub = group_indices(static_cast<voxel::DenseVoxelId>(v), t);
+        std::size_t i = 0;
+        for (const std::uint32_t mi : sub) {
+          while (i < full.size() && full[i] != mi) ++i;
+          if (i == full.size()) {
+            return fail(
+                StreamErrorKind::kCorruptIndex,
+                ".sgsc tier table is not a subsequence of the group index");
+          }
+          ++i;
         }
-        ++i;
       }
     }
-  }
 
-  // Reassemble the resident spatial index.
-  std::vector<voxel::RawVoxelId> raw_ids(n_groups);
-  std::vector<std::vector<std::uint32_t>> residents(n_groups);
-  for (std::uint32_t v = 0; v < n_groups; ++v) {
-    raw_ids[v] = directory_[v].raw_id;
-    const auto span = group_indices(static_cast<voxel::DenseVoxelId>(v));
-    residents[v].assign(span.begin(), span.end());
+    // Reassemble the resident spatial index.
+    std::vector<voxel::RawVoxelId> raw_ids(n_groups);
+    std::vector<std::vector<std::uint32_t>> residents(n_groups);
+    for (std::uint32_t v = 0; v < n_groups; ++v) {
+      raw_ids[v] = directory_[v].raw_id;
+      const auto span = group_indices(static_cast<voxel::DenseVoxelId>(v));
+      residents[v].assign(span.begin(), span.end());
+    }
+    grid_ = voxel::VoxelGrid::assemble(gc, raw_ids, residents,
+                                       gaussian_count_);
+  } catch (const StreamException& e) {
+    if (error != nullptr) *error = e.error();
+    return false;
+  } catch (const std::exception& e) {
+    return fail(section, e.what());
   }
-  grid_ = voxel::VoxelGrid::assemble(gc, raw_ids, residents, gaussian_count_);
+  return true;
 }
 
 std::span<const std::uint32_t> AssetStore::group_indices(
@@ -522,14 +588,50 @@ std::span<const std::uint32_t> AssetStore::group_indices(
 }
 
 DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v, int tier) const {
+  StreamResult<DecodedGroup> result = read_group_checked(v, tier);
+  if (!result.ok()) throw StreamException(result.take_error());
+  return result.take();
+}
+
+StreamResult<DecodedGroup> AssetStore::read_group_checked(voxel::DenseVoxelId v,
+                                                          int tier) const {
+  auto fail = [&](StreamErrorKind kind, std::string detail) {
+    return StreamResult<DecodedGroup>(
+        StreamError{kind, static_cast<std::int64_t>(v), tier,
+                    std::move(detail)});
+  };
+  try {
+    return read_group_impl(v, tier);
+  } catch (const StreamException& e) {
+    return StreamResult<DecodedGroup>(e.error());
+  } catch (const std::exception& e) {
+    // Allocation or any other decode-side failure: still a per-group,
+    // per-tier recoverable event, never a process-level one.
+    return fail(StreamErrorKind::kDecode, e.what());
+  }
+}
+
+DecodedGroup AssetStore::read_group_impl(voxel::DenseVoxelId v,
+                                         int tier) const {
+  auto fail = [&](StreamErrorKind kind, const char* detail) -> StreamException {
+    return StreamException(StreamError{kind, static_cast<std::int64_t>(v),
+                                       tier, detail});
+  };
+  if (tier < 0 || tier >= tier_count_ ||
+      static_cast<std::size_t>(v) >= directory_.size()) {
+    throw fail(StreamErrorKind::kDecode, "group/tier out of range");
+  }
   const TierExtent& e = tier_extent(v, tier);
   std::vector<char> buf(static_cast<std::size_t>(e.bytes));
   {
     std::lock_guard<std::mutex> lk(file_mutex_);
+    // clear() first: a previous failed read of some *other* group left the
+    // stream's failbit set, and this read must not inherit that fate (the
+    // per-group failure domain).
     file_.clear();
     file_.seekg(static_cast<std::streamoff>(e.offset));
     file_.read(buf.data(), static_cast<std::streamsize>(buf.size()));
-    if (!file_) throw std::runtime_error("truncated .sgsc payload");
+    if (!file_) throw fail(StreamErrorKind::kIoRead, "truncated .sgsc payload");
   }
 
   DecodedGroup group;
@@ -552,7 +654,8 @@ DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v, int tier) const {
       const auto di = peel<std::uint16_t>(p);
       if (si >= scale_cb_.size() || ri >= rotation_cb_.size() ||
           di >= dc_cb_.size()) {
-        throw std::runtime_error(".sgsc payload index out of codebook range");
+        throw fail(StreamErrorKind::kCorruptPayload,
+                   ".sgsc payload index out of codebook range");
       }
       // Same lookups as QuantizedModel::decode — a cached group is
       // bit-identical to the prepared scene's render model. Tiers with
@@ -566,8 +669,8 @@ DecodedGroup AssetStore::read_group(voxel::DenseVoxelId v, int tier) const {
       if (sh_n > 1) {
         const auto hi = peel<std::uint16_t>(p);
         if (hi >= sh_cb_.size()) {
-          throw std::runtime_error(
-              ".sgsc payload index out of codebook range");
+          throw fail(StreamErrorKind::kCorruptPayload,
+                     ".sgsc payload index out of codebook range");
         }
         const auto rest = sh_cb_.entry(hi);
         for (int c = 1; c < gs::kShCoeffCount; ++c) {

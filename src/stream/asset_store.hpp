@@ -50,6 +50,7 @@
 #include <array>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -58,6 +59,7 @@
 #include "core/streaming_renderer.hpp"
 #include "core/streaming_trace.hpp"
 #include "gs/gaussian.hpp"
+#include "stream/stream_error.hpp"
 #include "voxel/grid.hpp"
 #include "vq/codebook.hpp"
 
@@ -133,15 +135,25 @@ struct AssetStoreWriteOptions {
 class AssetStore {
  public:
   // Serializes a prepared scene (which must have resident parameters) into
-  // the .sgsc format. Returns false on IO failure or invalid options.
+  // the .sgsc format. Returns false on invalid options or an unprepared
+  // scene. IO failures THROW StreamException (kIoWrite, path in the
+  // message): the stream state is verified after the payload pass and on
+  // close, so a full disk can no longer silently emit a truncated store
+  // that only fails at read time.
   static bool write(const std::string& path, const core::StreamingScene& scene,
                     const AssetStoreWriteOptions& options = {});
 
   // Opens a store: loads header, codebooks, directory, and index/tier
   // tables; reassembles the voxel grid. Payloads stay on disk. Accepts v1
-  // files (read as a single-tier v2). Throws std::runtime_error on
-  // malformed input.
+  // files (read as a single-tier v2). Throws StreamException (a
+  // std::runtime_error carrying the typed StreamError) on malformed input.
   explicit AssetStore(const std::string& path);
+
+  // Non-throwing open: returns nullptr on failure, with the typed error in
+  // *error (when non-null). The fault-isolated entry point a long-lived
+  // server uses so one bad store cannot unwind the process.
+  static std::unique_ptr<AssetStore> open(const std::string& path,
+                                          StreamError* error = nullptr);
 
   bool vector_quantized() const { return vq_; }
   std::size_t gaussian_count() const { return gaussian_count_; }
@@ -196,10 +208,32 @@ class AssetStore {
 
   // Reads one group's payload at `tier` from disk and decodes it.
   // Thread-safe: the file handle is shared under a mutex, decode runs
-  // outside the lock. `tier` must be < tier_count().
+  // outside the lock. `tier` must be < tier_count(). Throws
+  // StreamException on a failed read or corrupt payload — the thin legacy
+  // wrapper over read_group_checked below.
   DecodedGroup read_group(voxel::DenseVoxelId v, int tier = 0) const;
 
+  // The typed, non-throwing read path: returns the decoded group or a
+  // StreamError (kIoRead / kCorruptPayload / kDecode, group+tier tagged)
+  // without ever propagating an exception. A failed read is a recoverable,
+  // per-group event: the store stays open and every other group stays
+  // readable (the file handle's error state is cleared per read). This is
+  // what the ResidencyCache fetches through.
+  StreamResult<DecodedGroup> read_group_checked(voxel::DenseVoxelId v,
+                                                int tier = 0) const;
+
  private:
+  // For open(): members are filled by load(). Keep default-constructible
+  // state private so a half-loaded store can never escape.
+  AssetStore() = default;
+
+  // Parses the store at `path` into this instance. Returns false with the
+  // typed error in *error on any malformed input; never throws.
+  bool load(const std::string& path, StreamError* error);
+
+  // The throwing core of the read path (throws StreamException only);
+  // read_group_checked catches and converts.
+  DecodedGroup read_group_impl(voxel::DenseVoxelId v, int tier) const;
   core::StreamingConfig config_;
   voxel::VoxelGrid grid_;
   bool vq_ = false;

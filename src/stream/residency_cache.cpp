@@ -1,5 +1,6 @@
 #include "stream/residency_cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -79,6 +80,7 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
   std::unique_lock<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
   AcquireOutcome out;
+  out.group = v;
   out.requested_tier = tier;
   for (;;) {
     if (e.loading) {
@@ -96,27 +98,64 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
       break;
     }
     // Demand miss (absent) or upgrade (resident at a worse tier): this
-    // render worker stalls on the fetch either way.
+    // render worker wants a fetch either way. Error gating first — a
+    // negative-cached or backing-off (group, tier) is served degraded
+    // without touching the disk (that is the whole point of the negative
+    // cache). The state is tier-scoped: a corrupt L0 payload leaves this
+    // same group's L1/L2 requests fetching normally.
+    const auto t = static_cast<std::size_t>(tier);
+    if (e.tier_failed(tier) || e.backoff_remaining[t] > 0) {
+      if (!e.tier_failed(tier)) --e.backoff_remaining[t];
+      ++stats_.misses;
+      ++stats_.tier_misses[t];
+      ++stats_.degraded_groups;
+      out.degraded = true;
+      out.group_failed = e.tier_failed(tier);
+      out.error = e.last_error;
+      break;
+    }
     ++stats_.misses;
     ++stats_.tier_misses[static_cast<std::size_t>(tier)];
-    if (e.resident) {
+    const bool upgrade_attempt = e.resident;
+    if (!fetch_locked(lk, v, tier, /*is_prefetch=*/false)) {
+      // The fetch failed: serve the stale resident payload when there is
+      // one (a failed upgrade keeps its old tier), an empty view otherwise
+      // — the frame renders without this group instead of dying with it.
+      ++stats_.degraded_groups;
+      out.degraded = true;
+      out.fetch_errored = true;
+      out.group_failed = e.tier_failed(tier);
+      out.error = e.last_error;
+      break;
+    }
+    if (upgrade_attempt) {
       ++stats_.upgrades;
       out.upgraded = true;
     }
-    fetch_locked(lk, v, tier, /*is_prefetch=*/false);
     out.missed = true;
     out.bytes_fetched = e.group.payload_bytes;
   }
+  // Pin on every path — including degraded empty views — so the caller's
+  // unconditional release() stays balanced.
   ++e.pins;
-  touch_locked(e, v);
-  // Eviction runs only now, with the new entry pinned: with every other
-  // group pinned the pass could otherwise evict the group this very call
-  // just fetched (fetch_locked defers eviction for exactly that reason).
-  if (out.missed) evict_over_budget_locked();
-  out.served_tier = e.tier;
-  out.view.model_indices = e.group.model_indices;
-  out.view.gaussians = e.group.gaussians.data();
-  out.view.coarse_max_scale = e.group.coarse_max_scale.data();
+  if (e.resident) {
+    touch_locked(e, v);
+    // Eviction runs only now, with the new entry pinned: with every other
+    // group pinned the pass could otherwise evict the group this very call
+    // just fetched (fetch_locked defers eviction for exactly that reason).
+    if (out.missed) evict_over_budget_locked();
+    out.served_tier = e.tier;
+    out.view.model_indices = e.group.model_indices;
+    out.view.gaussians = e.group.gaussians.data();
+    out.view.coarse_max_scale = e.group.coarse_max_scale.data();
+  } else {
+    // Nothing to serve: an empty view the pipeline streams zero residents
+    // through (the rest of the frame is unaffected).
+    out.served_tier = -1;
+    out.view.model_indices = {};
+    out.view.gaussians = nullptr;
+    out.view.coarse_max_scale = nullptr;
+  }
   out.view.by_model_index = false;
   return out;
 }
@@ -124,7 +163,9 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
 void ResidencyCache::release(voxel::DenseVoxelId v) {
   std::lock_guard<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
-  assert(e.resident && e.pins > 0);
+  // Degraded (empty-view) acquires pin non-resident entries, so residency
+  // is not implied here — only pin balance is.
+  assert(e.pins > 0);
   --e.pins;
   // An upgrade may be parked on this group waiting for views to drain.
   if (e.pins == 0 && e.loading) cv_.notify_all();
@@ -132,17 +173,52 @@ void ResidencyCache::release(voxel::DenseVoxelId v) {
 
 bool ResidencyCache::prefetch(voxel::DenseVoxelId v, int tier,
                               std::uint64_t* fetched_bytes) {
+  return prefetch_checked(v, tier, fetched_bytes) == PrefetchResult::kFetched;
+}
+
+PrefetchResult ResidencyCache::prefetch_checked(voxel::DenseVoxelId v,
+                                                int tier,
+                                                std::uint64_t* fetched_bytes) {
   std::unique_lock<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
-  if (e.loading) return false;
-  if (e.resident && e.tier <= tier) return false;
+  if (e.loading) return PrefetchResult::kSkipped;
+  if (e.resident && e.tier <= tier) return PrefetchResult::kSkipped;
   // Upgrading a group someone is reading would block the async lane on the
   // readers; leave it to the next demand acquire instead.
-  if (e.resident && e.pins > 0) return false;
-  fetch_locked(lk, v, tier, /*is_prefetch=*/true);
+  if (e.resident && e.pins > 0) return PrefetchResult::kSkipped;
+  // Negative cache: a corrupt payload is re-requested by ranking every
+  // frame and every session; each denial must cost a counter decrement,
+  // not a disk read — that is what turns one bad payload from a refetch
+  // storm into background noise.
+  const auto t = static_cast<std::size_t>(tier);
+  if (e.tier_failed(tier) || e.backoff_remaining[t] > 0) {
+    if (!e.tier_failed(tier)) --e.backoff_remaining[t];
+    return PrefetchResult::kNegativeCached;
+  }
+  if (!fetch_locked(lk, v, tier, /*is_prefetch=*/true)) {
+    return PrefetchResult::kErrored;
+  }
   if (fetched_bytes != nullptr) *fetched_bytes = e.group.payload_bytes;
   evict_over_budget_locked();
-  return true;
+  return PrefetchResult::kFetched;
+}
+
+bool ResidencyCache::group_failed(voxel::DenseVoxelId v) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return entries_[static_cast<std::size_t>(v)].failed_tiers != 0;
+}
+
+bool ResidencyCache::tier_failed(voxel::DenseVoxelId v, int tier) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return entries_[static_cast<std::size_t>(v)].tier_failed(tier);
+}
+
+std::optional<StreamError> ResidencyCache::group_error(
+    voxel::DenseVoxelId v) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const Entry& e = entries_[static_cast<std::size_t>(v)];
+  if (e.last_error == nullptr) return std::nullopt;
+  return *e.last_error;
 }
 
 bool ResidencyCache::resident(voxel::DenseVoxelId v) const {
@@ -166,14 +242,33 @@ std::vector<std::uint8_t> ResidencyCache::resident_snapshot() const {
 }
 
 std::vector<std::uint8_t> ResidencyCache::tier_snapshot() const {
-  std::vector<std::uint8_t> tiers(entries_.size(), kTierAbsent);
+  std::vector<std::uint8_t> tiers;
+  ranking_snapshot(&tiers, nullptr);
+  return tiers;
+}
+
+std::vector<std::uint8_t> ResidencyCache::failed_tier_snapshot() const {
+  std::vector<std::uint8_t> failed;
+  ranking_snapshot(nullptr, &failed);
+  return failed;
+}
+
+void ResidencyCache::ranking_snapshot(
+    std::vector<std::uint8_t>* resident_tiers,
+    std::vector<std::uint8_t>* failed_tiers) const {
+  if (resident_tiers != nullptr) {
+    resident_tiers->assign(entries_.size(), kTierAbsent);
+  }
+  if (failed_tiers != nullptr) failed_tiers->assign(entries_.size(), 0);
   std::lock_guard<std::mutex> lk(mutex_);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].resident) {
-      tiers[i] = static_cast<std::uint8_t>(entries_[i].tier);
+    if (resident_tiers != nullptr && entries_[i].resident) {
+      (*resident_tiers)[i] = static_cast<std::uint8_t>(entries_[i].tier);
+    }
+    if (failed_tiers != nullptr) {
+      (*failed_tiers)[i] = entries_[i].failed_tiers;
     }
   }
-  return tiers;
 }
 
 std::uint64_t ResidencyCache::resident_bytes() const {
@@ -186,7 +281,7 @@ core::StreamCacheStats ResidencyCache::stats() const {
   return stats_;
 }
 
-void ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
+bool ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
                                   voxel::DenseVoxelId v, int tier,
                                   bool is_prefetch) {
   Entry& e = entries_[static_cast<std::size_t>(v)];
@@ -199,17 +294,65 @@ void ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
     // so the drain cannot deadlock. Eviction skips loading entries.
     cv_.wait(lk, [&e] { return e.pins == 0; });
   }
+  // RAII over the in-flight mark: `loading` is cleared and every waiter
+  // woken on ANY exit from this function — early return, a throw from the
+  // store read, an allocation failure in decode. Without this, one
+  // throwing fetch would leave loading=true forever and every later
+  // acquire of this group would sleep on cv_ for good (the deadlock the
+  // failure-domain work exists to kill).
+  struct LoadingGuard {
+    std::unique_lock<std::mutex>& lk;
+    Entry& e;
+    std::condition_variable& cv;
+    ~LoadingGuard() {
+      if (!lk.owns_lock()) lk.lock();
+      e.loading = false;
+      cv.notify_all();
+    }
+  } guard{lk, e, cv_};
+
   lk.unlock();
   // Disk read + decode outside the lock: other groups stay acquirable and
-  // other fetches only serialize on the store's own file mutex.
-  DecodedGroup fetched = store_->read_group(v, tier);
+  // other fetches only serialize on the store's own file mutex. The typed
+  // read path never throws; errors come back as values.
+  StreamResult<DecodedGroup> fetched = store_->read_group_checked(v, tier);
   lk.lock();
+  if (!fetched.ok()) {
+    const auto t = static_cast<std::size_t>(tier);
+    ++stats_.fetch_errors;
+    e.last_error =
+        std::make_shared<const StreamError>(fetched.take_error());
+    // Saturating: fail_count is a u8 and max_fetch_attempts an unvalidated
+    // int — a wrap at 255 under a keep-retrying config would both dodge
+    // the budget check and feed a negative shift (UB) below.
+    if (e.fail_count[t] < 255) ++e.fail_count[t];
+    const int budget = std::clamp(config_.max_fetch_attempts, 1, 255);
+    if (e.fail_count[t] >= budget) {
+      // Retry budget exhausted: negative-cache this (group, tier) for the
+      // cache's lifetime. Total disk touches for a permanently-bad payload
+      // are bounded by max_fetch_attempts, no matter how many sessions
+      // keep asking for it; the group's OTHER tiers stay fetchable.
+      if (e.failed_tiers == 0) ++stats_.failed_groups;
+      e.failed_tiers |= static_cast<std::uint8_t>(1u << tier);
+      e.backoff_remaining[t] = 0;
+    } else {
+      const int shift = std::min<int>(e.fail_count[t] - 1, 16);
+      e.backoff_remaining[t] = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(
+              config_.retry_backoff_cap,
+              std::uint64_t{config_.retry_backoff_base} << shift));
+    }
+    return false;  // guard clears loading + notifies waiters
+  }
+  // Success resets this tier's failure state: a transient error (repaired
+  // file, recovered disk) does not haunt the tier forever.
+  e.fail_count[static_cast<std::size_t>(tier)] = 0;
+  e.backoff_remaining[static_cast<std::size_t>(tier)] = 0;
   if (upgrade) {
     resident_bytes_ -= e.group.resident_bytes();
   }
-  e.group = std::move(fetched);
+  e.group = fetched.take();
   e.tier = tier;
-  e.loading = false;
   if (!e.resident) {
     e.resident = true;
     lru_.push_front(v);
@@ -227,7 +370,7 @@ void ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
   // the new entry first, or — with every other resident group pinned — the
   // pass could evict the group it just fetched out from under the caller.
   // Callers run evict_over_budget_locked() once the entry is protected.
-  cv_.notify_all();
+  return true;  // guard clears loading + notifies waiters
 }
 
 void ResidencyCache::touch_locked(Entry& e, voxel::DenseVoxelId v) {

@@ -46,17 +46,37 @@
 // evictions, and the resident set are fully reproducible (pure LRU, no
 // clocks). Concurrent traces keep counters exact but their interleaving is
 // scheduling-dependent; the *rendered image* never depends on cache state.
+//
+// Failure domain: a fetch that errors (typed StreamError from the store)
+// never terminates the caller and never wedges the entry — loading is
+// cleared and waiters woken on EVERY exit path (RAII). The acquire is
+// served *degraded*: the group's stale resident tier when one is there
+// (an upgrade that failed), an empty view otherwise (the frame renders
+// without that group). Failure state is per (group, tier) — errors are
+// tier-scoped on disk (one corrupt payload does not poison the group's
+// other tiers), so a group whose L0 is corrupt still streams at L1/L2.
+// A failing tier enters a deterministic retry-with-backoff state — each
+// failure doubles a countdown of denied requests before the next disk
+// attempt — and after max_fetch_attempts failures that tier is
+// negative-cached for the cache's lifetime, so one corrupt payload costs
+// a bounded number of disk touches total, never a refetch storm.
+// Counters: fetch_errors / degraded_groups / failed_groups in stats()
+// (trace v5; failed_groups counts groups with >= 1 failed tier, once).
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "stream/asset_store.hpp"
 #include "stream/group_source.hpp"
+#include "stream/stream_error.hpp"
 
 namespace sgs::stream {
 
@@ -64,11 +84,31 @@ struct ResidencyCacheConfig {
   // Decoded-bytes budget. Groups beyond it are evicted LRU-first; pinned
   // groups are never evicted even when over budget.
   std::uint64_t budget_bytes = 64ull << 20;
+  // Failure domain. A (group, tier) fetch may fail this many times before
+  // that tier is negative-cached for good (failed_groups counts the group
+  // once); between failures, retries back off exponentially, measured in
+  // *denied requests* (not wall time, so behavior stays deterministic per
+  // request trace): after failure k the next retry_backoff_base << (k-1)
+  // fetch-wanting requests (capped at retry_backoff_cap) are served
+  // degraded without touching the disk.
+  int max_fetch_attempts = 3;
+  std::uint32_t retry_backoff_base = 4;
+  std::uint32_t retry_backoff_cap = 64;
+};
+
+// What one prefetch request actually did.
+enum class PrefetchResult : std::uint8_t {
+  kFetched = 0,     // fetched (or upgraded) the group at the asked tier
+  kSkipped,         // nothing to do: resident/in-flight/pinned by readers
+  kErrored,         // the fetch was attempted and failed (typed error)
+  kNegativeCached,  // denied without disk IO: group failed or backing off
 };
 
 // What one acquire actually did — the per-session attribution record.
 struct AcquireOutcome {
   GroupView view;
+  // The group this outcome describes (failure attribution keys on it).
+  voxel::DenseVoxelId group = 0;
   // True when this call paid the demand fetch itself (a stall for the
   // calling worker). An acquire that waited on someone else's in-flight
   // fetch counts as a hit: the group arrived without this caller paying.
@@ -77,11 +117,24 @@ struct AcquireOutcome {
   std::uint64_t bytes_fetched = 0;
   // LOD attribution: the tier the caller asked for, the tier the returned
   // view actually carries (served <= requested — a resident better tier
-  // satisfies a worse request), and whether this call refetched an
-  // already-resident group at higher fidelity.
+  // satisfies a worse request — EXCEPT degraded serves, which may return a
+  // stale worse tier or, with served_tier == -1, an empty view), and
+  // whether this call refetched an already-resident group at higher
+  // fidelity.
   int requested_tier = 0;
   int served_tier = 0;
   bool upgraded = false;
+  // Failure attribution. `degraded`: this acquire could not be served at
+  // the requested-or-better tier because of an error state — the view is
+  // the stale resident payload or empty. `fetch_errored`: this very call
+  // attempted the fetch and it failed (`error` carries the typed reason —
+  // by shared pointer, so degraded serves cost no allocation under the
+  // cache mutex). `group_failed`: the requested tier has exhausted its
+  // retry budget and is negative-cached.
+  bool degraded = false;
+  bool fetch_errored = false;
+  bool group_failed = false;
+  std::shared_ptr<const StreamError> error;
 };
 
 class ResidencyCache final : public GroupSource {
@@ -134,10 +187,24 @@ class ResidencyCache final : public GroupSource {
   // prefetch, not a miss). Returns true when this call fetched; false when
   // the group was already resident at `tier` or better, in flight, or
   // pinned by readers (an upgrade must not block the async lane — demand
-  // acquire will pay it instead). When it fetched and `fetched_bytes` is
+  // acquire will pay it instead), and also when the fetch errored or the
+  // group is negative-cached — prefetch NEVER throws, so a batch loop
+  // continues past a bad group. When it fetched and `fetched_bytes` is
   // non-null, the payload bytes read are stored there (attribution).
   bool prefetch(voxel::DenseVoxelId v, int tier = 0,
                 std::uint64_t* fetched_bytes = nullptr);
+  // Same, with the outcome distinguished — what a batch drain uses to
+  // count per-group errors without aborting the rest of the batch.
+  PrefetchResult prefetch_checked(voxel::DenseVoxelId v, int tier = 0,
+                                  std::uint64_t* fetched_bytes = nullptr);
+
+  // Failure-domain introspection -----------------------------------------
+  // True when at least one of `v`'s tiers has exhausted its retry budget
+  // (negative-cached); pass a specific `tier` to probe just that tier.
+  bool group_failed(voxel::DenseVoxelId v) const;
+  bool tier_failed(voxel::DenseVoxelId v, int tier) const;
+  // The last fetch error recorded for `v`, if any.
+  std::optional<StreamError> group_error(voxel::DenseVoxelId v) const;
   bool resident(voxel::DenseVoxelId v) const;
   // Resident tier of `v`, or -1 when absent.
   int resident_tier(voxel::DenseVoxelId v) const;
@@ -152,6 +219,17 @@ class ResidencyCache final : public GroupSource {
   // kTierAbsent when not resident — what tier-aware prefetch ranking needs.
   static constexpr std::uint8_t kTierAbsent = 0xFF;
   std::vector<std::uint8_t> tier_snapshot() const;
+  // Per-group bitmask of negative-cached tiers (bit t set = tier t has
+  // exhausted its retry budget), same single-lock scan. Prefetch ranking
+  // masks its wanted tier against this so a failed (group, tier) never
+  // re-enters a batch — not even as an upgrade candidate — while the
+  // group's healthy tiers stay fetchable.
+  std::vector<std::uint8_t> failed_tier_snapshot() const;
+  // Both of the above under ONE lock acquisition (either out-param may be
+  // null) — what per-frame, per-session ranking calls so the added
+  // failure mask does not double its traffic on the contended mutex.
+  void ranking_snapshot(std::vector<std::uint8_t>* resident_tiers,
+                        std::vector<std::uint8_t>* failed_tiers) const;
 
   std::uint64_t resident_bytes() const;
   const ResidencyCacheConfig& config() const { return config_; }
@@ -162,19 +240,38 @@ class ResidencyCache final : public GroupSource {
     DecodedGroup group;
     int tier = 0;       // fidelity of the resident payload (valid when
                         // resident; lower = better)
-    int pins = 0;       // outstanding acquires
+    int pins = 0;       // outstanding acquires (failed acquires pin too, so
+                        // pin/release stays balanced on every path)
     int plan_pins = 0;  // in-flight FramePlans claiming this group (union
                         // of all sessions' working sets)
     bool loading = false;  // fetch in flight; waiters sleep on cv_
     std::list<voxel::DenseVoxelId>::iterator lru_it;  // valid when resident
     bool resident = false;
+    // Failure state, PER TIER (disk errors are tier-scoped: a corrupt L0
+    // payload must not poison the group's healthy L1/L2): consecutive
+    // failed fetch attempts, the denied-request countdown until the next
+    // attempt, the permanent negative-cache bitmask, and the last typed
+    // error (shared_ptr: degraded serves hand it out by pointer copy, not
+    // a string allocation inside the cache-wide mutex).
+    std::array<std::uint8_t, core::kLodTierCount> fail_count{};
+    std::array<std::uint32_t, core::kLodTierCount> backoff_remaining{};
+    std::uint8_t failed_tiers = 0;  // bit t = tier t negative-cached
+    std::shared_ptr<const StreamError> last_error;
+
+    bool tier_failed(int tier) const {
+      return (failed_tiers >> tier) & 1u;
+    }
   };
 
   // Fetches v at `tier` into its entry. Caller holds lk; the disk read and
   // decode run unlocked with entry.loading set. When the entry is already
   // resident (an upgrade), waits for pins to drain first, then replaces the
-  // payload in place. Returns with the entry resident at `tier`.
-  void fetch_locked(std::unique_lock<std::mutex>& lk, voxel::DenseVoxelId v,
+  // payload in place. Returns true with the entry resident at `tier`, or
+  // false when the fetch failed — the entry keeps its previous payload (if
+  // any), records the error, and advances its retry/backoff state. On
+  // EVERY exit, including exceptions, `loading` is cleared and waiters are
+  // woken (RAII guard) — a throwing fetch must never wedge the entry.
+  bool fetch_locked(std::unique_lock<std::mutex>& lk, voxel::DenseVoxelId v,
                     int tier, bool is_prefetch);
   void touch_locked(Entry& e, voxel::DenseVoxelId v);
   void evict_over_budget_locked();

@@ -25,14 +25,21 @@ std::vector<PrefetchRequest> rank_prefetch_groups(
   };
   std::vector<Ranked> ranked;
   const auto dir = store.directory();
-  // One lock for the whole directory scan, not one per group: with many
+  // One lock per whole-directory scan, not one per group: with many
   // sessions ranking every frame, per-group resident() probes would
   // multiply lock traffic on the mutex the render workers contend on.
-  const std::vector<std::uint8_t> resident_tiers = cache.tier_snapshot();
+  std::vector<std::uint8_t> resident_tiers, failed_tiers;
+  cache.ranking_snapshot(&resident_tiers, &failed_tiers);
   for (std::size_t i = 0; i < dir.size(); ++i) {
     const auto v = static_cast<voxel::DenseVoxelId>(i);
     if (dir[i].count == 0) continue;
     const int want = select_group_tier(store, intent, v, config.lod);
+    // A negative-cached (group, tier) is not fetch-worthy: its prefetch
+    // would be denied, and re-ranking it every frame in every session is
+    // exactly the refetch storm the failure domain exists to prevent. The
+    // mask is per tier, so a group with a corrupt L0 still prefetches at
+    // the healthy tiers a far camera wants.
+    if ((failed_tiers[i] >> want) & 1u) continue;
     // Resident at the wanted tier or better: nothing to fetch. A group
     // resident only at a worse tier stays a candidate — its prefetch is
     // the asynchronous upgrade path.
@@ -169,9 +176,13 @@ std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
   if (fresh.empty()) return 0;
 
   auto drain = [this, sink](const std::vector<PrefetchRequest>& batch) {
+    // A failed group must not abort the rest of the batch: prefetch_checked
+    // never throws, so the loop continues past per-group errors and counts
+    // them into the session's attribution sink.
     for (const PrefetchRequest& r : batch) {
       std::uint64_t bytes = 0;
-      const bool fetched = cache_->prefetch(r.id, r.tier, &bytes);
+      const PrefetchResult result =
+          cache_->prefetch_checked(r.id, r.tier, &bytes);
       {
         std::lock_guard<std::mutex> lk(mutex_);
         // Drop our pending mark — unless a later enqueue upgraded it to a
@@ -180,7 +191,13 @@ std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
         const auto it = queued_.find(r.id);
         if (it != queued_.end() && it->second == r.tier) queued_.erase(it);
       }
-      if (fetched && sink != nullptr) sink->record_prefetch(bytes, r.tier);
+      if (sink != nullptr) {
+        if (result == PrefetchResult::kFetched) {
+          sink->record_prefetch(bytes, r.tier);
+        } else if (result == PrefetchResult::kErrored) {
+          sink->record_prefetch_error();
+        }
+      }
     }
   };
   if (config_.synchronous) {

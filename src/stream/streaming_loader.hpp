@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "stream/lod_policy.hpp"
@@ -84,7 +85,16 @@ class SessionCacheStats {
  public:
   void record_acquire(const AcquireOutcome& outcome) {
     std::lock_guard<std::mutex> lk(mutex_);
-    if (outcome.missed) {
+    if (outcome.degraded) {
+      // Served degraded (stale tier or empty view) because of an error
+      // state. Counted under misses — the request was not satisfied at the
+      // asked tier — with the failure attributed alongside.
+      ++stats_.misses;
+      ++stats_.tier_misses[static_cast<std::size_t>(outcome.requested_tier)];
+      ++stats_.degraded_groups;
+      if (outcome.fetch_errored) ++stats_.fetch_errors;
+      if (outcome.group_failed) failed_seen_.insert(outcome.group);
+    } else if (outcome.missed) {
       ++stats_.misses;
       ++stats_.tier_misses[static_cast<std::size_t>(outcome.requested_tier)];
       if (outcome.upgraded) ++stats_.upgrades;
@@ -103,15 +113,27 @@ class SessionCacheStats {
     stats_.bytes_fetched += bytes;
     stats_.tier_bytes_fetched[static_cast<std::size_t>(tier)] += bytes;
   }
+  // A prefetch this session requested was attempted and errored (the batch
+  // continues past it; the error is attributed here). Unlike the traffic
+  // counters, errors are not tier-resolved in StreamCacheStats.
+  void record_prefetch_error() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++stats_.fetch_errors;
+  }
   core::StreamCacheStats snapshot() const {
     std::lock_guard<std::mutex> lk(mutex_);
-    return stats_;
+    core::StreamCacheStats s = stats_;
+    // Session scope: DISTINCT permanently-failed groups this session
+    // touched (the shared cache's counter is the global transition count).
+    s.failed_groups = failed_seen_.size();
+    return s;
   }
 
  private:
   mutable std::mutex mutex_;
   core::StreamCacheStats stats_;  // evictions stay 0: they are a property
                                   // of the shared cache, not of a session
+  std::unordered_set<voxel::DenseVoxelId> failed_seen_;
 };
 
 class StreamingLoader final : public GroupSource {

@@ -1,0 +1,50 @@
+// Shared fault-injection helpers for the failure-domain tests
+// (test_stream.cpp, test_serve.cpp). The on-disk VQ record layout this
+// encodes — pos3 + opacity floats (16 bytes), then the scale codebook
+// index u16 — lives HERE and nowhere else in the test tree, so a layout
+// change cannot leave one suite silently poisoning the wrong byte.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "stream/asset_store.hpp"
+
+namespace sgs::stream::faulttest {
+
+// Copies src over dst (pristine bytes back in place, or a corpus variant).
+inline void copy_file(const std::string& src, const std::string& dst) {
+  std::ifstream in(src, std::ios::binary);
+  std::ofstream out(dst, std::ios::binary);
+  out << in.rdbuf();
+}
+
+// Overwrites the scale codebook index of group v's first tier-`tier`
+// record with 0xFFFF — out of every test codebook's range, so the decode
+// fails with a typed kCorruptPayload. VQ stores only.
+inline void poison_vq_group(const std::string& path, const AssetStore& store,
+                            voxel::DenseVoxelId v, int tier = 0) {
+  const TierExtent& e = store.tier_extent(v, tier);
+  ASSERT_GT(e.count, 0u);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(static_cast<bool>(f));
+  f.seekp(static_cast<std::streamoff>(e.offset + 16));
+  const std::uint16_t bad = 0xFFFF;
+  f.write(reinterpret_cast<const char*>(&bad), 2);
+  ASSERT_TRUE(static_cast<bool>(f));
+}
+
+// The group with the most residents: on an origin-centered scene with an
+// origin-orbiting camera this is essentially guaranteed to be streamed.
+inline voxel::DenseVoxelId densest_group(const AssetStore& store) {
+  voxel::DenseVoxelId best = 0;
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    if (store.entry(v).count > store.entry(best).count) best = v;
+  }
+  return best;
+}
+
+}  // namespace sgs::stream::faulttest

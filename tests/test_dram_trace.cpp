@@ -176,6 +176,10 @@ TEST(TraceIo, RoundTripPreservesEverything) {
         10000u * (static_cast<std::uint64_t>(t) + 1u);
   }
   trace.cache.upgrades = 5;
+  // ...and the v5 failure-domain counters.
+  trace.cache.fetch_errors = 9;
+  trace.cache.degraded_groups = 6;
+  trace.cache.failed_groups = 2;
   std::stringstream buf;
   ASSERT_TRUE(core::write_trace(buf, trace));
   const core::StreamingTrace back = core::read_trace(buf);
@@ -196,6 +200,9 @@ TEST(TraceIo, RoundTripPreservesEverything) {
   EXPECT_EQ(back.cache.tier_prefetches, trace.cache.tier_prefetches);
   EXPECT_EQ(back.cache.tier_bytes_fetched, trace.cache.tier_bytes_fetched);
   EXPECT_EQ(back.cache.upgrades, trace.cache.upgrades);
+  EXPECT_EQ(back.cache.fetch_errors, trace.cache.fetch_errors);
+  EXPECT_EQ(back.cache.degraded_groups, trace.cache.degraded_groups);
+  EXPECT_EQ(back.cache.failed_groups, trace.cache.failed_groups);
   ASSERT_EQ(back.groups.size(), trace.groups.size());
   for (std::size_t g = 0; g < trace.groups.size(); ++g) {
     EXPECT_EQ(back.groups[g].rays, trace.groups[g].rays);

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <thread>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "stream/asset_store.hpp"
 #include "stream/residency_cache.hpp"
 #include "stream/streaming_loader.hpp"
+#include "stream_fault_testutil.hpp"
 
 namespace sgs::serve {
 namespace {
@@ -397,6 +399,79 @@ TEST(SharedQueue, MergesDuplicateRequestsAcrossSessions) {
   EXPECT_EQ(s.prefetches, queued_a);
   EXPECT_EQ(sink_a.snapshot().prefetches, queued_a);
   EXPECT_EQ(sink_b.snapshot().prefetches, 0u);
+}
+
+// --------------------------------------------------------- failure domain
+
+// The acceptance bar of fault isolation at the serving layer: an 8-session
+// run over a store with ONE poisoned voxel group completes every frame of
+// every session, survives without terminate or deadlock, and attributes the
+// failure to exactly the sessions that streamed the bad group.
+TEST(SceneServer, EightSessionsSurviveOnePoisonedGroup) {
+  const auto scene = test_scene(35, 2500, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_serve_poison.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  // The densest (central) group — the one every orbiting session streams.
+  {
+    stream::AssetStore probe(file.path);
+    stream::faulttest::poison_vq_group(file.path, probe,
+                                       stream::faulttest::densest_group(probe));
+  }
+  stream::AssetStore store(file.path);
+
+  const int n_sessions = 8;
+  const int frames = 2;
+  std::vector<std::vector<gs::Camera>> paths;
+  for (int s = 0; s < n_sessions; ++s) {
+    paths.push_back(session_path(s, frames, 128));
+  }
+
+  SceneServerConfig cfg;
+  cfg.cache.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  // One strike: the first failed fetch negative-caches the group, so the
+  // attribution below is exact (1 attempt, 1 failed group) regardless of
+  // how the 8 session threads interleave.
+  cfg.cache.max_fetch_attempts = 1;
+  const auto result = SceneServer(store, cfg).run(paths);
+
+  // Every session completed every frame — the poisoned group cost pixels,
+  // never a session.
+  ASSERT_EQ(result.sessions.size(), paths.size());
+  for (int s = 0; s < n_sessions; ++s) {
+    EXPECT_EQ(result.sessions[static_cast<std::size_t>(s)].size(),
+              static_cast<std::size_t>(frames))
+        << "session " << s;
+  }
+
+  const ServerReport& rep = result.report;
+  // Exactly one disk attempt, one permanently-failed group, and at least
+  // one degraded serve, all visible in the shared cache's v5 counters.
+  EXPECT_EQ(rep.shared_cache.fetch_errors, 1u);
+  EXPECT_EQ(rep.shared_cache.failed_groups, 1u);
+  EXPECT_GT(rep.shared_cache.degraded_groups, 0u);
+  // No async-lane task died either: the cache absorbs fetch errors before
+  // they can escape a prefetch batch (nothing in this binary throws tasks).
+  EXPECT_EQ(rep.async_lane_errors, 0u);
+
+  // Attribution: the one fetch error lands in exactly one session's
+  // counters; failed-group sightings land only in sessions that actually
+  // streamed the bad group, and at least one did.
+  std::uint64_t error_sum = 0;
+  std::uint64_t degraded_sum = 0;
+  std::uint64_t failed_sessions = 0;
+  std::size_t error_frames = 0;
+  for (const SessionReport& sr : rep.sessions) {
+    EXPECT_EQ(sr.frames, static_cast<std::size_t>(frames));
+    error_sum += sr.cache.fetch_errors;
+    degraded_sum += sr.cache.degraded_groups;
+    EXPECT_LE(sr.cache.failed_groups, 1u);  // there is only one bad group
+    if (sr.cache.failed_groups > 0) ++failed_sessions;
+    error_frames += sr.error_frames;
+  }
+  EXPECT_EQ(error_sum, rep.shared_cache.fetch_errors);
+  EXPECT_EQ(degraded_sum, rep.shared_cache.degraded_groups);
+  EXPECT_GE(failed_sessions, 1u);
+  EXPECT_GT(error_frames, 0u);
 }
 
 }  // namespace

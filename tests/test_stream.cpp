@@ -25,6 +25,7 @@
 #include "stream/lod_policy.hpp"
 #include "stream/residency_cache.hpp"
 #include "stream/streaming_loader.hpp"
+#include "stream_fault_testutil.hpp"
 
 namespace sgs::stream {
 namespace {
@@ -1024,6 +1025,466 @@ TEST(OutOfCoreGolden, BareCacheWithoutLoaderAlsoMatches) {
   EXPECT_EQ(a.image.pixels(), b.image.pixels());
   EXPECT_GT(b.trace.cache.misses, 0u);
   EXPECT_EQ(b.trace.cache.prefetches, 0u);
+}
+
+// ------------------------------------------------------- failure domain --
+//
+// One bad byte in a store must cost pixels of one group — never the
+// process, never a deadlock, never a refetch storm. The fault-injection
+// helpers (poison_vq_group, densest_group, copy_file) are shared with
+// test_serve.cpp via stream_fault_testutil.hpp.
+using faulttest::copy_file;
+using faulttest::densest_group;
+using faulttest::poison_vq_group;
+
+TEST(AssetStore, WriterDetectsFullDisk) {
+  std::ofstream probe("/dev/full", std::ios::binary);
+  if (!probe) GTEST_SKIP() << "no /dev/full on this platform";
+  probe.close();
+  const auto scene = test_scene(40, 400, /*vq=*/false);
+  // Every write to /dev/full fails with ENOSPC: the writer must notice at
+  // its stream-state check instead of reporting success on a truncated
+  // store. The thrown error names the path.
+  try {
+    AssetStore::write("/dev/full", scene);
+    FAIL() << "write to /dev/full reported success";
+  } catch (const StreamException& e) {
+    EXPECT_EQ(e.error().kind, StreamErrorKind::kIoWrite);
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos);
+  }
+}
+
+// Corruption corpus, part 1: truncate a valid tiered store at every
+// section boundary (and inside each section). Open must fail with a typed
+// error — no crash, no garbage store object.
+TEST(AssetStore, CorruptionCorpusTruncationAtEveryBoundary) {
+  const auto scene = test_scene(41, 2000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_corpus.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+  const std::vector<char> bytes = read_all(file.path);
+
+  // Reconstruct the section boundaries from the store's own metadata: the
+  // payload section starts at group 0's tier-0 offset (the writer's first
+  // payload), the index tables span (gaussians + tier-table entries) u32s
+  // before it, and the directory (92 B per group at 3 tiers) before that.
+  std::uint64_t dir_start, index_start, payload_start;
+  {
+    AssetStore store(file.path);
+    payload_start = store.tier_extent(0, 0).offset;
+    std::uint64_t tier_entries = 0;
+    for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+      for (int t = 1; t < store.tier_count(); ++t) {
+        tier_entries += store.tier_extent(v, t).count;
+      }
+    }
+    index_start = payload_start -
+                  (store.gaussian_count() + tier_entries) * sizeof(std::uint32_t);
+    dir_start = index_start -
+                static_cast<std::uint64_t>(store.group_count()) * 92u;
+    ASSERT_LT(dir_start, index_start);
+  }
+
+  const std::vector<std::uint64_t> cuts = {
+      0,                // empty file
+      4,                // after the magic
+      12,               // inside the rendering config
+      dir_start - 1,    // header cut one byte short
+      dir_start,        // header/directory boundary
+      dir_start + 46,   // mid-directory-entry
+      index_start,      // directory/index boundary
+      (index_start + payload_start) / 2,  // mid-index-table
+      payload_start,    // index/payload boundary: all payloads beyond EOF
+      payload_start + 1,
+      bytes.size() - 7,  // last payload cut short
+  };
+  TempFile cut_file("/tmp/sgs_test_corpus_cut.sgsc");
+  for (const std::uint64_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    {
+      std::ofstream out(cut_file.path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    StreamError error;
+    EXPECT_EQ(AssetStore::open(cut_file.path, &error), nullptr)
+        << "cut at " << cut << " opened";
+    EXPECT_FALSE(error.detail.empty()) << "cut at " << cut;
+    // The legacy constructor reports the same failure as an exception that
+    // still is-a runtime_error.
+    EXPECT_THROW(AssetStore store(cut_file.path), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+// Corruption corpus, part 2: flipped payload bytes are a *read-time*,
+// group-scoped event — the store opens, the bad group reports a typed
+// error, and every other group stays readable.
+TEST(AssetStore, CorruptionCorpusPoisonedPayloadIsGroupScoped) {
+  const auto scene = test_scene(42, 1500, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_poison.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  ASSERT_GE(store.group_count(), 2);
+  const voxel::DenseVoxelId bad = densest_group(store);
+  poison_vq_group(file.path, store, bad);
+
+  const StreamResult<DecodedGroup> r = store.read_group_checked(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, StreamErrorKind::kCorruptPayload);
+  EXPECT_EQ(r.error().group, static_cast<std::int64_t>(bad));
+  EXPECT_EQ(r.error().tier, 0);
+  EXPECT_FALSE(r.error().detail.empty());
+  // The throwing wrapper reports the same typed error.
+  EXPECT_THROW(store.read_group(bad), StreamException);
+
+  // Fault isolation at the store layer: other groups still read fine,
+  // in any order relative to the failing reads.
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    if (v == bad || store.entry(v).count == 0) continue;
+    const StreamResult<DecodedGroup> ok = store.read_group_checked(v);
+    EXPECT_TRUE(ok.ok()) << "group " << v;
+  }
+}
+
+TEST(ResidencyCache, FailedFetchServesDegradedThenNegativeCaches) {
+  const auto scene = test_scene(43, 1500, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_failcache.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  ASSERT_GE(store.group_count(), 2);
+  const voxel::DenseVoxelId bad = densest_group(store);
+  const voxel::DenseVoxelId good = bad == 0 ? 1 : 0;
+  poison_vq_group(file.path, store, bad);
+
+  ResidencyCacheConfig cfg;
+  cfg.max_fetch_attempts = 2;
+  cfg.retry_backoff_base = 2;
+  ResidencyCache cache(store, cfg);
+
+  // Attempt 1: the fetch fails; the acquire is served an EMPTY view (the
+  // frame renders without this group) instead of throwing or hanging.
+  const AcquireOutcome o1 = cache.acquire_outcome(bad);
+  EXPECT_TRUE(o1.degraded);
+  EXPECT_TRUE(o1.fetch_errored);
+  EXPECT_FALSE(o1.group_failed);  // one failure left in the budget
+  EXPECT_EQ(o1.view.size(), 0u);
+  EXPECT_EQ(o1.served_tier, -1);
+  ASSERT_NE(o1.error, nullptr);
+  EXPECT_EQ(o1.error->kind, StreamErrorKind::kCorruptPayload);
+  cache.release(bad);  // release stays balanced on degraded acquires
+
+  // Backoff (2 denied requests at base 2): no disk attempt, still served
+  // degraded, no new fetch_errors.
+  for (int i = 0; i < 2; ++i) {
+    const AcquireOutcome o = cache.acquire_outcome(bad);
+    EXPECT_TRUE(o.degraded);
+    EXPECT_FALSE(o.fetch_errored);
+    cache.release(bad);
+  }
+  EXPECT_EQ(cache.stats().fetch_errors, 1u);
+
+  // Attempt 2: backoff drained, retry fails, budget exhausted — the group
+  // is negative-cached for good.
+  const AcquireOutcome o2 = cache.acquire_outcome(bad);
+  EXPECT_TRUE(o2.fetch_errored);
+  EXPECT_TRUE(o2.group_failed);
+  cache.release(bad);
+  EXPECT_TRUE(cache.group_failed(bad));
+  ASSERT_TRUE(cache.group_error(bad).has_value());
+  EXPECT_EQ(cache.group_error(bad)->kind, StreamErrorKind::kCorruptPayload);
+
+  // Forever after: degraded serves, zero additional disk attempts.
+  for (int i = 0; i < 10; ++i) {
+    const AcquireOutcome o = cache.acquire_outcome(bad);
+    EXPECT_TRUE(o.degraded);
+    EXPECT_TRUE(o.group_failed);
+    EXPECT_FALSE(o.fetch_errored);
+    cache.release(bad);
+  }
+  // And the prefetch path is denied without IO too (the anti-storm check).
+  EXPECT_EQ(cache.prefetch_checked(bad), PrefetchResult::kNegativeCached);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.fetch_errors, 2u);   // exactly max_fetch_attempts disk touches
+  EXPECT_EQ(s.failed_groups, 1u);  // one transition to the failed state
+  EXPECT_EQ(s.degraded_groups, 14u);  // 1 + 2 backoff + 1 + 10 negative
+  EXPECT_EQ(s.bytes_fetched, 0u);  // nothing ever landed
+
+  // The cache stays fully usable for every other group.
+  const AcquireOutcome ok = cache.acquire_outcome(good);
+  EXPECT_FALSE(ok.degraded);
+  EXPECT_TRUE(ok.missed);
+  EXPECT_GT(ok.view.size(), 0u);
+  cache.release(good);
+  // A negative-cached (group, tier) surfaces in the failed-tier snapshot
+  // prefetch ranking masks against (bit 0 = tier 0 on this v1 store).
+  EXPECT_EQ(cache.failed_tier_snapshot()[static_cast<std::size_t>(bad)], 1u);
+  EXPECT_TRUE(cache.tier_failed(bad, 0));
+}
+
+TEST(ResidencyCache, ConcurrentAcquiresOfFailedGroupNeverDeadlock) {
+  const auto scene = test_scene(44, 1500, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_faildead.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  const voxel::DenseVoxelId bad = densest_group(store);
+  poison_vq_group(file.path, store, bad);
+
+  ResidencyCache cache(store, {});
+  // The seed bug: a throwing fetch left Entry::loading=true forever, so
+  // every later acquire slept on cv_ for good. With the RAII guard, any
+  // number of concurrent acquires of the poisoned group must all return.
+  std::vector<std::thread> workers;
+  std::atomic<int> returned{0};
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&cache, bad, &returned] {
+      for (int i = 0; i < 25; ++i) {
+        const AcquireOutcome o = cache.acquire_outcome(bad);
+        EXPECT_TRUE(o.degraded);
+        cache.release(bad);
+      }
+      ++returned;
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(returned.load(), 8);
+  EXPECT_LE(cache.stats().fetch_errors,
+            static_cast<std::uint64_t>(cache.config().max_fetch_attempts));
+  EXPECT_TRUE(cache.group_failed(bad));
+}
+
+TEST(ResidencyCache, TransientErrorRecoversAfterRepair) {
+  const auto scene = test_scene(45, 1500, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_repair.sgsc");
+  TempFile pristine("/tmp/sgs_test_repair_pristine.sgsc");
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  copy_file(file.path, pristine.path);
+  AssetStore store(file.path);
+  const voxel::DenseVoxelId bad = densest_group(store);
+  poison_vq_group(file.path, store, bad);
+
+  ResidencyCacheConfig cfg;
+  cfg.retry_backoff_base = 1;  // one denied request between attempts
+  ResidencyCache cache(store, cfg);
+
+  const AcquireOutcome o1 = cache.acquire_outcome(bad);
+  EXPECT_TRUE(o1.fetch_errored);
+  cache.release(bad);
+
+  // The operator repairs the file in place (the store's handle re-seeks
+  // and re-reads per fetch, so repaired bytes are picked up).
+  copy_file(pristine.path, file.path);
+  const AcquireOutcome denied = cache.acquire_outcome(bad);  // drains backoff
+  EXPECT_TRUE(denied.degraded);
+  cache.release(bad);
+
+  const AcquireOutcome o2 = cache.acquire_outcome(bad);
+  EXPECT_FALSE(o2.degraded);
+  EXPECT_TRUE(o2.missed);
+  EXPECT_GT(o2.view.size(), 0u);
+  cache.release(bad);
+  // Success fully resets the failure state: no lingering backoff, and the
+  // recovered payload matches a pristine read bit-for-bit.
+  EXPECT_FALSE(cache.group_failed(bad));
+  const AcquireOutcome o3 = cache.acquire_outcome(bad);
+  EXPECT_FALSE(o3.missed);  // plain hit now
+  cache.release(bad);
+  const DecodedGroup direct = store.read_group(bad);
+  EXPECT_EQ(direct.gaussians.size(),
+            static_cast<std::size_t>(store.entry(bad).count));
+}
+
+TEST(ResidencyCache, FailedUpgradeServesStaleLowerTier) {
+  const auto scene = test_scene(46, 2500, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_staletier.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+  AssetStore store(file.path);
+  // A group whose L2 payload does NOT alias L0 (pruned), so poisoning L0
+  // leaves L2 readable. Default VQ tiers: L1 aliases L0, L2 is pruned.
+  voxel::DenseVoxelId v = static_cast<voxel::DenseVoxelId>(-1);
+  for (voxel::DenseVoxelId i = 0; i < store.group_count(); ++i) {
+    if (store.tier_extent(i, 2).count > 0 &&
+        store.tier_extent(i, 2).offset != store.tier_extent(i, 0).offset) {
+      v = i;
+      break;
+    }
+  }
+  ASSERT_NE(v, static_cast<voxel::DenseVoxelId>(-1));
+  poison_vq_group(file.path, store, v, /*tier=*/0);
+
+  ResidencyCache cache(store, {});
+  // L2 streams in fine...
+  const AcquireOutcome o2 = cache.acquire_outcome(v, 2);
+  EXPECT_FALSE(o2.degraded);
+  EXPECT_EQ(o2.served_tier, 2);
+  cache.release(v);
+  // ...and when the L0 upgrade fails, the acquire is served the STALE
+  // resident L2 payload — degraded quality beats a dropped group.
+  const AcquireOutcome o0 = cache.acquire_outcome(v, 0);
+  EXPECT_TRUE(o0.degraded);
+  EXPECT_TRUE(o0.fetch_errored);
+  EXPECT_EQ(o0.served_tier, 2);
+  EXPECT_EQ(o0.view.size(), store.tier_extent(v, 2).count);
+  cache.release(v);
+  EXPECT_EQ(cache.resident_tier(v), 2);  // old payload intact
+
+  // Exhaust the retry budget (denials drain the doubling backoff between
+  // the three attempts): tier 0 goes negative-cached while the group is
+  // STILL resident at its stale tier — served degraded, and bit 0 set in
+  // the failed-tier snapshot so prefetch ranking stops proposing the
+  // doomed upgrade. The failure is TIER-scoped: tier 2 stays healthy.
+  for (int i = 0; i < 20; ++i) {
+    cache.acquire_outcome(v, 0);
+    cache.release(v);
+  }
+  EXPECT_TRUE(cache.group_failed(v));
+  EXPECT_TRUE(cache.tier_failed(v, 0));
+  EXPECT_FALSE(cache.tier_failed(v, 2));
+  EXPECT_EQ(cache.resident_tier(v), 2);
+  EXPECT_EQ(cache.failed_tier_snapshot()[static_cast<std::size_t>(v)], 1u);
+  const AcquireOutcome after = cache.acquire_outcome(v, 0);
+  EXPECT_TRUE(after.degraded);
+  EXPECT_EQ(after.served_tier, 2);
+  cache.release(v);
+  // An L2 request is a plain hit on the resident payload, not degraded.
+  const AcquireOutcome l2 = cache.acquire_outcome(v, 2);
+  EXPECT_FALSE(l2.degraded);
+  EXPECT_EQ(l2.served_tier, 2);
+  cache.release(v);
+}
+
+// Errors are tier-scoped on disk, so the negative cache must be too: a
+// group whose L0 payload is corrupt still FETCHES at its healthy pruned
+// tiers — a far camera keeps its content instead of a hole.
+TEST(ResidencyCache, TierScopedFailureLeavesOtherTiersFetchable) {
+  const auto scene = test_scene(48, 2500, /*vq=*/true);
+  TempFile file("/tmp/sgs_test_tierscope.sgsc");
+  AssetStoreWriteOptions wopts;
+  wopts.tier_count = 3;
+  ASSERT_TRUE(AssetStore::write(file.path, scene, wopts));
+  AssetStore store(file.path);
+  voxel::DenseVoxelId v = static_cast<voxel::DenseVoxelId>(-1);
+  for (voxel::DenseVoxelId i = 0; i < store.group_count(); ++i) {
+    if (store.tier_extent(i, 2).count > 0 &&
+        store.tier_extent(i, 2).offset != store.tier_extent(i, 0).offset) {
+      v = i;
+      break;
+    }
+  }
+  ASSERT_NE(v, static_cast<voxel::DenseVoxelId>(-1));
+  poison_vq_group(file.path, store, v, /*tier=*/0);
+
+  ResidencyCacheConfig cfg;
+  cfg.max_fetch_attempts = 1;  // first L0 failure negative-caches tier 0
+  ResidencyCache cache(store, cfg);
+  const AcquireOutcome o0 = cache.acquire_outcome(v, 0);
+  EXPECT_TRUE(o0.fetch_errored);
+  EXPECT_EQ(o0.view.size(), 0u);  // nothing resident to fall back on
+  cache.release(v);
+  EXPECT_TRUE(cache.tier_failed(v, 0));
+
+  // The same group's L2 request fetches normally — not degraded, not
+  // denied — because only (v, L0) is poisoned.
+  const AcquireOutcome o2 = cache.acquire_outcome(v, 2);
+  EXPECT_FALSE(o2.degraded);
+  EXPECT_TRUE(o2.missed);
+  EXPECT_EQ(o2.served_tier, 2);
+  EXPECT_EQ(o2.view.size(), store.tier_extent(v, 2).count);
+  cache.release(v);
+  EXPECT_FALSE(cache.tier_failed(v, 2));
+  // One group entered the failed state (counted once, not per tier).
+  EXPECT_EQ(cache.stats().failed_groups, 1u);
+}
+
+TEST(AsyncLane, CapturesTaskExceptionsInsteadOfTerminating) {
+  async_wait_idle();
+  (void)async_take_errors();  // drain anything a previous test left behind
+  const std::uint64_t errors_before = async_task_errors();
+
+  std::atomic<int> ran{0};
+  async_submit([&ran] { ++ran; });
+  async_submit([] { throw std::runtime_error("injected lane failure"); });
+  // The lane must keep draining after a throwing task.
+  async_submit([&ran] { ++ran; });
+  async_wait_idle();
+
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(async_task_errors(), errors_before + 1);
+  const std::vector<std::string> errors = async_take_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("injected lane failure"), std::string::npos);
+  EXPECT_TRUE(async_take_errors().empty());  // drained
+}
+
+// The acceptance bar of the failure-domain work: a walkthrough over a
+// store with one poisoned voxel group completes every frame, reports the
+// failure in the trace counters, and renders every error-free frame
+// bit-identical to the same walkthrough over the pristine store.
+TEST(OutOfCoreGolden, PoisonedGroupWalkthroughCompletesAndIsolatesFault) {
+  const auto scene = test_scene(47, 2500, /*vq=*/true);
+  TempFile good_file("/tmp/sgs_test_fault_good.sgsc");
+  TempFile bad_file("/tmp/sgs_test_fault_bad.sgsc");
+  ASSERT_TRUE(AssetStore::write(good_file.path, scene));
+  copy_file(good_file.path, bad_file.path);
+  {
+    AssetStore probe(bad_file.path);
+    poison_vq_group(bad_file.path, probe, densest_group(probe));
+  }
+
+  // Four orbit frames that stream the (central, densest) poisoned group,
+  // then two frames looking away from the scene entirely — guaranteed
+  // error-free, so the bit-identical comparison below is never vacuous.
+  auto cameras = orbit_trajectory(4, 128);
+  for (int f = 0; f < 2; ++f) {
+    cameras.push_back(gs::Camera::look_at({0, 1, -20}, {0, 1, -40}, {0, 1, 0},
+                                          0.9f, 128, 128));
+  }
+  auto run = [&](const std::string& path) {
+    AssetStore store(path);
+    ResidencyCacheConfig ccfg;
+    ccfg.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+    // One strike: the first failure negative-caches the group, making the
+    // walkthrough's failure counters exact (1 attempt, 1 failed group).
+    ccfg.max_fetch_attempts = 1;
+    ResidencyCache cache(store, ccfg);
+    PrefetchConfig pcfg;
+    pcfg.synchronous = true;
+    pcfg.lod.force_tier0 = true;
+    StreamingLoader loader(cache, pcfg);
+    const auto scene_ooc = store.make_scene();
+    return core::render_sequence(scene_ooc, cameras, {}, &loader);
+  };
+
+  const auto pristine = run(good_file.path);
+  const auto faulty = run(bad_file.path);
+
+  // Every frame completed — no terminate, no deadlock, no early exit.
+  ASSERT_EQ(faulty.frames.size(), cameras.size());
+  core::StreamCacheStats total;
+  std::size_t degraded_frames = 0;
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    const core::StreamCacheStats& cs = faulty.frames[f].trace.cache;
+    total.accumulate(cs);
+    if (cs.degraded_groups > 0) {
+      ++degraded_frames;
+    } else {
+      // Error-free frames are bit-identical to the pristine-store run.
+      EXPECT_EQ(faulty.frames[f].image.pixels(),
+                pristine.frames[f].image.pixels())
+          << "frame " << f;
+    }
+  }
+  // The fault actually fired and was reported in the v5 counters.
+  EXPECT_GT(total.fetch_errors, 0u);
+  EXPECT_GT(total.degraded_groups, 0u);
+  EXPECT_GT(degraded_frames, 0u);
+  EXPECT_LT(degraded_frames, cameras.size()) << "no error-free frame to pin";
+  // Bounded disk touches for the one bad group, then negative-cached.
+  EXPECT_EQ(total.fetch_errors, 1u);
+  EXPECT_EQ(total.failed_groups, 1u);
 }
 
 }  // namespace

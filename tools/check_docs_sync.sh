@@ -54,6 +54,16 @@ check_contract "serve contract" src/serve/scene_server.hpp \
 check_contract "LOD contract" src/stream/lod_policy.hpp \
   LodPolicy TierSelection select_frame_tiers force_tier0
 
+# 6. The failure domain: typed stream errors and the recoverable read path.
+check_contract "failure contract" src/stream/stream_error.hpp \
+  StreamError StreamErrorKind StreamException
+check_contract "failure read-path contract" src/stream/asset_store.hpp \
+  read_group_checked
+check_contract "failure retry contract" src/stream/residency_cache.hpp \
+  max_fetch_attempts PrefetchResult prefetch_checked
+check_contract "async error channel contract" src/common/parallel.hpp \
+  async_task_errors async_take_errors
+
 # TODO markers must not ship in the normative docs.
 if grep -rn '\bTODO\b' docs/; then
   fail "TODO marker found in docs/"
