@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/simd.hpp"
 #include "common/units.hpp"
 #include "scene/presets.hpp"
 #include "serve/scene_server.hpp"
@@ -45,6 +46,8 @@ constexpr const char* kUsage = R"(multi_viewer — N viewer sessions over one sh
   --quality <list>    comma-separated per-session LOD policies, cycled
                       across sessions: off | quality | balanced | aggressive
                       (default balanced; "off" = bit-exact L0)
+  --force_scalar <bool> pin the per-Gaussian kernels to the scalar reference
+                      path instead of the detected SIMD ISA (default false)
   --help              this text
 )";
 
@@ -86,10 +89,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--quality needs at least one policy name\n");
     return 1;
   }
+  if (args.get_bool("force_scalar", false)) {
+    simd::force_isa(simd::IsaLevel::kScalar);
+  }
 
   const auto& info = scene::preset_info(preset);
   std::printf("== multi-viewer serve: '%s', %d sessions x %d frames ==\n",
               info.name.c_str(), sessions, frames);
+  std::printf("kernel dispatch: %s (detected %s)\n",
+              simd::isa_name(simd::active_isa()),
+              simd::isa_name(simd::detect_isa()));
 
   const auto model = scene::make_preset_scene(preset, model_scale);
   int w = 0, h = 0;

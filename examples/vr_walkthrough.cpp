@@ -39,6 +39,7 @@
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "common/ppm.hpp"
+#include "common/simd.hpp"
 #include "common/units.hpp"
 #include "core/render_sequence.hpp"
 #include "core/streaming_renderer.hpp"
@@ -75,6 +76,8 @@ constexpr const char* kUsage =
   --lod <policy>        LOD streaming policy for --out_of_core:
                         off | quality | balanced | aggressive (default off;
                         "off" keeps frames bit-identical to resident)
+  --force_scalar <bool> pin the per-Gaussian kernels to the scalar reference
+                        path instead of the detected SIMD ISA (default false)
   --help                this text
 )";
 
@@ -97,11 +100,17 @@ int main(int argc, char** argv) {
   const int cache_mb = args.get_int("cache_mb", 0);
   const std::string lod_name = args.get("lod", "off");
   const stream::LodPolicy lod_policy = stream::lod_policy_from_name(lod_name);
+  if (args.get_bool("force_scalar", false)) {
+    simd::force_isa(simd::IsaLevel::kScalar);
+  }
 
   const auto& info = scene::preset_info(preset);
   std::printf("== VR walkthrough: '%s', %d keyframes over %.0f%% of the orbit, "
               "90 FPS budget ==\n",
               info.name.c_str(), frames, arc * 100.0);
+  std::printf("kernel dispatch: %s (detected %s)\n",
+              simd::isa_name(simd::active_isa()),
+              simd::isa_name(simd::detect_isa()));
 
   const auto model = scene::make_preset_scene(preset, model_scale);
   int w = 0, h = 0;

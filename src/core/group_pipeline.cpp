@@ -18,7 +18,7 @@ void GroupContext::begin_group(int n_px) {
   // clear() keeps each slot's capacity, so the arena still never reallocates.
   for (auto& slot : per_ray) slot.clear();
   per_ray_used = 0;
-  acc.assign(static_cast<std::size_t>(n_px), gs::PixelAccumulator{});
+  acc.reset(static_cast<std::size_t>(n_px));
   max_depth.assign(static_cast<std::size_t>(n_px), 0.0f);
   saturated = 0;
   violators.clear();
@@ -88,34 +88,48 @@ FilterStageCounts FilterStage::run(GroupContext& ctx,
                                    bool use_coarse_filter) {
   FilterStageCounts counts;
   ctx.survivors.clear();
+  ctx.coarse_idx.clear();
+  ctx.fine_out.clear();
   const std::size_t n = group.size();
-  for (std::size_t k = 0; k < n; ++k) {
-    const gs::Gaussian& g = group.gaussian(k);
-    bool coarse_ok = true;
-    if (use_coarse_filter) {
-      coarse_ok = coarse_filter(g.position, group.max_scale(k), camera, rect);
+  // A degraded acquire (fetch/decode failure) yields an empty view with no
+  // column store at all — nothing to filter, and `*group.cols` below would
+  // be a null dereference.
+  if (n == 0 || group.cols == nullptr) return counts;
+  const gs::FilterRect frect{rect.x0, rect.y0, rect.x1, rect.y1};
+  // Coarse phase over the whole slice, then fine phase over the coarse
+  // survivors. Both filters are monotone per record, so the two-phase
+  // batched form makes the same decisions in the same resident order as the
+  // historical interleaved loop — identical survivors and counters.
+  if (use_coarse_filter) {
+    gs::coarse_filter_batch(*group.cols, group.first, n, camera, frect,
+                            ctx.coarse_idx);
+  } else {
+    ctx.coarse_idx.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      ctx.coarse_idx[k] = static_cast<std::uint32_t>(k);
     }
-    if (!coarse_ok) continue;
-    ++counts.coarse_pass;
-    if (auto proj = fine_filter(g, camera, rect)) {
-      ++counts.fine_pass;
-      ctx.survivors.push_back({*proj, group.model_indices[k]});
-    }
+  }
+  counts.coarse_pass = static_cast<std::uint32_t>(ctx.coarse_idx.size());
+  gs::fine_project_batch(*group.cols, group.first, ctx.coarse_idx, camera,
+                         frect, ctx.fine_out);
+  counts.fine_pass = static_cast<std::uint32_t>(ctx.fine_out.size());
+  ctx.survivors.reserve(ctx.fine_out.size());
+  for (const gs::FineSurvivor& f : ctx.fine_out) {
+    ctx.survivors.push_back({f.proj, group.model_indices[f.local]});
   }
   return counts;
 }
 
 FilterStageCounts FilterStage::run(GroupContext& ctx,
                                    const StreamingScene& scene,
-                                   std::span<const std::uint32_t> residents,
+                                   voxel::DenseVoxelId v,
                                    const gs::Camera& camera,
                                    const GroupRect& rect,
                                    bool use_coarse_filter) {
   stream::GroupView view;
-  view.model_indices = residents;
-  view.gaussians = scene.render_model().gaussians.data();
-  view.coarse_max_scale = scene.coarse_max_scales().data();
-  view.by_model_index = true;
+  view.model_indices = scene.grid().gaussians_in(v);
+  view.cols = &scene.group_columns();
+  view.first = scene.group_offset(v);
   return run(ctx, view, camera, rect, use_coarse_filter);
 }
 
@@ -152,34 +166,15 @@ void BlendStage::run(GroupContext& ctx, int px0, int py0, int px1, int py1,
     if (ctx.saturated == n_px) break;
     const gs::PixelSpan span =
         gs::splat_pixel_span(s.proj.mean, s.proj.radius, px0, py0, px1, py1);
-    bool contributed = false;
-    bool violated = false;
-    for (int py = span.y0; py < span.y1; ++py) {
-      for (int px = span.x0; px < span.x1; ++px) {
-        const int pi = (py - py0) * row + (px - px0);
-        gs::PixelAccumulator& a = ctx.acc[static_cast<std::size_t>(pi)];
-        if (a.saturated()) continue;
-        ++item.blend_ops;
-        const float alpha = gs::gaussian_alpha(
-            s.proj,
-            {static_cast<float>(px) + 0.5f, static_cast<float>(py) + 0.5f});
-        if (alpha <= 0.0f) continue;
-        contributed = true;
-        ++stats.blended_contributions;
-        // Depth-order bookkeeping: the measured T_i of Eq. 2.
-        float& md = ctx.max_depth[static_cast<std::size_t>(pi)];
-        if (s.proj.depth < md - 1e-6f) {
-          ++stats.depth_order_violations;
-          violated = true;
-        } else {
-          md = s.proj.depth;
-        }
-        gs::blend(a, s.proj.color, alpha);
-        if (a.saturated()) ++ctx.saturated;
-      }
-    }
-    if (contributed) ctx.contributors.push_back(s.model_index);
-    if (violated) ctx.violators.push_back(s.model_index);
+    if (span.x0 >= span.x1 || span.y0 >= span.y1) continue;
+    const gs::BlendCounters c = gs::blend_survivor(
+        ctx.acc, ctx.max_depth, s.proj, span, px0, py0, row);
+    item.blend_ops += c.blend_ops;
+    stats.blended_contributions += c.contributions;
+    stats.depth_order_violations += c.violations;
+    ctx.saturated += static_cast<int>(c.newly_saturated);
+    if (c.contributed) ctx.contributors.push_back(s.model_index);
+    if (c.violated) ctx.violators.push_back(s.model_index);
   }
 }
 
@@ -189,8 +184,10 @@ void BlendStage::resolve(const GroupContext& ctx, int px0, int py0, int px1,
   int pi = 0;
   for (int py = py0; py < py1; ++py) {
     for (int px = px0; px < px1; ++px, ++pi) {
-      image.at(px, py) =
-          gs::resolve(ctx.acc[static_cast<std::size_t>(pi)], background);
+      const auto i = static_cast<std::size_t>(pi);
+      const gs::PixelAccumulator a{
+          {ctx.acc.r[i], ctx.acc.g[i], ctx.acc.b[i]}, ctx.acc.t[i]};
+      image.at(px, py) = gs::resolve(a, background);
     }
   }
   stats.frame_write_bytes += static_cast<std::uint64_t>(pi) * 4;  // RGBA8

@@ -22,6 +22,7 @@
 #include "core/streaming_trace.hpp"
 #include "core/voxel_order.hpp"
 #include "gs/blending.hpp"
+#include "gs/kernels.hpp"
 #include "gs/projection.hpp"
 #include "stream/group_source.hpp"
 #include "voxel/grid.hpp"
@@ -45,14 +46,18 @@ struct GroupContext {
   std::vector<std::vector<voxel::DenseVoxelId>> per_ray;
   std::size_t per_ray_used = 0;
 
-  // Filter + sort.
+  // Filter + sort. coarse_idx / fine_out are the batched kernels' scratch
+  // (coarse survivor indices, fine survivors with projections).
+  std::vector<std::uint32_t> coarse_idx;
+  std::vector<gs::FineSurvivor> fine_out;
   std::vector<Survivor> survivors;
   std::vector<Survivor> sorted_survivors;
   std::vector<float> sort_keys;
   std::vector<std::uint32_t> sort_payload;
 
-  // Blend: per-pixel compositing state for the current group.
-  std::vector<gs::PixelAccumulator> acc;
+  // Blend: per-pixel compositing state for the current group, SoA planes so
+  // the blender touches 8 contiguous floats per vector op.
+  gs::BlendPlanes acc;
   std::vector<float> max_depth;
   int saturated = 0;
 
@@ -100,12 +105,11 @@ class FilterStage {
                                const gs::Camera& camera, const GroupRect& rect,
                                bool use_coarse_filter);
 
-  // Convenience for the fully-resident path (wraps the scene in a one-voxel
-  // resident view; `residents` must be scene.grid().gaussians_in(v)).
+  // Convenience for the fully-resident path (wraps the scene's grouped
+  // column slice for dense voxel `v` in a GroupView).
   static FilterStageCounts run(GroupContext& ctx, const StreamingScene& scene,
-                               std::span<const std::uint32_t> residents,
-                               const gs::Camera& camera, const GroupRect& rect,
-                               bool use_coarse_filter);
+                               voxel::DenseVoxelId v, const gs::Camera& camera,
+                               const GroupRect& rect, bool use_coarse_filter);
 };
 
 // -------------------------------------------------------------- SortStage --

@@ -30,6 +30,31 @@ StreamingScene StreamingScene::prepare(const gs::GaussianModel& model,
     scene.coarse_max_scale_[i] =
         scene.render_model_.gaussians[i].max_scale();
   }
+
+  // Grouped SoA copy of the render parameters: dense voxel v's residents as
+  // one contiguous column slice, in gaussians_in(v) order. Exact float
+  // copies of render_model_ / coarse_max_scale_, so a cache entry decoding
+  // the same records yields bitwise-equal columns (the OOC == resident
+  // invariant).
+  const std::size_t n_voxels = scene.grid_.voxel_count();
+  scene.group_offsets_.resize(n_voxels + 1);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n_voxels; ++v) {
+    scene.group_offsets_[v] = total;
+    total += scene.grid_.gaussians_in(static_cast<voxel::DenseVoxelId>(v))
+                 .size();
+  }
+  scene.group_offsets_[n_voxels] = total;
+  scene.group_columns_.resize(total);
+  for (std::size_t v = 0; v < n_voxels; ++v) {
+    const auto residents =
+        scene.grid_.gaussians_in(static_cast<voxel::DenseVoxelId>(v));
+    std::size_t k = scene.group_offsets_[v];
+    for (const std::uint32_t mi : residents) {
+      scene.group_columns_.set(k++, scene.render_model_.gaussians[mi],
+                               scene.coarse_max_scale_[mi]);
+    }
+  }
   return scene;
 }
 

@@ -18,6 +18,7 @@
 #include "core/streaming_trace.hpp"
 #include "gs/camera.hpp"
 #include "gs/gaussian.hpp"
+#include "gs/gaussian_soa.hpp"
 #include "voxel/grid.hpp"
 #include "voxel/layout.hpp"
 #include "vq/quantized_model.hpp"
@@ -71,6 +72,15 @@ class StreamingScene {
   // assembled from_parts.
   std::span<const float> coarse_max_scales() const { return coarse_max_scale_; }
 
+  // SoA render parameters, grouped: the records of dense voxel v occupy the
+  // contiguous slice [group_offset(v), group_offset(v + 1)) in the same
+  // order as grid().gaussians_in(v). This is the layout the batched kernels
+  // stream; empty for scenes assembled from_parts.
+  const gs::GaussianColumns& group_columns() const { return group_columns_; }
+  std::size_t group_offset(voxel::DenseVoxelId v) const {
+    return group_offsets_[v];
+  }
+
   // True when the Gaussian parameters are resident in this scene
   // (render_model() is populated). Scenes assembled from_parts carry only
   // grid + layout + config and must be rendered through a cache-backed
@@ -91,6 +101,8 @@ class StreamingScene {
   voxel::VoxelGrid grid_;
   voxel::DataLayout layout_{voxel::VoxelGrid(), false};
   std::vector<float> coarse_max_scale_;
+  gs::GaussianColumns group_columns_;
+  std::vector<std::size_t> group_offsets_;
 };
 
 struct StreamingStats {

@@ -1,0 +1,60 @@
+#include "gs/gaussian_soa.hpp"
+
+namespace sgs::gs {
+
+void GaussianColumns::resize(std::size_t n) {
+  px.resize(n);
+  py.resize(n);
+  pz.resize(n);
+  sx.resize(n);
+  sy.resize(n);
+  sz.resize(n);
+  rw.resize(n);
+  rx.resize(n);
+  ry.resize(n);
+  rz.resize(n);
+  opacity.resize(n);
+  max_scale.resize(n);
+  const std::size_t sh_n = n * static_cast<std::size_t>(kShCoeffCount);
+  sh_r.resize(sh_n);
+  sh_g.resize(sh_n);
+  sh_b.resize(sh_n);
+}
+
+void GaussianColumns::clear() { resize(0); }
+
+void GaussianColumns::set(std::size_t k, const Gaussian& g, float coarse) {
+  px[k] = g.position.x;
+  py[k] = g.position.y;
+  pz[k] = g.position.z;
+  sx[k] = g.scale.x;
+  sy[k] = g.scale.y;
+  sz[k] = g.scale.z;
+  rw[k] = g.rotation.w;
+  rx[k] = g.rotation.x;
+  ry[k] = g.rotation.y;
+  rz[k] = g.rotation.z;
+  opacity[k] = g.opacity;
+  max_scale[k] = coarse;
+  const std::size_t base = k * static_cast<std::size_t>(kShCoeffCount);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(kShCoeffCount); ++c) {
+    sh_r[base + c] = g.sh[c].x;
+    sh_g[base + c] = g.sh[c].y;
+    sh_b[base + c] = g.sh[c].z;
+  }
+}
+
+Gaussian GaussianColumns::gaussian(std::size_t k) const {
+  Gaussian g;
+  g.position = {px[k], py[k], pz[k]};
+  g.scale = {sx[k], sy[k], sz[k]};
+  g.rotation = Quatf{rw[k], rx[k], ry[k], rz[k]};
+  g.opacity = opacity[k];
+  const std::size_t base = k * static_cast<std::size_t>(kShCoeffCount);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(kShCoeffCount); ++c) {
+    g.sh[c] = {sh_r[base + c], sh_g[base + c], sh_b[base + c]};
+  }
+  return g;
+}
+
+}  // namespace sgs::gs

@@ -1,0 +1,67 @@
+// Structure-of-arrays layout for decoded Gaussian parameters.
+//
+// The per-Gaussian hot path (coarse filter, fine projection, SH evaluation)
+// touches a few fields of many records, so the AoS gs::Gaussian (236 B —
+// more than three cache lines per record) wastes most of every line it
+// pulls. GaussianColumns stores each parameter as its own contiguous float
+// column: the coarse filter streams exactly the 16 B/record the paper's CFU
+// reads ({x, y, z, s_max}), the fine phase reads only the columns it needs,
+// and the SIMD kernels (gs/kernels.hpp) load 8 lanes with one unaligned
+// vector load per column.
+//
+// SH coefficients are stored channel-deinterleaved: three columns (sh_r,
+// sh_g, sh_b) of kShCoeffCount floats per record, record-major — record k's
+// red coefficients occupy sh_r[k*16 .. k*16+16). A channel's 16 coefficients
+// are contiguous, so one SH color evaluation is three 16-float dot products
+// against the basis — two vector FMAs per channel under AVX2.
+//
+// Conversion to and from gs::Gaussian (set / gaussian) is exact float
+// copying in both directions, which is what keeps the out-of-core == resident
+// golden byte-identical: a cache entry's columns and the resident scene's
+// columns hold bitwise-equal floats whenever the decoded records match.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gs/gaussian.hpp"
+
+namespace sgs::gs {
+
+struct GaussianColumns {
+  // Position / scale / rotation (wxyz) / opacity, one float column each.
+  std::vector<float> px, py, pz;
+  std::vector<float> sx, sy, sz;
+  std::vector<float> rw, rx, ry, rz;
+  std::vector<float> opacity;
+  // The coarse stream's max-scale (decoded-aware under VQ): the 4th coarse
+  // parameter, kept as its own column so the coarse filter never touches
+  // the fine half.
+  std::vector<float> max_scale;
+  // SH, channel-deinterleaved, kShCoeffCount floats per record per channel.
+  std::vector<float> sh_r, sh_g, sh_b;
+
+  // 13 scalar columns + 3 * 16 SH floats = 61 floats = 244 B per record:
+  // the in-memory footprint a residency budget is charged.
+  static constexpr std::size_t kFloatsPerRecord =
+      13 + 3 * static_cast<std::size_t>(kShCoeffCount);
+  static constexpr std::size_t kBytesPerRecord =
+      kFloatsPerRecord * sizeof(float);
+
+  std::size_t size() const { return px.size(); }
+  bool empty() const { return px.empty(); }
+  std::size_t bytes() const { return size() * kBytesPerRecord; }
+
+  void resize(std::size_t n);
+  void clear();
+
+  // Writes record k from an AoS Gaussian (exact copies). `coarse` is the
+  // value the coarse stream carries for this record — the decoded-aware
+  // max scale, not necessarily g.max_scale() for future encodings.
+  void set(std::size_t k, const Gaussian& g, float coarse);
+
+  // Materializes record k back to an AoS Gaussian (exact copies).
+  Gaussian gaussian(std::size_t k) const;
+};
+
+}  // namespace sgs::gs

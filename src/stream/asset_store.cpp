@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "gs/kernels.hpp"
 #include "vq/quantized_model.hpp"
 
 namespace sgs::stream {
@@ -638,73 +639,110 @@ DecodedGroup AssetStore::read_group_impl(voxel::DenseVoxelId v,
   group.model_indices = group_indices(v, tier);
   group.payload_bytes = e.bytes;
   group.tier = tier;
-  group.gaussians.resize(e.count);
-  group.coarse_max_scale.resize(e.count);
+  gs::GaussianColumns& cols = group.cols;
+  cols.resize(e.count);  // freshly sized columns are zero-filled
   const int sh_n = tier_sh_[static_cast<std::size_t>(tier)];
   const char* p = buf.data();
-  for (std::uint32_t k = 0; k < e.count; ++k) {
-    gs::Gaussian& g = group.gaussians[k];
-    if (vq_) {
-      g.position.x = peel<float>(p);
-      g.position.y = peel<float>(p);
-      g.position.z = peel<float>(p);
-      g.opacity = peel<float>(p);
-      const auto si = peel<std::uint16_t>(p);
-      const auto ri = peel<std::uint16_t>(p);
-      const auto di = peel<std::uint16_t>(p);
-      if (si >= scale_cb_.size() || ri >= rotation_cb_.size() ||
-          di >= dc_cb_.size()) {
+  if (vq_) {
+    // Pass 1: peel the per-record floats into their columns and stash the
+    // u16 codebook indices widened to u32 (the batched gather's index type),
+    // validating each against its codebook before any lookup.
+    std::vector<std::uint32_t> si(e.count), ri(e.count), di(e.count), hi;
+    if (sh_n > 1) hi.resize(e.count);
+    for (std::uint32_t k = 0; k < e.count; ++k) {
+      cols.px[k] = peel<float>(p);
+      cols.py[k] = peel<float>(p);
+      cols.pz[k] = peel<float>(p);
+      cols.opacity[k] = peel<float>(p);
+      si[k] = peel<std::uint16_t>(p);
+      ri[k] = peel<std::uint16_t>(p);
+      di[k] = peel<std::uint16_t>(p);
+      if (si[k] >= scale_cb_.size() || ri[k] >= rotation_cb_.size() ||
+          di[k] >= dc_cb_.size()) {
         throw fail(StreamErrorKind::kCorruptPayload,
                    ".sgsc payload index out of codebook range");
       }
-      // Same lookups as QuantizedModel::decode — a cached group is
-      // bit-identical to the prepared scene's render model. Tiers with
-      // truncated SH omit the SH index; the AC tail decodes to zero.
-      const auto s = scale_cb_.entry(si);
-      g.scale = {s[0], s[1], s[2]};
-      const auto r = rotation_cb_.entry(ri);
-      g.rotation = Quatf{r[0], r[1], r[2], r[3]};
-      const auto d = dc_cb_.entry(di);
-      g.sh[0] = {d[0], d[1], d[2]};
       if (sh_n > 1) {
-        const auto hi = peel<std::uint16_t>(p);
-        if (hi >= sh_cb_.size()) {
+        hi[k] = peel<std::uint16_t>(p);
+        if (hi[k] >= sh_cb_.size()) {
           throw fail(StreamErrorKind::kCorruptPayload,
                      ".sgsc payload index out of codebook range");
         }
-        const auto rest = sh_cb_.entry(hi);
-        for (int c = 1; c < gs::kShCoeffCount; ++c) {
-          const std::size_t base = static_cast<std::size_t>(c - 1) * 3;
-          g.sh[static_cast<std::size_t>(c)] = {rest[base], rest[base + 1],
-                                               rest[base + 2]};
-        }
-      } else {
-        for (int c = 1; c < gs::kShCoeffCount; ++c) {
-          g.sh[static_cast<std::size_t>(c)] = {0.0f, 0.0f, 0.0f};
-        }
       }
-      group.coarse_max_scale[k] = std::max(s[0], std::max(s[1], s[2]));
-    } else {
-      g.position.x = peel<float>(p);
-      g.position.y = peel<float>(p);
-      g.position.z = peel<float>(p);
-      g.scale.x = peel<float>(p);
-      g.scale.y = peel<float>(p);
-      g.scale.z = peel<float>(p);
-      g.rotation.w = peel<float>(p);
-      g.rotation.x = peel<float>(p);
-      g.rotation.y = peel<float>(p);
-      g.rotation.z = peel<float>(p);
-      g.opacity = peel<float>(p);
+    }
+    // Pass 2: one batched gather per codebook column — the whole group's
+    // lookups for one parameter as a single strided sweep (8 records per
+    // AVX2 gather). Pure copies of the same entries QuantizedModel::decode
+    // reads, so a cached group stays bit-identical to the prepared scene's
+    // render model. Tiers with truncated SH leave the AC tail at its
+    // zero fill.
+    const float* scale_raw = scale_cb_.raw().data();
+    const std::size_t scale_dim = scale_cb_.dim();
+    gs::gather_codebook_column(cols.sx.data(), 1, scale_raw, si.data(),
+                               e.count, scale_dim, 0);
+    gs::gather_codebook_column(cols.sy.data(), 1, scale_raw, si.data(),
+                               e.count, scale_dim, 1);
+    gs::gather_codebook_column(cols.sz.data(), 1, scale_raw, si.data(),
+                               e.count, scale_dim, 2);
+    const float* rot_raw = rotation_cb_.raw().data();
+    const std::size_t rot_dim = rotation_cb_.dim();
+    gs::gather_codebook_column(cols.rw.data(), 1, rot_raw, ri.data(), e.count,
+                               rot_dim, 0);
+    gs::gather_codebook_column(cols.rx.data(), 1, rot_raw, ri.data(), e.count,
+                               rot_dim, 1);
+    gs::gather_codebook_column(cols.ry.data(), 1, rot_raw, ri.data(), e.count,
+                               rot_dim, 2);
+    gs::gather_codebook_column(cols.rz.data(), 1, rot_raw, ri.data(), e.count,
+                               rot_dim, 3);
+    const std::size_t sh_stride = static_cast<std::size_t>(gs::kShCoeffCount);
+    const float* dc_raw = dc_cb_.raw().data();
+    const std::size_t dc_dim = dc_cb_.dim();
+    gs::gather_codebook_column(cols.sh_r.data(), sh_stride, dc_raw, di.data(),
+                               e.count, dc_dim, 0);
+    gs::gather_codebook_column(cols.sh_g.data(), sh_stride, dc_raw, di.data(),
+                               e.count, dc_dim, 1);
+    gs::gather_codebook_column(cols.sh_b.data(), sh_stride, dc_raw, di.data(),
+                               e.count, dc_dim, 2);
+    if (sh_n > 1) {
+      const float* sh_raw = sh_cb_.raw().data();
+      const std::size_t sh_dim = sh_cb_.dim();
+      for (int c = 1; c < gs::kShCoeffCount; ++c) {
+        const std::size_t off = static_cast<std::size_t>(c - 1) * 3;
+        gs::gather_codebook_column(cols.sh_r.data() + c, sh_stride, sh_raw,
+                                   hi.data(), e.count, sh_dim, off);
+        gs::gather_codebook_column(cols.sh_g.data() + c, sh_stride, sh_raw,
+                                   hi.data(), e.count, sh_dim, off + 1);
+        gs::gather_codebook_column(cols.sh_b.data() + c, sh_stride, sh_raw,
+                                   hi.data(), e.count, sh_dim, off + 2);
+      }
+    }
+    for (std::uint32_t k = 0; k < e.count; ++k) {
+      cols.max_scale[k] =
+          std::max(cols.sx[k], std::max(cols.sy[k], cols.sz[k]));
+    }
+  } else {
+    for (std::uint32_t k = 0; k < e.count; ++k) {
+      cols.px[k] = peel<float>(p);
+      cols.py[k] = peel<float>(p);
+      cols.pz[k] = peel<float>(p);
+      cols.sx[k] = peel<float>(p);
+      cols.sy[k] = peel<float>(p);
+      cols.sz[k] = peel<float>(p);
+      cols.rw[k] = peel<float>(p);
+      cols.rx[k] = peel<float>(p);
+      cols.ry[k] = peel<float>(p);
+      cols.rz[k] = peel<float>(p);
+      cols.opacity[k] = peel<float>(p);
+      const std::size_t base =
+          static_cast<std::size_t>(k) * static_cast<std::size_t>(gs::kShCoeffCount);
       for (int c = 0; c < sh_n; ++c) {
-        g.sh[static_cast<std::size_t>(c)].x = peel<float>(p);
-        g.sh[static_cast<std::size_t>(c)].y = peel<float>(p);
-        g.sh[static_cast<std::size_t>(c)].z = peel<float>(p);
+        cols.sh_r[base + static_cast<std::size_t>(c)] = peel<float>(p);
+        cols.sh_g[base + static_cast<std::size_t>(c)] = peel<float>(p);
+        cols.sh_b[base + static_cast<std::size_t>(c)] = peel<float>(p);
       }
-      for (int c = sh_n; c < gs::kShCoeffCount; ++c) {
-        g.sh[static_cast<std::size_t>(c)] = {0.0f, 0.0f, 0.0f};
-      }
-      group.coarse_max_scale[k] = g.max_scale();
+      // SH tail past sh_n stays at the resize() zero fill.
+      cols.max_scale[k] =
+          std::max(cols.sx[k], std::max(cols.sy[k], cols.sz[k]));
     }
   }
   return group;

@@ -59,6 +59,7 @@
 #include "core/streaming_renderer.hpp"
 #include "core/streaming_trace.hpp"
 #include "gs/gaussian.hpp"
+#include "gs/gaussian_soa.hpp"
 #include "stream/stream_error.hpp"
 #include "voxel/grid.hpp"
 #include "vq/codebook.hpp"
@@ -91,19 +92,23 @@ struct AssetDirEntry {
   std::array<TierExtent, kLodTierCount> tiers{};
 };
 
-// One voxel group fetched from the store and decoded to full Gaussians
+// One voxel group fetched from the store and decoded to SoA columns
 // (resident order — index k here is resident k of the tier's subset).
+// Decoded floats are bitwise identical to what a resident scene's grouped
+// columns hold for the same records, which is what keeps the out-of-core ==
+// resident invariant byte-exact under SIMD (equal inputs, same kernels).
 struct DecodedGroup {
   std::span<const std::uint32_t> model_indices;  // store's resident index table
-  std::vector<gs::Gaussian> gaussians;
-  std::vector<float> coarse_max_scale;
+  gs::GaussianColumns cols;
   std::uint64_t payload_bytes = 0;  // file bytes this fetch read
   int tier = 0;                     // which payload tier was decoded
 
+  std::size_t size() const { return cols.size(); }
+  gs::Gaussian gaussian(std::size_t k) const { return cols.gaussian(k); }
+  float max_scale(std::size_t k) const { return cols.max_scale[k]; }
+
   // In-memory footprint charged against a residency budget.
-  std::size_t resident_bytes() const {
-    return gaussians.size() * (sizeof(gs::Gaussian) + sizeof(float));
-  }
+  std::size_t resident_bytes() const { return cols.bytes(); }
 };
 
 // How one payload tier degrades the full parameter set.
@@ -185,10 +190,10 @@ class AssetStore {
   }
   // Total *decoded* in-memory footprint of all groups at L0 — the unit a
   // ResidencyCache budget is expressed in. Distinct from payload bytes:
-  // a VQ payload is 24 B/Gaussian on disk but decodes to a full Gaussian.
+  // a VQ payload is 24 B/Gaussian on disk but decodes to full SoA columns.
   std::uint64_t decoded_bytes_total() const {
     return static_cast<std::uint64_t>(gaussian_count_) *
-           (sizeof(gs::Gaussian) + sizeof(float));
+           gs::GaussianColumns::kBytesPerRecord;
   }
 
   const core::StreamingConfig& config() const { return config_; }

@@ -20,9 +20,8 @@ ResidentGroupSource::ResidentGroupSource(const core::StreamingScene& scene)
 GroupView ResidentGroupSource::acquire(voxel::DenseVoxelId v) {
   GroupView view;
   view.model_indices = scene_->grid().gaussians_in(v);
-  view.gaussians = scene_->render_model().gaussians.data();
-  view.coarse_max_scale = scene_->coarse_max_scales().data();
-  view.by_model_index = true;
+  view.cols = &scene_->group_columns();
+  view.first = scene_->group_offset(v);
   return view;
 }
 

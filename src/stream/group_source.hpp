@@ -26,7 +26,7 @@
 #include "core/streaming_renderer.hpp"
 #include "core/streaming_trace.hpp"
 #include "gs/camera.hpp"
-#include "gs/gaussian.hpp"
+#include "gs/gaussian_soa.hpp"
 #include "voxel/grid.hpp"
 
 namespace sgs::stream {
@@ -34,24 +34,23 @@ namespace sgs::stream {
 // Read-only view of one voxel group's decoded residents.
 //
 // `model_indices[k]` is resident k's index in the original model (stats and
-// violator collection use it). Parameter lookup depends on the backing
-// storage: a resident scene keeps Gaussians in model order (`by_model_index`
-// true — index with the model id, exactly the access the monolithic renderer
-// performed), while a cache entry stores them densely in resident order
-// (`by_model_index` false). gaussian()/max_scale() hide the difference.
+// violator collection use it). Parameters live as SoA columns
+// (gs::GaussianColumns): the group is the contiguous record slice
+// [first, first + size()) of `cols`, in resident order — a resident scene
+// points into its prebuilt per-group column arena, a cache entry points at
+// its own decoded columns with first == 0. The batched kernels
+// (gs/kernels.hpp) consume (cols, first, size()) directly; gaussian() is the
+// AoS escape hatch for non-hot-path callers.
 struct GroupView {
   std::span<const std::uint32_t> model_indices;
-  const gs::Gaussian* gaussians = nullptr;
-  const float* coarse_max_scale = nullptr;
-  bool by_model_index = true;
+  const gs::GaussianColumns* cols = nullptr;
+  std::size_t first = 0;
 
   std::size_t size() const { return model_indices.size(); }
-  const gs::Gaussian& gaussian(std::size_t k) const {
-    return gaussians[by_model_index ? model_indices[k] : k];
+  gs::Gaussian gaussian(std::size_t k) const {
+    return cols->gaussian(first + k);
   }
-  float max_scale(std::size_t k) const {
-    return coarse_max_scale[by_model_index ? model_indices[k] : k];
-  }
+  float max_scale(std::size_t k) const { return cols->max_scale[first + k]; }
 };
 
 // What the frame driver knows when a frame starts; prefetchers rank

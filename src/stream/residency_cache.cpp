@@ -146,17 +146,16 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
     if (out.missed) evict_over_budget_locked();
     out.served_tier = e.tier;
     out.view.model_indices = e.group.model_indices;
-    out.view.gaussians = e.group.gaussians.data();
-    out.view.coarse_max_scale = e.group.coarse_max_scale.data();
+    out.view.cols = &e.group.cols;
+    out.view.first = 0;
   } else {
     // Nothing to serve: an empty view the pipeline streams zero residents
     // through (the rest of the frame is unaffected).
     out.served_tier = -1;
     out.view.model_indices = {};
-    out.view.gaussians = nullptr;
-    out.view.coarse_max_scale = nullptr;
+    out.view.cols = nullptr;
+    out.view.first = 0;
   }
-  out.view.by_model_index = false;
   return out;
 }
 

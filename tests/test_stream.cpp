@@ -94,12 +94,12 @@ void expect_store_matches_scene(const AssetStore& store,
 
     // Decoded payloads reproduce the render model bit-for-bit.
     const DecodedGroup group = store.read_group(v);
-    ASSERT_EQ(group.gaussians.size(), r0.size());
+    ASSERT_EQ(group.size(), r0.size());
     for (std::size_t k = 0; k < r0.size(); ++k) {
       EXPECT_EQ(group.model_indices[k], r0[k]);
       const gs::Gaussian& expect = scene.render_model().gaussians[r0[k]];
-      EXPECT_TRUE(gaussians_equal(group.gaussians[k], expect));
-      EXPECT_EQ(group.coarse_max_scale[k], scene.coarse_max_scale(r0[k]));
+      EXPECT_TRUE(gaussians_equal(group.gaussian(k), expect));
+      EXPECT_EQ(group.max_scale(k), scene.coarse_max_scale(r0[k]));
     }
   }
 }
@@ -246,12 +246,12 @@ TEST(AssetStore, TieredStoreRoundTripsAllTiers) {
       const DecodedGroup group = store.read_group(v, t);
       EXPECT_EQ(group.tier, t);
       EXPECT_EQ(group.payload_bytes, x.bytes);
-      ASSERT_EQ(group.gaussians.size(), sub.size());
+      ASSERT_EQ(group.size(), sub.size());
       for (std::size_t k = 0; k < sub.size(); ++k) {
         EXPECT_EQ(group.model_indices[k], sub[k]);
         const gs::Gaussian& expect =
             scene.render_model().gaussians[sub[k]];
-        const gs::Gaussian& got = group.gaussians[k];
+        const gs::Gaussian got = group.gaussian(k);
         EXPECT_EQ(got.position, expect.position);
         EXPECT_EQ(got.scale, expect.scale);
         EXPECT_EQ(got.rotation, expect.rotation);
@@ -288,10 +288,10 @@ TEST(AssetStore, TieredVqStoreRoundTrips) {
     EXPECT_EQ(store.tier_extent(v, 1).bytes, sub.size() * 22u);
     const float comp = opacity_comp(scene, full, sub);
     const DecodedGroup group = store.read_group(v, 1);
-    ASSERT_EQ(group.gaussians.size(), sub.size());
+    ASSERT_EQ(group.size(), sub.size());
     for (std::size_t k = 0; k < sub.size(); ++k) {
       const gs::Gaussian& expect = scene.render_model().gaussians[sub[k]];
-      const gs::Gaussian& got = group.gaussians[k];
+      const gs::Gaussian got = group.gaussian(k);
       EXPECT_EQ(got.position, expect.position);
       EXPECT_EQ(got.scale, expect.scale);
       EXPECT_EQ(got.rotation, expect.rotation);
@@ -329,9 +329,9 @@ TEST(AssetStore, NoOpVqTierAliasesThePayloadAbove) {
   // Aliased or not, both tiers decode bit-identically to the scene.
   const DecodedGroup g1 = store.read_group(0, 1);
   const auto full = store.group_indices(0, 0);
-  ASSERT_EQ(g1.gaussians.size(), full.size());
+  ASSERT_EQ(g1.size(), full.size());
   for (std::size_t k = 0; k < full.size(); ++k) {
-    EXPECT_TRUE(gaussians_equal(g1.gaussians[k],
+    EXPECT_TRUE(gaussians_equal(g1.gaussian(k),
                                 scene.render_model().gaussians[full[k]]));
   }
 }
@@ -1291,7 +1291,7 @@ TEST(ResidencyCache, TransientErrorRecoversAfterRepair) {
   EXPECT_FALSE(o3.missed);  // plain hit now
   cache.release(bad);
   const DecodedGroup direct = store.read_group(bad);
-  EXPECT_EQ(direct.gaussians.size(),
+  EXPECT_EQ(direct.size(),
             static_cast<std::size_t>(store.entry(bad).count));
 }
 

@@ -64,6 +64,16 @@ check_contract "failure retry contract" src/stream/residency_cache.hpp \
 check_contract "async error channel contract" src/common/parallel.hpp \
   async_task_errors async_take_errors
 
+# 7. SIMD dispatch & layout: the runtime ISA-dispatch surface and the
+#    batched SoA kernels the per-Gaussian hot path runs on.
+check_contract "SIMD dispatch contract" src/common/simd.hpp \
+  IsaLevel detect_isa active_isa force_isa ScopedForceIsa
+check_contract "SoA layout contract" src/gs/gaussian_soa.hpp \
+  GaussianColumns
+check_contract "SoA kernel contract" src/gs/kernels.hpp \
+  coarse_filter_batch fine_project_batch eval_sh_batch blend_survivor \
+  gather_codebook_column kSimdAbsTolerance
+
 # TODO markers must not ship in the normative docs.
 if grep -rn '\bTODO\b' docs/; then
   fail "TODO marker found in docs/"
