@@ -186,6 +186,7 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"p50_ms\": " << rep.p50_ms << ",\n"
        << "  \"p95_ms\": " << rep.p95_ms << ",\n"
+       << "  \"p99_ms\": " << rep.p99_ms << ",\n"
        << "  \"stall_frames\": " << rep.stall_frames << ",\n"
        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"reuse_won\": " << (reuse_won ? "true" : "false") << "\n"

@@ -25,6 +25,7 @@
 #include "common/cli.hpp"
 #include "common/simd.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "scene/presets.hpp"
 #include "serve/scene_server.hpp"
 #include "stream/asset_store.hpp"
@@ -46,6 +47,8 @@ constexpr const char* kUsage = R"(multi_viewer — N viewer sessions over one sh
   --quality <list>    comma-separated per-session LOD policies, cycled
                       across sessions: off | quality | balanced | aggressive
                       (default balanced; "off" = bit-exact L0)
+  --trace <path>      export a Chrome Trace Event JSON of all session
+                      threads' frame/stage/cache spans (view in Perfetto)
   --force_scalar <bool> pin the per-Gaussian kernels to the scalar reference
                       path instead of the detected SIMD ISA (default false)
   --help              this text
@@ -91,6 +94,11 @@ int main(int argc, char** argv) {
   }
   if (args.get_bool("force_scalar", false)) {
     simd::force_isa(simd::IsaLevel::kScalar);
+  }
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    obs::set_thread_name("main");
+    obs::set_trace_enabled(true);
   }
 
   const auto& info = scene::preset_info(preset);
@@ -157,14 +165,14 @@ int main(int argc, char** argv) {
   const auto result = server.run(paths);
   const serve::ServerReport& rep = result.report;
 
-  std::printf("%8s %-10s %8s %8s %9s %10s %7s %12s %14s %9s\n", "session",
-              "quality", "p50 ms", "p95 ms", "hit rate", "fetched", "stalls",
-              "plans b/r", "tiers 0/1/2", "degraded");
+  std::printf("%8s %-10s %8s %8s %8s %9s %10s %7s %12s %14s %9s\n", "session",
+              "quality", "p50 ms", "p95 ms", "p99 ms", "hit rate", "fetched",
+              "stalls", "plans b/r", "tiers 0/1/2", "degraded");
   for (std::size_t s = 0; s < rep.sessions.size(); ++s) {
     const serve::SessionReport& sr = rep.sessions[s];
-    std::printf("%8zu %-10s %8.1f %8.1f %8.1f%% %10s %7zu %7zu/%zu "
+    std::printf("%8zu %-10s %8.1f %8.1f %8.1f %8.1f%% %10s %7zu %7zu/%zu "
                 "%5llu/%llu/%llu %9zu\n",
-                s, session_quality[s].c_str(), sr.p50_ms, sr.p95_ms,
+                s, session_quality[s].c_str(), sr.p50_ms, sr.p95_ms, sr.p99_ms,
                 100.0 * sr.cache.hit_rate(),
                 format_bytes(static_cast<double>(sr.cache.bytes_fetched))
                     .c_str(),
@@ -181,8 +189,10 @@ int main(int argc, char** argv) {
       format_bytes(static_cast<double>(rep.shared_cache.bytes_fetched)).c_str(),
       static_cast<unsigned long long>(rep.shared_cache.evictions),
       static_cast<unsigned long long>(rep.merged_prefetch_requests));
-  std::printf("fleet latency: p50 %.1f ms, p95 %.1f ms, %zu stall frames\n",
-              rep.p50_ms, rep.p95_ms, rep.stall_frames);
+  std::printf(
+      "fleet latency: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, %zu stall "
+      "frames\n",
+      rep.p50_ms, rep.p95_ms, rep.p99_ms, rep.stall_frames);
   // Fault isolation: any errors below were absorbed per group, per session
   // — every session above still completed all its frames.
   if (rep.shared_cache.fetch_errors > 0 ||
@@ -199,6 +209,16 @@ int main(int argc, char** argv) {
       std::printf(" %zu", rep.sessions[s].error_frames);
     }
     std::printf("\n");
+  }
+
+  if (!trace_path.empty()) {
+    obs::set_trace_enabled(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %s (%llu dropped events)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(obs::trace_dropped_total()));
   }
 
   for (const auto& flag : args.unused()) {

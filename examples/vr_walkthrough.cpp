@@ -14,6 +14,7 @@
 //   ./vr_walkthrough [--scene playroom] [--frames 8] [--model_scale 0.05]
 //                    [--res_scale 0.4] [--arc 1.0] [--save_frames out_dir]
 //                    [--out_of_core true] [--cache_mb 8] [--lod balanced]
+//                    [--trace out.json] [--threads 4]
 //
 // --arc is the fraction of the full orbit the walkthrough covers: 1.0 is
 // the legacy whole-orbit keyframe sweep (cameras too far apart to reuse
@@ -32,8 +33,13 @@
 // pruned fidelity: the PSNR column then shows the quality cost while the
 // cache column's traffic shrinks. "off" forces L0 everywhere and keeps
 // the bit-identical guarantee.
+// --trace exports the run's observability artifacts: a Chrome Trace Event /
+// Perfetto-compatible span timeline of every pipeline stage, cache fetch,
+// and prefetch batch (load the JSON in https://ui.perfetto.dev), plus a
+// JSONL metrics snapshot per frame next to it (<path>.metrics.jsonl).
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "common/cli.hpp"
@@ -44,6 +50,9 @@
 #include "core/render_sequence.hpp"
 #include "core/streaming_renderer.hpp"
 #include "metrics/psnr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/publish.hpp"
+#include "obs/trace.hpp"
 #include "render/tile_renderer.hpp"
 #include "scene/presets.hpp"
 #include "sim/gpu_model.hpp"
@@ -76,6 +85,11 @@ constexpr const char* kUsage =
   --lod <policy>        LOD streaming policy for --out_of_core:
                         off | quality | balanced | aggressive (default off;
                         "off" keeps frames bit-identical to resident)
+  --trace <path>        export a Chrome Trace Event / Perfetto JSON span
+                        timeline to <path> and per-frame metrics snapshots
+                        to <path>.metrics.jsonl (tracing changes no pixel)
+  --threads <n>         pin the thread pool width; 0 = hardware default
+                        (results are bit-identical for any width)
   --force_scalar <bool> pin the per-Gaussian kernels to the scalar reference
                         path instead of the detected SIMD ISA (default false)
   --help                this text
@@ -102,6 +116,22 @@ int main(int argc, char** argv) {
   const stream::LodPolicy lod_policy = stream::lod_policy_from_name(lod_name);
   if (args.get_bool("force_scalar", false)) {
     simd::force_isa(simd::IsaLevel::kScalar);
+  }
+  const int threads = args.get_int("threads", 0);
+  if (threads > 0) {
+    set_parallelism(threads);
+  }
+  const std::string trace_path = args.get("trace", "");
+  std::ofstream metrics_jsonl;
+  if (!trace_path.empty()) {
+    metrics_jsonl.open(trace_path + ".metrics.jsonl");
+    if (!metrics_jsonl) {
+      std::fprintf(stderr, "cannot write %s.metrics.jsonl\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    obs::set_thread_name("main");
+    obs::set_trace_enabled(true);
   }
 
   const auto& info = scene::preset_info(preset);
@@ -236,6 +266,17 @@ int main(int argc, char** argv) {
     if (!save_dir.empty()) {
       write_ppm(save_dir + "/walk_" + std::to_string(f) + ".ppm", streamed.image);
     }
+
+    if (!trace_path.empty()) {
+      // Publish this frame's counters through the registry (the single
+      // metrics sink) and append one JSONL snapshot line per frame.
+      obs::publish_stage_timings(streamed.trace.total_stage_ns());
+      obs::publish_cache_stats(streamed.trace.cache);
+      obs::publish_parallel_stats();
+      obs::write_metrics_jsonl_line(metrics_jsonl,
+                                    obs::MetricsRegistry::global().snapshot(),
+                                    static_cast<std::uint64_t>(f));
+    }
   }
 
   std::printf("\nplans built: %zu, reused: %zu of %d frames\n",
@@ -277,12 +318,30 @@ int main(int argc, char** argv) {
   const double total_ns = static_cast<double>(stage_total.total());
   if (total_ns > 0.0) {
     std::printf("software stage time: plan %.1f%%, vsu %.1f%%, filter %.1f%%, "
-                "sort %.1f%%, blend %.1f%%\n",
+                "sort %.1f%%, blend %.1f%%, fetch %.1f%%, decode %.1f%%\n",
                 100.0 * static_cast<double>(stage_total.plan) / total_ns,
                 100.0 * static_cast<double>(stage_total.vsu) / total_ns,
                 100.0 * static_cast<double>(stage_total.filter) / total_ns,
                 100.0 * static_cast<double>(stage_total.sort) / total_ns,
-                100.0 * static_cast<double>(stage_total.blend) / total_ns);
+                100.0 * static_cast<double>(stage_total.blend) / total_ns,
+                100.0 * static_cast<double>(stage_total.fetch) / total_ns,
+                100.0 * static_cast<double>(stage_total.decode) / total_ns);
+  }
+  if (!trace_path.empty()) {
+    obs::set_trace_enabled(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::size_t span_events = 0;
+    const auto threads = obs::trace_collect();
+    for (const auto& t : threads) span_events += t.events.size();
+    std::printf("trace: %zu events from %zu threads -> %s "
+                "(load in ui.perfetto.dev; %llu dropped by ring bounds), "
+                "metrics -> %s.metrics.jsonl\n",
+                span_events, threads.size(), trace_path.c_str(),
+                static_cast<unsigned long long>(obs::trace_dropped_total()),
+                trace_path.c_str());
   }
   std::printf("worst-case accelerator frame rate: %.1f FPS (budget 90)\n",
               worst_fps);

@@ -6,9 +6,12 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace sgs {
 
@@ -193,6 +196,7 @@ class ThreadPool {
   }
 
   void helper_loop(int worker_index, std::uint64_t seen_epoch) {
+    obs::set_thread_name("pool-worker-" + std::to_string(worker_index));
     for (;;) {
       {
         std::unique_lock<std::mutex> lk(job_mutex_);
@@ -297,6 +301,7 @@ class AsyncLane {
   static constexpr std::size_t kMaxBufferedErrors = 64;
 
   void loop() {
+    obs::set_thread_name("async-lane");
     for (;;) {
       std::function<void()> task;
       {
@@ -309,6 +314,7 @@ class AsyncLane {
       // A throwing task is a recoverable event, not a process death: the
       // exception is captured into the error channel and the lane moves on
       // to the next task (idle waiters still get their notify).
+      SGS_TRACE_SPAN("async", "async_task");
       std::string error;
       bool failed = false;
       try {

@@ -1,9 +1,11 @@
 #include "core/group_pipeline.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/bitonic.hpp"
 #include "core/frame_plan.hpp"
+#include "obs/trace.hpp"
 #include "voxel/dda.hpp"
 #include "voxel/layout.hpp"
 
@@ -220,11 +222,16 @@ void GroupPipeline::render_group(const StreamingScene& scene,
   work.rays = static_cast<std::uint32_t>(n_px);
   ctx.begin_group(n_px);
 
+  const std::uint64_t gidx = static_cast<std::uint64_t>(group_index);
+
   // --- VSU: ray marching + topological voxel ordering ----------------------
   std::uint64_t t0 = timed ? stage_clock_ns() : 0;
-  const VsuStageResult vsu =
-      VsuStage::run(ctx, grid, camera, px0, py0, px1, py1, options.ray_stride,
-                    plan.candidates(group_index));
+  VsuStageResult vsu;
+  {
+    SGS_TRACE_SPAN("stage", "vsu", "group", gidx);
+    vsu = VsuStage::run(ctx, grid, camera, px0, py0, px1, py1,
+                        options.ray_stride, plan.candidates(group_index));
+  }
   if (timed) work.timing_ns.vsu += stage_clock_ns() - t0;
 
   stats.dda_steps += vsu.dda_steps;
@@ -237,13 +244,34 @@ void GroupPipeline::render_group(const StreamingScene& scene,
   work.voxels.reserve(vsu.order.order.size());
 
   // --- stream voxels through filter -> sort -> blend -----------------------
+  // Per-voxel stages run in the low-microsecond range, so RAII spans per
+  // voxel would dominate their own measurement (and blow the traced
+  // overhead gate). Instead the loop accumulates per-stage wall time —
+  // already needed for StageTimingsNs — and emits one aggregated span per
+  // stage per group after the loop. `clocked` keeps the accumulation alive
+  // when tracing wants it even though the caller didn't ask for timings.
+  const bool traced = obs::trace_enabled();
+  const bool clocked = timed || traced;
+  const std::uint64_t loop_t0 = clocked ? stage_clock_ns() : 0;
+  std::uint64_t filter_ns = 0, sort_ns = 0, blend_ns = 0;
   for (voxel::DenseVoxelId v : vsu.order.order) {
     if (ctx.saturated == n_px) break;  // group fully opaque: stop streaming
 
     // The source supplies this voxel group's decoded residents: a pointer
     // view for resident scenes, a (possibly stalling) cache fetch for
-    // out-of-core stores. Held acquired through filter+sort+blend.
+    // out-of-core stores. Held acquired through filter+sort+blend. The
+    // acquire wall time splits into `decode` (this thread's synchronous
+    // payload decode, counted by thread_decode_ns) and `fetch` (the rest:
+    // disk reads, lock waits, waiting on another worker's fetch).
+    const std::uint64_t d0 = timed ? thread_decode_ns() : 0;
+    t0 = timed ? stage_clock_ns() : 0;
     const stream::GroupView group = source.acquire(v);
+    if (timed) {
+      const std::uint64_t acquire_ns = stage_clock_ns() - t0;
+      const std::uint64_t decode_ns = thread_decode_ns() - d0;
+      work.timing_ns.decode += decode_ns;
+      work.timing_ns.fetch += acquire_ns > decode_ns ? acquire_ns - decode_ns : 0;
+    }
     VoxelWorkItem item;
     item.residents = static_cast<std::uint32_t>(group.size());
     item.coarse_bytes =
@@ -251,12 +279,12 @@ void GroupPipeline::render_group(const StreamingScene& scene,
     stats.max_voxel_residents =
         std::max(stats.max_voxel_residents, item.residents);
 
-    t0 = timed ? stage_clock_ns() : 0;
-    const FilterStageCounts counts = FilterStage::run(
-        ctx, group, camera, rect, options.use_coarse_filter);
-    if (timed) {
+    t0 = clocked ? stage_clock_ns() : 0;
+    const FilterStageCounts counts =
+        FilterStage::run(ctx, group, camera, rect, options.use_coarse_filter);
+    if (clocked) {
       const std::uint64_t t1 = stage_clock_ns();
-      work.timing_ns.filter += t1 - t0;
+      filter_ns += t1 - t0;
       t0 = t1;
     }
     item.coarse_pass = counts.coarse_pass;
@@ -264,14 +292,14 @@ void GroupPipeline::render_group(const StreamingScene& scene,
     item.fine_bytes = layout.fine_bytes(item.coarse_pass);
 
     SortStage::run(ctx);
-    if (timed) {
+    if (clocked) {
       const std::uint64_t t1 = stage_clock_ns();
-      work.timing_ns.sort += t1 - t0;
+      sort_ns += t1 - t0;
       t0 = t1;
     }
 
     BlendStage::run(ctx, px0, py0, px1, py1, item, stats);
-    if (timed) work.timing_ns.blend += stage_clock_ns() - t0;
+    if (clocked) blend_ns += stage_clock_ns() - t0;
     source.release(v);
 
     stats.gaussians_streamed += item.residents;
@@ -284,10 +312,41 @@ void GroupPipeline::render_group(const StreamingScene& scene,
     work.voxels.push_back(item);
   }
 
+  if (timed) {
+    work.timing_ns.filter += filter_ns;
+    work.timing_ns.sort += sort_ns;
+    work.timing_ns.blend += blend_ns;
+  }
+  if (traced) {
+    // One aggregated span per stage per group, laid back to back from the
+    // loop start. Their union is a subset of the real loop interval (the
+    // remainder is acquire time, which shows up as the cache fetch/decode
+    // spans), so the timeline still nests; only the per-voxel interleaving
+    // is collapsed.
+    const std::pair<const char*, std::uint64_t> stage_spans[] = {
+        {"filter", filter_ns}, {"sort", sort_ns}, {"blend", blend_ns}};
+    std::uint64_t ts = loop_t0;
+    for (const auto& [stage_name, stage_ns] : stage_spans) {
+      obs::TraceEvent e{};
+      e.name = stage_name;
+      e.cat = "stage";
+      e.ts_ns = ts;
+      e.dur_ns = stage_ns;
+      e.arg0_name = "group";
+      e.arg0 = gidx;
+      e.phase = obs::TracePhase::kSpan;
+      obs::trace_emit(e);
+      ts += stage_ns;
+    }
+  }
+
   // --- final pixel write-back (the only rendering-stage DRAM write) --------
   t0 = timed ? stage_clock_ns() : 0;
-  BlendStage::resolve(ctx, px0, py0, px1, py1, scene.config().background,
-                      image, stats);
+  {
+    SGS_TRACE_SPAN("stage", "blend", "group", gidx);
+    BlendStage::resolve(ctx, px0, py0, px1, py1, scene.config().background,
+                        image, stats);
+  }
   if (timed) work.timing_ns.blend += stage_clock_ns() - t0;
 }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "stream/group_source.hpp"
 
 namespace sgs::core {
@@ -12,6 +13,7 @@ SequenceRenderer::SequenceRenderer(const StreamingScene& scene,
     : scene_(&scene), options_(std::move(options)), source_(source) {}
 
 StreamingRenderResult SequenceRenderer::render(const gs::Camera& camera) {
+  SGS_TRACE_SPAN("frame", "frame");
   const std::uint64_t frame_t0 = stage_clock_ns();
   // Image-geometry changes invalidate the cached plan outright: a plan
   // binned for other dimensions or intrinsics must never be reused (the
@@ -32,6 +34,7 @@ StreamingRenderResult SequenceRenderer::render(const gs::Camera& camera) {
                           options_.reuse_max_rotation_rad);
   std::uint64_t plan_ns = 0;
   if (!reuse) {
+    SGS_TRACE_SPAN("stage", "plan");
     plan_ = FramePlan::build_timed(scene_->grid(), camera,
                                    scene_->config().group_size,
                                    options_.plan_margin_px,

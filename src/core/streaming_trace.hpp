@@ -38,16 +38,38 @@ struct StageTimingsNs {
   std::uint64_t filter = 0;  // coarse + fine hierarchical filtering
   std::uint64_t sort = 0;    // per-voxel bitonic depth sort
   std::uint64_t blend = 0;   // alpha blending + pixel resolve
+  // Trace v6: the formerly-unattributed stall time. `fetch` is the wall
+  // time render workers spent inside source.acquire() minus the decode
+  // share — lock waits, disk reads, waiting on another worker's in-flight
+  // fetch; near-zero for resident scenes. `decode` is payload decode
+  // (column peel + codebook gathers) performed synchronously on the
+  // acquiring worker; async-lane prefetch decode does NOT land here — it
+  // never blocks a frame.
+  std::uint64_t fetch = 0;
+  std::uint64_t decode = 0;
 
-  std::uint64_t total() const { return plan + vsu + filter + sort + blend; }
+  std::uint64_t total() const {
+    return plan + vsu + filter + sort + blend + fetch + decode;
+  }
   void accumulate(const StageTimingsNs& o) {
     plan += o.plan;
     vsu += o.vsu;
     filter += o.filter;
     sort += o.sort;
     blend += o.blend;
+    fetch += o.fetch;
+    decode += o.decode;
   }
 };
+
+// Monotone per-thread count of nanoseconds this thread spent decoding store
+// payloads (written by stream::AssetStore's read path, differenced by the
+// group pipeline around acquire() to split synchronous miss time into the
+// `fetch` vs `decode` stage timings above).
+inline std::uint64_t& thread_decode_ns() {
+  thread_local std::uint64_t ns = 0;
+  return ns;
+}
 
 // Residency-cache activity attributed to one frame (out-of-core rendering,
 // src/stream/). All-zero for fully-resident frames. `bytes_fetched` is

@@ -63,6 +63,8 @@ bool write_trace(std::ostream& out, const StreamingTrace& trace) {
     put<std::uint64_t>(out, g.timing_ns.filter);
     put<std::uint64_t>(out, g.timing_ns.sort);
     put<std::uint64_t>(out, g.timing_ns.blend);
+    put<std::uint64_t>(out, g.timing_ns.fetch);
+    put<std::uint64_t>(out, g.timing_ns.decode);
     put<std::uint64_t>(out, g.voxels.size());
     for (const VoxelWorkItem& v : g.voxels) {
       put<std::uint32_t>(out, v.residents);
@@ -132,6 +134,8 @@ StreamingTrace read_trace(std::istream& in) {
     g.timing_ns.filter = get<std::uint64_t>(in);
     g.timing_ns.sort = get<std::uint64_t>(in);
     g.timing_ns.blend = get<std::uint64_t>(in);
+    g.timing_ns.fetch = get<std::uint64_t>(in);
+    g.timing_ns.decode = get<std::uint64_t>(in);
     const std::uint64_t n_voxels = get<std::uint64_t>(in);
     if (n_voxels > (std::uint64_t{1} << 32)) {
       throw std::runtime_error("implausible voxel count in trace");

@@ -22,7 +22,9 @@ inline constexpr std::uint32_t kTraceMagic = 0x54534753;  // "SGST"
 // v4: per-tier cache counters + upgrade count (adaptive LOD streaming).
 // v5: failure-domain counters — fetch_errors / degraded_groups /
 //     failed_groups (fault-isolated streaming).
-inline constexpr std::uint32_t kTraceVersion = 5;
+// v6: per-group fetch/decode stage timings — synchronous miss stall time
+//     split out of the render stages (observability).
+inline constexpr std::uint32_t kTraceVersion = 6;
 
 // Returns false on IO failure.
 bool write_trace(std::ostream& out, const StreamingTrace& trace);

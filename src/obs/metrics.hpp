@@ -1,0 +1,195 @@
+// Low-overhead metrics registry: named counters, gauges, and log-scale
+// latency histograms behind per-thread shards.
+//
+// Hot-path updates (add/observe) touch only the calling thread's shard with
+// relaxed atomics — no locks, no cross-thread cache-line contention beyond
+// the shard lookup. Registration and snapshotting are the cold paths and
+// take the registry mutex. snapshot() merges shards in shard-creation
+// order and metrics in registration-id order, so a quiescent registry
+// serializes identically run after run (the determinism the tests pin).
+//
+// The registry is the single sink the rest of the system publishes its
+// existing counter structs through (StreamCacheStats, StageTimingsNs, the
+// async-lane counters, ServerReport) — see obs/publish.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sgs::obs {
+
+// Fixed-bucket log-linear histogram over unsigned 64-bit samples (typically
+// nanoseconds). HdrHistogram-style bucketing: values below 2*kSubBuckets
+// land in exact unit buckets, larger values keep kPrecisionBits significant
+// bits, so any reported quantile overstates its sample by at most
+// 2^-kPrecisionBits = 12.5% (and never understates it). ~500 buckets cover
+// the full u64 range; merging is bucket-wise addition, which is what makes
+// per-shard recording and deterministic aggregation cheap.
+class LogHistogram {
+ public:
+  static constexpr int kPrecisionBits = 3;
+  static constexpr int kSubBuckets = 1 << kPrecisionBits;  // 8
+  // Highest bucket index for v = 2^64-1: e = 64 - 4 = 60 -> (60+1)*8 + 7.
+  static constexpr int kBucketCount = 61 * kSubBuckets + kSubBuckets;  // 496
+
+  static int bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int e = std::bit_width(v) - (kPrecisionBits + 1);
+    return (e + 1) * kSubBuckets + static_cast<int>((v >> e) - kSubBuckets);
+  }
+
+  // Largest value mapping to bucket b — the value percentile() reports.
+  static std::uint64_t bucket_upper_bound(int b) {
+    if (b < 2 * kSubBuckets) return static_cast<std::uint64_t>(b);
+    const int e = b / kSubBuckets - 1;
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(b % kSubBuckets) + kSubBuckets;
+    // For the top bucket (m+1)<<e wraps to 0 and the -1 yields 2^64-1,
+    // which is exactly that bucket's upper bound.
+    return ((m + 1) << e) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+    ++count_;
+    sum_ += v;
+    min_ = v < min_ ? v : min_;
+    max_ = v > max_ ? v : max_;
+  }
+
+  void merge(const LogHistogram& o) {
+    for (int b = 0; b < kBucketCount; ++b) {
+      buckets_[static_cast<std::size_t>(b)] +=
+          o.buckets_[static_cast<std::size_t>(b)];
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = o.min_ < min_ ? o.min_ : min_;
+    max_ = o.max_ > max_ ? o.max_ : max_;
+  }
+
+  // Splice externally-accumulated cells in (the registry merging a
+  // per-thread shard's atomic buckets into one plain histogram).
+  void add_bucket_count(int b, std::uint64_t c) {
+    buckets_[static_cast<std::size_t>(b)] += c;
+  }
+  void add_aggregates(std::uint64_t count, std::uint64_t sum,
+                      std::uint64_t min, std::uint64_t max) {
+    count_ += count;
+    sum_ += sum;
+    min_ = min < min_ ? min : min_;
+    max_ = max > max_ ? max : max_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+
+  // Nearest-rank percentile (q in [0,1]): the upper bound of the bucket
+  // holding the rank-ceil(q*count) sample, clamped to the observed
+  // [min, max] so exact extremes stay exact. Returns 0 on an empty
+  // histogram.
+  std::uint64_t percentile(double q) const;
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+using MetricId = std::uint32_t;
+
+// Merged, ordered view of a registry at one instant. Counters/gauges/
+// histograms appear in registration order under their registered names.
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Histogram {
+    std::string name;
+    LogHistogram hist;
+  };
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // Fixed per-kind capacity keeps shards reallocation-free, which is what
+  // lets hot-path updates skip the registry lock entirely.
+  static constexpr std::size_t kMaxCounters = 256;
+  static constexpr std::size_t kMaxGauges = 256;
+  static constexpr std::size_t kMaxHistograms = 64;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every subsystem publishes through.
+  static MetricsRegistry& global();
+
+  // Register-or-look-up by name (cold path, takes the registry mutex).
+  // Re-registering an existing name returns its id. Throws
+  // std::length_error past the per-kind capacity.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name);
+  MetricId histogram(const std::string& name);
+
+  // Hot paths: relaxed atomics on this thread's shard, no locks.
+  void add(MetricId counter_id, std::uint64_t delta);
+  void observe(MetricId histogram_id, std::uint64_t value);
+  // Gauges are last-write-wins control-plane values; they live on the
+  // registry, not in shards.
+  void set(MetricId gauge_id, std::uint64_t value);
+
+  // Deterministic merge: shards in creation order, metrics in id order.
+  // Safe to call concurrently with updates (relaxed reads), but only a
+  // quiescent registry snapshots reproducibly.
+  MetricsSnapshot snapshot() const;
+
+  // Zero every value; names and ids survive. Callers must quiesce writers.
+  void reset();
+
+ private:
+  struct Shard;
+  struct ShardHistogram;
+
+  Shard& local_shard();
+
+  const std::uint64_t epoch_;  // guards stale thread-local shard caches
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::array<std::atomic<std::uint64_t>, kMaxGauges> gauges_{};
+  std::vector<std::unique_ptr<Shard>> shards_;  // creation order
+};
+
+// One snapshot as one JSON object on one line (the JSONL metrics stream the
+// trace exporter writes per frame). `frame` tags the line; histograms are
+// emitted as {count,sum,min,max,p50,p95,p99}.
+void write_metrics_jsonl_line(std::ostream& out, const MetricsSnapshot& snap,
+                              std::uint64_t frame);
+
+}  // namespace sgs::obs

@@ -1,0 +1,47 @@
+#include "obs/publish.hpp"
+
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+
+namespace sgs::obs {
+
+namespace {
+
+void set_gauge(const std::string& name, std::uint64_t value) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.set(reg.gauge(name), value);
+}
+
+}  // namespace
+
+void publish_cache_stats(const core::StreamCacheStats& stats,
+                         const std::string& prefix) {
+  set_gauge(prefix + ".hits", stats.hits);
+  set_gauge(prefix + ".misses", stats.misses);
+  set_gauge(prefix + ".prefetches", stats.prefetches);
+  set_gauge(prefix + ".evictions", stats.evictions);
+  set_gauge(prefix + ".bytes_fetched", stats.bytes_fetched);
+  set_gauge(prefix + ".upgrades", stats.upgrades);
+  set_gauge(prefix + ".fetch_errors", stats.fetch_errors);
+  set_gauge(prefix + ".degraded_groups", stats.degraded_groups);
+  set_gauge(prefix + ".failed_groups", stats.failed_groups);
+}
+
+void publish_stage_timings(const core::StageTimingsNs& timings,
+                           const std::string& prefix) {
+  set_gauge(prefix + ".plan_ns", timings.plan);
+  set_gauge(prefix + ".vsu_ns", timings.vsu);
+  set_gauge(prefix + ".filter_ns", timings.filter);
+  set_gauge(prefix + ".sort_ns", timings.sort);
+  set_gauge(prefix + ".blend_ns", timings.blend);
+  set_gauge(prefix + ".fetch_ns", timings.fetch);
+  set_gauge(prefix + ".decode_ns", timings.decode);
+}
+
+void publish_parallel_stats() {
+  set_gauge("pool.parallelism", static_cast<std::uint64_t>(parallelism()));
+  set_gauge("async.tasks_completed", async_tasks_completed());
+  set_gauge("async.task_errors", async_task_errors());
+}
+
+}  // namespace sgs::obs

@@ -1,0 +1,281 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "core/streaming_trace.hpp"
+
+namespace sgs::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 14;
+
+std::atomic<std::size_t> g_capacity{kDefaultCapacity};
+
+// One thread's bounded ring. `events` grows up to the capacity, then wraps:
+// the newest event overwrites the oldest (a stuck consumer keeps the most
+// recent timeline, which is the one that explains the current frame) and
+// `dropped` counts every overwrite.
+struct ThreadBuffer {
+  std::mutex mutex;
+  int tid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;
+  std::size_t next_overwrite = 0;  // wrap position once at capacity
+  std::uint64_t dropped = 0;
+
+  void emit(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lk(mutex);
+    const std::size_t cap =
+        std::max<std::size_t>(1, g_capacity.load(std::memory_order_relaxed));
+    if (events.size() < cap) {
+      events.push_back(e);
+    } else {
+      if (next_overwrite >= events.size()) next_overwrite = 0;
+      events[next_overwrite++] = e;
+      ++dropped;
+    }
+  }
+};
+
+// Registered buffers, in thread-registration order (the deterministic
+// export order). Leaked on purpose: pool helpers and the async lane may
+// still emit during static destruction.
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* g = new TraceRegistry();
+  return *g;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer == nullptr) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mutex);
+    buf->tid = static_cast<int>(reg.buffers.size()) + 1;
+    buf->name = "thread-" + std::to_string(buf->tid);
+    reg.buffers.push_back(buf);
+    t_buffer = buf.get();  // registry keeps it alive past thread exit
+  }
+  return *t_buffer;
+}
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+// Microsecond timestamps with the sub-microsecond tail preserved: Chrome
+// trace `ts`/`dur` are doubles in us.
+void write_us(std::ostream& out, std::uint64_t ns) {
+  out << ns / 1000 << '.' << ns / 100 % 10 << ns / 10 % 10 << ns % 10;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_capacity(std::size_t events_per_thread) {
+  g_capacity.store(std::max<std::size_t>(1, events_per_thread),
+                   std::memory_order_relaxed);
+}
+
+void set_thread_name(const std::string& name) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lk(buf.mutex);
+  buf.name = name;
+}
+
+void trace_emit(const TraceEvent& e) { local_buffer().emit(e); }
+
+std::vector<ThreadTrace> trace_collect() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mutex);
+    buffers = reg.buffers;
+  }
+  std::vector<ThreadTrace> out;
+  out.reserve(buffers.size());
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lk(buf->mutex);
+    ThreadTrace t;
+    t.tid = buf->tid;
+    t.name = buf->name;
+    t.dropped = buf->dropped;
+    if (buf->dropped == 0) {
+      t.events = buf->events;
+    } else {
+      // Wrapped ring: rotate so events come out oldest-first.
+      const std::size_t pivot =
+          buf->next_overwrite >= buf->events.size() ? 0 : buf->next_overwrite;
+      t.events.reserve(buf->events.size());
+      t.events.insert(t.events.end(), buf->events.begin() + static_cast<std::ptrdiff_t>(pivot),
+                      buf->events.end());
+      t.events.insert(t.events.end(), buf->events.begin(),
+                      buf->events.begin() + static_cast<std::ptrdiff_t>(pivot));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void trace_reset() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mutex);
+    buffers = reg.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lk(buf->mutex);
+    buf->events.clear();
+    buf->next_overwrite = 0;
+    buf->dropped = 0;
+  }
+}
+
+std::uint64_t trace_dropped_total() {
+  std::uint64_t total = 0;
+  for (const ThreadTrace& t : trace_collect()) total += t.dropped;
+  return total;
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<ThreadTrace>& threads) {
+  // Normalize to the earliest event: steady_clock nanoseconds since boot
+  // would otherwise overflow the double precision Perfetto parses `ts` at.
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const ThreadTrace& t : threads) {
+    for (const TraceEvent& e : t.events) t0 = std::min(t0, e.ts_ns);
+  }
+  if (t0 == ~std::uint64_t{0}) t0 = 0;
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadTrace& t : threads) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << t.tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    write_json_string(out, t.name);
+    out << "}}";
+    for (const TraceEvent& e : t.events) {
+      out << ",\n{\"ph\":\""
+          << (e.phase == TracePhase::kSpan ? 'X' : 'i')
+          << "\",\"pid\":1,\"tid\":" << t.tid << ",\"name\":";
+      write_json_string(out, e.name);
+      out << ",\"cat\":";
+      write_json_string(out, e.cat);
+      out << ",\"ts\":";
+      write_us(out, e.ts_ns - t0);
+      if (e.phase == TracePhase::kSpan) {
+        out << ",\"dur\":";
+        write_us(out, e.dur_ns);
+      } else {
+        out << ",\"s\":\"t\"";  // thread-scoped instant
+      }
+      if (e.arg0_name != nullptr) {
+        out << ",\"args\":{";
+        write_json_string(out, e.arg0_name);
+        out << ':' << e.arg0;
+        if (e.arg1_name != nullptr) {
+          out << ',';
+          write_json_string(out, e.arg1_name);
+          out << ':' << e.arg1;
+        }
+        out << '}';
+      }
+      out << '}';
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, trace_collect());
+  return static_cast<bool>(out);
+}
+
+void TraceSpan::open(const char* cat, const char* name, const char* arg0_name,
+                     std::uint64_t arg0, const char* arg1_name,
+                     std::uint64_t arg1) {
+  active_ = true;
+  cat_ = cat;
+  name_ = name;
+  arg0_name_ = arg0_name;
+  arg1_name_ = arg1_name;
+  arg0_ = arg0;
+  arg1_ = arg1;
+  t0_ = core::stage_clock_ns();
+}
+
+void TraceSpan::close() {
+  // Spans opened while enabled still emit after a concurrent disable: a
+  // half-recorded frame is more useful than a torn one, and collect() is
+  // only specified at quiescent points anyway.
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.ts_ns = t0_;
+  e.dur_ns = core::stage_clock_ns() - t0_;
+  e.arg0_name = arg0_name_;
+  e.arg1_name = arg1_name_;
+  e.arg0 = arg0_;
+  e.arg1 = arg1_;
+  e.phase = TracePhase::kSpan;
+  trace_emit(e);
+}
+
+void trace_instant(const char* cat, const char* name) {
+  trace_instant(cat, name, nullptr, 0, nullptr, 0);
+}
+
+void trace_instant(const char* cat, const char* name, const char* arg0_name,
+                   std::uint64_t arg0) {
+  trace_instant(cat, name, arg0_name, arg0, nullptr, 0);
+}
+
+void trace_instant(const char* cat, const char* name, const char* arg0_name,
+                   std::uint64_t arg0, const char* arg1_name,
+                   std::uint64_t arg1) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = core::stage_clock_ns();
+  e.dur_ns = 0;
+  e.arg0_name = arg0_name;
+  e.arg1_name = arg1_name;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.phase = TracePhase::kInstant;
+  trace_emit(e);
+}
+
+}  // namespace sgs::obs

@@ -1,0 +1,155 @@
+// Span-based frame-timeline tracing with Chrome Trace Event export.
+//
+// SGS_TRACE_SPAN("stage", "filter", "group", g, "voxel", v) opens an RAII
+// scope that records begin/end on core::stage_clock_ns() and buffers one
+// TraceEvent when it closes; SGS_TRACE_INSTANT marks point events (cache
+// evictions, retries, degraded serves). Every thread buffers into its own
+// bounded ring (per-ring mutex, taken only while tracing is enabled), so
+// workers never contend on a shared log and a runaway producer overwrites
+// its own oldest events instead of growing memory.
+//
+// The disabled path is one relaxed atomic load and a branch per site — the
+// ≤2% frame-time contract bench_streaming gates. Enable with
+// set_trace_enabled(true), then trace_collect() / write_chrome_trace() at
+// any quiescent point; the JSON loads directly in Perfetto or
+// chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sgs::obs {
+
+// Mirrors the two Chrome Trace Event phases the exporter emits:
+// kSpan -> "X" (complete event with duration), kInstant -> "i".
+enum class TracePhase : std::uint8_t { kSpan, kInstant };
+
+struct TraceEvent {
+  const char* name;      // static-storage string; never owned
+  const char* cat;       // category ("stage", "cache", "frame", ...)
+  std::uint64_t ts_ns;   // begin timestamp on core::stage_clock_ns()
+  std::uint64_t dur_ns;  // span duration; 0 for instants
+  const char* arg0_name;  // nullptr when unused
+  const char* arg1_name;
+  std::uint64_t arg0;
+  std::uint64_t arg1;
+  TracePhase phase;
+};
+
+// Everything one thread buffered, in emission order (a nested span closes —
+// and therefore lands — before its parent).
+struct ThreadTrace {
+  int tid = 0;  // stable small id, assigned at first emission
+  std::string name;
+  std::uint64_t dropped = 0;  // events overwritten by the ring bound
+  std::vector<TraceEvent> events;
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+// Per-thread ring bound in events (default 1<<14). Applies to events
+// emitted after the call; rings already past a smaller bound keep their
+// contents and overwrite in place.
+void set_trace_capacity(std::size_t events_per_thread);
+
+// Names this thread in the exported timeline ("pool-worker-3",
+// "async-lane", "session-0", ...). Safe any time, cheap, idempotent.
+void set_thread_name(const std::string& name);
+
+// Buffers one event on the calling thread's ring (callers check
+// trace_enabled() first; the span/instant helpers do).
+void trace_emit(const TraceEvent& e);
+
+// Snapshot of every thread's buffered events, in thread-registration
+// order. Thread-safe against concurrent emission.
+std::vector<ThreadTrace> trace_collect();
+
+// Drops all buffered events and drop counters; thread registrations and
+// names survive.
+void trace_reset();
+
+// Total events lost to ring bounds across all threads.
+std::uint64_t trace_dropped_total();
+
+// Chrome Trace Event JSON ({"traceEvents":[...]}), timestamps normalized
+// to the earliest buffered event. The path overload collects first;
+// returns false when the file cannot be written.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<ThreadTrace>& threads);
+bool write_chrome_trace(const std::string& path);
+
+// RAII span. Construction samples the clock only when tracing is enabled;
+// destruction emits one kSpan event. Name/cat/arg names must be
+// static-storage strings (string literals).
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name) {
+    if (trace_enabled()) open(cat, name, nullptr, 0, nullptr, 0);
+  }
+  TraceSpan(const char* cat, const char* name, const char* arg0_name,
+            std::uint64_t arg0) {
+    if (trace_enabled()) open(cat, name, arg0_name, arg0, nullptr, 0);
+  }
+  TraceSpan(const char* cat, const char* name, const char* arg0_name,
+            std::uint64_t arg0, const char* arg1_name, std::uint64_t arg1) {
+    if (trace_enabled()) open(cat, name, arg0_name, arg0, arg1_name, arg1);
+  }
+  ~TraceSpan() {
+    if (active_) close();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void open(const char* cat, const char* name, const char* arg0_name,
+            std::uint64_t arg0, const char* arg1_name, std::uint64_t arg1);
+  void close();
+
+  bool active_ = false;
+  // Uninitialized unless active_: the disabled path must not pay for
+  // zeroing an event it will never emit.
+  const char* cat_;
+  const char* name_;
+  const char* arg0_name_;
+  const char* arg1_name_;
+  std::uint64_t arg0_;
+  std::uint64_t arg1_;
+  std::uint64_t t0_;
+};
+
+void trace_instant(const char* cat, const char* name);
+void trace_instant(const char* cat, const char* name, const char* arg0_name,
+                   std::uint64_t arg0);
+void trace_instant(const char* cat, const char* name, const char* arg0_name,
+                   std::uint64_t arg0, const char* arg1_name,
+                   std::uint64_t arg1);
+
+}  // namespace sgs::obs
+
+#define SGS_TRACE_CONCAT_IMPL(a, b) a##b
+#define SGS_TRACE_CONCAT(a, b) SGS_TRACE_CONCAT_IMPL(a, b)
+
+// Opens an RAII span for the rest of the enclosing scope:
+//   SGS_TRACE_SPAN("cache", "fetch", "group", g, "tier", t);
+#define SGS_TRACE_SPAN(...)                                       \
+  ::sgs::obs::TraceSpan SGS_TRACE_CONCAT(sgs_trace_span_, __LINE__)( \
+      __VA_ARGS__)
+
+// Marks a point event (no duration):
+//   SGS_TRACE_INSTANT("cache", "evict", "group", g);
+#define SGS_TRACE_INSTANT(...)                                   \
+  do {                                                           \
+    if (::sgs::obs::trace_enabled()) {                           \
+      ::sgs::obs::trace_instant(__VA_ARGS__);                    \
+    }                                                            \
+  } while (0)

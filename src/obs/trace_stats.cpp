@@ -1,0 +1,359 @@
+#include "obs/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+namespace sgs::obs {
+
+namespace {
+
+// ------------------------------------------------------ minimal JSON value --
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  // Numbers are kept as double: Chrome trace ts/dur are microsecond doubles
+  // and every integer this schema carries fits a double exactly.
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+// Recursive-descent parser. Throws std::runtime_error with a byte offset on
+// malformed input; the analyze entry points translate that into the error
+// string contract.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue{parse_string()};
+      case 't':
+        parse_literal("true");
+        return JsonValue{true};
+      case 'f':
+        parse_literal("false");
+        return JsonValue{false};
+      case 'n':
+        parse_literal("null");
+        return JsonValue{nullptr};
+      default:
+        return JsonValue{parse_number()};
+    }
+  }
+
+  void parse_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    for (;;) {
+      std::string key = parse_string_at_peek();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue{std::move(obj)};
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue{std::move(arr)};
+  }
+
+  std::string parse_string_at_peek() {
+    if (peek() != '"') fail("expected string");
+    return parse_string();
+  }
+
+  std::string parse_string() {
+    // pos_ is at the opening quote (peek() established it).
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // The exporter never emits \u escapes; pass them through
+            // as-is rather than decoding UTF-16 pairs.
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            out += "\\u";
+            out += text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      return pos_ > d0;
+    };
+    if (!digits()) fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("bad number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) fail("bad number exponent");
+    }
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- analysis --
+
+std::uint64_t us_to_ns(double us) {
+  return static_cast<std::uint64_t>(std::llround(us * 1000.0));
+}
+
+const JsonValue* find(const JsonObject& obj, const char* key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::optional<TraceSummary> analyze_document(const JsonValue& doc,
+                                             std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<TraceSummary> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  if (!doc.is_object()) return fail("top level is not an object");
+  const JsonValue* events = find(doc.object(), "traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("missing traceEvents array");
+  }
+
+  TraceSummary sum;
+  std::vector<int> tids;
+  std::size_t index = 0;
+  for (const JsonValue& ev : events->array()) {
+    const std::string at = "event " + std::to_string(index++);
+    if (!ev.is_object()) return fail(at + ": not an object");
+    const JsonObject& obj = ev.object();
+    const JsonValue* ph = find(obj, "ph");
+    const JsonValue* name = find(obj, "name");
+    const JsonValue* tid = find(obj, "tid");
+    if (ph == nullptr || !ph->is_string()) return fail(at + ": missing ph");
+    if (name == nullptr || !name->is_string()) {
+      return fail(at + ": missing name");
+    }
+    if (tid == nullptr || !tid->is_number()) return fail(at + ": missing tid");
+    const int tid_i = static_cast<int>(tid->number());
+    const std::string& phase = ph->str();
+
+    if (phase == "M") {
+      if (name->str() == "thread_name") {
+        const JsonValue* args = find(obj, "args");
+        if (args != nullptr && args->is_object()) {
+          const JsonValue* tn = find(args->object(), "name");
+          if (tn != nullptr && tn->is_string()) {
+            sum.thread_names[tid_i] = tn->str();
+          }
+        }
+      }
+      continue;
+    }
+
+    const JsonValue* ts = find(obj, "ts");
+    if (ts == nullptr || !ts->is_number()) return fail(at + ": missing ts");
+    tids.push_back(tid_i);
+    ++sum.events;
+
+    std::int64_t group = -1, tier = -1, session = -1;
+    if (const JsonValue* args = find(obj, "args");
+        args != nullptr && args->is_object()) {
+      if (const JsonValue* g = find(args->object(), "group");
+          g != nullptr && g->is_number()) {
+        group = static_cast<std::int64_t>(g->number());
+      }
+      if (const JsonValue* t = find(args->object(), "tier");
+          t != nullptr && t->is_number()) {
+        tier = static_cast<std::int64_t>(t->number());
+      }
+      if (const JsonValue* s = find(args->object(), "session");
+          s != nullptr && s->is_number()) {
+        session = static_cast<std::int64_t>(s->number());
+      }
+    }
+
+    if (phase == "X") {
+      const JsonValue* dur = find(obj, "dur");
+      if (dur == nullptr || !dur->is_number()) {
+        return fail(at + ": span without dur");
+      }
+      ++sum.spans;
+      const std::uint64_t dur_ns = us_to_ns(dur->number());
+      SpanAgg& agg = sum.by_name[name->str()];
+      ++agg.count;
+      agg.total_dur_ns += dur_ns;
+      agg.max_dur_ns = std::max(agg.max_dur_ns, dur_ns);
+      if (name->str() == "session_frame") {
+        SpanAgg& ses = sum.by_session[session];
+        ++ses.count;
+        ses.total_dur_ns += dur_ns;
+        ses.max_dur_ns = std::max(ses.max_dur_ns, dur_ns);
+      }
+      if (name->str() == "fetch") {
+        SpanSample s;
+        s.name = name->str();
+        s.tid = tid_i;
+        s.ts_ns = us_to_ns(ts->number());
+        s.dur_ns = dur_ns;
+        s.group = group;
+        s.tier = tier;
+        sum.fetches.push_back(std::move(s));
+      }
+    } else if (phase == "i" || phase == "I") {
+      ++sum.instants;
+      ++sum.instants_by_name[name->str()];
+    } else {
+      return fail(at + ": unsupported phase '" + phase + "'");
+    }
+  }
+
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  sum.tids = std::move(tids);
+  std::sort(sum.fetches.begin(), sum.fetches.end(),
+            [](const SpanSample& a, const SpanSample& b) {
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.ts_ns < b.ts_ns;
+            });
+  return sum;
+}
+
+}  // namespace
+
+std::optional<TraceSummary> analyze_trace_text(const std::string& text,
+                                               std::string* error) {
+  try {
+    JsonParser parser(text);
+    const JsonValue doc = parser.parse();
+    return analyze_document(doc, error);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+std::optional<TraceSummary> analyze_trace_file(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return analyze_trace_text(buf.str(), error);
+}
+
+}  // namespace sgs::obs

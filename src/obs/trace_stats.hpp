@@ -1,0 +1,58 @@
+// Validation + summarization of an exported Chrome Trace Event JSON file
+// (obs/trace.hpp's write_chrome_trace output, or anything schema-compatible).
+//
+// Shared by the tools/trace_stats CLI (which CI smoke-runs on the
+// bench_streaming trace artifact) and the obs test suite. Parsing is a
+// self-contained minimal JSON reader — the repo takes no JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sgs::obs {
+
+// Aggregates for one span name ("filter", "fetch", ...).
+struct SpanAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_dur_ns = 0;
+  std::uint64_t max_dur_ns = 0;
+};
+
+// One span occurrence, kept for the top-N listings.
+struct SpanSample {
+  std::string name;
+  int tid = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::int64_t group = -1;  // "group" arg when present
+  std::int64_t tier = -1;   // "tier" arg when present
+};
+
+struct TraceSummary {
+  std::size_t events = 0;    // spans + instants (metadata excluded)
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::vector<int> tids;     // distinct thread ids, ascending
+  std::map<int, std::string> thread_names;
+  std::map<std::string, SpanAgg> by_name;               // spans by name
+  std::map<std::string, std::uint64_t> instants_by_name;
+  // "session_frame" spans grouped by their "session" arg.
+  std::map<std::int64_t, SpanAgg> by_session;
+  // Every "fetch" span, sorted by duration descending.
+  std::vector<SpanSample> fetches;
+};
+
+// Parses and validates `path`. Returns std::nullopt and sets *error on
+// malformed JSON or schema violations (missing ph/tid/name, a span without
+// ts/dur, a non-object event, ...).
+std::optional<TraceSummary> analyze_trace_file(const std::string& path,
+                                               std::string* error);
+
+// Same, over an in-memory document (tests).
+std::optional<TraceSummary> analyze_trace_text(const std::string& text,
+                                               std::string* error);
+
+}  // namespace sgs::obs

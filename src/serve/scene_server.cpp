@@ -1,24 +1,21 @@
 #include "serve/scene_server.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "obs/publish.hpp"
+#include "obs/trace.hpp"
 
 namespace sgs::serve {
 
 namespace {
 
-// Nearest-rank percentile of an unsorted sample (copied, not mutated).
-double percentile_ms(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(samples.size())));
-  return samples[std::min(samples.size() - 1, rank == 0 ? 0 : rank - 1)];
+// Histogram quantile (over frame nanoseconds) reported in milliseconds.
+double percentile_ms(const obs::LogHistogram& h, double q) {
+  return static_cast<double>(h.percentile(q)) * 1e-6;
 }
 
 }  // namespace
@@ -74,14 +71,16 @@ struct SceneServer::Session {
 
   SessionSource source;
   core::SequenceRenderer renderer;
-  std::vector<double> frame_ms;
+  obs::LogHistogram frame_ns;  // frame wall time; O(1) memory per session
   std::size_t stall_frames = 0;
   std::size_t error_frames = 0;
 };
 
 SceneServer::SceneServer(const stream::AssetStore& store,
                          SceneServerConfig config)
-    : config_(std::move(config)),
+    : frame_ns_metric_(
+          obs::MetricsRegistry::global().histogram("serve.frame_ns")),
+      config_(std::move(config)),
       scene_(store.make_scene()),
       cache_(store, config_.cache),
       queue_(cache_, config_.prefetch),
@@ -99,9 +98,13 @@ int SceneServer::open_session(const stream::LodPolicy& lod) {
 
 core::StreamingRenderResult SceneServer::render_frame(
     int session, const gs::Camera& camera) {
+  SGS_TRACE_SPAN("serve", "session_frame", "session",
+                 static_cast<std::uint64_t>(session));
   Session& s = *sessions_.at(static_cast<std::size_t>(session));
   core::StreamingRenderResult result = s.renderer.render(camera);
-  s.frame_ms.push_back(static_cast<double>(result.frame_wall_ns) * 1e-6);
+  s.frame_ns.record(result.frame_wall_ns);
+  obs::MetricsRegistry::global().observe(frame_ns_metric_,
+                                         result.frame_wall_ns);
   if (result.trace.cache.misses > 0) ++s.stall_frames;
   if (result.trace.cache.fetch_errors > 0 ||
       result.trace.cache.degraded_groups > 0) {
@@ -122,6 +125,7 @@ ServerRunResult SceneServer::run(
   viewers.reserve(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {
     viewers.emplace_back([this, &paths, &out, i] {
+      obs::set_thread_name("session-" + std::to_string(i));
       std::vector<core::StreamingRenderResult>& frames = out.sessions[i];
       frames.reserve(paths[i].size());
       for (const gs::Camera& cam : paths[i]) {
@@ -137,13 +141,14 @@ ServerRunResult SceneServer::run(
 
 ServerReport SceneServer::report() const {
   ServerReport rep;
-  std::vector<double> all_ms;
   for (const auto& sp : sessions_) {
     const Session& s = *sp;
     SessionReport sr;
-    sr.frames = s.frame_ms.size();
-    sr.p50_ms = percentile_ms(s.frame_ms, 0.50);
-    sr.p95_ms = percentile_ms(s.frame_ms, 0.95);
+    sr.frames = static_cast<std::size_t>(s.frame_ns.count());
+    sr.latency = s.frame_ns;
+    sr.p50_ms = percentile_ms(sr.latency, 0.50);
+    sr.p95_ms = percentile_ms(sr.latency, 0.95);
+    sr.p99_ms = percentile_ms(sr.latency, 0.99);
     sr.cache = s.source.stats();
     sr.stall_frames = s.stall_frames;
     sr.plans_built = s.renderer.stats().plans_built;
@@ -152,7 +157,7 @@ ServerReport SceneServer::report() const {
     sr.degraded_frames = s.source.degraded_frames();
     sr.error_frames = s.error_frames;
     rep.stall_frames += sr.stall_frames;
-    all_ms.insert(all_ms.end(), s.frame_ms.begin(), s.frame_ms.end());
+    rep.latency.merge(sr.latency);
     rep.sessions.push_back(std::move(sr));
   }
   rep.shared_cache = cache_.stats();
@@ -164,8 +169,21 @@ ServerReport SceneServer::report() const {
   // per-server attribution (fetch errors, which ARE attributed exactly,
   // never reach the lane).
   rep.async_lane_errors = async_task_errors() - async_errors_at_open_;
-  rep.p50_ms = percentile_ms(all_ms, 0.50);
-  rep.p95_ms = percentile_ms(std::move(all_ms), 0.95);
+  rep.p50_ms = percentile_ms(rep.latency, 0.50);
+  rep.p95_ms = percentile_ms(rep.latency, 0.95);
+  rep.p99_ms = percentile_ms(rep.latency, 0.99);
+
+  // Publish the fleet view through the registry — the single sink the
+  // other subsystems already report through (obs/publish.hpp).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.set(reg.gauge("serve.sessions"),
+          static_cast<std::uint64_t>(rep.sessions.size()));
+  reg.set(reg.gauge("serve.stall_frames"),
+          static_cast<std::uint64_t>(rep.stall_frames));
+  reg.set(reg.gauge("serve.merged_prefetch_requests"),
+          rep.merged_prefetch_requests);
+  obs::publish_cache_stats(rep.shared_cache, "serve.cache");
+  obs::publish_parallel_stats();
   return rep;
 }
 

@@ -41,6 +41,7 @@
 
 #include "core/render_sequence.hpp"
 #include "core/streaming_renderer.hpp"
+#include "obs/metrics.hpp"
 #include "stream/asset_store.hpp"
 #include "stream/residency_cache.hpp"
 #include "stream/streaming_loader.hpp"
@@ -110,10 +111,15 @@ struct SceneServerConfig {
 };
 
 // Aggregated per-session outcome (latency in wall-clock milliseconds).
+// Percentiles come from a fixed-bucket log-scale obs::LogHistogram over
+// frame nanoseconds — O(1) memory per session regardless of frame count,
+// each quantile overstating its sample by at most 12.5% (never under).
 struct SessionReport {
   std::size_t frames = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  obs::LogHistogram latency;  // frame wall time in ns, all frames
   core::StreamCacheStats cache;  // session-attributed; evictions always 0.
                                  // Failure attribution rides here too:
                                  // cache.fetch_errors / degraded_groups /
@@ -143,9 +149,13 @@ struct ServerReport {
   // Prefetch requests served by another session's in-flight fetch — the
   // cross-session merge win of the shared queue.
   std::uint64_t merged_prefetch_requests = 0;
-  // Latency across all sessions' frames.
+  // Latency across all sessions' frames (merge of the per-session
+  // histograms; bucket-wise addition, so merged percentiles are computed
+  // over the exact union of samples).
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  obs::LogHistogram latency;
   std::size_t stall_frames = 0;
   // Exceptions the async prefetch lane captured instead of terminating on
   // since this server was constructed (the lane's counter is process-wide;
@@ -204,6 +214,9 @@ class SceneServer {
  private:
   struct Session;
 
+  // Registered once: render_frame() observes per-frame latency into the
+  // global metrics registry without a name lookup on the frame path.
+  obs::MetricId frame_ns_metric_;
   SceneServerConfig config_;
   core::StreamingScene scene_;
   stream::ResidencyCache cache_;

@@ -180,6 +180,8 @@ SimReport simulate_streaminggs(const core::StreamingTrace& trace,
     report.sw_stage_ns["filter"] = static_cast<double>(sw.filter);
     report.sw_stage_ns["sort"] = static_cast<double>(sw.sort);
     report.sw_stage_ns["blend"] = static_cast<double>(sw.blend);
+    report.sw_stage_ns["fetch"] = static_cast<double>(sw.fetch);
+    report.sw_stage_ns["decode"] = static_cast<double>(sw.decode);
   }
   return report;
 }

@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/streaming_trace.hpp"
 #include "gs/kernels.hpp"
+#include "obs/trace.hpp"
 #include "vq/quantized_model.hpp"
 
 namespace sgs::stream {
@@ -625,6 +627,8 @@ DecodedGroup AssetStore::read_group_impl(voxel::DenseVoxelId v,
   const TierExtent& e = tier_extent(v, tier);
   std::vector<char> buf(static_cast<std::size_t>(e.bytes));
   {
+    SGS_TRACE_SPAN("cache", "read", "group", static_cast<std::uint64_t>(v),
+                   "tier", static_cast<std::uint64_t>(tier));
     std::lock_guard<std::mutex> lk(file_mutex_);
     // clear() first: a previous failed read of some *other* group left the
     // stream's failbit set, and this read must not inherit that fate (the
@@ -635,6 +639,13 @@ DecodedGroup AssetStore::read_group_impl(voxel::DenseVoxelId v,
     if (!file_) throw fail(StreamErrorKind::kIoRead, "truncated .sgsc payload");
   }
 
+  // Decode bracket: the span feeds the trace timeline; the thread-local
+  // counter lets the group pipeline split a synchronous acquire into its
+  // fetch vs decode shares. Throwing paths skip the accumulation — an
+  // errored decode produces no payload to attribute.
+  SGS_TRACE_SPAN("cache", "decode", "group", static_cast<std::uint64_t>(v),
+                 "tier", static_cast<std::uint64_t>(tier));
+  const std::uint64_t decode_t0 = core::stage_clock_ns();
   DecodedGroup group;
   group.model_indices = group_indices(v, tier);
   group.payload_bytes = e.bytes;
@@ -745,6 +756,7 @@ DecodedGroup AssetStore::read_group_impl(voxel::DenseVoxelId v,
           std::max(cols.sx[k], std::max(cols.sy[k], cols.sz[k]));
     }
   }
+  core::thread_decode_ns() += core::stage_clock_ns() - decode_t0;
   return group;
 }
 

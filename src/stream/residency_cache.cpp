@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace sgs::stream {
 
 ResidencyCache::ResidencyCache(const AssetStore& store,
@@ -109,6 +111,9 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
       ++stats_.misses;
       ++stats_.tier_misses[t];
       ++stats_.degraded_groups;
+      SGS_TRACE_INSTANT("cache", "degraded", "group",
+                        static_cast<std::uint64_t>(v), "tier",
+                        static_cast<std::uint64_t>(tier));
       out.degraded = true;
       out.group_failed = e.tier_failed(tier);
       out.error = e.last_error;
@@ -122,6 +127,9 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
       // one (a failed upgrade keeps its old tier), an empty view otherwise
       // — the frame renders without this group instead of dying with it.
       ++stats_.degraded_groups;
+      SGS_TRACE_INSTANT("cache", "degraded", "group",
+                        static_cast<std::uint64_t>(v), "tier",
+                        static_cast<std::uint64_t>(tier));
       out.degraded = true;
       out.fetch_errored = true;
       out.group_failed = e.tier_failed(tier);
@@ -314,7 +322,11 @@ bool ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
   // Disk read + decode outside the lock: other groups stay acquirable and
   // other fetches only serialize on the store's own file mutex. The typed
   // read path never throws; errors come back as values.
-  StreamResult<DecodedGroup> fetched = store_->read_group_checked(v, tier);
+  StreamResult<DecodedGroup> fetched = [&] {
+    SGS_TRACE_SPAN("cache", "fetch", "group", static_cast<std::uint64_t>(v),
+                   "tier", static_cast<std::uint64_t>(tier));
+    return store_->read_group_checked(v, tier);
+  }();
   lk.lock();
   if (!fetched.ok()) {
     const auto t = static_cast<std::size_t>(tier);
@@ -340,6 +352,9 @@ bool ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
           std::min<std::uint64_t>(
               config_.retry_backoff_cap,
               std::uint64_t{config_.retry_backoff_base} << shift));
+      SGS_TRACE_INSTANT("cache", "retry", "group",
+                        static_cast<std::uint64_t>(v), "tier",
+                        static_cast<std::uint64_t>(tier));
     }
     return false;  // guard clears loading + notifies waiters
   }
@@ -391,6 +406,8 @@ void ResidencyCache::evict_over_budget_locked() {
     resident_bytes_ -= e.group.resident_bytes();
     e.group = DecodedGroup{};  // frees the decoded buffers
     e.resident = false;
+    SGS_TRACE_INSTANT("cache", "evict", "group",
+                      static_cast<std::uint64_t>(*it));
     it = lru_.erase(it);
     ++stats_.evictions;
   }

@@ -5,6 +5,7 @@
 
 #include "common/parallel.hpp"
 #include "gs/projection.hpp"
+#include "obs/trace.hpp"
 
 namespace sgs::stream {
 
@@ -106,12 +107,14 @@ void StreamingLoader::begin_frame(
   std::vector<PrefetchRequest> batch = rank_prefetch(intent);
   if (batch.empty()) return;
   if (config_.synchronous) {
+    SGS_TRACE_SPAN("prefetch", "prefetch_batch", "requests", batch.size());
     for (const PrefetchRequest& r : batch) cache_->prefetch(r.id, r.tier);
   } else {
     // One FIFO task per frame: fetches overlap this frame's rendering and
     // are naturally superseded by the next frame's batch.
     ResidencyCache* cache = cache_;
     async_submit([cache, batch = std::move(batch)] {
+      SGS_TRACE_SPAN("prefetch", "prefetch_batch", "requests", batch.size());
       for (const PrefetchRequest& r : batch) cache->prefetch(r.id, r.tier);
     });
   }
@@ -176,6 +179,7 @@ std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
   if (fresh.empty()) return 0;
 
   auto drain = [this, sink](const std::vector<PrefetchRequest>& batch) {
+    SGS_TRACE_SPAN("prefetch", "prefetch_batch", "requests", batch.size());
     // A failed group must not abort the rest of the batch: prefetch_checked
     // never throws, so the loop continues past per-group errors and counts
     // them into the session's attribution sink.

@@ -211,6 +211,9 @@ TEST(TraceIo, RoundTripPreservesEverything) {
     EXPECT_EQ(back.groups[g].edges, trace.groups[g].edges);
     EXPECT_EQ(back.groups[g].timing_ns.vsu, trace.groups[g].timing_ns.vsu);
     EXPECT_EQ(back.groups[g].timing_ns.blend, trace.groups[g].timing_ns.blend);
+    EXPECT_EQ(back.groups[g].timing_ns.fetch, trace.groups[g].timing_ns.fetch);
+    EXPECT_EQ(back.groups[g].timing_ns.decode,
+              trace.groups[g].timing_ns.decode);
     ASSERT_EQ(back.groups[g].voxels.size(), trace.groups[g].voxels.size());
   }
   EXPECT_EQ(back.total_dram_bytes(), trace.total_dram_bytes());
@@ -310,7 +313,7 @@ TEST(TraceIo, SimReportCarriesSoftwareStageTimes) {
   const core::StageTimingsNs sw = trace.total_stage_ns();
   ASSERT_GT(sw.total(), 0u);  // make_trace renders with timing enabled
   const auto report = sim::simulate_streaminggs(trace);
-  ASSERT_EQ(report.sw_stage_ns.size(), 5u);
+  ASSERT_EQ(report.sw_stage_ns.size(), 7u);
   EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("plan"), static_cast<double>(sw.plan));
   EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("vsu"), static_cast<double>(sw.vsu));
   EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("filter"),
@@ -318,6 +321,12 @@ TEST(TraceIo, SimReportCarriesSoftwareStageTimes) {
   EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("sort"), static_cast<double>(sw.sort));
   EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("blend"),
                    static_cast<double>(sw.blend));
+  // Trace v6: the synchronous miss stall split. make_trace renders fully
+  // resident, so both are present but zero.
+  EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("fetch"),
+                   static_cast<double>(sw.fetch));
+  EXPECT_DOUBLE_EQ(report.sw_stage_ns.at("decode"),
+                   static_cast<double>(sw.decode));
 
   // An untimed trace yields an empty map, not zero-filled keys.
   core::StreamingTrace untimed = trace;

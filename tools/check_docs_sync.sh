@@ -74,6 +74,14 @@ check_contract "SoA kernel contract" src/gs/kernels.hpp \
   coarse_filter_batch fine_project_batch eval_sh_batch blend_survivor \
   gather_codebook_column kSimdAbsTolerance
 
+# 8. Observability: the metrics sink every subsystem publishes through and
+#    the span-tracing surface the frame timeline is built from.
+check_contract "metrics contract" src/obs/metrics.hpp \
+  MetricsRegistry LogHistogram counter gauge histogram snapshot percentile
+check_contract "trace contract" src/obs/trace.hpp \
+  SGS_TRACE_SPAN SGS_TRACE_INSTANT TraceEvent set_trace_enabled \
+  trace_collect write_chrome_trace set_thread_name
+
 # TODO markers must not ship in the normative docs.
 if grep -rn '\bTODO\b' docs/; then
   fail "TODO marker found in docs/"
