@@ -352,6 +352,116 @@ int main(int argc, char** argv) {
               100.0 * savings, psnr_min);
   std::printf("  raw L0 pass bit-identical: %s\n", raw_identical ? "yes" : "NO");
 
+  // --- zero-stall pass (coarse floor + zero fetch deadline) ------------------
+  // The same walkthrough over a store whose coarsest tier is a
+  // heavily-pruned fallback, with every group's floor payload pinned at
+  // open (<= 5% of the scene's decoded bytes) and a zero per-frame demand
+  // deadline: a group the prefetcher has not landed yet renders from the
+  // floor instead of stalling the frame. The pass groups the scene at 2x
+  // the voxel size — the floor pins at least one record per group, so the
+  // 5% byte budget needs coarse-granularity groups, and a floor tier is a
+  // per-group decision anyway — the multiplier grows until the floor
+  // fits, since smaller --model_scale runs keep roughly as many groups
+  // over far fewer records. Its cache budget is 65% of the decoded
+  // scene, NOT the eviction-pressure 35% the passes above use: zero-stall
+  // deadline streaming is the operating point where the steady-state
+  // working set fits the budget and the floor only carries cold start and
+  // bursts — under a budget smaller than the working set, deadline mode
+  // trades the thrash into persistent quality loss instead of stalls,
+  // which is a different (graceful-degradation) regime than the one this
+  // gate pins. The per-frame prefetch cap is set just under the frame-0
+  // working set so the cold start demonstrably serves its far tail from
+  // the floor. Gates: not one frame with a demand miss; the floor fits
+  // its 5% budget; frames that never fell back stay bit-identical to this
+  // grouping's resident render; fallback frames hold >= 28 dB.
+  core::StreamingScene scene_zs;
+  float zs_voxel_mult = 0.0f;
+  for (const float mult : {2.0f, 3.0f, 4.0f, 6.0f, 8.0f}) {
+    core::StreamingConfig zcfg = rcfg;
+    zcfg.voxel_size = mult * scfg.voxel_size;
+    auto candidate = core::StreamingScene::prepare(model, zcfg);
+    try {
+      if (!stream::AssetStore::write(
+              store_path, candidate,
+              stream::AssetStoreWriteOptions::with_coarse_floor(0.04f))) {
+        std::fprintf(stderr, "FAILED to rewrite %s\n", store_path.c_str());
+        return 1;
+      }
+    } catch (const stream::StreamException& e) {
+      std::fprintf(stderr, "FAILED to rewrite store: %s\n", e.what());
+      return 1;
+    }
+    // Cheap fit probe: a floor that would blow the 5% budget disables
+    // itself at open, so open a throwaway cache and ask.
+    stream::AssetStore probe(store_path);
+    stream::ResidencyCacheConfig pc;
+    pc.budget_bytes = probe.decoded_bytes_total();
+    pc.coarse_floor_budget_bytes = probe.decoded_bytes_total() * 5 / 100;
+    if (stream::ResidencyCache(probe, pc).coarse_floor_enabled()) {
+      scene_zs = std::move(candidate);
+      zs_voxel_mult = mult;
+      break;
+    }
+  }
+  if (zs_voxel_mult == 0.0f) {
+    std::fprintf(stderr,
+                 "zero-stall gate FAILED: no grouping fits a 5%% floor\n");
+    return 1;
+  }
+  const auto resident_zs = core::render_sequence(scene_zs, cameras, seq);
+  stream::AssetStore zs_store(store_path);
+  stream::ResidencyCacheConfig zs_cfg;
+  zs_cfg.budget_bytes = zs_store.decoded_bytes_total() * 65 / 100;
+  zs_cfg.coarse_floor_budget_bytes = zs_store.decoded_bytes_total() * 5 / 100;
+  stream::ResidencyCache zs_cache(zs_store, zs_cfg);
+  const bool zs_floor_enabled = zs_cache.coarse_floor_enabled();
+  stream::PrefetchConfig zs_pcfg;
+  zs_pcfg.synchronous = true;  // reproducible fallback pattern
+  zs_pcfg.lod.force_tier0 = true;
+  zs_pcfg.fetch_deadline_ns = 0;  // every demand fetch is past due
+  // Cap the per-frame prefetch bandwidth just below the cold-start working
+  // set so frame 0 provably serves its far tail from the floor.
+  zs_pcfg.max_bytes_per_frame = zs_store.payload_bytes_total() * 99 / 100;
+  zs_pcfg.max_groups_per_frame = static_cast<std::size_t>(-1);
+  stream::StreamingLoader zs_loader(zs_cache, zs_pcfg);
+  const auto zs_scene = zs_store.make_scene();
+  const auto zs = core::render_sequence(zs_scene, cameras, seq, &zs_loader);
+
+  int zs_stall_frames = 0, fallback_frames = 0;
+  bool zs_clean_identical = true;
+  double min_fallback_psnr = 1e30;
+  core::StreamCacheStats zs_total;
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    const core::StreamCacheStats& cs = zs.frames[f].trace.cache;
+    zs_total.accumulate(cs);
+    if (cs.misses > 0) ++zs_stall_frames;
+    if (cs.coarse_fallbacks > 0) {
+      ++fallback_frames;
+      min_fallback_psnr = std::min(
+          min_fallback_psnr, metrics::psnr_capped(resident_zs.frames[f].image,
+                                                  zs.frames[f].image));
+    } else {
+      zs_clean_identical =
+          zs_clean_identical && resident_zs.frames[f].image.pixels() ==
+                                    zs.frames[f].image.pixels();
+    }
+  }
+  const double zs_floor_pct =
+      100.0 * static_cast<double>(zs_cache.coarse_floor_bytes()) /
+      static_cast<double>(zs_store.decoded_bytes_total());
+  std::printf("  zero-stall (%.0fx voxel groups): %d stall frames, %d/%d "
+              "fallback frames (%llu group serves), floor %s = %.2f%% of "
+              "scene, min fallback PSNR %.1f dB (gates: 0 stalls, floor <= "
+              "5%%, >= 28 dB)\n",
+              zs_voxel_mult, zs_stall_frames, fallback_frames, frames,
+              static_cast<unsigned long long>(zs_total.coarse_fallbacks),
+              format_bytes(static_cast<double>(zs_cache.coarse_floor_bytes()))
+                  .c_str(),
+              zs_floor_pct,
+              fallback_frames > 0 ? min_fallback_psnr : 0.0);
+  std::printf("  zero-stall clean frames bit-identical: %s\n",
+              zs_clean_identical ? "yes" : "NO");
+
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"frames\": " << frames << ",\n"
@@ -383,7 +493,16 @@ int main(int argc, char** argv) {
        << "  \"enabled_span_ns\": " << enabled_span_ns << ",\n"
        << "  \"disabled_span_ns\": " << disabled_span_ns << ",\n"
        << "  \"trace_bit_identical\": "
-       << (traced_identical ? "true" : "false") << "\n"
+       << (traced_identical ? "true" : "false") << ",\n"
+       << "  \"zero_stall_frames\": " << zs_stall_frames << ",\n"
+       << "  \"fallback_frames\": " << fallback_frames << ",\n"
+       << "  \"coarse_fallbacks\": " << zs_total.coarse_fallbacks << ",\n"
+       << "  \"min_fallback_psnr_db\": "
+       << (fallback_frames > 0 ? min_fallback_psnr : 0.0) << ",\n"
+       << "  \"coarse_floor_bytes\": " << zs_cache.coarse_floor_bytes() << ",\n"
+       << "  \"coarse_floor_pct\": " << zs_floor_pct << ",\n"
+       << "  \"zero_stall_clean_bit_identical\": "
+       << (zs_clean_identical ? "true" : "false") << "\n"
        << "}\n";
   std::printf("  wrote %s\n", out_path.c_str());
 
@@ -404,5 +523,23 @@ int main(int argc, char** argv) {
                  "disabled %.3f%%\n",
                  traced_identical ? 1 : 0, enabled_pct, disabled_pct);
   }
-  return (identical && raw_identical && lod_ok && trace_ok) ? 0 : 1;
+  // Zero-stall contract: the floor pins within its 5% budget, no frame
+  // ever blocks on a demand miss, frames with no fallback stay exact, and
+  // fallback frames keep a bounded quality loss.
+  const bool zero_stall_ok =
+      zs_floor_enabled && zs_floor_pct <= 5.0 && zs_stall_frames == 0 &&
+      zs_clean_identical &&
+      (fallback_frames == 0 || min_fallback_psnr >= 28.0);
+  if (!zero_stall_ok) {
+    std::fprintf(stderr,
+                 "zero-stall gate FAILED: floor_enabled=%d floor_pct=%.2f "
+                 "stall_frames=%d clean_identical=%d fallback_frames=%d "
+                 "min_fallback_psnr=%.2f\n",
+                 zs_floor_enabled ? 1 : 0, zs_floor_pct, zs_stall_frames,
+                 zs_clean_identical ? 1 : 0, fallback_frames,
+                 fallback_frames > 0 ? min_fallback_psnr : 0.0);
+  }
+  return (identical && raw_identical && lod_ok && trace_ok && zero_stall_ok)
+             ? 0
+             : 1;
 }

@@ -14,7 +14,8 @@
 //   ./vr_walkthrough [--scene playroom] [--frames 8] [--model_scale 0.05]
 //                    [--res_scale 0.4] [--arc 1.0] [--save_frames out_dir]
 //                    [--out_of_core true] [--cache_mb 8] [--lod balanced]
-//                    [--trace out.json] [--threads 4]
+//                    [--floor_pct 5] [--deadline_ms 2] [--trace out.json]
+//                    [--threads 4]
 //
 // --arc is the fraction of the full orbit the walkthrough covers: 1.0 is
 // the legacy whole-orbit keyframe sweep (cameras too far apart to reuse
@@ -33,6 +34,14 @@
 // pruned fidelity: the PSNR column then shows the quality cost while the
 // cache column's traffic shrinks. "off" forces L0 everywhere and keeps
 // the bit-identical guarantee.
+//
+// --floor_pct pins every group's coarsest payload at open under the given
+// budget (percent of the decoded scene) — the always-resident floor; with
+// --deadline_ms, a demand fetch that would run past the per-frame deadline
+// renders that group from the floor this frame instead of stalling
+// ("fallback" markers in the cache column) and re-queues the wanted tier
+// at urgent priority. Without a floor the deadline has nothing to fall
+// back on and acquire blocks exactly as before.
 // --trace exports the run's observability artifacts: a Chrome Trace Event /
 // Perfetto-compatible span timeline of every pipeline stage, cache fetch,
 // and prefetch batch (load the JSON in https://ui.perfetto.dev), plus a
@@ -85,6 +94,13 @@ constexpr const char* kUsage =
   --lod <policy>        LOD streaming policy for --out_of_core:
                         off | quality | balanced | aggressive (default off;
                         "off" keeps frames bit-identical to resident)
+  --floor_pct <f>       pin an always-resident coarse floor under this
+                        budget, in percent of the decoded scene (default 0
+                        = no floor; the store then gets a pruned coarse
+                        tier even when --lod is off)
+  --deadline_ms <f>     per-frame demand-fetch deadline; a fetch past it
+                        serves the coarse floor instead of stalling
+                        (default 0 = block like the pre-deadline loader)
   --trace <path>        export a Chrome Trace Event / Perfetto JSON span
                         timeline to <path> and per-frame metrics snapshots
                         to <path>.metrics.jsonl (tracing changes no pixel)
@@ -113,6 +129,8 @@ int main(int argc, char** argv) {
   const bool out_of_core = args.get_bool("out_of_core", false);
   const int cache_mb = args.get_int("cache_mb", 0);
   const std::string lod_name = args.get("lod", "off");
+  const double floor_pct = args.get_double("floor_pct", 0.0);
+  const double deadline_ms = args.get_double("deadline_ms", 0.0);
   const stream::LodPolicy lod_policy = stream::lod_policy_from_name(lod_name);
   if (args.get_bool("force_scalar", false)) {
     simd::force_isa(simd::IsaLevel::kScalar);
@@ -182,8 +200,12 @@ int main(int argc, char** argv) {
     const std::string store_path = "/tmp/vr_walkthrough.sgsc";
     stream::AssetStoreWriteOptions wopts;
     // An adaptive policy needs the pruned payload tiers on disk; "off"
-    // keeps the plain single-tier (v1) store of the bit-exact path.
+    // keeps the plain single-tier (v1) store of the bit-exact path. A
+    // floor needs a cheap coarse tier to pin regardless of the policy.
     wopts.tier_count = lod_policy.force_tier0 ? 1 : 3;
+    if (floor_pct > 0.0) {
+      wopts = stream::AssetStoreWriteOptions::with_coarse_floor();
+    }
     try {
       if (!stream::AssetStore::write(store_path, scene_prepared, wopts)) {
         std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
@@ -202,9 +224,18 @@ int main(int argc, char** argv) {
     ccfg.budget_bytes = cache_mb > 0
                             ? static_cast<std::uint64_t>(cache_mb) << 20
                             : store->decoded_bytes_total() * 35 / 100;
+    if (floor_pct > 0.0) {
+      ccfg.coarse_floor_budget_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(store->decoded_bytes_total()) * floor_pct /
+          100.0);
+    }
     cache = std::make_unique<stream::ResidencyCache>(*store, ccfg);
     stream::PrefetchConfig pcfg;
     pcfg.lod = lod_policy;
+    if (deadline_ms > 0.0) {
+      pcfg.fetch_deadline_ns =
+          static_cast<std::uint64_t>(deadline_ms * 1e6);
+    }
     loader = std::make_unique<stream::StreamingLoader>(*cache, pcfg);
     scene_ooc = store->make_scene();
     active_scene = &scene_ooc;
@@ -215,6 +246,20 @@ int main(int argc, char** argv) {
                 store->group_count(),
                 format_bytes(static_cast<double>(ccfg.budget_bytes)).c_str(),
                 lod_name.c_str());
+    if (floor_pct > 0.0) {
+      // The floor is all-or-nothing: over budget it disables itself and
+      // the deadline degenerates to the blocking path (open() reports
+      // which happened).
+      std::printf("coarse floor: %s (%s pinned = %.2f%% of the decoded "
+                  "scene), demand deadline %s\n",
+                  cache->coarse_floor_enabled() ? "enabled" : "DISABLED",
+                  format_bytes(static_cast<double>(cache->coarse_floor_bytes()))
+                      .c_str(),
+                  100.0 * static_cast<double>(cache->coarse_floor_bytes()) /
+                      static_cast<double>(store->decoded_bytes_total()),
+                  deadline_ms > 0.0 ? (std::to_string(deadline_ms) + " ms").c_str()
+                                    : "none (blocking)");
+    }
   }
   core::SequenceRenderer sequence(*active_scene, seq_options, loader.get());
 
@@ -226,6 +271,7 @@ int main(int argc, char** argv) {
   core::StageTimingsNs stage_total;
   core::StreamCacheStats cache_total;
   int stall_frames = 0;
+  int fallback_frames = 0;
   std::array<std::uint64_t, core::kLodTierCount> tier_requests{};
   int degraded_frames = 0;
   for (int f = 0; f < frames; ++f) {
@@ -252,8 +298,10 @@ int main(int argc, char** argv) {
             sel.histogram[static_cast<std::size_t>(t)];
       }
       if (sel.demoted > 0) ++degraded_frames;
-      std::snprintf(cache_col, sizeof(cache_col), " | %4.0f%%%s",
-                    100.0 * cs.hit_rate(), cs.misses > 0 ? " stall" : "");
+      if (cs.coarse_fallbacks > 0) ++fallback_frames;
+      std::snprintf(cache_col, sizeof(cache_col), " | %4.0f%%%s%s",
+                    100.0 * cs.hit_rate(), cs.misses > 0 ? " stall" : "",
+                    cs.coarse_fallbacks > 0 ? " fallback" : "");
     }
     std::printf("%6d %8.2fdB %10s %5s | %9.1f %9.1f %11.1f | %s%s\n", f,
                 metrics::psnr_capped(streamed.image, reference.image),
@@ -295,6 +343,13 @@ int main(int argc, char** argv) {
                 format_bytes(static_cast<double>(cache_total.bytes_fetched))
                     .c_str(),
                 stall_frames, frames);
+    if (fallback_frames > 0) {
+      std::printf("deadline: %d/%d frames served %llu group reads from the "
+                  "coarse floor instead of stalling\n",
+                  fallback_frames, frames,
+                  static_cast<unsigned long long>(
+                      cache_total.coarse_fallbacks));
+    }
     std::printf("lod (%s): tier requests L0/L1/L2 = %llu/%llu/%llu, "
                 "%llu upgrades, %d budget-degraded frames\n",
                 lod_name.c_str(),

@@ -28,6 +28,15 @@ inline std::uint64_t stage_clock_ns() {
           .count());
 }
 
+// Sentinel for "no demand-fetch deadline": a frame (or acquire) carrying it
+// keeps the blocking pre-deadline behavior — a demand miss stalls the
+// render worker until the fetch lands. Any other value is a deadline on the
+// stage clock above (absolute at the cache seam, relative per-frame in
+// SequenceOptions / FrameIntent / PrefetchConfig); an acquire whose fetch
+// would run past it is served from the residency cache's always-resident
+// coarse floor instead of blocking.
+inline constexpr std::uint64_t kNoFetchDeadline = ~std::uint64_t{0};
+
 // Wall-clock nanoseconds the software model spent in each pipeline stage.
 // Filled only when stage timing is enabled (StreamingRenderOptions /
 // SequenceOptions); all-zero otherwise. Timing is diagnostic metadata: it
@@ -111,6 +120,16 @@ struct StreamCacheStats {
                                      // for a session scope: distinct failed
                                      // groups this session touched
 
+  // Zero-stall streaming (trace v7). A demand acquire whose fetch would
+  // run past the frame's deadline is served from the cache's pinned coarse
+  // floor (or a stale resident tier) instead of blocking — counted as a
+  // hit at the served tier, with the fallback recorded here exactly once
+  // per (frame, group) by the frame-aware front-ends (StreamingLoader /
+  // serve::SessionSource), so per-session counters sum to the shared
+  // cache's global value. A subset of hits; zero with a generous deadline,
+  // a disabled floor, or a single-tier store.
+  std::uint64_t coarse_fallbacks = 0;
+
   std::uint64_t accesses() const { return hits + misses; }
   double hit_rate() const {
     return accesses() == 0
@@ -133,6 +152,7 @@ struct StreamCacheStats {
     fetch_errors += o.fetch_errors;
     degraded_groups += o.degraded_groups;
     failed_groups += o.failed_groups;
+    coarse_fallbacks += o.coarse_fallbacks;
   }
   // Per-frame delta between two cumulative snapshots of a source's counters
   // (all fields are monotone).
@@ -154,6 +174,7 @@ struct StreamCacheStats {
     d.fetch_errors = fetch_errors - earlier.fetch_errors;
     d.degraded_groups = degraded_groups - earlier.degraded_groups;
     d.failed_groups = failed_groups - earlier.failed_groups;
+    d.coarse_fallbacks = coarse_fallbacks - earlier.coarse_fallbacks;
     return d;
   }
 };

@@ -53,6 +53,7 @@ bool write_trace(std::ostream& out, const StreamingTrace& trace) {
   put<std::uint64_t>(out, trace.cache.fetch_errors);
   put<std::uint64_t>(out, trace.cache.degraded_groups);
   put<std::uint64_t>(out, trace.cache.failed_groups);
+  put<std::uint64_t>(out, trace.cache.coarse_fallbacks);
   put<std::uint64_t>(out, trace.groups.size());
   for (const GroupWork& g : trace.groups) {
     put<std::uint32_t>(out, g.rays);
@@ -119,6 +120,7 @@ StreamingTrace read_trace(std::istream& in) {
   trace.cache.fetch_errors = get<std::uint64_t>(in);
   trace.cache.degraded_groups = get<std::uint64_t>(in);
   trace.cache.failed_groups = get<std::uint64_t>(in);
+  trace.cache.coarse_fallbacks = get<std::uint64_t>(in);
   const std::uint64_t n_groups = get<std::uint64_t>(in);
   // Sanity cap: one group per pixel is the theoretical maximum.
   if (n_groups > trace.pixel_count + 1) {

@@ -24,7 +24,10 @@ inline constexpr std::uint32_t kTraceMagic = 0x54534753;  // "SGST"
 //     failed_groups (fault-isolated streaming).
 // v6: per-group fetch/decode stage timings — synchronous miss stall time
 //     split out of the render stages (observability).
-inline constexpr std::uint32_t kTraceVersion = 6;
+// v7: coarse_fallbacks — demand acquires served from the always-resident
+//     coarse floor because their fetch would have missed the frame's
+//     deadline (zero-stall streaming).
+inline constexpr std::uint32_t kTraceVersion = 7;
 
 // Returns false on IO failure.
 bool write_trace(std::ostream& out, const StreamingTrace& trace);

@@ -25,6 +25,7 @@ void publish_cache_stats(const core::StreamCacheStats& stats,
   set_gauge(prefix + ".fetch_errors", stats.fetch_errors);
   set_gauge(prefix + ".degraded_groups", stats.degraded_groups);
   set_gauge(prefix + ".failed_groups", stats.failed_groups);
+  set_gauge(prefix + ".coarse_fallbacks", stats.coarse_fallbacks);
 }
 
 void publish_stage_timings(const core::StageTimingsNs& timings,

@@ -15,7 +15,8 @@
 namespace sgs::obs {
 
 // StreamCacheStats -> gauges: hits, misses, prefetches, evictions,
-// bytes_fetched, upgrades, fetch_errors, degraded_groups, failed_groups.
+// bytes_fetched, upgrades, fetch_errors, degraded_groups, failed_groups,
+// coarse_fallbacks.
 void publish_cache_stats(const core::StreamCacheStats& stats,
                          const std::string& prefix = "cache");
 

@@ -40,6 +40,19 @@ void SessionSource::begin_frame(
         selection_.histogram[static_cast<std::size_t>(t)];
   }
   if (selection_.demoted > 0) ++degraded_frames_;
+  // Resolve this frame's demand-fetch deadline to an absolute stage-clock
+  // instant: the intent's budget wins over the queue config's default.
+  const std::uint64_t rel =
+      intent.fetch_deadline_ns != stream::kNoFetchDeadline
+          ? intent.fetch_deadline_ns
+          : queue_->config().fetch_deadline_ns;
+  frame_deadline_ns_ = rel == stream::kNoFetchDeadline
+                           ? stream::kNoFetchDeadline
+                           : core::stage_clock_ns() + rel;
+  {
+    std::lock_guard<std::mutex> lk(fallback_mutex_);
+    fallback_seen_.clear();
+  }
   queue_->enqueue(intent, &session_stats_, &lod_);
 }
 
@@ -49,9 +62,26 @@ void SessionSource::end_frame() {
 }
 
 stream::GroupView SessionSource::acquire(voxel::DenseVoxelId v) {
+  const int tier = selection_.tier_of(v);
   const stream::AcquireOutcome outcome =
-      cache_->acquire_outcome(v, selection_.tier_of(v));
+      cache_->acquire_outcome(v, tier, frame_deadline_ns_);
   session_stats_.record_acquire(outcome);
+  if (outcome.coarse_fallback) {
+    bool first = false;
+    {
+      std::lock_guard<std::mutex> lk(fallback_mutex_);
+      first = fallback_seen_.insert(v).second;
+    }
+    if (first) {
+      // Once per (frame, group), credited to BOTH scopes from the same
+      // dedup site — per-session coarse_fallbacks sum exactly to the
+      // shared cache's counter.
+      session_stats_.record_coarse_fallback();
+      cache_->record_coarse_fallback();
+      queue_->requeue_urgent(v, static_cast<std::uint8_t>(tier),
+                             &session_stats_);
+    }
+  }
   return outcome.view;
 }
 
@@ -73,6 +103,7 @@ struct SceneServer::Session {
   core::SequenceRenderer renderer;
   obs::LogHistogram frame_ns;  // frame wall time; O(1) memory per session
   std::size_t stall_frames = 0;
+  std::size_t fallback_frames = 0;
   std::size_t error_frames = 0;
 };
 
@@ -106,6 +137,7 @@ core::StreamingRenderResult SceneServer::render_frame(
   obs::MetricsRegistry::global().observe(frame_ns_metric_,
                                          result.frame_wall_ns);
   if (result.trace.cache.misses > 0) ++s.stall_frames;
+  if (result.trace.cache.coarse_fallbacks > 0) ++s.fallback_frames;
   if (result.trace.cache.fetch_errors > 0 ||
       result.trace.cache.degraded_groups > 0) {
     ++s.error_frames;
@@ -151,12 +183,14 @@ ServerReport SceneServer::report() const {
     sr.p99_ms = percentile_ms(sr.latency, 0.99);
     sr.cache = s.source.stats();
     sr.stall_frames = s.stall_frames;
+    sr.fallback_frames = s.fallback_frames;
     sr.plans_built = s.renderer.stats().plans_built;
     sr.plans_reused = s.renderer.stats().plans_reused;
     sr.tier_requests = s.source.tier_requests();
     sr.degraded_frames = s.source.degraded_frames();
     sr.error_frames = s.error_frames;
     rep.stall_frames += sr.stall_frames;
+    rep.fallback_frames += sr.fallback_frames;
     rep.latency.merge(sr.latency);
     rep.sessions.push_back(std::move(sr));
   }
@@ -180,6 +214,8 @@ ServerReport SceneServer::report() const {
           static_cast<std::uint64_t>(rep.sessions.size()));
   reg.set(reg.gauge("serve.stall_frames"),
           static_cast<std::uint64_t>(rep.stall_frames));
+  reg.set(reg.gauge("serve.fallback_frames"),
+          static_cast<std::uint64_t>(rep.fallback_frames));
   reg.set(reg.gauge("serve.merged_prefetch_requests"),
           rep.merged_prefetch_requests);
   obs::publish_cache_stats(rep.shared_cache, "serve.cache");

@@ -36,7 +36,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "core/render_sequence.hpp"
@@ -74,6 +77,15 @@ class SessionSource final : public stream::GroupSource {
   void release(voxel::DenseVoxelId v) override;
   core::StreamCacheStats stats() const override;
 
+  // Deadline support (zero-stall serving): begin_frame resolves the
+  // intent's (or the queue config's) relative fetch budget to an absolute
+  // stage-clock deadline; an acquire that would still be fetching past it
+  // is served from the shared cache's coarse floor instead of blocking.
+  // The first floor-serve of each (frame, group) increments this session's
+  // AND the shared cache's coarse_fallbacks — so per-session counters sum
+  // exactly to the global one — and re-queues the wanted tier at
+  // kUrgentPriority on the shared queue.
+  //
   // Frames whose tier selection was demoted below the footprint-ideal tier
   // by the policy's byte budget — the "quality gave way to bandwidth"
   // signal a server operator watches.
@@ -93,6 +105,13 @@ class SessionSource final : public stream::GroupSource {
   std::vector<voxel::DenseVoxelId> pinned_;  // this session's frame pins
   std::array<std::uint64_t, core::kLodTierCount> tier_requests_{};
   std::size_t degraded_frames_ = 0;
+  // This frame's absolute demand-fetch deadline (kNoFetchDeadline = block).
+  std::uint64_t frame_deadline_ns_ = stream::kNoFetchDeadline;
+  // Groups already served from the coarse floor this frame: acquire() runs
+  // concurrently on pool workers, but the fallback count and urgent
+  // re-queue must fire once per (frame, group).
+  std::mutex fallback_mutex_;
+  std::unordered_set<voxel::DenseVoxelId> fallback_seen_;
 };
 
 struct SceneServerConfig {
@@ -128,6 +147,11 @@ struct SessionReport {
                                  // shows up ONLY in the sessions that
                                  // actually streamed it.
   std::size_t stall_frames = 0;  // frames with >= 1 demand miss
+  // Frames with >= 1 group served from the shared cache's coarse floor
+  // because its fetch missed the frame deadline. With a deadline and a
+  // floor in force, stall_frames stays 0 and these frames carry the cost
+  // as bounded quality loss instead of latency.
+  std::size_t fallback_frames = 0;
   std::size_t plans_built = 0;
   std::size_t plans_reused = 0;
   // LOD: plan-group tier requests over all frames, and frames whose
@@ -157,6 +181,8 @@ struct ServerReport {
   double p99_ms = 0.0;
   obs::LogHistogram latency;
   std::size_t stall_frames = 0;
+  // Sum of the sessions' fallback_frames (coarse-floor deadline serves).
+  std::size_t fallback_frames = 0;
   // Exceptions the async prefetch lane captured instead of terminating on
   // since this server was constructed (the lane's counter is process-wide;
   // the report scopes it to this server's lifetime — see
@@ -206,6 +232,12 @@ class SceneServer {
 
   // Blocks until all queued prefetch batches have landed.
   void wait_idle() const;
+
+  // Requests still pending in the shared priority queue — 0 after a
+  // wait_idle with no frames in flight (no session's work starves).
+  std::size_t pending_prefetch_requests() const {
+    return queue_.pending_requests();
+  }
 
   stream::ResidencyCache& cache() { return cache_; }
   const core::StreamingScene& scene() const { return scene_; }

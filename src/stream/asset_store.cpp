@@ -132,6 +132,21 @@ void write_record(std::ostream& out, const core::StreamingScene& scene,
 
 }  // namespace
 
+AssetStoreWriteOptions AssetStoreWriteOptions::with_coarse_floor(float keep) {
+  AssetStoreWriteOptions opts;
+  opts.tier_count = kLodTierCount;
+  // Clamp away degenerate floors: keep == 0 would still emit one resident
+  // per group (the writer's floor), and keep == 1 would make the "coarse"
+  // tier as expensive to pin as the scene itself.
+  const float k = std::clamp(keep, 0.01f, 0.5f);
+  opts.tiers = {
+      TierSpec{1.0f, gs::kShCoeffCount},  // L0: everything, exact
+      TierSpec{1.0f, 4},                  // L1: SH band <= 1
+      TierSpec{k, 1},                     // floor: heavily pruned, DC only
+  };
+  return opts;
+}
+
 bool AssetStore::write(const std::string& path,
                        const core::StreamingScene& scene,
                        const AssetStoreWriteOptions& options) {

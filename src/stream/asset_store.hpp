@@ -135,6 +135,14 @@ struct AssetStoreWriteOptions {
       TierSpec{1.0f, 4},                  // L1: SH band <= 1
       TierSpec{0.85f, 1},                 // L2: DC only, lightly pruned
   };
+
+  // Options for a store whose LAST tier is a dedicated coarse-floor
+  // payload: L1 keeps every resident at SH band <= 1, while the final tier
+  // prunes to the top `keep` fraction at DC only — small enough that a
+  // ResidencyCache can pin every group's floor under a few % of the
+  // scene's decoded bytes (the budget counts decoded records, so the floor
+  // cost scales with kept residents, not with SH truncation).
+  static AssetStoreWriteOptions with_coarse_floor(float keep = 0.04f);
 };
 
 class AssetStore {
@@ -164,6 +172,14 @@ class AssetStore {
   std::size_t gaussian_count() const { return gaussian_count_; }
   // Payload tiers this store carries (1 for v1 files).
   int tier_count() const { return tier_count_; }
+  // The residency-hierarchy capability open() reports: true when the store
+  // carries a cheaper-than-L0 tier a ResidencyCache can pin as its
+  // always-resident coarse floor. A v1 (single-tier) store reports false,
+  // and deadline-driven callers fall back to the blocking demand-fetch
+  // path on it.
+  bool has_coarse_tier() const { return tier_count_ > 1; }
+  // The floor tier itself — the store's cheapest payload tier.
+  int coarse_tier() const { return tier_count_ - 1; }
   // SH coefficients stored per record at `tier` (kShCoeffCount at L0).
   int tier_sh_coeffs(int tier) const {
     return tier_sh_[static_cast<std::size_t>(tier)];

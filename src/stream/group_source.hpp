@@ -53,6 +53,9 @@ struct GroupView {
   float max_scale(std::size_t k) const { return cols->max_scale[first + k]; }
 };
 
+// Sentinel for "no demand-fetch deadline" (see core/streaming_trace.hpp).
+using core::kNoFetchDeadline;
+
 // What the frame driver knows when a frame starts; prefetchers rank
 // non-resident groups against the camera inflated by the motion envelope.
 struct FrameIntent {
@@ -61,6 +64,14 @@ struct FrameIntent {
   // renderer's reuse envelope). Zero means single-frame rendering.
   float motion_translation = 0.0f;
   float motion_rotation_rad = 0.0f;
+  // Per-frame demand-fetch budget, RELATIVE nanoseconds from begin_frame
+  // (the frame's deadline on core::stage_clock_ns is begin_frame + this).
+  // kNoFetchDeadline keeps demand misses blocking; 0 expires immediately,
+  // so every miss of a floor-backed group serves the coarse tier — the
+  // deterministic zero-stall setting. Deadline-aware sources
+  // (StreamingLoader, serve::SessionSource) fall back to their
+  // PrefetchConfig::fetch_deadline_ns when the intent carries the sentinel.
+  std::uint64_t fetch_deadline_ns = kNoFetchDeadline;
 };
 
 class GroupSource {

@@ -32,7 +32,8 @@ float group_footprint_px(const AssetStore& store, const FrameIntent& intent,
 int select_group_tier(const AssetStore& store, const FrameIntent& intent,
                       voxel::DenseVoxelId v, const LodPolicy& policy) {
   if (policy.force_tier0 || intent.camera == nullptr) return 0;
-  const int store_max = store.tier_count() - 1;
+  int store_max = store.tier_count() - 1;
+  if (policy.reserve_coarse_tier && store_max > 0) --store_max;
   const int max_tier = std::clamp(policy.max_tier, 0, store_max);
   if (max_tier == 0) return 0;
   const float fp = group_footprint_px(store, intent, v);
@@ -71,7 +72,8 @@ TierSelection select_frame_tiers(
   // estimate charges every group's tier payload as if it had to be fetched
   // — deliberately blind to residency, so selection stays a pure function
   // of the camera (see header).
-  const int store_max = store.tier_count() - 1;
+  int store_max = store.tier_count() - 1;
+  if (policy.reserve_coarse_tier && store_max > 0) --store_max;
   const int max_tier = std::clamp(policy.max_tier, 0, store_max);
   if (policy.frame_fetch_budget_bytes > 0 && !policy.force_tier0 &&
       max_tier > 0) {

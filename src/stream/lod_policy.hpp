@@ -42,6 +42,13 @@ struct LodPolicy {
   int max_tier = kLodTierCount - 1;
   // Worst-case per-frame fetch-byte target for demotion; 0 disables.
   std::uint64_t frame_fetch_budget_bytes = 0;
+  // Keep the store's coarsest tier out of deliberate selection: on a >1
+  // tier store, adaptive requests clamp to tier_count - 2. Set when the
+  // store was written with AssetStoreWriteOptions::with_coarse_floor —
+  // there the last tier is a heavily-pruned fallback reserved for the
+  // residency cache's always-resident floor, not a quality level a camera
+  // should ever ask for on purpose.
+  bool reserve_coarse_tier = false;
   // Request L0 everywhere (bit-exact out-of-core rendering).
   bool force_tier0 = false;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "obs/trace.hpp"
@@ -12,7 +13,60 @@ ResidencyCache::ResidencyCache(const AssetStore& store,
                                ResidencyCacheConfig config)
     : store_(&store),
       config_(config),
-      entries_(static_cast<std::size_t>(store.group_count())) {}
+      entries_(static_cast<std::size_t>(store.group_count())) {
+  if (config_.coarse_floor_budget_bytes > 0 && store.has_coarse_tier()) {
+    pin_coarse_floor();
+  }
+}
+
+void ResidencyCache::pin_coarse_floor() {
+  const int tier = store_->coarse_tier();
+  const auto dir = store_->directory();
+  // Predict the decoded floor from the directory alone: decoded records are
+  // fixed-width columns, so the floor costs kept-residents x
+  // kBytesPerRecord regardless of SH truncation. All-or-nothing: a floor
+  // that does not fit is disabled before a single byte is read — a partial
+  // floor would let acquire "never block" for some groups and stall on the
+  // rest, the worst of both behaviors.
+  std::uint64_t predicted = 0;
+  for (const AssetDirEntry& e : dir) {
+    predicted += std::uint64_t{e.tiers[static_cast<std::size_t>(tier)].count} *
+                 gs::GaussianColumns::kBytesPerRecord;
+  }
+  if (predicted > config_.coarse_floor_budget_bytes) {
+    SGS_TRACE_INSTANT("cache", "coarse_floor_disabled", "predicted_bytes",
+                      predicted, "budget_bytes",
+                      config_.coarse_floor_budget_bytes);
+    return;
+  }
+  SGS_TRACE_SPAN("cache", "pin_coarse_floor", "groups",
+                 static_cast<std::uint64_t>(dir.size()));
+  floor_.resize(entries_.size());
+  floor_present_.assign(entries_.size(), 0);
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    if (dir[i].count == 0) continue;  // empty groups need no floor payload
+    const auto v = static_cast<voxel::DenseVoxelId>(i);
+    StreamResult<DecodedGroup> read = store_->read_group_checked(v, tier);
+    if (!read.ok()) {
+      // A hole, not a poisoned runtime state: this group's demand path
+      // keeps its full retry budget — only the one-shot floor pin is
+      // missing, so its acquires fall back to the blocking path.
+      ++stats_.fetch_errors;
+      entries_[i].last_error =
+          std::make_shared<const StreamError>(read.take_error());
+      continue;
+    }
+    floor_[i] = read.take();
+    floor_bytes_ += floor_[i].resident_bytes();
+    floor_present_[i] = 1;
+  }
+  coarse_tier_ = tier;
+}
+
+void ResidencyCache::record_coarse_fallback() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  ++stats_.coarse_fallbacks;
+}
 
 void ResidencyCache::begin_frame(
     const FrameIntent&, std::span<const voxel::DenseVoxelId> plan_voxels) {
@@ -77,19 +131,38 @@ GroupView ResidencyCache::acquire(voxel::DenseVoxelId v) {
   return acquire_outcome(v).view;
 }
 
-AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
-                                               int tier) {
+AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v, int tier,
+                                               std::uint64_t deadline_ns) {
   std::unique_lock<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
   AcquireOutcome out;
   out.group = v;
   out.requested_tier = tier;
+  // The deadline can only divert to a payload that exists: the pinned
+  // floor (immutable after construction) or a stale resident tier
+  // (re-checked at the decision points — residency moves while we wait).
+  const bool floor_here = coarse_floor_resident(v);
+  bool fallback = false;
   for (;;) {
     if (e.loading) {
-      // Another worker (or the prefetcher) is fetching this group; its
-      // arrival serves this acquire without paying a fetch: a hit, as long
-      // as the arriving tier satisfies the request (re-checked below).
-      cv_.wait(lk, [&e] { return !e.loading; });
+      if (deadline_ns != kNoFetchDeadline && (floor_here || e.resident)) {
+        // Someone else's fetch is in flight. Sleeping past the deadline is
+        // exactly the stall the deadline exists to kill: wait only until
+        // it, then serve the fallback (the in-flight fetch still lands and
+        // serves future frames).
+        const auto until = std::chrono::steady_clock::time_point(
+            std::chrono::nanoseconds(deadline_ns));
+        if (!cv_.wait_until(lk, until, [&e] { return !e.loading; })) {
+          fallback = true;
+          break;
+        }
+      } else {
+        // Another worker (or the prefetcher) is fetching this group; its
+        // arrival serves this acquire without paying a fetch: a hit, as
+        // long as the arriving tier satisfies the request (re-checked
+        // below).
+        cv_.wait(lk, [&e] { return !e.loading; });
+      }
       continue;
     }
     if (e.resident && e.tier <= tier) {
@@ -119,6 +192,15 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
       out.error = e.last_error;
       break;
     }
+    // Deadline gate: the wanted fetch would block past the deadline. With
+    // a fallback payload available, serve it instead of the disk; without
+    // one, fall through to the blocking path — a deadline bounds stalls,
+    // it never invents pixels.
+    if (deadline_ns != kNoFetchDeadline && (floor_here || e.resident) &&
+        core::stage_clock_ns() >= deadline_ns) {
+      fallback = true;
+      break;
+    }
     ++stats_.misses;
     ++stats_.tier_misses[static_cast<std::size_t>(tier)];
     const bool upgrade_attempt = e.resident;
@@ -143,8 +225,8 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
     out.missed = true;
     out.bytes_fetched = e.group.payload_bytes;
   }
-  // Pin on every path — including degraded empty views — so the caller's
-  // unconditional release() stays balanced.
+  // Pin on every path — including degraded empty views and floor serves —
+  // so the caller's unconditional release() stays balanced.
   ++e.pins;
   if (e.resident) {
     touch_locked(e, v);
@@ -152,9 +234,39 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v,
     // group pinned the pass could otherwise evict the group this very call
     // just fetched (fetch_locked defers eviction for exactly that reason).
     if (out.missed) evict_over_budget_locked();
+    if (fallback) {
+      // Stale-tier fallback: served what is already here, no disk touch —
+      // a hit at the stale tier (the caller paid no fetch). The front-end
+      // re-queues the wanted tier as an urgent prefetch.
+      ++stats_.hits;
+      ++stats_.tier_hits[static_cast<std::size_t>(e.tier)];
+      out.coarse_fallback = true;
+      SGS_TRACE_INSTANT("cache", "coarse_fallback", "group",
+                        static_cast<std::uint64_t>(v), "tier",
+                        static_cast<std::uint64_t>(e.tier));
+    }
     out.served_tier = e.tier;
     out.view.model_indices = e.group.model_indices;
     out.view.cols = &e.group.cols;
+    out.view.first = 0;
+  } else if (fallback || (out.degraded && floor_here)) {
+    // Floor serve: the pinned coarse payload, immortal for the cache's
+    // lifetime — the view needs no residency protection (the pin above
+    // only keeps release() balanced). A deadline fallback counts as a hit
+    // at the floor tier; a degraded (error-state) serve keeps its miss
+    // accounting and merely upgrades the empty view to the floor payload.
+    const DecodedGroup& g = floor_[static_cast<std::size_t>(v)];
+    if (fallback) {
+      ++stats_.hits;
+      ++stats_.tier_hits[static_cast<std::size_t>(coarse_tier_)];
+      out.coarse_fallback = true;
+      SGS_TRACE_INSTANT("cache", "coarse_fallback", "group",
+                        static_cast<std::uint64_t>(v), "tier",
+                        static_cast<std::uint64_t>(coarse_tier_));
+    }
+    out.served_tier = coarse_tier_;
+    out.view.model_indices = g.model_indices;
+    out.view.cols = &g.cols;
     out.view.first = 0;
   } else {
     // Nothing to serve: an empty view the pipeline streams zero residents

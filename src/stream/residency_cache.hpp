@@ -62,6 +62,27 @@
 // a bounded number of disk touches total, never a refetch storm.
 // Counters: fetch_errors / degraded_groups / failed_groups in stats()
 // (trace v5; failed_groups counts groups with >= 1 failed tier, once).
+//
+// Residency hierarchy (the zero-stall floor): when the config carries a
+// coarse_floor_budget_bytes and the store has a cheaper-than-L0 tier
+// (AssetStore::has_coarse_tier), construction pins every group's CHEAPEST
+// tier into a separate floor arena — charged against the floor budget, not
+// budget_bytes; never in the LRU; never evictable — so acquire can always
+// return *something* without touching the disk. Deadline-aware acquires
+// (acquire_outcome with a deadline on core::stage_clock_ns) that would
+// have to block past the deadline are served the group's best
+// immediately-available payload instead: a stale resident tier when one is
+// there, the floor otherwise. Such serves count as hits at the served tier
+// with outcome.coarse_fallback set; frame-aware front-ends dedup the flag
+// per (frame, group) into stats().coarse_fallbacks (trace v7) via
+// record_coarse_fallback(). The floor also backstops error-state serves:
+// a degraded acquire with a floor payload renders the coarse tier instead
+// of an empty view. The floor is all-or-nothing against its budget
+// (predicted from the directory before any read; too big = disabled, the
+// pre-floor blocking behavior), but per-group read errors at open only
+// leave holes. One-time open traffic is reported by coarse_floor_bytes(),
+// not mixed into stats() — per-session prefetch attribution must keep
+// summing to the global counters.
 #pragma once
 
 #include <array>
@@ -94,6 +115,14 @@ struct ResidencyCacheConfig {
   int max_fetch_attempts = 3;
   std::uint32_t retry_backoff_base = 4;
   std::uint32_t retry_backoff_cap = 64;
+  // Always-resident coarse floor, a SEPARATE budget from budget_bytes
+  // (decoded bytes, like the main budget — a few % of the scene is the
+  // intended scale). 0 disables the floor. When > 0 and the store has a
+  // coarse tier, construction pins every group's cheapest tier for the
+  // cache's lifetime; when the directory-predicted floor exceeds this
+  // budget the floor is disabled outright (all-or-nothing, so a partially
+  // pinned floor can never masquerade as zero-stall coverage).
+  std::uint64_t coarse_floor_budget_bytes = 0;
 };
 
 // What one prefetch request actually did.
@@ -135,6 +164,13 @@ struct AcquireOutcome {
   bool fetch_errored = false;
   bool group_failed = false;
   std::shared_ptr<const StreamError> error;
+  // Deadline fallback: the fetch this acquire wanted would have run past
+  // the caller's deadline, so the view was served from the group's best
+  // immediately-available payload (a stale resident tier, else the pinned
+  // coarse floor) without touching the disk. Counted as a hit at
+  // served_tier; the caller's frame front-end dedups this flag per
+  // (frame, group) into StreamCacheStats::coarse_fallbacks.
+  bool coarse_fallback = false;
 };
 
 class ResidencyCache final : public GroupSource {
@@ -179,7 +215,18 @@ class ResidencyCache final : public GroupSource {
   // as a miss plus `upgrades`; the refetch reads only this group). The
   // upgrade waits for outstanding views of the stale payload to drain
   // before replacing it; callers never see buffers swap under a live view.
-  AcquireOutcome acquire_outcome(voxel::DenseVoxelId v, int tier = 0);
+  //
+  // Deadline semantics (`deadline_ns`, absolute on core::stage_clock_ns;
+  // kNoFetchDeadline = the blocking behavior above, bit-for-bit): when a
+  // fetch is wanted but the deadline has passed — or another caller's
+  // in-flight fetch of this group is still loading at the deadline — and a
+  // fallback payload exists (stale resident tier or pinned coarse floor),
+  // the acquire serves that payload immediately instead of blocking
+  // (outcome.coarse_fallback, a HIT at the served tier). With nothing to
+  // fall back on (no floor, group absent) the blocking path runs even past
+  // the deadline — a deadline bounds stalls, it never invents pixels.
+  AcquireOutcome acquire_outcome(voxel::DenseVoxelId v, int tier = 0,
+                                 std::uint64_t deadline_ns = kNoFetchDeadline);
 
   // Loader-facing --------------------------------------------------------
   // Fetches `v` at `tier` if absent, or re-fetches it at `tier` when
@@ -235,6 +282,31 @@ class ResidencyCache final : public GroupSource {
   const ResidencyCacheConfig& config() const { return config_; }
   const AssetStore& store() const { return *store_; }
 
+  // Coarse-floor introspection --------------------------------------------
+  // The floor state is immutable after construction, so these are safe to
+  // call from any thread without observing the cache mutex.
+  //
+  // True when the floor was pinned at construction (budget set, store has
+  // a coarse tier, and the predicted floor fit the floor budget).
+  bool coarse_floor_enabled() const { return coarse_tier_ >= 0; }
+  // Decoded bytes the pinned floor holds — charged against the floor
+  // budget, never against budget_bytes (and excluded from
+  // resident_bytes()). Zero when disabled.
+  std::uint64_t coarse_floor_bytes() const { return floor_bytes_; }
+  // Tier the floor pins (the store's cheapest), or -1 when disabled.
+  int coarse_tier() const { return coarse_tier_; }
+  // Whether group `v`'s floor payload is pinned (false for every group
+  // when the floor is disabled; a hole when its open-time read failed).
+  bool coarse_floor_resident(voxel::DenseVoxelId v) const {
+    return coarse_tier_ >= 0 &&
+           floor_present_[static_cast<std::size_t>(v)] != 0;
+  }
+  // Deduped fallback accounting: the frame-aware front-ends (the loader /
+  // serve::SessionSource) call this exactly once per (frame, group) whose
+  // acquire came back with outcome.coarse_fallback, so the global
+  // stats().coarse_fallbacks equals the sum of the per-session counters.
+  void record_coarse_fallback();
+
  private:
   struct Entry {
     DecodedGroup group;
@@ -273,6 +345,10 @@ class ResidencyCache final : public GroupSource {
   // woken (RAII guard) — a throwing fetch must never wedge the entry.
   bool fetch_locked(std::unique_lock<std::mutex>& lk, voxel::DenseVoxelId v,
                     int tier, bool is_prefetch);
+  // Reads every group's coarse tier into the floor arena at construction
+  // (single-threaded: no lock, no loading marks). All-or-nothing against
+  // the floor budget; per-group read errors only leave holes.
+  void pin_coarse_floor();
   void touch_locked(Entry& e, voxel::DenseVoxelId v);
   void evict_over_budget_locked();
   void pin_plan_locked(std::span<const voxel::DenseVoxelId> voxels);
@@ -292,6 +368,13 @@ class ResidencyCache final : public GroupSource {
   // mutually exclusive usages of one cache (see begin_frame).
   bool bracket_active_ = false;
   core::StreamCacheStats stats_;
+  // Coarse floor: immutable after construction (pin_coarse_floor), so
+  // deadline fallbacks read it without extending the mutex's critical
+  // section. Outside the LRU and the main budget by design.
+  std::vector<DecodedGroup> floor_;       // indexed by dense voxel id
+  std::vector<std::uint8_t> floor_present_;
+  std::uint64_t floor_bytes_ = 0;
+  int coarse_tier_ = -1;  // -1 = floor disabled
 };
 
 }  // namespace sgs::stream

@@ -81,10 +81,81 @@ std::vector<PrefetchRequest> rank_prefetch_groups(
     // the same byte budget prefetches further ahead on pruned tiers.
     const std::uint64_t b = store.tier_extent(r.id, r.tier).bytes;
     if (bytes + b > config.max_bytes_per_frame && !batch.empty()) break;
-    batch.push_back({r.id, r.tier});
+    PrefetchRequest req;
+    req.id = r.id;
+    req.tier = r.tier;
+    // The queue's ordering key IS the ranking: near-to-far camera
+    // distance, so a shared queue interleaves sessions by urgency instead
+    // of batch arrival order.
+    req.priority = r.depth;
+    batch.push_back(req);
     bytes += b;
   }
   return batch;
+}
+
+// ------------------------------------------------- PrefetchPriorityQueue --
+
+bool PrefetchPriorityQueue::push(const PrefetchRequest& request) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto [it, inserted] = pending_.try_emplace(request.id, request.tier);
+  if (!inserted) {
+    if (request.tier >= it->second) {
+      // Already pending at the same or a better tier: that fetch serves
+      // this request too.
+      ++merged_;
+      return false;
+    }
+    // Strictly better tier supersedes the pending one; the old heap node
+    // goes stale (its tier no longer matches) and is skipped at pop.
+    it->second = request.tier;
+  }
+  heap_.push_back(Node{request.priority, request.id, request.tier,
+                       request.deadline_ns, request.sink});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return true;
+}
+
+bool PrefetchPriorityQueue::pop(PrefetchRequest* out, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const Node node = heap_.back();
+    heap_.pop_back();
+    const auto it = pending_.find(node.id);
+    // Stale node: superseded by a better-tier push (its live node is still
+    // in the heap) or already served by an earlier pop.
+    if (it == pending_.end() || it->second != node.tier) continue;
+    pending_.erase(it);
+    if (node.deadline_ns != kNoFetchDeadline && now_ns >= node.deadline_ns) {
+      // The frame this request served is already over; fetching now would
+      // spend the byte budget on the past.
+      ++expired_;
+      continue;
+    }
+    out->id = node.id;
+    out->tier = node.tier;
+    out->priority = node.priority;
+    out->deadline_ns = node.deadline_ns;
+    out->sink = node.sink;
+    return true;
+  }
+  return false;
+}
+
+std::size_t PrefetchPriorityQueue::pending() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return pending_.size();
+}
+
+std::uint64_t PrefetchPriorityQueue::merged() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return merged_;
+}
+
+std::uint64_t PrefetchPriorityQueue::expired() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return expired_;
 }
 
 // ------------------------------------------------------- StreamingLoader --
@@ -103,27 +174,71 @@ void StreamingLoader::begin_frame(
   // all-L0, not leave the previous frame's pruned tiers in force.
   selection_ =
       select_frame_tiers(cache_->store(), intent, plan_voxels, config_.lod);
-  if (intent.camera == nullptr) return;
-  std::vector<PrefetchRequest> batch = rank_prefetch(intent);
-  if (batch.empty()) return;
+  // Resolve this frame's demand-fetch deadline to an absolute stage-clock
+  // instant. The intent's budget wins over the config's default.
+  const std::uint64_t rel = intent.fetch_deadline_ns != kNoFetchDeadline
+                                ? intent.fetch_deadline_ns
+                                : config_.fetch_deadline_ns;
+  frame_deadline_ns_ =
+      rel == kNoFetchDeadline ? kNoFetchDeadline : core::stage_clock_ns() + rel;
+  {
+    std::lock_guard<std::mutex> lk(fallback_mutex_);
+    fallback_seen_.clear();
+  }
+  if (intent.camera != nullptr) {
+    const std::vector<PrefetchRequest> batch = rank_prefetch(intent);
+    for (const PrefetchRequest& r : batch) queue_.push(r);
+  }
+  // Even a camera-less frame drains: urgent re-queues from the previous
+  // frame must not rot in a synchronous loader's queue.
+  if (queue_.pending() == 0) return;
   if (config_.synchronous) {
-    SGS_TRACE_SPAN("prefetch", "prefetch_batch", "requests", batch.size());
-    for (const PrefetchRequest& r : batch) cache_->prefetch(r.id, r.tier);
+    drain_queue();
   } else {
-    // One FIFO task per frame: fetches overlap this frame's rendering and
-    // are naturally superseded by the next frame's batch.
-    ResidencyCache* cache = cache_;
-    async_submit([cache, batch = std::move(batch)] {
-      SGS_TRACE_SPAN("prefetch", "prefetch_batch", "requests", batch.size());
-      for (const PrefetchRequest& r : batch) cache->prefetch(r.id, r.tier);
-    });
+    // One FIFO task per frame: fetches overlap this frame's rendering, and
+    // urgent re-queues pushed mid-frame are picked up by the same drain —
+    // or by the next frame's, whichever pops them first.
+    async_submit([this] { drain_queue(); });
+  }
+}
+
+void StreamingLoader::drain_queue() {
+  SGS_TRACE_SPAN("prefetch", "prefetch_batch", "pending", queue_.pending());
+  PrefetchRequest r;
+  while (queue_.pop(&r, core::stage_clock_ns())) {
+    cache_->prefetch(r.id, r.tier);
   }
 }
 
 void StreamingLoader::end_frame() { cache_->end_frame(); }
 
 GroupView StreamingLoader::acquire(voxel::DenseVoxelId v) {
-  return cache_->acquire_outcome(v, selection_.tier_of(v)).view;
+  const int tier = selection_.tier_of(v);
+  const AcquireOutcome outcome =
+      cache_->acquire_outcome(v, tier, frame_deadline_ns_);
+  if (outcome.coarse_fallback) {
+    bool first = false;
+    {
+      std::lock_guard<std::mutex> lk(fallback_mutex_);
+      first = fallback_seen_.insert(v).second;
+    }
+    if (first) {
+      // Once per (frame, group): count the fallback and re-queue the wanted
+      // tier ahead of every ranked candidate so the group streams in at
+      // full fidelity for the frames that follow.
+      cache_->record_coarse_fallback();
+      PrefetchRequest urgent;
+      urgent.id = v;
+      urgent.tier = static_cast<std::uint8_t>(tier);
+      urgent.priority = kUrgentPriority;
+      queue_.push(urgent);
+      if (!config_.synchronous) async_submit([this] { drain_queue(); });
+      // Synchronous mode: draining here would block the render worker —
+      // the very stall the deadline exists to avoid. The next frame's
+      // begin_frame drains it.
+    }
+  }
+  return outcome.view;
 }
 
 void StreamingLoader::release(voxel::DenseVoxelId v) { cache_->release(v); }
@@ -152,75 +267,75 @@ std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
                                          const LodPolicy* lod) {
   PrefetchConfig cfg = config_;
   if (lod != nullptr) cfg.lod = *lod;
-  const std::vector<PrefetchRequest> ranked =
+  std::vector<PrefetchRequest> ranked =
       rank_prefetch_groups(*cache_, intent, cfg);
-  if (ranked.empty()) return 0;
-
-  // Merge against every session's pending requests: a group already queued
-  // at the same or a better tier is on its way — fetching it again would
-  // only duplicate the read. A strictly better tier replaces the pending
+  // Push against every session's pending requests: a group already queued
+  // at the same or a better tier merges away — fetching it again would
+  // only duplicate the read. A strictly better tier supersedes the pending
   // mark and fetches (the cache turns it into an in-place upgrade).
-  std::vector<PrefetchRequest> fresh;
-  {
-    std::lock_guard<std::mutex> lk(mutex_);
-    fresh.reserve(ranked.size());
-    for (const PrefetchRequest& r : ranked) {
-      const auto [it, inserted] = queued_.try_emplace(r.id, r.tier);
-      if (inserted) {
-        fresh.push_back(r);
-      } else if (r.tier < it->second) {
-        it->second = r.tier;
-        fresh.push_back(r);
-      } else {
-        ++merged_;
-      }
-    }
+  std::size_t queued = 0;
+  for (PrefetchRequest& r : ranked) {
+    r.sink = sink;
+    if (queue_.push(r)) ++queued;
   }
-  if (fresh.empty()) return 0;
-
-  auto drain = [this, sink](const std::vector<PrefetchRequest>& batch) {
-    SGS_TRACE_SPAN("prefetch", "prefetch_batch", "requests", batch.size());
-    // A failed group must not abort the rest of the batch: prefetch_checked
-    // never throws, so the loop continues past per-group errors and counts
-    // them into the session's attribution sink.
-    for (const PrefetchRequest& r : batch) {
-      std::uint64_t bytes = 0;
-      const PrefetchResult result =
-          cache_->prefetch_checked(r.id, r.tier, &bytes);
-      {
-        std::lock_guard<std::mutex> lk(mutex_);
-        // Drop our pending mark — unless a later enqueue upgraded it to a
-        // better tier whose fetch is still on its way (erasing that mark
-        // would let a third session re-queue a group already in flight).
-        const auto it = queued_.find(r.id);
-        if (it != queued_.end() && it->second == r.tier) queued_.erase(it);
-      }
-      if (sink != nullptr) {
-        if (result == PrefetchResult::kFetched) {
-          sink->record_prefetch(bytes, r.tier);
-        } else if (result == PrefetchResult::kErrored) {
-          sink->record_prefetch_error();
-        }
-      }
-    }
-  };
+  if (queue_.pending() == 0) return queued;
   if (config_.synchronous) {
-    drain(fresh);
+    drain();
   } else {
-    const std::size_t n = fresh.size();
-    async_submit([drain = std::move(drain), batch = std::move(fresh)] {
-      drain(batch);
-    });
-    return n;
+    // Every drain runs the shared queue dry, most-urgent-first across all
+    // sessions — a request pushed before this drain task pops it is served
+    // no later than this task, whoever pushed it.
+    async_submit([this] { drain(); });
   }
-  return fresh.size();
+  return queued;
+}
+
+void SharedPrefetchQueue::requeue_urgent(voxel::DenseVoxelId id,
+                                         std::uint8_t tier,
+                                         SessionCacheStats* sink) {
+  PrefetchRequest r;
+  r.id = id;
+  r.tier = tier;
+  r.priority = kUrgentPriority;
+  r.sink = sink;
+  if (!queue_.push(r)) return;
+  // Synchronous mode: draining here would block the render worker that hit
+  // the deadline — the very stall the fallback avoided. The next enqueue
+  // (or an explicit one) drains it.
+  if (!config_.synchronous) async_submit([this] { drain(); });
+}
+
+void SharedPrefetchQueue::drain() {
+  SGS_TRACE_SPAN("prefetch", "prefetch_batch", "pending", queue_.pending());
+  // A failed group must not abort the rest of the queue: prefetch_checked
+  // never throws, so the loop continues past per-group errors and counts
+  // them into the requesting session's attribution sink.
+  PrefetchRequest r;
+  while (queue_.pop(&r, core::stage_clock_ns())) {
+    std::uint64_t bytes = 0;
+    const PrefetchResult result = cache_->prefetch_checked(r.id, r.tier, &bytes);
+    if (r.sink != nullptr) {
+      if (result == PrefetchResult::kFetched) {
+        r.sink->record_prefetch(bytes, r.tier);
+      } else if (result == PrefetchResult::kErrored) {
+        r.sink->record_prefetch_error();
+      }
+    }
+  }
 }
 
 void SharedPrefetchQueue::wait_idle() const { async_wait_idle(); }
 
 std::uint64_t SharedPrefetchQueue::merged_requests() const {
-  std::lock_guard<std::mutex> lk(mutex_);
-  return merged_;
+  return queue_.merged();
+}
+
+std::size_t SharedPrefetchQueue::pending_requests() const {
+  return queue_.pending();
+}
+
+std::uint64_t SharedPrefetchQueue::expired_requests() const {
+  return queue_.expired();
 }
 
 }  // namespace sgs::stream

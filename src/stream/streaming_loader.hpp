@@ -20,20 +20,32 @@
 // fetches are capped by a group-count and a byte budget — the
 // fetch-bandwidth knob — with each candidate charged at its tier's bytes.
 //
+// Prefetch scheduling is a PRIORITY queue, not a FIFO: both front-ends
+// push PrefetchRequests — priority = the ranking's near-to-far depth, ties
+// broken by ascending group id so equal-rank order is deterministic — into
+// a PrefetchPriorityQueue and drain it most-urgent-first. A demand acquire
+// that missed its frame's fetch deadline (served from the cache's coarse
+// floor, see residency_cache.hpp) re-queues its wanted tier at
+// kUrgentPriority, ahead of every ranked candidate, so the group streams
+// in at full fidelity for the following frames instead of being blocked
+// on. Requests may carry their own deadline; a request that expires before
+// its pop is dropped (expired_requests()) — its frame is already over.
+//
 // SharedPrefetchQueue is the N-session variant: every session enqueues its
-// own ranking into ONE fetch queue over ONE shared cache. Requests for a
-// group already queued by any other session at the same or a better tier
-// are merged (fetched once, counted in merged_requests()), and batches
-// drain in enqueue order on the async FIFO lane — first-come, first-served
-// across sessions.
+// own ranking into ONE priority queue over ONE shared cache. Requests for
+// a group already pending at the same or a better tier are merged (fetched
+// once, counted in merged_requests()), and every drain task runs the queue
+// dry — so no session starves: a request pushed before batch k's drain is
+// fetched no later than that drain, regardless of which session pushed it.
 //
 // Thread-safety: StreamingLoader assumes one driving session (its frame
 // bracket is the single-session GroupSource contract), but its fetches run
-// concurrently with render workers. SharedPrefetchQueue::enqueue is safe
-// from any number of session threads concurrently.
+// concurrently with render workers. SharedPrefetchQueue::enqueue and both
+// classes' fallback re-queues are safe from any number of threads.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,6 +55,8 @@
 #include "stream/residency_cache.hpp"
 
 namespace sgs::stream {
+
+class SessionCacheStats;
 
 struct PrefetchConfig {
   // Per-frame fetch-ahead caps (bandwidth budget per frame).
@@ -56,16 +70,81 @@ struct PrefetchConfig {
   // Slower (the fetch no longer overlaps rendering) but fully deterministic
   // — what the golden tests and reproducible benchmarks use.
   bool synchronous = false;
+  // Per-frame demand-fetch deadline, RELATIVE nanoseconds from
+  // begin_frame. kNoFetchDeadline keeps demand misses blocking (the
+  // bit-exact pre-floor behavior); 0 expires instantly, so every miss of a
+  // floor-backed group serves the coarse tier — deterministic zero-stall.
+  // An intent carrying its own fetch_deadline_ns overrides this.
+  std::uint64_t fetch_deadline_ns = kNoFetchDeadline;
   // Tier selection for plan groups and prefetch candidates. The defaults
   // adapt on multi-tier stores and degenerate to L0 on v1 stores;
   // lod.force_tier0 restores bit-exact out-of-core rendering everywhere.
   LodPolicy lod;
 };
 
+// Priority of deadline-fallback re-queues: sorts ahead of every ranked
+// candidate (ranking priorities are camera distances, >= 0).
+inline constexpr float kUrgentPriority = -1.0f;
+
 // One group worth fetching, at the tier the policy wants it.
 struct PrefetchRequest {
   voxel::DenseVoxelId id = 0;
   std::uint8_t tier = 0;
+  // Queue ordering key: lower pops first (the ranking stores its
+  // near-to-far camera distance here; demand re-queues use
+  // kUrgentPriority). Ties pop by ascending group id — deterministic.
+  float priority = 0.0f;
+  // Drop-dead time on core::stage_clock_ns: a request still pending at its
+  // deadline is dropped at pop (the frame that wanted it is already
+  // over). kNoFetchDeadline = never expires.
+  std::uint64_t deadline_ns = kNoFetchDeadline;
+  // Attribution sink credited if this request's fetch lands (nullable).
+  SessionCacheStats* sink = nullptr;
+};
+
+// The deduplicated, deadline-aware priority queue both prefetch front-ends
+// schedule on. push() merges against pending work: a group already pending
+// at the same or a better tier absorbs the new request (merged(),
+// dropped); a strictly better tier supersedes the pending one. pop()
+// yields the most urgent live request — lowest priority value first, ties
+// by ascending group id — dropping expired requests (expired()) on the
+// way. Thread-safe; pop order for a fixed push set is deterministic.
+class PrefetchPriorityQueue {
+ public:
+  // True when the request entered the queue; false when it was merged into
+  // a pending same-or-better request.
+  bool push(const PrefetchRequest& request);
+  // Pops the most urgent live request into *out. False when the queue ran
+  // dry. `now_ns` is the expiry clock (pass core::stage_clock_ns()).
+  bool pop(PrefetchRequest* out, std::uint64_t now_ns);
+  // Pending (pushed, not yet popped or merged-away) requests.
+  std::size_t pending() const;
+  // Requests absorbed by an already-pending same-or-better request.
+  std::uint64_t merged() const;
+  // Requests dropped at pop because their deadline had passed.
+  std::uint64_t expired() const;
+
+ private:
+  struct Node {
+    float priority = 0.0f;
+    voxel::DenseVoxelId id = 0;
+    std::uint8_t tier = 0;
+    std::uint64_t deadline_ns = kNoFetchDeadline;
+    SessionCacheStats* sink = nullptr;
+  };
+  // Min-heap order: lowest (priority, id) pops first.
+  static bool later(const Node& a, const Node& b) {
+    return a.priority != b.priority ? a.priority > b.priority : a.id > b.id;
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<Node> heap_;
+  // group -> best tier pending. A heap node whose tier no longer matches
+  // was superseded by a better-tier push and is skipped at pop (lazy
+  // deletion keeps push O(log n) without heap surgery).
+  std::unordered_map<voxel::DenseVoxelId, std::uint8_t> pending_;
+  std::uint64_t merged_ = 0;
+  std::uint64_t expired_ = 0;
 };
 
 // Fetch-worthy groups for `intent` against `cache`'s store, best first
@@ -102,9 +181,19 @@ class SessionCacheStats {
       stats_.tier_bytes_fetched[static_cast<std::size_t>(
           outcome.requested_tier)] += outcome.bytes_fetched;
     } else {
+      // Hits — including deadline fallbacks (outcome.coarse_fallback),
+      // which are hits at the served floor/stale tier; the once-per-
+      // (frame, group) fallback counter is credited separately through
+      // record_coarse_fallback() by the frame front-end that dedups it.
       ++stats_.hits;
       ++stats_.tier_hits[static_cast<std::size_t>(outcome.served_tier)];
     }
+  }
+  // Called once per (frame, group) served from the coarse floor — the
+  // front-end dedups, so session counters sum to the cache's global one.
+  void record_coarse_fallback() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++stats_.coarse_fallbacks;
   }
   void record_prefetch(std::uint64_t bytes, int tier = 0) {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -159,26 +248,40 @@ class StreamingLoader final : public GroupSource {
   // reporting degraded frames. Valid between begin_frame and the next.
   const TierSelection& frame_selection() const { return selection_; }
 
+  // The loader's priority queue (pending/merged/expired introspection).
+  const PrefetchPriorityQueue& queue() const { return queue_; }
+
   ResidencyCache& cache() { return *cache_; }
   const PrefetchConfig& config() const { return config_; }
 
  private:
+  void drain_queue();
+
   ResidencyCache* cache_;
   PrefetchConfig config_;
   TierSelection selection_;  // tier_by_group consulted by acquire()
+  PrefetchPriorityQueue queue_;
+  // This frame's absolute demand-fetch deadline on core::stage_clock_ns
+  // (computed in begin_frame from the intent's/config's relative budget).
+  std::uint64_t frame_deadline_ns_ = kNoFetchDeadline;
+  // Groups already served from the coarse floor this frame: acquire() runs
+  // on every render worker, but the fallback counter and the urgent
+  // re-queue must fire once per (frame, group).
+  std::mutex fallback_mutex_;
+  std::unordered_set<voxel::DenseVoxelId> fallback_seen_;
 };
 
 // One fetch queue shared by N viewer sessions over one ResidencyCache.
 //
 // Each session calls enqueue() at the top of its frame with its own camera
 // intent (and optionally its SessionCacheStats sink for attribution, plus
-// its own LodPolicy). The queue ranks the session's candidates, drops every
-// group that is already queued by *any* session at the same or a better
-// tier (the cross-session merge — the request is served by the fetch
-// already on its way), and submits the remainder as one batch on the async
-// FIFO lane. Batches drain strictly in enqueue order, so no session's
-// fetches can starve another's: service is first-come, first-served at
-// batch granularity.
+// its own LodPolicy). The queue ranks the session's candidates and pushes
+// them into the shared PrefetchPriorityQueue — groups already pending for
+// *any* session at the same or a better tier merge away (the request is
+// served by the fetch already on its way) — then schedules a drain on the
+// async FIFO lane. Every drain runs the queue dry, most-urgent-first, so
+// service is bounded for every session: a request pushed before batch k's
+// drain is fetched no later than that drain, whoever pushed it.
 class SharedPrefetchQueue {
  public:
   explicit SharedPrefetchQueue(ResidencyCache& cache,
@@ -197,24 +300,36 @@ class SharedPrefetchQueue {
                       SessionCacheStats* sink = nullptr,
                       const LodPolicy* lod = nullptr);
 
+  // Deadline-fallback re-queue: pushes (id, tier) at kUrgentPriority so
+  // the group a session just served from the coarse floor streams in at
+  // its wanted tier ahead of every ranked candidate. Schedules a drain
+  // unless the queue is synchronous (then the next enqueue drains it).
+  // Safe from any render worker.
+  void requeue_urgent(voxel::DenseVoxelId id, std::uint8_t tier,
+                      SessionCacheStats* sink = nullptr);
+
   // Blocks until every batch enqueued before this call has landed.
   void wait_idle() const;
 
-  // Requests dropped because the same group was already queued at the same
-  // or a better tier by some session: the fetch-traffic the merge saved,
-  // in group requests.
+  // Requests dropped because the same group was already pending at the
+  // same or a better tier for some session: the fetch-traffic the merge
+  // saved, in group requests.
   std::uint64_t merged_requests() const;
+  // Requests still pending in the shared priority queue (0 after a
+  // wait_idle with no concurrent enqueues: nothing starves).
+  std::size_t pending_requests() const;
+  // Requests dropped at pop because their deadline had passed.
+  std::uint64_t expired_requests() const;
 
   ResidencyCache& cache() { return *cache_; }
   const PrefetchConfig& config() const { return config_; }
 
  private:
+  void drain();
+
   ResidencyCache* cache_;
   PrefetchConfig config_;
-  mutable std::mutex mutex_;
-  // Pending requests across sessions: group -> best tier queued.
-  std::unordered_map<voxel::DenseVoxelId, std::uint8_t> queued_;
-  std::uint64_t merged_ = 0;
+  PrefetchPriorityQueue queue_;
 };
 
 }  // namespace sgs::stream

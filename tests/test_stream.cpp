@@ -1487,5 +1487,431 @@ TEST(OutOfCoreGolden, PoisonedGroupWalkthroughCompletesAndIsolatesFault) {
   EXPECT_EQ(total.failed_groups, 1u);
 }
 
+// ------------------------------------- zero-stall: coarse floor + deadlines --
+//
+// The always-resident floor plus deadline-driven acquires turn demand
+// stalls into bounded quality loss: acquire always has *something* to
+// return. These tests pin the floor's pinning/eviction immunity, the
+// priority queue's deterministic ordering, the once-per-(frame, group)
+// fallback accounting, and the two bit-exactness escapes (generous
+// deadline; v1 store without a coarse tier).
+
+void write_floor_store(const std::string& path,
+                       const core::StreamingScene& scene) {
+  ASSERT_TRUE(
+      AssetStore::write(path, scene, AssetStoreWriteOptions::with_coarse_floor()));
+}
+
+TEST(CoarseFloor, PinsEveryGroupAndSurvivesEvictionPressure) {
+  const auto scene = test_scene(55, 2500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_floor_pin.sgsc");
+  write_floor_store(file.path, scene);
+  AssetStore store(file.path);
+  ASSERT_TRUE(store.has_coarse_tier());
+  EXPECT_EQ(store.coarse_tier(), store.tier_count() - 1);
+
+  // Main budget starved to ~1% of the scene; the floor rides its own
+  // budget and must be untouchable by the LRU.
+  ResidencyCacheConfig ccfg;
+  ccfg.budget_bytes = std::max<std::uint64_t>(
+      store.decoded_bytes_total() / 100, 1);
+  ccfg.coarse_floor_budget_bytes = store.decoded_bytes_total();
+  ResidencyCache cache(store, ccfg);
+  ASSERT_TRUE(cache.coarse_floor_enabled());
+  EXPECT_EQ(cache.coarse_tier(), store.coarse_tier());
+  EXPECT_GT(cache.coarse_floor_bytes(), 0u);
+  EXPECT_LE(cache.coarse_floor_bytes(), ccfg.coarse_floor_budget_bytes);
+  // Floor bytes live outside the LRU budget entirely.
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    EXPECT_EQ(cache.coarse_floor_resident(v), store.entry(v).count > 0)
+        << "group " << v;
+  }
+  const std::uint64_t floor_before = cache.coarse_floor_bytes();
+
+  // Blocking sweep over every group: constant eviction churn at 1% budget.
+  std::uint64_t sweep = 0;
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    if (store.entry(v).count == 0) continue;
+    const AcquireOutcome out = cache.acquire_outcome(v);
+    EXPECT_FALSE(out.coarse_fallback);
+    EXPECT_EQ(out.view.size(), store.entry(v).count);
+    cache.release(v);
+    ++sweep;
+  }
+  const core::StreamCacheStats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_EQ(s.hits + s.misses, s.accesses());
+  // The churn never touched the floor: every group still pinned, byte for
+  // byte, and the main budget still holds.
+  EXPECT_EQ(cache.coarse_floor_bytes(), floor_before);
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    EXPECT_EQ(cache.coarse_floor_resident(v), store.entry(v).count > 0);
+  }
+  EXPECT_LE(cache.resident_bytes(), ccfg.budget_bytes);
+  EXPECT_GT(sweep, 0u);
+}
+
+TEST(CoarseFloor, AllOrNothingAgainstItsBudget) {
+  const auto scene = test_scene(56, 1500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_floor_allornothing.sgsc");
+  write_floor_store(file.path, scene);
+  AssetStore store(file.path);
+
+  // A floor budget the predicted floor cannot fit: disabled outright, and
+  // the deadline path degenerates to the blocking pre-floor behavior.
+  ResidencyCacheConfig ccfg;
+  ccfg.coarse_floor_budget_bytes = 1;
+  ResidencyCache cache(store, ccfg);
+  EXPECT_FALSE(cache.coarse_floor_enabled());
+  EXPECT_EQ(cache.coarse_floor_bytes(), 0u);
+  EXPECT_EQ(cache.coarse_tier(), -1);
+
+  const voxel::DenseVoxelId v = densest_group(store);
+  // Deadline long past, but no fallback payload exists: the acquire blocks
+  // and fetches — a deadline bounds stalls, it never invents pixels.
+  const AcquireOutcome out = cache.acquire_outcome(v, 0, /*deadline_ns=*/1);
+  EXPECT_FALSE(out.coarse_fallback);
+  EXPECT_TRUE(out.missed);
+  EXPECT_EQ(out.view.size(), store.entry(v).count);
+  cache.release(v);
+}
+
+TEST(CoarseFloor, ExpiredDeadlineAcquireNeverBlocksAndNeverFetches) {
+  const auto scene = test_scene(57, 2000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_floor_noblock.sgsc");
+  write_floor_store(file.path, scene);
+  AssetStore store(file.path);
+  ResidencyCacheConfig ccfg;
+  ccfg.coarse_floor_budget_bytes = store.decoded_bytes_total();
+  ResidencyCache cache(store, ccfg);
+  ASSERT_TRUE(cache.coarse_floor_enabled());
+
+  std::uint64_t served = 0;
+  for (voxel::DenseVoxelId v = 0; v < store.group_count(); ++v) {
+    if (store.entry(v).count == 0) continue;
+    // Deadline of 1 ns on the stage clock: expired since boot. Every
+    // acquire must come back from the floor, instantly, without disk IO.
+    const AcquireOutcome out = cache.acquire_outcome(v, 0, /*deadline_ns=*/1);
+    EXPECT_TRUE(out.coarse_fallback);
+    EXPECT_EQ(out.served_tier, cache.coarse_tier());
+    EXPECT_EQ(out.bytes_fetched, 0u);
+    EXPECT_FALSE(out.missed);
+    EXPECT_GT(out.view.size(), 0u);
+    EXPECT_EQ(out.view.size(),
+              store.tier_extent(v, cache.coarse_tier()).count);
+    cache.release(v);
+    ++served;
+  }
+  const core::StreamCacheStats s = cache.stats();
+  // Floor serves are hits at the floor tier; no fetch ever ran.
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.hits, served);
+  EXPECT_EQ(s.bytes_fetched, 0u);
+  EXPECT_EQ(s.tier_hits[static_cast<std::size_t>(cache.coarse_tier())],
+            served);
+  // The cache itself never self-counts fallbacks: the once-per-(frame,
+  // group) dedup belongs to frame-aware front-ends via
+  // record_coarse_fallback() (so per-session counters sum to the global).
+  EXPECT_EQ(s.coarse_fallbacks, 0u);
+}
+
+TEST(PrefetchPriorityQueue, PopsByPriorityThenGroupIdDeterministically) {
+  PrefetchPriorityQueue q;
+  auto req = [](voxel::DenseVoxelId id, float priority) {
+    PrefetchRequest r;
+    r.id = id;
+    r.tier = 0;
+    r.priority = priority;
+    return r;
+  };
+  // Equal priorities tie-break by ascending id regardless of push order.
+  EXPECT_TRUE(q.push(req(5, 2.0f)));
+  EXPECT_TRUE(q.push(req(9, 1.0f)));
+  EXPECT_TRUE(q.push(req(3, 1.0f)));
+  EXPECT_TRUE(q.push(req(1, 3.0f)));
+  EXPECT_TRUE(q.push(req(8, kUrgentPriority)));  // sorts ahead of everything
+  EXPECT_EQ(q.pending(), 5u);
+
+  PrefetchRequest out;
+  const std::uint64_t now = core::stage_clock_ns();
+  ASSERT_TRUE(q.pop(&out, now));
+  EXPECT_EQ(out.id, 8u);
+  ASSERT_TRUE(q.pop(&out, now));
+  EXPECT_EQ(out.id, 3u);
+  ASSERT_TRUE(q.pop(&out, now));
+  EXPECT_EQ(out.id, 9u);
+  ASSERT_TRUE(q.pop(&out, now));
+  EXPECT_EQ(out.id, 5u);
+  ASSERT_TRUE(q.pop(&out, now));
+  EXPECT_EQ(out.id, 1u);
+  EXPECT_FALSE(q.pop(&out, now));
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(PrefetchPriorityQueue, MergesSameOrBetterAndSupersedesWorseTiers) {
+  PrefetchPriorityQueue q;
+  PrefetchRequest r;
+  r.id = 7;
+  r.tier = 1;
+  r.priority = 1.0f;
+  EXPECT_TRUE(q.push(r));
+  // Same tier: merged away. Worse tier: also merged (the pending fetch
+  // satisfies a worse request).
+  EXPECT_FALSE(q.push(r));
+  r.tier = 2;
+  EXPECT_FALSE(q.push(r));
+  EXPECT_EQ(q.merged(), 2u);
+  // Strictly better tier supersedes: one live request at tier 0 remains,
+  // the stale tier-1 heap node is skipped at pop.
+  r.tier = 0;
+  EXPECT_TRUE(q.push(r));
+  EXPECT_EQ(q.pending(), 1u);
+  PrefetchRequest out;
+  const std::uint64_t now = core::stage_clock_ns();
+  ASSERT_TRUE(q.pop(&out, now));
+  EXPECT_EQ(out.id, 7u);
+  EXPECT_EQ(out.tier, 0u);
+  EXPECT_FALSE(q.pop(&out, now));
+}
+
+TEST(PrefetchPriorityQueue, DropsExpiredRequestsAtPop) {
+  PrefetchPriorityQueue q;
+  PrefetchRequest r;
+  r.id = 4;
+  r.priority = 1.0f;
+  r.deadline_ns = 5;  // long past on the stage clock
+  EXPECT_TRUE(q.push(r));
+  PrefetchRequest out;
+  EXPECT_FALSE(q.pop(&out, core::stage_clock_ns()));
+  EXPECT_EQ(q.expired(), 1u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(StreamingLoader, DeadlineFallbackCountsOncePerFrameGroupAndRequeues) {
+  const auto scene = test_scene(58, 2000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_deadline_once.sgsc");
+  write_floor_store(file.path, scene);
+  AssetStore store(file.path);
+  ResidencyCacheConfig ccfg;
+  ccfg.coarse_floor_budget_bytes = store.decoded_bytes_total();
+  ResidencyCache cache(store, ccfg);
+  ASSERT_TRUE(cache.coarse_floor_enabled());
+
+  PrefetchConfig pcfg;
+  pcfg.synchronous = true;
+  pcfg.fetch_deadline_ns = 0;  // expires the instant the frame begins
+  StreamingLoader loader(cache, pcfg);
+
+  const voxel::DenseVoxelId v = densest_group(store);
+  const std::vector<voxel::DenseVoxelId> plan{v};
+  // No camera: no ranked prefetch — the only traffic is the demand path.
+  FrameIntent intent;
+  loader.begin_frame(intent, plan);
+  // The pixel pipeline acquires the same group from many pixel groups;
+  // the fallback must be counted once per (frame, group), not per acquire.
+  for (int k = 0; k < 3; ++k) {
+    const GroupView view = loader.acquire(v);
+    EXPECT_GT(view.size(), 0u);
+    loader.release(v);
+  }
+  EXPECT_EQ(cache.stats().coarse_fallbacks, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // The wanted tier was re-queued at urgent priority, NOT drained inline
+  // (a synchronous drain on the render path would be the very stall the
+  // deadline killed).
+  EXPECT_EQ(loader.queue().pending(), 1u);
+  loader.end_frame();
+
+  // The next frame's begin drains the urgent request; the group is now
+  // resident at the wanted tier and serves real hits, no fallback.
+  loader.begin_frame(intent, plan);
+  EXPECT_EQ(loader.queue().pending(), 0u);
+  EXPECT_EQ(cache.resident_tier(v), 0);
+  const GroupView view = loader.acquire(v);
+  EXPECT_EQ(view.size(), store.entry(v).count);
+  loader.release(v);
+  loader.end_frame();
+  EXPECT_EQ(cache.stats().coarse_fallbacks, 1u);
+  EXPECT_EQ(cache.stats().prefetches, 1u);
+}
+
+TEST(OutOfCoreGolden, GenerousDeadlineStaysBitIdentical) {
+  const auto scene = test_scene(59, 2500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_deadline_generous.sgsc");
+  write_floor_store(file.path, scene);
+  AssetStore store(file.path);
+  const auto cameras = orbit_trajectory(4, 128);
+  const auto resident = core::render_sequence(scene, cameras, {});
+
+  ResidencyCacheConfig ccfg;
+  ccfg.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  ccfg.coarse_floor_budget_bytes = store.decoded_bytes_total();
+  ResidencyCache cache(store, ccfg);
+  ASSERT_TRUE(cache.coarse_floor_enabled());
+  PrefetchConfig pcfg;
+  pcfg.synchronous = true;
+  pcfg.lod.force_tier0 = true;
+  StreamingLoader loader(cache, pcfg);
+  const auto scene_ooc = store.make_scene();
+  core::SequenceOptions seq;
+  // A whole-frame budget no test-machine fetch can miss: the deadline
+  // machinery is armed on every acquire, yet no fallback ever fires — and
+  // the output must be bit-for-bit the blocking path's.
+  seq.fetch_deadline_ns = 60ull * 1000 * 1000 * 1000;
+  const auto ooc = core::render_sequence(scene_ooc, cameras, seq, &loader);
+
+  core::StreamCacheStats total;
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    EXPECT_EQ(ooc.frames[f].image.pixels(), resident.frames[f].image.pixels())
+        << "frame " << f;
+    total.accumulate(ooc.frames[f].trace.cache);
+  }
+  EXPECT_EQ(total.coarse_fallbacks, 0u);
+  EXPECT_GT(total.accesses(), 0u);
+}
+
+TEST(OutOfCoreGolden, ZeroDeadlineWalkthroughNeverStalls) {
+  const auto scene = test_scene(60, 2500, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_zero_stall.sgsc");
+  write_floor_store(file.path, scene);
+  AssetStore store(file.path);
+  const auto cameras = orbit_trajectory(6, 128);
+  const auto resident = core::render_sequence(scene, cameras, {});
+
+  ResidencyCacheConfig ccfg;
+  ccfg.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  ccfg.coarse_floor_budget_bytes = store.decoded_bytes_total();
+  ResidencyCache cache(store, ccfg);
+  ASSERT_TRUE(cache.coarse_floor_enabled());
+  PrefetchConfig pcfg;
+  pcfg.synchronous = true;
+  pcfg.lod.force_tier0 = true;
+  // Squeeze the per-frame prefetch budget so warm-up spans several frames:
+  // the walkthrough MUST lean on the floor, not coast on a warmed cache.
+  pcfg.max_bytes_per_frame = store.payload_bytes_total() / 16;
+  pcfg.fetch_deadline_ns = 0;
+  StreamingLoader loader(cache, pcfg);
+  const auto scene_ooc = store.make_scene();
+  const auto ooc = core::render_sequence(scene_ooc, cameras, {}, &loader);
+
+  core::StreamCacheStats total;
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    const core::StreamCacheStats& cs = ooc.frames[f].trace.cache;
+    // The zero-stall property, per frame: not a single demand miss.
+    EXPECT_EQ(cs.misses, 0u) << "frame " << f;
+    total.accumulate(cs);
+    if (cs.coarse_fallbacks == 0) {
+      // No fallback fired: the frame must be bit-identical to resident
+      // rendering (the floor never bleeds into clean frames).
+      EXPECT_EQ(ooc.frames[f].image.pixels(), resident.frames[f].image.pixels())
+          << "frame " << f;
+    } else {
+      // Fallback frames still render the whole scene at bounded quality.
+      // (The starved prefetch budget makes early frames mostly-floor; the
+      // production-budget quality gate lives in bench_streaming.)
+      const double db =
+          metrics::psnr(resident.frames[f].image, ooc.frames[f].image);
+      EXPECT_GE(db, 12.0) << "frame " << f;
+    }
+  }
+  // The floor was actually exercised (the squeezed prefetch budget cannot
+  // cover the first frames), and the global counter equals the sum of the
+  // per-frame deltas — nothing double- or under-counted.
+  EXPECT_GT(total.coarse_fallbacks, 0u);
+  EXPECT_EQ(cache.stats().coarse_fallbacks, total.coarse_fallbacks);
+  EXPECT_EQ(total.hits + total.misses, total.accesses());
+}
+
+TEST(OutOfCoreGolden, V1StoreWithoutCoarseTierKeepsBlockingSemantics) {
+  const auto scene = test_scene(61, 2000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_v1_negative.sgsc");
+  // v1 single-tier store: no coarse tier to pin — open() reports the
+  // missing capability and the floor config is a no-op.
+  ASSERT_TRUE(AssetStore::write(file.path, scene));
+  AssetStore store(file.path);
+  EXPECT_FALSE(store.has_coarse_tier());
+  const auto cameras = orbit_trajectory(4, 128);
+  const auto resident = core::render_sequence(scene, cameras, {});
+
+  ResidencyCacheConfig ccfg;
+  ccfg.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  ccfg.coarse_floor_budget_bytes = store.decoded_bytes_total();
+  ResidencyCache cache(store, ccfg);
+  EXPECT_FALSE(cache.coarse_floor_enabled());
+  PrefetchConfig pcfg;
+  pcfg.synchronous = true;
+  // A zero deadline with nothing to fall back on must not change a pixel
+  // or a counter: the renderer keeps the blocking path, stalls and all.
+  pcfg.fetch_deadline_ns = 0;
+  StreamingLoader loader(cache, pcfg);
+  const auto scene_ooc = store.make_scene();
+  const auto ooc = core::render_sequence(scene_ooc, cameras, {}, &loader);
+
+  core::StreamCacheStats total;
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    EXPECT_EQ(ooc.frames[f].image.pixels(), resident.frames[f].image.pixels())
+        << "frame " << f;
+    total.accumulate(ooc.frames[f].trace.cache);
+  }
+  // Pre-PR stall accounting: demand misses happened and were counted.
+  EXPECT_GT(total.misses + total.prefetches, 0u);
+  EXPECT_EQ(total.coarse_fallbacks, 0u);
+}
+
+TEST(OutOfCoreGolden, PoisonedGroupWithFloorStaysZeroStallAndBalancesPins) {
+  const auto scene = test_scene(62, 2500, /*vq=*/true);
+  TempFile good_file("/tmp/sgs_test_floor_fault_good.sgsc");
+  TempFile bad_file("/tmp/sgs_test_floor_fault_bad.sgsc");
+  write_floor_store(good_file.path, scene);
+  copy_file(good_file.path, bad_file.path);
+  voxel::DenseVoxelId poisoned = 0;
+  {
+    AssetStore probe(bad_file.path);
+    poisoned = densest_group(probe);
+    // Poison L0 only: the floor tier stays healthy, so the group's floor
+    // payload pins fine and every deadline serve of it still has pixels.
+    poison_vq_group(bad_file.path, probe, poisoned, /*tier=*/0);
+  }
+
+  AssetStore store(bad_file.path);
+  ResidencyCacheConfig ccfg;
+  ccfg.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  ccfg.coarse_floor_budget_bytes = store.decoded_bytes_total();
+  ccfg.max_fetch_attempts = 1;  // one strike: exact failure counters
+  ResidencyCache cache(store, ccfg);
+  ASSERT_TRUE(cache.coarse_floor_enabled());
+  ASSERT_TRUE(cache.coarse_floor_resident(poisoned));
+
+  PrefetchConfig pcfg;
+  pcfg.synchronous = true;
+  pcfg.lod.force_tier0 = true;
+  pcfg.fetch_deadline_ns = 0;
+  StreamingLoader loader(cache, pcfg);
+  const auto scene_ooc = store.make_scene();
+  const auto cameras = orbit_trajectory(4, 128);
+  const auto ooc = core::render_sequence(scene_ooc, cameras, {}, &loader);
+
+  // Every frame completed without a single blocking demand fetch: at a
+  // zero deadline the demand path never touches the disk, so the only
+  // misses are the poisoned group's degraded (negative-cached) serves —
+  // error accounting outranks the deadline so faults stay visible — and
+  // the corruption itself surfaces on the prefetch lane.
+  ASSERT_EQ(ooc.frames.size(), cameras.size());
+  core::StreamCacheStats total;
+  for (const auto& f : ooc.frames) {
+    EXPECT_EQ(f.trace.cache.misses, f.trace.cache.degraded_groups);
+    total.accumulate(f.trace.cache);
+  }
+  EXPECT_GT(total.coarse_fallbacks, 0u);
+  EXPECT_GT(total.fetch_errors, 0u);
+  EXPECT_TRUE(cache.tier_failed(poisoned, 0));
+  // Pin balance across the poisoned run: an empty unpin drains the budget
+  // overshoot, which only works if no acquire leaked a pin (pinned groups
+  // are unevictable — a leak would wedge residency above budget forever).
+  cache.unpin_plan({});
+  EXPECT_LE(cache.resident_bytes(), ccfg.budget_bytes);
+}
+
 }  // namespace
 }  // namespace sgs::stream

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Docs-sync check: the five documented public contracts must not drift from
+# Docs-sync check: the documented public contracts must not drift from
 # their headers, and docs/ must not ship TODO markers. Runs as the
 # `docs_sync` ctest and as a CI step; no dependencies beyond grep.
 #
@@ -81,6 +81,16 @@ check_contract "metrics contract" src/obs/metrics.hpp \
 check_contract "trace contract" src/obs/trace.hpp \
   SGS_TRACE_SPAN SGS_TRACE_INSTANT TraceEvent set_trace_enabled \
   trace_collect write_chrome_trace set_thread_name
+
+# 9. The residency hierarchy: the always-resident coarse floor and the
+#    deadline-driven fallback surface built on it.
+check_contract "coarse floor contract" src/stream/residency_cache.hpp \
+  coarse_floor_budget_bytes coarse_floor_enabled coarse_floor_bytes \
+  coarse_fallback
+check_contract "coarse tier store contract" src/stream/asset_store.hpp \
+  has_coarse_tier with_coarse_floor
+check_contract "deadline prefetch contract" src/stream/streaming_loader.hpp \
+  fetch_deadline_ns kNoFetchDeadline kUrgentPriority PrefetchPriorityQueue
 
 # TODO markers must not ship in the normative docs.
 if grep -rn '\bTODO\b' docs/; then
