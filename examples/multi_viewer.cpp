@@ -19,6 +19,7 @@
 // for).
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "scene/presets.hpp"
 #include "serve/scene_server.hpp"
 #include "stream/asset_store.hpp"
+#include "stream/fetch_backend.hpp"
 #include "stream/lod_policy.hpp"
 
 namespace {
@@ -47,6 +49,12 @@ constexpr const char* kUsage = R"(multi_viewer — N viewer sessions over one sh
   --quality <list>    comma-separated per-session LOD policies, cycled
                       across sessions: off | quality | balanced | aggressive
                       (default balanced; "off" = bit-exact L0)
+  --net_profile <name> serve the store over a deterministic simulated link
+                      (fast | constrained | lossy) instead of the local
+                      file; adaptive sessions then fold their own measured
+                      bandwidth into tier selection (ABR), and the report
+                      gains per-session link estimates and net traffic
+                      (default "" = local file)
   --trace <path>      export a Chrome Trace Event JSON of all session
                       threads' frame/stage/cache spans (view in Perfetto)
   --force_scalar <bool> pin the per-Gaussian kernels to the scalar reference
@@ -86,6 +94,7 @@ int main(int argc, char** argv) {
   const float spread = static_cast<float>(args.get_double("spread", 0.01));
   const int cache_mb = args.get_int("cache_mb", 0);
   const std::string store_path = args.get("store", "/tmp/multi_viewer.sgsc");
+  const std::string net_profile = args.get("net_profile", "");
   const std::vector<std::string> quality_names =
       split_csv(args.get("quality", "balanced"));
   if (quality_names.empty()) {
@@ -127,28 +136,58 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write store: %s\n", e.what());
     return 1;
   }
-  stream::AssetStore store(store_path);
+  std::unique_ptr<stream::AssetStore> store;
+  std::shared_ptr<stream::SimulatedNetworkBackend> net;
+  if (net_profile.empty()) {
+    store = std::make_unique<stream::AssetStore>(store_path);
+  } else {
+    stream::NetProfile prof;
+    try {
+      prof = stream::NetProfile::from_name(net_profile);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    net = std::make_shared<stream::SimulatedNetworkBackend>(
+        std::make_shared<stream::LocalFileBackend>(store_path), prof);
+    stream::StreamError err;
+    store = stream::AssetStore::open(net, &err);
+    if (!store) {
+      std::fprintf(stderr, "cannot open store over '%s' link: %s\n",
+                   net_profile.c_str(), err.to_string().c_str());
+      return 1;
+    }
+  }
 
   serve::SceneServerConfig cfg;
   cfg.cache.budget_bytes = cache_mb > 0
                                ? static_cast<std::uint64_t>(cache_mb) << 20
-                               : store.decoded_bytes_total() * 35 / 100;
+                               : store->decoded_bytes_total() * 35 / 100;
   cfg.sequence.reuse_max_translation = 0.25f * scfg.voxel_size;
   cfg.sequence.reuse_max_rotation_rad = 0.04f;
-  serve::SceneServer server(store, cfg);
-  // Per-session quality: cycle the --quality list across sessions.
+  serve::SceneServer server(*store, cfg);
+  // Per-session quality: cycle the --quality list across sessions. Over a
+  // simulated link, adaptive sessions get the ABR term on a ~100 ms fetch
+  // horizon: each folds the bandwidth IT measured into its own selection.
   std::vector<std::string> session_quality;
   for (int s = 0; s < sessions; ++s) {
     const std::string& name =
         quality_names[static_cast<std::size_t>(s) % quality_names.size()];
-    server.open_session(stream::lod_policy_from_name(name));
+    stream::LodPolicy lod = stream::lod_policy_from_name(name);
+    if (net != nullptr && !lod.force_tier0) {
+      lod.abr_frame_budget_ns = 100'000'000;
+    }
+    server.open_session(lod);
     session_quality.push_back(name);
   }
-  std::printf("store: %s L0 payloads in %d voxel groups; shared budget %s\n\n",
-              format_bytes(static_cast<double>(store.payload_bytes_total()))
+  std::printf("store: %s L0 payloads in %d voxel groups; shared budget %s%s%s"
+              "\n\n",
+              format_bytes(static_cast<double>(store->payload_bytes_total()))
                   .c_str(),
-              store.group_count(),
-              format_bytes(static_cast<double>(cfg.cache.budget_bytes)).c_str());
+              store->group_count(),
+              format_bytes(static_cast<double>(cfg.cache.budget_bytes)).c_str(),
+              net != nullptr ? "; link " : "",
+              net != nullptr ? net_profile.c_str() : "");
 
   // Phase-shifted orbits: overlapping working sets, the serving sweet spot.
   std::vector<std::vector<gs::Camera>> paths(
@@ -165,13 +204,14 @@ int main(int argc, char** argv) {
   const auto result = server.run(paths);
   const serve::ServerReport& rep = result.report;
 
-  std::printf("%8s %-10s %8s %8s %8s %9s %10s %7s %12s %14s %9s\n", "session",
-              "quality", "p50 ms", "p95 ms", "p99 ms", "hit rate", "fetched",
-              "stalls", "plans b/r", "tiers 0/1/2", "degraded");
+  std::printf("%8s %-10s %8s %8s %8s %9s %10s %7s %12s %14s %9s%s\n",
+              "session", "quality", "p50 ms", "p95 ms", "p99 ms", "hit rate",
+              "fetched", "stalls", "plans b/r", "tiers 0/1/2", "degraded",
+              net != nullptr ? " est MB/s" : "");
   for (std::size_t s = 0; s < rep.sessions.size(); ++s) {
     const serve::SessionReport& sr = rep.sessions[s];
     std::printf("%8zu %-10s %8.1f %8.1f %8.1f %8.1f%% %10s %7zu %7zu/%zu "
-                "%5llu/%llu/%llu %9zu\n",
+                "%5llu/%llu/%llu %9zu",
                 s, session_quality[s].c_str(), sr.p50_ms, sr.p95_ms, sr.p99_ms,
                 100.0 * sr.cache.hit_rate(),
                 format_bytes(static_cast<double>(sr.cache.bytes_fetched))
@@ -181,6 +221,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sr.tier_requests[1]),
                 static_cast<unsigned long long>(sr.tier_requests[2]),
                 sr.degraded_frames);
+    if (net != nullptr) {
+      std::printf(" %9.2f", sr.estimated_bandwidth_bps / 1e6);
+    }
+    std::printf("\n");
   }
   std::printf(
       "\nglobal: %.1f%% hit rate, %s fetched, %llu evictions, "
@@ -193,6 +237,19 @@ int main(int argc, char** argv) {
       "fleet latency: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, %zu stall "
       "frames\n",
       rep.p50_ms, rep.p95_ms, rep.p99_ms, rep.stall_frames);
+  if (net != nullptr) {
+    const stream::FetchBackendStats nstats = net->stats();
+    std::printf("network (%s): %llu transfers, %s on the wire, %llu "
+                "timeouts, %.1f ms simulated wire time, %llu ABR "
+                "demotions across sessions\n",
+                net_profile.c_str(),
+                static_cast<unsigned long long>(nstats.requests),
+                format_bytes(static_cast<double>(nstats.bytes)).c_str(),
+                static_cast<unsigned long long>(nstats.timeouts),
+                static_cast<double>(net->now_ns()) * 1e-6,
+                static_cast<unsigned long long>(
+                    rep.shared_cache.abr_demotions));
+  }
   // Fault isolation: any errors below were absorbed per group, per session
   // — every session above still completed all its frames.
   if (rep.shared_cache.fetch_errors > 0 ||

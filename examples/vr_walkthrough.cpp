@@ -14,8 +14,8 @@
 //   ./vr_walkthrough [--scene playroom] [--frames 8] [--model_scale 0.05]
 //                    [--res_scale 0.4] [--arc 1.0] [--save_frames out_dir]
 //                    [--out_of_core true] [--cache_mb 8] [--lod balanced]
-//                    [--floor_pct 5] [--deadline_ms 2] [--trace out.json]
-//                    [--threads 4]
+//                    [--floor_pct 5] [--deadline_ms 2] [--net_profile lossy]
+//                    [--trace out.json] [--threads 4]
 //
 // --arc is the fraction of the full orbit the walkthrough covers: 1.0 is
 // the legacy whole-orbit keyframe sweep (cameras too far apart to reuse
@@ -42,6 +42,13 @@
 // ("fallback" markers in the cache column) and re-queues the wanted tier
 // at urgent priority. Without a floor the deadline has nothing to fall
 // back on and acquire blocks exactly as before.
+// --net_profile streams the out-of-core store over a deterministic
+// simulated network link (fast | constrained | lossy) instead of the
+// local file, with the ABR throughput term live under an adaptive --lod:
+// the loader's bandwidth estimator learns the link from real transfers and
+// tier selection demotes what the link cannot sustain. The report gains
+// link traffic, simulated wire time, timeouts, and the converged estimate.
+//
 // --trace exports the run's observability artifacts: a Chrome Trace Event /
 // Perfetto-compatible span timeline of every pipeline stage, cache fetch,
 // and prefetch batch (load the JSON in https://ui.perfetto.dev), plus a
@@ -68,6 +75,7 @@
 #include "sim/gscore_sim.hpp"
 #include "sim/streaminggs_sim.hpp"
 #include "stream/asset_store.hpp"
+#include "stream/fetch_backend.hpp"
 #include "stream/lod_policy.hpp"
 #include "stream/residency_cache.hpp"
 #include "stream/streaming_loader.hpp"
@@ -101,6 +109,11 @@ constexpr const char* kUsage =
   --deadline_ms <f>     per-frame demand-fetch deadline; a fetch past it
                         serves the coarse floor instead of stalling
                         (default 0 = block like the pre-deadline loader)
+  --net_profile <name>  stream the --out_of_core store over a deterministic
+                        simulated link (fast | constrained | lossy) instead
+                        of the local file; with an adaptive --lod the ABR
+                        term demotes tiers the measured link cannot sustain
+                        (default "" = local file)
   --trace <path>        export a Chrome Trace Event / Perfetto JSON span
                         timeline to <path> and per-frame metrics snapshots
                         to <path>.metrics.jsonl (tracing changes no pixel)
@@ -131,6 +144,7 @@ int main(int argc, char** argv) {
   const std::string lod_name = args.get("lod", "off");
   const double floor_pct = args.get_double("floor_pct", 0.0);
   const double deadline_ms = args.get_double("deadline_ms", 0.0);
+  const std::string net_profile = args.get("net_profile", "");
   const stream::LodPolicy lod_policy = stream::lod_policy_from_name(lod_name);
   if (args.get_bool("force_scalar", false)) {
     simd::force_isa(simd::IsaLevel::kScalar);
@@ -192,6 +206,7 @@ int main(int argc, char** argv) {
   // loader; the sequence renderer pulls voxel groups through the cache and
   // renders bit-identical frames to the resident path.
   std::unique_ptr<stream::AssetStore> store;
+  std::shared_ptr<stream::SimulatedNetworkBackend> net;
   std::unique_ptr<stream::ResidencyCache> cache;
   std::unique_ptr<stream::StreamingLoader> loader;
   core::StreamingScene scene_ooc;
@@ -217,7 +232,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write store: %s\n", e.what());
       return 1;
     }
-    store = std::make_unique<stream::AssetStore>(store_path);
+    if (net_profile.empty()) {
+      store = std::make_unique<stream::AssetStore>(store_path);
+    } else {
+      stream::NetProfile prof;
+      try {
+        prof = stream::NetProfile::from_name(net_profile);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+      net = std::make_shared<stream::SimulatedNetworkBackend>(
+          std::make_shared<stream::LocalFileBackend>(store_path), prof);
+      stream::StreamError err;
+      store = stream::AssetStore::open(net, &err);
+      if (!store) {
+        std::fprintf(stderr, "cannot open store over '%s' link: %s\n",
+                     net_profile.c_str(), err.to_string().c_str());
+        return 1;
+      }
+    }
     stream::ResidencyCacheConfig ccfg;
     // Budgets are decoded bytes; default to 35% of the decoded scene (the
     // on-disk payload total would be ~10x smaller under VQ).
@@ -232,6 +266,13 @@ int main(int argc, char** argv) {
     cache = std::make_unique<stream::ResidencyCache>(*store, ccfg);
     stream::PrefetchConfig pcfg;
     pcfg.lod = lod_policy;
+    // Over a simulated link the ABR term goes live (unless L0 is forced,
+    // which keeps the bit-exact guarantee): tier selection and the
+    // prefetch byte cap track the loader's measured link estimate over a
+    // ~100 ms fetch horizon.
+    if (net != nullptr && !pcfg.lod.force_tier0) {
+      pcfg.lod.abr_frame_budget_ns = 100'000'000;
+    }
     if (deadline_ms > 0.0) {
       pcfg.fetch_deadline_ns =
           static_cast<std::uint64_t>(deadline_ms * 1e6);
@@ -349,6 +390,20 @@ int main(int argc, char** argv) {
                   fallback_frames, frames,
                   static_cast<unsigned long long>(
                       cache_total.coarse_fallbacks));
+    }
+    if (net != nullptr) {
+      const stream::FetchBackendStats nstats = net->stats();
+      std::printf("network (%s): %llu transfers, %s on the wire, %llu "
+                  "timeouts, %.1f ms simulated wire time, estimated link "
+                  "%.2f MB/s, %llu ABR demotions\n",
+                  net_profile.c_str(),
+                  static_cast<unsigned long long>(nstats.requests),
+                  format_bytes(static_cast<double>(nstats.bytes)).c_str(),
+                  static_cast<unsigned long long>(nstats.timeouts),
+                  static_cast<double>(net->now_ns()) * 1e-6,
+                  loader->estimator().bandwidth_bytes_per_sec() / 1e6,
+                  static_cast<unsigned long long>(
+                      loader->stats().abr_demotions));
     }
     std::printf("lod (%s): tier requests L0/L1/L2 = %llu/%llu/%llu, "
                 "%llu upgrades, %d budget-degraded frames\n",

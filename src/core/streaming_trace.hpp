@@ -130,6 +130,22 @@ struct StreamCacheStats {
   // a disabled floor, or a single-tier store.
   std::uint64_t coarse_fallbacks = 0;
 
+  // Network-backed streaming (trace v8). `net_bytes` / `net_stall_ns` are
+  // the bytes and transfer time of completed backend transfers paid by
+  // demand misses and prefetches — the numerator and denominator of the
+  // observable per-frame link throughput. Transfer time is virtual on a
+  // SimulatedNetworkBackend and wall-clock on real I/O; fetch-scoped like
+  // bytes_fetched (coarse-floor pinning and open-time metadata traffic are
+  // excluded — the store backend's own stats() carries those).
+  // `abr_demotions` counts plan groups demoted below their static-budget
+  // tier by the LodPolicy ABR throughput term; it is accounted by the
+  // frame-aware front-ends (StreamingLoader / serve::SessionSource) at
+  // selection time, so the shared cache's own counter stays 0 and a server
+  // report sums the sessions'.
+  std::uint64_t net_bytes = 0;
+  std::uint64_t net_stall_ns = 0;
+  std::uint64_t abr_demotions = 0;
+
   std::uint64_t accesses() const { return hits + misses; }
   double hit_rate() const {
     return accesses() == 0
@@ -153,6 +169,9 @@ struct StreamCacheStats {
     degraded_groups += o.degraded_groups;
     failed_groups += o.failed_groups;
     coarse_fallbacks += o.coarse_fallbacks;
+    net_bytes += o.net_bytes;
+    net_stall_ns += o.net_stall_ns;
+    abr_demotions += o.abr_demotions;
   }
   // Per-frame delta between two cumulative snapshots of a source's counters
   // (all fields are monotone).
@@ -175,6 +194,9 @@ struct StreamCacheStats {
     d.degraded_groups = degraded_groups - earlier.degraded_groups;
     d.failed_groups = failed_groups - earlier.failed_groups;
     d.coarse_fallbacks = coarse_fallbacks - earlier.coarse_fallbacks;
+    d.net_bytes = net_bytes - earlier.net_bytes;
+    d.net_stall_ns = net_stall_ns - earlier.net_stall_ns;
+    d.abr_demotions = abr_demotions - earlier.abr_demotions;
     return d;
   }
 };

@@ -27,7 +27,10 @@ inline constexpr std::uint32_t kTraceMagic = 0x54534753;  // "SGST"
 // v7: coarse_fallbacks — demand acquires served from the always-resident
 //     coarse floor because their fetch would have missed the frame's
 //     deadline (zero-stall streaming).
-inline constexpr std::uint32_t kTraceVersion = 7;
+// v8: network counters — net_bytes / net_stall_ns (completed backend
+//     transfer traffic and time) and abr_demotions (tier demotions by the
+//     LodPolicy throughput term) for network-backed streaming.
+inline constexpr std::uint32_t kTraceVersion = 8;
 
 // Returns false on IO failure.
 bool write_trace(std::ostream& out, const StreamingTrace& trace);

@@ -26,6 +26,9 @@ void publish_cache_stats(const core::StreamCacheStats& stats,
   set_gauge(prefix + ".degraded_groups", stats.degraded_groups);
   set_gauge(prefix + ".failed_groups", stats.failed_groups);
   set_gauge(prefix + ".coarse_fallbacks", stats.coarse_fallbacks);
+  set_gauge(prefix + ".net_bytes", stats.net_bytes);
+  set_gauge(prefix + ".net_stall_ns", stats.net_stall_ns);
+  set_gauge(prefix + ".abr_demotions", stats.abr_demotions);
 }
 
 void publish_stage_timings(const core::StageTimingsNs& timings,

@@ -16,7 +16,7 @@ namespace sgs::obs {
 
 // StreamCacheStats -> gauges: hits, misses, prefetches, evictions,
 // bytes_fetched, upgrades, fetch_errors, degraded_groups, failed_groups,
-// coarse_fallbacks.
+// coarse_fallbacks, net_bytes, net_stall_ns, abr_demotions.
 void publish_cache_stats(const core::StreamCacheStats& stats,
                          const std::string& prefix = "cache");
 

@@ -32,14 +32,21 @@ void SessionSource::begin_frame(
     std::span<const voxel::DenseVoxelId> plan_voxels) {
   pinned_.assign(plan_voxels.begin(), plan_voxels.end());
   cache_->pin_plan(pinned_);
-  // This session's quality knob: tiers for the plan under its own policy.
-  selection_ =
-      stream::select_frame_tiers(cache_->store(), intent, pinned_, lod_);
+  // This session's quality knob: tiers for the plan under its own policy,
+  // with the session's own measured link estimate folded into the ABR term
+  // (each session adapts to the throughput IT observed — a congested
+  // viewer demotes without touching its neighbors' fidelity).
+  stream::LodPolicy lod = lod_;
+  if (lod.abr_frame_budget_ns > 0 && lod.link_bandwidth_bytes_per_sec <= 0.0) {
+    lod.link_bandwidth_bytes_per_sec = session_stats_.estimated_bandwidth_bps();
+  }
+  selection_ = stream::select_frame_tiers(cache_->store(), intent, pinned_, lod);
   for (int t = 0; t < core::kLodTierCount; ++t) {
     tier_requests_[static_cast<std::size_t>(t)] +=
         selection_.histogram[static_cast<std::size_t>(t)];
   }
   if (selection_.demoted > 0) ++degraded_frames_;
+  session_stats_.record_abr_demotions(selection_.abr_demoted);
   // Resolve this frame's demand-fetch deadline to an absolute stage-clock
   // instant: the intent's budget wins over the queue config's default.
   const std::uint64_t rel =
@@ -53,7 +60,9 @@ void SessionSource::begin_frame(
     std::lock_guard<std::mutex> lk(fallback_mutex_);
     fallback_seen_.clear();
   }
-  queue_->enqueue(intent, &session_stats_, &lod_);
+  // Enqueue under the same ABR-adjusted policy the selection used, so the
+  // prefetch ranking and byte cap track this session's link estimate.
+  queue_->enqueue(intent, &session_stats_, &lod);
 }
 
 void SessionSource::end_frame() {
@@ -189,12 +198,18 @@ ServerReport SceneServer::report() const {
     sr.tier_requests = s.source.tier_requests();
     sr.degraded_frames = s.source.degraded_frames();
     sr.error_frames = s.error_frames;
+    sr.estimated_bandwidth_bps = s.source.estimated_bandwidth_bps();
     rep.stall_frames += sr.stall_frames;
     rep.fallback_frames += sr.fallback_frames;
     rep.latency.merge(sr.latency);
     rep.sessions.push_back(std::move(sr));
   }
   rep.shared_cache = cache_.stats();
+  // Demotion is a per-session front-end decision, so the shared cache's
+  // own counter is 0: the global view is the sessions' sum.
+  for (const SessionReport& sr : rep.sessions) {
+    rep.shared_cache.abr_demotions += sr.cache.abr_demotions;
+  }
   rep.global_hit_rate = rep.shared_cache.hit_rate();
   rep.merged_prefetch_requests = queue_.merged_requests();
   // Scoped to this server's lifetime, but the lane (and its counter) is

@@ -95,6 +95,14 @@ class SessionSource final : public stream::GroupSource {
     return tier_requests_;
   }
   const stream::LodPolicy& lod() const { return lod_; }
+  // This session's measured link estimate (EWMA over the transfers its
+  // demand misses and credited prefetches completed). When the session's
+  // policy enables the ABR term, begin_frame folds this into tier
+  // selection and the shared queue's prefetch byte cap — each session
+  // adapts to the link IT measured, over the one shared cache.
+  double estimated_bandwidth_bps() const {
+    return session_stats_.estimated_bandwidth_bps();
+  }
 
  private:
   stream::ResidencyCache* cache_;
@@ -162,6 +170,11 @@ struct SessionReport {
   // serve. The session still completed every one of them — fault isolation
   // means a bad group costs pixels of one group, never the session.
   std::size_t error_frames = 0;
+  // The session's link estimate at report time (0 = no transfer with a
+  // non-zero duration completed yet — e.g. local disk, everything already
+  // resident, or a perfect simulated link). ABR demotions it caused are in
+  // cache.abr_demotions.
+  double estimated_bandwidth_bps = 0.0;
 };
 
 struct ServerReport {

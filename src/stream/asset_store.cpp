@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <stdexcept>
 #include <utility>
 
@@ -389,76 +390,95 @@ bool AssetStore::write(const std::string& path,
 }
 
 AssetStore::AssetStore(const std::string& path) {
+  backend_ = std::make_shared<LocalFileBackend>(path);
   StreamError error;
-  if (!load(path, &error)) throw StreamException(std::move(error));
+  if (!load(&error)) throw StreamException(std::move(error));
+}
+
+AssetStore::AssetStore(std::shared_ptr<FetchBackend> backend) {
+  backend_ = std::move(backend);
+  StreamError error;
+  if (!load(&error)) throw StreamException(std::move(error));
 }
 
 std::unique_ptr<AssetStore> AssetStore::open(const std::string& path,
                                              StreamError* error) {
+  return open(std::make_shared<LocalFileBackend>(path), error);
+}
+
+std::unique_ptr<AssetStore> AssetStore::open(
+    std::shared_ptr<FetchBackend> backend, StreamError* error) {
   std::unique_ptr<AssetStore> store(new AssetStore());
-  if (!store->load(path, error)) return nullptr;
+  store->backend_ = std::move(backend);
+  if (!store->load(error)) return nullptr;
   return store;
 }
 
-bool AssetStore::load(const std::string& path, StreamError* error) {
+bool AssetStore::load(StreamError* error) {
   auto fail = [&](StreamErrorKind kind, std::string detail) {
     if (error != nullptr) *error = {kind, -1, -1, std::move(detail)};
     return false;
   };
+  if (backend_ == nullptr) {
+    return fail(StreamErrorKind::kIoOpen, "null fetch backend");
+  }
+  if (backend_->open_error().has_value()) {
+    if (error != nullptr) *error = *backend_->open_error();
+    return false;
+  }
+  // All open-time metadata streams through the same byte-ranged backend as
+  // payload reads; a transport fault mid-parse is latched in the streambuf
+  // so the catch below reports the typed transfer error.
+  FetchStreamBuf sbuf(*backend_);
+  std::istream in(&sbuf);
+  in.exceptions(std::ios_base::goodbit);
   // The format layer currently being parsed: an unexpected throw (truncation
   // inside get<>, a codebook load) is attributed to this kind.
   StreamErrorKind section = StreamErrorKind::kCorruptHeader;
   try {
-    file_.open(path, std::ios::binary);
-    if (!file_) {
-      return fail(StreamErrorKind::kIoOpen,
-                  "cannot open .sgsc store: " + path);
-    }
-    file_.seekg(0, std::ios::end);
-    const auto file_size = static_cast<std::uint64_t>(file_.tellg());
-    file_.seekg(0);
-    if (get<std::uint32_t>(file_) != kSgscMagic) {
+    const std::uint64_t file_size = backend_->size();
+    if (get<std::uint32_t>(in) != kSgscMagic) {
       return fail(StreamErrorKind::kCorruptHeader, "bad .sgsc magic");
     }
-    const std::uint32_t version = get<std::uint32_t>(file_);
+    const std::uint32_t version = get<std::uint32_t>(in);
     if (version != kSgscVersionV1 && version != kSgscVersion) {
       return fail(StreamErrorKind::kCorruptHeader,
                   "unsupported .sgsc version");
     }
-    vq_ = (get<std::uint32_t>(file_) & 1u) != 0;
-    config_.voxel_size = get<float>(file_);
-    config_.group_size = get<std::int32_t>(file_);
-    config_.ray_stride = get<std::int32_t>(file_);
-    config_.use_coarse_filter = get<std::uint8_t>(file_) != 0;
-    config_.background = get_vec3(file_);
+    vq_ = (get<std::uint32_t>(in) & 1u) != 0;
+    config_.voxel_size = get<float>(in);
+    config_.group_size = get<std::int32_t>(in);
+    config_.ray_stride = get<std::int32_t>(in);
+    config_.use_coarse_filter = get<std::uint8_t>(in) != 0;
+    config_.background = get_vec3(in);
     config_.use_vq = vq_;
 
     voxel::VoxelGridConfig gc;
-    gc.origin = get_vec3(file_);
-    gc.voxel_size = get<float>(file_);
-    gc.dims.x = get<std::int32_t>(file_);
-    gc.dims.y = get<std::int32_t>(file_);
-    gc.dims.z = get<std::int32_t>(file_);
+    gc.origin = get_vec3(in);
+    gc.voxel_size = get<float>(in);
+    gc.dims.x = get<std::int32_t>(in);
+    gc.dims.y = get<std::int32_t>(in);
+    gc.dims.z = get<std::int32_t>(in);
     if (gc.voxel_size <= 0.0f || gc.dims.x <= 0 || gc.dims.y <= 0 ||
         gc.dims.z <= 0) {
       return fail(StreamErrorKind::kCorruptHeader,
                   ".sgsc grid config implausible");
     }
-    gaussian_count_ = static_cast<std::size_t>(get<std::uint64_t>(file_));
-    const std::uint32_t n_groups = get<std::uint32_t>(file_);
+    gaussian_count_ = static_cast<std::size_t>(get<std::uint64_t>(in));
+    const std::uint32_t n_groups = get<std::uint32_t>(in);
     if (gaussian_count_ > (std::uint64_t{1} << 32) ||
         n_groups > (1u << 28)) {
       return fail(StreamErrorKind::kCorruptHeader, ".sgsc counts implausible");
     }
     if (version >= kSgscVersion) {
-      tier_count_ = get<std::uint8_t>(file_);
+      tier_count_ = get<std::uint8_t>(in);
       if (tier_count_ < 2 || tier_count_ > kLodTierCount) {
         // A v2 file with one tier is written as v1; anything else is corrupt.
         return fail(StreamErrorKind::kCorruptHeader,
                     ".sgsc tier count implausible");
       }
       for (int t = 0; t < tier_count_; ++t) {
-        tier_sh_[static_cast<std::size_t>(t)] = get<std::uint8_t>(file_);
+        tier_sh_[static_cast<std::size_t>(t)] = get<std::uint8_t>(in);
       }
       if (tier_sh_[0] != gs::kShCoeffCount) {
         return fail(StreamErrorKind::kCorruptHeader,
@@ -475,10 +495,10 @@ bool AssetStore::load(const std::string& path, StreamError* error) {
     }
 
     if (vq_) {
-      scale_cb_ = vq::Codebook::load(file_);
-      rotation_cb_ = vq::Codebook::load(file_);
-      dc_cb_ = vq::Codebook::load(file_);
-      sh_cb_ = vq::Codebook::load(file_);
+      scale_cb_ = vq::Codebook::load(in);
+      rotation_cb_ = vq::Codebook::load(in);
+      dc_cb_ = vq::Codebook::load(in);
+      sh_cb_ = vq::Codebook::load(in);
       if (scale_cb_.dim() != 3 || rotation_cb_.dim() != 4 ||
           dc_cb_.dim() != 3 || sh_cb_.dim() != 45) {
         return fail(StreamErrorKind::kCorruptHeader,
@@ -490,21 +510,21 @@ bool AssetStore::load(const std::string& path, StreamError* error) {
     directory_.resize(n_groups);
     std::uint64_t total_count = 0;
     for (AssetDirEntry& e : directory_) {
-      e.raw_id = get<std::int64_t>(file_);
+      e.raw_id = get<std::int64_t>(in);
       if (tier_count_ == 1) {
-        e.tiers[0].offset = get<std::uint64_t>(file_);
-        e.tiers[0].bytes = get<std::uint64_t>(file_);
-        e.tiers[0].count = get<std::uint32_t>(file_);
-        e.aabb_min = get_vec3(file_);
-        e.aabb_max = get_vec3(file_);
+        e.tiers[0].offset = get<std::uint64_t>(in);
+        e.tiers[0].bytes = get<std::uint64_t>(in);
+        e.tiers[0].count = get<std::uint32_t>(in);
+        e.aabb_min = get_vec3(in);
+        e.aabb_max = get_vec3(in);
       } else {
-        e.aabb_min = get_vec3(file_);
-        e.aabb_max = get_vec3(file_);
+        e.aabb_min = get_vec3(in);
+        e.aabb_max = get_vec3(in);
         for (int t = 0; t < tier_count_; ++t) {
           TierExtent& x = e.tiers[static_cast<std::size_t>(t)];
-          x.offset = get<std::uint64_t>(file_);
-          x.bytes = get<std::uint64_t>(file_);
-          x.count = get<std::uint32_t>(file_);
+          x.offset = get<std::uint64_t>(in);
+          x.bytes = get<std::uint64_t>(in);
+          x.count = get<std::uint32_t>(in);
         }
       }
       e.offset = e.tiers[0].offset;
@@ -544,10 +564,10 @@ bool AssetStore::load(const std::string& path, StreamError* error) {
         entries += directory_[v].tiers[static_cast<std::size_t>(t)].count;
       }
       table.resize(entries);
-      file_.read(reinterpret_cast<char*>(table.data()),
-                 static_cast<std::streamsize>(table.size() *
-                                              sizeof(std::uint32_t)));
-      if (!file_) {
+      in.read(reinterpret_cast<char*>(table.data()),
+              static_cast<std::streamsize>(table.size() *
+                                           sizeof(std::uint32_t)));
+      if (!in) {
         return fail(StreamErrorKind::kCorruptIndex,
                     "truncated .sgsc index table");
       }
@@ -590,7 +610,23 @@ bool AssetStore::load(const std::string& path, StreamError* error) {
     if (error != nullptr) *error = e.error();
     return false;
   } catch (const std::exception& e) {
+    // A transport fault mid-parse (network timeout, short transfer) is the
+    // backend's typed error, not a corrupt-section misdiagnosis.
+    if (sbuf.last_error().has_value()) {
+      if (error != nullptr) {
+        *error = *sbuf.last_error();
+        error->detail += " (while reading .sgsc metadata)";
+      }
+      return false;
+    }
     return fail(section, e.what());
+  }
+  if (sbuf.last_error().has_value()) {
+    if (error != nullptr) {
+      *error = *sbuf.last_error();
+      error->detail += " (while reading .sgsc metadata)";
+    }
+    return false;
   }
   return true;
 }
@@ -641,17 +677,27 @@ DecodedGroup AssetStore::read_group_impl(voxel::DenseVoxelId v,
   }
   const TierExtent& e = tier_extent(v, tier);
   std::vector<char> buf(static_cast<std::size_t>(e.bytes));
+  std::uint64_t fetch_ns = 0;
   {
     SGS_TRACE_SPAN("cache", "read", "group", static_cast<std::uint64_t>(v),
                    "tier", static_cast<std::uint64_t>(tier));
-    std::lock_guard<std::mutex> lk(file_mutex_);
-    // clear() first: a previous failed read of some *other* group left the
-    // stream's failbit set, and this read must not inherit that fate (the
-    // per-group failure domain).
-    file_.clear();
-    file_.seekg(static_cast<std::streamoff>(e.offset));
-    file_.read(buf.data(), static_cast<std::streamsize>(buf.size()));
-    if (!file_) throw fail(StreamErrorKind::kIoRead, "truncated .sgsc payload");
+    StreamResult<FetchInfo> read =
+        backend_->read_range(e.offset, std::span<char>(buf.data(), buf.size()));
+    if (!read.ok()) {
+      // Re-scope the transport's store-level error with the group+tier the
+      // cache needs for retry/backoff/degraded bookkeeping.
+      StreamError err = read.take_error();
+      err.group = static_cast<std::int64_t>(v);
+      err.tier = tier;
+      throw StreamException(std::move(err));
+    }
+    if (read.value().bytes != e.bytes) {
+      // A backend that reports success but delivered fewer bytes than the
+      // directory extent is still a short read mid-payload — map it to
+      // kIoRead here rather than letting the decoder misreport it.
+      throw fail(StreamErrorKind::kIoRead, "truncated .sgsc payload");
+    }
+    fetch_ns = read.value().elapsed_ns;
   }
 
   // Decode bracket: the span feeds the trace timeline; the thread-local
@@ -664,6 +710,7 @@ DecodedGroup AssetStore::read_group_impl(voxel::DenseVoxelId v,
   DecodedGroup group;
   group.model_indices = group_indices(v, tier);
   group.payload_bytes = e.bytes;
+  group.fetch_ns = fetch_ns;
   group.tier = tier;
   gs::GaussianColumns& cols = group.cols;
   cols.resize(e.count);  // freshly sized columns are zero-filled

@@ -60,6 +60,7 @@
 #include "core/streaming_trace.hpp"
 #include "gs/gaussian.hpp"
 #include "gs/gaussian_soa.hpp"
+#include "stream/fetch_backend.hpp"
 #include "stream/stream_error.hpp"
 #include "voxel/grid.hpp"
 #include "vq/codebook.hpp"
@@ -101,6 +102,9 @@ struct DecodedGroup {
   std::span<const std::uint32_t> model_indices;  // store's resident index table
   gs::GaussianColumns cols;
   std::uint64_t payload_bytes = 0;  // file bytes this fetch read
+  std::uint64_t fetch_ns = 0;       // backend transfer time for those bytes
+                                    // (virtual on a simulated link) — what
+                                    // a BandwidthEstimator observes
   int tier = 0;                     // which payload tier was decoded
 
   std::size_t size() const { return cols.size(); }
@@ -160,13 +164,25 @@ class AssetStore {
   // tables; reassembles the voxel grid. Payloads stay on disk. Accepts v1
   // files (read as a single-tier v2). Throws StreamException (a
   // std::runtime_error carrying the typed StreamError) on malformed input.
+  // The path overload reads through a LocalFileBackend — byte-identical to
+  // the pre-seam direct-file path; the backend overload streams everything
+  // (open-time metadata included) through the given transport.
   explicit AssetStore(const std::string& path);
+  explicit AssetStore(std::shared_ptr<FetchBackend> backend);
 
   // Non-throwing open: returns nullptr on failure, with the typed error in
   // *error (when non-null). The fault-isolated entry point a long-lived
   // server uses so one bad store cannot unwind the process.
   static std::unique_ptr<AssetStore> open(const std::string& path,
                                           StreamError* error = nullptr);
+  static std::unique_ptr<AssetStore> open(std::shared_ptr<FetchBackend> backend,
+                                          StreamError* error = nullptr);
+
+  // The transport this store reads through (never null once constructed).
+  // Its stats() are the link-level transfer counters — open-time metadata
+  // and coarse-floor pin traffic included, unlike the cache's fetch-scoped
+  // net_bytes/net_stall_ns.
+  const FetchBackend& backend() const { return *backend_; }
 
   bool vector_quantized() const { return vq_; }
   std::size_t gaussian_count() const { return gaussian_count_; }
@@ -227,19 +243,21 @@ class AssetStore {
     return core::StreamingScene::from_parts(config_, grid_);
   }
 
-  // Reads one group's payload at `tier` from disk and decodes it.
-  // Thread-safe: the file handle is shared under a mutex, decode runs
-  // outside the lock. `tier` must be < tier_count(). Throws
-  // StreamException on a failed read or corrupt payload — the thin legacy
-  // wrapper over read_group_checked below.
+  // Reads one group's payload at `tier` through the backend and decodes
+  // it. Thread-safe: backends serialize their own transport, decode runs
+  // unlocked. `tier` must be < tier_count(). Throws StreamException on a
+  // failed transfer or corrupt payload — the thin legacy wrapper over
+  // read_group_checked below.
   DecodedGroup read_group(voxel::DenseVoxelId v, int tier = 0) const;
 
   // The typed, non-throwing read path: returns the decoded group or a
-  // StreamError (kIoRead / kCorruptPayload / kDecode, group+tier tagged)
-  // without ever propagating an exception. A failed read is a recoverable,
-  // per-group event: the store stays open and every other group stays
-  // readable (the file handle's error state is cleared per read). This is
-  // what the ResidencyCache fetches through.
+  // StreamError (kIoRead / kNetTimeout / kCorruptPayload / kDecode,
+  // group+tier tagged) without ever propagating an exception. A failed
+  // read is a recoverable, per-group event: the store stays open and every
+  // other group stays readable. A transfer that delivers fewer bytes than
+  // the directory extent — a short read mid-payload, however the backend
+  // noticed it — maps to kIoRead with group+tier context here, never to a
+  // decode error. This is what the ResidencyCache fetches through.
   StreamResult<DecodedGroup> read_group_checked(voxel::DenseVoxelId v,
                                                 int tier = 0) const;
 
@@ -248,9 +266,9 @@ class AssetStore {
   // state private so a half-loaded store can never escape.
   AssetStore() = default;
 
-  // Parses the store at `path` into this instance. Returns false with the
-  // typed error in *error on any malformed input; never throws.
-  bool load(const std::string& path, StreamError* error);
+  // Parses the store behind backend_ into this instance. Returns false
+  // with the typed error in *error on any malformed input; never throws.
+  bool load(StreamError* error);
 
   // The throwing core of the read path (throws StreamException only);
   // read_group_checked catches and converts.
@@ -271,8 +289,8 @@ class AssetStore {
   std::array<std::vector<std::uint64_t>, kLodTierCount> index_offsets_;
   vq::Codebook scale_cb_, rotation_cb_, dc_cb_, sh_cb_;
 
-  mutable std::mutex file_mutex_;
-  mutable std::ifstream file_;
+  // The byte-ranged transport every read goes through (fetch_backend.hpp).
+  std::shared_ptr<FetchBackend> backend_;
 };
 
 }  // namespace sgs::stream

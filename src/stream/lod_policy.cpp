@@ -29,6 +29,19 @@ float group_footprint_px(const AssetStore& store, const FrameIntent& intent,
 
 }  // namespace
 
+std::uint64_t abr_frame_budget_bytes(const LodPolicy& policy) {
+  if (policy.abr_frame_budget_ns == 0 ||
+      policy.link_bandwidth_bytes_per_sec <= 0.0) {
+    return 0;
+  }
+  const double bytes = policy.link_bandwidth_bytes_per_sec *
+                       std::max(policy.abr_safety, 0.0) *
+                       static_cast<double>(policy.abr_frame_budget_ns) * 1e-9;
+  // Clamp to >= 1 so an active term always constrains instead of rounding
+  // down to "disabled".
+  return bytes >= 1.0 ? static_cast<std::uint64_t>(bytes) : 1;
+}
+
 int select_group_tier(const AssetStore& store, const FrameIntent& intent,
                       voxel::DenseVoxelId v, const LodPolicy& policy) {
   if (policy.force_tier0 || intent.camera == nullptr) return 0;
@@ -75,21 +88,42 @@ TierSelection select_frame_tiers(
   int store_max = store.tier_count() - 1;
   if (policy.reserve_coarse_tier && store_max > 0) --store_max;
   const int max_tier = std::clamp(policy.max_tier, 0, store_max);
-  if (policy.frame_fetch_budget_bytes > 0 && !policy.force_tier0 &&
-      max_tier > 0) {
+  // Effective budget: the static byte target tightened by what the
+  // estimated link can move before the frame deadline (the ABR term).
+  // Either side may be absent (0 = unconstrained).
+  const std::uint64_t static_budget = policy.frame_fetch_budget_bytes;
+  const std::uint64_t abr_budget = abr_frame_budget_bytes(policy);
+  std::uint64_t budget = static_budget;
+  if (abr_budget > 0) {
+    budget = budget == 0 ? abr_budget : std::min(budget, abr_budget);
+  }
+  if (budget > 0 && !policy.force_tier0 && max_tier > 0) {
     std::sort(order.begin(), order.end(), [](const Candidate& a,
                                              const Candidate& b) {
       return a.depth != b.depth ? a.depth < b.depth : a.id < b.id;
     });
+    // Two accumulators walk the same near-to-far order: `est` against the
+    // effective budget decides demotion; `est_static` replays what the
+    // static budget alone would have done, so abr_demoted counts exactly
+    // the demotions the throughput term is responsible for.
     std::uint64_t est = 0;
+    std::uint64_t est_static = 0;
     bool over = false;
+    bool over_static = false;
     for (Candidate& c : order) {
+      const bool static_demotes = static_budget > 0 && over_static;
+      const std::uint64_t tier_bytes = store.tier_extent(c.id, c.tier).bytes;
+      if (static_budget > 0 && !over_static) {
+        est_static += tier_bytes;
+        if (est_static > static_budget) over_static = true;
+      }
       if (!over) {
-        est += store.tier_extent(c.id, c.tier).bytes;
-        if (est > policy.frame_fetch_budget_bytes) over = true;
+        est += tier_bytes;
+        if (est > budget) over = true;
       } else if (c.tier < max_tier) {
         c.tier = max_tier;
         ++sel.demoted;
+        if (!static_demotes) ++sel.abr_demoted;
       }
     }
   }

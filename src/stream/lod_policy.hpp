@@ -17,6 +17,20 @@
 // cache state. Frames that demoted at least one group below its footprint
 // tier are "degraded" (ServerReport counts them per session).
 //
+// ABR (throughput) term: the bandwidth-adaptive half of demotion. A
+// front-end that owns a BandwidthEstimator copies its current estimate
+// into link_bandwidth_bytes_per_sec each frame before selection; with
+// abr_frame_budget_ns set, the frame's effective byte budget becomes
+// min(frame_fetch_budget_bytes, bandwidth * budget_ns * abr_safety) — the
+// bytes the estimated link can actually move before the frame deadline.
+// Demotions the ABR term forces *beyond* what the static budget alone
+// would have are counted in TierSelection::abr_demoted. Selection stays a
+// pure function of its inputs — the estimate is an explicit policy field,
+// never read from shared state — but with ABR active the inputs include
+// measured throughput, so cross-run bit-exactness holds only when the
+// transfer schedule does (e.g. a deterministic SimulatedNetworkBackend).
+// All defaults keep the term inert.
+//
 // force_tier0 is the golden-test switch: every request is L0, which makes
 // out-of-core rendering bit-identical to resident rendering even on a
 // multi-tier store.
@@ -51,7 +65,22 @@ struct LodPolicy {
   bool reserve_coarse_tier = false;
   // Request L0 everywhere (bit-exact out-of-core rendering).
   bool force_tier0 = false;
+
+  // --- ABR throughput term (see the header comment) ---
+  // Estimated link throughput, written by the owning front-end each frame
+  // from its BandwidthEstimator. 0 = no estimate (term inert this frame).
+  double link_bandwidth_bytes_per_sec = 0.0;
+  // Time the frame's fetch traffic must fit into (the frame's fetch
+  // deadline, typically); 0 disables the ABR term entirely.
+  std::uint64_t abr_frame_budget_ns = 0;
+  // Headroom fraction of the estimated link the budget may claim.
+  double abr_safety = 0.85;
 };
+
+// Bytes the estimated link can move within the policy's ABR window, or 0
+// when the term is inactive (disabled, or no estimate yet). Shared by
+// select_frame_tiers and the prefetch byte-budget clamps.
+std::uint64_t abr_frame_budget_bytes(const LodPolicy& policy);
 
 // Per-frame outcome of tier selection over a FramePlan's candidate set.
 struct TierSelection {
@@ -62,6 +91,9 @@ struct TierSelection {
   std::array<std::uint32_t, kLodTierCount> histogram{};
   // Plan groups pushed below their footprint tier by the byte budget.
   std::uint32_t demoted = 0;
+  // The subset of `demoted` forced by the ABR throughput term alone — the
+  // static frame_fetch_budget_bytes would have kept their footprint tier.
+  std::uint32_t abr_demoted = 0;
 
   // The tier an acquire of `v` should request under this selection; a
   // default-constructed (never-selected) instance requests L0 everywhere.

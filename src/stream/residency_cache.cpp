@@ -224,6 +224,7 @@ AcquireOutcome ResidencyCache::acquire_outcome(voxel::DenseVoxelId v, int tier,
     }
     out.missed = true;
     out.bytes_fetched = e.group.payload_bytes;
+    out.fetch_ns = e.group.fetch_ns;
   }
   // Pin on every path — including degraded empty views and floor serves —
   // so the caller's unconditional release() stays balanced.
@@ -297,7 +298,8 @@ bool ResidencyCache::prefetch(voxel::DenseVoxelId v, int tier,
 
 PrefetchResult ResidencyCache::prefetch_checked(voxel::DenseVoxelId v,
                                                 int tier,
-                                                std::uint64_t* fetched_bytes) {
+                                                std::uint64_t* fetched_bytes,
+                                                std::uint64_t* fetched_ns) {
   std::unique_lock<std::mutex> lk(mutex_);
   Entry& e = entries_[static_cast<std::size_t>(v)];
   if (e.loading) return PrefetchResult::kSkipped;
@@ -318,6 +320,7 @@ PrefetchResult ResidencyCache::prefetch_checked(voxel::DenseVoxelId v,
     return PrefetchResult::kErrored;
   }
   if (fetched_bytes != nullptr) *fetched_bytes = e.group.payload_bytes;
+  if (fetched_ns != nullptr) *fetched_ns = e.group.fetch_ns;
   evict_over_budget_locked();
   return PrefetchResult::kFetched;
 }
@@ -488,6 +491,11 @@ bool ResidencyCache::fetch_locked(std::unique_lock<std::mutex>& lk,
   stats_.bytes_fetched += e.group.payload_bytes;
   stats_.tier_bytes_fetched[static_cast<std::size_t>(tier)] +=
       e.group.payload_bytes;
+  // Link accounting (trace v8): the backend transfer this fetch completed.
+  // Fetch-scoped like bytes_fetched — floor pinning and open-time metadata
+  // traffic live in the store backend's own stats(), not here.
+  stats_.net_bytes += e.group.payload_bytes;
+  stats_.net_stall_ns += e.group.fetch_ns;
   if (is_prefetch) {
     ++stats_.prefetches;
     ++stats_.tier_prefetches[static_cast<std::size_t>(tier)];

@@ -144,6 +144,10 @@ struct AcquireOutcome {
   bool missed = false;
   // On-disk payload bytes this call fetched (non-zero only when `missed`).
   std::uint64_t bytes_fetched = 0;
+  // Backend transfer time for those bytes (non-zero only when `missed`;
+  // virtual on a simulated link) — what the caller's BandwidthEstimator
+  // observes and its per-session net_stall_ns accumulates.
+  std::uint64_t fetch_ns = 0;
   // LOD attribution: the tier the caller asked for, the tier the returned
   // view actually carries (served <= requested — a resident better tier
   // satisfies a worse request — EXCEPT degraded serves, which may return a
@@ -241,9 +245,12 @@ class ResidencyCache final : public GroupSource {
   bool prefetch(voxel::DenseVoxelId v, int tier = 0,
                 std::uint64_t* fetched_bytes = nullptr);
   // Same, with the outcome distinguished — what a batch drain uses to
-  // count per-group errors without aborting the rest of the batch.
+  // count per-group errors without aborting the rest of the batch. When it
+  // fetched and `fetched_ns` is non-null, the backend transfer time is
+  // stored there (the drain feeds it to the session's BandwidthEstimator).
   PrefetchResult prefetch_checked(voxel::DenseVoxelId v, int tier = 0,
-                                  std::uint64_t* fetched_bytes = nullptr);
+                                  std::uint64_t* fetched_bytes = nullptr,
+                                  std::uint64_t* fetched_ns = nullptr);
 
   // Failure-domain introspection -----------------------------------------
   // True when at least one of `v`'s tiers has exhausted its retry budget

@@ -39,6 +39,9 @@ enum class StreamErrorKind : std::uint8_t {
   kCorruptIndex,        // index/tier tables truncated or not a subsequence
   kCorruptPayload,      // payload bytes fail validation (codebook range)
   kDecode,              // decode-side failure (allocation, internal)
+  kNetTimeout,          // network transfer lost or timed out (group-scoped
+                        // when it hits a payload read; the cache retries it
+                        // exactly like a disk error)
 };
 
 inline const char* to_string(StreamErrorKind kind) {
@@ -51,6 +54,7 @@ inline const char* to_string(StreamErrorKind kind) {
     case StreamErrorKind::kCorruptIndex: return "corrupt-index";
     case StreamErrorKind::kCorruptPayload: return "corrupt-payload";
     case StreamErrorKind::kDecode: return "decode";
+    case StreamErrorKind::kNetTimeout: return "net-timeout";
   }
   return "unknown";
 }

@@ -73,6 +73,13 @@ std::vector<PrefetchRequest> rank_prefetch_groups(
     return a.depth != b.depth ? a.depth < b.depth : a.id < b.id;
   });
 
+  // The per-frame byte cap tightens to what the estimated link can move
+  // before the deadline when the policy's ABR term is live — prefetch must
+  // not over-commit a link the frame's demand traffic also needs.
+  std::uint64_t max_bytes = config.max_bytes_per_frame;
+  const std::uint64_t abr_bytes = abr_frame_budget_bytes(config.lod);
+  if (abr_bytes > 0) max_bytes = std::min(max_bytes, abr_bytes);
+
   std::vector<PrefetchRequest> batch;
   std::uint64_t bytes = 0;
   for (const Ranked& r : ranked) {
@@ -80,7 +87,7 @@ std::vector<PrefetchRequest> rank_prefetch_groups(
     // Each candidate costs its own tier's payload, not the full group:
     // the same byte budget prefetches further ahead on pruned tiers.
     const std::uint64_t b = store.tier_extent(r.id, r.tier).bytes;
-    if (bytes + b > config.max_bytes_per_frame && !batch.empty()) break;
+    if (bytes + b > max_bytes && !batch.empty()) break;
     PrefetchRequest req;
     req.id = r.id;
     req.tier = r.tier;
@@ -169,11 +176,18 @@ void StreamingLoader::begin_frame(
     const FrameIntent& intent,
     std::span<const voxel::DenseVoxelId> plan_voxels) {
   cache_->begin_frame(intent, plan_voxels);
+  // ABR: fold the measured link estimate into this frame's policy before
+  // selection. Selection stays a pure function of its inputs — the
+  // estimate rides in as an explicit field, not shared state.
+  LodPolicy lod = config_.lod;
+  if (lod.abr_frame_budget_ns > 0 && lod.link_bandwidth_bytes_per_sec <= 0.0) {
+    lod.link_bandwidth_bytes_per_sec = estimator_.bandwidth_bytes_per_sec();
+  }
   // Tier selection for this frame's plan: acquire() consults it per group.
   // Recomputed every frame — a camera-less intent must reset the map to
   // all-L0, not leave the previous frame's pruned tiers in force.
-  selection_ =
-      select_frame_tiers(cache_->store(), intent, plan_voxels, config_.lod);
+  selection_ = select_frame_tiers(cache_->store(), intent, plan_voxels, lod);
+  abr_demotions_.fetch_add(selection_.abr_demoted, std::memory_order_relaxed);
   // Resolve this frame's demand-fetch deadline to an absolute stage-clock
   // instant. The intent's budget wins over the config's default.
   const std::uint64_t rel = intent.fetch_deadline_ns != kNoFetchDeadline
@@ -186,7 +200,12 @@ void StreamingLoader::begin_frame(
     fallback_seen_.clear();
   }
   if (intent.camera != nullptr) {
-    const std::vector<PrefetchRequest> batch = rank_prefetch(intent);
+    // Rank under the ABR-adjusted policy so the prefetch byte cap tracks
+    // the same link estimate the tier selection just used.
+    PrefetchConfig cfg = config_;
+    cfg.lod = lod;
+    const std::vector<PrefetchRequest> batch =
+        rank_prefetch_groups(*cache_, intent, cfg);
     for (const PrefetchRequest& r : batch) queue_.push(r);
   }
   // Even a camera-less frame drains: urgent re-queues from the previous
@@ -206,7 +225,12 @@ void StreamingLoader::drain_queue() {
   SGS_TRACE_SPAN("prefetch", "prefetch_batch", "pending", queue_.pending());
   PrefetchRequest r;
   while (queue_.pop(&r, core::stage_clock_ns())) {
-    cache_->prefetch(r.id, r.tier);
+    std::uint64_t bytes = 0;
+    std::uint64_t ns = 0;
+    if (cache_->prefetch_checked(r.id, r.tier, &bytes, &ns) ==
+        PrefetchResult::kFetched) {
+      estimator_.observe(bytes, ns);
+    }
   }
 }
 
@@ -216,6 +240,9 @@ GroupView StreamingLoader::acquire(voxel::DenseVoxelId v) {
   const int tier = selection_.tier_of(v);
   const AcquireOutcome outcome =
       cache_->acquire_outcome(v, tier, frame_deadline_ns_);
+  if (outcome.missed && !outcome.degraded) {
+    estimator_.observe(outcome.bytes_fetched, outcome.fetch_ns);
+  }
   if (outcome.coarse_fallback) {
     bool first = false;
     {
@@ -244,7 +271,11 @@ GroupView StreamingLoader::acquire(voxel::DenseVoxelId v) {
 void StreamingLoader::release(voxel::DenseVoxelId v) { cache_->release(v); }
 
 core::StreamCacheStats StreamingLoader::stats() const {
-  return cache_->stats();
+  core::StreamCacheStats s = cache_->stats();
+  // Demotion is a front-end decision: the shared cache's counter stays 0,
+  // this loader reports the demotions its own frames accumulated.
+  s.abr_demotions = abr_demotions_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void StreamingLoader::wait_idle() const { async_wait_idle(); }
@@ -267,6 +298,13 @@ std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
                                          const LodPolicy* lod) {
   PrefetchConfig cfg = config_;
   if (lod != nullptr) cfg.lod = *lod;
+  // Per-session ABR: when the policy's throughput term is live but the
+  // caller did not fold an estimate in, use the session sink's own — its
+  // ranking and byte cap then track the link that session measured.
+  if (sink != nullptr && cfg.lod.abr_frame_budget_ns > 0 &&
+      cfg.lod.link_bandwidth_bytes_per_sec <= 0.0) {
+    cfg.lod.link_bandwidth_bytes_per_sec = sink->estimated_bandwidth_bps();
+  }
   std::vector<PrefetchRequest> ranked =
       rank_prefetch_groups(*cache_, intent, cfg);
   // Push against every session's pending requests: a group already queued
@@ -313,10 +351,12 @@ void SharedPrefetchQueue::drain() {
   PrefetchRequest r;
   while (queue_.pop(&r, core::stage_clock_ns())) {
     std::uint64_t bytes = 0;
-    const PrefetchResult result = cache_->prefetch_checked(r.id, r.tier, &bytes);
+    std::uint64_t ns = 0;
+    const PrefetchResult result =
+        cache_->prefetch_checked(r.id, r.tier, &bytes, &ns);
     if (r.sink != nullptr) {
       if (result == PrefetchResult::kFetched) {
-        r.sink->record_prefetch(bytes, r.tier);
+        r.sink->record_prefetch(bytes, r.tier, ns);
       } else if (result == PrefetchResult::kErrored) {
         r.sink->record_prefetch_error();
       }

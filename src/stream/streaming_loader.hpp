@@ -44,6 +44,7 @@
 // classes' fallback re-queues are safe from any number of threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <mutex>
@@ -51,6 +52,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "stream/bandwidth_estimator.hpp"
 #include "stream/lod_policy.hpp"
 #include "stream/residency_cache.hpp"
 
@@ -180,6 +182,9 @@ class SessionCacheStats {
       stats_.bytes_fetched += outcome.bytes_fetched;
       stats_.tier_bytes_fetched[static_cast<std::size_t>(
           outcome.requested_tier)] += outcome.bytes_fetched;
+      stats_.net_bytes += outcome.bytes_fetched;
+      stats_.net_stall_ns += outcome.fetch_ns;
+      estimator_.observe(outcome.bytes_fetched, outcome.fetch_ns);
     } else {
       // Hits — including deadline fallbacks (outcome.coarse_fallback),
       // which are hits at the served floor/stale tier; the once-per-
@@ -195,12 +200,32 @@ class SessionCacheStats {
     std::lock_guard<std::mutex> lk(mutex_);
     ++stats_.coarse_fallbacks;
   }
-  void record_prefetch(std::uint64_t bytes, int tier = 0) {
+  // `net_ns` is the backend transfer time of the fetch (0 on a local disk
+  // or perfect link) — it feeds this session's net counters and bandwidth
+  // estimate alongside the byte traffic.
+  void record_prefetch(std::uint64_t bytes, int tier = 0,
+                       std::uint64_t net_ns = 0) {
     std::lock_guard<std::mutex> lk(mutex_);
     ++stats_.prefetches;
     ++stats_.tier_prefetches[static_cast<std::size_t>(tier)];
     stats_.bytes_fetched += bytes;
     stats_.tier_bytes_fetched[static_cast<std::size_t>(tier)] += bytes;
+    stats_.net_bytes += bytes;
+    stats_.net_stall_ns += net_ns;
+    estimator_.observe(bytes, net_ns);
+  }
+  // ABR demotions this session's frame selection charged to the throughput
+  // term (TierSelection::abr_demoted, credited once per begin_frame).
+  void record_abr_demotions(std::uint32_t n) {
+    if (n == 0) return;
+    std::lock_guard<std::mutex> lk(mutex_);
+    stats_.abr_demotions += n;
+  }
+  // This session's measured link estimate: what its frame front-end copies
+  // into LodPolicy::link_bandwidth_bytes_per_sec before tier selection.
+  // 0 until a transfer with non-zero duration completes.
+  double estimated_bandwidth_bps() const {
+    return estimator_.bandwidth_bytes_per_sec();
   }
   // A prefetch this session requested was attempted and errored (the batch
   // continues past it; the error is attributed here). Unlike the traffic
@@ -223,6 +248,10 @@ class SessionCacheStats {
   core::StreamCacheStats stats_;  // evictions stay 0: they are a property
                                   // of the shared cache, not of a session
   std::unordered_set<voxel::DenseVoxelId> failed_seen_;
+  // Per-session link estimate over the transfers attributed to this
+  // session (demand misses + credited prefetches). Own mutex: observe()
+  // is called under mutex_, and the estimator's lock is a leaf.
+  BandwidthEstimator estimator_;
 };
 
 class StreamingLoader final : public GroupSource {
@@ -251,6 +280,11 @@ class StreamingLoader final : public GroupSource {
   // The loader's priority queue (pending/merged/expired introspection).
   const PrefetchPriorityQueue& queue() const { return queue_; }
 
+  // The loader's link estimate over its completed demand + prefetch
+  // transfers. begin_frame folds it into tier selection when the config's
+  // LodPolicy enables the ABR term (abr_frame_budget_ns > 0).
+  const BandwidthEstimator& estimator() const { return estimator_; }
+
   ResidencyCache& cache() { return *cache_; }
   const PrefetchConfig& config() const { return config_; }
 
@@ -261,6 +295,11 @@ class StreamingLoader final : public GroupSource {
   PrefetchConfig config_;
   TierSelection selection_;  // tier_by_group consulted by acquire()
   PrefetchPriorityQueue queue_;
+  // Link estimate fed by every completed transfer this loader triggered;
+  // stats() reports the ABR demotions its frames accumulated (the cache's
+  // global counter stays 0 — demotion is a front-end decision).
+  BandwidthEstimator estimator_;
+  std::atomic<std::uint64_t> abr_demotions_{0};
   // This frame's absolute demand-fetch deadline on core::stage_clock_ns
   // (computed in begin_frame from the intent's/config's relative budget).
   std::uint64_t frame_deadline_ns_ = kNoFetchDeadline;

@@ -92,6 +92,16 @@ check_contract "coarse tier store contract" src/stream/asset_store.hpp \
 check_contract "deadline prefetch contract" src/stream/streaming_loader.hpp \
   fetch_deadline_ns kNoFetchDeadline kUrgentPriority PrefetchPriorityQueue
 
+# 10. The network seam: byte-ranged fetch backends under the store, and
+#     the bandwidth-adaptive (ABR) tier-selection loop measured over them.
+check_contract "fetch backend contract" src/stream/fetch_backend.hpp \
+  FetchBackend LocalFileBackend MemoryBackend SimulatedNetworkBackend \
+  NetProfile read_range
+check_contract "ABR contract" src/stream/bandwidth_estimator.hpp \
+  BandwidthEstimator observe bandwidth_bytes_per_sec
+check_contract "ABR policy contract" src/stream/lod_policy.hpp \
+  link_bandwidth_bytes_per_sec abr_frame_budget_ns abr_demoted
+
 # TODO markers must not ship in the normative docs.
 if grep -rn '\bTODO\b' docs/; then
   fail "TODO marker found in docs/"
