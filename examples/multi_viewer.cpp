@@ -18,6 +18,7 @@
 // tiers (and may be served better-than-requested tiers a neighbor paid
 // for).
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -44,8 +45,18 @@ constexpr const char* kUsage = R"(multi_viewer — N viewer sessions over one sh
   --res_scale <f>     fraction of the preset resolution (default 0.25)
   --arc <f>           fraction of the orbit each session walks (default 0.03)
   --spread <f>        orbit phase offset between sessions (default 0.01)
-  --cache_mb <n>      shared cache budget in MiB (0 = 35% of the decoded scene)
+  --cache_mb <n>      shared cache budget in MiB (0 = 35% of the decoded
+                      scene(s); with --scenes the budget is sharded across
+                      scenes and rebalanced by demand)
   --store <path>      where to write the .sgsc store (default /tmp/multi_viewer.sgsc)
+  --scenes <list>     comma-separated .sgsc store paths to host in ONE
+                      server (multi-scene; sessions round-robin across the
+                      scenes). Overrides --scene/--store; the stores must
+                      already exist. Local file only (no --net_profile).
+  --max_sessions <n>  admission cap on concurrently open sessions
+                      (default 0 = unbounded). Opens beyond the cap are
+                      rejected with a typed reason and counted; the example
+                      reports how many viewers were turned away.
   --quality <list>    comma-separated per-session LOD policies, cycled
                       across sessions: off | quality | balanced | aggressive
                       (default balanced; "off" = bit-exact L0)
@@ -95,6 +106,13 @@ int main(int argc, char** argv) {
   const int cache_mb = args.get_int("cache_mb", 0);
   const std::string store_path = args.get("store", "/tmp/multi_viewer.sgsc");
   const std::string net_profile = args.get("net_profile", "");
+  const std::vector<std::string> scene_paths = split_csv(args.get("scenes", ""));
+  const int max_sessions = args.get_int("max_sessions", 0);
+  if (!scene_paths.empty() && !net_profile.empty()) {
+    std::fprintf(stderr,
+                 "--scenes hosts local stores only; drop --net_profile\n");
+    return 1;
+  }
   const std::vector<std::string> quality_names =
       split_csv(args.get("quality", "balanced"));
   if (quality_names.empty()) {
@@ -117,59 +135,91 @@ int main(int argc, char** argv) {
               simd::isa_name(simd::active_isa()),
               simd::isa_name(simd::detect_isa()));
 
-  const auto model = scene::make_preset_scene(preset, model_scale);
   int w = 0, h = 0;
   scene::scaled_resolution(preset, res_scale, w, h);
   core::StreamingConfig scfg;
   scfg.voxel_size = info.default_voxel_size;
-  const auto prepared = core::StreamingScene::prepare(model, scfg);
-  stream::AssetStoreWriteOptions wopts;
-  wopts.tier_count = 3;  // adaptive sessions need the pruned tiers on disk
-  try {
-    if (!stream::AssetStore::write(store_path, prepared, wopts)) {
-      std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
-      return 1;
-    }
-  } catch (const stream::StreamException& e) {
-    // IO failure (e.g. a full disk) is a typed throw since the writer
-    // started verifying its stream; exit as gracefully as the bool path.
-    std::fprintf(stderr, "cannot write store: %s\n", e.what());
-    return 1;
-  }
-  std::unique_ptr<stream::AssetStore> store;
+  // One store per hosted scene. Without --scenes the example writes its own
+  // single store from the preset; with --scenes it opens the given .sgsc
+  // files and shards the shared budget across them.
+  std::vector<std::unique_ptr<stream::AssetStore>> stores;
   std::shared_ptr<stream::SimulatedNetworkBackend> net;
-  if (net_profile.empty()) {
-    store = std::make_unique<stream::AssetStore>(store_path);
+  bool wrote_store = false;
+  if (!scene_paths.empty()) {
+    for (const std::string& path : scene_paths) {
+      try {
+        stores.push_back(std::make_unique<stream::AssetStore>(path));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cannot open scene store %s: %s\n", path.c_str(),
+                     e.what());
+        return 1;
+      }
+    }
   } else {
-    stream::NetProfile prof;
+    const auto model = scene::make_preset_scene(preset, model_scale);
+    const auto prepared = core::StreamingScene::prepare(model, scfg);
+    stream::AssetStoreWriteOptions wopts;
+    wopts.tier_count = 3;  // adaptive sessions need the pruned tiers on disk
     try {
-      prof = stream::NetProfile::from_name(net_profile);
-    } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "%s\n", e.what());
+      if (!stream::AssetStore::write(store_path, prepared, wopts)) {
+        std::fprintf(stderr, "cannot write %s\n", store_path.c_str());
+        return 1;
+      }
+    } catch (const stream::StreamException& e) {
+      // IO failure (e.g. a full disk) is a typed throw since the writer
+      // started verifying its stream; exit as gracefully as the bool path.
+      std::fprintf(stderr, "cannot write store: %s\n", e.what());
       return 1;
     }
-    net = std::make_shared<stream::SimulatedNetworkBackend>(
-        std::make_shared<stream::LocalFileBackend>(store_path), prof);
-    stream::StreamError err;
-    store = stream::AssetStore::open(net, &err);
-    if (!store) {
-      std::fprintf(stderr, "cannot open store over '%s' link: %s\n",
-                   net_profile.c_str(), err.to_string().c_str());
-      return 1;
+    wrote_store = true;
+    if (net_profile.empty()) {
+      stores.push_back(std::make_unique<stream::AssetStore>(store_path));
+    } else {
+      stream::NetProfile prof;
+      try {
+        prof = stream::NetProfile::from_name(net_profile);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+      net = std::make_shared<stream::SimulatedNetworkBackend>(
+          std::make_shared<stream::LocalFileBackend>(store_path), prof);
+      stream::StreamError err;
+      auto opened = stream::AssetStore::open(net, &err);
+      if (!opened) {
+        std::fprintf(stderr, "cannot open store over '%s' link: %s\n",
+                     net_profile.c_str(), err.to_string().c_str());
+        return 1;
+      }
+      stores.push_back(std::move(opened));
     }
+  }
+  const std::uint32_t scene_count = static_cast<std::uint32_t>(stores.size());
+  std::vector<const stream::AssetStore*> store_ptrs;
+  std::uint64_t decoded_total = 0;
+  for (const auto& s : stores) {
+    store_ptrs.push_back(s.get());
+    decoded_total += s->decoded_bytes_total();
   }
 
   serve::SceneServerConfig cfg;
   cfg.cache.budget_bytes = cache_mb > 0
                                ? static_cast<std::uint64_t>(cache_mb) << 20
-                               : store->decoded_bytes_total() * 35 / 100;
+                               : decoded_total * 35 / 100;
+  cfg.max_sessions = max_sessions > 0 ? static_cast<std::size_t>(max_sessions)
+                                      : 0;
   cfg.sequence.reuse_max_translation = 0.25f * scfg.voxel_size;
   cfg.sequence.reuse_max_rotation_rad = 0.04f;
-  serve::SceneServer server(*store, cfg);
+  serve::SceneServer server(store_ptrs, cfg);
   // Per-session quality: cycle the --quality list across sessions. Over a
   // simulated link, adaptive sessions get the ABR term on a ~100 ms fetch
   // horizon: each folds the bandwidth IT measured into its own selection.
+  // Sessions round-robin across hosted scenes. Opens go through the typed
+  // admission path: with --max_sessions, viewers past the cap are turned
+  // away (counted, never half-registered) and the fleet shrinks to the cap.
   std::vector<std::string> session_quality;
+  std::vector<std::uint32_t> session_scene;
+  std::size_t rejected_sessions = 0;
   for (int s = 0; s < sessions; ++s) {
     const std::string& name =
         quality_names[static_cast<std::size_t>(s) % quality_names.size()];
@@ -177,42 +227,67 @@ int main(int argc, char** argv) {
     if (net != nullptr && !lod.force_tier0) {
       lod.abr_frame_budget_ns = 100'000'000;
     }
-    server.open_session(lod);
+    const std::uint32_t scene = static_cast<std::uint32_t>(s) % scene_count;
+    const serve::AdmissionResult adm = server.try_open_session(lod, scene);
+    if (!adm.admitted) {
+      ++rejected_sessions;
+      continue;
+    }
     session_quality.push_back(name);
+    session_scene.push_back(scene);
   }
-  std::printf("store: %s L0 payloads in %d voxel groups; shared budget %s%s%s"
-              "\n\n",
-              format_bytes(static_cast<double>(store->payload_bytes_total()))
-                  .c_str(),
-              store->group_count(),
+  const std::size_t admitted_sessions = session_quality.size();
+  if (admitted_sessions == 0) {
+    std::fprintf(stderr, "admission cap %d rejected every session\n",
+                 max_sessions);
+    return 1;
+  }
+  for (std::uint32_t k = 0; k < scene_count; ++k) {
+    const stream::AssetStore& st = *store_ptrs[k];
+    std::printf("scene %u: %s L0 payloads in %d voxel groups (shard budget "
+                "%s)\n",
+                k,
+                format_bytes(static_cast<double>(st.payload_bytes_total()))
+                    .c_str(),
+                st.group_count(),
+                format_bytes(static_cast<double>(server.shard_budget_bytes(k)))
+                    .c_str());
+  }
+  std::printf("shared budget %s across %u scene%s%s%s",
               format_bytes(static_cast<double>(cfg.cache.budget_bytes)).c_str(),
+              scene_count, scene_count == 1 ? "" : "s",
               net != nullptr ? "; link " : "",
               net != nullptr ? net_profile.c_str() : "");
+  if (rejected_sessions > 0) {
+    std::printf("; admission cap %d turned away %zu viewer%s", max_sessions,
+                rejected_sessions, rejected_sessions == 1 ? "" : "s");
+  }
+  std::printf("\n\n");
 
   // Phase-shifted orbits: overlapping working sets, the serving sweet spot.
-  std::vector<std::vector<gs::Camera>> paths(
-      static_cast<std::size_t>(sessions));
-  for (int s = 0; s < sessions; ++s) {
+  std::vector<std::vector<gs::Camera>> paths(admitted_sessions);
+  for (std::size_t s = 0; s < admitted_sessions; ++s) {
     for (int f = 0; f < frames; ++f) {
       const float t = spread * static_cast<float>(s) +
                       arc * static_cast<float>(f) / static_cast<float>(frames);
-      paths[static_cast<std::size_t>(s)].push_back(
-          scene::make_preset_camera(preset, w, h, t));
+      paths[s].push_back(scene::make_preset_camera(preset, w, h, t));
     }
   }
 
   const auto result = server.run(paths);
   const serve::ServerReport& rep = result.report;
 
-  std::printf("%8s %-10s %8s %8s %8s %9s %10s %7s %12s %14s %9s%s\n",
-              "session", "quality", "p50 ms", "p95 ms", "p99 ms", "hit rate",
-              "fetched", "stalls", "plans b/r", "tiers 0/1/2", "degraded",
-              net != nullptr ? " est MB/s" : "");
+  std::printf("%8s %s%-10s %8s %8s %8s %9s %10s %7s %12s %14s %9s%s\n",
+              "session", scene_count > 1 ? "scene " : "", "quality", "p50 ms",
+              "p95 ms", "p99 ms", "hit rate", "fetched", "stalls", "plans b/r",
+              "tiers 0/1/2", "degraded", net != nullptr ? " est MB/s" : "");
   for (std::size_t s = 0; s < rep.sessions.size(); ++s) {
     const serve::SessionReport& sr = rep.sessions[s];
-    std::printf("%8zu %-10s %8.1f %8.1f %8.1f %8.1f%% %10s %7zu %7zu/%zu "
+    std::printf("%8zu ", s);
+    if (scene_count > 1) std::printf("%5u ", sr.scene);
+    std::printf("%-10s %8.1f %8.1f %8.1f %8.1f%% %10s %7zu %7zu/%zu "
                 "%5llu/%llu/%llu %9zu",
-                s, session_quality[s].c_str(), sr.p50_ms, sr.p95_ms, sr.p99_ms,
+                session_quality[s].c_str(), sr.p50_ms, sr.p95_ms, sr.p99_ms,
                 100.0 * sr.cache.hit_rate(),
                 format_bytes(static_cast<double>(sr.cache.bytes_fetched))
                     .c_str(),
@@ -237,6 +312,12 @@ int main(int argc, char** argv) {
       "fleet latency: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, %zu stall "
       "frames\n",
       rep.p50_ms, rep.p95_ms, rep.p99_ms, rep.stall_frames);
+  std::printf(
+      "scheduler: fairness %.3f across %zu sessions, queue wait p50 %.2f ms / "
+      "p99 %.2f ms, %llu admission rejects\n",
+      rep.fairness_index, rep.sessions.size(), rep.queue_wait_p50_ms,
+      rep.queue_wait_p99_ms,
+      static_cast<unsigned long long>(rep.admission_rejects));
   if (net != nullptr) {
     const stream::FetchBackendStats nstats = net->stats();
     std::printf("network (%s): %llu transfers, %s on the wire, %llu "
@@ -282,6 +363,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: unknown flag --%s (try --help)\n",
                  flag.c_str());
   }
-  std::remove(store_path.c_str());
+  if (wrote_store) std::remove(store_path.c_str());
   return 0;
 }

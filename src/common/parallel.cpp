@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -117,13 +118,18 @@ class ThreadPool {
       // from another thread is running as worker 0 right now, and this
       // call's fn(0, i) must not overlap it (the per-worker exclusivity
       // contract).
+      SubmitWaitScope wait(*this);
       std::lock_guard<FairMutex> submit(submit_mutex_);
+      wait.granted();
       PoolJobScope scope(0);
       for (std::size_t i = begin; i < end; ++i) fn(0, i);
+      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
 
+    SubmitWaitScope wait(*this);
     std::lock_guard<FairMutex> submit(submit_mutex_);
+    wait.granted();
     // The helper count follows parallelism(), not this job's width: a small
     // job must not tear the pool down for the next big one. Surplus helpers
     // wake, find the counter exhausted, and go back to sleep.
@@ -161,10 +167,36 @@ class ThreadPool {
       cv_done_.wait(lk, [this] { return active_helpers_ == 0; });
       job_fn_ = nullptr;
     }
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
     if (error) std::rethrow_exception(error);
   }
 
+  std::uint64_t jobs_completed() const {
+    return jobs_completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t submit_wait_ns() const {
+    return submit_wait_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Measures the FIFO-ticket wait of one submission: constructed before
+  // the submit lock is taken, stopped the moment it is granted. The wait
+  // (not the job's run time) is the cross-session fairness cost at the
+  // pool seam.
+  struct SubmitWaitScope {
+    explicit SubmitWaitScope(ThreadPool& pool)
+        : pool(pool), start(std::chrono::steady_clock::now()) {}
+    void granted() {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      pool.submit_wait_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                                     std::memory_order_relaxed);
+    }
+    ThreadPool& pool;
+    std::chrono::steady_clock::time_point start;
+  };
+
   void ensure_helpers(int n) {
     if (static_cast<int>(helpers_.size()) == n) return;
     stop_helpers();
@@ -242,6 +274,9 @@ class ThreadPool {
   std::uint64_t job_epoch_ = 0;
   int active_helpers_ = 0;
   bool shutdown_ = false;
+
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> submit_wait_ns_{0};
 };
 
 // Background FIFO lane (see parallel.hpp). One dedicated thread, separate
@@ -367,6 +402,14 @@ void parallel_for_workers(
     std::size_t begin, std::size_t end,
     const std::function<void(int worker, std::size_t i)>& fn) {
   ThreadPool::instance().run(begin, end, fn);
+}
+
+std::uint64_t pool_jobs_completed() {
+  return ThreadPool::instance().jobs_completed();
+}
+
+std::uint64_t pool_submit_wait_ns() {
+  return ThreadPool::instance().submit_wait_ns();
 }
 
 void async_submit(std::function<void()> fn) {

@@ -55,6 +55,17 @@ void parallel_for_workers(
     std::size_t begin, std::size_t end,
     const std::function<void(int worker, std::size_t i)>& fn);
 
+// Task-granular fairness observability (both monotone since process
+// start; nested loops count toward the enclosing job, not separately):
+// jobs the pool has completed, and the total nanoseconds submitters spent
+// queued behind other jobs for the pool's FIFO ticket before their own job
+// started. With N sessions multiplexed over the pool, wait/jobs is the
+// average cross-session scheduling cost per frame task — the number a
+// serve operator watches to see the pool seam, published as
+// pool.jobs_completed / pool.submit_wait_ns by obs::publish_parallel_stats.
+std::uint64_t pool_jobs_completed();
+std::uint64_t pool_submit_wait_ns();
+
 // ---------------------------------------------------------------------------
 // Async lane of the persistent pool: a dedicated background worker that
 // drains a FIFO of fire-and-forget tasks without ever blocking (or being

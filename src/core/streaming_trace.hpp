@@ -235,6 +235,15 @@ struct StreamingTrace {
   std::uint64_t plan_build_ns = 0;
   // Residency-cache deltas for this frame (all-zero when fully resident).
   StreamCacheStats cache;
+  // Serving-host context (trace v9); defaults describe the single-viewer
+  // paths. `scenes` is how many scene shards the host held when this frame
+  // rendered; `admission_rejects` its cumulative admission-reject count at
+  // commit; `queue_wait_ns` how long this frame's session sat in the
+  // multiplexed scheduler's ready queue before a driver picked it up (0
+  // when driven directly, without the scheduler).
+  std::uint32_t scenes = 1;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t queue_wait_ns = 0;
   std::vector<GroupWork> groups;
 
   // --- aggregates ----------------------------------------------------------

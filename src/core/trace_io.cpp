@@ -57,6 +57,9 @@ bool write_trace(std::ostream& out, const StreamingTrace& trace) {
   put<std::uint64_t>(out, trace.cache.net_bytes);
   put<std::uint64_t>(out, trace.cache.net_stall_ns);
   put<std::uint64_t>(out, trace.cache.abr_demotions);
+  put<std::uint32_t>(out, trace.scenes);
+  put<std::uint64_t>(out, trace.admission_rejects);
+  put<std::uint64_t>(out, trace.queue_wait_ns);
   put<std::uint64_t>(out, trace.groups.size());
   for (const GroupWork& g : trace.groups) {
     put<std::uint32_t>(out, g.rays);
@@ -127,6 +130,9 @@ StreamingTrace read_trace(std::istream& in) {
   trace.cache.net_bytes = get<std::uint64_t>(in);
   trace.cache.net_stall_ns = get<std::uint64_t>(in);
   trace.cache.abr_demotions = get<std::uint64_t>(in);
+  trace.scenes = get<std::uint32_t>(in);
+  trace.admission_rejects = get<std::uint64_t>(in);
+  trace.queue_wait_ns = get<std::uint64_t>(in);
   const std::uint64_t n_groups = get<std::uint64_t>(in);
   // Sanity cap: one group per pixel is the theoretical maximum.
   if (n_groups > trace.pixel_count + 1) {

@@ -30,7 +30,11 @@ inline constexpr std::uint32_t kTraceMagic = 0x54534753;  // "SGST"
 // v8: network counters — net_bytes / net_stall_ns (completed backend
 //     transfer traffic and time) and abr_demotions (tier demotions by the
 //     LodPolicy throughput term) for network-backed streaming.
-inline constexpr std::uint32_t kTraceVersion = 8;
+// v9: serving-host fields — scenes (scene shards the host held),
+//     admission_rejects (cumulative host rejects at commit), and
+//     queue_wait_ns (time the frame waited in the multiplexed scheduler's
+//     ready queue) for scale-out serving.
+inline constexpr std::uint32_t kTraceVersion = 9;
 
 // Returns false on IO failure.
 bool write_trace(std::ostream& out, const StreamingTrace& trace);

@@ -44,6 +44,8 @@ void publish_stage_timings(const core::StageTimingsNs& timings,
 
 void publish_parallel_stats() {
   set_gauge("pool.parallelism", static_cast<std::uint64_t>(parallelism()));
+  set_gauge("pool.jobs_completed", pool_jobs_completed());
+  set_gauge("pool.submit_wait_ns", pool_submit_wait_ns());
   set_gauge("async.tasks_completed", async_tasks_completed());
   set_gauge("async.task_errors", async_task_errors());
 }

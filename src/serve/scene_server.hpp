@@ -1,14 +1,16 @@
-// SceneServer: one scene, one shared residency cache, N concurrent viewer
-// sessions.
+// SceneServer: N scenes behind per-scene residency shards, M viewer
+// sessions multiplexed onto the persistent pool, admission-controlled.
 //
 // The paper's streaming design assumes a single viewer; a server room does
-// not. A SceneServer owns one AssetStore-backed scene and one shared,
-// thread-safe ResidencyCache, and hosts any number of sessions — each a
-// SequenceRenderer driving its own camera path through its own
-// SessionSource front-end. Sessions share the decoded voxel groups: a
-// group fetched for one viewer serves every viewer, eviction respects the
-// union of all in-flight working sets (refcounted plan pins), and all
-// sessions' prefetch rankings merge into one deduplicated fetch queue.
+// not. A SceneServer hosts one or more AssetStore-backed scenes — each with
+// its own thread-safe ResidencyCache shard, all shards governed by ONE
+// global byte budget — and any number of sessions, each a SequenceRenderer
+// driving its own camera path through its own SessionSource front-end over
+// its scene's shard. Sessions of one scene share that scene's decoded
+// voxel groups: a group fetched for one viewer serves every viewer of that
+// scene, eviction respects the union of all in-flight working sets
+// (refcounted plan pins), and all sessions' prefetch rankings merge into
+// one deduplicated fetch queue keyed by (scene, group, tier).
 //
 // The load-bearing invariant: a session's rendered frames are bit-identical
 // to rendering the same camera path alone *under the same LodPolicy, with
@@ -21,24 +23,56 @@
 // the PSNR bound of the store's tiers (tests/test_serve.cpp pins the
 // bit-exact cases down for raw and VQ stores).
 //
-// Threading model:
-//   - run() drives one std::thread per session; frames from different
-//     sessions interleave on the persistent pool, which serves render jobs
-//     FIFO-fairly across sessions (common/parallel.hpp).
+// Threading model (the frame-granular state machine):
+//   - Each session is a state machine over its frames:
+//       ready -> planning -> rendering -> committing -> ready   (-> closed)
+//     kReady: no frame in flight. kPlanning: a driver holds the session,
+//     the plan is being built/reused and tiers selected. kRendering: from
+//     SessionSource::begin_frame() on — the frame executes data-parallel
+//     on the pool. kCommitting: from end_frame() — pins dropped, counters
+//     and histograms folded in. kClosed: close_session() was called.
+//   - run() does NOT spawn one thread per session. It multiplexes sessions
+//     over a bounded driver set (config.max_concurrent_frames, 0 = auto:
+//     min(paths, parallelism())). Ready sessions queue FIFO; a driver pops
+//     one, renders exactly ONE frame, and re-queues it — so session count
+//     is bounded by memory, not by core count, and no session can starve
+//     another (the fairness contract; ServerReport::fairness_index
+//     measures it, ServerReport::queue_wait_* prices it). One session is
+//     never held by two drivers, so its frames stay sequential and the
+//     bit-exactness invariant is untouched.
 //   - render_frame() is safe to call concurrently for *distinct* sessions.
 //     One session is sequential: its frames form one camera path.
-//   - open_session() must not race render_frame()/run() (add sessions
-//     between runs, not during).
+//   - open_session()/try_open_session()/close_session() are thread-safe
+//     against concurrent render_frame()/run(): registration takes the
+//     session-table lock, the frame path resolves its session pointer
+//     under the same lock, and Session storage is pointer-stable. Sessions
+//     may join a running server.
+//   - Admission: config.max_sessions caps OPEN sessions (0 = unlimited).
+//     Over-cap or unknown-scene opens are rejected atomically — a typed
+//     AdmissionResult from try_open_session(), an AdmissionRejectedError
+//     from open_session(), never a partial registration — and counted in
+//     ServerReport::admission_rejects.
+//   - Shard rebalancing: every config.shard_rebalance_frames committed
+//     frames, the governor re-splits the global cache budget across the
+//     scene shards by demand (EWMA of each shard's access+prefetch delta),
+//     with a per-shard floor share. Shrinks apply before grows, so the sum
+//     of shard budgets never exceeds the global budget — not even
+//     mid-rebalance — and coarse-floor arenas are exempt (they live under
+//     their own per-shard budget).
 //   - Per-session cache counters (SessionReport::cache) attribute every
 //     hit, demand miss, and prefetched byte to the session that caused it;
-//     the shared cache's global counters (ServerReport::shared_cache) are
-//     their sum plus evictions, which are a property of the shared budget.
+//     a scene shard's global counters are the sum over that scene's
+//     sessions plus evictions, and ServerReport::shared_cache is the sum
+//     over shards.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -51,24 +85,72 @@
 
 namespace sgs::serve {
 
-// Per-session front-end over the server's shared cache and fetch queue:
-// the GroupSource a session's SequenceRenderer renders through.
+// Frame-granular session state (see the threading model above). Stored in
+// one atomic per session; transitions are made by the single driver that
+// holds the session, so observers see a consistent (if instantaneous)
+// snapshot.
+enum class SessionState : std::uint8_t {
+  kReady = 0,    // no frame in flight
+  kPlanning,     // driver holds the session; plan build / tier selection
+  kRendering,    // begin_frame() done; frame executing on the pool
+  kCommitting,   // end_frame() reached; pins dropped, stats folding in
+  kClosed,       // close_session() was called; renders are rejected
+};
+const char* session_state_name(SessionState s);
+
+// Why an open was refused. Admission is atomic: a rejected open leaves the
+// server exactly as it was — no partial registration, ever.
+enum class AdmissionRejectReason : std::uint8_t {
+  kSessionCapReached = 0,  // open sessions == config.max_sessions
+  kUnknownScene,           // scene index >= scene_count()
+};
+const char* admission_reject_reason_name(AdmissionRejectReason r);
+
+// Typed admission outcome of try_open_session(). `session` is valid only
+// when `admitted`.
+struct AdmissionResult {
+  int session = -1;
+  bool admitted = false;
+  AdmissionRejectReason reason = AdmissionRejectReason::kSessionCapReached;
+};
+
+// Thrown by the throwing open_session() overloads on a rejected admission.
+class AdmissionRejectedError : public std::runtime_error {
+ public:
+  explicit AdmissionRejectedError(AdmissionRejectReason reason)
+      : std::runtime_error(std::string("session admission rejected: ") +
+                           admission_reject_reason_name(reason)),
+        reason_(reason) {}
+  AdmissionRejectReason reason() const { return reason_; }
+
+ private:
+  AdmissionRejectReason reason_;
+};
+
+// Per-session front-end over one scene shard's cache and the server's
+// shared fetch queue: the GroupSource a session's SequenceRenderer renders
+// through.
 //
 // Frame bracket contract: begin_frame() selects this session's payload
 // tiers for the plan under its own LodPolicy (each session carries its own
 // quality knob over the one shared cache), pins the session's plan working
-// set (refcounted in the shared cache — other sessions' pins on the same
-// groups are independent), and enqueues the session's prefetch ranking
-// into the shared queue; end_frame() drops exactly the pins this session
-// took. acquire()/release() pass through to the shared cache with
+// set (refcounted in the shard — other sessions' pins on the same groups
+// are independent), and enqueues the session's prefetch ranking into the
+// shared queue under its scene key; end_frame() drops exactly the pins
+// this session took. acquire()/release() pass through to the shard with
 // per-session attribution, requesting the frame's selected tier per group.
 // acquire() may be called concurrently from any pool worker; stats()
 // returns this session's counters only (thread-safe).
+//
+// When bound to a session state slot, begin_frame() flips it to
+// kRendering on exit and end_frame() to kCommitting on entry — the two
+// state-machine edges only the source can see.
 class SessionSource final : public stream::GroupSource {
  public:
   SessionSource(stream::ResidencyCache& cache,
                 stream::SharedPrefetchQueue& queue,
-                stream::LodPolicy lod = {});
+                stream::LodPolicy lod = {}, std::uint32_t scene = 0,
+                std::atomic<SessionState>* state = nullptr);
 
   void begin_frame(const stream::FrameIntent& intent,
                    std::span<const voxel::DenseVoxelId> plan_voxels) override;
@@ -80,11 +162,11 @@ class SessionSource final : public stream::GroupSource {
   // Deadline support (zero-stall serving): begin_frame resolves the
   // intent's (or the queue config's) relative fetch budget to an absolute
   // stage-clock deadline; an acquire that would still be fetching past it
-  // is served from the shared cache's coarse floor instead of blocking.
-  // The first floor-serve of each (frame, group) increments this session's
-  // AND the shared cache's coarse_fallbacks — so per-session counters sum
-  // exactly to the global one — and re-queues the wanted tier at
-  // kUrgentPriority on the shared queue.
+  // is served from the shard's coarse floor instead of blocking. The first
+  // floor-serve of each (frame, group) increments this session's AND the
+  // shard's coarse_fallbacks — so per-session counters sum exactly to the
+  // global one — and re-queues the wanted tier at kUrgentPriority on the
+  // shared queue.
   //
   // Frames whose tier selection was demoted below the footprint-ideal tier
   // by the policy's byte budget — the "quality gave way to bandwidth"
@@ -95,6 +177,8 @@ class SessionSource final : public stream::GroupSource {
     return tier_requests_;
   }
   const stream::LodPolicy& lod() const { return lod_; }
+  // Scene this session streams (index into its server's shard set).
+  std::uint32_t scene() const { return scene_; }
   // This session's measured link estimate (EWMA over the transfers its
   // demand misses and credited prefetches completed). When the session's
   // policy enables the ABR term, begin_frame folds this into tier
@@ -108,6 +192,8 @@ class SessionSource final : public stream::GroupSource {
   stream::ResidencyCache* cache_;
   stream::SharedPrefetchQueue* queue_;
   stream::LodPolicy lod_;
+  std::uint32_t scene_ = 0;
+  std::atomic<SessionState>* state_ = nullptr;  // nullable; not owned
   stream::TierSelection selection_;  // current frame's tier per group
   stream::SessionCacheStats session_stats_;
   std::vector<voxel::DenseVoxelId> pinned_;  // this session's frame pins
@@ -123,8 +209,10 @@ class SessionSource final : public stream::GroupSource {
 };
 
 struct SceneServerConfig {
-  // Shared cache budget — one budget for the union of all sessions'
-  // working sets, the whole point of sharing.
+  // GLOBAL cache budget — split across the per-scene shards by the
+  // rebalancing governor (equal shares at construction); for a single
+  // scene, simply that scene's budget. The shard floor arenas
+  // (cache.coarse_floor_budget_bytes) are per-shard and exempt.
   stream::ResidencyCacheConfig cache;
   // Per-frame prefetch caps applied to each session's enqueue.
   stream::PrefetchConfig prefetch;
@@ -132,9 +220,21 @@ struct SceneServerConfig {
   // binning margin, render options).
   core::SequenceOptions sequence;
   // Quality policy sessions open with unless open_session() is given their
-  // own — each session streams the shared scene at its own fidelity. On a
+  // own — each session streams its scene at its own fidelity. On a
   // single-tier (v1) store every policy degenerates to L0.
   stream::LodPolicy lod;
+  // Admission cap on OPEN sessions (0 = unlimited). Opens past the cap are
+  // rejected with AdmissionRejectReason::kSessionCapReached.
+  std::size_t max_sessions = 0;
+  // Frames in flight at once under run() — the driver count of the
+  // multiplexed scheduler (0 = auto: min(session count, parallelism())).
+  // Session count itself is NOT bounded by this; idle sessions wait in the
+  // ready queue, not on a thread each.
+  int max_concurrent_frames = 0;
+  // Rebalance the shard budgets every this many committed frames
+  // (multi-scene servers only; 0 disables rebalancing and keeps the
+  // construction-time equal split).
+  std::uint64_t shard_rebalance_frames = 16;
 };
 
 // Aggregated per-session outcome (latency in wall-clock milliseconds).
@@ -154,11 +254,23 @@ struct SessionReport {
                                  // session touched) — a poisoned group
                                  // shows up ONLY in the sessions that
                                  // actually streamed it.
+  // Scene this session streams and its state at report time.
+  std::uint32_t scene = 0;
+  SessionState state = SessionState::kReady;
+  // Scheduler cost: time this session's frames sat in run()'s ready queue
+  // before a driver picked them up (0 for frames driven directly through
+  // render_frame()). Total and per-frame histogram.
+  std::uint64_t queue_wait_ns = 0;
+  obs::LogHistogram queue_wait;
+  // Frames per second over the wall-clock span run() drove this session
+  // (first enqueue to last commit; 0 when never driven by run()). The
+  // per-session sample the fairness index is computed over.
+  double throughput_fps = 0.0;
   std::size_t stall_frames = 0;  // frames with >= 1 demand miss
-  // Frames with >= 1 group served from the shared cache's coarse floor
-  // because its fetch missed the frame deadline. With a deadline and a
-  // floor in force, stall_frames stays 0 and these frames carry the cost
-  // as bounded quality loss instead of latency.
+  // Frames with >= 1 group served from the shard's coarse floor because
+  // its fetch missed the frame deadline. With a deadline and a floor in
+  // force, stall_frames stays 0 and these frames carry the cost as bounded
+  // quality loss instead of latency.
   std::size_t fallback_frames = 0;
   std::size_t plans_built = 0;
   std::size_t plans_reused = 0;
@@ -179,10 +291,26 @@ struct SessionReport {
 
 struct ServerReport {
   std::vector<SessionReport> sessions;
-  // The shared cache's global counters (includes evictions and every
-  // session's traffic).
+  // Scenes hosted and, per scene, that shard's global cache counters and
+  // its CURRENT budget share. scene_caches[k] (plus that scene's sessions'
+  // abr_demotions) is the sum of scene-k sessions' counters plus
+  // evictions; scene_budget_bytes sums exactly to the configured global
+  // budget at every instant.
+  std::size_t scenes = 1;
+  std::vector<core::StreamCacheStats> scene_caches;
+  std::vector<std::uint64_t> scene_budget_bytes;
+  // The shard counters summed — the whole server's cache view (includes
+  // evictions and every session's traffic).
   core::StreamCacheStats shared_cache;
   double global_hit_rate = 0.0;
+  // Opens rejected by admission control (cap or unknown scene) over the
+  // server's lifetime.
+  std::uint64_t admission_rejects = 0;
+  // Jain's fairness index over the per-session frame throughputs run()
+  // measured: (sum x)^2 / (n * sum x^2), 1.0 = perfectly fair, 1/n = one
+  // session got everything. 1.0 when fewer than two sessions have been
+  // driven by run().
+  double fairness_index = 1.0;
   // Prefetch requests served by another session's in-flight fetch — the
   // cross-session merge win of the shared queue.
   std::uint64_t merged_prefetch_requests = 0;
@@ -193,6 +321,12 @@ struct ServerReport {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   obs::LogHistogram latency;
+  // Scheduler ready-queue wait across all sessions' frames (the fairness
+  // cost in time units; all-zero when run() was never used).
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  obs::LogHistogram queue_wait;
   std::size_t stall_frames = 0;
   // Sum of the sessions' fallback_frames (coarse-floor deadline serves).
   std::size_t fallback_frames = 0;
@@ -214,29 +348,66 @@ struct ServerRunResult {
 
 class SceneServer {
  public:
-  // The store must outlive the server. The server's scene is the store's
-  // model-free metadata scene; all parameters stream through the shared
-  // cache under config.cache.budget_bytes.
+  // Single-scene server (scene index 0). The store must outlive the
+  // server; all parameters stream through the scene's shard under
+  // config.cache.budget_bytes.
   explicit SceneServer(const stream::AssetStore& store,
+                       SceneServerConfig config = {});
+  // Multi-scene server: stores[k] becomes scene k with its own residency
+  // shard; config.cache.budget_bytes is the GLOBAL budget the shards
+  // share (equal split at construction, demand-rebalanced every
+  // config.shard_rebalance_frames frames). Every store must outlive the
+  // server. Throws std::invalid_argument on an empty or null-holding
+  // store list.
+  explicit SceneServer(const std::vector<const stream::AssetStore*>& stores,
                        SceneServerConfig config = {});
   ~SceneServer();
 
-  // Opens a new viewer session and returns its id (dense, starting at 0).
-  // Not thread-safe against concurrent render_frame()/run(). The default
-  // overload uses config().lod; the other gives the session its own
-  // quality policy over the same shared cache.
+  // Opens a new viewer session on `scene` and returns its id (dense,
+  // starting at 0; ids are never reused, so closed sessions keep their
+  // slot in report()). Thread-safe, including against concurrent
+  // render_frame()/run(). The no-policy overloads use config().lod.
+  // Throws AdmissionRejectedError when admission refuses the open.
   int open_session();
-  int open_session(const stream::LodPolicy& lod);
-  std::size_t session_count() const { return sessions_.size(); }
+  int open_session(const stream::LodPolicy& lod, std::uint32_t scene = 0);
+  // Non-throwing admission path: the typed outcome of the same checks.
+  // A reject is atomic (no partial registration) and counted in
+  // admission_rejects().
+  AdmissionResult try_open_session(std::uint32_t scene = 0);
+  AdmissionResult try_open_session(const stream::LodPolicy& lod,
+                                   std::uint32_t scene = 0);
+  // Closes an open session: its slot (and counters) survive in report(),
+  // its admission slot frees up, further render_frame() calls on it
+  // throw. The caller must not close a session whose frame is in flight
+  // (one session is sequential — closing is its last sequential act).
+  // Throws std::out_of_range on an unknown id, std::invalid_argument when
+  // already closed.
+  void close_session(int session);
+  // OPEN sessions (excludes closed ones). Total ever opened is
+  // report().sessions.size().
+  std::size_t session_count() const;
+  // Opens rejected by admission control so far.
+  std::uint64_t admission_rejects() const {
+    return admission_rejects_.load(std::memory_order_relaxed);
+  }
+  std::size_t scene_count() const { return shards_.size(); }
+  // Current state of one session's frame state machine.
+  SessionState session_state(int session) const;
 
   // Renders the next frame of `session`'s camera path. Thread-safe across
-  // distinct sessions; calls for one session must be sequential.
+  // distinct sessions; calls for one session must be sequential. Throws
+  // std::invalid_argument on a closed session.
   core::StreamingRenderResult render_frame(int session,
                                            const gs::Camera& camera);
 
-  // Drives one thread per camera path (opening sessions as needed so that
-  // path i maps to session i) until every path is rendered, then drains
-  // the fetch queue and returns all frames plus the report.
+  // Multiplexed scheduler: drives path i through session i (opening
+  // sessions on scene 0 as needed) until every path is rendered, using at
+  // most config.max_concurrent_frames drivers (0 = auto), then drains the
+  // fetch queue and returns all frames plus the report. Sessions rotate
+  // through the drivers FIFO-fairly, one frame per turn; a session's
+  // frames stay sequential, so every path's output is bit-identical to
+  // rendering it alone. Multi-scene hosts open their sessions (with scene
+  // assignments) before calling run().
   ServerRunResult run(const std::vector<std::vector<gs::Camera>>& paths);
 
   // Snapshot of per-session and global counters so far. Call only while no
@@ -252,23 +423,55 @@ class SceneServer {
     return queue_.pending_requests();
   }
 
-  stream::ResidencyCache& cache() { return cache_; }
-  const core::StreamingScene& scene() const { return scene_; }
+  // Scene-shard access (scene 0 = the single-scene legacy view).
+  stream::ResidencyCache& cache(std::uint32_t scene = 0);
+  const core::StreamingScene& scene() const;
+  const core::StreamingScene& scene(std::uint32_t index) const;
+  // This shard's CURRENT byte share of the global budget. Across all
+  // shards these sum exactly to config().cache.budget_bytes, at every
+  // instant — the invariant the stress test samples mid-run.
+  std::uint64_t shard_budget_bytes(std::uint32_t scene) const;
   const SceneServerConfig& config() const { return config_; }
 
  private:
+  struct SceneShard;
   struct Session;
+
+  static std::vector<std::unique_ptr<SceneShard>> make_shards(
+      const std::vector<const stream::AssetStore*>& stores,
+      const SceneServerConfig& config);
+  static std::vector<stream::ResidencyCache*> shard_caches(
+      const std::vector<std::unique_ptr<SceneShard>>& shards);
+
+  // One frame of `s`, with scheduler attribution: state transitions, the
+  // session_frame span (queue-wait arg included), trace stamping, counter
+  // folding, and the periodic shard rebalance at commit.
+  core::StreamingRenderResult render_session_frame(
+      Session& s, const gs::Camera& camera, std::uint64_t queue_wait_ns);
+  void maybe_rebalance();
+  void rebalance_shards();
 
   // Registered once: render_frame() observes per-frame latency into the
   // global metrics registry without a name lookup on the frame path.
   obs::MetricId frame_ns_metric_;
   SceneServerConfig config_;
-  core::StreamingScene scene_;
-  stream::ResidencyCache cache_;
+  std::vector<std::unique_ptr<SceneShard>> shards_;  // indexed by scene
+  // Guards the session table (open/close/lookup). Frame rendering itself
+  // runs outside it: Session storage is pointer-stable (unique_ptr), so a
+  // driver resolves its session under the lock and renders without it.
+  mutable std::mutex sessions_mutex_;
   // Declared before queue_ so the queue (whose async batches credit
   // session sinks) drains before any session is destroyed.
   std::vector<std::unique_ptr<Session>> sessions_;
+  std::size_t open_sessions_ = 0;
+  std::atomic<std::uint64_t> admission_rejects_{0};
   stream::SharedPrefetchQueue queue_;
+  // Shard-budget governor state: frames committed (rebalance trigger),
+  // last-rebalance access marks and the demand EWMA per shard.
+  std::atomic<std::uint64_t> committed_frames_{0};
+  std::mutex rebalance_mutex_;
+  std::vector<std::uint64_t> shard_last_accesses_;
+  std::vector<double> shard_demand_ewma_;
   // Lane-error baseline at construction: report() attributes only errors
   // captured during this server's lifetime, not earlier async work's.
   std::uint64_t async_errors_at_open_ = 0;

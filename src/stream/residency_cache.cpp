@@ -13,6 +13,7 @@ ResidencyCache::ResidencyCache(const AssetStore& store,
                                ResidencyCacheConfig config)
     : store_(&store),
       config_(config),
+      budget_bytes_(config.budget_bytes),
       entries_(static_cast<std::size_t>(store.group_count())) {
   if (config_.coarse_floor_budget_bytes > 0 && store.has_coarse_tier()) {
     pin_coarse_floor();
@@ -398,6 +399,19 @@ std::uint64_t ResidencyCache::resident_bytes() const {
   return resident_bytes_;
 }
 
+std::uint64_t ResidencyCache::budget_bytes() const {
+  return budget_bytes_.load(std::memory_order_relaxed);
+}
+
+void ResidencyCache::set_budget_bytes(std::uint64_t budget_bytes) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  budget_bytes_.store(budget_bytes, std::memory_order_relaxed);
+  // A shrink takes effect now, not at the next fetch: the governor's
+  // invariant is that shards sum to the global budget the moment a
+  // rebalance returns (pinned in-flight working sets excepted, as always).
+  evict_over_budget_locked();
+}
+
 core::StreamCacheStats ResidencyCache::stats() const {
   std::lock_guard<std::mutex> lk(mutex_);
   return stats_;
@@ -517,7 +531,8 @@ void ResidencyCache::touch_locked(Entry& e, voxel::DenseVoxelId v) {
 
 void ResidencyCache::evict_over_budget_locked() {
   auto it = lru_.end();
-  while (resident_bytes_ > config_.budget_bytes && it != lru_.begin()) {
+  const std::uint64_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  while (resident_bytes_ > budget && it != lru_.begin()) {
     --it;
     Entry& e = entries_[static_cast<std::size_t>(*it)];
     if (e.pins > 0 || e.plan_pins > 0 || e.loading) {

@@ -86,6 +86,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -286,6 +287,17 @@ class ResidencyCache final : public GroupSource {
                         std::vector<std::uint8_t>* failed_tiers) const;
 
   std::uint64_t resident_bytes() const;
+  // Current LRU budget (decoded bytes). Starts at config().budget_bytes
+  // and moves with set_budget_bytes().
+  std::uint64_t budget_bytes() const;
+  // Re-targets the LRU budget at runtime and evicts down to the new value
+  // immediately (LRU-first, pinned groups excepted — their overshoot
+  // drains at the next unpin, exactly as for a within-budget fetch burst).
+  // The floor arena is untouched: it lives under its own budget. This is
+  // the shard-rebalancing hook of a multi-scene serve::SceneServer, whose
+  // governor moves byte shares between per-scene caches while keeping
+  // their sum equal to one global budget.
+  void set_budget_bytes(std::uint64_t budget_bytes);
   const ResidencyCacheConfig& config() const { return config_; }
   const AssetStore& store() const { return *store_; }
 
@@ -363,6 +375,10 @@ class ResidencyCache final : public GroupSource {
 
   const AssetStore* store_;
   ResidencyCacheConfig config_;
+  // Live LRU budget: starts at config_.budget_bytes, re-targeted by
+  // set_budget_bytes(). Atomic so budget_bytes() is an exact, lock-free
+  // probe for concurrent governors and invariant-checking tests.
+  std::atomic<std::uint64_t> budget_bytes_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;  // signals fetch completion and pin drains

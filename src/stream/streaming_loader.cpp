@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include "common/parallel.hpp"
 #include "gs/projection.hpp"
@@ -105,7 +107,8 @@ std::vector<PrefetchRequest> rank_prefetch_groups(
 
 bool PrefetchPriorityQueue::push(const PrefetchRequest& request) {
   std::lock_guard<std::mutex> lk(mutex_);
-  const auto [it, inserted] = pending_.try_emplace(request.id, request.tier);
+  const auto [it, inserted] =
+      pending_.try_emplace(key(request.scene, request.id), request.tier);
   if (!inserted) {
     if (request.tier >= it->second) {
       // Already pending at the same or a better tier: that fetch serves
@@ -117,8 +120,8 @@ bool PrefetchPriorityQueue::push(const PrefetchRequest& request) {
     // goes stale (its tier no longer matches) and is skipped at pop.
     it->second = request.tier;
   }
-  heap_.push_back(Node{request.priority, request.id, request.tier,
-                       request.deadline_ns, request.sink});
+  heap_.push_back(Node{request.priority, request.id, request.scene,
+                       request.tier, request.deadline_ns, request.sink});
   std::push_heap(heap_.begin(), heap_.end(), later);
   return true;
 }
@@ -129,7 +132,7 @@ bool PrefetchPriorityQueue::pop(PrefetchRequest* out, std::uint64_t now_ns) {
     std::pop_heap(heap_.begin(), heap_.end(), later);
     const Node node = heap_.back();
     heap_.pop_back();
-    const auto it = pending_.find(node.id);
+    const auto it = pending_.find(key(node.scene, node.id));
     // Stale node: superseded by a better-tier push (its live node is still
     // in the heap) or already served by an earlier pop.
     if (it == pending_.end() || it->second != node.tier) continue;
@@ -141,6 +144,7 @@ bool PrefetchPriorityQueue::pop(PrefetchRequest* out, std::uint64_t now_ns) {
       continue;
     }
     out->id = node.id;
+    out->scene = node.scene;
     out->tier = node.tier;
     out->priority = node.priority;
     out->deadline_ns = node.deadline_ns;
@@ -289,13 +293,28 @@ std::vector<PrefetchRequest> StreamingLoader::rank_prefetch(
 
 SharedPrefetchQueue::SharedPrefetchQueue(ResidencyCache& cache,
                                          PrefetchConfig config)
-    : cache_(&cache), config_(config) {}
+    : shards_{&cache}, config_(config) {}
+
+SharedPrefetchQueue::SharedPrefetchQueue(std::vector<ResidencyCache*> shards,
+                                         PrefetchConfig config)
+    : shards_(std::move(shards)), config_(config) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("SharedPrefetchQueue: no shards");
+  }
+  for (const ResidencyCache* shard : shards_) {
+    if (shard == nullptr) {
+      throw std::invalid_argument("SharedPrefetchQueue: null shard");
+    }
+  }
+}
 
 SharedPrefetchQueue::~SharedPrefetchQueue() { wait_idle(); }
 
 std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
                                          SessionCacheStats* sink,
-                                         const LodPolicy* lod) {
+                                         const LodPolicy* lod,
+                                         std::uint32_t scene) {
+  ResidencyCache& shard = *shards_.at(scene);
   PrefetchConfig cfg = config_;
   if (lod != nullptr) cfg.lod = *lod;
   // Per-session ABR: when the policy's throughput term is live but the
@@ -306,13 +325,15 @@ std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
     cfg.lod.link_bandwidth_bytes_per_sec = sink->estimated_bandwidth_bps();
   }
   std::vector<PrefetchRequest> ranked =
-      rank_prefetch_groups(*cache_, intent, cfg);
-  // Push against every session's pending requests: a group already queued
-  // at the same or a better tier merges away — fetching it again would
-  // only duplicate the read. A strictly better tier supersedes the pending
-  // mark and fetches (the cache turns it into an in-place upgrade).
+      rank_prefetch_groups(shard, intent, cfg);
+  // Push against every session's pending requests: a (scene, group)
+  // already queued at the same or a better tier merges away — fetching it
+  // again would only duplicate the read. A strictly better tier supersedes
+  // the pending mark and fetches (the cache turns it into an in-place
+  // upgrade).
   std::size_t queued = 0;
   for (PrefetchRequest& r : ranked) {
+    r.scene = scene;
     r.sink = sink;
     if (queue_.push(r)) ++queued;
   }
@@ -330,9 +351,12 @@ std::size_t SharedPrefetchQueue::enqueue(const FrameIntent& intent,
 
 void SharedPrefetchQueue::requeue_urgent(voxel::DenseVoxelId id,
                                          std::uint8_t tier,
-                                         SessionCacheStats* sink) {
+                                         SessionCacheStats* sink,
+                                         std::uint32_t scene) {
+  (void)shards_.at(scene);  // validate before push: drain() indexes by it
   PrefetchRequest r;
   r.id = id;
+  r.scene = scene;
   r.tier = tier;
   r.priority = kUrgentPriority;
   r.sink = sink;
@@ -352,8 +376,9 @@ void SharedPrefetchQueue::drain() {
   while (queue_.pop(&r, core::stage_clock_ns())) {
     std::uint64_t bytes = 0;
     std::uint64_t ns = 0;
+    // r.scene was validated at push (enqueue/requeue index shards_ by it).
     const PrefetchResult result =
-        cache_->prefetch_checked(r.id, r.tier, &bytes, &ns);
+        shards_[r.scene]->prefetch_checked(r.id, r.tier, &bytes, &ns);
     if (r.sink != nullptr) {
       if (result == PrefetchResult::kFetched) {
         r.sink->record_prefetch(bytes, r.tier, ns);

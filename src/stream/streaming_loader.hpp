@@ -32,11 +32,13 @@
 // its pop is dropped (expired_requests()) — its frame is already over.
 //
 // SharedPrefetchQueue is the N-session variant: every session enqueues its
-// own ranking into ONE priority queue over ONE shared cache. Requests for
-// a group already pending at the same or a better tier are merged (fetched
-// once, counted in merged_requests()), and every drain task runs the queue
-// dry — so no session starves: a request pushed before batch k's drain is
-// fetched no later than that drain, regardless of which session pushed it.
+// own ranking into ONE priority queue over one or more per-scene cache
+// shards (requests are keyed by (scene, group, tier)). Requests for a
+// (scene, group) already pending at the same or a better tier are merged
+// (fetched once, counted in merged_requests()), and every drain task runs
+// the queue dry — so no session starves: a request pushed before batch k's
+// drain is fetched no later than that drain, regardless of which session
+// or scene pushed it.
 //
 // Thread-safety: StreamingLoader assumes one driving session (its frame
 // bracket is the single-session GroupSource contract), but its fetches run
@@ -88,9 +90,13 @@ struct PrefetchConfig {
 // candidate (ranking priorities are camera distances, >= 0).
 inline constexpr float kUrgentPriority = -1.0f;
 
-// One group worth fetching, at the tier the policy wants it.
+// One group worth fetching, at the tier the policy wants it. Requests are
+// keyed by (scene, group, tier): `scene` indexes the shard cache of a
+// multi-scene SharedPrefetchQueue (always 0 for single-scene front-ends),
+// so two scenes' groups with the same dense id never merge.
 struct PrefetchRequest {
   voxel::DenseVoxelId id = 0;
+  std::uint32_t scene = 0;
   std::uint8_t tier = 0;
   // Queue ordering key: lower pops first (the ranking stores its
   // near-to-far camera distance here; demand re-queues use
@@ -130,21 +136,32 @@ class PrefetchPriorityQueue {
   struct Node {
     float priority = 0.0f;
     voxel::DenseVoxelId id = 0;
+    std::uint32_t scene = 0;
     std::uint8_t tier = 0;
     std::uint64_t deadline_ns = kNoFetchDeadline;
     SessionCacheStats* sink = nullptr;
   };
-  // Min-heap order: lowest (priority, id) pops first.
+  // Min-heap order: lowest (priority, scene, id) pops first — scene joins
+  // the tie-break so equal-rank pop order stays deterministic on a
+  // multi-scene queue.
   static bool later(const Node& a, const Node& b) {
-    return a.priority != b.priority ? a.priority > b.priority : a.id > b.id;
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.scene != b.scene) return a.scene > b.scene;
+    return a.id > b.id;
+  }
+  // Dedup key: requests merge per (scene, group); the mapped value is the
+  // best tier pending for that pair.
+  static std::uint64_t key(std::uint32_t scene, voxel::DenseVoxelId id) {
+    return (std::uint64_t{scene} << 32) |
+           static_cast<std::uint32_t>(id);
   }
 
   mutable std::mutex mutex_;
   std::vector<Node> heap_;
-  // group -> best tier pending. A heap node whose tier no longer matches
-  // was superseded by a better-tier push and is skipped at pop (lazy
-  // deletion keeps push O(log n) without heap surgery).
-  std::unordered_map<voxel::DenseVoxelId, std::uint8_t> pending_;
+  // (scene, group) -> best tier pending. A heap node whose tier no longer
+  // matches was superseded by a better-tier push and is skipped at pop
+  // (lazy deletion keeps push O(log n) without heap surgery).
+  std::unordered_map<std::uint64_t, std::uint8_t> pending_;
   std::uint64_t merged_ = 0;
   std::uint64_t expired_ = 0;
 };
@@ -310,49 +327,62 @@ class StreamingLoader final : public GroupSource {
   std::unordered_set<voxel::DenseVoxelId> fallback_seen_;
 };
 
-// One fetch queue shared by N viewer sessions over one ResidencyCache.
+// One fetch queue shared by N viewer sessions over one or more per-scene
+// ResidencyCache shards.
 //
 // Each session calls enqueue() at the top of its frame with its own camera
-// intent (and optionally its SessionCacheStats sink for attribution, plus
-// its own LodPolicy). The queue ranks the session's candidates and pushes
-// them into the shared PrefetchPriorityQueue — groups already pending for
-// *any* session at the same or a better tier merge away (the request is
-// served by the fetch already on its way) — then schedules a drain on the
-// async FIFO lane. Every drain runs the queue dry, most-urgent-first, so
-// service is bounded for every session: a request pushed before batch k's
-// drain is fetched no later than that drain, whoever pushed it.
+// intent, its scene index, and optionally its SessionCacheStats sink for
+// attribution plus its own LodPolicy. The queue ranks the session's
+// candidates against ITS scene's shard and pushes them into the shared
+// PrefetchPriorityQueue keyed by (scene, group, tier) — groups already
+// pending for *any* session of the same scene at the same or a better tier
+// merge away (the request is served by the fetch already on its way);
+// requests from different scenes never merge — then schedules a drain on
+// the async FIFO lane. Every drain runs the queue dry, most-urgent-first
+// across all scenes and sessions, so service is bounded for every session:
+// a request pushed before batch k's drain is fetched no later than that
+// drain, whoever pushed it.
 class SharedPrefetchQueue {
  public:
+  // Single-scene front-end (the PR 3 shape): one cache, scene index 0.
   explicit SharedPrefetchQueue(ResidencyCache& cache,
                                PrefetchConfig config = {});
+  // Multi-scene front-end: shards[k] is scene k's cache. The shard set is
+  // fixed for the queue's lifetime; every shard must outlive it. Throws
+  // std::invalid_argument on an empty or null-holding shard list.
+  SharedPrefetchQueue(std::vector<ResidencyCache*> shards,
+                      PrefetchConfig config = {});
   // Drains in-flight batches (their tasks capture `this`).
   ~SharedPrefetchQueue();
 
-  // Ranks + enqueues one session's prefetch work. Returns the number of
-  // groups newly queued (after merging with other sessions' pending
-  // requests). `sink`, when non-null, is credited for every group this
-  // call's batch actually fetches — including fetches that land after the
-  // session's frame ended (the counters are cumulative and monotone).
-  // `lod`, when non-null, overrides the queue config's policy — the
-  // per-session quality knob of the serve layer.
+  // Ranks + enqueues one session's prefetch work against scene `scene`'s
+  // shard. Returns the number of groups newly queued (after merging with
+  // other sessions' pending requests). `sink`, when non-null, is credited
+  // for every group this call's batch actually fetches — including fetches
+  // that land after the session's frame ended (the counters are cumulative
+  // and monotone). `lod`, when non-null, overrides the queue config's
+  // policy — the per-session quality knob of the serve layer. Throws
+  // std::out_of_range for an unknown scene.
   std::size_t enqueue(const FrameIntent& intent,
                       SessionCacheStats* sink = nullptr,
-                      const LodPolicy* lod = nullptr);
+                      const LodPolicy* lod = nullptr,
+                      std::uint32_t scene = 0);
 
-  // Deadline-fallback re-queue: pushes (id, tier) at kUrgentPriority so
-  // the group a session just served from the coarse floor streams in at
-  // its wanted tier ahead of every ranked candidate. Schedules a drain
-  // unless the queue is synchronous (then the next enqueue drains it).
-  // Safe from any render worker.
+  // Deadline-fallback re-queue: pushes (scene, id, tier) at
+  // kUrgentPriority so the group a session just served from the coarse
+  // floor streams in at its wanted tier ahead of every ranked candidate.
+  // Schedules a drain unless the queue is synchronous (then the next
+  // enqueue drains it). Safe from any render worker.
   void requeue_urgent(voxel::DenseVoxelId id, std::uint8_t tier,
-                      SessionCacheStats* sink = nullptr);
+                      SessionCacheStats* sink = nullptr,
+                      std::uint32_t scene = 0);
 
   // Blocks until every batch enqueued before this call has landed.
   void wait_idle() const;
 
-  // Requests dropped because the same group was already pending at the
-  // same or a better tier for some session: the fetch-traffic the merge
-  // saved, in group requests.
+  // Requests dropped because the same (scene, group) was already pending
+  // at the same or a better tier for some session: the fetch-traffic the
+  // merge saved, in group requests.
   std::uint64_t merged_requests() const;
   // Requests still pending in the shared priority queue (0 after a
   // wait_idle with no concurrent enqueues: nothing starves).
@@ -360,13 +390,16 @@ class SharedPrefetchQueue {
   // Requests dropped at pop because their deadline had passed.
   std::uint64_t expired_requests() const;
 
-  ResidencyCache& cache() { return *cache_; }
+  std::size_t scene_count() const { return shards_.size(); }
+  ResidencyCache& cache(std::uint32_t scene = 0) {
+    return *shards_.at(scene);
+  }
   const PrefetchConfig& config() const { return config_; }
 
  private:
   void drain();
 
-  ResidencyCache* cache_;
+  std::vector<ResidencyCache*> shards_;  // indexed by scene
   PrefetchConfig config_;
   PrefetchPriorityQueue queue_;
 };

@@ -180,6 +180,10 @@ TEST(TraceIo, RoundTripPreservesEverything) {
   trace.cache.fetch_errors = 9;
   trace.cache.degraded_groups = 6;
   trace.cache.failed_groups = 2;
+  // ...and the v9 serving-host fields.
+  trace.scenes = 3;
+  trace.admission_rejects = 17;
+  trace.queue_wait_ns = 420042;
   std::stringstream buf;
   ASSERT_TRUE(core::write_trace(buf, trace));
   const core::StreamingTrace back = core::read_trace(buf);
@@ -203,6 +207,9 @@ TEST(TraceIo, RoundTripPreservesEverything) {
   EXPECT_EQ(back.cache.fetch_errors, trace.cache.fetch_errors);
   EXPECT_EQ(back.cache.degraded_groups, trace.cache.degraded_groups);
   EXPECT_EQ(back.cache.failed_groups, trace.cache.failed_groups);
+  EXPECT_EQ(back.scenes, trace.scenes);
+  EXPECT_EQ(back.admission_rejects, trace.admission_rejects);
+  EXPECT_EQ(back.queue_wait_ns, trace.queue_wait_ns);
   ASSERT_EQ(back.groups.size(), trace.groups.size());
   for (std::size_t g = 0; g < trace.groups.size(); ++g) {
     EXPECT_EQ(back.groups[g].rays, trace.groups[g].rays);

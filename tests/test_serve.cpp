@@ -558,5 +558,453 @@ TEST(SceneServer, EightSessionsZeroDeadlineNeverStallNorStarve) {
   }
 }
 
+// --------------------------------------------- multiplexed state machine ---
+
+// The tentpole contract: session count is bounded by memory, not cores.
+// Twelve sessions over TWO drivers (max_concurrent_frames = 2) complete
+// bit-identically to rendering alone, the ready-queue wait is measured on
+// every driven frame, and the FIFO rotation yields a fair throughput split.
+TEST(ServeMultiplexed, SessionsExceedDriverCountBitIdentical) {
+  const auto scene = test_scene(40, 2000, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_serve_mux.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  stream::AssetStore store(file.path);
+
+  const int n_sessions = 12;
+  const int frames = 2;
+  std::vector<std::vector<gs::Camera>> paths;
+  for (int s = 0; s < n_sessions; ++s) {
+    paths.push_back(session_path(s, frames, 96));
+  }
+
+  SceneServerConfig cfg;
+  cfg.cache.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  cfg.max_concurrent_frames = 2;  // 12 sessions share 2 drivers
+  SceneServer server(store, cfg);
+  const auto result = server.run(paths);
+
+  ASSERT_EQ(result.sessions.size(), paths.size());
+  for (int s = 0; s < n_sessions; ++s) {
+    const auto alone =
+        core::render_sequence(scene, paths[static_cast<std::size_t>(s)], {});
+    const auto& served = result.sessions[static_cast<std::size_t>(s)];
+    ASSERT_EQ(served.size(), alone.frames.size());
+    for (std::size_t f = 0; f < served.size(); ++f) {
+      EXPECT_EQ(served[f].image.pixels(), alone.frames[f].image.pixels())
+          << "session " << s << " frame " << f;
+      // v9 trace stamping: single-scene host, no rejects, queue wait set
+      // by the scheduler (first frames start at the same ready mark, so
+      // only later frames are guaranteed a positive wait).
+      EXPECT_EQ(served[f].trace.scenes, 1u);
+      EXPECT_EQ(served[f].trace.admission_rejects, 0u);
+    }
+  }
+
+  const ServerReport& rep = result.report;
+  // Every driven frame recorded a queue wait; with 12 sessions behind 2
+  // drivers most of the fleet waits, so the total wait cannot be zero.
+  EXPECT_EQ(rep.queue_wait.count(),
+            static_cast<std::uint64_t>(n_sessions * frames));
+  EXPECT_GT(rep.queue_wait.sum(), 0u);
+  EXPECT_LE(rep.queue_wait_p50_ms, rep.queue_wait_p99_ms);
+  // Throughput was measured for every session and split fairly: FIFO
+  // rotation admits no starvation, so Jain's index stays high.
+  for (const SessionReport& sr : rep.sessions) {
+    EXPECT_GT(sr.throughput_fps, 0.0);
+    EXPECT_EQ(sr.state, SessionState::kReady);
+    EXPECT_EQ(sr.queue_wait.count(), static_cast<std::uint64_t>(frames));
+  }
+  EXPECT_GT(rep.fairness_index, 0.9);
+  EXPECT_LE(rep.fairness_index, 1.0 + 1e-9);
+}
+
+// ----------------------------------------------------- multi-scene hosting --
+
+// Two DIFFERENT scenes behind one server: every session stays bit-identical
+// to rendering its own scene alone, per-scene counter attribution is exact,
+// and the shard budgets always sum to the configured global budget.
+TEST(ServeGolden, TwoSceneHostBitIdentical) {
+  const auto scene_a = test_scene(41, 2200, /*vq=*/false);
+  const auto scene_b = test_scene(42, 1600, /*vq=*/false);
+  TempFile file_a("/tmp/sgs_test_serve_2s_a.sgsc");
+  TempFile file_b("/tmp/sgs_test_serve_2s_b.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file_a.path, scene_a));
+  ASSERT_TRUE(stream::AssetStore::write(file_b.path, scene_b));
+  stream::AssetStore store_a(file_a.path);
+  stream::AssetStore store_b(file_b.path);
+
+  const int n_sessions = 6;
+  const int frames = 2;
+  SceneServerConfig cfg;
+  cfg.cache.budget_bytes =
+      (store_a.decoded_bytes_total() + store_b.decoded_bytes_total()) * 35 /
+      100;
+  cfg.shard_rebalance_frames = 4;
+  SceneServer server({&store_a, &store_b}, cfg);
+  ASSERT_EQ(server.scene_count(), 2u);
+  // Construction splits the global budget exactly (remainder on shard 0).
+  EXPECT_EQ(server.shard_budget_bytes(0) + server.shard_budget_bytes(1),
+            cfg.cache.budget_bytes);
+
+  std::vector<std::vector<gs::Camera>> paths;
+  for (int s = 0; s < n_sessions; ++s) {
+    const auto scene_idx = static_cast<std::uint32_t>(s % 2);
+    ASSERT_EQ(server.open_session(cfg.lod, scene_idx), s);
+    paths.push_back(session_path(s, frames, 96));
+  }
+  const auto result = server.run(paths);
+
+  ASSERT_EQ(result.sessions.size(), paths.size());
+  for (int s = 0; s < n_sessions; ++s) {
+    const auto& own_scene = (s % 2 == 0) ? scene_a : scene_b;
+    const auto alone = core::render_sequence(
+        own_scene, paths[static_cast<std::size_t>(s)], {});
+    const auto& served = result.sessions[static_cast<std::size_t>(s)];
+    ASSERT_EQ(served.size(), alone.frames.size());
+    for (std::size_t f = 0; f < served.size(); ++f) {
+      EXPECT_EQ(served[f].image.pixels(), alone.frames[f].image.pixels())
+          << "session " << s << " frame " << f;
+      EXPECT_EQ(served[f].trace.scenes, 2u);
+    }
+  }
+
+  const ServerReport& rep = result.report;
+  ASSERT_EQ(rep.scenes, 2u);
+  ASSERT_EQ(rep.scene_caches.size(), 2u);
+  ASSERT_EQ(rep.scene_budget_bytes.size(), 2u);
+  EXPECT_EQ(rep.scene_budget_bytes[0] + rep.scene_budget_bytes[1],
+            cfg.cache.budget_bytes);
+  // Per-SCENE attribution: scene k's shard counters are the sum of scene
+  // k's sessions' counters (evictions are shard-global), and the global
+  // view is the sum of the shards.
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    core::StreamCacheStats sum;
+    for (const SessionReport& sr : rep.sessions) {
+      if (sr.scene == k) sum.accumulate(sr.cache);
+    }
+    EXPECT_EQ(sum.hits, rep.scene_caches[k].hits) << "scene " << k;
+    EXPECT_EQ(sum.misses, rep.scene_caches[k].misses) << "scene " << k;
+    EXPECT_EQ(sum.prefetches, rep.scene_caches[k].prefetches) << "scene " << k;
+    EXPECT_EQ(sum.bytes_fetched, rep.scene_caches[k].bytes_fetched)
+        << "scene " << k;
+  }
+  core::StreamCacheStats sum;
+  for (const SessionReport& sr : rep.sessions) sum.accumulate(sr.cache);
+  EXPECT_EQ(sum.hits, rep.shared_cache.hits);
+  EXPECT_EQ(sum.misses, rep.shared_cache.misses);
+  EXPECT_EQ(sum.prefetches, rep.shared_cache.prefetches);
+  EXPECT_EQ(sum.bytes_fetched, rep.shared_cache.bytes_fetched);
+}
+
+// --------------------------------------------------------------- admission --
+
+TEST(Admission, CapTypedRejectNoPartialRegistration) {
+  const auto scene = test_scene(43, 1200, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_serve_admit.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  stream::AssetStore store(file.path);
+
+  SceneServerConfig cfg;
+  cfg.max_sessions = 2;
+  SceneServer server(store, cfg);
+
+  ASSERT_EQ(server.open_session(), 0);
+  ASSERT_EQ(server.open_session(), 1);
+  EXPECT_EQ(server.session_count(), 2u);
+
+  // Over the cap: a typed reject, atomically — no partial registration.
+  const AdmissionResult over = server.try_open_session();
+  EXPECT_FALSE(over.admitted);
+  EXPECT_EQ(over.reason, AdmissionRejectReason::kSessionCapReached);
+  EXPECT_EQ(server.session_count(), 2u);
+  EXPECT_EQ(server.report().sessions.size(), 2u);
+  EXPECT_EQ(server.admission_rejects(), 1u);
+
+  // The throwing overload surfaces the same reason.
+  try {
+    server.open_session();
+    FAIL() << "open_session past the cap must throw";
+  } catch (const AdmissionRejectedError& e) {
+    EXPECT_EQ(e.reason(), AdmissionRejectReason::kSessionCapReached);
+  }
+  EXPECT_EQ(server.admission_rejects(), 2u);
+
+  // Unknown scene is the other typed reject.
+  const AdmissionResult bad_scene = server.try_open_session(/*scene=*/7);
+  EXPECT_FALSE(bad_scene.admitted);
+  EXPECT_EQ(bad_scene.reason, AdmissionRejectReason::kUnknownScene);
+  EXPECT_EQ(server.admission_rejects(), 3u);
+
+  // A rejected open left the admitted sessions fully functional.
+  const auto cams = session_path(0, 1, 96);
+  EXPECT_GT(server.render_frame(0, cams[0]).frame_wall_ns, 0u);
+
+  // close frees the admission slot; the closed id is dead, never reused.
+  server.close_session(0);
+  EXPECT_EQ(server.session_count(), 1u);
+  EXPECT_EQ(server.session_state(0), SessionState::kClosed);
+  EXPECT_THROW(server.render_frame(0, cams[0]), std::invalid_argument);
+  EXPECT_THROW(server.close_session(0), std::invalid_argument);
+  EXPECT_THROW(server.close_session(99), std::out_of_range);
+  const AdmissionResult reopened = server.try_open_session();
+  ASSERT_TRUE(reopened.admitted);
+  EXPECT_EQ(reopened.session, 2);
+  EXPECT_EQ(server.session_count(), 2u);
+  // Closed sessions keep their report slot (counters survive).
+  EXPECT_EQ(server.report().sessions.size(), 3u);
+}
+
+// Eight threads hammer open/close against a small cap: every admit and
+// every reject is counted exactly once, and the final table is coherent.
+TEST(Admission, OpenCloseHammerExactCounters) {
+  const auto scene = test_scene(44, 1200, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_serve_hammer.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  stream::AssetStore store(file.path);
+
+  SceneServerConfig cfg;
+  cfg.max_sessions = 4;
+  SceneServer server(store, cfg);
+
+  const int n_threads = 8;
+  const int iters = 50;
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < iters; ++i) {
+        const AdmissionResult res = server.try_open_session();
+        if (!res.admitted) {
+          EXPECT_EQ(res.reason, AdmissionRejectReason::kSessionCapReached);
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        admitted.fetch_add(1, std::memory_order_relaxed);
+        // Release the slot so other threads keep admitting: each thread
+        // closes only ids it opened, so no double close can happen.
+        server.close_session(res.session);
+        closed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(admitted.load(), closed.load());
+  EXPECT_EQ(server.session_count(), 0u);
+  // Exactness: every attempt is exactly one admit or one reject, ids were
+  // never reused, and the reject counter matches the local tally.
+  EXPECT_EQ(admitted.load() + rejected.load(),
+            static_cast<std::uint64_t>(n_threads * iters));
+  EXPECT_EQ(server.admission_rejects(), rejected.load());
+  EXPECT_EQ(server.report().sessions.size(),
+            static_cast<std::size_t>(admitted.load()));
+  EXPECT_EQ(server.report().admission_rejects, rejected.load());
+}
+
+// ------------------------------------------- open during run (the old race) --
+
+// Registration while the server is mid-run used to be documented as unsafe;
+// it is now part of the contract. Sessions join (and render) while run()
+// drives the original fleet — under TSan in CI this doubles as the data-race
+// proof for the session-table lock.
+TEST(SceneServer, OpenSessionDuringRunIsSafe) {
+  const auto scene = test_scene(45, 1600, /*vq=*/false);
+  TempFile file("/tmp/sgs_test_serve_openrun.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file.path, scene));
+  stream::AssetStore store(file.path);
+
+  SceneServerConfig cfg;
+  cfg.cache.budget_bytes = store.decoded_bytes_total() * 35 / 100;
+  SceneServer server(store, cfg);
+
+  const int n_driven = 4;
+  const int frames = 3;
+  std::vector<std::vector<gs::Camera>> paths;
+  for (int s = 0; s < n_driven; ++s) {
+    ASSERT_EQ(server.open_session(), s);  // pre-open run()'s fleet
+    paths.push_back(session_path(s, frames, 96));
+  }
+
+  std::thread runner([&] { (void)server.run(paths); });
+  // While the fleet renders: join late, render on the new session, and
+  // bounce admissions — all against the live session table.
+  std::vector<int> joined;
+  for (int i = 0; i < 6; ++i) {
+    const AdmissionResult res = server.try_open_session();
+    ASSERT_TRUE(res.admitted);
+    joined.push_back(res.session);
+    const auto cams = session_path(10 + i, 1, 96);
+    EXPECT_GT(server.render_frame(res.session, cams[0]).frame_wall_ns, 0u);
+  }
+  for (std::size_t i = 0; i + 1 < joined.size(); i += 2) {
+    server.close_session(joined[i]);
+  }
+  runner.join();
+
+  const ServerReport rep = server.report();
+  EXPECT_EQ(rep.sessions.size(), static_cast<std::size_t>(n_driven) + 6u);
+  for (int s = 0; s < n_driven; ++s) {
+    EXPECT_EQ(rep.sessions[static_cast<std::size_t>(s)].frames,
+              static_cast<std::size_t>(frames));
+  }
+  // Attribution stayed exact across the concurrent joins.
+  core::StreamCacheStats sum;
+  for (const SessionReport& sr : rep.sessions) sum.accumulate(sr.cache);
+  EXPECT_EQ(sum.hits, rep.shared_cache.hits);
+  EXPECT_EQ(sum.misses, rep.shared_cache.misses);
+  EXPECT_EQ(sum.prefetches, rep.shared_cache.prefetches);
+  EXPECT_EQ(sum.bytes_fetched, rep.shared_cache.bytes_fetched);
+}
+
+// ------------------------------------------------- shard budget governor ----
+
+// Asymmetric demand across two scenes under a starving global budget: a
+// sampler thread asserts the governor's conservation law — the shard
+// budgets sum EXACTLY to the global budget at every instant (shrink-
+// before-grow) and never drop below the floor share — while rebalances
+// and evictions run. Afterwards the hot scene must hold at least as much
+// budget as the cold one, and the drained residency fits the global
+// budget.
+TEST(ShardBudget, ConservedUnderConcurrentRebalance) {
+  const auto scene_a = test_scene(46, 2200, /*vq=*/false);
+  const auto scene_b = test_scene(47, 1400, /*vq=*/false);
+  TempFile file_a("/tmp/sgs_test_serve_gov_a.sgsc");
+  TempFile file_b("/tmp/sgs_test_serve_gov_b.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file_a.path, scene_a));
+  ASSERT_TRUE(stream::AssetStore::write(file_b.path, scene_b));
+  stream::AssetStore store_a(file_a.path);
+  stream::AssetStore store_b(file_b.path);
+
+  SceneServerConfig cfg;
+  const std::uint64_t global =
+      (store_a.decoded_bytes_total() + store_b.decoded_bytes_total()) * 30 /
+      100;
+  cfg.cache.budget_bytes = global;
+  cfg.shard_rebalance_frames = 2;  // rebalance aggressively
+  SceneServer server({&store_a, &store_b}, cfg);
+
+  // Demand skew: five sessions orbit scene 0, one touches scene 1 briefly.
+  std::vector<std::vector<gs::Camera>> paths;
+  for (int s = 0; s < 5; ++s) {
+    ASSERT_EQ(server.open_session(cfg.lod, 0), s);
+    paths.push_back(session_path(s, 4, 96));
+  }
+  ASSERT_EQ(server.open_session(cfg.lod, 1), 5);
+  paths.push_back(session_path(5, 1, 96));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> samples{0};
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t b0 = server.shard_budget_bytes(0);
+      const std::uint64_t b1 = server.shard_budget_bytes(1);
+      // Conservation: sampled across the two shards mid-rebalance, the
+      // shares may be caught between the shrink and grow passes — their
+      // sum must never EXCEED the global budget (and snaps back to it).
+      EXPECT_LE(b0 + b1, global);
+      EXPECT_GE(b0, global / 8);  // floor share: global / (4 * n_shards)
+      EXPECT_GE(b1, global / 8);
+      samples.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  const auto result = server.run(paths);
+  stop.store(true);
+  sampler.join();
+
+  EXPECT_GT(samples.load(), 0u);
+  // Quiescent: the split is exact again and skewed toward the hot scene.
+  EXPECT_EQ(server.shard_budget_bytes(0) + server.shard_budget_bytes(1),
+            global);
+  EXPECT_GE(server.shard_budget_bytes(0), server.shard_budget_bytes(1));
+  // The governor ran under real pressure, and with every pin dropped each
+  // shard drained under its share — so total residency fits the global
+  // budget.
+  EXPECT_GT(result.report.shared_cache.evictions, 0u);
+  EXPECT_LE(server.cache(0).resident_bytes() + server.cache(1).resident_bytes(),
+            global);
+  // The hot-scene sessions rendered correctly throughout the rebalances.
+  const auto alone = core::render_sequence(scene_a, paths[0], {});
+  ASSERT_EQ(result.sessions[0].size(), alone.frames.size());
+  for (std::size_t f = 0; f < alone.frames.size(); ++f) {
+    EXPECT_EQ(result.sessions[0][f].image.pixels(),
+              alone.frames[f].image.pixels());
+  }
+}
+
+// ------------------------------------------------------- fleet-scale stress --
+
+// 64 sessions across 2 scene shards multiplexed onto 4 drivers: the
+// fleet-scale target CI runs under ThreadSanitizer. Pixels are covered by
+// the golden tests above; here the bar is that the scheduler at 16x
+// session-per-driver oversubscription keeps every counter exact, every
+// shard inside the one global budget, and every session progressing.
+TEST(ServeStress, SixtyFourSessionsTwoScenesMultiplexed) {
+  const auto scene_a = test_scene(48, 900, /*vq=*/false);
+  const auto scene_b = test_scene(49, 700, /*vq=*/false);
+  TempFile file_a("/tmp/sgs_test_serve_stress_a.sgsc");
+  TempFile file_b("/tmp/sgs_test_serve_stress_b.sgsc");
+  ASSERT_TRUE(stream::AssetStore::write(file_a.path, scene_a));
+  ASSERT_TRUE(stream::AssetStore::write(file_b.path, scene_b));
+  stream::AssetStore store_a(file_a.path);
+  stream::AssetStore store_b(file_b.path);
+
+  const int n_sessions = 64;
+  const int frames = 2;
+  SceneServerConfig cfg;
+  cfg.cache.budget_bytes =
+      (store_a.decoded_bytes_total() + store_b.decoded_bytes_total()) * 40 /
+      100;
+  cfg.max_concurrent_frames = 4;
+  cfg.shard_rebalance_frames = 8;
+  SceneServer server({&store_a, &store_b}, cfg);
+
+  std::vector<std::vector<gs::Camera>> paths;
+  for (int s = 0; s < n_sessions; ++s) {
+    ASSERT_EQ(server.open_session(cfg.lod, static_cast<std::uint32_t>(s % 2)),
+              s);
+    paths.push_back(session_path(s, frames, 48));
+  }
+  const auto result = server.run(paths);
+
+  ASSERT_EQ(result.sessions.size(), static_cast<std::size_t>(n_sessions));
+  for (int s = 0; s < n_sessions; ++s) {
+    EXPECT_EQ(result.sessions[static_cast<std::size_t>(s)].size(),
+              static_cast<std::size_t>(frames))
+        << "session " << s;
+  }
+
+  const ServerReport& rep = result.report;
+  ASSERT_EQ(rep.sessions.size(), static_cast<std::size_t>(n_sessions));
+  // Shard budgets partition the global budget exactly, and what is
+  // actually resident stays within it.
+  ASSERT_EQ(rep.scene_budget_bytes.size(), 2u);
+  EXPECT_EQ(rep.scene_budget_bytes[0] + rep.scene_budget_bytes[1],
+            cfg.cache.budget_bytes);
+  EXPECT_LE(server.cache(0).resident_bytes() + server.cache(1).resident_bytes(),
+            cfg.cache.budget_bytes);
+  // Counter exactness at fleet scale: per-session attribution sums to the
+  // shard totals, which sum to the global view.
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    core::StreamCacheStats sum;
+    for (const SessionReport& sr : rep.sessions) {
+      if (sr.scene == k) sum.accumulate(sr.cache);
+    }
+    EXPECT_EQ(sum.hits, rep.scene_caches[k].hits) << "scene " << k;
+    EXPECT_EQ(sum.misses, rep.scene_caches[k].misses) << "scene " << k;
+    EXPECT_EQ(sum.bytes_fetched, rep.scene_caches[k].bytes_fetched)
+        << "scene " << k;
+  }
+  // Every session made progress and the scheduler spread the drivers
+  // across the fleet rather than starving the tail.
+  for (const SessionReport& sr : rep.sessions) {
+    EXPECT_GT(sr.throughput_fps, 0.0);
+    EXPECT_EQ(sr.queue_wait.count(), static_cast<std::uint64_t>(frames));
+  }
+  EXPECT_GT(rep.fairness_index, 0.5);
+  EXPECT_EQ(rep.admission_rejects, 0u);
+}
+
 }  // namespace
 }  // namespace sgs::serve

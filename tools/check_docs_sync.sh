@@ -50,6 +50,16 @@ check_contract "async lane contract" src/common/parallel.hpp \
 check_contract "serve contract" src/serve/scene_server.hpp \
   SceneServer SessionSource open_session render_frame ServerReport
 
+# 4b. Serve scale-out: the multiplexed session state machine, typed
+#     admission control, and multi-scene shard surface.
+check_contract "serve scheduler contract" src/serve/scene_server.hpp \
+  SessionState max_concurrent_frames queue_wait_ns fairness_index
+check_contract "serve admission contract" src/serve/scene_server.hpp \
+  max_sessions try_open_session AdmissionResult AdmissionRejectReason \
+  AdmissionRejectedError close_session admission_rejects
+check_contract "serve shard contract" src/serve/scene_server.hpp \
+  shard_budget_bytes shard_rebalance_frames scene_count
+
 # 5. The LOD tier surface: store tiers, tier selection, cache tagging.
 check_contract "LOD contract" src/stream/lod_policy.hpp \
   LodPolicy TierSelection select_frame_tiers force_tier0
